@@ -1,0 +1,29 @@
+//! Document generation micro-benchmarks (the Fig. 6 corpus).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xmldb::gen::{gen_auction, gen_bib, AuctionConfig, BibConfig};
+use xmldb::serializer::serialize_pretty;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("doc_gen");
+    for &books in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("bib", books), &books, |b, &n| {
+            b.iter(|| {
+                gen_bib(&BibConfig { books: n, authors_per_book: 2, ..BibConfig::default() })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("auction", books), &books, |b, &n| {
+            b.iter(|| gen_auction(&AuctionConfig { bids: n, ..AuctionConfig::default() }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let doc = gen_bib(&BibConfig { books: 1000, authors_per_book: 2, ..BibConfig::default() });
+    c.bench_function("serialize_pretty/bib-1000", |b| b.iter(|| serialize_pretty(&doc)));
+}
+
+criterion_group!(benches, bench_generation, bench_serialization);
+criterion_main!(benches);

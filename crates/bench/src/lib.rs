@@ -1,0 +1,106 @@
+//! Shared measurement helpers for the benchmark harness and the Criterion
+//! benches: compile a workload into its plan alternatives and time them.
+
+use std::time::{Duration, Instant};
+
+use nal::Expr;
+use ordered_unnesting::workloads::Workload;
+use xmldb::Catalog;
+
+/// One measured (plan, scale) cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub plan: String,
+    pub elapsed: Duration,
+    pub doc_scans: u64,
+    pub output_len: usize,
+    /// `true` when the cell was extrapolated instead of measured (nested
+    /// plans beyond the time cap).
+    pub estimated: bool,
+}
+
+/// Compile a workload and enumerate its plan alternatives.
+pub fn plans_for(w: &Workload, catalog: &Catalog) -> Vec<(String, Expr)> {
+    let nested = xquery::compile(w.query, catalog)
+        .unwrap_or_else(|e| panic!("[{}] compile failed: {e}", w.id));
+    unnest::enumerate_plans(&nested, catalog)
+        .into_iter()
+        .map(|p| (p.label, p.expr))
+        .collect()
+}
+
+/// Execute one plan and record its cost. The first execution result is
+/// used (documents are memory-resident, so runs are stable; the Criterion
+/// benches provide statistical rigor at smaller scales).
+pub fn measure_plan(label: &str, expr: &Expr, catalog: &Catalog) -> Measurement {
+    let start = Instant::now();
+    let result = engine::run(expr, catalog)
+        .unwrap_or_else(|e| panic!("plan `{label}` failed: {e}"));
+    Measurement {
+        plan: label.to_string(),
+        elapsed: start.elapsed(),
+        doc_scans: result.metrics.doc_scans,
+        output_len: result.output.len(),
+        estimated: false,
+    }
+}
+
+/// Quadratic extrapolation for nested cells beyond the measurement cap:
+/// nested plans re-scan the document per outer tuple, so their cost grows
+/// ~quadratically in the scale. `t_small` was measured at `s_small`.
+pub fn extrapolate_nested(t_small: Duration, s_small: usize, s_target: usize) -> Duration {
+    let ratio = (s_target as f64 / s_small.max(1) as f64).powi(2);
+    Duration::from_secs_f64(t_small.as_secs_f64() * ratio)
+}
+
+/// Render a duration the way the paper's tables do (`0.15 s`, `7.04 s`,
+/// `788 s`).
+pub fn fmt_secs(d: Duration, estimated: bool) -> String {
+    let s = d.as_secs_f64();
+    let text = if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 0.001 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    };
+    if estimated {
+        format!("{text} (est.)")
+    } else {
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordered_unnesting::workloads::Q6_HAVING;
+    use xmldb::gen::standard_catalog;
+
+    #[test]
+    fn measure_produces_consistent_outputs() {
+        let catalog = standard_catalog(60, 2, 5);
+        let plans = plans_for(&Q6_HAVING, &catalog);
+        assert!(plans.len() >= 2);
+        let ms: Vec<Measurement> =
+            plans.iter().map(|(l, e)| measure_plan(l, e, &catalog)).collect();
+        let first = ms[0].output_len;
+        assert!(ms.iter().all(|m| m.output_len == first));
+    }
+
+    #[test]
+    fn extrapolation_is_quadratic() {
+        let t = extrapolate_nested(Duration::from_secs(1), 100, 1000);
+        assert_eq!(t, Duration::from_secs(100));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_secs(Duration::from_millis(150), false), "150.0 ms");
+        assert_eq!(fmt_secs(Duration::from_secs(7), false), "7.00 s");
+        assert_eq!(fmt_secs(Duration::from_secs(788), false), "788 s");
+        assert_eq!(fmt_secs(Duration::from_secs(788), true), "788 s (est.)");
+    }
+}

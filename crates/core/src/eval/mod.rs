@@ -1,0 +1,460 @@
+//! The reference evaluator — an executable form of the §2 operator
+//! definitions.
+//!
+//! Every operator is implemented exactly as its recursive definition
+//! states, with nested algebraic expressions in subscripts re-evaluated
+//! per tuple (the "nested loop evaluation strategy" of §2 whose removal is
+//! the goal of the paper). This evaluator serves three roles:
+//!
+//! 1. **Specification**: the ground truth that the physical engine (crate
+//!    `engine`) is differential-tested against,
+//! 2. **Proof harness**: the property tests of crate `unnest` check
+//!    Eqv. 1–9 by evaluating both sides here (Appendix A, executable), and
+//! 3. **Baseline**: the "nested" plans of §5's experiments are evaluated
+//!    with precisely this strategy.
+
+pub mod scalar;
+pub mod xi;
+
+pub use scalar::eval_scalar;
+
+use std::fmt;
+
+use xmldb::Catalog;
+
+use crate::expr::{attrs, Expr, ProjOp};
+use crate::scalar::Scalar;
+use crate::sequence::Seq;
+use crate::sym::Sym;
+use crate::tuple::Tuple;
+use crate::value::{cmp_atomic, CmpOp, Value};
+
+/// Evaluation error (unbound attribute, type mismatch, unknown document…).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    pub message: String,
+}
+
+impl EvalError {
+    pub fn new(message: impl Into<String>) -> EvalError {
+        EvalError { message: message.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<String> for EvalError {
+    fn from(message: String) -> EvalError {
+        EvalError { message }
+    }
+}
+
+pub type EvalResult<T> = Result<T, EvalError>;
+
+/// Counters exposing the paper's cost arguments (…"the nested plan needs
+/// to scan the document |author|+1 times", §5.1).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct Metrics {
+    /// Full-document descendant traversals (`//`) from a document root.
+    pub doc_scans: u64,
+    /// Nodes visited during path evaluation.
+    pub nodes_visited: u64,
+    /// Tuples produced across all operators.
+    pub tuples_produced: u64,
+    /// Evaluations of nested algebra expressions inside scalars (one per
+    /// outer tuple in a nested plan; zero in a fully unnested plan).
+    pub nested_evals: u64,
+}
+
+/// Evaluation context: the document catalog, the Ξ output stream, and
+/// metrics.
+pub struct EvalCtx<'a> {
+    pub catalog: &'a Catalog,
+    /// Result constructed by Ξ operators (§2: "the result is constructed
+    /// as a string on some output stream").
+    pub out: String,
+    pub metrics: Metrics,
+}
+
+impl<'a> EvalCtx<'a> {
+    pub fn new(catalog: &'a Catalog) -> EvalCtx<'a> {
+        EvalCtx { catalog, out: String::new(), metrics: Metrics::default() }
+    }
+
+    /// Take the Ξ output accumulated so far.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// Evaluate a whole query (empty environment).
+pub fn eval_query(e: &Expr, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
+    eval(e, &Tuple::empty(), ctx)
+}
+
+/// Evaluate `e` under the environment `env` (outer variable bindings —
+/// non-empty exactly when evaluating a nested expression).
+pub fn eval(e: &Expr, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
+    let result = match e {
+        // □ — the singleton sequence of the empty tuple.
+        Expr::Singleton => vec![Tuple::empty()],
+
+        Expr::Literal(rows) => rows.clone(),
+
+        Expr::AttrRel(a) => match env.get(*a) {
+            Some(Value::Tuples(ts)) => ts.as_ref().clone(),
+            Some(Value::Null) | None => {
+                return Err(EvalError::new(format!(
+                    "rel({a}): attribute not bound to a nested relation (env {env})"
+                )))
+            }
+            Some(other) => {
+                return Err(EvalError::new(format!(
+                    "rel({a}): attribute is not tuple-valued: {other}"
+                )))
+            }
+        },
+
+        Expr::Select { input, pred } => {
+            let seq = eval(input, env, ctx)?;
+            let mut out = Vec::with_capacity(seq.len());
+            for t in seq {
+                if scalar::truthy(pred, &env.concat(&t), ctx)? {
+                    out.push(t);
+                }
+            }
+            out
+        }
+
+        Expr::Project { input, op } => {
+            let seq = eval(input, env, ctx)?;
+            project_seq(&seq, op, ctx)
+        }
+
+        Expr::Map { input, attr, value } => {
+            let seq = eval(input, env, ctx)?;
+            let mut out = Vec::with_capacity(seq.len());
+            for t in seq {
+                let v = eval_scalar(value, &env.concat(&t), ctx)?;
+                out.push(t.extend(*attr, v));
+            }
+            out
+        }
+
+        Expr::Cross { left, right } => {
+            let l = eval(left, env, ctx)?;
+            let r = eval(right, env, ctx)?;
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for lt in &l {
+                for rt in &r {
+                    out.push(lt.concat(rt));
+                }
+            }
+            out
+        }
+
+        // e1 ⋈_p e2 = σ_p(e1 × e2)
+        Expr::Join { left, right, pred } => {
+            let l = eval(left, env, ctx)?;
+            let r = eval(right, env, ctx)?;
+            let mut out = Vec::new();
+            for lt in &l {
+                for rt in &r {
+                    let joined = lt.concat(rt);
+                    if scalar::truthy(pred, &env.concat(&joined), ctx)? {
+                        out.push(joined);
+                    }
+                }
+            }
+            out
+        }
+
+        Expr::SemiJoin { left, right, pred } => {
+            let l = eval(left, env, ctx)?;
+            let r = eval(right, env, ctx)?;
+            let mut out = Vec::new();
+            for lt in l {
+                if exists_match(&lt, &r, pred, env, ctx)? {
+                    out.push(lt);
+                }
+            }
+            out
+        }
+
+        Expr::AntiJoin { left, right, pred } => {
+            let l = eval(left, env, ctx)?;
+            let r = eval(right, env, ctx)?;
+            let mut out = Vec::new();
+            for lt in l {
+                if !exists_match(&lt, &r, pred, env, ctx)? {
+                    out.push(lt);
+                }
+            }
+            out
+        }
+
+        Expr::OuterJoin { left, right, pred, g, default } => {
+            let l = eval(left, env, ctx)?;
+            let r = eval(right, env, ctx)?;
+            // ⊥ pads all right attributes except g.
+            let pad_attrs: Vec<Sym> =
+                attrs::attrs(right).into_iter().filter(|a| a != g).collect();
+            let mut out = Vec::new();
+            for lt in &l {
+                let mut matched = false;
+                for rt in &r {
+                    let joined = lt.concat(rt);
+                    if scalar::truthy(pred, &env.concat(&joined), ctx)? {
+                        out.push(joined);
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    out.push(
+                        lt.concat(&Tuple::bottom(&pad_attrs))
+                            .extend(*g, default.clone()),
+                    );
+                }
+            }
+            out
+        }
+
+        // Γ_{g;θA;f}(e) = Π_{A:A'}(Π^D_{A':A}(Π_A(e)) Γ_{g;A'θA;f} e)
+        Expr::GroupUnary { input, g, by, theta, f } => {
+            let seq = eval(input, env, ctx)?;
+            let keys = distinct_by_key(&seq, by, ctx.catalog);
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                let mut group = Vec::new();
+                for t in &seq {
+                    if tuple_key_matches(&key, by, t, by, *theta, ctx.catalog) {
+                        group.push(t.clone());
+                    }
+                }
+                let v = apply_groupfn(f, &group, env, ctx)?;
+                out.push(key.extend(*g, v));
+            }
+            out
+        }
+
+        // e1 Γ_{g;A1θA2;f} e2 — the left operand determines the groups.
+        Expr::GroupBinary { left, right, g, left_on, theta, right_on, f } => {
+            let l = eval(left, env, ctx)?;
+            let r = eval(right, env, ctx)?;
+            let mut out = Vec::with_capacity(l.len());
+            for lt in l {
+                let mut group = Vec::new();
+                for rt in &r {
+                    if tuple_key_matches(&lt, left_on, rt, right_on, *theta, ctx.catalog) {
+                        group.push(rt.clone());
+                    }
+                }
+                let v = apply_groupfn(f, &group, env, ctx)?;
+                out.push(lt.extend(*g, v));
+            }
+            out
+        }
+
+        Expr::Unnest { input, attr, distinct, preserve_empty } => {
+            let seq = eval(input, env, ctx)?;
+            let inner_attrs = attrs::nested_attrs(input, *attr).unwrap_or_default();
+            let mut out = Vec::new();
+            for t in seq {
+                let nested = match t.get(*attr) {
+                    Some(Value::Tuples(ts)) => ts.as_ref().clone(),
+                    Some(Value::Null) | None => Vec::new(),
+                    Some(other) => {
+                        return Err(EvalError::new(format!(
+                            "μ[{attr}]: attribute is not tuple-valued: {other}"
+                        )))
+                    }
+                };
+                let nested = if *distinct {
+                    dedup_by_value(&nested, ctx.catalog)
+                } else {
+                    nested
+                };
+                let rest = t.without(&[*attr]);
+                if nested.is_empty() {
+                    if *preserve_empty {
+                        out.push(rest.concat(&Tuple::bottom(&inner_attrs)));
+                    }
+                } else {
+                    for inner in nested {
+                        out.push(rest.concat(&inner));
+                    }
+                }
+            }
+            out
+        }
+
+        // Υ_{a:e2}(e1) = μ_g(χ_{g:e2[a]}(e1))
+        Expr::UnnestMap { input, attr, value } => {
+            let seq = eval(input, env, ctx)?;
+            let mut out = Vec::new();
+            for t in seq {
+                let v = eval_scalar(value, &env.concat(&t), ctx)?;
+                for item in v.as_item_seq() {
+                    out.push(t.extend(*attr, item));
+                }
+            }
+            out
+        }
+
+        Expr::XiSimple { input, cmds } => {
+            let seq = eval(input, env, ctx)?;
+            for t in &seq {
+                xi::run_cmds(cmds, &env.concat(t), ctx)?;
+            }
+            seq
+        }
+
+        // s1 Ξ^{s3}_{A;s2}(e) = Ξ_{(s1;Ξ_{s2};s3)}(Γ_{g;=A;id}(e))
+        Expr::XiGroup { input, by, head, body, tail } => {
+            let seq = eval(input, env, ctx)?;
+            let keys = distinct_by_key(&seq, by, ctx.catalog);
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                let group: Vec<&Tuple> = seq
+                    .iter()
+                    .filter(|t| tuple_key_matches(&key, by, t, by, CmpOp::Eq, ctx.catalog))
+                    .collect();
+                let key_env = env.concat(&key);
+                xi::run_cmds(head, &key_env, ctx)?;
+                for t in &group {
+                    xi::run_cmds(body, &env.concat(t), ctx)?;
+                }
+                xi::run_cmds(tail, &key_env, ctx)?;
+                out.push(key);
+            }
+            out
+        }
+    };
+    ctx.metrics.tuples_produced += result.len() as u64;
+    Ok(result)
+}
+
+/// Apply a projection operator to a sequence.
+fn project_seq(seq: &[Tuple], op: &ProjOp, ctx: &EvalCtx<'_>) -> Seq {
+    match op {
+        ProjOp::Cols(cols) => seq.iter().map(|t| t.project(cols)).collect(),
+        ProjOp::Drop(cols) => seq.iter().map(|t| t.without(cols)).collect(),
+        ProjOp::Rename(pairs) => seq.iter().map(|t| t.rename(pairs)).collect(),
+        ProjOp::DistinctCols(cols) => {
+            let projected: Seq = seq
+                .iter()
+                .map(|t| atomize_tuple(&t.project(cols), ctx.catalog))
+                .collect();
+            dedup_by_value(&projected, ctx.catalog)
+        }
+        ProjOp::DistinctRename(pairs) => {
+            let old: Vec<Sym> = pairs.iter().map(|(_, o)| *o).collect();
+            let projected: Seq = seq
+                .iter()
+                .map(|t| atomize_tuple(&t.project(&old).rename(pairs), ctx.catalog))
+                .collect();
+            dedup_by_value(&projected, ctx.catalog)
+        }
+    }
+}
+
+/// Duplicate elimination by *atomized* value (nodes dedup by string
+/// value, matching `distinct-values`), keeping the first occurrence.
+pub fn dedup_by_value(seq: &[Tuple], catalog: &Catalog) -> Seq {
+    let keyed: Vec<(Vec<Value>, &Tuple)> = seq
+        .iter()
+        .map(|t| (t.values().map(|v| v.atomize(catalog)).collect(), t))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(seq.len());
+    for (key, t) in keyed {
+        if seen.insert(key) {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+/// Replace every attribute value by its atomization. `Π^D` projections
+/// and Γ group keys emit atomized values — exactly what
+/// `distinct-values` returns — so that plans rewritten by Eqv. 3/5/8/9
+/// (whose keys come from the inner expression's *nodes*) print the same
+/// strings as the nested plans (whose variables hold atomized values).
+pub fn atomize_tuple(t: &Tuple, catalog: &Catalog) -> Tuple {
+    Tuple::from_pairs(t.iter().map(|(a, v)| (a, v.atomize(catalog))).collect())
+}
+
+/// First-occurrence distinct projections of `seq` onto `by`, with
+/// atomized key values — the `Π^D_{A':A}(Π_A(e))` inside the Γ definition.
+fn distinct_by_key(seq: &[Tuple], by: &[Sym], catalog: &Catalog) -> Seq {
+    let projected: Seq = seq
+        .iter()
+        .map(|t| atomize_tuple(&t.project(by), catalog))
+        .collect();
+    dedup_by_value(&projected, catalog)
+}
+
+/// Pairwise `x.A1[i] θ y.A2[i]` for all i.
+fn tuple_key_matches(
+    x: &Tuple,
+    left_on: &[Sym],
+    y: &Tuple,
+    right_on: &[Sym],
+    theta: CmpOp,
+    catalog: &Catalog,
+) -> bool {
+    debug_assert_eq!(left_on.len(), right_on.len());
+    left_on.iter().zip(right_on).all(|(a1, a2)| {
+        match (x.get(*a1), y.get(*a2)) {
+            (Some(l), Some(r)) => cmp_atomic(theta, l, r, catalog),
+            _ => false,
+        }
+    })
+}
+
+fn exists_match(
+    lt: &Tuple,
+    right: &[Tuple],
+    pred: &Scalar,
+    env: &Tuple,
+    ctx: &mut EvalCtx<'_>,
+) -> EvalResult<bool> {
+    for rt in right {
+        if scalar::truthy(pred, &env.concat(&lt.concat(rt)), ctx)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Apply a group function including its filter stage (which needs the
+/// scalar evaluator, hence lives here rather than in `GroupFn`).
+pub fn apply_groupfn(
+    f: &crate::scalar::GroupFn,
+    group: &[Tuple],
+    env: &Tuple,
+    ctx: &mut EvalCtx<'_>,
+) -> EvalResult<Value> {
+    let filtered: Vec<Tuple> = match &f.filter {
+        None => group.to_vec(),
+        Some(p) => {
+            let mut kept = Vec::with_capacity(group.len());
+            for t in group {
+                if scalar::truthy(p, &env.concat(t), ctx)? {
+                    kept.push(t.clone());
+                }
+            }
+            kept
+        }
+    };
+    f.aggregate(&filtered, ctx.catalog).map_err(EvalError::new)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,474 @@
+//! Evaluator unit tests, including the paper's running examples:
+//! Fig. 1 (map operator), Fig. 2 (unary/binary Γ), and the §2 Ξ example.
+
+use xmldb::Catalog;
+
+use crate::expr::builder::*;
+use crate::expr::Expr;
+use crate::scalar::{AggKind, GroupFn, Scalar};
+use crate::sym::Sym;
+use crate::tuple::Tuple;
+use crate::value::{CmpOp, Value};
+
+use super::{eval_query, EvalCtx};
+
+fn s(n: &str) -> Sym {
+    Sym::new(n)
+}
+
+fn int_tuple(pairs: &[(&str, i64)]) -> Tuple {
+    Tuple::from_pairs(pairs.iter().map(|&(n, v)| (s(n), Value::Int(v))).collect())
+}
+
+/// R1 of Fig. 1/2: A1 ∈ {1, 2, 3}.
+fn r1() -> Expr {
+    Expr::Literal(vec![
+        int_tuple(&[("A1", 1)]),
+        int_tuple(&[("A1", 2)]),
+        int_tuple(&[("A1", 3)]),
+    ])
+}
+
+/// R2 of Fig. 1/2: (A2, B) ∈ {(1,2), (1,3), (2,4), (2,5)}.
+fn r2() -> Expr {
+    Expr::Literal(vec![
+        int_tuple(&[("A2", 1), ("B", 2)]),
+        int_tuple(&[("A2", 1), ("B", 3)]),
+        int_tuple(&[("A2", 2), ("B", 4)]),
+        int_tuple(&[("A2", 2), ("B", 5)]),
+    ])
+}
+
+fn run(e: &Expr) -> Vec<Tuple> {
+    let cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&cat);
+    eval_query(e, &mut ctx).expect("evaluation succeeds")
+}
+
+fn run_with_output(e: &Expr) -> (Vec<Tuple>, String) {
+    let cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&cat);
+    let seq = eval_query(e, &mut ctx).expect("evaluation succeeds");
+    let out = ctx.take_output();
+    (seq, out)
+}
+
+#[test]
+fn fig1_map_with_nested_selection() {
+    // χ_{a:σ_{A1=A2}(R2)}(R1) — Fig. 1.
+    let e = r1().map(
+        "a",
+        Scalar::Agg {
+            f: GroupFn::id(),
+            input: Box::new(r2().select(Scalar::attr_cmp(CmpOp::Eq, "A1", "A2"))),
+        },
+    );
+    let out = run(&e);
+    assert_eq!(out.len(), 3);
+    // A1=1 → ⟨[1,2],[1,3]⟩
+    let g1 = out[0].get(s("a")).unwrap();
+    assert_eq!(
+        *g1,
+        Value::tuples(vec![
+            int_tuple(&[("A2", 1), ("B", 2)]),
+            int_tuple(&[("A2", 1), ("B", 3)]),
+        ])
+    );
+    // A1=3 → ⟨⟩
+    let g3 = out[2].get(s("a")).unwrap();
+    assert_eq!(*g3, Value::tuples(vec![]));
+}
+
+#[test]
+fn fig2_unary_gamma_count() {
+    // Γ_{g;=A2;count}(R2) = {(1, 2), (2, 2)}.
+    let e = r2().group_unary("g", &["A2"], CmpOp::Eq, GroupFn::count());
+    let out = run(&e);
+    assert_eq!(
+        out,
+        vec![
+            int_tuple(&[("A2", 1), ("g", 2)]),
+            int_tuple(&[("A2", 2), ("g", 2)]),
+        ]
+    );
+}
+
+#[test]
+fn fig2_unary_gamma_id() {
+    // Γ_{g;=A2;id}(R2) — groups as nested relations.
+    let e = r2().group_unary("g", &["A2"], CmpOp::Eq, GroupFn::id());
+    let out = run(&e);
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].get(s("A2")), Some(&Value::Int(1)));
+    assert_eq!(
+        out[0].get(s("g")).unwrap(),
+        &Value::tuples(vec![
+            int_tuple(&[("A2", 1), ("B", 2)]),
+            int_tuple(&[("A2", 1), ("B", 3)]),
+        ])
+    );
+}
+
+#[test]
+fn fig2_binary_gamma_keeps_empty_groups() {
+    // R1 Γ_{g;A1=A2;id} R2 — A1=3 gets the empty group.
+    let e = r1().group_binary(r2(), "g", &["A1"], CmpOp::Eq, &["A2"], GroupFn::id());
+    let out = run(&e);
+    assert_eq!(out.len(), 3);
+    assert_eq!(out[2].get(s("A1")), Some(&Value::Int(3)));
+    assert_eq!(out[2].get(s("g")), Some(&Value::tuples(vec![])));
+}
+
+#[test]
+fn fig2_mu_inverts_gamma() {
+    // μ_g(Γ_{g;=A2;id}(R2)) = R2 (§2: "µg(Rg2) = R2").
+    let e = r2()
+        .group_unary("g", &["A2"], CmpOp::Eq, GroupFn::id())
+        .unnest("g");
+    let out = run(&e);
+    let expected = run(&r2());
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn selection_preserves_order() {
+    let e = r2().select(Scalar::cmp(CmpOp::Ge, Scalar::attr("B"), Scalar::int(3)));
+    let out = run(&e);
+    assert_eq!(
+        out,
+        vec![
+            int_tuple(&[("A2", 1), ("B", 3)]),
+            int_tuple(&[("A2", 2), ("B", 4)]),
+            int_tuple(&[("A2", 2), ("B", 5)]),
+        ]
+    );
+}
+
+#[test]
+fn cross_product_is_left_major() {
+    let e = r1().cross(r2().project(&["B"]));
+    let out = run(&e);
+    assert_eq!(out.len(), 12);
+    // First four tuples pair A1=1 with B in R2 order.
+    assert_eq!(out[0], int_tuple(&[("A1", 1), ("B", 2)]));
+    assert_eq!(out[1], int_tuple(&[("A1", 1), ("B", 3)]));
+    assert_eq!(out[4], int_tuple(&[("A1", 2), ("B", 2)]));
+}
+
+#[test]
+fn join_semijoin_antijoin() {
+    let pred = Scalar::attr_cmp(CmpOp::Eq, "A1", "A2");
+    let join = run(&r1().join(r2(), pred.clone()));
+    assert_eq!(join.len(), 4);
+    assert_eq!(join[0], int_tuple(&[("A1", 1), ("A2", 1), ("B", 2)]));
+
+    let semi = run(&r1().semijoin(r2(), pred.clone()));
+    assert_eq!(semi, vec![int_tuple(&[("A1", 1)]), int_tuple(&[("A1", 2)])]);
+
+    let anti = run(&r1().antijoin(r2(), pred));
+    assert_eq!(anti, vec![int_tuple(&[("A1", 3)])]);
+}
+
+#[test]
+fn outer_join_pads_with_default_and_nulls() {
+    // R1 ⟕^{g:0}_{A1=A2} Γ_{g;=A2;count}(R2) — the §2 motivation example:
+    // empty groups (A1=3) get g = 0.
+    let grouped = r2().group_unary("g", &["A2"], CmpOp::Eq, GroupFn::count());
+    let e = r1().outerjoin(
+        grouped,
+        Scalar::attr_cmp(CmpOp::Eq, "A1", "A2"),
+        "g",
+        Value::Int(0),
+    );
+    let out = run(&e);
+    assert_eq!(out.len(), 3);
+    assert_eq!(out[0], int_tuple(&[("A1", 1), ("A2", 1), ("g", 2)]));
+    assert_eq!(out[1], int_tuple(&[("A1", 2), ("A2", 2), ("g", 2)]));
+    // unmatched: A2 padded with NULL, g gets the default
+    assert_eq!(out[2].get(s("A1")), Some(&Value::Int(3)));
+    assert_eq!(out[2].get(s("A2")), Some(&Value::Null));
+    assert_eq!(out[2].get(s("g")), Some(&Value::Int(0)));
+}
+
+#[test]
+fn distinct_projection_keeps_first_occurrence() {
+    let e = r2().distinct_cols(&["A2"]);
+    let out = run(&e);
+    assert_eq!(out, vec![int_tuple(&[("A2", 1)]), int_tuple(&[("A2", 2)])]);
+
+    let renamed = r2().distinct_rename(&[("A1", "A2")]);
+    let out = run(&renamed);
+    assert_eq!(out, vec![int_tuple(&[("A1", 1)]), int_tuple(&[("A1", 2)])]);
+}
+
+#[test]
+fn unnest_distinct_dedups_within_groups() {
+    // A nested attribute with duplicated inner tuples: μD removes them.
+    let nested = Expr::Literal(vec![Tuple::from_pairs(vec![
+        (s("k"), Value::Int(7)),
+        (
+            s("g"),
+            Value::tuples(vec![
+                int_tuple(&[("x", 1)]),
+                int_tuple(&[("x", 1)]),
+                int_tuple(&[("x", 2)]),
+            ]),
+        ),
+    ])]);
+    let plain = run(&nested.clone().unnest("g"));
+    assert_eq!(plain.len(), 3);
+    let distinct = run(&nested.unnest_distinct("g"));
+    assert_eq!(
+        distinct,
+        vec![int_tuple(&[("k", 7), ("x", 1)]), int_tuple(&[("k", 7), ("x", 2)])]
+    );
+}
+
+#[test]
+fn unnest_empty_group_behaviour() {
+    let nested = Expr::Literal(vec![Tuple::from_pairs(vec![
+        (s("k"), Value::Int(7)),
+        (s("g"), Value::tuples(vec![])),
+    ])]);
+    // Default: the XQuery `for` behaviour — nothing.
+    assert!(run(&nested.clone().unnest("g")).is_empty());
+    // preserve_empty: the §2 ⊥ behaviour — one NULL-padded tuple. (The
+    // nested attrs cannot be inferred from an empty literal group, so the
+    // padded tuple simply keeps the rest.)
+    let preserved = run(&Expr::Unnest {
+        input: Box::new(nested),
+        attr: s("g"),
+        distinct: false,
+        preserve_empty: true,
+    });
+    assert_eq!(preserved, vec![int_tuple(&[("k", 7)])]);
+}
+
+#[test]
+fn unnest_map_over_items() {
+    // Υ_{x:items}(R1) with items independent of the input: 3×2 tuples.
+    let e = r1().unnest_map(
+        "x",
+        Scalar::Const(Value::items(vec![Value::Int(10), Value::Int(20)])),
+    );
+    let out = run(&e);
+    assert_eq!(out.len(), 6);
+    assert_eq!(out[0], int_tuple(&[("A1", 1), ("x", 10)]));
+    assert_eq!(out[1], int_tuple(&[("A1", 1), ("x", 20)]));
+    // Empty items → no tuples (for-semantics).
+    let empty = r1().unnest_map("x", Scalar::Const(Value::items(vec![])));
+    assert!(run(&empty).is_empty());
+}
+
+#[test]
+fn xi_simple_example_from_section_2() {
+    // The author/title example of §2 (simple form: one element per tuple).
+    let rows = Expr::Literal(vec![
+        Tuple::from_pairs(vec![
+            (s("a"), Value::str("author1")),
+            (s("t"), Value::str("title1")),
+        ]),
+        Tuple::from_pairs(vec![
+            (s("a"), Value::str("author2")),
+            (s("t"), Value::str("title2")),
+        ]),
+    ]);
+    let e = rows.xi(xi_cmds(&["<entry>", "$a", ":", "$t", "</entry>"]));
+    let (seq, out) = run_with_output(&e);
+    assert_eq!(seq.len(), 2, "Ξ is the identity on its input sequence");
+    assert_eq!(out, "<entry>author1:title1</entry><entry>author2:title2</entry>");
+}
+
+#[test]
+fn xi_group_example_from_section_2() {
+    // s1 Ξ^{s3}_{a;s2} over the four author/title tuples of §2.
+    let rows = Expr::Literal(vec![
+        Tuple::from_pairs(vec![(s("a"), Value::str("author1")), (s("t"), Value::str("title1"))]),
+        Tuple::from_pairs(vec![(s("a"), Value::str("author1")), (s("t"), Value::str("title2"))]),
+        Tuple::from_pairs(vec![(s("a"), Value::str("author2")), (s("t"), Value::str("title1"))]),
+        Tuple::from_pairs(vec![(s("a"), Value::str("author2")), (s("t"), Value::str("title3"))]),
+    ]);
+    let e = rows.xi_group(
+        &["a"],
+        xi_cmds(&["<author>", "<name>", "$a", "</name>"]),
+        xi_cmds(&["<title>", "$t", "</title>"]),
+        xi_cmds(&["</author>"]),
+    );
+    let (_, out) = run_with_output(&e);
+    assert_eq!(
+        out,
+        "<author><name>author1</name><title>title1</title><title>title2</title></author>\
+         <author><name>author2</name><title>title1</title><title>title3</title></author>"
+    );
+}
+
+#[test]
+fn quantifier_scalars() {
+    // σ_{∃x∈Π_B(R2): x > 4}(R1) — all of R1 qualifies or none does,
+    // since the range is uncorrelated; B max is 5 > 4.
+    let range = r2().project(&["B"]);
+    let e = r1().select(Scalar::Exists {
+        var: s("x"),
+        range: Box::new(range.clone()),
+        pred: Box::new(Scalar::cmp(CmpOp::Gt, Scalar::attr("x"), Scalar::int(4))),
+    });
+    assert_eq!(run(&e).len(), 3);
+
+    // ∀x∈Π_B(R2): x > 4 is false (B=2 fails).
+    let e = r1().select(Scalar::Forall {
+        var: s("x"),
+        range: Box::new(range),
+        pred: Box::new(Scalar::cmp(CmpOp::Gt, Scalar::attr("x"), Scalar::int(4))),
+    });
+    assert!(run(&e).is_empty());
+}
+
+#[test]
+fn correlated_quantifier() {
+    // σ_{∃x∈Π_B(σ_{A1=A2}(R2)): x >= 4}(R1) — true only for A1=2.
+    let range = r2()
+        .select(Scalar::attr_cmp(CmpOp::Eq, "A1", "A2"))
+        .project(&["B"]);
+    let e = r1().select(Scalar::Exists {
+        var: s("x"),
+        range: Box::new(range),
+        pred: Box::new(Scalar::cmp(CmpOp::Ge, Scalar::attr("x"), Scalar::int(4))),
+    });
+    assert_eq!(run(&e), vec![int_tuple(&[("A1", 2)])]);
+}
+
+#[test]
+fn nested_agg_min() {
+    // χ_{m:min∘Π_B(σ_{A1=A2}(R2))}(R1)
+    let e = r1().map(
+        "m",
+        Scalar::Agg {
+            f: GroupFn::agg_of(AggKind::Min, "B"),
+            input: Box::new(r2().select(Scalar::attr_cmp(CmpOp::Eq, "A1", "A2"))),
+        },
+    );
+    let out = run(&e);
+    assert_eq!(out[0].get(s("m")), Some(&Value::Dec(crate::value::Dec(2.0))));
+    assert_eq!(out[1].get(s("m")), Some(&Value::Dec(crate::value::Dec(4.0))));
+    assert_eq!(out[2].get(s("m")), Some(&Value::Null)); // empty group
+}
+
+#[test]
+fn nested_eval_metric_counts_per_outer_tuple() {
+    let cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&cat);
+    let e = r1().map(
+        "c",
+        Scalar::Agg {
+            f: GroupFn::count(),
+            input: Box::new(r2().select(Scalar::attr_cmp(CmpOp::Eq, "A1", "A2"))),
+        },
+    );
+    eval_query(&e, &mut ctx).unwrap();
+    assert_eq!(ctx.metrics.nested_evals, 3, "one nested evaluation per R1 tuple");
+}
+
+#[test]
+fn doc_and_path_evaluation() {
+    let mut cat = Catalog::new();
+    cat.register(
+        xmldb::parse_document(
+            "bib.xml",
+            "<bib><book><title>T1</title></book><book><title>T2</title></book></bib>",
+        )
+        .unwrap(),
+    );
+    let mut ctx = EvalCtx::new(&cat);
+    let e = doc_scan("d1", "bib.xml").unnest_map(
+        "t1",
+        Scalar::attr("d1").path(xpath::parse_path("//book/title").unwrap()),
+    );
+    let out = eval_query(&e, &mut ctx).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(ctx.metrics.doc_scans, 1);
+    // Titles are node values; check their string values.
+    let Value::Node(n) = out[0].get(s("t1")).unwrap() else { panic!() };
+    assert_eq!(cat.doc(n.doc).string_value(n.node), "T1");
+}
+
+#[test]
+fn general_comparison_on_paths() {
+    let mut cat = Catalog::new();
+    cat.register(
+        xmldb::parse_document(
+            "bib.xml",
+            r#"<bib><book year="1994"><title>T1</title></book><book year="2000"><title>T2</title></book></bib>"#,
+        )
+        .unwrap(),
+    );
+    let mut ctx = EvalCtx::new(&cat);
+    // σ_{b1/@year > 1995}(Υ_{b1:d1//book}(χ_{d1:doc}(□)))
+    let e = doc_scan("d1", "bib.xml")
+        .unnest_map("b1", Scalar::attr("d1").path(xpath::parse_path("//book").unwrap()))
+        .select(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b1").path(xpath::parse_path("@year").unwrap()),
+            Scalar::int(1995),
+        ));
+    let out = eval_query(&e, &mut ctx).unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn unbound_attribute_is_an_error() {
+    let e = r1().select(Scalar::attr("missing"));
+    let cat = Catalog::new();
+    let mut ctx = EvalCtx::new(&cat);
+    let err = eval_query(&e, &mut ctx).unwrap_err();
+    assert!(err.message.contains("unbound"), "{err}");
+}
+
+#[test]
+fn empty_input_short_circuits() {
+    let empty = Expr::Literal(vec![]);
+    assert!(run(&empty.clone().select(Scalar::attr("x"))).is_empty());
+    assert!(run(&empty.clone().cross(r1())).is_empty());
+    assert!(run(&empty.clone().join(r1(), Scalar::Const(Value::Bool(true)))).is_empty());
+    assert!(run(&empty.group_unary("g", &["A1"], CmpOp::Eq, GroupFn::count())).is_empty());
+}
+
+#[test]
+fn theta_grouping_with_inequality() {
+    // Γ_{g;<A2;count}: for each distinct key k, count tuples with k < A2.
+    // Keys 1 and 2 (first occurrence order); k=1 matches A2=2 twice.
+    let e = r2().group_unary("g", &["A2"], CmpOp::Lt, GroupFn::count());
+    let out = run(&e);
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0], int_tuple(&[("A2", 1), ("g", 2)])); // 1 < {2,2}
+    assert_eq!(out[1], int_tuple(&[("A2", 2), ("g", 0)]));
+}
+
+#[test]
+fn arithmetic_scalars() {
+    use crate::scalar::ArithOp;
+    let e = r1().map(
+        "y",
+        Scalar::Arith(
+            ArithOp::Add,
+            Box::new(Scalar::Arith(
+                ArithOp::Mul,
+                Box::new(Scalar::attr("A1")),
+                Box::new(Scalar::int(10)),
+            )),
+            Box::new(Scalar::int(5)),
+        ),
+    );
+    let out = run(&e);
+    assert_eq!(out[0].get(s("y")), Some(&Value::Dec(crate::value::Dec(15.0))));
+    assert_eq!(out[2].get(s("y")), Some(&Value::Dec(crate::value::Dec(35.0))));
+    // Empty-sequence propagation.
+    let e = r1().map(
+        "y",
+        Scalar::Arith(
+            ArithOp::Div,
+            Box::new(Scalar::Const(Value::Null)),
+            Box::new(Scalar::int(2)),
+        ),
+    );
+    assert_eq!(run(&e)[0].get(s("y")), Some(&Value::Null));
+}

@@ -1,0 +1,60 @@
+//! Ξ result construction: serializing values onto the output stream.
+
+use xmldb::serializer::serialize_node;
+
+use crate::eval::{EvalCtx, EvalError, EvalResult};
+use crate::expr::XiCmd;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Execute a Ξ command list for one tuple.
+pub fn run_cmds(cmds: &[XiCmd], env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<()> {
+    for cmd in cmds {
+        match cmd {
+            XiCmd::Str(s) => ctx.out.push_str(s),
+            XiCmd::Var(a) => {
+                let v = env
+                    .get(*a)
+                    .cloned()
+                    .ok_or_else(|| EvalError::new(format!("Ξ: unbound variable `{a}`")))?;
+                let mut s = String::new();
+                write_value(&v, ctx, &mut s)?;
+                ctx.out.push_str(&s);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialize a value the way XQuery result construction does: nodes as
+/// XML markup, atomic values as their string value, sequences item by
+/// item.
+pub fn write_value(v: &Value, ctx: &EvalCtx<'_>, out: &mut String) -> EvalResult<()> {
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Dec(d) => out.push_str(&d.to_string()),
+        Value::Str(s) => out.push_str(s),
+        Value::Node(n) => {
+            let doc = ctx.catalog.doc(n.doc);
+            serialize_node(doc, n.node, out);
+        }
+        Value::Items(items) => {
+            for it in items.iter() {
+                write_value(it, ctx, out)?;
+            }
+        }
+        Value::Tuples(ts) => {
+            // A nested relation prints as the concatenation of its tuples'
+            // values (used when a group with a single attribute is printed
+            // directly).
+            for t in ts.iter() {
+                for val in t.values() {
+                    write_value(val, ctx, out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,259 @@
+//! Fluent construction of NAL expressions.
+//!
+//! Keeps tests, the translator, and the rewriter readable:
+//!
+//! ```
+//! use nal::expr::builder::*;
+//! use nal::scalar::Scalar;
+//! use nal::value::CmpOp;
+//!
+//! // σ_{a1 = a2}(□ × □)
+//! let e = singleton().cross(singleton()).select(Scalar::attr_cmp(CmpOp::Eq, "a1", "a2"));
+//! assert_eq!(e.size(), 4);
+//! ```
+
+use crate::expr::{Expr, ProjOp, XiCmd};
+use crate::scalar::{GroupFn, Scalar};
+use crate::sym::Sym;
+use crate::value::{CmpOp, Value};
+
+/// `□`.
+pub fn singleton() -> Expr {
+    Expr::Singleton
+}
+
+impl Expr {
+    pub fn select(self, pred: Scalar) -> Expr {
+        Expr::Select { input: Box::new(self), pred }
+    }
+
+    pub fn project(self, cols: &[&str]) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::Cols(cols.iter().map(|c| Sym::new(c)).collect()),
+        }
+    }
+
+    pub fn project_syms(self, cols: Vec<Sym>) -> Expr {
+        Expr::Project { input: Box::new(self), op: ProjOp::Cols(cols) }
+    }
+
+    pub fn drop_attrs(self, cols: &[&str]) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::Drop(cols.iter().map(|c| Sym::new(c)).collect()),
+        }
+    }
+
+    pub fn drop_syms(self, cols: Vec<Sym>) -> Expr {
+        Expr::Project { input: Box::new(self), op: ProjOp::Drop(cols) }
+    }
+
+    /// `Π_{new:old}(…)`.
+    pub fn rename(self, pairs: &[(&str, &str)]) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::Rename(
+                pairs.iter().map(|(n, o)| (Sym::new(n), Sym::new(o))).collect(),
+            ),
+        }
+    }
+
+    pub fn rename_syms(self, pairs: Vec<(Sym, Sym)>) -> Expr {
+        Expr::Project { input: Box::new(self), op: ProjOp::Rename(pairs) }
+    }
+
+    pub fn distinct_cols(self, cols: &[&str]) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::DistinctCols(cols.iter().map(|c| Sym::new(c)).collect()),
+        }
+    }
+
+    /// `Π^D_{new:old}(…)`.
+    pub fn distinct_rename(self, pairs: &[(&str, &str)]) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::DistinctRename(
+                pairs.iter().map(|(n, o)| (Sym::new(n), Sym::new(o))).collect(),
+            ),
+        }
+    }
+
+    pub fn map(self, attr: impl Into<Sym>, value: Scalar) -> Expr {
+        Expr::Map { input: Box::new(self), attr: attr.into(), value }
+    }
+
+    pub fn cross(self, right: Expr) -> Expr {
+        Expr::Cross { left: Box::new(self), right: Box::new(right) }
+    }
+
+    pub fn join(self, right: Expr, pred: Scalar) -> Expr {
+        Expr::Join { left: Box::new(self), right: Box::new(right), pred }
+    }
+
+    pub fn semijoin(self, right: Expr, pred: Scalar) -> Expr {
+        Expr::SemiJoin { left: Box::new(self), right: Box::new(right), pred }
+    }
+
+    pub fn antijoin(self, right: Expr, pred: Scalar) -> Expr {
+        Expr::AntiJoin { left: Box::new(self), right: Box::new(right), pred }
+    }
+
+    pub fn outerjoin(
+        self,
+        right: Expr,
+        pred: Scalar,
+        g: impl Into<Sym>,
+        default: Value,
+    ) -> Expr {
+        Expr::OuterJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+            g: g.into(),
+            default,
+        }
+    }
+
+    /// `Γ_{g;θA;f}(…)`.
+    pub fn group_unary(
+        self,
+        g: impl Into<Sym>,
+        by: &[&str],
+        theta: CmpOp,
+        f: GroupFn,
+    ) -> Expr {
+        Expr::GroupUnary {
+            input: Box::new(self),
+            g: g.into(),
+            by: by.iter().map(|c| Sym::new(c)).collect(),
+            theta,
+            f,
+        }
+    }
+
+    /// `… Γ_{g;A1 θ A2;f} right`.
+    pub fn group_binary(
+        self,
+        right: Expr,
+        g: impl Into<Sym>,
+        left_on: &[&str],
+        theta: CmpOp,
+        right_on: &[&str],
+        f: GroupFn,
+    ) -> Expr {
+        Expr::GroupBinary {
+            left: Box::new(self),
+            right: Box::new(right),
+            g: g.into(),
+            left_on: left_on.iter().map(|c| Sym::new(c)).collect(),
+            theta,
+            right_on: right_on.iter().map(|c| Sym::new(c)).collect(),
+            f,
+        }
+    }
+
+    /// `μ_attr(…)`.
+    pub fn unnest(self, attr: impl Into<Sym>) -> Expr {
+        Expr::Unnest {
+            input: Box::new(self),
+            attr: attr.into(),
+            distinct: false,
+            preserve_empty: false,
+        }
+    }
+
+    /// `μ^D_attr(…)` — duplicate-eliminating unnest (Eqv. 4/5).
+    pub fn unnest_distinct(self, attr: impl Into<Sym>) -> Expr {
+        Expr::Unnest {
+            input: Box::new(self),
+            attr: attr.into(),
+            distinct: true,
+            preserve_empty: false,
+        }
+    }
+
+    /// `Υ_{attr:value}(…)`.
+    pub fn unnest_map(self, attr: impl Into<Sym>, value: Scalar) -> Expr {
+        Expr::UnnestMap { input: Box::new(self), attr: attr.into(), value }
+    }
+
+    /// Simple `Ξ`.
+    pub fn xi(self, cmds: Vec<XiCmd>) -> Expr {
+        Expr::XiSimple { input: Box::new(self), cmds }
+    }
+
+    /// Group-detecting `Ξ`.
+    pub fn xi_group(
+        self,
+        by: &[&str],
+        head: Vec<XiCmd>,
+        body: Vec<XiCmd>,
+        tail: Vec<XiCmd>,
+    ) -> Expr {
+        Expr::XiGroup {
+            input: Box::new(self),
+            by: by.iter().map(|c| Sym::new(c)).collect(),
+            head,
+            body,
+            tail,
+        }
+    }
+}
+
+/// Shorthand for Ξ command lists: strings become [`XiCmd::Str`], names
+/// prefixed with `$` become [`XiCmd::Var`].
+pub fn xi_cmds(parts: &[&str]) -> Vec<XiCmd> {
+    parts
+        .iter()
+        .map(|p| {
+            if let Some(var) = p.strip_prefix('$') {
+                XiCmd::Var(Sym::new(var))
+            } else {
+                XiCmd::Str((*p).to_string())
+            }
+        })
+        .collect()
+}
+
+/// `doc("uri")` bound to a fresh attribute via χ over `□` — the standard
+/// start of every translated query block.
+pub fn doc_scan(var: impl Into<Sym>, uri: &str) -> Expr {
+    singleton().map(var, Scalar::Doc(uri.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xi_cmds_shorthand() {
+        let cmds = xi_cmds(&["<author>", "$a1", "</author>"]);
+        assert_eq!(
+            cmds,
+            vec![
+                XiCmd::Str("<author>".into()),
+                XiCmd::Var(Sym::new("a1")),
+                XiCmd::Str("</author>".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_scan_shape() {
+        let e = doc_scan("d1", "bib.xml");
+        let Expr::Map { attr, value, .. } = &e else { panic!() };
+        assert_eq!(*attr, Sym::new("d1"));
+        assert_eq!(*value, Scalar::Doc("bib.xml".into()));
+    }
+
+    #[test]
+    fn builders_nest() {
+        let e = doc_scan("d1", "bib.xml")
+            .unnest_map("b1", Scalar::attr("d1"))
+            .select(Scalar::attr("b1"))
+            .project(&["b1"]);
+        assert_eq!(e.size(), 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Pretty printing of expressions in the paper's notation.
+//!
+//! `σ_{p}(…)`, `χ_{a:e}(…)`, `Γ_{g;=A;f}(…)`, `e1 ⋉_{p} e2`, … — used in
+//! tests that assert plan shapes and in the examples' explain output.
+
+use std::fmt;
+
+use crate::expr::{Expr, ProjOp, XiCmd};
+use crate::sym::Sym;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Singleton => write!(f, "□"),
+            Expr::Literal(rows) => write!(f, "R⟨{} rows⟩", rows.len()),
+            Expr::AttrRel(a) => write!(f, "rel({a})"),
+            Expr::Select { input, pred } => write!(f, "σ[{pred}]({input})"),
+            Expr::Project { input, op } => match op {
+                ProjOp::Cols(cols) => write!(f, "Π[{}]({input})", syms(cols)),
+                ProjOp::Drop(cols) => write!(f, "Π[-{}]({input})", syms(cols)),
+                ProjOp::Rename(pairs) => write!(f, "Π[{}]({input})", renames(pairs)),
+                ProjOp::DistinctCols(cols) => write!(f, "ΠD[{}]({input})", syms(cols)),
+                ProjOp::DistinctRename(pairs) => {
+                    write!(f, "ΠD[{}]({input})", renames(pairs))
+                }
+            },
+            Expr::Map { input, attr, value } => write!(f, "χ[{attr}:{value}]({input})"),
+            Expr::Cross { left, right } => write!(f, "({left} × {right})"),
+            Expr::Join { left, right, pred } => write!(f, "({left} ⋈[{pred}] {right})"),
+            Expr::SemiJoin { left, right, pred } => write!(f, "({left} ⋉[{pred}] {right})"),
+            Expr::AntiJoin { left, right, pred } => write!(f, "({left} ▷[{pred}] {right})"),
+            Expr::OuterJoin { left, right, pred, g, default } => {
+                write!(f, "({left} ⟕[{pred}; {g}:{default}] {right})")
+            }
+            Expr::GroupUnary { input, g, by, theta, f: gf } => {
+                write!(f, "Γ[{g};{}{};{gf}]({input})", theta.symbol(), syms(by))
+            }
+            Expr::GroupBinary { left, right, g, left_on, theta, right_on, f: gf } => {
+                write!(
+                    f,
+                    "({left} Γ[{g};{}{}{};{gf}] {right})",
+                    syms(left_on),
+                    theta.symbol(),
+                    syms(right_on)
+                )
+            }
+            Expr::Unnest { input, attr, distinct, preserve_empty } => {
+                let d = if *distinct { "D" } else { "" };
+                let p = if *preserve_empty { "⊥" } else { "" };
+                write!(f, "μ{d}{p}[{attr}]({input})")
+            }
+            Expr::UnnestMap { input, attr, value } => {
+                write!(f, "Υ[{attr}:{value}]({input})")
+            }
+            Expr::XiSimple { input, cmds } => write!(f, "Ξ[{}]({input})", cmd_list(cmds)),
+            Expr::XiGroup { input, by, head, body, tail } => write!(
+                f,
+                "Ξg[{} ; {} ; {} ; {}]({input})",
+                cmd_list(head),
+                syms(by),
+                cmd_list(body),
+                cmd_list(tail)
+            ),
+        }
+    }
+}
+
+fn syms(list: &[Sym]) -> String {
+    list.iter()
+        .map(|s| s.as_str().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn renames(pairs: &[(Sym, Sym)]) -> String {
+    pairs
+        .iter()
+        .map(|(new, old)| format!("{new}:{old}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn cmd_list(cmds: &[XiCmd]) -> String {
+    cmds.iter()
+        .map(|c| match c {
+            XiCmd::Str(s) => format!("{s:?}"),
+            XiCmd::Var(v) => format!("${v}"),
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Multi-line, indented rendering for explain output.
+pub fn explain(e: &Expr) -> String {
+    let mut out = String::new();
+    explain_into(e, 0, &mut out);
+    out
+}
+
+fn explain_into(e: &Expr, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let head = match e {
+        Expr::Singleton => "□".to_string(),
+        Expr::Literal(rows) => format!("R⟨{} rows⟩", rows.len()),
+        Expr::AttrRel(a) => format!("rel({a})"),
+        Expr::Select { pred, .. } => format!("σ[{pred}]"),
+        Expr::Project { op, .. } => match op {
+            ProjOp::Cols(c) => format!("Π[{}]", syms(c)),
+            ProjOp::Drop(c) => format!("Π[-{}]", syms(c)),
+            ProjOp::Rename(p) => format!("Π[{}]", renames(p)),
+            ProjOp::DistinctCols(c) => format!("ΠD[{}]", syms(c)),
+            ProjOp::DistinctRename(p) => format!("ΠD[{}]", renames(p)),
+        },
+        Expr::Map { attr, value, .. } => format!("χ[{attr}: {value}]"),
+        Expr::Cross { .. } => "×".to_string(),
+        Expr::Join { pred, .. } => format!("⋈[{pred}]"),
+        Expr::SemiJoin { pred, .. } => format!("⋉[{pred}]"),
+        Expr::AntiJoin { pred, .. } => format!("▷[{pred}]"),
+        Expr::OuterJoin { pred, g, default, .. } => format!("⟕[{pred}; {g}:{default}]"),
+        Expr::GroupUnary { g, by, theta, f, .. } => {
+            format!("Γ[{g}; {}{}; {f}]", theta.symbol(), syms(by))
+        }
+        Expr::GroupBinary { g, left_on, theta, right_on, f, .. } => format!(
+            "Γ2[{g}; {}{}{}; {f}]",
+            syms(left_on),
+            theta.symbol(),
+            syms(right_on)
+        ),
+        Expr::Unnest { attr, distinct, .. } => {
+            format!("μ{}[{attr}]", if *distinct { "D" } else { "" })
+        }
+        Expr::UnnestMap { attr, value, .. } => format!("Υ[{attr}: {value}]"),
+        Expr::XiSimple { cmds, .. } => format!("Ξ[{}]", cmd_list(cmds)),
+        Expr::XiGroup { by, .. } => format!("Ξg[{}]", syms(by)),
+    };
+    let _ = writeln!(out, "{head}");
+    for c in super::visit::children(e) {
+        explain_into(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::builder::*;
+    use crate::scalar::Scalar;
+    use crate::value::CmpOp;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let e = doc_scan("d1", "bib.xml").select(Scalar::attr_cmp(CmpOp::Eq, "a1", "a2"));
+        let s = e.to_string();
+        assert!(s.contains("σ[a1 = a2]"), "{s}");
+        assert!(s.contains("χ[d1:doc(\"bib.xml\")]"), "{s}");
+        assert!(s.contains('□'), "{s}");
+    }
+
+    #[test]
+    fn explain_is_indented() {
+        let e = doc_scan("d1", "bib.xml").unnest_map("b1", Scalar::attr("d1"));
+        let ex = super::explain(&e);
+        let lines: Vec<_> = ex.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("Υ"));
+        assert!(lines[1].starts_with("  χ"));
+        assert!(lines[2].starts_with("    □"));
+    }
+}

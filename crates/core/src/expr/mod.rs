@@ -1,0 +1,219 @@
+//! The logical algebra: NAL's order-preserving operators (§2).
+
+pub mod attrs;
+pub mod builder;
+pub mod display;
+pub mod visit;
+
+use crate::scalar::{GroupFn, Scalar};
+use crate::sym::Sym;
+use crate::value::{CmpOp, Value};
+
+/// Projection flavors. §2 defines `Π_A` (keep), `Π_{Ā}` (drop),
+/// `Π_{A':A}` (rename, keeping other attributes), and the
+/// duplicate-eliminating `Π^D` variants (deterministic and idempotent, not
+/// order-preserving — we fix first-occurrence order).
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProjOp {
+    /// `Π_A` — project onto `A` (attribute order in the tuple is canonical,
+    /// the list order here is irrelevant).
+    Cols(Vec<Sym>),
+    /// `Π_{Ā}` — drop the attributes in the list.
+    Drop(Vec<Sym>),
+    /// `Π_{A':A}` — rename `old` to `new` per pair, keep the rest.
+    Rename(Vec<(Sym, Sym)>),
+    /// `Π^D_A` — project onto `A` and eliminate duplicates.
+    DistinctCols(Vec<Sym>),
+    /// `Π^D_{A':A}` — project onto the old attributes, rename them to the
+    /// new ones, and eliminate duplicates (the combination used in the Γ
+    /// definition and in the side conditions of Eqv. 3/5/8/9).
+    DistinctRename(Vec<(Sym, Sym)>),
+}
+
+/// One command of a Ξ (result construction) operator: emit a constant
+/// string or the string value of a variable (§2).
+#[derive(Clone, PartialEq, Debug)]
+pub enum XiCmd {
+    Str(String),
+    Var(Sym),
+}
+
+/// A NAL expression. All operators are order-preserving as defined in §2
+/// (the `Π^D`/`μ^D` duplicate eliminations are deterministic but not
+/// order-preserving).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// `□` — the singleton sequence containing the empty tuple (§2).
+    Singleton,
+    /// A literal relation — a constant sequence of tuples. Not part of the
+    /// paper's algebra; used as a leaf for unit tests (the Fig. 1/2 micro
+    /// relations) and the randomized Appendix-A property tests.
+    Literal(Vec<crate::tuple::Tuple>),
+    /// The tuple sequence stored in attribute `a` of the *environment* — a
+    /// leaf only meaningful inside a nested expression whose enclosing
+    /// tuple carries a nested relation (e.g. a Γ group). SAL/NAL allow
+    /// algebra expressions over nested attributes; this is the hook for
+    /// them (used by the single-scan group-filter plans of §5.4).
+    AttrRel(Sym),
+    /// `σ_p(e)` — order-preserving selection.
+    Select { input: Box<Expr>, pred: Scalar },
+    /// `Π(e)` in one of its flavors.
+    Project { input: Box<Expr>, op: ProjOp },
+    /// `χ_{a:e2}(e1)` — map: extend each tuple with `a` bound to the value
+    /// of `e2` under that tuple's bindings. `e2` may contain nested
+    /// algebraic expressions; unnesting removes them.
+    Map { input: Box<Expr>, attr: Sym, value: Scalar },
+    /// `e1 × e2` — order-preserving cross product (left-major).
+    Cross { left: Box<Expr>, right: Box<Expr> },
+    /// `e1 ⋈_p e2 = σ_p(e1 × e2)`.
+    Join { left: Box<Expr>, right: Box<Expr>, pred: Scalar },
+    /// `e1 ⋉_p e2` — semijoin (keeps left tuples with at least one match).
+    SemiJoin { left: Box<Expr>, right: Box<Expr>, pred: Scalar },
+    /// `e1 ▷_p e2` — anti-join (keeps left tuples with no match).
+    AntiJoin { left: Box<Expr>, right: Box<Expr>, pred: Scalar },
+    /// `e1 ⟕^{g:default}_p e2` — left outer join with a default value for
+    /// attribute `g` of unmatched left tuples; the other right attributes
+    /// are padded with NULL (§2; `g ∈ A(e2)`).
+    OuterJoin {
+        left: Box<Expr>,
+        right: Box<Expr>,
+        pred: Scalar,
+        g: Sym,
+        default: Value,
+    },
+    /// `Γ_{g;θA;f}(e)` — unary grouping: group keys are the distinct
+    /// `A`-projections of `e` itself (§2).
+    GroupUnary {
+        input: Box<Expr>,
+        g: Sym,
+        by: Vec<Sym>,
+        theta: CmpOp,
+        f: GroupFn,
+    },
+    /// `e1 Γ_{g;A1θA2;f} e2` — binary grouping (nest-join): the *left*
+    /// operand determines the groups (§2: "this will become important for
+    /// the correctness of the unnesting procedure").
+    GroupBinary {
+        left: Box<Expr>,
+        right: Box<Expr>,
+        g: Sym,
+        left_on: Vec<Sym>,
+        theta: CmpOp,
+        right_on: Vec<Sym>,
+        f: GroupFn,
+    },
+    /// `μ_g(e)` / `μ^D_g(e)` — unnest a tuple-sequence-valued attribute.
+    /// `distinct` eliminates duplicates within each nested sequence first
+    /// (μ^D, used by Eqv. 4/5). `preserve_empty` controls the `⊥` case of
+    /// the §2 definition: when true, a tuple with an empty nested
+    /// sequence yields one output tuple padded with NULLs; when false it
+    /// yields nothing (the XQuery `for` semantics used by Υ).
+    Unnest {
+        input: Box<Expr>,
+        attr: Sym,
+        distinct: bool,
+        preserve_empty: bool,
+    },
+    /// `Υ_{a:e2}(e1) = μ_g(χ_{g:e2[a]}(e1))` — unnest-map, the workhorse
+    /// for `for` clauses and path expressions (§2).
+    UnnestMap { input: Box<Expr>, attr: Sym, value: Scalar },
+    /// Simple `Ξ_{cmds}(e)` — execute the command list per input tuple as
+    /// a side effect on the output stream; identity on the sequence (§2).
+    XiSimple { input: Box<Expr>, cmds: Vec<XiCmd> },
+    /// Group-detecting `s1 Ξ^{s3}_{A;s2}(e)` (§2): for each group of
+    /// consecutive-by-`A` tuples, run `head` on the first tuple, `body`
+    /// on every tuple, `tail` on the last.
+    XiGroup {
+        input: Box<Expr>,
+        by: Vec<Sym>,
+        head: Vec<XiCmd>,
+        body: Vec<XiCmd>,
+        tail: Vec<XiCmd>,
+    },
+}
+
+impl Expr {
+    /// Short operator name (for traces and metrics).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Expr::Singleton => "□",
+            Expr::Literal(_) => "R",
+            Expr::AttrRel(_) => "rel",
+            Expr::Select { .. } => "σ",
+            Expr::Project { .. } => "Π",
+            Expr::Map { .. } => "χ",
+            Expr::Cross { .. } => "×",
+            Expr::Join { .. } => "⋈",
+            Expr::SemiJoin { .. } => "⋉",
+            Expr::AntiJoin { .. } => "▷",
+            Expr::OuterJoin { .. } => "⟕",
+            Expr::GroupUnary { .. } => "Γ",
+            Expr::GroupBinary { .. } => "Γ2",
+            Expr::Unnest { .. } => "μ",
+            Expr::UnnestMap { .. } => "Υ",
+            Expr::XiSimple { .. } => "Ξ",
+            Expr::XiGroup { .. } => "Ξg",
+        }
+    }
+
+    /// `true` iff any scalar in the tree embeds a nested algebra
+    /// expression (quantifier or aggregate over a query block) — i.e. the
+    /// plan still contains nesting that forces nested-loop evaluation.
+    pub fn has_nested_scalars(&self) -> bool {
+        let mut found = false;
+        visit::walk(self, &mut |e| {
+            let nested = match e {
+                Expr::Select { pred, .. }
+                | Expr::Join { pred, .. }
+                | Expr::SemiJoin { pred, .. }
+                | Expr::AntiJoin { pred, .. }
+                | Expr::OuterJoin { pred, .. } => pred.has_nested_expr(),
+                Expr::Map { value, .. } | Expr::UnnestMap { value, .. } => {
+                    value.has_nested_expr()
+                }
+                Expr::GroupUnary { f, .. } | Expr::GroupBinary { f, .. } => f
+                    .filter
+                    .as_ref()
+                    .map(|p| p.has_nested_expr())
+                    .unwrap_or(false),
+                _ => false,
+            };
+            found |= nested;
+        });
+        found
+    }
+
+    /// Number of operators in the expression tree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        visit::walk(self, &mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builder::*;
+
+    #[test]
+    fn op_names_and_size() {
+        let e = singleton().select(Scalar::attr("x"));
+        assert_eq!(e.op_name(), "σ");
+        assert_eq!(e.size(), 2);
+    }
+
+    #[test]
+    fn nested_scalar_detection() {
+        let plain = singleton().select(Scalar::attr("x"));
+        assert!(!plain.has_nested_scalars());
+        let nested = singleton().map(
+            "g",
+            Scalar::Agg {
+                f: GroupFn::count(),
+                input: Box::new(Expr::Singleton),
+            },
+        );
+        assert!(nested.has_nested_scalars());
+    }
+}

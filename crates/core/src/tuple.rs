@@ -1,0 +1,250 @@
+//! Tuples: unordered sets of variable bindings (§2).
+//!
+//! "SAL and NAL work on sequences of sets of variable bindings, i.e.,
+//! sequences of unordered tuples where every attribute corresponds to a
+//! variable." A tuple maps attribute symbols to values; we store the
+//! fields sorted by symbol so equality, hashing, and display are
+//! canonical. Fields are behind an `Arc`, making tuple clones (which
+//! joins and maps do constantly) a pointer copy.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::sym::Sym;
+use crate::value::Value;
+
+/// An unordered tuple of attribute bindings.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    fields: Arc<Vec<(Sym, Value)>>,
+}
+
+impl Tuple {
+    /// The empty tuple (the single element of the `□` singleton sequence).
+    pub fn empty() -> Tuple {
+        static EMPTY: std::sync::OnceLock<Tuple> = std::sync::OnceLock::new();
+        EMPTY
+            .get_or_init(|| Tuple { fields: Arc::new(Vec::new()) })
+            .clone()
+    }
+
+    /// `[a: v]`
+    pub fn singleton(a: Sym, v: Value) -> Tuple {
+        Tuple { fields: Arc::new(vec![(a, v)]) }
+    }
+
+    /// Build from pairs; later bindings of the same attribute win.
+    pub fn from_pairs(pairs: Vec<(Sym, Value)>) -> Tuple {
+        let mut fields: Vec<(Sym, Value)> = Vec::with_capacity(pairs.len());
+        for (s, v) in pairs {
+            match fields.binary_search_by(|(fs, _)| fs.cmp(&s)) {
+                Ok(i) => fields[i].1 = v,
+                Err(i) => fields.insert(i, (s, v)),
+            }
+        }
+        Tuple { fields: Arc::new(fields) }
+    }
+
+    /// `⊥_A`: all attributes of `attrs` bound to NULL (§2).
+    pub fn bottom(attrs: &[Sym]) -> Tuple {
+        Tuple::from_pairs(attrs.iter().map(|&a| (a, Value::Null)).collect())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Look up attribute `a`.
+    pub fn get(&self, a: Sym) -> Option<&Value> {
+        self.fields
+            .binary_search_by(|(s, _)| s.cmp(&a))
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// The attribute set, sorted.
+    pub fn attrs(&self) -> Vec<Sym> {
+        self.fields.iter().map(|(s, _)| *s).collect()
+    }
+
+    /// Iterate over `(attr, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &Value)> {
+        self.fields.iter().map(|(s, v)| (*s, v))
+    }
+
+    /// Iterate over values in attribute order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.fields.iter().map(|(_, v)| v)
+    }
+
+    /// Concatenation `◦`. The paper requires disjoint attribute sets; for
+    /// evaluation environments we let the *right* operand shadow the left,
+    /// which coincides with `◦` on disjoint tuples and gives lexical
+    /// scoping for nested query evaluation.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut fields = (*self.fields).clone();
+        for (s, v) in other.fields.iter() {
+            match fields.binary_search_by(|(fs, _)| fs.cmp(s)) {
+                Ok(i) => fields[i].1 = v.clone(),
+                Err(i) => fields.insert(i, (*s, v.clone())),
+            }
+        }
+        Tuple { fields: Arc::new(fields) }
+    }
+
+    /// Extend with one binding (the map operator's `t ◦ [a: v]`).
+    pub fn extend(&self, a: Sym, v: Value) -> Tuple {
+        let mut fields = (*self.fields).clone();
+        match fields.binary_search_by(|(fs, _)| fs.cmp(&a)) {
+            Ok(i) => fields[i].1 = v,
+            Err(i) => fields.insert(i, (a, v)),
+        }
+        Tuple { fields: Arc::new(fields) }
+    }
+
+    /// Projection `|_A`: keep only the attributes in `attrs`.
+    /// Missing attributes are skipped (the paper's tuples always have
+    /// them; being lenient keeps ⊥-padded tuples workable).
+    pub fn project(&self, attrs: &[Sym]) -> Tuple {
+        Tuple::from_pairs(
+            attrs
+                .iter()
+                .filter_map(|&a| self.get(a).map(|v| (a, v.clone())))
+                .collect(),
+        )
+    }
+
+    /// Drop the attributes in `attrs` (the paper's `Π_{Ā}`).
+    pub fn without(&self, attrs: &[Sym]) -> Tuple {
+        Tuple {
+            fields: Arc::new(
+                self.fields
+                    .iter()
+                    .filter(|(s, _)| !attrs.contains(s))
+                    .cloned()
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Rename per `(new, old)` pairs; attributes not mentioned are kept
+    /// (`Π_{A':A}`, §2: "Attributes other than those in A remain
+    /// untouched").
+    pub fn rename(&self, pairs: &[(Sym, Sym)]) -> Tuple {
+        Tuple::from_pairs(
+            self.fields
+                .iter()
+                .map(|(s, v)| {
+                    let new = pairs
+                        .iter()
+                        .find(|(_, old)| old == s)
+                        .map(|(new, _)| *new)
+                        .unwrap_or(*s);
+                    (new, v.clone())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (s, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}: {v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> Sym {
+        Sym::new(n)
+    }
+
+    fn t(pairs: &[(&str, i64)]) -> Tuple {
+        Tuple::from_pairs(pairs.iter().map(|&(n, v)| (s(n), Value::Int(v))).collect())
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let tup = t(&[("b", 2), ("a", 1)]);
+        assert_eq!(tup.get(s("a")), Some(&Value::Int(1)));
+        assert_eq!(tup.get(s("b")), Some(&Value::Int(2)));
+        assert_eq!(tup.get(s("c")), None);
+        assert_eq!(tup.attrs(), vec![s("a"), s("b")]);
+        assert_eq!(tup.arity(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        assert_eq!(t(&[("a", 1), ("b", 2)]), t(&[("b", 2), ("a", 1)]));
+    }
+
+    #[test]
+    fn concat_disjoint_and_shadowing() {
+        let l = t(&[("a", 1)]);
+        let r = t(&[("b", 2)]);
+        assert_eq!(l.concat(&r), t(&[("a", 1), ("b", 2)]));
+        // shadowing: right wins
+        let r2 = t(&[("a", 9)]);
+        assert_eq!(l.concat(&r2), t(&[("a", 9)]));
+        // identity cases
+        assert_eq!(Tuple::empty().concat(&l), l);
+        assert_eq!(l.concat(&Tuple::empty()), l);
+    }
+
+    #[test]
+    fn project_without_rename() {
+        let tup = t(&[("a", 1), ("b", 2), ("c", 3)]);
+        assert_eq!(tup.project(&[s("c"), s("a")]), t(&[("a", 1), ("c", 3)]));
+        assert_eq!(tup.without(&[s("b")]), t(&[("a", 1), ("c", 3)]));
+        let renamed = tup.rename(&[(s("x"), s("a"))]);
+        assert_eq!(renamed, t(&[("x", 1), ("b", 2), ("c", 3)]));
+    }
+
+    #[test]
+    fn bottom_is_all_nulls() {
+        let b = Tuple::bottom(&[s("a"), s("b")]);
+        assert_eq!(b.get(s("a")), Some(&Value::Null));
+        assert_eq!(b.get(s("b")), Some(&Value::Null));
+        assert_eq!(b.arity(), 2);
+    }
+
+    #[test]
+    fn extend_overwrites() {
+        let tup = t(&[("a", 1)]);
+        let e = tup.extend(s("b"), Value::Int(5));
+        assert_eq!(e, t(&[("a", 1), ("b", 5)]));
+        let e2 = e.extend(s("a"), Value::Int(7));
+        assert_eq!(e2.get(s("a")), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        assert_eq!(t(&[("b", 2), ("a", 1)]).to_string(), "[a: 1, b: 2]");
+    }
+}

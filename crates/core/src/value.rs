@@ -1,0 +1,427 @@
+//! The value domain of NAL.
+//!
+//! NAL works on *sequences of unordered tuples*; attribute values are
+//! atomic values, XML nodes, item sequences (what XQuery expressions
+//! return), or nested tuple sequences (what grouping produces). §2 of the
+//! paper: "We allow nested tuples, i.e. the value of an attribute may be a
+//! sequence of tuples" — and the translation additionally stores node
+//! handles "pointing to nodes in trees stored in the database" instead of
+//! materialized trees.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use xmldb::{Catalog, DocId, NodeId};
+
+use crate::tuple::Tuple;
+
+/// A decimal value with total ordering (wrapper over `f64` comparing by
+/// IEEE total order so it can serve as a grouping key).
+#[derive(Clone, Copy, Debug)]
+pub struct Dec(pub f64);
+
+impl PartialEq for Dec {
+    fn eq(&self, other: &Dec) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for Dec {}
+
+impl PartialOrd for Dec {
+    fn partial_cmp(&self, other: &Dec) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+impl Ord for Dec {
+    fn cmp(&self, other: &Dec) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Dec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for Dec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.abs() < 1e15 {
+            write!(f, "{:.1}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A handle to a node of a catalog document.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeRef {
+    pub doc: DocId,
+    pub node: NodeId,
+}
+
+/// An attribute value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// NULL — produced by `⊥_A` (outer joins, empty unnests).
+    Null,
+    Bool(bool),
+    Int(i64),
+    Dec(Dec),
+    Str(Arc<str>),
+    /// A node handle.
+    Node(NodeRef),
+    /// A sequence of items (an XQuery value). Single-item sequences are
+    /// normalized to the item itself ("we identify single element
+    /// sequences and elements", §2).
+    Items(Arc<Vec<Value>>),
+    /// A sequence of tuples (a nested relation, e.g. a group).
+    Tuples(Arc<Vec<Tuple>>),
+}
+
+impl Value {
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an item sequence, collapsing singletons and flattening nested
+    /// item sequences (XQuery sequences do not nest).
+    pub fn items(items: Vec<Value>) -> Value {
+        let mut flat = Vec::with_capacity(items.len());
+        for v in items {
+            match v {
+                Value::Items(inner) => flat.extend(inner.iter().cloned()),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("len checked")
+        } else {
+            Value::Items(Arc::new(flat))
+        }
+    }
+
+    pub fn tuples(ts: Vec<Tuple>) -> Value {
+        Value::Tuples(Arc::new(ts))
+    }
+
+    /// View this value as a sequence of items (without atomization).
+    /// `Null` is the empty sequence; scalars are singleton sequences.
+    pub fn as_item_seq(&self) -> Vec<Value> {
+        match self {
+            Value::Null => Vec::new(),
+            Value::Items(v) => v.as_ref().clone(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Number of items when viewed as a sequence.
+    pub fn item_count(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Items(v) => v.len(),
+            Value::Tuples(v) => v.len(),
+            _ => 1,
+        }
+    }
+
+    /// `true` iff the empty sequence.
+    pub fn is_empty_seq(&self) -> bool {
+        self.item_count() == 0
+    }
+
+    /// Atomize: nodes become their string value, everything else is
+    /// unchanged. Sequences atomize item-wise.
+    pub fn atomize(&self, catalog: &Catalog) -> Value {
+        match self {
+            Value::Node(n) => {
+                let doc = catalog.doc(n.doc);
+                Value::str(doc.string_value(n.node))
+            }
+            Value::Items(items) => {
+                Value::items(items.iter().map(|v| v.atomize(catalog)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Numeric view, if this atomic value is (or parses as) a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Dec(d) => Some(d.0),
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// String view of an atomic value (after atomization).
+    pub fn as_str_lossy(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Dec(d) => d.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => String::new(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Comparison operators θ ∈ {=, ≤, ≥, <, >, ≠} on atomic values (§2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with operands swapped (`a θ b` ⇔ `b θ.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`¬(a θ b)` ⇔ `a θ.negate() b`) — used by Eqv. 7,
+    /// which turns `∀x p` into an anti-join on `¬p`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Compare two *atomic* values (`Null` compares false against everything,
+/// including itself — SQL-style, which is what outer-join padding needs).
+///
+/// Untyped data coming from XML is numeric-coerced when the other side is
+/// numeric (`@year > 1993` works on the string `"1994"`), otherwise
+/// compared as strings.
+pub fn cmp_atomic(op: CmpOp, l: &Value, r: &Value, catalog: &Catalog) -> bool {
+    let l = l.atomize(catalog);
+    let r = r.atomize(catalog);
+    if matches!(l, Value::Null) || matches!(r, Value::Null) {
+        return false;
+    }
+    // Numeric coercion when either side is a number.
+    let numericish = matches!(l, Value::Int(_) | Value::Dec(_)) || matches!(r, Value::Int(_) | Value::Dec(_));
+    if numericish {
+        return match (l.as_number(), r.as_number()) {
+            (Some(a), Some(b)) => op.test(a.total_cmp(&b)),
+            _ => false,
+        };
+    }
+    match (&l, &r) {
+        (Value::Bool(a), Value::Bool(b)) => op.test(a.cmp(b)),
+        (Value::Str(a), Value::Str(b)) => op.test(a.as_ref().cmp(b.as_ref())),
+        // Mixed leftovers: compare string forms.
+        _ => op.test(l.as_str_lossy().cmp(&r.as_str_lossy())),
+    }
+}
+
+/// General comparison with XQuery's existential semantics: `l op r` holds
+/// iff ∃ item `a` in `l`, ∃ item `b` in `r` with `a op b` atomically
+/// (§5.1: "a simple '=' has existential semantics in case either side
+/// contains a sequence").
+///
+/// Tuple sequences contribute the values of their single attribute
+/// (the `e[a]`-lifted representation of item sequences).
+pub fn cmp_general(op: CmpOp, l: &Value, r: &Value, catalog: &Catalog) -> bool {
+    let ls = explode(l);
+    let rs = explode(r);
+    ls.iter().any(|a| rs.iter().any(|b| cmp_atomic(op, a, b, catalog)))
+}
+
+/// Flatten a value into candidate atomic items for general comparison.
+fn explode(v: &Value) -> Vec<Value> {
+    match v {
+        Value::Items(items) => items.iter().flat_map(|i| explode(i)).collect(),
+        Value::Tuples(ts) => ts
+            .iter()
+            .flat_map(|t| t.values().flat_map(explode).collect::<Vec<_>>())
+            .collect(),
+        Value::Null => Vec::new(),
+        other => vec![other.clone()],
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Dec(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Node(n) => write!(f, "node({:?},{:?})", n.doc, n.node),
+            Value::Items(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Tuples(ts) => {
+                write!(f, "⟨")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "⟩")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(xmldb::parse_document("t.xml", "<a><b>42</b><b>x</b></a>").unwrap());
+        c
+    }
+
+    #[test]
+    fn items_collapse_singletons_and_flatten() {
+        assert_eq!(Value::items(vec![Value::Int(1)]), Value::Int(1));
+        let v = Value::items(vec![
+            Value::Int(1),
+            Value::items(vec![Value::Int(2), Value::Int(3)]),
+        ]);
+        assert_eq!(v.item_count(), 3);
+        assert!(Value::items(vec![]).is_empty_seq());
+        assert!(Value::Null.is_empty_seq());
+    }
+
+    #[test]
+    fn numeric_coercion_in_comparisons() {
+        let c = cat();
+        assert!(cmp_atomic(CmpOp::Gt, &Value::str("1994"), &Value::Int(1993), &c));
+        assert!(!cmp_atomic(CmpOp::Gt, &Value::str("1990"), &Value::Int(1993), &c));
+        assert!(cmp_atomic(CmpOp::Eq, &Value::Dec(Dec(2.0)), &Value::Int(2), &c));
+        // Non-numeric string against number: false, not a panic.
+        assert!(!cmp_atomic(CmpOp::Eq, &Value::str("abc"), &Value::Int(1), &c));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let c = cat();
+        assert!(cmp_atomic(CmpOp::Lt, &Value::str("abc"), &Value::str("abd"), &c));
+        assert!(cmp_atomic(CmpOp::Eq, &Value::str("x"), &Value::str("x"), &c));
+    }
+
+    #[test]
+    fn null_never_compares() {
+        let c = cat();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt] {
+            assert!(!cmp_atomic(op, &Value::Null, &Value::Null, &c));
+            assert!(!cmp_atomic(op, &Value::Null, &Value::Int(1), &c));
+        }
+    }
+
+    #[test]
+    fn node_atomization() {
+        let c = cat();
+        let doc_id = c.by_uri("t.xml").unwrap();
+        let doc = c.doc(doc_id);
+        let root = doc.root_element().unwrap();
+        let b1 = doc.children(root).next().unwrap();
+        let node = Value::Node(NodeRef { doc: doc_id, node: b1 });
+        assert_eq!(node.atomize(&c), Value::str("42"));
+        assert!(cmp_atomic(CmpOp::Eq, &node, &Value::Int(42), &c));
+    }
+
+    #[test]
+    fn general_comparison_is_existential() {
+        let c = cat();
+        let seq = Value::items(vec![Value::str("a"), Value::str("b"), Value::str("c")]);
+        assert!(cmp_general(CmpOp::Eq, &Value::str("b"), &seq, &c));
+        assert!(!cmp_general(CmpOp::Eq, &Value::str("z"), &seq, &c));
+        // empty sequence: no pair exists
+        assert!(!cmp_general(CmpOp::Eq, &Value::items(vec![]), &seq, &c));
+        // seq-to-seq
+        let seq2 = Value::items(vec![Value::str("c"), Value::str("d")]);
+        assert!(cmp_general(CmpOp::Eq, &seq, &seq2, &c));
+        assert!(cmp_general(CmpOp::Ne, &seq, &seq, &c), "∃ a≠b in the same sequence");
+    }
+
+    #[test]
+    fn general_comparison_sees_into_tuples() {
+        let c = cat();
+        let t1 = Tuple::from_pairs(vec![(crate::sym::Sym::new("x"), Value::str("u"))]);
+        let t2 = Tuple::from_pairs(vec![(crate::sym::Sym::new("x"), Value::str("v"))]);
+        let rel = Value::tuples(vec![t1, t2]);
+        assert!(cmp_general(CmpOp::Eq, &Value::str("v"), &rel, &c));
+        assert!(!cmp_general(CmpOp::Eq, &Value::str("w"), &rel, &c));
+    }
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn dec_total_order_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Dec(Dec(1.5)));
+        assert!(set.contains(&Value::Dec(Dec(1.5))));
+        assert!(Dec(1.0) < Dec(2.0));
+        assert_eq!(Dec(13.0).to_string(), "13.0");
+    }
+}

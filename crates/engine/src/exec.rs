@@ -1,0 +1,344 @@
+//! Plan execution.
+//!
+//! Operators are materializing (Vec in, Vec out) — the experiments all
+//! run over memory-resident documents, matching the paper's setup where
+//! the database cache holds the queried documents. Order preservation is
+//! structural: every operator emits in left-input order; hash buckets
+//! keep right-input insertion order, so hash joins produce exactly the
+//! sequence the definitional nested loop would.
+
+use std::collections::HashMap;
+
+use nal::eval::scalar::{eval_scalar, truthy};
+use nal::eval::{apply_groupfn, dedup_by_value, eval, xi, EvalCtx, EvalError, EvalResult};
+use nal::{ProjOp, Seq, Sym, Tuple, Value};
+
+use crate::key::{key_of, Key};
+use crate::plan::{JoinKind, PhysPlan};
+
+/// Execute a plan under an environment (non-empty only for nested
+/// evaluation contexts).
+pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
+    let out = match plan {
+        PhysPlan::Singleton => vec![Tuple::empty()],
+        PhysPlan::Literal(rows) => rows.clone(),
+        PhysPlan::AttrRel(a) => match env.get(*a) {
+            Some(Value::Tuples(ts)) => ts.as_ref().clone(),
+            other => {
+                return Err(EvalError::new(format!(
+                    "rel({a}): not a nested relation: {other:?}"
+                )))
+            }
+        },
+
+        PhysPlan::Select { input, pred } => {
+            let rows = execute(input, env, ctx)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for t in rows {
+                if truthy(pred, &env.concat(&t), ctx)? {
+                    out.push(t);
+                }
+            }
+            out
+        }
+
+        PhysPlan::Project { input, op } => {
+            let rows = execute(input, env, ctx)?;
+            project_rows(&rows, op, ctx)
+        }
+
+        PhysPlan::Map { input, attr, value } => {
+            let rows = execute(input, env, ctx)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for t in rows {
+                let v = eval_scalar(value, &env.concat(&t), ctx)?;
+                out.push(t.extend(*attr, v));
+            }
+            out
+        }
+
+        PhysPlan::Cross { left, right } => {
+            let l = execute(left, env, ctx)?;
+            let r = execute(right, env, ctx)?;
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for lt in &l {
+                for rt in &r {
+                    out.push(lt.concat(rt));
+                }
+            }
+            out
+        }
+
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind, pad } => {
+            let l = execute(left, env, ctx)?;
+            let r = execute(right, env, ctx)?;
+            hash_join(&l, &r, left_keys, right_keys, residual.as_ref(), kind, pad, env, ctx)?
+        }
+
+        PhysPlan::LoopJoin { left, right, pred, kind, pad } => {
+            let l = execute(left, env, ctx)?;
+            let r = execute(right, env, ctx)?;
+            loop_join(&l, &r, pred, kind, pad, env, ctx)?
+        }
+
+        PhysPlan::HashGroupUnary { input, g, by, f } => {
+            let rows = execute(input, env, ctx)?;
+            let groups = hash_groups(&rows, by, ctx);
+            let mut out = Vec::with_capacity(groups.len());
+            for (key_tuple, members) in groups {
+                let v = apply_groupfn(f, &members, env, ctx)?;
+                out.push(key_tuple.extend(*g, v));
+            }
+            out
+        }
+
+        PhysPlan::ThetaGroupUnary { input, g, by, theta, f } => {
+            // Definitional fallback — delegate to the reference semantics
+            // by rebuilding the logical node over a literal.
+            let rows = execute(input, env, ctx)?;
+            let logical = nal::Expr::GroupUnary {
+                input: Box::new(nal::Expr::Literal(rows)),
+                g: *g,
+                by: by.clone(),
+                theta: *theta,
+                f: f.clone(),
+            };
+            eval(&logical, env, ctx)?
+        }
+
+        PhysPlan::HashGroupBinary { left, right, g, left_on, right_on, f } => {
+            let l = execute(left, env, ctx)?;
+            let r = execute(right, env, ctx)?;
+            // Bucket the right side once.
+            let mut buckets: HashMap<Key, Vec<Tuple>> = HashMap::new();
+            for rt in &r {
+                if let Some(k) = key_of(rt, right_on, ctx.catalog) {
+                    buckets.entry(k).or_default().push(rt.clone());
+                }
+            }
+            let empty: Vec<Tuple> = Vec::new();
+            let mut out = Vec::with_capacity(l.len());
+            for lt in l {
+                let members = key_of(&lt, left_on, ctx.catalog)
+                    .and_then(|k| buckets.get(&k))
+                    .unwrap_or(&empty);
+                let v = apply_groupfn(f, members, env, ctx)?;
+                out.push(lt.extend(*g, v));
+            }
+            out
+        }
+
+        PhysPlan::ThetaGroupBinary { left, right, g, left_on, theta, right_on, f } => {
+            let l = execute(left, env, ctx)?;
+            let r = execute(right, env, ctx)?;
+            let logical = nal::Expr::GroupBinary {
+                left: Box::new(nal::Expr::Literal(l)),
+                right: Box::new(nal::Expr::Literal(r)),
+                g: *g,
+                left_on: left_on.clone(),
+                theta: *theta,
+                right_on: right_on.clone(),
+                f: f.clone(),
+            };
+            eval(&logical, env, ctx)?
+        }
+
+        PhysPlan::Unnest { input, attr, distinct, preserve_empty, inner_attrs } => {
+            let rows = execute(input, env, ctx)?;
+            let mut out = Vec::new();
+            for t in rows {
+                let nested = match t.get(*attr) {
+                    Some(Value::Tuples(ts)) => ts.as_ref().clone(),
+                    Some(Value::Null) | None => Vec::new(),
+                    Some(other) => {
+                        return Err(EvalError::new(format!(
+                            "unnest({attr}): not tuple-valued: {other}"
+                        )))
+                    }
+                };
+                let nested = if *distinct {
+                    dedup_by_value(&nested, ctx.catalog)
+                } else {
+                    nested
+                };
+                let rest = t.without(&[*attr]);
+                if nested.is_empty() {
+                    if *preserve_empty {
+                        out.push(rest.concat(&Tuple::bottom(inner_attrs)));
+                    }
+                } else {
+                    for inner in nested {
+                        out.push(rest.concat(&inner));
+                    }
+                }
+            }
+            out
+        }
+
+        PhysPlan::UnnestMap { input, attr, value } => {
+            let rows = execute(input, env, ctx)?;
+            let mut out = Vec::new();
+            for t in rows {
+                let v = eval_scalar(value, &env.concat(&t), ctx)?;
+                for item in v.as_item_seq() {
+                    out.push(t.extend(*attr, item));
+                }
+            }
+            out
+        }
+
+        PhysPlan::XiSimple { input, cmds } => {
+            let rows = execute(input, env, ctx)?;
+            for t in &rows {
+                xi::run_cmds(cmds, &env.concat(t), ctx)?;
+            }
+            rows
+        }
+
+        PhysPlan::XiGroup { input, by, head, body, tail } => {
+            let rows = execute(input, env, ctx)?;
+            let groups = hash_groups(&rows, by, ctx);
+            let mut out = Vec::with_capacity(groups.len());
+            for (key_tuple, members) in groups {
+                let key_env = env.concat(&key_tuple);
+                xi::run_cmds(head, &key_env, ctx)?;
+                for t in &members {
+                    xi::run_cmds(body, &env.concat(t), ctx)?;
+                }
+                xi::run_cmds(tail, &key_env, ctx)?;
+                out.push(key_tuple);
+            }
+            out
+        }
+    };
+    ctx.metrics.tuples_produced += out.len() as u64;
+    Ok(out)
+}
+
+fn project_rows(rows: &[Tuple], op: &ProjOp, ctx: &EvalCtx<'_>) -> Seq {
+    use nal::eval::atomize_tuple;
+    match op {
+        ProjOp::Cols(cols) => rows.iter().map(|t| t.project(cols)).collect(),
+        ProjOp::Drop(cols) => rows.iter().map(|t| t.without(cols)).collect(),
+        ProjOp::Rename(pairs) => rows.iter().map(|t| t.rename(pairs)).collect(),
+        ProjOp::DistinctCols(cols) => {
+            let projected: Seq = rows
+                .iter()
+                .map(|t| atomize_tuple(&t.project(cols), ctx.catalog))
+                .collect();
+            dedup_by_value(&projected, ctx.catalog)
+        }
+        ProjOp::DistinctRename(pairs) => {
+            let old: Vec<Sym> = pairs.iter().map(|(_, o)| *o).collect();
+            let projected: Seq = rows
+                .iter()
+                .map(|t| atomize_tuple(&t.project(&old).rename(pairs), ctx.catalog))
+                .collect();
+            dedup_by_value(&projected, ctx.catalog)
+        }
+    }
+}
+
+/// Single-pass grouping in first-occurrence key order, atomized keys.
+fn hash_groups(rows: &[Tuple], by: &[Sym], ctx: &EvalCtx<'_>) -> Vec<(Tuple, Vec<Tuple>)> {
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut groups: Vec<(Tuple, Vec<Tuple>)> = Vec::new();
+    for t in rows {
+        let Some(k) = key_of(t, by, ctx.catalog) else {
+            continue; // NULL keys group with nothing (cmp_atomic semantics)
+        };
+        let idx = *index.entry(k).or_insert_with(|| {
+            let key_tuple =
+                nal::eval::atomize_tuple(&t.project(by), ctx.catalog);
+            groups.push((key_tuple, Vec::new()));
+            groups.len() - 1
+        });
+        groups[idx].1.push(t.clone());
+    }
+    groups
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    l: &[Tuple],
+    r: &[Tuple],
+    left_keys: &[Sym],
+    right_keys: &[Sym],
+    residual: Option<&nal::Scalar>,
+    kind: &JoinKind,
+    pad: &[Sym],
+    env: &Tuple,
+    ctx: &mut EvalCtx<'_>,
+) -> EvalResult<Seq> {
+    // Build on the right; buckets preserve right order.
+    let mut buckets: HashMap<Key, Vec<&Tuple>> = HashMap::new();
+    for rt in r {
+        if let Some(k) = key_of(rt, right_keys, ctx.catalog) {
+            buckets.entry(k).or_default().push(rt);
+        }
+    }
+    let mut out = Vec::new();
+    for lt in l {
+        let bucket = key_of(lt, left_keys, ctx.catalog).and_then(|k| buckets.get(&k));
+        let mut matched = false;
+        if let Some(bucket) = bucket {
+            for &rt in bucket {
+                let joined = lt.concat(rt);
+                let pass = match residual {
+                    None => true,
+                    Some(p) => truthy(p, &env.concat(&joined), ctx)?,
+                };
+                if pass {
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::Outer { .. } => out.push(joined),
+                        JoinKind::Semi | JoinKind::Anti => break,
+                    }
+                }
+            }
+        }
+        match kind {
+            JoinKind::Semi if matched => out.push(lt.clone()),
+            JoinKind::Anti if !matched => out.push(lt.clone()),
+            JoinKind::Outer { g, default } if !matched => {
+                out.push(lt.concat(&Tuple::bottom(pad)).extend(*g, default.clone()));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+fn loop_join(
+    l: &[Tuple],
+    r: &[Tuple],
+    pred: &nal::Scalar,
+    kind: &JoinKind,
+    pad: &[Sym],
+    env: &Tuple,
+    ctx: &mut EvalCtx<'_>,
+) -> EvalResult<Seq> {
+    let mut out = Vec::new();
+    for lt in l {
+        let mut matched = false;
+        for rt in r {
+            let joined = lt.concat(rt);
+            if truthy(pred, &env.concat(&joined), ctx)? {
+                matched = true;
+                match kind {
+                    JoinKind::Inner | JoinKind::Outer { .. } => out.push(joined),
+                    JoinKind::Semi | JoinKind::Anti => break,
+                }
+            }
+        }
+        match kind {
+            JoinKind::Semi if matched => out.push(lt.clone()),
+            JoinKind::Anti if !matched => out.push(lt.clone()),
+            JoinKind::Outer { g, default } if !matched => {
+                out.push(lt.concat(&Tuple::bottom(pad)).extend(*g, default.clone()));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}

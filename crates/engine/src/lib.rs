@@ -1,0 +1,51 @@
+//! `engine` — the physical query engine (the repo's Natix stand-in).
+//!
+//! Compiles NAL expressions ([`nal::Expr`]) into physical operator trees
+//! ([`PhysPlan`]) and executes them over a document catalog. Equality
+//! predicates run on hash-based, order-preserving operators (§2's
+//! implementation discussion); everything else falls back to the
+//! definitional forms. Nested scalar expressions — the hallmark of
+//! *nested* plans — are evaluated per tuple with the reference
+//! evaluator's machinery, which is precisely the nested-loop strategy the
+//! paper's baseline measures.
+//!
+//! Differential tests (`tests/engine_vs_spec.rs` and the umbrella
+//! `tests/` suite) assert that every plan produces results and Ξ output
+//! identical to `nal::eval`.
+
+pub mod exec;
+pub mod key;
+pub mod plan;
+
+pub use exec::execute;
+pub use plan::{compile, JoinKind, PhysPlan};
+
+use std::time::{Duration, Instant};
+
+use nal::{EvalCtx, EvalResult, Expr, Metrics, Seq, Tuple};
+use xmldb::Catalog;
+
+/// Result of running a query plan.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The result sequence (identity output of Ξ-rooted plans).
+    pub rows: Seq,
+    /// The serialized Ξ output stream.
+    pub output: String,
+    pub metrics: Metrics,
+    pub elapsed: Duration,
+}
+
+/// Compile and execute a logical expression against a catalog.
+pub fn run(expr: &Expr, catalog: &Catalog) -> EvalResult<QueryResult> {
+    run_compiled(&compile(expr), catalog)
+}
+
+/// Execute an already-compiled plan.
+pub fn run_compiled(plan: &PhysPlan, catalog: &Catalog) -> EvalResult<QueryResult> {
+    let mut ctx = EvalCtx::new(catalog);
+    let start = Instant::now();
+    let rows = execute(plan, &Tuple::empty(), &mut ctx)?;
+    let elapsed = start.elapsed();
+    Ok(QueryResult { rows, output: ctx.take_output(), metrics: ctx.metrics, elapsed })
+}

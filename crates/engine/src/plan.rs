@@ -1,0 +1,412 @@
+//! Physical plans, compiled from logical NAL expressions.
+//!
+//! The compiler mirrors the paper's implementation notes (§2, "one word
+//! on implementation"): equality predicates get hash-based
+//! order-preserving operators (our in-memory stand-in for the
+//! Grace-hash-join + re-sort the authors used, with the order-preserving
+//! hash join of Claussen et al. as the conceptual model); non-equality
+//! predicates fall back to the definitional nested-loop forms. Scalar
+//! subscripts — including nested algebra expressions, which is what makes
+//! a *nested plan* nested — are evaluated by the reference evaluator's
+//! scalar machinery.
+
+use nal::expr::attrs::attr_set;
+use nal::{Expr, GroupFn, ProjOp, Scalar, Sym, Value, XiCmd};
+
+/// How a binary matching operator consumes its matches.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JoinKind {
+    Inner,
+    Semi,
+    Anti,
+    Outer { g: Sym, default: Value },
+}
+
+/// A physical operator tree.
+#[derive(Clone, Debug)]
+pub enum PhysPlan {
+    Singleton,
+    Literal(Vec<nal::Tuple>),
+    AttrRel(Sym),
+    Select {
+        input: Box<PhysPlan>,
+        pred: Scalar,
+    },
+    Project {
+        input: Box<PhysPlan>,
+        op: ProjOp,
+    },
+    Map {
+        input: Box<PhysPlan>,
+        attr: Sym,
+        value: Scalar,
+    },
+    Cross {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+    },
+    /// Hash-based order-preserving join: build on the right, probe the
+    /// left in order; bucket order preserves right order.
+    HashJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_keys: Vec<Sym>,
+        right_keys: Vec<Sym>,
+        residual: Option<Scalar>,
+        kind: JoinKind,
+        /// `A(right) \ {g}` — outer-join NULL padding (precomputed).
+        pad: Vec<Sym>,
+    },
+    /// Definitional nested-loop join for non-equi predicates.
+    LoopJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        pred: Scalar,
+        kind: JoinKind,
+        pad: Vec<Sym>,
+    },
+    /// Single-pass hash grouping (θ = '='), first-occurrence key order.
+    HashGroupUnary {
+        input: Box<PhysPlan>,
+        g: Sym,
+        by: Vec<Sym>,
+        f: GroupFn,
+    },
+    /// θ-grouping fallback (distinct keys × input scan).
+    ThetaGroupUnary {
+        input: Box<PhysPlan>,
+        g: Sym,
+        by: Vec<Sym>,
+        theta: nal::CmpOp,
+        f: GroupFn,
+    },
+    /// Binary grouping with hash lookup of each left tuple's group.
+    HashGroupBinary {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        g: Sym,
+        left_on: Vec<Sym>,
+        right_on: Vec<Sym>,
+        f: GroupFn,
+    },
+    ThetaGroupBinary {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        g: Sym,
+        left_on: Vec<Sym>,
+        theta: nal::CmpOp,
+        right_on: Vec<Sym>,
+        f: GroupFn,
+    },
+    Unnest {
+        input: Box<PhysPlan>,
+        attr: Sym,
+        distinct: bool,
+        preserve_empty: bool,
+        inner_attrs: Vec<Sym>,
+    },
+    UnnestMap {
+        input: Box<PhysPlan>,
+        attr: Sym,
+        value: Scalar,
+    },
+    XiSimple {
+        input: Box<PhysPlan>,
+        cmds: Vec<XiCmd>,
+    },
+    XiGroup {
+        input: Box<PhysPlan>,
+        by: Vec<Sym>,
+        head: Vec<XiCmd>,
+        body: Vec<XiCmd>,
+        tail: Vec<XiCmd>,
+    },
+}
+
+impl PhysPlan {
+    /// Operator name for explain output.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            PhysPlan::Singleton => "Singleton",
+            PhysPlan::Literal(_) => "Literal",
+            PhysPlan::AttrRel(_) => "AttrRel",
+            PhysPlan::Select { .. } => "Select",
+            PhysPlan::Project { .. } => "Project",
+            PhysPlan::Map { .. } => "Map",
+            PhysPlan::Cross { .. } => "Cross",
+            PhysPlan::HashJoin { kind, .. } => match kind {
+                JoinKind::Inner => "HashJoin",
+                JoinKind::Semi => "HashSemiJoin",
+                JoinKind::Anti => "HashAntiJoin",
+                JoinKind::Outer { .. } => "HashOuterJoin",
+            },
+            PhysPlan::LoopJoin { kind, .. } => match kind {
+                JoinKind::Inner => "LoopJoin",
+                JoinKind::Semi => "LoopSemiJoin",
+                JoinKind::Anti => "LoopAntiJoin",
+                JoinKind::Outer { .. } => "LoopOuterJoin",
+            },
+            PhysPlan::HashGroupUnary { .. } => "HashGroup",
+            PhysPlan::ThetaGroupUnary { .. } => "ThetaGroup",
+            PhysPlan::HashGroupBinary { .. } => "HashNestJoin",
+            PhysPlan::ThetaGroupBinary { .. } => "ThetaNestJoin",
+            PhysPlan::Unnest { .. } => "Unnest",
+            PhysPlan::UnnestMap { .. } => "UnnestMap",
+            PhysPlan::XiSimple { .. } => "Xi",
+            PhysPlan::XiGroup { .. } => "XiGroup",
+        }
+    }
+
+    /// Indented operator-tree rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(self.op_name());
+        out.push('\n');
+        for c in self.children() {
+            c.explain_into(depth + 1, out);
+        }
+    }
+
+    fn children(&self) -> Vec<&PhysPlan> {
+        match self {
+            PhysPlan::Singleton | PhysPlan::Literal(_) | PhysPlan::AttrRel(_) => vec![],
+            PhysPlan::Select { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Map { input, .. }
+            | PhysPlan::HashGroupUnary { input, .. }
+            | PhysPlan::ThetaGroupUnary { input, .. }
+            | PhysPlan::Unnest { input, .. }
+            | PhysPlan::UnnestMap { input, .. }
+            | PhysPlan::XiSimple { input, .. }
+            | PhysPlan::XiGroup { input, .. } => vec![input],
+            PhysPlan::Cross { left, right }
+            | PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::LoopJoin { left, right, .. }
+            | PhysPlan::HashGroupBinary { left, right, .. }
+            | PhysPlan::ThetaGroupBinary { left, right, .. } => vec![left, right],
+        }
+    }
+}
+
+/// Compile a logical expression into a physical plan.
+pub fn compile(e: &Expr) -> PhysPlan {
+    match e {
+        Expr::Singleton => PhysPlan::Singleton,
+        Expr::Literal(rows) => PhysPlan::Literal(rows.clone()),
+        Expr::AttrRel(a) => PhysPlan::AttrRel(*a),
+        Expr::Select { input, pred } => PhysPlan::Select {
+            input: Box::new(compile(input)),
+            pred: pred.clone(),
+        },
+        Expr::Project { input, op } => PhysPlan::Project {
+            input: Box::new(compile(input)),
+            op: op.clone(),
+        },
+        Expr::Map { input, attr, value } => PhysPlan::Map {
+            input: Box::new(compile(input)),
+            attr: *attr,
+            value: value.clone(),
+        },
+        Expr::Cross { left, right } => PhysPlan::Cross {
+            left: Box::new(compile(left)),
+            right: Box::new(compile(right)),
+        },
+        Expr::Join { left, right, pred } => join(left, right, pred, JoinKind::Inner, &[]),
+        Expr::SemiJoin { left, right, pred } => join(left, right, pred, JoinKind::Semi, &[]),
+        Expr::AntiJoin { left, right, pred } => join(left, right, pred, JoinKind::Anti, &[]),
+        Expr::OuterJoin { left, right, pred, g, default } => {
+            let pad: Vec<Sym> =
+                attr_set(right).into_iter().filter(|a| a != g).collect();
+            join(
+                left,
+                right,
+                pred,
+                JoinKind::Outer { g: *g, default: default.clone() },
+                &pad,
+            )
+        }
+        Expr::GroupUnary { input, g, by, theta, f } => {
+            let input = Box::new(compile(input));
+            if *theta == nal::CmpOp::Eq {
+                PhysPlan::HashGroupUnary { input, g: *g, by: by.clone(), f: f.clone() }
+            } else {
+                PhysPlan::ThetaGroupUnary {
+                    input,
+                    g: *g,
+                    by: by.clone(),
+                    theta: *theta,
+                    f: f.clone(),
+                }
+            }
+        }
+        Expr::GroupBinary { left, right, g, left_on, theta, right_on, f } => {
+            let left = Box::new(compile(left));
+            let right = Box::new(compile(right));
+            if *theta == nal::CmpOp::Eq {
+                PhysPlan::HashGroupBinary {
+                    left,
+                    right,
+                    g: *g,
+                    left_on: left_on.clone(),
+                    right_on: right_on.clone(),
+                    f: f.clone(),
+                }
+            } else {
+                PhysPlan::ThetaGroupBinary {
+                    left,
+                    right,
+                    g: *g,
+                    left_on: left_on.clone(),
+                    theta: *theta,
+                    right_on: right_on.clone(),
+                    f: f.clone(),
+                }
+            }
+        }
+        Expr::Unnest { input, attr, distinct, preserve_empty } => PhysPlan::Unnest {
+            inner_attrs: nal::expr::attrs::nested_attrs(input, *attr).unwrap_or_default(),
+            input: Box::new(compile(input)),
+            attr: *attr,
+            distinct: *distinct,
+            preserve_empty: *preserve_empty,
+        },
+        Expr::UnnestMap { input, attr, value } => PhysPlan::UnnestMap {
+            input: Box::new(compile(input)),
+            attr: *attr,
+            value: value.clone(),
+        },
+        Expr::XiSimple { input, cmds } => PhysPlan::XiSimple {
+            input: Box::new(compile(input)),
+            cmds: cmds.clone(),
+        },
+        Expr::XiGroup { input, by, head, body, tail } => PhysPlan::XiGroup {
+            input: Box::new(compile(input)),
+            by: by.clone(),
+            head: head.clone(),
+            body: body.clone(),
+            tail: tail.clone(),
+        },
+    }
+}
+
+/// Split a join predicate into hashable equi-pairs and a residual; choose
+/// the hash or loop operator accordingly.
+fn join(left: &Expr, right: &Expr, pred: &Scalar, kind: JoinKind, pad: &[Sym]) -> PhysPlan {
+    let l = Box::new(compile(left));
+    let r = Box::new(compile(right));
+    let a_l = attr_set(left);
+    let a_r = attr_set(right);
+
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut residual = Vec::new();
+    for c in pred.conjuncts() {
+        match c {
+            Scalar::Cmp(nal::CmpOp::Eq, x, y) => match (x.as_ref(), y.as_ref()) {
+                (Scalar::Attr(xa), Scalar::Attr(ya))
+                    if a_l.contains(xa) && a_r.contains(ya) =>
+                {
+                    left_keys.push(*xa);
+                    right_keys.push(*ya);
+                }
+                (Scalar::Attr(xa), Scalar::Attr(ya))
+                    if a_r.contains(xa) && a_l.contains(ya) =>
+                {
+                    left_keys.push(*ya);
+                    right_keys.push(*xa);
+                }
+                _ => residual.push((*c).clone()),
+            },
+            other => residual.push(other.clone()),
+        }
+    }
+    if left_keys.is_empty() {
+        PhysPlan::LoopJoin { left: l, right: r, pred: pred.clone(), kind, pad: pad.to_vec() }
+    } else {
+        PhysPlan::HashJoin {
+            left: l,
+            right: r,
+            left_keys,
+            right_keys,
+            residual: if residual.is_empty() {
+                None
+            } else {
+                Some(Scalar::conjoin(residual))
+            },
+            kind,
+            pad: pad.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nal::expr::builder::*;
+    use nal::CmpOp;
+
+    #[test]
+    fn equi_joins_compile_to_hash_operators() {
+        let l = singleton().map("a", Scalar::int(1));
+        let r = singleton().map("b", Scalar::int(2));
+        let j = l.clone().semijoin(
+            r.clone(),
+            Scalar::attr_cmp(CmpOp::Eq, "a", "b").and(Scalar::cmp(
+                CmpOp::Gt,
+                Scalar::attr("b"),
+                Scalar::int(0),
+            )),
+        );
+        let plan = compile(&j);
+        let PhysPlan::HashJoin { kind, residual, left_keys, .. } = &plan else {
+            panic!("{}", plan.explain())
+        };
+        assert_eq!(*kind, JoinKind::Semi);
+        assert!(residual.is_some());
+        assert_eq!(left_keys, &vec![Sym::new("a")]);
+    }
+
+    #[test]
+    fn non_equi_joins_fall_back_to_loops() {
+        let l = singleton().map("a", Scalar::int(1));
+        let r = singleton().map("b", Scalar::int(2));
+        let j = l.join(r, Scalar::attr_cmp(CmpOp::Lt, "a", "b"));
+        assert!(matches!(compile(&j), PhysPlan::LoopJoin { .. }));
+    }
+
+    #[test]
+    fn grouping_picks_hash_for_equality() {
+        let e = singleton().map("a", Scalar::int(1)).group_unary(
+            "g",
+            &["a"],
+            CmpOp::Eq,
+            nal::GroupFn::count(),
+        );
+        assert!(matches!(compile(&e), PhysPlan::HashGroupUnary { .. }));
+        let e = singleton().map("a", Scalar::int(1)).group_unary(
+            "g",
+            &["a"],
+            CmpOp::Lt,
+            nal::GroupFn::count(),
+        );
+        assert!(matches!(compile(&e), PhysPlan::ThetaGroupUnary { .. }));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let l = singleton().map("a", Scalar::int(1));
+        let r = singleton().map("b", Scalar::int(2));
+        let j = l.join(r, Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
+        let ex = compile(&j).explain();
+        assert!(ex.starts_with("HashJoin"), "{ex}");
+        assert!(ex.contains("\n  Map"), "{ex}");
+    }
+}

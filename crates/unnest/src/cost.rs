@@ -1,0 +1,403 @@
+//! Cost-based plan choice.
+//!
+//! §4: "Whenever there are alternative applications, the most efficient
+//! plan should be chosen. This plan typically results from the
+//! equivalences with the most restrictive conditions attached." The
+//! driver's label preference implements the paper's *typical* rule; this
+//! module implements the general one: a cardinality estimator over
+//! document statistics ([`xmldb::DocStats`]) and a simple cost model in
+//! which
+//!
+//! * every operator pays its input cardinality,
+//! * path evaluation pays the visited subtree,
+//! * and — the decisive term — a **nested scalar expression pays its full
+//!   cost once per outer tuple**, which is exactly why nested plans lose.
+
+use std::collections::HashMap;
+
+use nal::{Expr, ProjOp, Scalar};
+use xmldb::{Catalog, DocStats};
+use xpath::{Axis, Path};
+
+use crate::driver::PlanChoice;
+
+/// Estimated cardinality and cost of an expression.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Output rows.
+    pub rows: f64,
+    /// Abstract work units (≈ tuples touched + nodes visited).
+    pub cost: f64,
+}
+
+/// Estimator with per-document statistics (collected lazily).
+pub struct CostModel<'a> {
+    catalog: &'a Catalog,
+    stats: HashMap<String, DocStats>,
+}
+
+/// Default selectivity of a non-correlating predicate.
+const SELECTIVITY: f64 = 0.5;
+
+impl<'a> CostModel<'a> {
+    pub fn new(catalog: &'a Catalog) -> CostModel<'a> {
+        CostModel { catalog, stats: HashMap::new() }
+    }
+
+    fn stats_for(&mut self, uri: &str) -> Option<&DocStats> {
+        if !self.stats.contains_key(uri) {
+            let doc = self.catalog.doc_by_uri(uri)?;
+            self.stats.insert(uri.to_string(), DocStats::collect(doc));
+        }
+        self.stats.get(uri)
+    }
+
+    /// Estimate an expression (top-level: no outer bindings).
+    pub fn estimate(&mut self, e: &Expr) -> Estimate {
+        self.est(e)
+    }
+
+    fn est(&mut self, e: &Expr) -> Estimate {
+        match e {
+            Expr::Singleton => Estimate { rows: 1.0, cost: 1.0 },
+            Expr::Literal(rows) => {
+                Estimate { rows: rows.len() as f64, cost: rows.len() as f64 }
+            }
+            // The group a rel() reads is bounded by its producer; a small
+            // constant keeps group-filter plans priced as bounded work.
+            Expr::AttrRel(_) => Estimate { rows: 8.0, cost: 8.0 },
+            Expr::Select { input, pred } => {
+                let i = self.est(input);
+                let scalar = self.scalar_cost(pred);
+                Estimate {
+                    rows: (i.rows * SELECTIVITY).max(1.0),
+                    cost: i.cost + i.rows * (1.0 + scalar),
+                }
+            }
+            Expr::Project { input, op } => {
+                let i = self.est(input);
+                let rows = match op {
+                    ProjOp::DistinctCols(_) | ProjOp::DistinctRename(_) => {
+                        (i.rows * 0.5).max(1.0)
+                    }
+                    _ => i.rows,
+                };
+                Estimate { rows, cost: i.cost + i.rows }
+            }
+            Expr::Map { input, value, .. } => {
+                let i = self.est(input);
+                let scalar = self.scalar_cost(value);
+                Estimate { rows: i.rows, cost: i.cost + i.rows * (1.0 + scalar) }
+            }
+            Expr::Cross { left, right } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                Estimate { rows: l.rows * r.rows, cost: l.cost + r.cost + l.rows * r.rows }
+            }
+            Expr::Join { left, right, .. } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                // Equi-join estimate: |L| matches spread over the right.
+                Estimate {
+                    rows: (l.rows * r.rows * 0.1).max(1.0),
+                    cost: l.cost + r.cost + l.rows + r.rows,
+                }
+            }
+            Expr::SemiJoin { left, right, .. } | Expr::AntiJoin { left, right, .. } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                Estimate {
+                    rows: (l.rows * SELECTIVITY).max(1.0),
+                    cost: l.cost + r.cost + l.rows + r.rows,
+                }
+            }
+            Expr::OuterJoin { left, right, .. } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                Estimate { rows: l.rows.max(1.0), cost: l.cost + r.cost + l.rows + r.rows }
+            }
+            Expr::GroupUnary { input, .. } => {
+                let i = self.est(input);
+                Estimate { rows: (i.rows * 0.5).max(1.0), cost: i.cost + 2.0 * i.rows }
+            }
+            Expr::GroupBinary { left, right, .. } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                Estimate { rows: l.rows, cost: l.cost + r.cost + l.rows + r.rows }
+            }
+            Expr::Unnest { input, .. } => {
+                let i = self.est(input);
+                // Groups unnest back to roughly the pre-grouping size.
+                Estimate { rows: i.rows * 2.0, cost: i.cost + i.rows * 2.0 }
+            }
+            Expr::UnnestMap { input, value, .. } => {
+                let i = self.est(input);
+                let (fanout, step_cost) = self.path_fanout(value, input);
+                Estimate {
+                    rows: (i.rows * fanout).max(1.0),
+                    cost: i.cost + i.rows * (1.0 + step_cost),
+                }
+            }
+            Expr::XiSimple { input, .. } => {
+                let i = self.est(input);
+                Estimate { rows: i.rows, cost: i.cost + i.rows }
+            }
+            Expr::XiGroup { input, .. } => {
+                let i = self.est(input);
+                Estimate { rows: (i.rows * 0.5).max(1.0), cost: i.cost + 2.0 * i.rows }
+            }
+        }
+    }
+
+    /// Cost of evaluating a scalar once. Nested algebra expressions pay
+    /// their full estimated cost — per evaluation.
+    fn scalar_cost(&mut self, s: &Scalar) -> f64 {
+        match s {
+            Scalar::Const(_) | Scalar::Attr(_) => 0.0,
+            Scalar::Doc(_) => 1.0,
+            Scalar::Cmp(_, l, r)
+            | Scalar::In(l, r)
+            | Scalar::And(l, r)
+            | Scalar::Or(l, r)
+            | Scalar::Arith(_, l, r) => 1.0 + self.scalar_cost(l) + self.scalar_cost(r),
+            Scalar::Not(x) | Scalar::Lift(x, _) | Scalar::DistinctItems(x) => {
+                1.0 + self.scalar_cost(x)
+            }
+            Scalar::Path(base, path) => self.scalar_cost(base) + path_step_cost(path),
+            Scalar::Call(_, args) => {
+                1.0 + args.iter().map(|a| self.scalar_cost(a)).sum::<f64>()
+            }
+            // The decisive terms: a nested expression is re-evaluated per
+            // outer tuple, so its whole cost lands here.
+            Scalar::Exists { range, pred, .. } | Scalar::Forall { range, pred, .. } => {
+                self.est(range).cost + self.scalar_cost(pred)
+            }
+            Scalar::Agg { f, input } => {
+                let inner = self.est(input).cost;
+                let filter = f.filter.as_ref().map(|p| self.scalar_cost(p)).unwrap_or(0.0);
+                inner + filter
+            }
+        }
+    }
+
+    /// Fan-out and per-tuple cost of an Υ subscript. Document-rooted
+    /// descendant paths are priced from statistics; anything else gets a
+    /// neutral default.
+    fn path_fanout(&mut self, value: &Scalar, input: &Expr) -> (f64, f64) {
+        match value {
+            Scalar::DistinctItems(inner) => {
+                let (f, c) = self.path_fanout(inner, input);
+                (f * 0.7, c)
+            }
+            Scalar::Path(_, path) => {
+                if let Some(desc) = crate::schema::value_descriptor(
+                    &Expr::UnnestMap {
+                        input: Box::new(input.clone()),
+                        attr: nal::Sym::new("γ-cost-probe"),
+                        value: value.clone(),
+                    },
+                    nal::Sym::new("γ-cost-probe"),
+                ) {
+                    let uri = desc.uri().to_string();
+                    if let Some(stats) = self.stats_for(&uri) {
+                        if let Some(name) = final_name(desc.path()) {
+                            let count = stats.elements(&name).max(1) as f64;
+                            let scan = if desc.path().has_descendant() {
+                                stats.total_nodes as f64
+                            } else {
+                                count
+                            };
+                            return (count, scan);
+                        }
+                    }
+                }
+                (2.0, path_step_cost(path))
+            }
+            _ => (2.0, 1.0),
+        }
+    }
+}
+
+fn final_name(path: &Path) -> Option<String> {
+    path.steps
+        .iter()
+        .rev()
+        .find(|s| s.axis != Axis::Attribute)
+        .and_then(|s| s.test.literal())
+        .map(str::to_string)
+}
+
+fn path_step_cost(path: &Path) -> f64 {
+    if path.has_descendant() {
+        100.0
+    } else {
+        path.steps.len() as f64
+    }
+}
+
+/// Rank plan alternatives by estimated cost, cheapest first.
+pub fn rank_plans(plans: Vec<PlanChoice>, catalog: &Catalog) -> Vec<(PlanChoice, Estimate)> {
+    let mut model = CostModel::new(catalog);
+    let mut ranked: Vec<(PlanChoice, Estimate)> = plans
+        .into_iter()
+        .map(|p| {
+            let est = model.estimate(&p.expr);
+            (p, est)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.cost.total_cmp(&b.1.cost));
+    ranked
+}
+
+/// Cost-based variant of [`crate::unnest_best`]: enumerate the plan
+/// alternatives and pick the cheapest by the model.
+pub fn unnest_cheapest(expr: &Expr, catalog: &Catalog) -> (Expr, Estimate) {
+    let plans = crate::enumerate_plans(expr, catalog);
+    let ranked = rank_plans(plans, catalog);
+    let (p, est) = ranked.into_iter().next().expect("at least the nested plan");
+    (p.expr, est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nal::expr::builder::*;
+    use nal::{CmpOp, GroupFn};
+    use xmldb::gen::{gen_bib, BibConfig};
+    use xpath::parse_path;
+
+    fn catalog(books: usize) -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(gen_bib(&BibConfig { books, authors_per_book: 3, ..Default::default() }));
+        cat
+    }
+
+    fn p(s: &str) -> xpath::Path {
+        parse_path(s).unwrap()
+    }
+
+    #[test]
+    fn scan_cardinality_uses_statistics() {
+        let cat = catalog(200);
+        let scan = doc_scan("d", "bib.xml")
+            .unnest_map("b", Scalar::attr("d").path(p("//book")));
+        let mut m = CostModel::new(&cat);
+        let est = m.estimate(&scan);
+        assert!(
+            (est.rows - 200.0).abs() < 1.0,
+            "expected ≈200 books, estimated {}",
+            est.rows
+        );
+        let authors = scan.unnest_map("a", Scalar::attr("b").path(p("/author")));
+        let est = m.estimate(&authors);
+        // ~200 books × ~600 authors/200 ... the child-step default fanout is
+        // stats-driven only for doc-rooted steps; accept a broad range.
+        assert!(est.rows >= 200.0, "author scan should not shrink: {}", est.rows);
+    }
+
+    #[test]
+    fn nested_plans_cost_more_than_unnested() {
+        let cat = catalog(100);
+        let e1 = doc_scan("d1", "bib.xml")
+            .unnest_map("a1", Scalar::attr("d1").path(p("//author")).distinct())
+            .project(&["a1"]);
+        let e2 = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .map("t2", Scalar::attr("b2").path(p("/title")))
+            .map("a2", Scalar::attr("b2").path(p("/author")).lift("a2'"));
+        let nested = e1.map(
+            "t1",
+            Scalar::Agg {
+                f: GroupFn::project_items("t2"),
+                input: Box::new(
+                    e2.select(Scalar::is_in(Scalar::attr("a1"), Scalar::attr("a2"))),
+                ),
+            },
+        );
+        let plans = crate::enumerate_plans(&nested, &cat);
+        assert!(plans.len() >= 2);
+        let ranked = rank_plans(plans, &cat);
+        assert_ne!(
+            ranked[0].0.label, "nested",
+            "the nested plan must never be the cheapest: {:?}",
+            ranked.iter().map(|(p, e)| (p.label.clone(), e.cost)).collect::<Vec<_>>()
+        );
+        // And the gap should be large (orders of magnitude).
+        let nested_cost = ranked
+            .iter()
+            .find(|(p, _)| p.label == "nested")
+            .map(|(_, e)| e.cost)
+            .expect("nested plan present");
+        assert!(
+            nested_cost > 10.0 * ranked[0].1.cost,
+            "nested {} vs best {}",
+            nested_cost,
+            ranked[0].1.cost
+        );
+    }
+
+    #[test]
+    fn unnest_cheapest_agrees_with_label_preference_on_paper_queries() {
+        let cat = catalog(80);
+        let e1 = doc_scan("d1", "bib.xml")
+            .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")))
+            .project(&["t1"]);
+        let e3 = doc_scan("d3", "bib.xml")
+            .unnest_map("t3", Scalar::attr("d3").path(p("//book/title")));
+        let q = e1.select(Scalar::Exists {
+            var: nal::Sym::new("t2"),
+            range: Box::new(
+                e3.select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3")).project(&["t3"]),
+            ),
+            pred: Box::new(Scalar::Const(nal::Value::Bool(true))),
+        });
+        let (by_cost, est) = unnest_cheapest(&q, &cat);
+        // The winner must be a rewritten plan (the group-filter winner may
+        // legitimately contain a bounded rel(g) aggregate, so we compare
+        // against the original rather than checking for nested scalars).
+        assert_ne!(by_cost, q, "cost model must not keep the nested plan");
+        assert!(est.cost > 0.0);
+        let mut model = CostModel::new(&cat);
+        let nested_cost = model.estimate(&q).cost;
+        assert!(
+            est.cost * 10.0 < nested_cost,
+            "winner {} vs nested {nested_cost}",
+            est.cost
+        );
+    }
+
+    #[test]
+    fn group_filter_plans_are_priced_as_bounded() {
+        // The AttrRel-based §5.4 plan must not be priced like a correlated
+        // re-scan.
+        let cat = catalog(100);
+        let mut m = CostModel::new(&cat);
+        let grouped = doc_scan("d", "bib.xml")
+            .unnest_map("b", Scalar::attr("d").path(p("//book")))
+            .group_unary("g", &["b"], CmpOp::Eq, GroupFn::id())
+            .map(
+                "c",
+                Scalar::Agg { f: GroupFn::count(), input: Box::new(Expr::AttrRel(nal::Sym::new("g"))) },
+            );
+        let bounded = m.estimate(&grouped);
+        let correlated = doc_scan("d", "bib.xml")
+            .unnest_map("b", Scalar::attr("d").path(p("//book")))
+            .map(
+                "c",
+                Scalar::Agg {
+                    f: GroupFn::count(),
+                    input: Box::new(
+                        doc_scan("d2", "bib.xml")
+                            .unnest_map("b2", Scalar::attr("d2").path(p("//book"))),
+                    ),
+                },
+            );
+        let rescanning = m.estimate(&correlated);
+        assert!(
+            bounded.cost < rescanning.cost,
+            "bounded {} vs re-scanning {}",
+            bounded.cost,
+            rescanning.cost
+        );
+    }
+}

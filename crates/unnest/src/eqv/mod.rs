@@ -1,0 +1,31 @@
+//! The unnesting equivalences of §4 as rewrite rules.
+//!
+//! Each rule is a function `fn(&Expr, …) -> Option<Expr>` that fires only
+//! at the root of the given expression and only when all side conditions
+//! hold. Traversal and strategy live in [`crate::driver`].
+//!
+//! | Rule        | Paper | Left-hand side                                  | Right-hand side |
+//! |-------------|-------|--------------------------------------------------|-----------------|
+//! | [`eqv1`]    | Eqv. 1 | `χ_{g:f(σ_{A1θA2}(e2))}(e1)`                   | binary Γ (nest-join) |
+//! | [`eqv2`]    | Eqv. 2 | same, θ is `=`                                  | outer join ∘ unary Γ |
+//! | [`eqv3`]    | Eqv. 3 | same, `e1 = Π^D_{A1:A2}(Π_{A2}(e2))`            | unary Γ + rename |
+//! | [`eqv4`]    | Eqv. 4 | `χ_{g:f(σ_{A1∈a2}(e2))}(e1)`                    | outer join ∘ Γ ∘ μ^D |
+//! | [`eqv5`]    | Eqv. 5 | same, `e1 = Π^D_{A1:A2}(Π_{A2}(μ_{a2}(e2)))`    | Γ ∘ μ^D + rename |
+//! | [`eqv6`]    | Eqv. 6 | `σ_{∃x∈(Π_{x'}(σ_{A1=A2}(e2))) p}(e1)`          | semijoin |
+//! | [`eqv7`]    | Eqv. 7 | `σ_{∀x∈(Π_{x'}(σ_{A1=A2}(e2))) p}(e1)`          | anti-join |
+//! | [`eqv8`]    | Eqv. 8 | `Π^D(e1) ⋉_{A1=A2} σ_p(e2)`, same value sets    | `σ_{c>0}` over counting Γ |
+//! | [`eqv9`]    | Eqv. 9 | `Π^D(e1) ▷_{A1=A2} σ_p(e2)`, same value sets    | `σ_{c=0}` over counting Γ |
+//! | [`eqv8_self`] | §5.4  | self-semijoin (α-equivalent operands)          | group–filter–unnest, one scan |
+//! | [`xi_fuse`] | §5.1  | `Ξ` over Items-Γ                                 | group-detecting `Ξ` |
+
+mod counting;
+mod grouping;
+mod pattern;
+mod quantifier;
+mod xi_fuse;
+
+pub use counting::{eqv8, eqv8_self, eqv9};
+pub use grouping::{eqv1, eqv2, eqv3, eqv4, eqv5};
+pub use pattern::{alpha_map, match_map_agg, MapAggPattern};
+pub use quantifier::{eqv6, eqv7};
+pub use xi_fuse::xi_fuse;

@@ -1,0 +1,159 @@
+//! Ξ fusion (§5.1, last plan): turn `Ξ` over an Items-grouping into the
+//! group-detecting `Ξ`, saving the construction of the sequence-valued
+//! attribute entirely.
+//!
+//! ```text
+//! Ξ_{s1;a1;s2;g;s3}(Π_{a1:key}(Γ_{g;=key;Π_p}(X)))
+//!   =  s1;key;s2 Ξ^{s3}_{key;p}(X)
+//! ```
+
+use nal::{AggKind, CmpOp, Expr, ProjOp, XiCmd};
+
+/// Fuse a simple Ξ over an Items-producing unary Γ into a group-detecting
+/// Ξ over the Γ's input.
+pub fn xi_fuse(expr: &Expr) -> Option<Expr> {
+    let Expr::XiSimple { input, cmds } = expr else {
+        return None;
+    };
+    // Optional rename between Ξ and Γ (§5.1 renames a1 to a2').
+    let (group, rename): (&Expr, Option<&Vec<(nal::Sym, nal::Sym)>>) = match input.as_ref() {
+        Expr::Project { input, op: ProjOp::Rename(pairs) } => (input, Some(pairs)),
+        other => (other, None),
+    };
+    let Expr::GroupUnary { input: x, g, by, theta, f } = group else {
+        return None;
+    };
+    if *theta != CmpOp::Eq || by.len() != 1 {
+        return None;
+    }
+    // f must be a pure Items projection: the group value is exactly the
+    // item sequence the body commands would print.
+    if f.agg != AggKind::Items || f.filter.is_some() {
+        return None;
+    }
+    let body_attr = f.project?;
+    // Commands: everything before the single reference to g is the head,
+    // everything after is the tail. Variable references other than g must
+    // resolve to the group key (possibly through the rename).
+    let key = by[0];
+    let mut head = Vec::new();
+    let mut tail = Vec::new();
+    let mut seen_g = false;
+    for cmd in cmds {
+        match cmd {
+            XiCmd::Var(v) if *v == *g => {
+                if seen_g {
+                    return None; // g printed twice — do not fuse
+                }
+                seen_g = true;
+            }
+            XiCmd::Var(v) => {
+                // Translate a renamed key reference back to the key attr.
+                let resolved = match rename {
+                    Some(pairs) => pairs
+                        .iter()
+                        .find(|(new, _)| new == v)
+                        .map(|(_, old)| *old)
+                        .unwrap_or(*v),
+                    None => *v,
+                };
+                if resolved != key {
+                    return None;
+                }
+                let target = if seen_g { &mut tail } else { &mut head };
+                target.push(XiCmd::Var(key));
+            }
+            XiCmd::Str(s) => {
+                let target = if seen_g { &mut tail } else { &mut head };
+                target.push(XiCmd::Str(s.clone()));
+            }
+        }
+    }
+    if !seen_g {
+        return None;
+    }
+    Some(Expr::XiGroup {
+        input: x.clone(),
+        by: by.clone(),
+        head,
+        body: vec![XiCmd::Var(body_attr)],
+        tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nal::expr::builder::*;
+    use nal::{GroupFn, Sym, Tuple, Value};
+
+    fn base() -> Expr {
+        Expr::Literal(vec![
+            Tuple::from_pairs(vec![
+                (Sym::new("a2"), Value::str("author1")),
+                (Sym::new("t2"), Value::str("title1")),
+            ]),
+            Tuple::from_pairs(vec![
+                (Sym::new("a2"), Value::str("author1")),
+                (Sym::new("t2"), Value::str("title2")),
+            ]),
+            Tuple::from_pairs(vec![
+                (Sym::new("a2"), Value::str("author2")),
+                (Sym::new("t2"), Value::str("title3")),
+            ]),
+        ])
+    }
+
+    fn grouped_plan() -> Expr {
+        base()
+            .group_unary("t1", &["a2"], nal::CmpOp::Eq, GroupFn::project_items("t2"))
+            .rename(&[("a1", "a2")])
+            .xi(xi_cmds(&["<author><name>", "$a1", "</name>", "$t1", "</author>"]))
+    }
+
+    #[test]
+    fn fuses_into_group_xi() {
+        let fused = xi_fuse(&grouped_plan()).unwrap();
+        let Expr::XiGroup { by, head, body, tail, .. } = &fused else {
+            panic!("expected Ξg, got {fused}")
+        };
+        assert_eq!(by, &vec![Sym::new("a2")]);
+        assert_eq!(
+            head,
+            &xi_cmds(&["<author><name>", "$a2", "</name>"]),
+            "key reference translated through the rename"
+        );
+        assert_eq!(body, &xi_cmds(&["$t2"]));
+        assert_eq!(tail, &xi_cmds(&["</author>"]));
+    }
+
+    #[test]
+    fn fused_output_is_identical() {
+        let cat = xmldb::Catalog::new();
+        let mut ctx1 = nal::EvalCtx::new(&cat);
+        nal::eval_query(&grouped_plan(), &mut ctx1).unwrap();
+        let mut ctx2 = nal::EvalCtx::new(&cat);
+        nal::eval_query(&xi_fuse(&grouped_plan()).unwrap(), &mut ctx2).unwrap();
+        assert_eq!(ctx1.out, ctx2.out);
+        assert!(ctx1.out.contains("<author><name>author1</name>title1title2</author>"));
+    }
+
+    #[test]
+    fn declines_wrong_shapes() {
+        // Count instead of Items projection.
+        let e = base()
+            .group_unary("c", &["a2"], nal::CmpOp::Eq, GroupFn::count())
+            .xi(xi_cmds(&["$a2", "$c"]));
+        assert!(xi_fuse(&e).is_none());
+        // A command referencing a non-key attribute.
+        let e = base()
+            .group_unary("t1", &["a2"], nal::CmpOp::Eq, GroupFn::project_items("t2"))
+            .xi(xi_cmds(&["$zz", "$t1"]));
+        assert!(xi_fuse(&e).is_none());
+        // g never printed.
+        let e = base()
+            .group_unary("t1", &["a2"], nal::CmpOp::Eq, GroupFn::project_items("t2"))
+            .xi(xi_cmds(&["$a2"]));
+        assert!(xi_fuse(&e).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Document catalog: URI → loaded document.
+//!
+//! Queries reference documents by URI (`doc("bib.xml")`); the catalog is
+//! the runtime binding of those URIs. Documents are registered once before
+//! query execution and shared immutably afterwards (mirroring the paper's
+//! setup where the documents are resident in the database cache).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::document::Document;
+
+/// Index of a document within a [`Catalog`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A registry of documents addressable by URI.
+#[derive(Default)]
+pub struct Catalog {
+    docs: Vec<Arc<Document>>,
+    by_uri: HashMap<String, DocId>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register `doc` under its own URI, replacing any previous document
+    /// with the same URI. Returns the id.
+    pub fn register(&mut self, doc: Document) -> DocId {
+        self.register_arc(Arc::new(doc))
+    }
+
+    /// Register an already-shared document.
+    pub fn register_arc(&mut self, doc: Arc<Document>) -> DocId {
+        if let Some(&id) = self.by_uri.get(&doc.uri) {
+            self.docs[id.index()] = doc;
+            return id;
+        }
+        let id = DocId(u32::try_from(self.docs.len()).expect("too many documents"));
+        self.by_uri.insert(doc.uri.clone(), id);
+        self.docs.push(doc);
+        id
+    }
+
+    /// Look up a document by URI.
+    pub fn by_uri(&self, uri: &str) -> Option<DocId> {
+        self.by_uri.get(uri).copied()
+    }
+
+    /// Access a registered document.
+    pub fn doc(&self, id: DocId) -> &Arc<Document> {
+        &self.docs[id.index()]
+    }
+
+    /// Access a registered document by URI.
+    pub fn doc_by_uri(&self, uri: &str) -> Option<&Arc<Document>> {
+        self.by_uri(uri).map(|id| self.doc(id))
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate over `(id, document)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Arc<Document>)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DocId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        let d1 = parse_document("a.xml", "<a/>").unwrap();
+        let d2 = parse_document("b.xml", "<b/>").unwrap();
+        let id1 = cat.register(d1);
+        let id2 = cat.register(d2);
+        assert_ne!(id1, id2);
+        assert_eq!(cat.by_uri("a.xml"), Some(id1));
+        assert_eq!(cat.doc(id2).uri, "b.xml");
+        assert_eq!(cat.len(), 2);
+        assert!(cat.by_uri("c.xml").is_none());
+    }
+
+    #[test]
+    fn reregistering_same_uri_replaces() {
+        let mut cat = Catalog::new();
+        let id1 = cat.register(parse_document("a.xml", "<a/>").unwrap());
+        let id2 = cat.register(parse_document("a.xml", "<a><b/></a>").unwrap());
+        assert_eq!(id1, id2);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.doc(id1).node_count(), 3);
+    }
+}

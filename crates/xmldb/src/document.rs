@@ -1,0 +1,465 @@
+//! The arena-backed document store and its builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dtd::Dtd;
+use crate::node::{NodeData, NodeKind, NodeId, NONE};
+
+/// An immutable XML document.
+///
+/// Nodes live in a flat arena in document order; navigation uses
+/// first-child/next-sibling links. Names are interned per document so name
+/// tests are integer comparisons.
+pub struct Document {
+    /// Document URI within the catalog, e.g. `"bib.xml"`.
+    pub uri: String,
+    /// The internal DTD subset, if the document carried one (or if the
+    /// generator attached one). Schema facts for the rewriter come from here.
+    pub dtd: Option<Dtd>,
+    nodes: Vec<NodeData>,
+    names: Vec<Box<str>>,
+    name_index: HashMap<Box<str>, u32>,
+}
+
+impl Document {
+    /// Number of nodes (including the document node).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Resolve an interned name index to the name string.
+    #[inline]
+    pub fn name(&self, idx: u32) -> &str {
+        &self.names[idx as usize]
+    }
+
+    /// Look up the interned index for `name` without interning it.
+    /// Returns `None` if no node in this document uses the name.
+    #[inline]
+    pub fn find_name(&self, name: &str) -> Option<u32> {
+        self.name_index.get(name).copied()
+    }
+
+    #[inline]
+    fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    /// The kind of `id`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.data(id).kind
+    }
+
+    /// The element/attribute name of `id`, if it has one.
+    #[inline]
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.data(id).kind.name_index().map(|i| self.name(i))
+    }
+
+    /// Parent node, `None` for the document node.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        wrap(self.data(id).parent)
+    }
+
+    /// First child (text or element), if any.
+    #[inline]
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        wrap(self.data(id).first_child)
+    }
+
+    /// Next sibling in document order, if any.
+    #[inline]
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        wrap(self.data(id).next_sibling)
+    }
+
+    /// Iterator over the children of `id` in document order
+    /// (attributes are *not* children).
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children { doc: self, next: wrap(self.data(id).first_child) }
+    }
+
+    /// Iterator over the attribute nodes of `id` in declaration order.
+    pub fn attributes(&self, id: NodeId) -> Children<'_> {
+        Children { doc: self, next: wrap(self.data(id).first_attr) }
+    }
+
+    /// The attribute node named `name` of element `id`, if present.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        let idx = self.find_name(name)?;
+        self.attributes(id)
+            .find(|&a| self.data(a).kind == NodeKind::Attribute(idx))
+    }
+
+    /// Iterator over all descendants of `id` (excluding `id` itself,
+    /// excluding attributes) in document order.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, root: id, next: wrap(self.data(id).first_child) }
+    }
+
+    /// The root element of the document, if well-formed.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(NodeId::DOCUMENT)
+            .find(|&c| self.kind(c).is_element())
+    }
+
+    /// Raw text of a `Text` or `Attribute` node; empty for other kinds.
+    #[inline]
+    pub fn text(&self, id: NodeId) -> &str {
+        &self.data(id).text
+    }
+
+    /// The string value of a node per the XPath data model: concatenated
+    /// descendant text for documents/elements, stored text for
+    /// text/attribute nodes.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match self.kind(id) {
+            NodeKind::Text | NodeKind::Attribute(_) => self.text(id).to_string(),
+            NodeKind::Document | NodeKind::Element(_) => {
+                let mut s = String::new();
+                self.collect_text(id, &mut s);
+                s
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        for c in self.children(id) {
+            match self.kind(c) {
+                NodeKind::Text => out.push_str(self.text(c)),
+                NodeKind::Element(_) => self.collect_text(c, out),
+                _ => {}
+            }
+        }
+    }
+
+    /// `true` iff `anc` is an ancestor of `id` (strictly).
+    pub fn is_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+}
+
+impl fmt::Debug for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Document")
+            .field("uri", &self.uri)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[inline]
+fn wrap(raw: u32) -> Option<NodeId> {
+    if raw == NONE {
+        None
+    } else {
+        Some(NodeId(raw))
+    }
+}
+
+/// Iterator over a sibling chain.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Pre-order iterator over descendants of a subtree root.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Compute successor in pre-order, staying inside `root`.
+        let doc = self.doc;
+        self.next = if let Some(c) = doc.first_child(cur) {
+            Some(c)
+        } else {
+            let mut n = cur;
+            loop {
+                if n == self.root {
+                    break None;
+                }
+                if let Some(s) = doc.next_sibling(n) {
+                    break Some(s);
+                }
+                match doc.parent(n) {
+                    Some(p) => n = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+/// Builder that constructs a [`Document`] in document order.
+///
+/// Used by the parser and the data generators. Elements are opened and
+/// closed like a SAX stream; attributes must be added immediately after
+/// opening their element (before any child), so that arena order equals
+/// document order.
+pub struct DocumentBuilder {
+    doc: Document,
+    stack: Vec<u32>,
+}
+
+impl DocumentBuilder {
+    pub fn new(uri: impl Into<String>) -> DocumentBuilder {
+        let mut doc = Document {
+            uri: uri.into(),
+            dtd: None,
+            nodes: Vec::new(),
+            names: Vec::new(),
+            name_index: HashMap::new(),
+        };
+        doc.nodes.push(NodeData::new(NodeKind::Document));
+        DocumentBuilder { doc, stack: vec![0] }
+    }
+
+    /// Attach the parsed internal DTD subset.
+    pub fn set_dtd(&mut self, dtd: Dtd) {
+        self.doc.dtd = Some(dtd);
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.doc.name_index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.doc.names.len()).expect("too many names");
+        self.doc.names.push(name.into());
+        self.doc.name_index.insert(name.into(), i);
+        i
+    }
+
+    fn push_node(&mut self, data: NodeData) -> u32 {
+        let id = u32::try_from(self.doc.nodes.len()).expect("document too large");
+        self.doc.nodes.push(data);
+        id
+    }
+
+    fn current(&self) -> u32 {
+        *self.stack.last().expect("builder stack underflow")
+    }
+
+    /// Open a new element under the current node.
+    pub fn start_element(&mut self, name: &str) -> NodeId {
+        let name_idx = self.intern(name);
+        let parent = self.current();
+        let mut data = NodeData::new(NodeKind::Element(name_idx));
+        data.parent = parent;
+        let id = self.push_node(data);
+        self.link_child(parent, id);
+        self.stack.push(id);
+        NodeId(id)
+    }
+
+    /// Close the most recently opened element.
+    pub fn end_element(&mut self) {
+        assert!(self.stack.len() > 1, "end_element without start_element");
+        self.stack.pop();
+    }
+
+    /// Add an attribute to the currently open element. Must be called before
+    /// any child of that element is created.
+    pub fn attribute(&mut self, name: &str, value: &str) -> NodeId {
+        let name_idx = self.intern(name);
+        let owner = self.current();
+        assert!(
+            self.doc.nodes[owner as usize].first_child == NONE,
+            "attributes must precede children"
+        );
+        let mut data = NodeData::new(NodeKind::Attribute(name_idx));
+        data.parent = owner;
+        data.text = value.into();
+        let id = self.push_node(data);
+        // Append to the attribute chain.
+        let owner_data = &mut self.doc.nodes[owner as usize];
+        if owner_data.first_attr == NONE {
+            owner_data.first_attr = id;
+        } else {
+            let mut tail = owner_data.first_attr;
+            while self.doc.nodes[tail as usize].next_sibling != NONE {
+                tail = self.doc.nodes[tail as usize].next_sibling;
+            }
+            self.doc.nodes[tail as usize].next_sibling = id;
+            self.doc.nodes[id as usize].prev_sibling = tail;
+        }
+        NodeId(id)
+    }
+
+    /// Add a text node under the current node. Adjacent text is merged.
+    pub fn text(&mut self, content: &str) -> NodeId {
+        let parent = self.current();
+        // Merge with a preceding text sibling, as XML parsers are expected to.
+        let last = self.doc.nodes[parent as usize].last_child;
+        if last != NONE && self.doc.nodes[last as usize].kind == NodeKind::Text {
+            let mut merged = String::from(&*self.doc.nodes[last as usize].text);
+            merged.push_str(content);
+            self.doc.nodes[last as usize].text = merged.into();
+            return NodeId(last);
+        }
+        let mut data = NodeData::new(NodeKind::Text);
+        data.parent = parent;
+        data.text = content.into();
+        let id = self.push_node(data);
+        self.link_child(parent, id);
+        NodeId(id)
+    }
+
+    /// Convenience: `<name>text</name>`.
+    pub fn leaf(&mut self, name: &str, content: &str) -> NodeId {
+        let el = self.start_element(name);
+        if !content.is_empty() {
+            self.text(content);
+        }
+        self.end_element();
+        el
+    }
+
+    fn link_child(&mut self, parent: u32, child: u32) {
+        let p = &mut self.doc.nodes[parent as usize];
+        if p.first_child == NONE {
+            p.first_child = child;
+            p.last_child = child;
+        } else {
+            let prev = p.last_child;
+            p.last_child = child;
+            self.doc.nodes[prev as usize].next_sibling = child;
+            self.doc.nodes[child as usize].prev_sibling = prev;
+        }
+    }
+
+    /// Finish building; panics if elements are left open.
+    pub fn finish(self) -> Document {
+        assert_eq!(self.stack.len(), 1, "unclosed elements at finish()");
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new("t.xml");
+        b.start_element("bib");
+        b.start_element("book");
+        b.attribute("year", "1994");
+        b.leaf("title", "TCP/IP Illustrated");
+        b.leaf("author", "Stevens");
+        b.end_element();
+        b.start_element("book");
+        b.attribute("year", "2000");
+        b.leaf("title", "Data on the Web");
+        b.leaf("author", "Abiteboul");
+        b.leaf("author", "Buneman");
+        b.end_element();
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn navigation_and_names() {
+        let d = sample();
+        let root = d.root_element().unwrap();
+        assert_eq!(d.node_name(root), Some("bib"));
+        let books: Vec<_> = d.children(root).collect();
+        assert_eq!(books.len(), 2);
+        assert_eq!(d.node_name(books[0]), Some("book"));
+        assert_eq!(d.parent(books[0]), Some(root));
+    }
+
+    #[test]
+    fn document_order_is_node_id_order() {
+        let d = sample();
+        let all: Vec<_> = d.descendants(NodeId::DOCUMENT).collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted, "pre-order must equal arena order");
+    }
+
+    #[test]
+    fn attributes_are_found_by_name() {
+        let d = sample();
+        let root = d.root_element().unwrap();
+        let book = d.children(root).next().unwrap();
+        let year = d.attribute(book, "year").unwrap();
+        assert_eq!(d.text(year), "1994");
+        assert_eq!(d.attribute(book, "missing"), None);
+    }
+
+    #[test]
+    fn string_value_concatenates_text() {
+        let d = sample();
+        let root = d.root_element().unwrap();
+        let book = d.children(root).next().unwrap();
+        assert_eq!(d.string_value(book), "TCP/IP IllustratedStevens");
+        let title = d.children(book).next().unwrap();
+        assert_eq!(d.string_value(title), "TCP/IP Illustrated");
+    }
+
+    #[test]
+    fn descendants_stays_within_subtree() {
+        let d = sample();
+        let root = d.root_element().unwrap();
+        let book1 = d.children(root).next().unwrap();
+        let names: Vec<_> = d
+            .descendants(book1)
+            .filter_map(|n| d.node_name(n).map(str::to_string))
+            .collect();
+        assert_eq!(names, vec!["title", "author"]);
+    }
+
+    #[test]
+    fn text_merging() {
+        let mut b = DocumentBuilder::new("m.xml");
+        b.start_element("a");
+        b.text("one ");
+        b.text("two");
+        b.end_element();
+        let d = b.finish();
+        let a = d.root_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(d.text(kids[0]), "one two");
+    }
+
+    #[test]
+    fn is_ancestor() {
+        let d = sample();
+        let root = d.root_element().unwrap();
+        let book = d.children(root).next().unwrap();
+        let title = d.children(book).next().unwrap();
+        assert!(d.is_ancestor(root, title));
+        assert!(d.is_ancestor(NodeId::DOCUMENT, title));
+        assert!(!d.is_ancestor(title, root));
+        assert!(!d.is_ancestor(book, book));
+    }
+}

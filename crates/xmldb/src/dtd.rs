@@ -1,0 +1,526 @@
+//! DTD model and parser for internal DTD subsets.
+//!
+//! The unnesting equivalences 3, 5, 8, and 9 of the paper are only
+//! applicable under schema conditions like "every `author` element occurs
+//! directly under a `book` element" or "every `book` has exactly one
+//! `title` child" (§5.1, §5.2, §5.6). Those facts are derived from the
+//! document DTDs of Fig. 5; this module parses and models exactly the DTD
+//! subset those documents use: `<!ELEMENT>` declarations with sequence,
+//! choice, repetition, `#PCDATA`, and `<!ATTLIST>` declarations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Occurrence indicator on a content particle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Repetition {
+    /// exactly once (no indicator)
+    One,
+    /// `?`
+    Optional,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+}
+
+impl Repetition {
+    pub(crate) fn min(self) -> u32 {
+        match self {
+            Repetition::One | Repetition::Plus => 1,
+            Repetition::Optional | Repetition::Star => 0,
+        }
+    }
+
+    pub(crate) fn max_many(self) -> bool {
+        matches!(self, Repetition::Star | Repetition::Plus)
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            Repetition::One => "",
+            Repetition::Optional => "?",
+            Repetition::Star => "*",
+            Repetition::Plus => "+",
+        }
+    }
+}
+
+/// A content particle: a name, a sequence, or a choice, each with a
+/// repetition indicator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ContentParticle {
+    Name(String, Repetition),
+    Seq(Vec<ContentParticle>, Repetition),
+    Choice(Vec<ContentParticle>, Repetition),
+}
+
+impl ContentParticle {
+    pub fn repetition(&self) -> Repetition {
+        match self {
+            ContentParticle::Name(_, r)
+            | ContentParticle::Seq(_, r)
+            | ContentParticle::Choice(_, r) => *r,
+        }
+    }
+
+    /// All element names mentioned in this particle.
+    pub fn names(&self, out: &mut Vec<String>) {
+        match self {
+            ContentParticle::Name(n, _) => out.push(n.clone()),
+            ContentParticle::Seq(ps, _) | ContentParticle::Choice(ps, _) => {
+                for p in ps {
+                    p.names(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ContentParticle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentParticle::Name(n, r) => write!(f, "{}{}", n, r.suffix()),
+            ContentParticle::Seq(ps, r) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "){}", r.suffix())
+            }
+            ContentParticle::Choice(ps, r) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "){}", r.suffix())
+            }
+        }
+    }
+}
+
+/// The content specification of an element declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ContentSpec {
+    Empty,
+    Any,
+    /// `(#PCDATA)`
+    PcData,
+    /// `(#PCDATA | a | b)*`
+    Mixed(Vec<String>),
+    /// Element content.
+    Children(ContentParticle),
+}
+
+/// `<!ELEMENT name content>`
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ElementDecl {
+    pub name: String,
+    pub content: ContentSpec,
+}
+
+/// One attribute definition from an `<!ATTLIST>` declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AttDef {
+    pub element: String,
+    pub name: String,
+    /// `CDATA`, `ID`, enumerations, … — kept verbatim.
+    pub att_type: String,
+    /// `#REQUIRED`, `#IMPLIED`, `#FIXED "v"`, or a default value.
+    pub default: String,
+}
+
+/// A parsed internal DTD subset.
+#[derive(Clone, Default, Debug)]
+pub struct Dtd {
+    /// The document type name from `<!DOCTYPE name [...]>`.
+    pub doctype: String,
+    pub elements: Vec<ElementDecl>,
+    pub attributes: Vec<AttDef>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Dtd {
+    pub fn new(doctype: impl Into<String>) -> Dtd {
+        Dtd { doctype: doctype.into(), ..Dtd::default() }
+    }
+
+    pub fn push_element(&mut self, decl: ElementDecl) {
+        self.by_name.insert(decl.name.clone(), self.elements.len());
+        self.elements.push(decl);
+    }
+
+    /// Look up the declaration for `name`.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.by_name.get(name).map(|&i| &self.elements[i])
+    }
+
+    /// Attribute definitions declared for `element`.
+    pub fn attributes_of<'a>(&'a self, element: &'a str) -> impl Iterator<Item = &'a AttDef> {
+        self.attributes.iter().filter(move |a| a.element == element)
+    }
+
+    /// Parse the *internal subset* between `[` and `]` of a DOCTYPE.
+    pub fn parse_internal_subset(doctype: &str, subset: &str) -> Result<Dtd, String> {
+        let mut dtd = Dtd::new(doctype);
+        let mut p = DtdParser { s: subset.as_bytes(), pos: 0 };
+        p.skip_ws();
+        while !p.eof() {
+            if p.starts_with("<!ELEMENT") {
+                p.advance("<!ELEMENT".len());
+                p.skip_ws();
+                let name = p.name()?;
+                p.skip_ws();
+                let content = p.content_spec()?;
+                p.skip_ws();
+                p.expect(b'>')?;
+                dtd.push_element(ElementDecl { name, content });
+            } else if p.starts_with("<!ATTLIST") {
+                p.advance("<!ATTLIST".len());
+                p.skip_ws();
+                let element = p.name()?;
+                p.skip_ws();
+                while !p.eof() && p.peek() != b'>' {
+                    let name = p.name()?;
+                    p.skip_ws();
+                    let att_type = p.att_type()?;
+                    p.skip_ws();
+                    let default = p.default_decl()?;
+                    p.skip_ws();
+                    dtd.attributes.push(AttDef {
+                        element: element.clone(),
+                        name,
+                        att_type,
+                        default,
+                    });
+                }
+                p.expect(b'>')?;
+            } else if p.starts_with("<!--") {
+                p.skip_comment()?;
+            } else {
+                return Err(format!("unexpected DTD content at byte {}", p.pos));
+            }
+            p.skip_ws();
+        }
+        Ok(dtd)
+    }
+}
+
+struct DtdParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DtdParser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.s.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.s[self.pos]
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        self.s[self.pos..].starts_with(pat.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while !self.eof() && self.peek().is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), String> {
+        // self.pos is at "<!--"
+        self.advance(4);
+        while !self.eof() && !self.starts_with("-->") {
+            self.pos += 1;
+        }
+        if self.eof() {
+            return Err("unterminated comment in DTD".into());
+        }
+        self.advance(3);
+        Ok(())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eof() || self.peek() != b {
+            return Err(format!("expected '{}' at byte {}", b as char, self.pos));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn name(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        while !self.eof() {
+            let c = self.peek();
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(format!("expected name at byte {}", self.pos));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    fn repetition(&mut self) -> Repetition {
+        if self.eof() {
+            return Repetition::One;
+        }
+        match self.peek() {
+            b'?' => {
+                self.pos += 1;
+                Repetition::Optional
+            }
+            b'*' => {
+                self.pos += 1;
+                Repetition::Star
+            }
+            b'+' => {
+                self.pos += 1;
+                Repetition::Plus
+            }
+            _ => Repetition::One,
+        }
+    }
+
+    fn content_spec(&mut self) -> Result<ContentSpec, String> {
+        if self.starts_with("EMPTY") {
+            self.advance(5);
+            return Ok(ContentSpec::Empty);
+        }
+        if self.starts_with("ANY") {
+            self.advance(3);
+            return Ok(ContentSpec::Any);
+        }
+        self.expect(b'(')?;
+        self.skip_ws();
+        if self.starts_with("#PCDATA") {
+            self.advance("#PCDATA".len());
+            self.skip_ws();
+            let mut mixed = Vec::new();
+            while !self.eof() && self.peek() == b'|' {
+                self.pos += 1;
+                self.skip_ws();
+                mixed.push(self.name()?);
+                self.skip_ws();
+            }
+            self.expect(b')')?;
+            // optional trailing '*' of mixed content
+            if !self.eof() && self.peek() == b'*' {
+                self.pos += 1;
+            }
+            return Ok(if mixed.is_empty() {
+                ContentSpec::PcData
+            } else {
+                ContentSpec::Mixed(mixed)
+            });
+        }
+        // element content: we already consumed '('
+        let particle = self.group_body()?;
+        Ok(ContentSpec::Children(particle))
+    }
+
+    /// Parse the inside of a group whose '(' has been consumed, through the
+    /// matching ')' and trailing repetition indicator.
+    fn group_body(&mut self) -> Result<ContentParticle, String> {
+        let mut items = vec![self.cp()?];
+        self.skip_ws();
+        let mut sep: Option<u8> = None;
+        while !self.eof() && (self.peek() == b',' || self.peek() == b'|') {
+            let s = self.peek();
+            match sep {
+                None => sep = Some(s),
+                Some(prev) if prev != s => {
+                    return Err(format!("mixed ',' and '|' in one group at byte {}", self.pos))
+                }
+                _ => {}
+            }
+            self.pos += 1;
+            self.skip_ws();
+            items.push(self.cp()?);
+            self.skip_ws();
+        }
+        self.expect(b')')?;
+        let rep = self.repetition();
+        Ok(match sep {
+            Some(b'|') => ContentParticle::Choice(items, rep),
+            _ if items.len() == 1 => {
+                // `(x)` — keep as a sequence of one for uniformity.
+                ContentParticle::Seq(items, rep)
+            }
+            _ => ContentParticle::Seq(items, rep),
+        })
+    }
+
+    /// A single content particle: name or parenthesised group.
+    fn cp(&mut self) -> Result<ContentParticle, String> {
+        self.skip_ws();
+        if !self.eof() && self.peek() == b'(' {
+            self.pos += 1;
+            self.skip_ws();
+            self.group_body()
+        } else {
+            let n = self.name()?;
+            let rep = self.repetition();
+            Ok(ContentParticle::Name(n, rep))
+        }
+    }
+
+    fn att_type(&mut self) -> Result<String, String> {
+        if !self.eof() && self.peek() == b'(' {
+            // enumeration
+            let start = self.pos;
+            while !self.eof() && self.peek() != b')' {
+                self.pos += 1;
+            }
+            self.expect(b')')?;
+            return Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned());
+        }
+        self.name()
+    }
+
+    fn default_decl(&mut self) -> Result<String, String> {
+        if !self.eof() && self.peek() == b'#' {
+            let start = self.pos;
+            self.pos += 1;
+            let kw = self.name()?;
+            if kw == "FIXED" {
+                self.skip_ws();
+                self.quoted()?;
+            }
+            return Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned());
+        }
+        self.quoted()
+    }
+
+    fn quoted(&mut self) -> Result<String, String> {
+        if self.eof() || (self.peek() != b'"' && self.peek() != b'\'') {
+            return Err(format!("expected quoted value at byte {}", self.pos));
+        }
+        let q = self.peek();
+        self.pos += 1;
+        let start = self.pos;
+        while !self.eof() && self.peek() != q {
+            self.pos += 1;
+        }
+        let v = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+        self.expect(q)?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"
+        <!ELEMENT bib (book*)>
+        <!ELEMENT book (title, (author+ | editor+), publisher, price)>
+        <!ATTLIST book year CDATA #REQUIRED>
+        <!ELEMENT author (last, first)>
+        <!ELEMENT editor (last, first, affiliation)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT last (#PCDATA)>
+        <!ELEMENT first (#PCDATA)>
+        <!ELEMENT affiliation (#PCDATA)>
+        <!ELEMENT publisher (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+    "#;
+
+    #[test]
+    fn parses_bib_dtd() {
+        let dtd = Dtd::parse_internal_subset("bib", BIB).unwrap();
+        assert_eq!(dtd.doctype, "bib");
+        assert_eq!(dtd.elements.len(), 10);
+        let book = dtd.element("book").unwrap();
+        match &book.content {
+            ContentSpec::Children(cp) => {
+                let mut names = Vec::new();
+                cp.names(&mut names);
+                assert_eq!(names, vec!["title", "author", "editor", "publisher", "price"]);
+            }
+            other => panic!("unexpected content: {other:?}"),
+        }
+        assert_eq!(dtd.element("title").unwrap().content, ContentSpec::PcData);
+        let att = dtd.attributes_of("book").next().unwrap();
+        assert_eq!(att.name, "year");
+        assert_eq!(att.att_type, "CDATA");
+        assert_eq!(att.default, "#REQUIRED");
+    }
+
+    #[test]
+    fn parses_nested_choice_structure() {
+        let dtd = Dtd::parse_internal_subset("bib", BIB).unwrap();
+        let book = dtd.element("book").unwrap();
+        let ContentSpec::Children(ContentParticle::Seq(items, Repetition::One)) = &book.content
+        else {
+            panic!("book should be a sequence");
+        };
+        assert_eq!(items.len(), 4);
+        match &items[1] {
+            ContentParticle::Choice(alts, Repetition::One) => {
+                assert_eq!(
+                    alts,
+                    &vec![
+                        ContentParticle::Name("author".into(), Repetition::Plus),
+                        ContentParticle::Name("editor".into(), Repetition::Plus),
+                    ]
+                );
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_and_star() {
+        let dtd = Dtd::parse_internal_subset(
+            "users",
+            "<!ELEMENT users (usertuple*)>\n<!ELEMENT usertuple (userid, name, rating?)>",
+        )
+        .unwrap();
+        let u = dtd.element("usertuple").unwrap();
+        let ContentSpec::Children(ContentParticle::Seq(items, _)) = &u.content else {
+            panic!()
+        };
+        assert_eq!(items[2], ContentParticle::Name("rating".into(), Repetition::Optional));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let dtd = Dtd::parse_internal_subset("bib", BIB).unwrap();
+        let book = dtd.element("book").unwrap();
+        let ContentSpec::Children(cp) = &book.content else { panic!() };
+        assert_eq!(cp.to_string(), "(title, (author+ | editor+), publisher, price)");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Dtd::parse_internal_subset("x", "<!BOGUS foo>").is_err());
+        assert!(Dtd::parse_internal_subset("x", "<!ELEMENT a (b,|c)>").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let dtd = Dtd::parse_internal_subset(
+            "x",
+            "<!-- header --><!ELEMENT a (#PCDATA)><!-- trailer -->",
+        )
+        .unwrap();
+        assert!(dtd.element("a").is_some());
+    }
+}

@@ -1,0 +1,91 @@
+//! Generator for `reviews.xml` (use case XMP, Fig. 5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::document::{Document, DocumentBuilder};
+use crate::dtd::Dtd;
+use crate::gen::text;
+
+/// The paper's reviews DTD, verbatim from Fig. 5.
+pub const REVIEWS_DTD: &str = r#"
+<!ELEMENT reviews (entry*)>
+<!ELEMENT entry (title, price, review)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+"#;
+
+/// Parameters for [`gen_reviews`].
+#[derive(Clone, Debug)]
+pub struct ReviewsConfig {
+    pub uri: String,
+    /// Number of `entry` elements.
+    pub entries: usize,
+    /// Entry *j* reviews title `text::title(stride · j)`. With the default
+    /// stride 2 and equally many books, about half the books have a review
+    /// — a realistic selectivity for the semijoin experiment (§5.3).
+    pub title_stride: usize,
+    pub review_words: usize,
+    pub seed: u64,
+}
+
+impl Default for ReviewsConfig {
+    fn default() -> ReviewsConfig {
+        ReviewsConfig {
+            uri: "reviews.xml".into(),
+            entries: 100,
+            title_stride: 2,
+            review_words: 14,
+            seed: 0x6e_1e,
+        }
+    }
+}
+
+/// Generate a `reviews.xml` document.
+pub fn gen_reviews(cfg: &ReviewsConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new(cfg.uri.clone());
+    b.set_dtd(Dtd::parse_internal_subset("reviews", REVIEWS_DTD).expect("static DTD parses"));
+    b.start_element("reviews");
+    for j in 0..cfg.entries {
+        b.start_element("entry");
+        b.leaf("title", &text::title(j * cfg.title_stride.max(1)));
+        b.leaf("price", &text::price(j, 0x6e).to_string());
+        b.leaf("review", &text::review(j, cfg.review_words + rng.gen_range(0..4)));
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_count() {
+        let d = gen_reviews(&ReviewsConfig { entries: 12, ..ReviewsConfig::default() });
+        let root = d.root_element().unwrap();
+        assert_eq!(d.node_name(root), Some("reviews"));
+        let entries: Vec<_> = d.children(root).collect();
+        assert_eq!(entries.len(), 12);
+        for &e in &entries {
+            let names: Vec<_> =
+                d.children(e).filter_map(|c| d.node_name(c).map(str::to_string)).collect();
+            assert_eq!(names, vec!["title", "price", "review"]);
+        }
+    }
+
+    #[test]
+    fn stride_controls_overlap_with_bib() {
+        let d = gen_reviews(&ReviewsConfig { entries: 10, title_stride: 2, ..Default::default() });
+        let root = d.root_element().unwrap();
+        let first_entry = d.children(root).next().unwrap();
+        let second_entry = d.children(root).nth(1).unwrap();
+        let t0 = d.string_value(d.children(first_entry).next().unwrap());
+        let t1 = d.string_value(d.children(second_entry).next().unwrap());
+        assert_eq!(t0, text::title(0), "reviewed titles come from the shared pool");
+        assert_eq!(t1, text::title(2), "stride 2 skips every other title");
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic text pools shared across generators.
+//!
+//! Titles, names, publishers, and review prose are all pure functions of
+//! an index (plus small pools), so independently generated documents agree
+//! on join keys without sharing state.
+
+/// Word pool for titles.
+const TITLE_WORDS: [&str; 32] = [
+    "Advanced", "Data", "on", "the", "Web", "Query", "Processing", "Semistructured",
+    "Foundations", "of", "Databases", "Transaction", "Concepts", "XML", "Modern",
+    "Information", "Retrieval", "Systems", "Design", "Principles", "Distributed",
+    "Algorithms", "Optimization", "Streams", "Ordered", "Algebra", "Indexing",
+    "Structures", "Practical", "Theory", "Networks", "Unnesting",
+];
+
+const LAST_NAMES: [&str; 24] = [
+    "Stevens", "Abiteboul", "Buneman", "Suciu", "Kim", "Dayal", "Moerkotte", "Helmer",
+    "May", "Kanne", "Fiebig", "Westmann", "Neumann", "Schiele", "Beeri", "Tzaban",
+    "Cluet", "Graefe", "Kossmann", "Kemper", "Claussen", "Lerner", "Shasha", "Klug",
+];
+
+const FIRST_NAMES: [&str; 16] = [
+    "W.", "Serge", "Peter", "Dan", "Won", "Umeshwar", "Guido", "Sven", "Norman",
+    "Carl", "Thorsten", "Till", "Julia", "Robert", "Catriel", "Yariv",
+];
+
+const PUBLISHERS: [&str; 8] = [
+    "Addison-Wesley", "Morgan Kaufmann", "Springer", "ACM Press", "IEEE Press",
+    "O'Reilly", "Prentice Hall", "North Holland",
+];
+
+const REVIEW_WORDS: [&str; 20] = [
+    "excellent", "thorough", "treatment", "of", "the", "subject", "readable",
+    "introduction", "covers", "advanced", "material", "recommended", "for",
+    "practitioners", "dated", "but", "classic", "reference", "dense", "rigorous",
+];
+
+/// Splitmix64 — a tiny, high-quality index scrambler so pure functions of
+/// an index do not produce visibly sequential text.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic book title for index `i`. Distinct for distinct `i`.
+pub fn title(i: usize) -> String {
+    let h = mix(i as u64);
+    let w1 = TITLE_WORDS[(h % 32) as usize];
+    let w2 = TITLE_WORDS[((h >> 8) % 32) as usize];
+    let w3 = TITLE_WORDS[((h >> 16) % 32) as usize];
+    // The numeric suffix guarantees distinctness; the words give realistic
+    // sizes and sort behaviour.
+    format!("{w1} {w2} {w3} Vol. {i}")
+}
+
+/// Deterministic author last name for author index `i`. Distinct per `i`.
+pub fn last_name(i: usize) -> String {
+    let base = LAST_NAMES[i % LAST_NAMES.len()];
+    if i < LAST_NAMES.len() {
+        base.to_string()
+    } else {
+        format!("{base}-{}", i / LAST_NAMES.len())
+    }
+}
+
+/// Deterministic author first name for author index `i`.
+pub fn first_name(i: usize) -> String {
+    FIRST_NAMES[(mix(i as u64) % FIRST_NAMES.len() as u64) as usize].to_string()
+}
+
+/// Full author name as a single string (used by `dblp`-style documents
+/// where `author` has text content instead of `(last, first)` children).
+pub fn full_name(i: usize) -> String {
+    format!("{} {}", first_name(i), last_name(i))
+}
+
+/// Deterministic publisher for index `i`.
+pub fn publisher(i: usize) -> &'static str {
+    PUBLISHERS[(mix(i as u64 ^ 0xfeed) % PUBLISHERS.len() as u64) as usize]
+}
+
+/// Deterministic price string with two decimals in `[10.00, 159.99]`.
+pub fn price(i: usize, salt: u64) -> String {
+    let h = mix(i as u64 ^ salt);
+    let cents = 1000 + (h % 15000);
+    format!("{}.{:02}", cents / 100, cents % 100)
+}
+
+/// Deterministic review prose of `n` words for index `i`.
+pub fn review(i: usize, n: usize) -> String {
+    let mut out = String::new();
+    let mut h = mix(i as u64 ^ 0xbeef);
+    for k in 0..n {
+        if k > 0 {
+            out.push(' ');
+        }
+        out.push_str(REVIEW_WORDS[(h % REVIEW_WORDS.len() as u64) as usize]);
+        h = mix(h);
+    }
+    out
+}
+
+/// Deterministic ISO date within 1999-2003 for index `i`.
+pub fn date(i: usize, salt: u64) -> String {
+    let h = mix(i as u64 ^ salt);
+    let year = 1999 + (h % 5);
+    let month = 1 + ((h >> 8) % 12);
+    let day = 1 + ((h >> 16) % 28);
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn titles_are_distinct_and_deterministic() {
+        let set: HashSet<String> = (0..5000).map(title).collect();
+        assert_eq!(set.len(), 5000);
+        assert_eq!(title(17), title(17));
+    }
+
+    #[test]
+    fn names_are_distinct_per_index() {
+        let set: HashSet<(String, String)> =
+            (0..2000).map(|i| (last_name(i), first_name(i))).collect();
+        assert_eq!(set.len(), 2000, "(last, first) pairs must be distinct");
+    }
+
+    #[test]
+    fn price_shape() {
+        for i in 0..100 {
+            let p = price(i, 1);
+            let v: f64 = p.parse().unwrap();
+            assert!((10.0..160.0).contains(&v), "{p}");
+            assert_eq!(p.split('.').nth(1).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn date_shape() {
+        let d = date(3, 9);
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[4..5], "-");
+    }
+
+    #[test]
+    fn review_word_count() {
+        assert_eq!(review(5, 12).split(' ').count(), 12);
+    }
+}

@@ -1,0 +1,38 @@
+//! `xmldb` — an arena-backed XML document store.
+//!
+//! This crate is the storage substrate for the ordered-unnesting project
+//! (May/Helmer/Moerkotte, *Nested Queries and Quantifiers in an Ordered
+//! Context*, ICDE 2004). It provides everything the paper's experiments
+//! assume from the Natix storage layer:
+//!
+//! * an in-memory, arena-backed [`Document`] with cheap node handles
+//!   ([`NodeId`]) whose numeric order *is* document order,
+//! * an XML [`parser`] and [`serializer`],
+//! * a [`dtd`] model plus [`schema`] facts derived from it (these drive the
+//!   correctness conditions of unnesting equivalences 3/5/8/9),
+//! * deterministic data [`gen`]erators replacing ToXgene for the paper's
+//!   six workloads (Fig. 5 / Fig. 6), and
+//! * a [`Catalog`] mapping document URIs (`"bib.xml"`) to loaded documents.
+//!
+//! The store is immutable after construction: documents are built once (by
+//! the parser or a generator) and then only read by the query engine. That
+//! is exactly the regime of the paper's experiments, where the database
+//! cache is configured to hold the queried documents.
+
+pub mod catalog;
+pub mod document;
+pub mod dtd;
+pub mod gen;
+pub mod node;
+pub mod parser;
+pub mod schema;
+pub mod serializer;
+pub mod stats;
+
+pub use catalog::{Catalog, DocId};
+pub use document::{Document, DocumentBuilder};
+pub use dtd::{AttDef, ContentParticle, ContentSpec, Dtd, ElementDecl, Repetition};
+pub use node::{NodeId, NodeKind};
+pub use parser::{parse_document, ParseError};
+pub use schema::{Occurrence, SchemaFacts};
+pub use stats::DocStats;

@@ -1,0 +1,145 @@
+//! Node handles and node kinds.
+//!
+//! A [`NodeId`] is an index into the owning document's arena. Nodes are
+//! allocated in document order, so comparing two `NodeId`s of the same
+//! document compares their document order — the property the
+//! order-preserving algebra relies on.
+
+use std::fmt;
+
+/// Handle to a node within a [`crate::Document`].
+///
+/// Internally an arena index. `NodeId(0)` is always the document node.
+/// Because the parser and the generators allocate nodes in document order,
+/// `a < b` iff `a` precedes `b` in document order (attributes are ordered
+/// immediately after their owner element, before its children, matching the
+/// XPath data model closely enough for this project).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The document node of every document.
+    pub const DOCUMENT: NodeId = NodeId(0);
+
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw arena index. Intended for the document builder
+    /// and tests; an out-of-range id will panic on first use.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("document too large: more than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a node, mirroring the subset of the XPath data model the
+/// paper's queries need: documents, elements, attributes, and text.
+///
+/// Element and attribute names are interned per document; `name` here is the
+/// interned index (see [`crate::Document::name`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// The root of the tree; has exactly one element child for well-formed
+    /// documents.
+    Document,
+    /// An element node; payload is the interned name index.
+    Element(u32),
+    /// An attribute node; payload is the interned name index. The value is
+    /// stored as node text.
+    Attribute(u32),
+    /// A text node. The content is stored as node text.
+    Text,
+}
+
+impl NodeKind {
+    /// Interned name index, if this kind carries a name.
+    #[inline]
+    pub fn name_index(self) -> Option<u32> {
+        match self {
+            NodeKind::Element(n) | NodeKind::Attribute(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn is_element(self) -> bool {
+        matches!(self, NodeKind::Element(_))
+    }
+
+    #[inline]
+    pub fn is_attribute(self) -> bool {
+        matches!(self, NodeKind::Attribute(_))
+    }
+
+    #[inline]
+    pub fn is_text(self) -> bool {
+        matches!(self, NodeKind::Text)
+    }
+}
+
+/// Per-node data stored in the document arena.
+///
+/// Links are classic first-child/next-sibling threading; attribute nodes of
+/// an element form their own sibling chain starting at `first_attr` of the
+/// element. `u32::MAX` encodes "none" to keep the struct compact.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeData {
+    pub kind: NodeKind,
+    pub parent: u32,
+    pub first_child: u32,
+    pub last_child: u32,
+    pub next_sibling: u32,
+    pub prev_sibling: u32,
+    /// First attribute node (elements only).
+    pub first_attr: u32,
+    /// Text content for `Text` and `Attribute` nodes; empty otherwise.
+    pub text: Box<str>,
+}
+
+pub(crate) const NONE: u32 = u32::MAX;
+
+impl NodeData {
+    pub(crate) fn new(kind: NodeKind) -> NodeData {
+        NodeData {
+            kind,
+            parent: NONE,
+            first_child: NONE,
+            last_child: NONE,
+            next_sibling: NONE,
+            prev_sibling: NONE,
+            first_attr: NONE,
+            text: "".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert_eq!(NodeId::DOCUMENT, NodeId::from_index(0));
+        assert_eq!(NodeId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Element(0).is_element());
+        assert!(NodeKind::Attribute(1).is_attribute());
+        assert!(NodeKind::Text.is_text());
+        assert_eq!(NodeKind::Element(3).name_index(), Some(3));
+        assert_eq!(NodeKind::Text.name_index(), None);
+        assert_eq!(NodeKind::Document.name_index(), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! Path AST.
+
+use std::fmt;
+
+/// Axis of a location step.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Axis {
+    /// `/name`
+    Child,
+    /// `//name` — descendant (of the context node), as in the abbreviated
+    /// syntax `descendant-or-self::node()/child::name`.
+    Descendant,
+    /// `/@name`
+    Attribute,
+}
+
+/// Node test of a location step.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NameTest {
+    /// `*` — any element (or any attribute on the attribute axis).
+    Any,
+    /// A literal element/attribute name.
+    Name(String),
+}
+
+impl NameTest {
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            NameTest::Any => true,
+            NameTest::Name(n) => n == name,
+        }
+    }
+
+    /// The literal name, if this is not a wildcard.
+    pub fn literal(&self) -> Option<&str> {
+        match self {
+            NameTest::Any => None,
+            NameTest::Name(n) => Some(n),
+        }
+    }
+}
+
+/// One location step.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NameTest,
+}
+
+impl Step {
+    pub fn child(name: impl Into<String>) -> Step {
+        Step { axis: Axis::Child, test: NameTest::Name(name.into()) }
+    }
+
+    pub fn descendant(name: impl Into<String>) -> Step {
+        Step { axis: Axis::Descendant, test: NameTest::Name(name.into()) }
+    }
+
+    pub fn attribute(name: impl Into<String>) -> Step {
+        Step { axis: Axis::Attribute, test: NameTest::Name(name.into()) }
+    }
+}
+
+/// A relative, purely structural path: a sequence of steps applied to a
+/// context sequence. (`doc("x")//book/title` is represented as the steps
+/// `//book` `/title` applied to the document node of `x`; binding the
+/// start is the algebra's job.)
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Path {
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    pub fn new(steps: Vec<Step>) -> Path {
+        Path { steps }
+    }
+
+    /// `true` iff any step uses the descendant axis (used by the engine's
+    /// "document scan" accounting).
+    pub fn has_descendant(&self) -> bool {
+        self.steps.iter().any(|s| s.axis == Axis::Descendant)
+    }
+
+    /// The name tests along the path, for schema reasoning
+    /// (`//book/title` → `["book", "title"]`). `None` if any step is a
+    /// wildcard or attribute step other than the last.
+    pub fn element_trail(&self) -> Option<Vec<&str>> {
+        self.steps.iter().map(|s| s.test.literal()).collect()
+    }
+
+    /// Concatenate two paths (`p1/p2`).
+    pub fn join(&self, other: &Path) -> Path {
+        let mut steps = self.steps.clone();
+        steps.extend(other.steps.iter().cloned());
+        Path { steps }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            match step.axis {
+                Axis::Child => write!(f, "/")?,
+                Axis::Descendant => write!(f, "//")?,
+                Axis::Attribute => write!(f, "/@")?,
+            }
+            match &step.test {
+                NameTest::Any => write!(f, "*")?,
+                NameTest::Name(n) => write!(f, "{n}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_shapes() {
+        let p = Path::new(vec![Step::descendant("book"), Step::child("title")]);
+        assert_eq!(p.to_string(), "//book/title");
+        let q = Path::new(vec![Step::child("book"), Step::attribute("year")]);
+        assert_eq!(q.to_string(), "/book/@year");
+    }
+
+    #[test]
+    fn element_trail() {
+        let p = Path::new(vec![Step::descendant("book"), Step::child("title")]);
+        assert_eq!(p.element_trail(), Some(vec!["book", "title"]));
+        let q = Path::new(vec![Step { axis: Axis::Child, test: NameTest::Any }]);
+        assert_eq!(q.element_trail(), None);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let p = Path::new(vec![Step::descendant("book")]);
+        let q = Path::new(vec![Step::child("author")]);
+        assert_eq!(p.join(&q).to_string(), "//book/author");
+    }
+
+    #[test]
+    fn has_descendant() {
+        assert!(Path::new(vec![Step::descendant("a")]).has_descendant());
+        assert!(!Path::new(vec![Step::child("a")]).has_descendant());
+    }
+}

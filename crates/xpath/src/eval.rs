@@ -1,0 +1,184 @@
+//! Path evaluation: document order, duplicate-free.
+
+use xmldb::{Document, NodeId, NodeKind};
+
+use crate::ast::{Axis, Path, Step};
+
+/// Counters the engine uses for the paper's "number of document scans"
+/// argument (§5.1: the nested plan scans the document |author|+1 times).
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCounters {
+    /// Number of descendant-axis traversals started from the document node
+    /// or the root element — i.e. full document scans.
+    pub doc_scans: u64,
+    /// Total nodes visited while evaluating steps.
+    pub nodes_visited: u64,
+}
+
+/// Evaluate `path` over the given context nodes (all from `doc`).
+///
+/// The context sequence must be in document order and duplicate-free;
+/// each step then produces a document-order, duplicate-free result, which
+/// is the invariant the NAL operators assume. (Per-step sorting is
+/// unnecessary: child/attribute steps over an ordered duplicate-free
+/// context yield ordered results; the descendant step merges subtree scans
+/// whose roots are ordered, so a linear de-overlap pass suffices — but we
+/// sort + dedup defensively and assert the cheap invariant in debug.)
+pub fn eval_path(
+    doc: &Document,
+    context: &[NodeId],
+    path: &Path,
+    counters: &mut EvalCounters,
+) -> Vec<NodeId> {
+    let mut current: Vec<NodeId> = context.to_vec();
+    for step in &path.steps {
+        let mut next: Vec<NodeId> = Vec::new();
+        for &node in &current {
+            apply_step(doc, node, step, &mut next, counters);
+        }
+        // Document order == NodeId order; duplicates can only arise on the
+        // descendant axis with nested context nodes.
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+    }
+    current
+}
+
+fn apply_step(
+    doc: &Document,
+    node: NodeId,
+    step: &Step,
+    out: &mut Vec<NodeId>,
+    counters: &mut EvalCounters,
+) {
+    match step.axis {
+        Axis::Child => {
+            for c in doc.children(node) {
+                counters.nodes_visited += 1;
+                if let NodeKind::Element(name) = doc.kind(c) {
+                    if step.test.matches(doc.name(name)) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        Axis::Descendant => {
+            let is_root = node == NodeId::DOCUMENT || Some(node) == doc.root_element();
+            if is_root {
+                counters.doc_scans += 1;
+            }
+            for d in doc.descendants(node) {
+                counters.nodes_visited += 1;
+                if let NodeKind::Element(name) = doc.kind(d) {
+                    if step.test.matches(doc.name(name)) {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+        Axis::Attribute => {
+            for a in doc.attributes(node) {
+                counters.nodes_visited += 1;
+                if let NodeKind::Attribute(name) = doc.kind(a) {
+                    if step.test.matches(doc.name(name)) {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use xmldb::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "t.xml",
+            r#"<bib>
+                 <book year="1994"><title>T1</title><author><last>A</last></author></book>
+                 <book year="2000"><title>T2</title>
+                   <author><last>B</last></author>
+                   <author><last>C</last></author>
+                 </book>
+               </bib>"#,
+        )
+        .unwrap()
+    }
+
+    fn eval(d: &Document, path: &str) -> Vec<String> {
+        let mut c = EvalCounters::default();
+        eval_path(d, &[NodeId::DOCUMENT], &parse_path(path).unwrap(), &mut c)
+            .into_iter()
+            .map(|n| d.string_value(n))
+            .collect()
+    }
+
+    #[test]
+    fn descendant_child_chain() {
+        let d = doc();
+        assert_eq!(eval(&d, "//book/title"), vec!["T1", "T2"]);
+        assert_eq!(eval(&d, "//author/last"), vec!["A", "B", "C"]);
+        assert_eq!(eval(&d, "//last"), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let d = doc();
+        assert_eq!(eval(&d, "//book/@year"), vec!["1994", "2000"]);
+    }
+
+    #[test]
+    fn results_are_in_document_order_and_duplicate_free() {
+        let d = doc();
+        let mut c = EvalCounters::default();
+        // Context with nested nodes (document node AND root element):
+        // descendants overlap, so dedup matters.
+        let root = d.root_element().unwrap();
+        let nodes = eval_path(
+            &d,
+            &[NodeId::DOCUMENT, root],
+            &parse_path("//author").unwrap(),
+            &mut c,
+        );
+        assert_eq!(nodes.len(), 3);
+        let mut sorted = nodes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(nodes, sorted);
+    }
+
+    #[test]
+    fn doc_scan_counter() {
+        let d = doc();
+        let mut c = EvalCounters::default();
+        eval_path(&d, &[NodeId::DOCUMENT], &parse_path("//book").unwrap(), &mut c);
+        assert_eq!(c.doc_scans, 1);
+        eval_path(&d, &[NodeId::DOCUMENT], &parse_path("//book").unwrap(), &mut c);
+        assert_eq!(c.doc_scans, 2);
+        // A child step is not a scan.
+        let before = c.doc_scans;
+        eval_path(&d, &[NodeId::DOCUMENT], &parse_path("/bib").unwrap(), &mut c);
+        assert_eq!(c.doc_scans, before);
+    }
+
+    #[test]
+    fn wildcard_matches_all_elements() {
+        let d = doc();
+        let mut c = EvalCounters::default();
+        let all = eval_path(&d, &[NodeId::DOCUMENT], &parse_path("//*").unwrap(), &mut c);
+        // bib + 2 book + 2 title + 3 author + 3 last = 11 elements.
+        assert_eq!(all.len(), 11);
+    }
+
+    #[test]
+    fn empty_result_for_missing_names() {
+        let d = doc();
+        assert!(eval(&d, "//nonexistent").is_empty());
+        assert!(eval(&d, "//book/@missing").is_empty());
+    }
+}

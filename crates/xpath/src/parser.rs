@@ -1,0 +1,140 @@
+//! Parser for structural paths: `//book/title`, `book/author`, `@year`,
+//! `//bidtuple/itemno`, …
+//!
+//! The grammar (abbreviated XPath syntax, structural subset):
+//!
+//! ```text
+//! path   ::=  step+
+//! step   ::=  sep? test
+//! sep    ::=  "/" | "//"
+//! test   ::=  "@"? (name | "*")
+//! ```
+//!
+//! A leading separator is optional because paths in the algebra are always
+//! relative to a context variable (`b2/title` and `/title` mean the same
+//! thing here). A bare leading `name` is a child step.
+
+use std::fmt;
+
+use crate::ast::{Axis, NameTest, Path, Step};
+
+/// Parse error for path expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PathParseError {}
+
+/// Parse a structural path.
+pub fn parse_path(input: &str) -> Result<Path, PathParseError> {
+    let s = input.as_bytes();
+    let mut pos = 0usize;
+    let mut steps = Vec::new();
+    let err = |pos: usize, m: &str| PathParseError { offset: pos, message: m.into() };
+
+    if s.is_empty() {
+        return Err(err(0, "empty path"));
+    }
+    while pos < s.len() {
+        // Separator (optional for the very first step).
+        let axis_from_sep = if s[pos] == b'/' {
+            if pos + 1 < s.len() && s[pos + 1] == b'/' {
+                pos += 2;
+                Axis::Descendant
+            } else {
+                pos += 1;
+                Axis::Child
+            }
+        } else if steps.is_empty() {
+            Axis::Child
+        } else {
+            return Err(err(pos, "expected '/' or '//' between steps"));
+        };
+
+        // Attribute marker.
+        let axis = if pos < s.len() && s[pos] == b'@' {
+            pos += 1;
+            Axis::Attribute
+        } else {
+            axis_from_sep
+        };
+        if axis == Axis::Attribute && axis_from_sep == Axis::Descendant {
+            return Err(err(pos, "`//@attr` is not supported"));
+        }
+
+        // Name test.
+        if pos < s.len() && s[pos] == b'*' {
+            pos += 1;
+            steps.push(Step { axis, test: NameTest::Any });
+            continue;
+        }
+        let start = pos;
+        while pos < s.len() {
+            let c = s[pos];
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        if pos == start {
+            return Err(err(pos, "expected a name or '*'"));
+        }
+        let name = std::str::from_utf8(&s[start..pos])
+            .map_err(|_| err(start, "invalid UTF-8 in name"))?;
+        steps.push(Step { axis, test: NameTest::Name(name.to_string()) });
+    }
+    Ok(Path::new(steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_descendant() {
+        let p = parse_path("//book/title").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0], Step::descendant("book"));
+        assert_eq!(p.steps[1], Step::child("title"));
+    }
+
+    #[test]
+    fn relative_and_attribute() {
+        let p = parse_path("book/@year").unwrap();
+        assert_eq!(p.steps, vec![Step::child("book"), Step::attribute("year")]);
+        let q = parse_path("@year").unwrap();
+        assert_eq!(q.steps, vec![Step::attribute("year")]);
+    }
+
+    #[test]
+    fn wildcard() {
+        let p = parse_path("//*").unwrap();
+        assert_eq!(p.steps, vec![Step { axis: Axis::Descendant, test: NameTest::Any }]);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in ["//book/title", "/a/b", "//bidtuple/itemno", "/book/@year"] {
+            let p = parse_path(src).unwrap();
+            assert_eq!(parse_path(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("a b").is_err());
+        assert!(parse_path("//@x").is_err());
+        assert!(parse_path("/").is_err());
+        assert!(parse_path("a//").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Abstract syntax for the XQuery subset of the paper.
+//!
+//! Covered: FLWR expressions (`for`/`let`/`where`/`return`, no `order by`
+//! — §3: "we do not treat the order by clause, since we concentrate on
+//! the ordered case"), quantifiers (`some`/`every … satisfies`), general
+//! comparisons, boolean connectives, function calls
+//! (`distinct-values`, `count`, `min`, `exists`, `contains`, `decimal`, …),
+//! `doc()`/`document()`, path expressions with value predicates, direct
+//! element constructors with embedded expressions, and literals.
+
+use std::fmt;
+
+pub use nal::CmpOp;
+
+/// A parsed XQuery expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum QExpr {
+    /// FLWR expression: clauses followed by `return`.
+    Flwr { clauses: Vec<Clause>, ret: Box<QExpr> },
+    /// `some $var in range satisfies pred`
+    Some_ { var: String, range: Box<QExpr>, satisfies: Box<QExpr> },
+    /// `every $var in range satisfies pred`
+    Every { var: String, range: Box<QExpr>, satisfies: Box<QExpr> },
+    /// A path expression anchored at `base` (a variable or `doc()` call).
+    Path { base: Box<QExpr>, steps: Vec<PathStep> },
+    /// `doc("uri")` / `document("uri")`
+    Doc(String),
+    /// `$name`
+    Var(String),
+    Str(String),
+    Int(i64),
+    Dec(f64),
+    /// `true()` / `false()`
+    Bool(bool),
+    /// Function call by name (resolution happens at translation).
+    Call(String, Vec<QExpr>),
+    /// General comparison (existential semantics over sequences).
+    Cmp(CmpOp, Box<QExpr>, Box<QExpr>),
+    And(Box<QExpr>, Box<QExpr>),
+    Or(Box<QExpr>, Box<QExpr>),
+    /// `not(expr)` — kept separate from `Call` for the rewriter's sake.
+    Not(Box<QExpr>),
+    /// Direct element constructor.
+    Elem {
+        name: String,
+        /// Attribute constructors: name → content parts.
+        attrs: Vec<(String, Vec<CPart>)>,
+        content: Vec<CPart>,
+    },
+    /// Parenthesized sequence `(e1, e2, …)` (only the singleton form is
+    /// given meaning by the translator).
+    Seq(Vec<QExpr>),
+}
+
+/// One step of a path expression: axis, name test, and value predicates
+/// (`[author = $a1]`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PathStep {
+    pub axis: PathAxis,
+    /// Element/attribute name, or `*`.
+    pub test: String,
+    pub predicates: Vec<QExpr>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathAxis {
+    Child,
+    Descendant,
+    Attribute,
+}
+
+/// Content part of an element constructor.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CPart {
+    /// Literal text.
+    Text(String),
+    /// `{ expr }` — evaluated and spliced in.
+    Embed(QExpr),
+}
+
+/// FLWR clause.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Clause {
+    /// `for $v1 in e1, $v2 in e2, …`
+    For(Vec<(String, QExpr)>),
+    /// `let $v1 := e1, $v2 := e2, …`
+    Let(Vec<(String, QExpr)>),
+    /// `where p`
+    Where(QExpr),
+}
+
+impl QExpr {
+    /// Convenience constructor for a variable-anchored path.
+    pub fn var_path(var: &str, steps: Vec<PathStep>) -> QExpr {
+        QExpr::Path { base: Box::new(QExpr::Var(var.to_string())), steps }
+    }
+
+    /// `true` iff this is a FLWR expression.
+    pub fn is_flwr(&self) -> bool {
+        matches!(self, QExpr::Flwr { .. })
+    }
+
+    /// All variables referenced (free or bound) — used to generate fresh
+    /// names during normalization.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            QExpr::Var(v) => out.push(v.clone()),
+            QExpr::Flwr { clauses, ret } => {
+                for c in clauses {
+                    match c {
+                        Clause::For(bs) | Clause::Let(bs) => {
+                            for (v, e) in bs {
+                                out.push(v.clone());
+                                e.collect_vars(out);
+                            }
+                        }
+                        Clause::Where(p) => p.collect_vars(out),
+                    }
+                }
+                ret.collect_vars(out);
+            }
+            QExpr::Some_ { var, range, satisfies } | QExpr::Every { var, range, satisfies } => {
+                out.push(var.clone());
+                range.collect_vars(out);
+                satisfies.collect_vars(out);
+            }
+            QExpr::Path { base, steps } => {
+                base.collect_vars(out);
+                for s in steps {
+                    for p in &s.predicates {
+                        p.collect_vars(out);
+                    }
+                }
+            }
+            QExpr::Call(_, args) | QExpr::Seq(args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            QExpr::Cmp(_, l, r) | QExpr::And(l, r) | QExpr::Or(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            QExpr::Not(x) => x.collect_vars(out),
+            QExpr::Elem { attrs, content, .. } => {
+                for (_, parts) in attrs {
+                    for p in parts {
+                        if let CPart::Embed(e) = p {
+                            e.collect_vars(out);
+                        }
+                    }
+                }
+                for p in content {
+                    if let CPart::Embed(e) = p {
+                        e.collect_vars(out);
+                    }
+                }
+            }
+            QExpr::Doc(_) | QExpr::Str(_) | QExpr::Int(_) | QExpr::Dec(_) | QExpr::Bool(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pretty printing (used by tests asserting normalized forms).
+// ---------------------------------------------------------------------
+
+impl fmt::Display for QExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                QExpr::Flwr { clauses, ret } => {
+                    for c in clauses {
+                        write!(f, "{c} ")?;
+                    }
+                    write!(f, "return {ret}")
+                }
+                QExpr::Some_ { var, range, satisfies } => {
+                    write!(f, "some ${var} in {range} satisfies {satisfies}")
+                }
+                QExpr::Every { var, range, satisfies } => {
+                    write!(f, "every ${var} in {range} satisfies {satisfies}")
+                }
+                QExpr::Path { base, steps } => {
+                    write!(f, "{base}")?;
+                    for s in steps {
+                        write!(f, "{s}")?;
+                    }
+                    Ok(())
+                }
+                QExpr::Doc(uri) => write!(f, "doc(\"{uri}\")"),
+                QExpr::Var(v) => write!(f, "${v}"),
+                QExpr::Str(s) => write!(f, "\"{s}\""),
+                QExpr::Int(i) => write!(f, "{i}"),
+                QExpr::Dec(d) => write!(f, "{d}"),
+                QExpr::Bool(b) => write!(f, "{b}()"),
+                QExpr::Call(name, args) => {
+                    write!(f, "{name}(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+                QExpr::Cmp(op, l, r) => write!(f, "{l} {} {r}", cmp_kw(*op)),
+                QExpr::And(l, r) => write!(f, "({l} and {r})"),
+                QExpr::Or(l, r) => write!(f, "({l} or {r})"),
+                QExpr::Not(x) => write!(f, "not({x})"),
+                QExpr::Elem { name, attrs, content } => {
+                    write!(f, "<{name}")?;
+                    for (an, parts) in attrs {
+                        write!(f, " {an}=\"")?;
+                        for p in parts {
+                            write!(f, "{p}")?;
+                        }
+                        write!(f, "\"")?;
+                    }
+                    write!(f, ">")?;
+                    for p in content {
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, "</{name}>")
+                }
+                QExpr::Seq(items) => {
+                    write!(f, "(")?;
+                    for (i, e) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")
+                }
+        }
+    }
+}
+
+fn cmp_kw(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clause::For(bs) => {
+                write!(f, "for ")?;
+                for (i, (v, e)) in bs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "${v} in {e}")?;
+                }
+                Ok(())
+            }
+            Clause::Let(bs) => {
+                write!(f, "let ")?;
+                for (i, (v, e)) in bs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "${v} := {e}")?;
+                }
+                Ok(())
+            }
+            Clause::Where(p) => write!(f, "where {p}"),
+        }
+    }
+}
+
+impl fmt::Display for PathStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            PathAxis::Child => write!(f, "/{}", self.test)?,
+            PathAxis::Descendant => write!(f, "//{}", self.test)?,
+            PathAxis::Attribute => write!(f, "/@{}", self.test)?,
+        }
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CPart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CPart::Text(t) => write!(f, "{t}"),
+            CPart::Embed(e) => write!(f, "{{ {e} }}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let e = QExpr::Flwr {
+            clauses: vec![
+                Clause::Let(vec![("d1".into(), QExpr::Doc("bib.xml".into()))]),
+                Clause::For(vec![(
+                    "a1".into(),
+                    QExpr::Call(
+                        "distinct-values".into(),
+                        vec![QExpr::var_path(
+                            "d1",
+                            vec![PathStep {
+                                axis: PathAxis::Descendant,
+                                test: "author".into(),
+                                predicates: vec![],
+                            }],
+                        )],
+                    ),
+                )]),
+            ],
+            ret: Box::new(QExpr::Var("a1".into())),
+        };
+        let s = e.to_string();
+        assert_eq!(
+            s,
+            "let $d1 := doc(\"bib.xml\") for $a1 in distinct-values($d1//author) return $a1"
+        );
+    }
+
+    #[test]
+    fn collect_vars_sees_all_scopes() {
+        let e = QExpr::Some_ {
+            var: "x".into(),
+            range: Box::new(QExpr::Var("d".into())),
+            satisfies: Box::new(QExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(QExpr::Var("x".into())),
+                Box::new(QExpr::Var("y".into())),
+            )),
+        };
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        vars.sort();
+        vars.dedup();
+        assert_eq!(vars, vec!["d", "x", "y"]);
+    }
+}
