@@ -10,19 +10,34 @@ fn bench_generation(c: &mut Criterion) {
     for &books in &[100usize, 1000] {
         group.bench_with_input(BenchmarkId::new("bib", books), &books, |b, &n| {
             b.iter(|| {
-                gen_bib(&BibConfig { books: n, authors_per_book: 2, ..BibConfig::default() })
+                gen_bib(&BibConfig {
+                    books: n,
+                    authors_per_book: 2,
+                    ..BibConfig::default()
+                })
             })
         });
         group.bench_with_input(BenchmarkId::new("auction", books), &books, |b, &n| {
-            b.iter(|| gen_auction(&AuctionConfig { bids: n, ..AuctionConfig::default() }))
+            b.iter(|| {
+                gen_auction(&AuctionConfig {
+                    bids: n,
+                    ..AuctionConfig::default()
+                })
+            })
         });
     }
     group.finish();
 }
 
 fn bench_serialization(c: &mut Criterion) {
-    let doc = gen_bib(&BibConfig { books: 1000, authors_per_book: 2, ..BibConfig::default() });
-    c.bench_function("serialize_pretty/bib-1000", |b| b.iter(|| serialize_pretty(&doc)));
+    let doc = gen_bib(&BibConfig {
+        books: 1000,
+        authors_per_book: 2,
+        ..BibConfig::default()
+    });
+    c.bench_function("serialize_pretty/bib-1000", |b| {
+        b.iter(|| serialize_pretty(&doc))
+    });
 }
 
 criterion_group!(benches, bench_generation, bench_serialization);

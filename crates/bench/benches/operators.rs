@@ -37,7 +37,9 @@ fn join_ablation(c: &mut Criterion) {
     for &n in &[200usize, 1000] {
         let l = int_rel("a", n, 64);
         let r = pair_rel("b", "y", n, 64);
-        let equi = l.clone().semijoin(r.clone(), Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
+        let equi = l
+            .clone()
+            .semijoin(r.clone(), Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
         let hash_plan = engine::compile(&equi);
         group.bench_with_input(BenchmarkId::new("hash", n), &hash_plan, |bch, plan| {
             bch.iter(|| engine::run_compiled(plan, &cat).expect("runs"))
@@ -64,14 +66,18 @@ fn grouping_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[200usize, 1000] {
         let input = pair_rel("b", "y", n, 32);
-        let hash = input.clone().group_unary("g", &["b"], CmpOp::Eq, GroupFn::count());
+        let hash = input
+            .clone()
+            .group_unary("g", &["b"], CmpOp::Eq, GroupFn::count());
         let hash_plan = engine::compile(&hash);
         group.bench_with_input(BenchmarkId::new("hash", n), &hash_plan, |bch, plan| {
             bch.iter(|| engine::run_compiled(plan, &cat).expect("runs"))
         });
         // θ-grouping with Le (superset work of Eq) as the definitional
         // reference point.
-        let theta = input.clone().group_unary("g", &["b"], CmpOp::Le, GroupFn::count());
+        let theta = input
+            .clone()
+            .group_unary("g", &["b"], CmpOp::Le, GroupFn::count());
         let theta_plan = engine::compile(&theta);
         group.bench_with_input(BenchmarkId::new("theta", n), &theta_plan, |bch, plan| {
             bch.iter(|| engine::run_compiled(plan, &cat).expect("runs"))
@@ -109,5 +115,33 @@ fn xi_fusion_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, join_ablation, grouping_ablation, xi_fusion_ablation);
+/// Materializing vs. streaming executor on a quantifier-shaped workload:
+/// a selective semijoin where the streaming path's short-circuit and
+/// pipelining should show up directly.
+fn executor_ablation(c: &mut Criterion) {
+    let cat = Catalog::new();
+    let mut group = c.benchmark_group("executor_ablation");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        let l = int_rel("a", n, 64);
+        let r = pair_rel("b", "y", n, 64);
+        let semi = l.semijoin(r, Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
+        let plan = engine::compile(&semi);
+        group.bench_with_input(BenchmarkId::new("materialized", n), &plan, |bch, plan| {
+            bch.iter(|| engine::run_compiled(plan, &cat).expect("runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", n), &plan, |bch, plan| {
+            bch.iter(|| engine::run_streaming_compiled(plan, &cat).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    join_ablation,
+    grouping_ablation,
+    xi_fusion_ablation,
+    executor_ablation
+);
 criterion_main!(benches);

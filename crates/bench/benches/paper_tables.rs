@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench_harness::plans_for;
 use ordered_unnesting::workloads::{
-    Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL, Q6_HAVING, Workload,
+    Workload, Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL, Q6_HAVING,
 };
 use xmldb::gen::standard_catalog;
 
@@ -66,11 +66,9 @@ fn q1_group_size_sweep(c: &mut Criterion) {
                 continue; // quadratic; covered by the harness
             }
             let plan = engine::compile(expr);
-            group.bench_with_input(
-                BenchmarkId::new(label.clone(), fanout),
-                &plan,
-                |b, plan| b.iter(|| engine::run_compiled(plan, &catalog).expect("runs")),
-            );
+            group.bench_with_input(BenchmarkId::new(label.clone(), fanout), &plan, |b, plan| {
+                b.iter(|| engine::run_compiled(plan, &catalog).expect("runs"))
+            });
         }
     }
     group.finish();

@@ -19,7 +19,9 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use bench_harness::{extrapolate_nested, fmt_secs, measure_plan, plans_for, Measurement};
+use bench_harness::{
+    extrapolate_nested, fmt_secs, measure_plan_with, plans_for, Executor, Measurement,
+};
 use ordered_unnesting::workloads::{
     Q1_DBLP, Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL, Q6_HAVING,
 };
@@ -35,6 +37,7 @@ struct Args {
     scales: Vec<usize>,
     nested_cap: usize,
     seed: u64,
+    executor: Executor,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +46,7 @@ fn parse_args() -> Args {
         scales: vec![100, 1000, 10000],
         nested_cap: 1000,
         seed: 42,
+        executor: Executor::Materialized,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,6 +60,13 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--nested-cap" => args.nested_cap = value().parse().unwrap_or(1000),
+            "--executor" => {
+                let v = value();
+                args.executor = Executor::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown executor `{v}` (use materialized|streaming)");
+                    std::process::exit(2);
+                });
+            }
             "--seed" => args.seed = value().parse().unwrap_or(42),
             "--help" | "-h" => {
                 println!("see module docs: cargo doc -p bench-harness");
@@ -75,8 +86,12 @@ fn main() {
     let run_all = args.experiment == "all";
     println!("ordered-unnesting harness — reproducing the §5 evaluation");
     println!(
-        "scales {:?}, nested plans measured up to {} (extrapolated beyond, marked est.), seed {}\n",
-        args.scales, args.nested_cap, args.seed
+        "scales {:?}, nested plans measured up to {} (extrapolated beyond, marked est.), \
+         seed {}, executor {}\n",
+        args.scales,
+        args.nested_cap,
+        args.seed,
+        args.executor.label()
     );
     if run_all || args.experiment == "fig6" {
         fig6(&args);
@@ -85,7 +100,12 @@ fn main() {
         grouping(&args);
     }
     if run_all || args.experiment == "aggregation" {
-        simple_table(&args, &Q2_AGGREGATION, "Query 1.1.9.10 (Aggregation) — §5.2", "books");
+        simple_table(
+            &args,
+            &Q2_AGGREGATION,
+            "Query 1.1.9.10 (Aggregation) — §5.2",
+            "books",
+        );
     }
     if run_all || args.experiment == "existential1" {
         simple_table(
@@ -104,7 +124,12 @@ fn main() {
         );
     }
     if run_all || args.experiment == "universal" {
-        simple_table(&args, &Q5_UNIVERSAL, "Universal Quantification — §5.5", "books");
+        simple_table(
+            &args,
+            &Q5_UNIVERSAL,
+            "Universal Quantification — §5.5",
+            "books",
+        );
     }
     if run_all || args.experiment == "having" {
         simple_table(
@@ -136,7 +161,7 @@ fn costmodel(args: &Args) {
         let plans = unnest::enumerate_plans(&nested, &catalog);
         let ranked = unnest::rank_plans(plans, &catalog);
         for (p, est) in &ranked {
-            let m = measure_plan(&p.label, &p.expr, &catalog);
+            let m = measure_plan_with(&p.label, &p.expr, &catalog, args.executor);
             println!(
                 "  {:<14} est {:>14.0}   measured {:>12}",
                 p.label,
@@ -179,8 +204,16 @@ fn fig6(args: &Args) {
             });
             row.push_str(&format!(" {:>10}", human(document_size_bytes(&d))));
         }
-        let p = gen_prices(&PricesConfig { entries: n, seed: args.seed, ..Default::default() });
-        let r = gen_reviews(&ReviewsConfig { entries: n, seed: args.seed, ..Default::default() });
+        let p = gen_prices(&PricesConfig {
+            entries: n,
+            seed: args.seed,
+            ..Default::default()
+        });
+        let r = gen_reviews(&ReviewsConfig {
+            entries: n,
+            seed: args.seed,
+            ..Default::default()
+        });
         row.push_str(&format!(
             " {:>12} {:>12}",
             human(document_size_bytes(&p)),
@@ -189,9 +222,16 @@ fn fig6(args: &Args) {
         println!("{row}");
     }
     println!("\nUse case R");
-    println!("{:<8} {:>12} {:>12} {:>12}", "size", "bids", "items", "users");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "size", "bids", "items", "users"
+    );
     for &n in &args.scales {
-        let docs = gen_auction(&AuctionConfig { bids: n, seed: args.seed, ..Default::default() });
+        let docs = gen_auction(&AuctionConfig {
+            bids: n,
+            seed: args.seed,
+            ..Default::default()
+        });
         println!(
             "{n:<8} {:>12} {:>12} {:>12}",
             human(document_size_bytes(&docs.bids)),
@@ -228,7 +268,7 @@ fn grouping(args: &Args) {
                 let m = if label == "nested" && scale > args.nested_cap {
                     estimate_from_smaller(&table, &label, fanout, scale)
                 } else {
-                    measure_plan(&label, &expr, &catalog)
+                    measure_plan_with(&label, &expr, &catalog, args.executor)
                 };
                 table
                     .entry(label)
@@ -274,7 +314,9 @@ fn print_grouping_table(
     }
     println!();
     for label in plan_order {
-        let Some(by_fanout) = table.get(label) else { continue };
+        let Some(by_fanout) = table.get(label) else {
+            continue;
+        };
         for (fanout, by_scale) in by_fanout {
             print!("{label:<12} {fanout:>4}");
             for s in scales {
@@ -318,10 +360,10 @@ fn simple_table(
                         output_len: 0,
                         estimated: true,
                     },
-                    None => measure_plan(&label, &expr, &catalog),
+                    None => measure_plan_with(&label, &expr, &catalog, args.executor),
                 }
             } else {
-                measure_plan(&label, &expr, &catalog)
+                measure_plan_with(&label, &expr, &catalog, args.executor)
             };
             rows.entry(label).or_default().push((scale, m));
         }
@@ -332,7 +374,9 @@ fn simple_table(
     }
     println!();
     for label in &plan_order {
-        let Some(cells) = rows.get(label) else { continue };
+        let Some(cells) = rows.get(label) else {
+            continue;
+        };
         print!("{label:<14}");
         for (_, m) in cells {
             print!(" {:>20}", fmt_secs(m.elapsed, m.estimated));
@@ -376,7 +420,7 @@ fn dblp(args: &Args) {
                 ..DblpConfig::default()
             }));
             let nested_small = xquery::compile(Q1_DBLP.query, &small).expect("compiles");
-            let m = measure_plan("nested", &nested_small, &small);
+            let m = measure_plan_with("nested", &nested_small, &small, args.executor);
             let est = extrapolate_nested(m.elapsed, sample, publications);
             println!(
                 "{label:<12} {:>16}   (measured {} at {} publications)",
@@ -385,7 +429,7 @@ fn dblp(args: &Args) {
                 sample
             );
         } else {
-            let m = measure_plan(label, expr, &catalog);
+            let m = measure_plan_with(label, expr, &catalog, args.executor);
             println!(
                 "{label:<12} {:>16}   ({} document scans)",
                 fmt_secs(m.elapsed, false),

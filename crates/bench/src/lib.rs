@@ -7,6 +7,43 @@ use nal::Expr;
 use ordered_unnesting::workloads::Workload;
 use xmldb::Catalog;
 
+/// Which physical executor a measurement runs on. Both stay measured:
+/// the harness selects one via `--executor`, and the Criterion benches
+/// compare them head-to-head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Executor {
+    /// `engine::run` — every operator materializes its full output.
+    Materialized,
+    /// `engine::run_streaming` — pipelined cursors with short-circuiting
+    /// semi/anti joins.
+    Streaming,
+}
+
+impl Executor {
+    pub fn parse(s: &str) -> Option<Executor> {
+        match s {
+            "materialized" | "mat" => Some(Executor::Materialized),
+            "streaming" | "stream" => Some(Executor::Streaming),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Executor::Materialized => "materialized",
+            Executor::Streaming => "streaming",
+        }
+    }
+
+    /// Run an expression on this executor.
+    pub fn run(self, expr: &Expr, catalog: &Catalog) -> nal::EvalResult<engine::QueryResult> {
+        match self {
+            Executor::Materialized => engine::run(expr, catalog),
+            Executor::Streaming => engine::run_streaming(expr, catalog),
+        }
+    }
+}
+
 /// One measured (plan, scale) cell.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -33,9 +70,20 @@ pub fn plans_for(w: &Workload, catalog: &Catalog) -> Vec<(String, Expr)> {
 /// used (documents are memory-resident, so runs are stable; the Criterion
 /// benches provide statistical rigor at smaller scales).
 pub fn measure_plan(label: &str, expr: &Expr, catalog: &Catalog) -> Measurement {
+    measure_plan_with(label, expr, catalog, Executor::Materialized)
+}
+
+/// [`measure_plan`] on an explicitly selected executor.
+pub fn measure_plan_with(
+    label: &str,
+    expr: &Expr,
+    catalog: &Catalog,
+    executor: Executor,
+) -> Measurement {
     let start = Instant::now();
-    let result = engine::run(expr, catalog)
-        .unwrap_or_else(|e| panic!("plan `{label}` failed: {e}"));
+    let result = executor
+        .run(expr, catalog)
+        .unwrap_or_else(|e| panic!("plan `{label}` failed on {}: {e}", executor.label()));
     Measurement {
         plan: label.to_string(),
         elapsed: start.elapsed(),
@@ -84,8 +132,10 @@ mod tests {
         let catalog = standard_catalog(60, 2, 5);
         let plans = plans_for(&Q6_HAVING, &catalog);
         assert!(plans.len() >= 2);
-        let ms: Vec<Measurement> =
-            plans.iter().map(|(l, e)| measure_plan(l, e, &catalog)).collect();
+        let ms: Vec<Measurement> = plans
+            .iter()
+            .map(|(l, e)| measure_plan(l, e, &catalog))
+            .collect();
         let first = ms[0].output_len;
         assert!(ms.iter().all(|m| m.output_len == first));
     }

@@ -37,7 +37,9 @@ pub struct EvalError {
 
 impl EvalError {
     pub fn new(message: impl Into<String>) -> EvalError {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 }
 
@@ -59,7 +61,7 @@ pub type EvalResult<T> = Result<T, EvalError>;
 
 /// Counters exposing the paper's cost arguments (…"the nested plan needs
 /// to scan the document |author|+1 times", §5.1).
-#[derive(Default, Debug, Clone, Copy)]
+#[derive(Default, Debug, Clone)]
 pub struct Metrics {
     /// Full-document descendant traversals (`//`) from a document root.
     pub doc_scans: u64,
@@ -70,6 +72,28 @@ pub struct Metrics {
     /// Evaluations of nested algebra expressions inside scalars (one per
     /// outer tuple in a nested plan; zero in a fully unnested plan).
     pub nested_evals: u64,
+    /// Tuples produced per physical operator. Populated by the streaming
+    /// executor's metered cursors; the materializing executor and the
+    /// reference evaluator leave it empty. Keys are operator display
+    /// names (`"HashSemiJoin"`, `"Select"`, …).
+    pub op_tuples: std::collections::BTreeMap<&'static str, u64>,
+    /// Right-side candidate tuples examined by join probes in the
+    /// streaming executor. Short-circuiting semi/anti joins stop probing
+    /// at the deciding match, so this stays below the nested-loop bound
+    /// |left| × |right| — the observable form of the §5.3–§5.5 argument.
+    pub probe_tuples: u64,
+}
+
+impl Metrics {
+    /// Record `n` tuples produced by operator `op`.
+    pub fn bump_op(&mut self, op: &'static str, n: u64) {
+        *self.op_tuples.entry(op).or_insert(0) += n;
+    }
+
+    /// Tuples produced by operator `op` (0 if it never ran).
+    pub fn op_count(&self, op: &str) -> u64 {
+        self.op_tuples.get(op).copied().unwrap_or(0)
+    }
 }
 
 /// Evaluation context: the document catalog, the Ξ output stream, and
@@ -84,7 +108,11 @@ pub struct EvalCtx<'a> {
 
 impl<'a> EvalCtx<'a> {
     pub fn new(catalog: &'a Catalog) -> EvalCtx<'a> {
-        EvalCtx { catalog, out: String::new(), metrics: Metrics::default() }
+        EvalCtx {
+            catalog,
+            out: String::new(),
+            metrics: Metrics::default(),
+        }
     }
 
     /// Take the Ξ output accumulated so far.
@@ -199,12 +227,17 @@ pub fn eval(e: &Expr, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
             out
         }
 
-        Expr::OuterJoin { left, right, pred, g, default } => {
+        Expr::OuterJoin {
+            left,
+            right,
+            pred,
+            g,
+            default,
+        } => {
             let l = eval(left, env, ctx)?;
             let r = eval(right, env, ctx)?;
             // ⊥ pads all right attributes except g.
-            let pad_attrs: Vec<Sym> =
-                attrs::attrs(right).into_iter().filter(|a| a != g).collect();
+            let pad_attrs: Vec<Sym> = attrs::attrs(right).into_iter().filter(|a| a != g).collect();
             let mut out = Vec::new();
             for lt in &l {
                 let mut matched = false;
@@ -226,7 +259,13 @@ pub fn eval(e: &Expr, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
         }
 
         // Γ_{g;θA;f}(e) = Π_{A:A'}(Π^D_{A':A}(Π_A(e)) Γ_{g;A'θA;f} e)
-        Expr::GroupUnary { input, g, by, theta, f } => {
+        Expr::GroupUnary {
+            input,
+            g,
+            by,
+            theta,
+            f,
+        } => {
             let seq = eval(input, env, ctx)?;
             let keys = distinct_by_key(&seq, by, ctx.catalog);
             let mut out = Vec::with_capacity(keys.len());
@@ -244,7 +283,15 @@ pub fn eval(e: &Expr, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
         }
 
         // e1 Γ_{g;A1θA2;f} e2 — the left operand determines the groups.
-        Expr::GroupBinary { left, right, g, left_on, theta, right_on, f } => {
+        Expr::GroupBinary {
+            left,
+            right,
+            g,
+            left_on,
+            theta,
+            right_on,
+            f,
+        } => {
             let l = eval(left, env, ctx)?;
             let r = eval(right, env, ctx)?;
             let mut out = Vec::with_capacity(l.len());
@@ -261,7 +308,12 @@ pub fn eval(e: &Expr, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
             out
         }
 
-        Expr::Unnest { input, attr, distinct, preserve_empty } => {
+        Expr::Unnest {
+            input,
+            attr,
+            distinct,
+            preserve_empty,
+        } => {
             let seq = eval(input, env, ctx)?;
             let inner_attrs = attrs::nested_attrs(input, *attr).unwrap_or_default();
             let mut out = Vec::new();
@@ -316,7 +368,13 @@ pub fn eval(e: &Expr, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
         }
 
         // s1 Ξ^{s3}_{A;s2}(e) = Ξ_{(s1;Ξ_{s2};s3)}(Γ_{g;=A;id}(e))
-        Expr::XiGroup { input, by, head, body, tail } => {
+        Expr::XiGroup {
+            input,
+            by,
+            head,
+            body,
+            tail,
+        } => {
             let seq = eval(input, env, ctx)?;
             let keys = distinct_by_key(&seq, by, ctx.catalog);
             let mut out = Vec::with_capacity(keys.len());
@@ -410,12 +468,13 @@ fn tuple_key_matches(
     catalog: &Catalog,
 ) -> bool {
     debug_assert_eq!(left_on.len(), right_on.len());
-    left_on.iter().zip(right_on).all(|(a1, a2)| {
-        match (x.get(*a1), y.get(*a2)) {
+    left_on
+        .iter()
+        .zip(right_on)
+        .all(|(a1, a2)| match (x.get(*a1), y.get(*a2)) {
             (Some(l), Some(r)) => cmp_atomic(theta, l, r, catalog),
             _ => false,
-        }
-    })
+        })
 }
 
 fn exists_match(

@@ -84,7 +84,10 @@ pub fn eval_scalar(s: &Scalar, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult
                 .catalog
                 .by_uri(uri)
                 .ok_or_else(|| EvalError::new(format!("unknown document `{uri}`")))?;
-            Ok(Value::Node(NodeRef { doc: id, node: NodeId::DOCUMENT }))
+            Ok(Value::Node(NodeRef {
+                doc: id,
+                node: NodeId::DOCUMENT,
+            }))
         }
 
         Scalar::Path(base, path) => {

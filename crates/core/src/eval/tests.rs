@@ -220,7 +220,10 @@ fn unnest_distinct_dedups_within_groups() {
     let distinct = run(&nested.unnest_distinct("g"));
     assert_eq!(
         distinct,
-        vec![int_tuple(&[("k", 7), ("x", 1)]), int_tuple(&[("k", 7), ("x", 2)])]
+        vec![
+            int_tuple(&[("k", 7), ("x", 1)]),
+            int_tuple(&[("k", 7), ("x", 2)])
+        ]
     );
 }
 
@@ -276,17 +279,32 @@ fn xi_simple_example_from_section_2() {
     let e = rows.xi(xi_cmds(&["<entry>", "$a", ":", "$t", "</entry>"]));
     let (seq, out) = run_with_output(&e);
     assert_eq!(seq.len(), 2, "Ξ is the identity on its input sequence");
-    assert_eq!(out, "<entry>author1:title1</entry><entry>author2:title2</entry>");
+    assert_eq!(
+        out,
+        "<entry>author1:title1</entry><entry>author2:title2</entry>"
+    );
 }
 
 #[test]
 fn xi_group_example_from_section_2() {
     // s1 Ξ^{s3}_{a;s2} over the four author/title tuples of §2.
     let rows = Expr::Literal(vec![
-        Tuple::from_pairs(vec![(s("a"), Value::str("author1")), (s("t"), Value::str("title1"))]),
-        Tuple::from_pairs(vec![(s("a"), Value::str("author1")), (s("t"), Value::str("title2"))]),
-        Tuple::from_pairs(vec![(s("a"), Value::str("author2")), (s("t"), Value::str("title1"))]),
-        Tuple::from_pairs(vec![(s("a"), Value::str("author2")), (s("t"), Value::str("title3"))]),
+        Tuple::from_pairs(vec![
+            (s("a"), Value::str("author1")),
+            (s("t"), Value::str("title1")),
+        ]),
+        Tuple::from_pairs(vec![
+            (s("a"), Value::str("author1")),
+            (s("t"), Value::str("title2")),
+        ]),
+        Tuple::from_pairs(vec![
+            (s("a"), Value::str("author2")),
+            (s("t"), Value::str("title1")),
+        ]),
+        Tuple::from_pairs(vec![
+            (s("a"), Value::str("author2")),
+            (s("t"), Value::str("title3")),
+        ]),
     ]);
     let e = rows.xi_group(
         &["a"],
@@ -348,8 +366,14 @@ fn nested_agg_min() {
         },
     );
     let out = run(&e);
-    assert_eq!(out[0].get(s("m")), Some(&Value::Dec(crate::value::Dec(2.0))));
-    assert_eq!(out[1].get(s("m")), Some(&Value::Dec(crate::value::Dec(4.0))));
+    assert_eq!(
+        out[0].get(s("m")),
+        Some(&Value::Dec(crate::value::Dec(2.0)))
+    );
+    assert_eq!(
+        out[1].get(s("m")),
+        Some(&Value::Dec(crate::value::Dec(4.0)))
+    );
     assert_eq!(out[2].get(s("m")), Some(&Value::Null)); // empty group
 }
 
@@ -365,7 +389,10 @@ fn nested_eval_metric_counts_per_outer_tuple() {
         },
     );
     eval_query(&e, &mut ctx).unwrap();
-    assert_eq!(ctx.metrics.nested_evals, 3, "one nested evaluation per R1 tuple");
+    assert_eq!(
+        ctx.metrics.nested_evals, 3,
+        "one nested evaluation per R1 tuple"
+    );
 }
 
 #[test]
@@ -387,7 +414,9 @@ fn doc_and_path_evaluation() {
     assert_eq!(out.len(), 2);
     assert_eq!(ctx.metrics.doc_scans, 1);
     // Titles are node values; check their string values.
-    let Value::Node(n) = out[0].get(s("t1")).unwrap() else { panic!() };
+    let Value::Node(n) = out[0].get(s("t1")).unwrap() else {
+        panic!()
+    };
     assert_eq!(cat.doc(n.doc).string_value(n.node), "T1");
 }
 
@@ -404,7 +433,10 @@ fn general_comparison_on_paths() {
     let mut ctx = EvalCtx::new(&cat);
     // σ_{b1/@year > 1995}(Υ_{b1:d1//book}(χ_{d1:doc}(□)))
     let e = doc_scan("d1", "bib.xml")
-        .unnest_map("b1", Scalar::attr("d1").path(xpath::parse_path("//book").unwrap()))
+        .unnest_map(
+            "b1",
+            Scalar::attr("d1").path(xpath::parse_path("//book").unwrap()),
+        )
         .select(Scalar::cmp(
             CmpOp::Gt,
             Scalar::attr("b1").path(xpath::parse_path("@year").unwrap()),
@@ -459,8 +491,14 @@ fn arithmetic_scalars() {
         ),
     );
     let out = run(&e);
-    assert_eq!(out[0].get(s("y")), Some(&Value::Dec(crate::value::Dec(15.0))));
-    assert_eq!(out[2].get(s("y")), Some(&Value::Dec(crate::value::Dec(35.0))));
+    assert_eq!(
+        out[0].get(s("y")),
+        Some(&Value::Dec(crate::value::Dec(15.0)))
+    );
+    assert_eq!(
+        out[2].get(s("y")),
+        Some(&Value::Dec(crate::value::Dec(35.0)))
+    );
     // Empty-sequence propagation.
     let e = r1().map(
         "y",

@@ -21,10 +21,7 @@ pub fn attrs(e: &Expr) -> Vec<Sym> {
 pub fn attr_set(e: &Expr) -> BTreeSet<Sym> {
     match e {
         Expr::Singleton => BTreeSet::new(),
-        Expr::Literal(rows) => rows
-            .iter()
-            .flat_map(|t| t.attrs())
-            .collect(),
+        Expr::Literal(rows) => rows.iter().flat_map(|t| t.attrs()).collect(),
         // The schema of an environment-provided nested relation is not
         // statically known here.
         Expr::AttrRel(_) => BTreeSet::new(),
@@ -112,7 +109,9 @@ pub fn nested_attrs(e: &Expr, target: Sym) -> Option<Vec<Sym>> {
                 nested_attrs(input, target)
             }
         }
-        Expr::GroupBinary { left, right, g, f, .. } => {
+        Expr::GroupBinary {
+            left, right, g, f, ..
+        } => {
             if *g == target {
                 groupfn_nested_attrs(f, right)
             } else {
@@ -206,7 +205,9 @@ pub fn free_vars(e: &Expr) -> BTreeSet<Sym> {
         Expr::Join { left, right, pred }
         | Expr::SemiJoin { left, right, pred }
         | Expr::AntiJoin { left, right, pred }
-        | Expr::OuterJoin { left, right, pred, .. } => binary_free(left, right, Some(pred)),
+        | Expr::OuterJoin {
+            left, right, pred, ..
+        } => binary_free(left, right, Some(pred)),
         Expr::GroupUnary { input, f, .. } => {
             let mut out = unary_free(input, None);
             if let Some(p) = &f.filter {
@@ -283,11 +284,17 @@ mod tests {
     fn attrs_of_joins_and_groups() {
         let l = singleton().map("a", Scalar::int(1));
         let r = singleton().map("b", Scalar::int(2));
-        let j = l.clone().join(r.clone(), Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
+        let j = l
+            .clone()
+            .join(r.clone(), Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
         assert_eq!(attrs(&j), vec![s("a"), s("b")]);
-        let sj = l.clone().semijoin(r.clone(), Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
+        let sj = l
+            .clone()
+            .semijoin(r.clone(), Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
         assert_eq!(attrs(&sj), vec![s("a")]);
-        let g = r.clone().group_unary("g", &["b"], CmpOp::Eq, crate::scalar::GroupFn::count());
+        let g = r
+            .clone()
+            .group_unary("g", &["b"], CmpOp::Eq, crate::scalar::GroupFn::count());
         assert_eq!(attrs(&g), vec![s("b"), s("g")]);
         let gb = l.group_binary(
             r,
@@ -313,7 +320,9 @@ mod tests {
     fn unnest_recovers_nested_attrs() {
         // Γ_binary with f = id nests the right attrs; μ recovers them.
         let l = singleton().map("a", Scalar::int(1));
-        let r = singleton().map("b", Scalar::int(2)).map("c", Scalar::int(3));
+        let r = singleton()
+            .map("b", Scalar::int(2))
+            .map("c", Scalar::int(3));
         let gb = l.group_binary(
             r,
             "g",
@@ -351,9 +360,14 @@ mod tests {
         // (from e1), so the map's scalar has t1 free — but the whole
         // expression has no free variables because e1 provides t1.
         let e1 = singleton().map("t1", Scalar::int(1));
-        let e2 = singleton().map("t2", Scalar::int(2)).map("c2", Scalar::int(3));
+        let e2 = singleton()
+            .map("t2", Scalar::int(2))
+            .map("c2", Scalar::int(3));
         let nested = e2.select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
-        assert_eq!(free_vars(&nested).into_iter().collect::<Vec<_>>(), vec![s("t1")]);
+        assert_eq!(
+            free_vars(&nested).into_iter().collect::<Vec<_>>(),
+            vec![s("t1")]
+        );
         let whole = e1.map(
             "m",
             Scalar::Agg {

@@ -24,7 +24,10 @@ pub fn singleton() -> Expr {
 
 impl Expr {
     pub fn select(self, pred: Scalar) -> Expr {
-        Expr::Select { input: Box::new(self), pred }
+        Expr::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     pub fn project(self, cols: &[&str]) -> Expr {
@@ -35,7 +38,10 @@ impl Expr {
     }
 
     pub fn project_syms(self, cols: Vec<Sym>) -> Expr {
-        Expr::Project { input: Box::new(self), op: ProjOp::Cols(cols) }
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::Cols(cols),
+        }
     }
 
     pub fn drop_attrs(self, cols: &[&str]) -> Expr {
@@ -46,7 +52,10 @@ impl Expr {
     }
 
     pub fn drop_syms(self, cols: Vec<Sym>) -> Expr {
-        Expr::Project { input: Box::new(self), op: ProjOp::Drop(cols) }
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::Drop(cols),
+        }
     }
 
     /// `Π_{new:old}(…)`.
@@ -54,13 +63,19 @@ impl Expr {
         Expr::Project {
             input: Box::new(self),
             op: ProjOp::Rename(
-                pairs.iter().map(|(n, o)| (Sym::new(n), Sym::new(o))).collect(),
+                pairs
+                    .iter()
+                    .map(|(n, o)| (Sym::new(n), Sym::new(o)))
+                    .collect(),
             ),
         }
     }
 
     pub fn rename_syms(self, pairs: Vec<(Sym, Sym)>) -> Expr {
-        Expr::Project { input: Box::new(self), op: ProjOp::Rename(pairs) }
+        Expr::Project {
+            input: Box::new(self),
+            op: ProjOp::Rename(pairs),
+        }
     }
 
     pub fn distinct_cols(self, cols: &[&str]) -> Expr {
@@ -75,38 +90,54 @@ impl Expr {
         Expr::Project {
             input: Box::new(self),
             op: ProjOp::DistinctRename(
-                pairs.iter().map(|(n, o)| (Sym::new(n), Sym::new(o))).collect(),
+                pairs
+                    .iter()
+                    .map(|(n, o)| (Sym::new(n), Sym::new(o)))
+                    .collect(),
             ),
         }
     }
 
     pub fn map(self, attr: impl Into<Sym>, value: Scalar) -> Expr {
-        Expr::Map { input: Box::new(self), attr: attr.into(), value }
+        Expr::Map {
+            input: Box::new(self),
+            attr: attr.into(),
+            value,
+        }
     }
 
     pub fn cross(self, right: Expr) -> Expr {
-        Expr::Cross { left: Box::new(self), right: Box::new(right) }
+        Expr::Cross {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     pub fn join(self, right: Expr, pred: Scalar) -> Expr {
-        Expr::Join { left: Box::new(self), right: Box::new(right), pred }
+        Expr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     pub fn semijoin(self, right: Expr, pred: Scalar) -> Expr {
-        Expr::SemiJoin { left: Box::new(self), right: Box::new(right), pred }
+        Expr::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     pub fn antijoin(self, right: Expr, pred: Scalar) -> Expr {
-        Expr::AntiJoin { left: Box::new(self), right: Box::new(right), pred }
+        Expr::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
-    pub fn outerjoin(
-        self,
-        right: Expr,
-        pred: Scalar,
-        g: impl Into<Sym>,
-        default: Value,
-    ) -> Expr {
+    pub fn outerjoin(self, right: Expr, pred: Scalar, g: impl Into<Sym>, default: Value) -> Expr {
         Expr::OuterJoin {
             left: Box::new(self),
             right: Box::new(right),
@@ -117,13 +148,7 @@ impl Expr {
     }
 
     /// `Γ_{g;θA;f}(…)`.
-    pub fn group_unary(
-        self,
-        g: impl Into<Sym>,
-        by: &[&str],
-        theta: CmpOp,
-        f: GroupFn,
-    ) -> Expr {
+    pub fn group_unary(self, g: impl Into<Sym>, by: &[&str], theta: CmpOp, f: GroupFn) -> Expr {
         Expr::GroupUnary {
             input: Box::new(self),
             g: g.into(),
@@ -176,12 +201,19 @@ impl Expr {
 
     /// `Υ_{attr:value}(…)`.
     pub fn unnest_map(self, attr: impl Into<Sym>, value: Scalar) -> Expr {
-        Expr::UnnestMap { input: Box::new(self), attr: attr.into(), value }
+        Expr::UnnestMap {
+            input: Box::new(self),
+            attr: attr.into(),
+            value,
+        }
     }
 
     /// Simple `Ξ`.
     pub fn xi(self, cmds: Vec<XiCmd>) -> Expr {
-        Expr::XiSimple { input: Box::new(self), cmds }
+        Expr::XiSimple {
+            input: Box::new(self),
+            cmds,
+        }
     }
 
     /// Group-detecting `Ξ`.
@@ -243,7 +275,9 @@ mod tests {
     #[test]
     fn doc_scan_shape() {
         let e = doc_scan("d1", "bib.xml");
-        let Expr::Map { attr, value, .. } = &e else { panic!() };
+        let Expr::Map { attr, value, .. } = &e else {
+            panic!()
+        };
         assert_eq!(*attr, Sym::new("d1"));
         assert_eq!(*value, Scalar::Doc("bib.xml".into()));
     }

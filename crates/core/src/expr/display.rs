@@ -29,13 +29,33 @@ impl fmt::Display for Expr {
             Expr::Join { left, right, pred } => write!(f, "({left} ⋈[{pred}] {right})"),
             Expr::SemiJoin { left, right, pred } => write!(f, "({left} ⋉[{pred}] {right})"),
             Expr::AntiJoin { left, right, pred } => write!(f, "({left} ▷[{pred}] {right})"),
-            Expr::OuterJoin { left, right, pred, g, default } => {
+            Expr::OuterJoin {
+                left,
+                right,
+                pred,
+                g,
+                default,
+            } => {
                 write!(f, "({left} ⟕[{pred}; {g}:{default}] {right})")
             }
-            Expr::GroupUnary { input, g, by, theta, f: gf } => {
+            Expr::GroupUnary {
+                input,
+                g,
+                by,
+                theta,
+                f: gf,
+            } => {
                 write!(f, "Γ[{g};{}{};{gf}]({input})", theta.symbol(), syms(by))
             }
-            Expr::GroupBinary { left, right, g, left_on, theta, right_on, f: gf } => {
+            Expr::GroupBinary {
+                left,
+                right,
+                g,
+                left_on,
+                theta,
+                right_on,
+                f: gf,
+            } => {
                 write!(
                     f,
                     "({left} Γ[{g};{}{}{};{gf}] {right})",
@@ -44,7 +64,12 @@ impl fmt::Display for Expr {
                     syms(right_on)
                 )
             }
-            Expr::Unnest { input, attr, distinct, preserve_empty } => {
+            Expr::Unnest {
+                input,
+                attr,
+                distinct,
+                preserve_empty,
+            } => {
                 let d = if *distinct { "D" } else { "" };
                 let p = if *preserve_empty { "⊥" } else { "" };
                 write!(f, "μ{d}{p}[{attr}]({input})")
@@ -53,7 +78,13 @@ impl fmt::Display for Expr {
                 write!(f, "Υ[{attr}:{value}]({input})")
             }
             Expr::XiSimple { input, cmds } => write!(f, "Ξ[{}]({input})", cmd_list(cmds)),
-            Expr::XiGroup { input, by, head, body, tail } => write!(
+            Expr::XiGroup {
+                input,
+                by,
+                head,
+                body,
+                tail,
+            } => write!(
                 f,
                 "Ξg[{} ; {} ; {} ; {}]({input})",
                 cmd_list(head),
@@ -119,11 +150,22 @@ fn explain_into(e: &Expr, depth: usize, out: &mut String) {
         Expr::Join { pred, .. } => format!("⋈[{pred}]"),
         Expr::SemiJoin { pred, .. } => format!("⋉[{pred}]"),
         Expr::AntiJoin { pred, .. } => format!("▷[{pred}]"),
-        Expr::OuterJoin { pred, g, default, .. } => format!("⟕[{pred}; {g}:{default}]"),
-        Expr::GroupUnary { g, by, theta, f, .. } => {
+        Expr::OuterJoin {
+            pred, g, default, ..
+        } => format!("⟕[{pred}; {g}:{default}]"),
+        Expr::GroupUnary {
+            g, by, theta, f, ..
+        } => {
             format!("Γ[{g}; {}{}; {f}]", theta.symbol(), syms(by))
         }
-        Expr::GroupBinary { g, left_on, theta, right_on, f, .. } => format!(
+        Expr::GroupBinary {
+            g,
+            left_on,
+            theta,
+            right_on,
+            f,
+            ..
+        } => format!(
             "Γ2[{g}; {}{}{}; {f}]",
             syms(left_on),
             theta.symbol(),

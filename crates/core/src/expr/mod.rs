@@ -62,15 +62,31 @@ pub enum Expr {
     /// `χ_{a:e2}(e1)` — map: extend each tuple with `a` bound to the value
     /// of `e2` under that tuple's bindings. `e2` may contain nested
     /// algebraic expressions; unnesting removes them.
-    Map { input: Box<Expr>, attr: Sym, value: Scalar },
+    Map {
+        input: Box<Expr>,
+        attr: Sym,
+        value: Scalar,
+    },
     /// `e1 × e2` — order-preserving cross product (left-major).
     Cross { left: Box<Expr>, right: Box<Expr> },
     /// `e1 ⋈_p e2 = σ_p(e1 × e2)`.
-    Join { left: Box<Expr>, right: Box<Expr>, pred: Scalar },
+    Join {
+        left: Box<Expr>,
+        right: Box<Expr>,
+        pred: Scalar,
+    },
     /// `e1 ⋉_p e2` — semijoin (keeps left tuples with at least one match).
-    SemiJoin { left: Box<Expr>, right: Box<Expr>, pred: Scalar },
+    SemiJoin {
+        left: Box<Expr>,
+        right: Box<Expr>,
+        pred: Scalar,
+    },
     /// `e1 ▷_p e2` — anti-join (keeps left tuples with no match).
-    AntiJoin { left: Box<Expr>, right: Box<Expr>, pred: Scalar },
+    AntiJoin {
+        left: Box<Expr>,
+        right: Box<Expr>,
+        pred: Scalar,
+    },
     /// `e1 ⟕^{g:default}_p e2` — left outer join with a default value for
     /// attribute `g` of unmatched left tuples; the other right attributes
     /// are padded with NULL (§2; `g ∈ A(e2)`).
@@ -116,7 +132,11 @@ pub enum Expr {
     },
     /// `Υ_{a:e2}(e1) = μ_g(χ_{g:e2[a]}(e1))` — unnest-map, the workhorse
     /// for `for` clauses and path expressions (§2).
-    UnnestMap { input: Box<Expr>, attr: Sym, value: Scalar },
+    UnnestMap {
+        input: Box<Expr>,
+        attr: Sym,
+        value: Scalar,
+    },
     /// Simple `Ξ_{cmds}(e)` — execute the command list per input tuple as
     /// a side effect on the output stream; identity on the sequence (§2).
     XiSimple { input: Box<Expr>, cmds: Vec<XiCmd> },
@@ -168,9 +188,7 @@ impl Expr {
                 | Expr::SemiJoin { pred, .. }
                 | Expr::AntiJoin { pred, .. }
                 | Expr::OuterJoin { pred, .. } => pred.has_nested_expr(),
-                Expr::Map { value, .. } | Expr::UnnestMap { value, .. } => {
-                    value.has_nested_expr()
-                }
+                Expr::Map { value, .. } | Expr::UnnestMap { value, .. } => value.has_nested_expr(),
                 Expr::GroupUnary { f, .. } | Expr::GroupBinary { f, .. } => f
                     .filter
                     .as_ref()

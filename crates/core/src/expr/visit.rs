@@ -52,6 +52,14 @@ pub fn scalars(e: &Expr) -> Vec<&Scalar> {
     }
 }
 
+/// The nested algebraic expressions inside one scalar (quantifier
+/// ranges, aggregate inputs), at any nesting depth within the scalar.
+pub fn scalar_nested_exprs(s: &Scalar) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    collect_nested(s, &mut out);
+    out
+}
+
 fn collect_nested<'a>(s: &'a Scalar, out: &mut Vec<&'a Expr>) {
     match s {
         Scalar::Exists { range, pred, .. } | Scalar::Forall { range, pred, .. } => {
@@ -111,57 +119,114 @@ pub fn map_children(e: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
         Expr::Singleton => Expr::Singleton,
         Expr::Literal(rows) => Expr::Literal(rows),
         Expr::AttrRel(a) => Expr::AttrRel(a),
-        Expr::Select { input, pred } => Expr::Select { input: Box::new(f(*input)), pred },
-        Expr::Project { input, op } => Expr::Project { input: Box::new(f(*input)), op },
-        Expr::Map { input, attr, value } => {
-            Expr::Map { input: Box::new(f(*input)), attr, value }
-        }
-        Expr::Cross { left, right } => {
-            Expr::Cross { left: Box::new(f(*left)), right: Box::new(f(*right)) }
-        }
-        Expr::Join { left, right, pred } => {
-            Expr::Join { left: Box::new(f(*left)), right: Box::new(f(*right)), pred }
-        }
-        Expr::SemiJoin { left, right, pred } => {
-            Expr::SemiJoin { left: Box::new(f(*left)), right: Box::new(f(*right)), pred }
-        }
-        Expr::AntiJoin { left, right, pred } => {
-            Expr::AntiJoin { left: Box::new(f(*left)), right: Box::new(f(*right)), pred }
-        }
-        Expr::OuterJoin { left, right, pred, g, default } => Expr::OuterJoin {
+        Expr::Select { input, pred } => Expr::Select {
+            input: Box::new(f(*input)),
+            pred,
+        },
+        Expr::Project { input, op } => Expr::Project {
+            input: Box::new(f(*input)),
+            op,
+        },
+        Expr::Map { input, attr, value } => Expr::Map {
+            input: Box::new(f(*input)),
+            attr,
+            value,
+        },
+        Expr::Cross { left, right } => Expr::Cross {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+        Expr::Join { left, right, pred } => Expr::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            pred,
+        },
+        Expr::SemiJoin { left, right, pred } => Expr::SemiJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            pred,
+        },
+        Expr::AntiJoin { left, right, pred } => Expr::AntiJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            pred,
+        },
+        Expr::OuterJoin {
+            left,
+            right,
+            pred,
+            g,
+            default,
+        } => Expr::OuterJoin {
             left: Box::new(f(*left)),
             right: Box::new(f(*right)),
             pred,
             g,
             default,
         },
-        Expr::GroupUnary { input, g, by, theta, f: gf } => {
-            Expr::GroupUnary { input: Box::new(f(*input)), g, by, theta, f: gf }
-        }
-        Expr::GroupBinary { left, right, g, left_on, theta, right_on, f: gf } => {
-            Expr::GroupBinary {
-                left: Box::new(f(*left)),
-                right: Box::new(f(*right)),
-                g,
-                left_on,
-                theta,
-                right_on,
-                f: gf,
-            }
-        }
-        Expr::Unnest { input, attr, distinct, preserve_empty } => Expr::Unnest {
+        Expr::GroupUnary {
+            input,
+            g,
+            by,
+            theta,
+            f: gf,
+        } => Expr::GroupUnary {
+            input: Box::new(f(*input)),
+            g,
+            by,
+            theta,
+            f: gf,
+        },
+        Expr::GroupBinary {
+            left,
+            right,
+            g,
+            left_on,
+            theta,
+            right_on,
+            f: gf,
+        } => Expr::GroupBinary {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            g,
+            left_on,
+            theta,
+            right_on,
+            f: gf,
+        },
+        Expr::Unnest {
+            input,
+            attr,
+            distinct,
+            preserve_empty,
+        } => Expr::Unnest {
             input: Box::new(f(*input)),
             attr,
             distinct,
             preserve_empty,
         },
-        Expr::UnnestMap { input, attr, value } => {
-            Expr::UnnestMap { input: Box::new(f(*input)), attr, value }
-        }
-        Expr::XiSimple { input, cmds } => Expr::XiSimple { input: Box::new(f(*input)), cmds },
-        Expr::XiGroup { input, by, head, body, tail } => {
-            Expr::XiGroup { input: Box::new(f(*input)), by, head, body, tail }
-        }
+        Expr::UnnestMap { input, attr, value } => Expr::UnnestMap {
+            input: Box::new(f(*input)),
+            attr,
+            value,
+        },
+        Expr::XiSimple { input, cmds } => Expr::XiSimple {
+            input: Box::new(f(*input)),
+            cmds,
+        },
+        Expr::XiGroup {
+            input,
+            by,
+            head,
+            body,
+            tail,
+        } => Expr::XiGroup {
+            input: Box::new(f(*input)),
+            by,
+            head,
+            body,
+            tail,
+        },
     }
 }
 
@@ -193,7 +258,10 @@ mod tests {
         let inner = singleton().map("d2", Scalar::Doc("bib.xml".into()));
         let e = singleton().map(
             "g",
-            Scalar::Agg { f: GroupFn::count(), input: Box::new(inner) },
+            Scalar::Agg {
+                f: GroupFn::count(),
+                input: Box::new(inner),
+            },
         );
         let mut shallow = 0;
         walk(&e, &mut |_| shallow += 1);

@@ -80,13 +80,20 @@ impl Func {
     /// translator gives their nested-query form special treatment
     /// (they become [`crate::scalar::GroupFn`]s).
     pub fn is_aggregate(self) -> bool {
-        matches!(self, Func::Count | Func::Min | Func::Max | Func::Sum | Func::Avg)
+        matches!(
+            self,
+            Func::Count | Func::Min | Func::Max | Func::Sum | Func::Avg
+        )
     }
 
     /// Apply to already-evaluated argument values.
     pub fn apply(self, args: &[Value], catalog: &Catalog) -> Result<Value, String> {
         let arity_err = |want: &str| {
-            Err(format!("{}() expects {want} argument(s), got {}", self.name(), args.len()))
+            Err(format!(
+                "{}() expects {want} argument(s), got {}",
+                self.name(),
+                args.len()
+            ))
         };
         match self {
             Func::Contains => {
@@ -230,14 +237,32 @@ mod tests {
     fn aggregates_over_item_sequences() {
         let c = cat();
         let seq = Value::items(vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
-        assert_eq!(Func::Count.apply(&[seq.clone()], &c), Ok(Value::Int(3)));
-        assert_eq!(Func::Min.apply(&[seq.clone()], &c), Ok(Value::Dec(Dec(1.0))));
-        assert_eq!(Func::Max.apply(&[seq.clone()], &c), Ok(Value::Dec(Dec(3.0))));
-        assert_eq!(Func::Sum.apply(&[seq.clone()], &c), Ok(Value::Dec(Dec(6.0))));
+        assert_eq!(
+            Func::Count.apply(std::slice::from_ref(&seq), &c),
+            Ok(Value::Int(3))
+        );
+        assert_eq!(
+            Func::Min.apply(std::slice::from_ref(&seq), &c),
+            Ok(Value::Dec(Dec(1.0)))
+        );
+        assert_eq!(
+            Func::Max.apply(std::slice::from_ref(&seq), &c),
+            Ok(Value::Dec(Dec(3.0)))
+        );
+        assert_eq!(
+            Func::Sum.apply(std::slice::from_ref(&seq), &c),
+            Ok(Value::Dec(Dec(6.0)))
+        );
         assert_eq!(Func::Avg.apply(&[seq], &c), Ok(Value::Dec(Dec(2.0))));
         let empty = Value::items(vec![]);
-        assert_eq!(Func::Count.apply(&[empty.clone()], &c), Ok(Value::Int(0)));
-        assert_eq!(Func::Min.apply(&[empty.clone()], &c), Ok(Value::Null));
+        assert_eq!(
+            Func::Count.apply(std::slice::from_ref(&empty), &c),
+            Ok(Value::Int(0))
+        );
+        assert_eq!(
+            Func::Min.apply(std::slice::from_ref(&empty), &c),
+            Ok(Value::Null)
+        );
         assert_eq!(Func::Avg.apply(&[empty], &c), Ok(Value::Null));
     }
 
@@ -253,7 +278,10 @@ mod tests {
         let c = cat();
         let empty = Value::items(vec![]);
         let some = Value::Int(1);
-        assert_eq!(Func::Empty.apply(&[empty.clone()], &c), Ok(Value::Bool(true)));
+        assert_eq!(
+            Func::Empty.apply(std::slice::from_ref(&empty), &c),
+            Ok(Value::Bool(true))
+        );
         assert_eq!(Func::Exists.apply(&[empty], &c), Ok(Value::Bool(false)));
         assert_eq!(Func::Exists.apply(&[some], &c), Ok(Value::Bool(true)));
     }

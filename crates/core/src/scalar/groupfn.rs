@@ -68,22 +68,38 @@ pub struct GroupFn {
 impl GroupFn {
     /// `id` — the group itself, as a nested relation.
     pub fn id() -> GroupFn {
-        GroupFn { filter: None, project: None, agg: AggKind::Tuples }
+        GroupFn {
+            filter: None,
+            project: None,
+            agg: AggKind::Tuples,
+        }
     }
 
     /// `count`.
     pub fn count() -> GroupFn {
-        GroupFn { filter: None, project: None, agg: AggKind::Count }
+        GroupFn {
+            filter: None,
+            project: None,
+            agg: AggKind::Count,
+        }
     }
 
     /// `Π_a` — the item sequence of attribute `a`.
     pub fn project_items(a: impl Into<Sym>) -> GroupFn {
-        GroupFn { filter: None, project: Some(a.into()), agg: AggKind::Items }
+        GroupFn {
+            filter: None,
+            project: Some(a.into()),
+            agg: AggKind::Items,
+        }
     }
 
     /// `agg ∘ Π_a`, e.g. `min ∘ Π_{c2}`.
     pub fn agg_of(agg: AggKind, a: impl Into<Sym>) -> GroupFn {
-        GroupFn { filter: None, project: Some(a.into()), agg }
+        GroupFn {
+            filter: None,
+            project: Some(a.into()),
+            agg,
+        }
     }
 
     /// Add a filter stage: `self ∘ σ_p`.
@@ -128,9 +144,9 @@ impl GroupFn {
                 Some(a) => Value::tuples(group.iter().map(|t| t.project(&[a])).collect()),
             }),
             AggKind::Items => {
-                let a = self
-                    .project
-                    .ok_or_else(|| "Π group function requires a projection attribute".to_string())?;
+                let a = self.project.ok_or_else(|| {
+                    "Π group function requires a projection attribute".to_string()
+                })?;
                 Ok(collect_items(group, a))
             }
             AggKind::Count => Ok(Value::Int(group.len() as i64)),
@@ -162,7 +178,10 @@ impl GroupFn {
 
     fn projected_items(&self, group: &[Tuple]) -> Result<Value, String> {
         let a = self.project.ok_or_else(|| {
-            format!("{} group function requires a projection attribute", self.agg.name())
+            format!(
+                "{} group function requires a projection attribute",
+                self.agg.name()
+            )
         })?;
         Ok(collect_items(group, a))
     }
@@ -245,19 +264,27 @@ mod tests {
         let c = cat();
         assert_eq!(GroupFn::count().aggregate(&g, &c).unwrap(), Value::Int(3));
         assert_eq!(
-            GroupFn::agg_of(AggKind::Min, "b").aggregate(&g, &c).unwrap(),
+            GroupFn::agg_of(AggKind::Min, "b")
+                .aggregate(&g, &c)
+                .unwrap(),
             Value::Dec(Dec(10.0))
         );
         assert_eq!(
-            GroupFn::agg_of(AggKind::Max, "b").aggregate(&g, &c).unwrap(),
+            GroupFn::agg_of(AggKind::Max, "b")
+                .aggregate(&g, &c)
+                .unwrap(),
             Value::Dec(Dec(30.0))
         );
         assert_eq!(
-            GroupFn::agg_of(AggKind::Sum, "b").aggregate(&g, &c).unwrap(),
+            GroupFn::agg_of(AggKind::Sum, "b")
+                .aggregate(&g, &c)
+                .unwrap(),
             Value::Dec(Dec(60.0))
         );
         assert_eq!(
-            GroupFn::agg_of(AggKind::Avg, "b").aggregate(&g, &c).unwrap(),
+            GroupFn::agg_of(AggKind::Avg, "b")
+                .aggregate(&g, &c)
+                .unwrap(),
             Value::Dec(Dec(20.0))
         );
     }
@@ -296,11 +323,8 @@ mod tests {
     fn filter_stage() {
         use crate::value::CmpOp;
         let g = group();
-        let f = GroupFn::count().filtered(Scalar::cmp(
-            CmpOp::Gt,
-            Scalar::attr("b"),
-            Scalar::int(15),
-        ));
+        let f =
+            GroupFn::count().filtered(Scalar::cmp(CmpOp::Gt, Scalar::attr("b"), Scalar::int(15)));
         let v = f
             .apply_with(&g, &cat(), |p, t| {
                 // minimal filter evaluator for the test
@@ -318,11 +342,7 @@ mod tests {
         let f = GroupFn::agg_of(AggKind::Min, "c2");
         assert!(f.independent_of(&[s("a2"), s("x2")]));
         assert!(!f.independent_of(&[s("c2")]));
-        let g = GroupFn::count().filtered(Scalar::attr_cmp(
-            crate::value::CmpOp::Eq,
-            "a2",
-            "b2",
-        ));
+        let g = GroupFn::count().filtered(Scalar::attr_cmp(crate::value::CmpOp::Eq, "a2", "b2"));
         assert!(!g.independent_of(&[s("a2")]));
         assert!(GroupFn::count().independent_of(&[s("anything")]));
     }

@@ -89,13 +89,24 @@ pub enum Scalar {
     DistinctItems(Box<Scalar>),
     /// `∃ x ∈ range : pred` — a nested algebraic expression in a
     /// quantifier (left-hand side of Eqv. 6).
-    Exists { var: Sym, range: Box<Expr>, pred: Box<Scalar> },
+    Exists {
+        var: Sym,
+        range: Box<Expr>,
+        pred: Box<Scalar>,
+    },
     /// `∀ x ∈ range : pred` (left-hand side of Eqv. 7).
-    Forall { var: Sym, range: Box<Expr>, pred: Box<Scalar> },
+    Forall {
+        var: Sym,
+        range: Box<Expr>,
+        pred: Box<Scalar>,
+    },
     /// `f(e)` where `e` is a nested algebraic expression and `f` a group
     /// function — the shape produced by translating `let` clauses, and the
     /// left-hand side of equivalences 1–5.
-    Agg { f: GroupFn, input: Box<Expr> },
+    Agg {
+        f: GroupFn,
+        input: Box<Expr>,
+    },
 }
 
 impl Scalar {
@@ -209,9 +220,7 @@ impl Scalar {
                 l.collect_free(out);
                 r.collect_free(out);
             }
-            Scalar::Not(x) | Scalar::Lift(x, _) | Scalar::DistinctItems(x) => {
-                x.collect_free(out)
-            }
+            Scalar::Not(x) | Scalar::Lift(x, _) | Scalar::DistinctItems(x) => x.collect_free(out),
             Scalar::Path(x, _) => x.collect_free(out),
             Scalar::Call(_, args) => {
                 for a in args {
@@ -260,18 +269,23 @@ impl Scalar {
         match self {
             Scalar::Const(_) | Scalar::Doc(_) => self.clone(),
             Scalar::Attr(a) => Scalar::Attr(ren(*a)),
-            Scalar::Cmp(op, l, r) => {
-                Scalar::Cmp(*op, Box::new(l.rename_attrs(pairs)), Box::new(r.rename_attrs(pairs)))
-            }
-            Scalar::In(l, r) => {
-                Scalar::In(Box::new(l.rename_attrs(pairs)), Box::new(r.rename_attrs(pairs)))
-            }
-            Scalar::And(l, r) => {
-                Scalar::And(Box::new(l.rename_attrs(pairs)), Box::new(r.rename_attrs(pairs)))
-            }
-            Scalar::Or(l, r) => {
-                Scalar::Or(Box::new(l.rename_attrs(pairs)), Box::new(r.rename_attrs(pairs)))
-            }
+            Scalar::Cmp(op, l, r) => Scalar::Cmp(
+                *op,
+                Box::new(l.rename_attrs(pairs)),
+                Box::new(r.rename_attrs(pairs)),
+            ),
+            Scalar::In(l, r) => Scalar::In(
+                Box::new(l.rename_attrs(pairs)),
+                Box::new(r.rename_attrs(pairs)),
+            ),
+            Scalar::And(l, r) => Scalar::And(
+                Box::new(l.rename_attrs(pairs)),
+                Box::new(r.rename_attrs(pairs)),
+            ),
+            Scalar::Or(l, r) => Scalar::Or(
+                Box::new(l.rename_attrs(pairs)),
+                Box::new(r.rename_attrs(pairs)),
+            ),
             Scalar::Arith(op, l, r) => Scalar::Arith(
                 *op,
                 Box::new(l.rename_attrs(pairs)),
@@ -283,9 +297,7 @@ impl Scalar {
             }
             Scalar::Path(x, p) => Scalar::Path(Box::new(x.rename_attrs(pairs)), p.clone()),
             Scalar::Lift(x, a) => Scalar::Lift(Box::new(x.rename_attrs(pairs)), *a),
-            Scalar::DistinctItems(x) => {
-                Scalar::DistinctItems(Box::new(x.rename_attrs(pairs)))
-            }
+            Scalar::DistinctItems(x) => Scalar::DistinctItems(Box::new(x.rename_attrs(pairs))),
             // Nested expressions keep their internal structure; only the
             // quantifier predicate (which sees the outer scope) is renamed.
             Scalar::Exists { var, range, pred } => Scalar::Exists {
@@ -298,7 +310,10 @@ impl Scalar {
                 range: range.clone(),
                 pred: Box::new(pred.rename_attrs(pairs)),
             },
-            Scalar::Agg { f, input } => Scalar::Agg { f: f.clone(), input: input.clone() },
+            Scalar::Agg { f, input } => Scalar::Agg {
+                f: f.clone(),
+                input: input.clone(),
+            },
         }
     }
 

@@ -61,7 +61,10 @@ mod tests {
         let seq = lift_items(&v, a);
         assert_eq!(seq.len(), 3);
         assert_eq!(seq[0].get(a), Some(&Value::Int(1)));
-        assert_eq!(collect_items(&seq, a), Value::Items(vec![Value::Int(1), Value::Int(2), Value::Int(3)].into()));
+        assert_eq!(
+            collect_items(&seq, a),
+            Value::Items(vec![Value::Int(1), Value::Int(2), Value::Int(3)].into())
+        );
     }
 
     #[test]

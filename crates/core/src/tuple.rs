@@ -24,13 +24,17 @@ impl Tuple {
     pub fn empty() -> Tuple {
         static EMPTY: std::sync::OnceLock<Tuple> = std::sync::OnceLock::new();
         EMPTY
-            .get_or_init(|| Tuple { fields: Arc::new(Vec::new()) })
+            .get_or_init(|| Tuple {
+                fields: Arc::new(Vec::new()),
+            })
             .clone()
     }
 
     /// `[a: v]`
     pub fn singleton(a: Sym, v: Value) -> Tuple {
-        Tuple { fields: Arc::new(vec![(a, v)]) }
+        Tuple {
+            fields: Arc::new(vec![(a, v)]),
+        }
     }
 
     /// Build from pairs; later bindings of the same attribute win.
@@ -42,7 +46,9 @@ impl Tuple {
                 Err(i) => fields.insert(i, (s, v)),
             }
         }
-        Tuple { fields: Arc::new(fields) }
+        Tuple {
+            fields: Arc::new(fields),
+        }
     }
 
     /// `⊥_A`: all attributes of `attrs` bound to NULL (§2).
@@ -100,7 +106,9 @@ impl Tuple {
                 Err(i) => fields.insert(i, (*s, v.clone())),
             }
         }
-        Tuple { fields: Arc::new(fields) }
+        Tuple {
+            fields: Arc::new(fields),
+        }
     }
 
     /// Extend with one binding (the map operator's `t ◦ [a: v]`).
@@ -110,7 +118,9 @@ impl Tuple {
             Ok(i) => fields[i].1 = v,
             Err(i) => fields.insert(i, (a, v)),
         }
-        Tuple { fields: Arc::new(fields) }
+        Tuple {
+            fields: Arc::new(fields),
+        }
     }
 
     /// Projection `|_A`: keep only the attributes in `attrs`.

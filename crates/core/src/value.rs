@@ -31,7 +31,7 @@ impl Eq for Dec {}
 
 impl PartialOrd for Dec {
     fn partial_cmp(&self, other: &Dec) -> Option<Ordering> {
-        Some(self.0.total_cmp(&other.0))
+        Some(self.cmp(other))
     }
 }
 
@@ -142,9 +142,7 @@ impl Value {
                 let doc = catalog.doc(n.doc);
                 Value::str(doc.string_value(n.node))
             }
-            Value::Items(items) => {
-                Value::items(items.iter().map(|v| v.atomize(catalog)).collect())
-            }
+            Value::Items(items) => Value::items(items.iter().map(|v| v.atomize(catalog)).collect()),
             other => other.clone(),
         }
     }
@@ -245,7 +243,8 @@ pub fn cmp_atomic(op: CmpOp, l: &Value, r: &Value, catalog: &Catalog) -> bool {
         return false;
     }
     // Numeric coercion when either side is a number.
-    let numericish = matches!(l, Value::Int(_) | Value::Dec(_)) || matches!(r, Value::Int(_) | Value::Dec(_));
+    let numericish =
+        matches!(l, Value::Int(_) | Value::Dec(_)) || matches!(r, Value::Int(_) | Value::Dec(_));
     if numericish {
         return match (l.as_number(), r.as_number()) {
             (Some(a), Some(b)) => op.test(a.total_cmp(&b)),
@@ -270,13 +269,14 @@ pub fn cmp_atomic(op: CmpOp, l: &Value, r: &Value, catalog: &Catalog) -> bool {
 pub fn cmp_general(op: CmpOp, l: &Value, r: &Value, catalog: &Catalog) -> bool {
     let ls = explode(l);
     let rs = explode(r);
-    ls.iter().any(|a| rs.iter().any(|b| cmp_atomic(op, a, b, catalog)))
+    ls.iter()
+        .any(|a| rs.iter().any(|b| cmp_atomic(op, a, b, catalog)))
 }
 
 /// Flatten a value into candidate atomic items for general comparison.
 fn explode(v: &Value) -> Vec<Value> {
     match v {
-        Value::Items(items) => items.iter().flat_map(|i| explode(i)).collect(),
+        Value::Items(items) => items.iter().flat_map(explode).collect(),
         Value::Tuples(ts) => ts
             .iter()
             .flat_map(|t| t.values().flat_map(explode).collect::<Vec<_>>())
@@ -344,18 +344,48 @@ mod tests {
     #[test]
     fn numeric_coercion_in_comparisons() {
         let c = cat();
-        assert!(cmp_atomic(CmpOp::Gt, &Value::str("1994"), &Value::Int(1993), &c));
-        assert!(!cmp_atomic(CmpOp::Gt, &Value::str("1990"), &Value::Int(1993), &c));
-        assert!(cmp_atomic(CmpOp::Eq, &Value::Dec(Dec(2.0)), &Value::Int(2), &c));
+        assert!(cmp_atomic(
+            CmpOp::Gt,
+            &Value::str("1994"),
+            &Value::Int(1993),
+            &c
+        ));
+        assert!(!cmp_atomic(
+            CmpOp::Gt,
+            &Value::str("1990"),
+            &Value::Int(1993),
+            &c
+        ));
+        assert!(cmp_atomic(
+            CmpOp::Eq,
+            &Value::Dec(Dec(2.0)),
+            &Value::Int(2),
+            &c
+        ));
         // Non-numeric string against number: false, not a panic.
-        assert!(!cmp_atomic(CmpOp::Eq, &Value::str("abc"), &Value::Int(1), &c));
+        assert!(!cmp_atomic(
+            CmpOp::Eq,
+            &Value::str("abc"),
+            &Value::Int(1),
+            &c
+        ));
     }
 
     #[test]
     fn string_comparisons() {
         let c = cat();
-        assert!(cmp_atomic(CmpOp::Lt, &Value::str("abc"), &Value::str("abd"), &c));
-        assert!(cmp_atomic(CmpOp::Eq, &Value::str("x"), &Value::str("x"), &c));
+        assert!(cmp_atomic(
+            CmpOp::Lt,
+            &Value::str("abc"),
+            &Value::str("abd"),
+            &c
+        ));
+        assert!(cmp_atomic(
+            CmpOp::Eq,
+            &Value::str("x"),
+            &Value::str("x"),
+            &c
+        ));
     }
 
     #[test]
@@ -374,7 +404,10 @@ mod tests {
         let doc = c.doc(doc_id);
         let root = doc.root_element().unwrap();
         let b1 = doc.children(root).next().unwrap();
-        let node = Value::Node(NodeRef { doc: doc_id, node: b1 });
+        let node = Value::Node(NodeRef {
+            doc: doc_id,
+            node: b1,
+        });
         assert_eq!(node.atomize(&c), Value::str("42"));
         assert!(cmp_atomic(CmpOp::Eq, &node, &Value::Int(42), &c));
     }
@@ -390,7 +423,10 @@ mod tests {
         // seq-to-seq
         let seq2 = Value::items(vec![Value::str("c"), Value::str("d")]);
         assert!(cmp_general(CmpOp::Eq, &seq, &seq2, &c));
-        assert!(cmp_general(CmpOp::Ne, &seq, &seq, &c), "∃ a≠b in the same sequence");
+        assert!(
+            cmp_general(CmpOp::Ne, &seq, &seq, &c),
+            "∃ a≠b in the same sequence"
+        );
     }
 
     #[test]
@@ -409,7 +445,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
         assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
         assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.flip().flip(), op);
         }

@@ -7,6 +7,7 @@
 //! keep right-input insertion order, so hash joins produce exactly the
 //! sequence the definitional nested loop would.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use nal::eval::scalar::{eval_scalar, truthy};
@@ -15,6 +16,17 @@ use nal::{ProjOp, Seq, Sym, Tuple, Value};
 
 use crate::key::{key_of, Key};
 use crate::plan::{JoinKind, PhysPlan};
+
+/// Evaluation scope of a tuple under an environment. Top-level plans run
+/// with an empty environment, where `env.concat(t)` would just clone `t`
+/// — borrow it instead so the hot σ/χ/Υ/⋈ loops allocate nothing extra.
+pub(crate) fn scoped<'a>(env: &Tuple, t: &'a Tuple) -> Cow<'a, Tuple> {
+    if env.is_empty() {
+        Cow::Borrowed(t)
+    } else {
+        Cow::Owned(env.concat(t))
+    }
+}
 
 /// Execute a plan under an environment (non-empty only for nested
 /// evaluation contexts).
@@ -35,7 +47,7 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             let rows = execute(input, env, ctx)?;
             let mut out = Vec::with_capacity(rows.len());
             for t in rows {
-                if truthy(pred, &env.concat(&t), ctx)? {
+                if truthy(pred, &scoped(env, &t), ctx)? {
                     out.push(t);
                 }
             }
@@ -51,7 +63,7 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             let rows = execute(input, env, ctx)?;
             let mut out = Vec::with_capacity(rows.len());
             for t in rows {
-                let v = eval_scalar(value, &env.concat(&t), ctx)?;
+                let v = eval_scalar(value, &scoped(env, &t), ctx)?;
                 out.push(t.extend(*attr, v));
             }
             out
@@ -69,13 +81,37 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             out
         }
 
-        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind, pad } => {
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+            pad,
+        } => {
             let l = execute(left, env, ctx)?;
             let r = execute(right, env, ctx)?;
-            hash_join(&l, &r, left_keys, right_keys, residual.as_ref(), kind, pad, env, ctx)?
+            hash_join(
+                &l,
+                &r,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                kind,
+                pad,
+                env,
+                ctx,
+            )?
         }
 
-        PhysPlan::LoopJoin { left, right, pred, kind, pad } => {
+        PhysPlan::LoopJoin {
+            left,
+            right,
+            pred,
+            kind,
+            pad,
+        } => {
             let l = execute(left, env, ctx)?;
             let r = execute(right, env, ctx)?;
             loop_join(&l, &r, pred, kind, pad, env, ctx)?
@@ -92,7 +128,13 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             out
         }
 
-        PhysPlan::ThetaGroupUnary { input, g, by, theta, f } => {
+        PhysPlan::ThetaGroupUnary {
+            input,
+            g,
+            by,
+            theta,
+            f,
+        } => {
             // Definitional fallback — delegate to the reference semantics
             // by rebuilding the logical node over a literal.
             let rows = execute(input, env, ctx)?;
@@ -106,11 +148,18 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             eval(&logical, env, ctx)?
         }
 
-        PhysPlan::HashGroupBinary { left, right, g, left_on, right_on, f } => {
+        PhysPlan::HashGroupBinary {
+            left,
+            right,
+            g,
+            left_on,
+            right_on,
+            f,
+        } => {
             let l = execute(left, env, ctx)?;
             let r = execute(right, env, ctx)?;
-            // Bucket the right side once.
-            let mut buckets: HashMap<Key, Vec<Tuple>> = HashMap::new();
+            // Bucket the right side once, pre-sized to avoid rehashing.
+            let mut buckets: HashMap<Key, Vec<Tuple>> = HashMap::with_capacity(r.len());
             for rt in &r {
                 if let Some(k) = key_of(rt, right_on, ctx.catalog) {
                     buckets.entry(k).or_default().push(rt.clone());
@@ -128,7 +177,15 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             out
         }
 
-        PhysPlan::ThetaGroupBinary { left, right, g, left_on, theta, right_on, f } => {
+        PhysPlan::ThetaGroupBinary {
+            left,
+            right,
+            g,
+            left_on,
+            theta,
+            right_on,
+            f,
+        } => {
             let l = execute(left, env, ctx)?;
             let r = execute(right, env, ctx)?;
             let logical = nal::Expr::GroupBinary {
@@ -143,7 +200,13 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             eval(&logical, env, ctx)?
         }
 
-        PhysPlan::Unnest { input, attr, distinct, preserve_empty, inner_attrs } => {
+        PhysPlan::Unnest {
+            input,
+            attr,
+            distinct,
+            preserve_empty,
+            inner_attrs,
+        } => {
             let rows = execute(input, env, ctx)?;
             let mut out = Vec::new();
             for t in rows {
@@ -179,7 +242,7 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             let rows = execute(input, env, ctx)?;
             let mut out = Vec::new();
             for t in rows {
-                let v = eval_scalar(value, &env.concat(&t), ctx)?;
+                let v = eval_scalar(value, &scoped(env, &t), ctx)?;
                 for item in v.as_item_seq() {
                     out.push(t.extend(*attr, item));
                 }
@@ -190,12 +253,18 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
         PhysPlan::XiSimple { input, cmds } => {
             let rows = execute(input, env, ctx)?;
             for t in &rows {
-                xi::run_cmds(cmds, &env.concat(t), ctx)?;
+                xi::run_cmds(cmds, &scoped(env, t), ctx)?;
             }
             rows
         }
 
-        PhysPlan::XiGroup { input, by, head, body, tail } => {
+        PhysPlan::XiGroup {
+            input,
+            by,
+            head,
+            body,
+            tail,
+        } => {
             let rows = execute(input, env, ctx)?;
             let groups = hash_groups(&rows, by, ctx);
             let mut out = Vec::with_capacity(groups.len());
@@ -240,16 +309,20 @@ fn project_rows(rows: &[Tuple], op: &ProjOp, ctx: &EvalCtx<'_>) -> Seq {
 }
 
 /// Single-pass grouping in first-occurrence key order, atomized keys.
-fn hash_groups(rows: &[Tuple], by: &[Sym], ctx: &EvalCtx<'_>) -> Vec<(Tuple, Vec<Tuple>)> {
-    let mut index: HashMap<Key, usize> = HashMap::new();
+/// Shared with the streaming executor's blocking group cursors.
+pub(crate) fn hash_groups(
+    rows: &[Tuple],
+    by: &[Sym],
+    ctx: &EvalCtx<'_>,
+) -> Vec<(Tuple, Vec<Tuple>)> {
+    let mut index: HashMap<Key, usize> = HashMap::with_capacity(rows.len().min(1024));
     let mut groups: Vec<(Tuple, Vec<Tuple>)> = Vec::new();
     for t in rows {
         let Some(k) = key_of(t, by, ctx.catalog) else {
             continue; // NULL keys group with nothing (cmp_atomic semantics)
         };
         let idx = *index.entry(k).or_insert_with(|| {
-            let key_tuple =
-                nal::eval::atomize_tuple(&t.project(by), ctx.catalog);
+            let key_tuple = nal::eval::atomize_tuple(&t.project(by), ctx.catalog);
             groups.push((key_tuple, Vec::new()));
             groups.len() - 1
         });
@@ -270,8 +343,9 @@ fn hash_join(
     env: &Tuple,
     ctx: &mut EvalCtx<'_>,
 ) -> EvalResult<Seq> {
-    // Build on the right; buckets preserve right order.
-    let mut buckets: HashMap<Key, Vec<&Tuple>> = HashMap::new();
+    // Build on the right; buckets preserve right order. Pre-sized from
+    // the build-side cardinality so the build never rehashes.
+    let mut buckets: HashMap<Key, Vec<&Tuple>> = HashMap::with_capacity(r.len());
     for rt in r {
         if let Some(k) = key_of(rt, right_keys, ctx.catalog) {
             buckets.entry(k).or_default().push(rt);
@@ -286,7 +360,7 @@ fn hash_join(
                 let joined = lt.concat(rt);
                 let pass = match residual {
                     None => true,
-                    Some(p) => truthy(p, &env.concat(&joined), ctx)?,
+                    Some(p) => truthy(p, &scoped(env, &joined), ctx)?,
                 };
                 if pass {
                     matched = true;
@@ -323,7 +397,7 @@ fn loop_join(
         let mut matched = false;
         for rt in r {
             let joined = lt.concat(rt);
-            if truthy(pred, &env.concat(&joined), ctx)? {
+            if truthy(pred, &scoped(env, &joined), ctx)? {
                 matched = true;
                 match kind {
                     JoinKind::Inner | JoinKind::Outer { .. } => out.push(joined),

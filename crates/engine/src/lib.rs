@@ -15,9 +15,11 @@
 
 pub mod exec;
 pub mod key;
+pub mod pipeline;
 pub mod plan;
 
 pub use exec::execute;
+pub use pipeline::{drain, Cursor};
 pub use plan::{compile, JoinKind, PhysPlan};
 
 use std::time::{Duration, Instant};
@@ -47,5 +49,32 @@ pub fn run_compiled(plan: &PhysPlan, catalog: &Catalog) -> EvalResult<QueryResul
     let start = Instant::now();
     let rows = execute(plan, &Tuple::empty(), &mut ctx)?;
     let elapsed = start.elapsed();
-    Ok(QueryResult { rows, output: ctx.take_output(), metrics: ctx.metrics, elapsed })
+    Ok(QueryResult {
+        rows,
+        output: ctx.take_output(),
+        metrics: ctx.metrics,
+        elapsed,
+    })
+}
+
+/// Compile and execute a logical expression with the streaming, pipelined
+/// executor ([`pipeline`]): tuples flow one at a time, and semi/anti
+/// (quantifier) joins short-circuit per probe tuple. Produces the same
+/// rows and byte-identical Ξ output as [`run`].
+pub fn run_streaming(expr: &Expr, catalog: &Catalog) -> EvalResult<QueryResult> {
+    run_streaming_compiled(&compile(expr), catalog)
+}
+
+/// Execute an already-compiled plan with the streaming executor.
+pub fn run_streaming_compiled(plan: &PhysPlan, catalog: &Catalog) -> EvalResult<QueryResult> {
+    let mut ctx = EvalCtx::new(catalog);
+    let start = Instant::now();
+    let rows = pipeline::execute_streaming(plan, &Tuple::empty(), &mut ctx)?;
+    let elapsed = start.elapsed();
+    Ok(QueryResult {
+        rows,
+        output: ctx.take_output(),
+        metrics: ctx.metrics,
+        elapsed,
+    })
 }

@@ -1,0 +1,357 @@
+//! Streaming binary operators: ×, hash/loop joins (inner, semi, anti,
+//! outer), and binary grouping.
+//!
+//! The probe side (left) streams; the build side (right) is materialized
+//! on first pull, preserving arrival order inside each hash bucket so the
+//! join emits exactly the sequence the definitional nested loop would.
+//! Semi and anti joins short-circuit per probe tuple: the first passing
+//! match decides the tuple's fate and the rest of the bucket is never
+//! examined. [`EvalCtx`]'s `probe_tuples` metric counts right-side
+//! candidates actually examined, which is how tests observe the
+//! short-circuit.
+
+use std::collections::HashMap;
+
+use nal::eval::scalar::truthy;
+use nal::eval::{apply_groupfn, eval, EvalCtx, EvalResult};
+use nal::{GroupFn, Scalar, Sym, Tuple};
+
+use super::cursor::{Cursor, Feed};
+use crate::exec::scoped;
+use crate::key::{key_of, Key};
+use crate::plan::JoinKind;
+
+/// × — materialize the right side, stream the left.
+pub struct Cross<'p> {
+    pub left: Feed<'p>,
+    pub right: Feed<'p>,
+    /// Materialize left before right (Ξ in a subtree needs the
+    /// materializing executor's left-then-right evaluation order).
+    pub strict: bool,
+    pub right_rows: Option<Vec<Tuple>>,
+    pub cur_left: Option<Tuple>,
+    pub ridx: usize,
+}
+
+impl Cursor for Cross<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.right_rows.is_none() {
+            if self.strict {
+                self.left.buffer_now(ctx)?;
+            }
+            self.right_rows = Some(self.right.take_all(ctx)?);
+        }
+        let right = self.right_rows.as_ref().expect("built above");
+        loop {
+            if let Some(lt) = &self.cur_left {
+                if let Some(rt) = right.get(self.ridx) {
+                    self.ridx += 1;
+                    return Ok(Some(lt.concat(rt)));
+                }
+                self.cur_left = None;
+            }
+            match self.left.next(ctx)? {
+                Some(lt) => {
+                    self.cur_left = Some(lt);
+                    self.ridx = 0;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Cross"
+    }
+}
+
+/// Join-kind-independent emission decision for a finished probe tuple.
+fn unmatched_output(kind: &JoinKind, pad: &[Sym], lt: &Tuple) -> Option<Tuple> {
+    match kind {
+        JoinKind::Anti => Some(lt.clone()),
+        JoinKind::Outer { g, default } => {
+            Some(lt.concat(&Tuple::bottom(pad)).extend(*g, default.clone()))
+        }
+        JoinKind::Inner | JoinKind::Semi => None,
+    }
+}
+
+/// Order-preserving hash join. Build buckets on the right (insertion
+/// order within a bucket = right arrival order), probe left tuples in
+/// stream order.
+pub struct HashJoin<'p> {
+    pub left: Feed<'p>,
+    pub right: Feed<'p>,
+    pub left_keys: &'p [Sym],
+    pub right_keys: &'p [Sym],
+    pub residual: Option<&'p Scalar>,
+    pub kind: &'p JoinKind,
+    pub pad: &'p [Sym],
+    pub env: Tuple,
+    pub strict: bool,
+    /// Build state: bucket storage + key index (separate so iteration
+    /// state can hold plain indices).
+    pub bucket_rows: Vec<Vec<Tuple>>,
+    pub bucket_index: Option<HashMap<Key, usize>>,
+    /// Inner/outer iteration state: (probe tuple, bucket, position,
+    /// matched-so-far).
+    pub cur: Option<(Tuple, Option<usize>, usize, bool)>,
+}
+
+impl HashJoin<'_> {
+    fn build(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<()> {
+        if self.strict {
+            self.left.buffer_now(ctx)?;
+        }
+        let rows = self.right.take_all(ctx)?;
+        // Pre-size from the build-side cardinality (satellite of the
+        // paper's hash-operator discussion: no rehashing during build).
+        let mut index: HashMap<Key, usize> = HashMap::with_capacity(rows.len());
+        for rt in rows {
+            if let Some(k) = key_of(&rt, self.right_keys, ctx.catalog) {
+                let slot = *index.entry(k).or_insert_with(|| {
+                    self.bucket_rows.push(Vec::new());
+                    self.bucket_rows.len() - 1
+                });
+                self.bucket_rows[slot].push(rt);
+            }
+        }
+        self.bucket_index = Some(index);
+        Ok(())
+    }
+
+    fn residual_passes(&self, joined: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<bool> {
+        match self.residual {
+            None => Ok(true),
+            Some(p) => truthy(p, &scoped(&self.env, joined), ctx),
+        }
+    }
+}
+
+impl Cursor for HashJoin<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.bucket_index.is_none() {
+            self.build(ctx)?;
+        }
+        loop {
+            // Resume an inner/outer probe mid-bucket.
+            if let Some((lt, slot, mut pos, mut matched)) = self.cur.take() {
+                if let Some(slot) = slot {
+                    while pos < self.bucket_rows[slot].len() {
+                        let rt = self.bucket_rows[slot][pos].clone();
+                        pos += 1;
+                        ctx.metrics.probe_tuples += 1;
+                        let joined = lt.concat(&rt);
+                        if self.residual_passes(&joined, ctx)? {
+                            matched = true;
+                            self.cur = Some((lt, Some(slot), pos, matched));
+                            return Ok(Some(joined));
+                        }
+                    }
+                }
+                if !matched {
+                    if let Some(out) = unmatched_output(self.kind, self.pad, &lt) {
+                        return Ok(Some(out));
+                    }
+                }
+                continue;
+            }
+            let Some(lt) = self.left.next(ctx)? else {
+                return Ok(None);
+            };
+            let slot = key_of(&lt, self.left_keys, ctx.catalog)
+                .and_then(|k| self.bucket_index.as_ref().expect("built").get(&k))
+                .copied();
+            match self.kind {
+                JoinKind::Inner | JoinKind::Outer { .. } => {
+                    self.cur = Some((lt, slot, 0, false));
+                }
+                JoinKind::Semi | JoinKind::Anti => {
+                    let mut matched = false;
+                    if let Some(slot) = slot {
+                        // Short-circuit: the first passing match decides.
+                        for pos in 0..self.bucket_rows[slot].len() {
+                            let rt = self.bucket_rows[slot][pos].clone();
+                            ctx.metrics.probe_tuples += 1;
+                            let joined = lt.concat(&rt);
+                            if self.residual_passes(&joined, ctx)? {
+                                matched = true;
+                                break;
+                            }
+                        }
+                    }
+                    let emit = matches!(self.kind, JoinKind::Semi) == matched;
+                    if emit {
+                        return Ok(Some(lt));
+                    }
+                }
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Inner => "HashJoin",
+            JoinKind::Semi => "HashSemiJoin",
+            JoinKind::Anti => "HashAntiJoin",
+            JoinKind::Outer { .. } => "HashOuterJoin",
+        }
+    }
+}
+
+/// Definitional nested-loop join for non-equi predicates; the right side
+/// is materialized, the left streams, and semi/anti probes stop at the
+/// first passing match.
+pub struct LoopJoin<'p> {
+    pub left: Feed<'p>,
+    pub right: Feed<'p>,
+    pub pred: &'p Scalar,
+    pub kind: &'p JoinKind,
+    pub pad: &'p [Sym],
+    pub env: Tuple,
+    pub strict: bool,
+    pub right_rows: Option<Vec<Tuple>>,
+    pub cur: Option<(Tuple, usize, bool)>,
+}
+
+impl Cursor for LoopJoin<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.right_rows.is_none() {
+            if self.strict {
+                self.left.buffer_now(ctx)?;
+            }
+            self.right_rows = Some(self.right.take_all(ctx)?);
+        }
+        loop {
+            if let Some((lt, mut pos, mut matched)) = self.cur.take() {
+                let n = self.right_rows.as_ref().expect("built").len();
+                while pos < n {
+                    let rt = self.right_rows.as_ref().expect("built")[pos].clone();
+                    pos += 1;
+                    ctx.metrics.probe_tuples += 1;
+                    let joined = lt.concat(&rt);
+                    if truthy(self.pred, &scoped(&self.env, &joined), ctx)? {
+                        matched = true;
+                        match self.kind {
+                            JoinKind::Inner | JoinKind::Outer { .. } => {
+                                self.cur = Some((lt, pos, matched));
+                                return Ok(Some(joined));
+                            }
+                            // Short-circuit: fate decided, skip the rest.
+                            JoinKind::Semi => return Ok(Some(lt)),
+                            JoinKind::Anti => break,
+                        }
+                    }
+                }
+                match self.kind {
+                    JoinKind::Semi => {}
+                    JoinKind::Anti | JoinKind::Inner | JoinKind::Outer { .. } if !matched => {
+                        if let Some(out) = unmatched_output(self.kind, self.pad, &lt) {
+                            return Ok(Some(out));
+                        }
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            match self.left.next(ctx)? {
+                Some(lt) => self.cur = Some((lt, 0, false)),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Inner => "LoopJoin",
+            JoinKind::Semi => "LoopSemiJoin",
+            JoinKind::Anti => "LoopAntiJoin",
+            JoinKind::Outer { .. } => "LoopOuterJoin",
+        }
+    }
+}
+
+/// Binary Γ with hash lookup: build buckets on the right once, then
+/// stream the left, aggregating each tuple's group lazily.
+pub struct HashGroupBinary<'p> {
+    pub left: Feed<'p>,
+    pub right: Feed<'p>,
+    pub g: Sym,
+    pub left_on: &'p [Sym],
+    pub right_on: &'p [Sym],
+    pub f: &'p GroupFn,
+    pub env: Tuple,
+    pub strict: bool,
+    pub buckets: Option<HashMap<Key, Vec<Tuple>>>,
+}
+
+impl Cursor for HashGroupBinary<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.buckets.is_none() {
+            if self.strict {
+                self.left.buffer_now(ctx)?;
+            }
+            let rows = self.right.take_all(ctx)?;
+            let mut buckets: HashMap<Key, Vec<Tuple>> = HashMap::with_capacity(rows.len());
+            for rt in rows {
+                if let Some(k) = key_of(&rt, self.right_on, ctx.catalog) {
+                    buckets.entry(k).or_default().push(rt);
+                }
+            }
+            self.buckets = Some(buckets);
+        }
+        let Some(lt) = self.left.next(ctx)? else {
+            return Ok(None);
+        };
+        let empty: Vec<Tuple> = Vec::new();
+        let members = key_of(&lt, self.left_on, ctx.catalog)
+            .and_then(|k| self.buckets.as_ref().expect("built").get(&k))
+            .unwrap_or(&empty);
+        let v = apply_groupfn(self.f, members, &self.env, ctx)?;
+        Ok(Some(lt.extend(self.g, v)))
+    }
+
+    fn op_name(&self) -> &'static str {
+        "HashNestJoin"
+    }
+}
+
+/// θ binary grouping fallback: materialize both sides, delegate to the
+/// reference semantics, stream the result.
+pub struct ThetaGroupBinary<'p> {
+    pub left: Feed<'p>,
+    pub right: Feed<'p>,
+    pub g: Sym,
+    pub left_on: &'p [Sym],
+    pub theta: nal::CmpOp,
+    pub right_on: &'p [Sym],
+    pub f: &'p GroupFn,
+    pub env: Tuple,
+    pub out: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl Cursor for ThetaGroupBinary<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.out.is_none() {
+            // Left first — matching the materializing executor's
+            // evaluation order for any side effects.
+            let l = self.left.take_all(ctx)?;
+            let r = self.right.take_all(ctx)?;
+            let logical = nal::Expr::GroupBinary {
+                left: Box::new(nal::Expr::Literal(l)),
+                right: Box::new(nal::Expr::Literal(r)),
+                g: self.g,
+                left_on: self.left_on.to_vec(),
+                theta: self.theta,
+                right_on: self.right_on.to_vec(),
+                f: self.f.clone(),
+            };
+            self.out = Some(eval(&logical, &self.env, ctx)?.into_iter());
+        }
+        Ok(self.out.as_mut().expect("evaluated above").next())
+    }
+
+    fn op_name(&self) -> &'static str {
+        "ThetaNestJoin"
+    }
+}

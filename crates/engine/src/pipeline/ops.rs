@@ -1,0 +1,299 @@
+//! Streaming unary operators and the blocking (materialize-inside,
+//! stream-out) grouping and Ξ operators.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use nal::eval::scalar::{eval_scalar, truthy};
+use nal::eval::{apply_groupfn, atomize_tuple, eval, xi, EvalCtx, EvalError, EvalResult};
+use nal::{GroupFn, ProjOp, Scalar, Sym, Tuple, Value, XiCmd};
+
+use super::cursor::{drain, BoxCursor, Cursor};
+use crate::exec::{hash_groups, scoped};
+
+/// σ — filter, one pull per surviving tuple.
+pub struct Select<'p> {
+    pub input: BoxCursor<'p>,
+    pub pred: &'p Scalar,
+    pub env: Tuple,
+}
+
+impl Cursor for Select<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        while let Some(t) = self.input.next(ctx)? {
+            if truthy(self.pred, &scoped(&self.env, &t), ctx)? {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Select"
+    }
+}
+
+/// Π / Π^D — projections. The distinct variants dedup incrementally (a
+/// first-occurrence filter is order-preserving, so no materialization is
+/// needed).
+pub struct Project<'p> {
+    pub input: BoxCursor<'p>,
+    pub op: &'p ProjOp,
+    pub seen: HashSet<Vec<Value>>,
+}
+
+impl Cursor for Project<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        loop {
+            let Some(t) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            let out = match self.op {
+                ProjOp::Cols(cols) => return Ok(Some(t.project(cols))),
+                ProjOp::Drop(cols) => return Ok(Some(t.without(cols))),
+                ProjOp::Rename(pairs) => return Ok(Some(t.rename(pairs))),
+                ProjOp::DistinctCols(cols) => atomize_tuple(&t.project(cols), ctx.catalog),
+                ProjOp::DistinctRename(pairs) => {
+                    let old: Vec<Sym> = pairs.iter().map(|(_, o)| *o).collect();
+                    atomize_tuple(&t.project(&old).rename(pairs), ctx.catalog)
+                }
+            };
+            let key: Vec<Value> = out.values().cloned().collect();
+            if self.seen.insert(key) {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Project"
+    }
+}
+
+/// χ — extend each tuple with one computed attribute.
+pub struct Map<'p> {
+    pub input: BoxCursor<'p>,
+    pub attr: Sym,
+    pub value: &'p Scalar,
+    pub env: Tuple,
+}
+
+impl Cursor for Map<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        let Some(t) = self.input.next(ctx)? else {
+            return Ok(None);
+        };
+        let v = eval_scalar(self.value, &scoped(&self.env, &t), ctx)?;
+        Ok(Some(t.extend(self.attr, v)))
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Map"
+    }
+}
+
+/// μ / μ^D — unnest a tuple-valued attribute; a small pending queue holds
+/// the fan-out of the current input tuple.
+pub struct Unnest<'p> {
+    pub input: BoxCursor<'p>,
+    pub attr: Sym,
+    pub distinct: bool,
+    pub preserve_empty: bool,
+    pub inner_attrs: &'p [Sym],
+    pub pending: VecDeque<Tuple>,
+}
+
+impl Cursor for Unnest<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Ok(Some(t));
+            }
+            let Some(t) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            let nested = match t.get(self.attr) {
+                Some(Value::Tuples(ts)) => ts.as_ref().clone(),
+                Some(Value::Null) | None => Vec::new(),
+                Some(other) => {
+                    return Err(EvalError::new(format!(
+                        "unnest({}): not tuple-valued: {other}",
+                        self.attr
+                    )))
+                }
+            };
+            let nested = if self.distinct {
+                nal::eval::dedup_by_value(&nested, ctx.catalog)
+            } else {
+                nested
+            };
+            let rest = t.without(&[self.attr]);
+            if nested.is_empty() {
+                if self.preserve_empty {
+                    self.pending
+                        .push_back(rest.concat(&Tuple::bottom(self.inner_attrs)));
+                }
+            } else {
+                for inner in nested {
+                    self.pending.push_back(rest.concat(&inner));
+                }
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Unnest"
+    }
+}
+
+/// Υ — unnest-map: evaluate a scalar per tuple and fan out its items.
+pub struct UnnestMap<'p> {
+    pub input: BoxCursor<'p>,
+    pub attr: Sym,
+    pub value: &'p Scalar,
+    pub env: Tuple,
+    pub pending: VecDeque<Tuple>,
+}
+
+impl Cursor for UnnestMap<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Ok(Some(t));
+            }
+            let Some(t) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            let v = eval_scalar(self.value, &scoped(&self.env, &t), ctx)?;
+            for item in v.as_item_seq() {
+                self.pending.push_back(t.extend(self.attr, item));
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        "UnnestMap"
+    }
+}
+
+/// Ξ — result construction, fully pipelined: each pulled tuple is
+/// serialized and passed through. When the input subtree itself writes Ξ
+/// output, lowering inserts a `Materialize` barrier below this cursor so
+/// the byte stream matches the materializing executor's strict bottom-up
+/// order.
+pub struct XiSimple<'p> {
+    pub input: BoxCursor<'p>,
+    pub cmds: &'p [XiCmd],
+    pub env: Tuple,
+}
+
+impl Cursor for XiSimple<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        let Some(t) = self.input.next(ctx)? else {
+            return Ok(None);
+        };
+        xi::run_cmds(self.cmds, &scoped(&self.env, &t), ctx)?;
+        Ok(Some(t))
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Xi"
+    }
+}
+
+/// Grouped Ξ — blocking on the input (grouping needs all tuples), then
+/// streams one key tuple per group, emitting head/body/tail as pulled.
+pub struct XiGroup<'p> {
+    pub input: BoxCursor<'p>,
+    pub by: &'p [Sym],
+    pub head: &'p [XiCmd],
+    pub body: &'p [XiCmd],
+    pub tail: &'p [XiCmd],
+    pub env: Tuple,
+    pub groups: Option<std::vec::IntoIter<(Tuple, Vec<Tuple>)>>,
+}
+
+impl Cursor for XiGroup<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.groups.is_none() {
+            let rows = drain(self.input.as_mut(), ctx)?;
+            self.groups = Some(hash_groups(&rows, self.by, ctx).into_iter());
+        }
+        let Some((key_tuple, members)) = self.groups.as_mut().expect("grouped above").next() else {
+            return Ok(None);
+        };
+        let key_env = self.env.concat(&key_tuple);
+        xi::run_cmds(self.head, &key_env, ctx)?;
+        for t in &members {
+            xi::run_cmds(self.body, &scoped(&self.env, t), ctx)?;
+        }
+        xi::run_cmds(self.tail, &key_env, ctx)?;
+        Ok(Some(key_tuple))
+    }
+
+    fn op_name(&self) -> &'static str {
+        "XiGroup"
+    }
+}
+
+/// Hash Γ — blocking build of the group table, then one aggregated tuple
+/// per group streamed out (the group function runs lazily per pull).
+pub struct HashGroupUnary<'p> {
+    pub input: BoxCursor<'p>,
+    pub g: Sym,
+    pub by: &'p [Sym],
+    pub f: &'p GroupFn,
+    pub env: Tuple,
+    pub groups: Option<std::vec::IntoIter<(Tuple, Vec<Tuple>)>>,
+}
+
+impl Cursor for HashGroupUnary<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.groups.is_none() {
+            let rows = drain(self.input.as_mut(), ctx)?;
+            self.groups = Some(hash_groups(&rows, self.by, ctx).into_iter());
+        }
+        let Some((key_tuple, members)) = self.groups.as_mut().expect("grouped above").next() else {
+            return Ok(None);
+        };
+        let v = apply_groupfn(self.f, &members, &self.env, ctx)?;
+        Ok(Some(key_tuple.extend(self.g, v)))
+    }
+
+    fn op_name(&self) -> &'static str {
+        "HashGroup"
+    }
+}
+
+/// θ-grouping fallback: materialize, delegate to the reference semantics
+/// (as the materializing executor does), stream the result.
+pub struct ThetaGroupUnary<'p> {
+    pub input: BoxCursor<'p>,
+    pub g: Sym,
+    pub by: &'p [Sym],
+    pub theta: nal::CmpOp,
+    pub f: &'p GroupFn,
+    pub env: Tuple,
+    pub out: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl Cursor for ThetaGroupUnary<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.out.is_none() {
+            let rows = drain(self.input.as_mut(), ctx)?;
+            let logical = nal::Expr::GroupUnary {
+                input: Box::new(nal::Expr::Literal(rows)),
+                g: self.g,
+                by: self.by.to_vec(),
+                theta: self.theta,
+                f: self.f.clone(),
+            };
+            self.out = Some(eval(&logical, &self.env, ctx)?.into_iter());
+        }
+        Ok(self.out.as_mut().expect("evaluated above").next())
+    }
+
+    fn op_name(&self) -> &'static str {
+        "ThetaGroup"
+    }
+}

@@ -222,21 +222,40 @@ pub fn compile(e: &Expr) -> PhysPlan {
         Expr::Join { left, right, pred } => join(left, right, pred, JoinKind::Inner, &[]),
         Expr::SemiJoin { left, right, pred } => join(left, right, pred, JoinKind::Semi, &[]),
         Expr::AntiJoin { left, right, pred } => join(left, right, pred, JoinKind::Anti, &[]),
-        Expr::OuterJoin { left, right, pred, g, default } => {
-            let pad: Vec<Sym> =
-                attr_set(right).into_iter().filter(|a| a != g).collect();
+        Expr::OuterJoin {
+            left,
+            right,
+            pred,
+            g,
+            default,
+        } => {
+            let pad: Vec<Sym> = attr_set(right).into_iter().filter(|a| a != g).collect();
             join(
                 left,
                 right,
                 pred,
-                JoinKind::Outer { g: *g, default: default.clone() },
+                JoinKind::Outer {
+                    g: *g,
+                    default: default.clone(),
+                },
                 &pad,
             )
         }
-        Expr::GroupUnary { input, g, by, theta, f } => {
+        Expr::GroupUnary {
+            input,
+            g,
+            by,
+            theta,
+            f,
+        } => {
             let input = Box::new(compile(input));
             if *theta == nal::CmpOp::Eq {
-                PhysPlan::HashGroupUnary { input, g: *g, by: by.clone(), f: f.clone() }
+                PhysPlan::HashGroupUnary {
+                    input,
+                    g: *g,
+                    by: by.clone(),
+                    f: f.clone(),
+                }
             } else {
                 PhysPlan::ThetaGroupUnary {
                     input,
@@ -247,7 +266,15 @@ pub fn compile(e: &Expr) -> PhysPlan {
                 }
             }
         }
-        Expr::GroupBinary { left, right, g, left_on, theta, right_on, f } => {
+        Expr::GroupBinary {
+            left,
+            right,
+            g,
+            left_on,
+            theta,
+            right_on,
+            f,
+        } => {
             let left = Box::new(compile(left));
             let right = Box::new(compile(right));
             if *theta == nal::CmpOp::Eq {
@@ -271,7 +298,12 @@ pub fn compile(e: &Expr) -> PhysPlan {
                 }
             }
         }
-        Expr::Unnest { input, attr, distinct, preserve_empty } => PhysPlan::Unnest {
+        Expr::Unnest {
+            input,
+            attr,
+            distinct,
+            preserve_empty,
+        } => PhysPlan::Unnest {
             inner_attrs: nal::expr::attrs::nested_attrs(input, *attr).unwrap_or_default(),
             input: Box::new(compile(input)),
             attr: *attr,
@@ -287,7 +319,13 @@ pub fn compile(e: &Expr) -> PhysPlan {
             input: Box::new(compile(input)),
             cmds: cmds.clone(),
         },
-        Expr::XiGroup { input, by, head, body, tail } => PhysPlan::XiGroup {
+        Expr::XiGroup {
+            input,
+            by,
+            head,
+            body,
+            tail,
+        } => PhysPlan::XiGroup {
             input: Box::new(compile(input)),
             by: by.clone(),
             head: head.clone(),
@@ -311,15 +349,11 @@ fn join(left: &Expr, right: &Expr, pred: &Scalar, kind: JoinKind, pad: &[Sym]) -
     for c in pred.conjuncts() {
         match c {
             Scalar::Cmp(nal::CmpOp::Eq, x, y) => match (x.as_ref(), y.as_ref()) {
-                (Scalar::Attr(xa), Scalar::Attr(ya))
-                    if a_l.contains(xa) && a_r.contains(ya) =>
-                {
+                (Scalar::Attr(xa), Scalar::Attr(ya)) if a_l.contains(xa) && a_r.contains(ya) => {
                     left_keys.push(*xa);
                     right_keys.push(*ya);
                 }
-                (Scalar::Attr(xa), Scalar::Attr(ya))
-                    if a_r.contains(xa) && a_l.contains(ya) =>
-                {
+                (Scalar::Attr(xa), Scalar::Attr(ya)) if a_r.contains(xa) && a_l.contains(ya) => {
                     left_keys.push(*ya);
                     right_keys.push(*xa);
                 }
@@ -329,7 +363,13 @@ fn join(left: &Expr, right: &Expr, pred: &Scalar, kind: JoinKind, pad: &[Sym]) -
         }
     }
     if left_keys.is_empty() {
-        PhysPlan::LoopJoin { left: l, right: r, pred: pred.clone(), kind, pad: pad.to_vec() }
+        PhysPlan::LoopJoin {
+            left: l,
+            right: r,
+            pred: pred.clone(),
+            kind,
+            pad: pad.to_vec(),
+        }
     } else {
         PhysPlan::HashJoin {
             left: l,
@@ -366,7 +406,13 @@ mod tests {
             )),
         );
         let plan = compile(&j);
-        let PhysPlan::HashJoin { kind, residual, left_keys, .. } = &plan else {
+        let PhysPlan::HashJoin {
+            kind,
+            residual,
+            left_keys,
+            ..
+        } = &plan
+        else {
             panic!("{}", plan.explain())
         };
         assert_eq!(*kind, JoinKind::Semi);

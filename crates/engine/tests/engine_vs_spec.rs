@@ -4,10 +4,8 @@
 use proptest::prelude::*;
 
 use nal::expr::builder::*;
-use nal::{
-    eval_query, AggKind, CmpOp, EvalCtx, Expr, GroupFn, Scalar, Sym, Tuple, Value,
-};
-use xmldb::gen::{standard_catalog, gen_bib, BibConfig};
+use nal::{eval_query, AggKind, CmpOp, EvalCtx, Expr, GroupFn, Scalar, Sym, Tuple, Value};
+use xmldb::gen::{gen_bib, standard_catalog, BibConfig};
 use xmldb::Catalog;
 
 fn s(n: &str) -> Sym {
@@ -36,10 +34,7 @@ fn rel(attr_a: &str, attr_b: &str, rows: &[(i64, i64)]) -> Expr {
     Expr::Literal(
         rows.iter()
             .map(|&(x, y)| {
-                Tuple::from_pairs(vec![
-                    (s(attr_a), Value::Int(x)),
-                    (s(attr_b), Value::Int(y)),
-                ])
+                Tuple::from_pairs(vec![(s(attr_a), Value::Int(x)), (s(attr_b), Value::Int(y))])
             })
             .collect(),
     )
@@ -168,14 +163,18 @@ fn engine_matches_spec_on_all_paper_plans() {
 
     let catalog = standard_catalog(25, 3, 11);
     for w in workloads() {
-        let nested = xquery::compile(w.1, &catalog)
-            .unwrap_or_else(|e| panic!("[{}] compile: {e}", w.0));
+        let nested =
+            xquery::compile(w.1, &catalog).unwrap_or_else(|e| panic!("[{}] compile: {e}", w.0));
         for plan in unnest::enumerate_plans(&nested, &catalog) {
             let (srows, sout) = spec(&plan.expr, &catalog);
             let r = engine::run(&plan.expr, &catalog)
                 .unwrap_or_else(|e| panic!("[{} / {}] engine: {e}", w.0, plan.label));
             assert_eq!(r.rows, srows, "[{} / {}] rows differ", w.0, plan.label);
-            assert_eq!(r.output, sout, "[{} / {}] Ξ output differs", w.0, plan.label);
+            assert_eq!(
+                r.output, sout,
+                "[{} / {}] Ξ output differs",
+                w.0, plan.label
+            );
         }
     }
 }
@@ -247,7 +246,11 @@ mod ordered_unnesting_workloads {
 #[test]
 fn hash_grouping_beats_definitional_grouping() {
     let mut cat = Catalog::new();
-    cat.register(gen_bib(&BibConfig { books: 300, authors_per_book: 3, ..Default::default() }));
+    cat.register(gen_bib(&BibConfig {
+        books: 300,
+        authors_per_book: 3,
+        ..Default::default()
+    }));
     let q = r#"let $d1 := doc("bib.xml")
                for $a1 in distinct-values($d1//author)
                return <author><name>{ $a1 }</name>{

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim gives
+//! the workspace's benches the `Criterion` / `BenchmarkGroup` / `Bencher`
+//! / `BenchmarkId` surface they use, with a simple best-of-N wall-clock
+//! measurement instead of criterion's statistical machinery. Output is
+//! one line per benchmark: median and min over the sampled runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export spot for `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock times of the last `iter` call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up run, then `samples` timed runs.
+        black_box(f());
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.times.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.times.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!("{label:<40} median {median:>12.3?}   min {min:>12.3?}");
+    }
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn bench_with_input<I: fmt::Display, D: ?Sized, F: FnMut(&mut Bencher, &D)>(
+        &mut self,
+        id: I,
+        input: &D,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!(name, target, ...)` — a function running each target
+/// against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("hash", 200).to_string(), "hash/200");
+        assert_eq!(BenchmarkId::from_parameter(1000).to_string(), "1000");
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("x", 1), &2usize, |b, &two| {
+            b.iter(|| runs += two)
+        });
+        group.finish();
+        assert_eq!(runs, 2 * 4, "warm-up + 3 samples");
+    }
+}

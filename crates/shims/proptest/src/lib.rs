@@ -1,0 +1,405 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! re-implements the subset of proptest's API the workspace's property
+//! tests use: the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! `arg in strategy` bindings, [`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assume!`], integer-range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop::sample::select`, and `prop::bool::ANY`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — failures report the generated inputs instead,
+//! * deterministic seeding per test name (runs are reproducible without a
+//!   persisted regression file),
+//! * rejection via `prop_assume!` retries up to a bounded multiple of the
+//!   configured case count.
+
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic SplitMix64 stream, seeded from the test name.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the test name gives a stable, well-spread seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outcomes
+// ---------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw a fresh case, don't count this one.
+    Reject(String),
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration — only the knob the workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drive one property: generate-and-check `config.cases` accepted cases.
+/// Called by the expansion of [`proptest!`]; not public API upstream, but
+/// harmless to expose.
+pub fn run_cases<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many rejected cases ({rejected}) for {} accepted",
+                    passed
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: failed after {passed} passed case(s)\n{msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A generator of random values. Upstream's `Strategy` also carries
+/// shrinking machinery; here it is a plain sampler.
+pub trait Strategy {
+    type Value: fmt::Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// `vec(element, len_range)` — a Vec with length drawn from
+        /// `len_range` and elements from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use std::fmt;
+
+        /// Uniform choice from a fixed, non-empty option list.
+        pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+
+        #[derive(Clone, Debug)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// `prop::bool::ANY` — a uniform boolean.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// The property-test block. Each contained `#[test] fn name(arg in
+/// strategy, ...) { body }` expands to a normal `#[test]` that runs the
+/// body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), $cfg, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(&::std::format!(
+                            "  {} = {:?}\n", stringify!($arg), &$arg
+                        ));
+                    )+
+                    let __result: $crate::TestCaseResult =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __result {
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            ::std::result::Result::Err($crate::TestCaseError::Fail(
+                                ::std::format!("{msg}\ninputs:\n{__inputs}"),
+                            ))
+                        }
+                        other => other,
+                    }
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Assert inside a [`proptest!`] body; failure fails the case with the
+/// generated inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), __l, __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(::std::format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3i64..9, n in 0usize..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(n < 5, "n = {} out of bounds", n);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0i64..4, 0i64..10), 0..7)) {
+            prop_assert!(v.len() < 7);
+            for (a, b) in &v {
+                prop_assert!((0..4).contains(a));
+                prop_assert!((0..10).contains(b));
+            }
+        }
+
+        #[test]
+        fn select_and_bool(c in prop::sample::select(vec!["a", "b"]), f in prop::bool::ANY) {
+            prop_assert!(c == "a" || c == "b");
+            prop_assert!(usize::from(f) <= 1, "f is a real bool: {}", f);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0i64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        crate::run_cases("failures_propagate", ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_name("t");
+        let mut b = crate::TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

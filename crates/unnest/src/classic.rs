@@ -15,11 +15,18 @@ pub fn commute_selections(expr: &Expr) -> Option<Expr> {
     let Expr::Select { input, pred: p1 } = expr else {
         return None;
     };
-    let Expr::Select { input: inner, pred: p2 } = input.as_ref() else {
+    let Expr::Select {
+        input: inner,
+        pred: p2,
+    } = input.as_ref()
+    else {
         return None;
     };
     Some(Expr::Select {
-        input: Box::new(Expr::Select { input: inner.clone(), pred: p1.clone() }),
+        input: Box::new(Expr::Select {
+            input: inner.clone(),
+            pred: p1.clone(),
+        }),
         pred: p2.clone(),
     })
 }
@@ -52,7 +59,11 @@ pub fn push_selection(expr: &Expr) -> Option<Expr> {
                 None
             }
         }
-        Expr::Join { left, right, pred: jp } => {
+        Expr::Join {
+            left,
+            right,
+            pred: jp,
+        } => {
             let (a_l, a_r) = (attr_set(left), attr_set(right));
             if refs.iter().all(|a| a_l.contains(a)) {
                 Some(Expr::Join {
@@ -71,33 +82,53 @@ pub fn push_selection(expr: &Expr) -> Option<Expr> {
             }
         }
         // σ_{p1}(e1 ⋉_{p2} e2) = σ_{p1}(e1) ⋉_{p2} e2 — left only.
-        Expr::SemiJoin { left, right, pred: jp } => {
+        Expr::SemiJoin {
+            left,
+            right,
+            pred: jp,
+        } => {
             let a_l = attr_set(left);
-            refs.iter().all(|a| a_l.contains(a)).then(|| Expr::SemiJoin {
-                left: Box::new(select(left, pred)),
-                right: right.clone(),
-                pred: jp.clone(),
-            })
+            refs.iter()
+                .all(|a| a_l.contains(a))
+                .then(|| Expr::SemiJoin {
+                    left: Box::new(select(left, pred)),
+                    right: right.clone(),
+                    pred: jp.clone(),
+                })
         }
-        Expr::AntiJoin { left, right, pred: jp } => {
+        Expr::AntiJoin {
+            left,
+            right,
+            pred: jp,
+        } => {
             let a_l = attr_set(left);
-            refs.iter().all(|a| a_l.contains(a)).then(|| Expr::AntiJoin {
-                left: Box::new(select(left, pred)),
-                right: right.clone(),
-                pred: jp.clone(),
-            })
+            refs.iter()
+                .all(|a| a_l.contains(a))
+                .then(|| Expr::AntiJoin {
+                    left: Box::new(select(left, pred)),
+                    right: right.clone(),
+                    pred: jp.clone(),
+                })
         }
         // σ_{p1}(e1 ⟕ e2) = σ_{p1}(e1) ⟕ e2 — left only (right tuples may
         // be NULL-padded).
-        Expr::OuterJoin { left, right, pred: jp, g, default } => {
+        Expr::OuterJoin {
+            left,
+            right,
+            pred: jp,
+            g,
+            default,
+        } => {
             let a_l = attr_set(left);
-            refs.iter().all(|a| a_l.contains(a)).then(|| Expr::OuterJoin {
-                left: Box::new(select(left, pred)),
-                right: right.clone(),
-                pred: jp.clone(),
-                g: *g,
-                default: default.clone(),
-            })
+            refs.iter()
+                .all(|a| a_l.contains(a))
+                .then(|| Expr::OuterJoin {
+                    left: Box::new(select(left, pred)),
+                    right: right.clone(),
+                    pred: jp.clone(),
+                    g: *g,
+                    default: default.clone(),
+                })
         }
         _ => None,
     }
@@ -108,19 +139,25 @@ pub fn push_selection(expr: &Expr) -> Option<Expr> {
 /// and the ▷ analog (§5.5: "we can push the second part of the join
 /// predicate into its second operand").
 pub fn push_pred_into_right(expr: &Expr) -> Option<Expr> {
-    let (left, right, pred, rebuild): (_, _, _, fn(Box<Expr>, Box<Expr>, Scalar) -> Expr) =
-        match expr {
-            Expr::SemiJoin { left, right, pred } => {
-                (left, right, pred, |l, r, p| Expr::SemiJoin { left: l, right: r, pred: p })
-            }
-            Expr::AntiJoin { left, right, pred } => {
-                (left, right, pred, |l, r, p| Expr::AntiJoin { left: l, right: r, pred: p })
-            }
-            Expr::Join { left, right, pred } => {
-                (left, right, pred, |l, r, p| Expr::Join { left: l, right: r, pred: p })
-            }
-            _ => return None,
-        };
+    type Rebuild = fn(Box<Expr>, Box<Expr>, Scalar) -> Expr;
+    let (left, right, pred, rebuild): (_, _, _, Rebuild) = match expr {
+        Expr::SemiJoin { left, right, pred } => (left, right, pred, |l, r, p| Expr::SemiJoin {
+            left: l,
+            right: r,
+            pred: p,
+        }),
+        Expr::AntiJoin { left, right, pred } => (left, right, pred, |l, r, p| Expr::AntiJoin {
+            left: l,
+            right: r,
+            pred: p,
+        }),
+        Expr::Join { left, right, pred } => (left, right, pred, |l, r, p| Expr::Join {
+            left: l,
+            right: r,
+            pred: p,
+        }),
+        _ => return None,
+    };
     let a_r = attr_set(right);
     let mut keep = Vec::new();
     let mut push = Vec::new();
@@ -135,8 +172,15 @@ pub fn push_pred_into_right(expr: &Expr) -> Option<Expr> {
     if push.is_empty() || keep.is_empty() {
         return None; // nothing to push, or nothing would remain
     }
-    let new_right = Expr::Select { input: right.clone(), pred: Scalar::conjoin(push) };
-    Some(rebuild(left.clone(), Box::new(new_right), Scalar::conjoin(keep)))
+    let new_right = Expr::Select {
+        input: right.clone(),
+        pred: Scalar::conjoin(push),
+    };
+    Some(rebuild(
+        left.clone(),
+        Box::new(new_right),
+        Scalar::conjoin(keep),
+    ))
 }
 
 /// `e1 × (e2 × e3) = (e1 × e2) × e3` — associativity (held in the ordered
@@ -145,17 +189,27 @@ pub fn associate_cross(expr: &Expr) -> Option<Expr> {
     let Expr::Cross { left: e1, right } = expr else {
         return None;
     };
-    let Expr::Cross { left: e2, right: e3 } = right.as_ref() else {
+    let Expr::Cross {
+        left: e2,
+        right: e3,
+    } = right.as_ref()
+    else {
         return None;
     };
     Some(Expr::Cross {
-        left: Box::new(Expr::Cross { left: e1.clone(), right: e2.clone() }),
+        left: Box::new(Expr::Cross {
+            left: e1.clone(),
+            right: e2.clone(),
+        }),
         right: e3.clone(),
     })
 }
 
 fn select(e: &Expr, pred: &Scalar) -> Expr {
-    Expr::Select { input: Box::new(e.clone()), pred: pred.clone() }
+    Expr::Select {
+        input: Box::new(e.clone()),
+        pred: pred.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -177,13 +231,17 @@ mod tests {
         let p_l = Scalar::cmp(CmpOp::Gt, Scalar::attr("a"), Scalar::int(0));
         let e = l().cross(r()).select(p_l);
         let pushed = push_selection(&e).unwrap();
-        let Expr::Cross { left, .. } = &pushed else { panic!() };
+        let Expr::Cross { left, .. } = &pushed else {
+            panic!()
+        };
         assert!(matches!(**left, Expr::Select { .. }));
 
         let p_r = Scalar::cmp(CmpOp::Gt, Scalar::attr("b"), Scalar::int(0));
         let e = l().cross(r()).select(p_r);
         let pushed = push_selection(&e).unwrap();
-        let Expr::Cross { right, .. } = &pushed else { panic!() };
+        let Expr::Cross { right, .. } = &pushed else {
+            panic!()
+        };
         assert!(matches!(**right, Expr::Select { .. }));
     }
 
@@ -203,7 +261,9 @@ mod tests {
         ));
         let e = l().semijoin(r(), pred);
         let pushed = push_pred_into_right(&e).unwrap();
-        let Expr::SemiJoin { right, pred, .. } = &pushed else { panic!() };
+        let Expr::SemiJoin { right, pred, .. } = &pushed else {
+            panic!()
+        };
         assert!(matches!(**right, Expr::Select { .. }));
         assert_eq!(*pred, Scalar::attr_cmp(CmpOp::Eq, "a", "b"));
     }
@@ -222,7 +282,9 @@ mod tests {
     fn cross_associativity_shape() {
         let e = l().cross(r().cross(singleton().map("c", Scalar::int(3))));
         let assoc = associate_cross(&e).unwrap();
-        let Expr::Cross { left, .. } = &assoc else { panic!() };
+        let Expr::Cross { left, .. } = &assoc else {
+            panic!()
+        };
         assert!(matches!(**left, Expr::Cross { .. }));
     }
 
@@ -232,7 +294,12 @@ mod tests {
             .select(Scalar::cmp(CmpOp::Gt, Scalar::attr("a"), Scalar::int(0)))
             .select(Scalar::cmp(CmpOp::Lt, Scalar::attr("a"), Scalar::int(9)));
         let swapped = commute_selections(&e).unwrap();
-        let Expr::Select { pred, .. } = &swapped else { panic!() };
-        assert_eq!(*pred, Scalar::cmp(CmpOp::Gt, Scalar::attr("a"), Scalar::int(0)));
+        let Expr::Select { pred, .. } = &swapped else {
+            panic!()
+        };
+        assert_eq!(
+            *pred,
+            Scalar::cmp(CmpOp::Gt, Scalar::attr("a"), Scalar::int(0))
+        );
     }
 }

@@ -57,7 +57,11 @@ pub fn split_correlation(
     outer: &BTreeSet<Sym>,
     inner: &BTreeSet<Sym>,
 ) -> Option<Correlation> {
-    let mut corr = Correlation { pairs: Vec::new(), membership: None, local: Vec::new() };
+    let mut corr = Correlation {
+        pairs: Vec::new(),
+        membership: None,
+        local: Vec::new(),
+    };
     for c in pred.conjuncts() {
         let refs = c.free_attrs();
         let uses_outer = refs.iter().any(|a| outer.contains(a));
@@ -72,22 +76,16 @@ pub fn split_correlation(
         }
         match c {
             Scalar::Cmp(op, l, r) => match (l.as_ref(), r.as_ref()) {
-                (Scalar::Attr(a), Scalar::Attr(b))
-                    if outer.contains(a) && inner.contains(b) =>
-                {
+                (Scalar::Attr(a), Scalar::Attr(b)) if outer.contains(a) && inner.contains(b) => {
                     corr.pairs.push((*a, *op, *b));
                 }
-                (Scalar::Attr(a), Scalar::Attr(b))
-                    if inner.contains(a) && outer.contains(b) =>
-                {
+                (Scalar::Attr(a), Scalar::Attr(b)) if inner.contains(a) && outer.contains(b) => {
                     corr.pairs.push((*b, op.flip(), *a));
                 }
                 _ => return None,
             },
             Scalar::In(l, r) => match (l.as_ref(), r.as_ref()) {
-                (Scalar::Attr(a), Scalar::Attr(b))
-                    if outer.contains(a) && inner.contains(b) =>
-                {
+                (Scalar::Attr(a), Scalar::Attr(b)) if outer.contains(a) && inner.contains(b) => {
                     if corr.membership.is_some() {
                         return None; // at most one membership conjunct
                     }
@@ -185,8 +183,8 @@ mod tests {
 
     #[test]
     fn mixed_theta_has_no_uniform() {
-        let p = Scalar::attr_cmp(CmpOp::Eq, "a1", "a2")
-            .and(Scalar::attr_cmp(CmpOp::Lt, "b1", "b2"));
+        let p =
+            Scalar::attr_cmp(CmpOp::Eq, "a1", "a2").and(Scalar::attr_cmp(CmpOp::Lt, "b1", "b2"));
         let c = split_correlation(&p, &set(&["a1", "b1"]), &set(&["a2", "b2"])).unwrap();
         assert_eq!(c.uniform_theta(), None);
     }

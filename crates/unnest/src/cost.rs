@@ -41,7 +41,10 @@ const SELECTIVITY: f64 = 0.5;
 
 impl<'a> CostModel<'a> {
     pub fn new(catalog: &'a Catalog) -> CostModel<'a> {
-        CostModel { catalog, stats: HashMap::new() }
+        CostModel {
+            catalog,
+            stats: HashMap::new(),
+        }
     }
 
     fn stats_for(&mut self, uri: &str) -> Option<&DocStats> {
@@ -59,13 +62,20 @@ impl<'a> CostModel<'a> {
 
     fn est(&mut self, e: &Expr) -> Estimate {
         match e {
-            Expr::Singleton => Estimate { rows: 1.0, cost: 1.0 },
-            Expr::Literal(rows) => {
-                Estimate { rows: rows.len() as f64, cost: rows.len() as f64 }
-            }
+            Expr::Singleton => Estimate {
+                rows: 1.0,
+                cost: 1.0,
+            },
+            Expr::Literal(rows) => Estimate {
+                rows: rows.len() as f64,
+                cost: rows.len() as f64,
+            },
             // The group a rel() reads is bounded by its producer; a small
             // constant keeps group-filter plans priced as bounded work.
-            Expr::AttrRel(_) => Estimate { rows: 8.0, cost: 8.0 },
+            Expr::AttrRel(_) => Estimate {
+                rows: 8.0,
+                cost: 8.0,
+            },
             Expr::Select { input, pred } => {
                 let i = self.est(input);
                 let scalar = self.scalar_cost(pred);
@@ -77,22 +87,29 @@ impl<'a> CostModel<'a> {
             Expr::Project { input, op } => {
                 let i = self.est(input);
                 let rows = match op {
-                    ProjOp::DistinctCols(_) | ProjOp::DistinctRename(_) => {
-                        (i.rows * 0.5).max(1.0)
-                    }
+                    ProjOp::DistinctCols(_) | ProjOp::DistinctRename(_) => (i.rows * 0.5).max(1.0),
                     _ => i.rows,
                 };
-                Estimate { rows, cost: i.cost + i.rows }
+                Estimate {
+                    rows,
+                    cost: i.cost + i.rows,
+                }
             }
             Expr::Map { input, value, .. } => {
                 let i = self.est(input);
                 let scalar = self.scalar_cost(value);
-                Estimate { rows: i.rows, cost: i.cost + i.rows * (1.0 + scalar) }
+                Estimate {
+                    rows: i.rows,
+                    cost: i.cost + i.rows * (1.0 + scalar),
+                }
             }
             Expr::Cross { left, right } => {
                 let l = self.est(left);
                 let r = self.est(right);
-                Estimate { rows: l.rows * r.rows, cost: l.cost + r.cost + l.rows * r.rows }
+                Estimate {
+                    rows: l.rows * r.rows,
+                    cost: l.cost + r.cost + l.rows * r.rows,
+                }
             }
             Expr::Join { left, right, .. } => {
                 let l = self.est(left);
@@ -114,21 +131,33 @@ impl<'a> CostModel<'a> {
             Expr::OuterJoin { left, right, .. } => {
                 let l = self.est(left);
                 let r = self.est(right);
-                Estimate { rows: l.rows.max(1.0), cost: l.cost + r.cost + l.rows + r.rows }
+                Estimate {
+                    rows: l.rows.max(1.0),
+                    cost: l.cost + r.cost + l.rows + r.rows,
+                }
             }
             Expr::GroupUnary { input, .. } => {
                 let i = self.est(input);
-                Estimate { rows: (i.rows * 0.5).max(1.0), cost: i.cost + 2.0 * i.rows }
+                Estimate {
+                    rows: (i.rows * 0.5).max(1.0),
+                    cost: i.cost + 2.0 * i.rows,
+                }
             }
             Expr::GroupBinary { left, right, .. } => {
                 let l = self.est(left);
                 let r = self.est(right);
-                Estimate { rows: l.rows, cost: l.cost + r.cost + l.rows + r.rows }
+                Estimate {
+                    rows: l.rows,
+                    cost: l.cost + r.cost + l.rows + r.rows,
+                }
             }
             Expr::Unnest { input, .. } => {
                 let i = self.est(input);
                 // Groups unnest back to roughly the pre-grouping size.
-                Estimate { rows: i.rows * 2.0, cost: i.cost + i.rows * 2.0 }
+                Estimate {
+                    rows: i.rows * 2.0,
+                    cost: i.cost + i.rows * 2.0,
+                }
             }
             Expr::UnnestMap { input, value, .. } => {
                 let i = self.est(input);
@@ -140,11 +169,17 @@ impl<'a> CostModel<'a> {
             }
             Expr::XiSimple { input, .. } => {
                 let i = self.est(input);
-                Estimate { rows: i.rows, cost: i.cost + i.rows }
+                Estimate {
+                    rows: i.rows,
+                    cost: i.cost + i.rows,
+                }
             }
             Expr::XiGroup { input, .. } => {
                 let i = self.est(input);
-                Estimate { rows: (i.rows * 0.5).max(1.0), cost: i.cost + 2.0 * i.rows }
+                Estimate {
+                    rows: (i.rows * 0.5).max(1.0),
+                    cost: i.cost + 2.0 * i.rows,
+                }
             }
         }
     }
@@ -164,9 +199,7 @@ impl<'a> CostModel<'a> {
                 1.0 + self.scalar_cost(x)
             }
             Scalar::Path(base, path) => self.scalar_cost(base) + path_step_cost(path),
-            Scalar::Call(_, args) => {
-                1.0 + args.iter().map(|a| self.scalar_cost(a)).sum::<f64>()
-            }
+            Scalar::Call(_, args) => 1.0 + args.iter().map(|a| self.scalar_cost(a)).sum::<f64>(),
             // The decisive terms: a nested expression is re-evaluated per
             // outer tuple, so its whole cost lands here.
             Scalar::Exists { range, pred, .. } | Scalar::Forall { range, pred, .. } => {
@@ -174,7 +207,11 @@ impl<'a> CostModel<'a> {
             }
             Scalar::Agg { f, input } => {
                 let inner = self.est(input).cost;
-                let filter = f.filter.as_ref().map(|p| self.scalar_cost(p)).unwrap_or(0.0);
+                let filter = f
+                    .filter
+                    .as_ref()
+                    .map(|p| self.scalar_cost(p))
+                    .unwrap_or(0.0);
                 inner + filter
             }
         }
@@ -268,7 +305,11 @@ mod tests {
 
     fn catalog(books: usize) -> Catalog {
         let mut cat = Catalog::new();
-        cat.register(gen_bib(&BibConfig { books, authors_per_book: 3, ..Default::default() }));
+        cat.register(gen_bib(&BibConfig {
+            books,
+            authors_per_book: 3,
+            ..Default::default()
+        }));
         cat
     }
 
@@ -279,8 +320,7 @@ mod tests {
     #[test]
     fn scan_cardinality_uses_statistics() {
         let cat = catalog(200);
-        let scan = doc_scan("d", "bib.xml")
-            .unnest_map("b", Scalar::attr("d").path(p("//book")));
+        let scan = doc_scan("d", "bib.xml").unnest_map("b", Scalar::attr("d").path(p("//book")));
         let mut m = CostModel::new(&cat);
         let est = m.estimate(&scan);
         assert!(
@@ -292,7 +332,11 @@ mod tests {
         let est = m.estimate(&authors);
         // ~200 books × ~600 authors/200 ... the child-step default fanout is
         // stats-driven only for doc-rooted steps; accept a broad range.
-        assert!(est.rows >= 200.0, "author scan should not shrink: {}", est.rows);
+        assert!(
+            est.rows >= 200.0,
+            "author scan should not shrink: {}",
+            est.rows
+        );
     }
 
     #[test]
@@ -309,18 +353,20 @@ mod tests {
             "t1",
             Scalar::Agg {
                 f: GroupFn::project_items("t2"),
-                input: Box::new(
-                    e2.select(Scalar::is_in(Scalar::attr("a1"), Scalar::attr("a2"))),
-                ),
+                input: Box::new(e2.select(Scalar::is_in(Scalar::attr("a1"), Scalar::attr("a2")))),
             },
         );
         let plans = crate::enumerate_plans(&nested, &cat);
         assert!(plans.len() >= 2);
         let ranked = rank_plans(plans, &cat);
         assert_ne!(
-            ranked[0].0.label, "nested",
+            ranked[0].0.label,
+            "nested",
             "the nested plan must never be the cheapest: {:?}",
-            ranked.iter().map(|(p, e)| (p.label.clone(), e.cost)).collect::<Vec<_>>()
+            ranked
+                .iter()
+                .map(|(p, e)| (p.label.clone(), e.cost))
+                .collect::<Vec<_>>()
         );
         // And the gap should be large (orders of magnitude).
         let nested_cost = ranked
@@ -342,12 +388,13 @@ mod tests {
         let e1 = doc_scan("d1", "bib.xml")
             .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")))
             .project(&["t1"]);
-        let e3 = doc_scan("d3", "bib.xml")
-            .unnest_map("t3", Scalar::attr("d3").path(p("//book/title")));
+        let e3 =
+            doc_scan("d3", "bib.xml").unnest_map("t3", Scalar::attr("d3").path(p("//book/title")));
         let q = e1.select(Scalar::Exists {
             var: nal::Sym::new("t2"),
             range: Box::new(
-                e3.select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3")).project(&["t3"]),
+                e3.select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3"))
+                    .project(&["t3"]),
             ),
             pred: Box::new(Scalar::Const(nal::Value::Bool(true))),
         });
@@ -377,7 +424,10 @@ mod tests {
             .group_unary("g", &["b"], CmpOp::Eq, GroupFn::id())
             .map(
                 "c",
-                Scalar::Agg { f: GroupFn::count(), input: Box::new(Expr::AttrRel(nal::Sym::new("g"))) },
+                Scalar::Agg {
+                    f: GroupFn::count(),
+                    input: Box::new(Expr::AttrRel(nal::Sym::new("g"))),
+                },
             );
         let bounded = m.estimate(&grouped);
         let correlated = doc_scan("d", "bib.xml")

@@ -138,8 +138,11 @@ pub fn apply_preferring(
 /// strategies produce. Plans that still contain nested scalar expressions
 /// are dropped (they would be nested-loop anyway).
 pub fn enumerate_plans(expr: &Expr, catalog: &Catalog) -> Vec<PlanChoice> {
-    let mut plans =
-        vec![PlanChoice { label: "nested".into(), expr: expr.clone(), trace: vec![] }];
+    let mut plans = vec![PlanChoice {
+        label: "nested".into(),
+        expr: expr.clone(),
+        trace: vec![],
+    }];
     // The paper's preparation step: project unneeded attributes away so
     // the `A1 = A(e1)` conditions of Eqv. 3/5/8/9 become checkable.
     let expr = &crate::prune::prune(expr);
@@ -158,7 +161,16 @@ pub fn enumerate_plans(expr: &Expr, catalog: &Catalog) -> Vec<PlanChoice> {
                 Rule::PushRight,
             ],
         ),
-        ("outer join", &[Rule::Eqv6, Rule::Eqv7, Rule::Eqv2, Rule::Eqv4, Rule::PushRight]),
+        (
+            "outer join",
+            &[
+                Rule::Eqv6,
+                Rule::Eqv7,
+                Rule::Eqv2,
+                Rule::Eqv4,
+                Rule::PushRight,
+            ],
+        ),
         ("nest-join", &[Rule::Eqv1]),
         ("semijoin", &[Rule::Eqv6, Rule::Eqv7, Rule::PushRight]),
     ];
@@ -172,7 +184,13 @@ pub fn enumerate_plans(expr: &Expr, catalog: &Catalog) -> Vec<PlanChoice> {
         // fired (e.g. a "grouping" run that only managed Eqv.6 produced a
         // plain semijoin and must not claim the grouping label).
         let defining: &[Rule] = match label {
-            "grouping" => &[Rule::Eqv3, Rule::Eqv5, Rule::Eqv8, Rule::Eqv9, Rule::Eqv8Self],
+            "grouping" => &[
+                Rule::Eqv3,
+                Rule::Eqv5,
+                Rule::Eqv8,
+                Rule::Eqv9,
+                Rule::Eqv8Self,
+            ],
             "outer join" => &[Rule::Eqv2, Rule::Eqv4],
             "nest-join" => &[Rule::Eqv1],
             "semijoin" => &[Rule::Eqv6, Rule::Eqv7],
@@ -192,7 +210,11 @@ pub fn enumerate_plans(expr: &Expr, catalog: &Catalog) -> Vec<PlanChoice> {
             label = "anti-semijoin".into();
         }
         if !plans.iter().any(|p| p.expr == rewritten) {
-            plans.push(PlanChoice { label, expr: rewritten, trace });
+            plans.push(PlanChoice {
+                label,
+                expr: rewritten,
+                trace,
+            });
         }
     }
 
@@ -201,11 +223,18 @@ pub fn enumerate_plans(expr: &Expr, catalog: &Catalog) -> Vec<PlanChoice> {
         .iter()
         .filter(|p| p.label == "grouping")
         .filter_map(|p| {
-            Rule::XiFuse.apply_anywhere(&p.expr, catalog).map(|expr| PlanChoice {
-                label: "group Ξ".into(),
-                expr,
-                trace: p.trace.iter().copied().chain([Rule::XiFuse.name()]).collect(),
-            })
+            Rule::XiFuse
+                .apply_anywhere(&p.expr, catalog)
+                .map(|expr| PlanChoice {
+                    label: "group Ξ".into(),
+                    expr,
+                    trace: p
+                        .trace
+                        .iter()
+                        .copied()
+                        .chain([Rule::XiFuse.name()])
+                        .collect(),
+                })
         })
         .collect();
     for f in fused {
@@ -220,10 +249,21 @@ pub fn enumerate_plans(expr: &Expr, catalog: &Catalog) -> Vec<PlanChoice> {
 /// semijoin/anti-semijoin, else outer join, else nest-join, else nested.
 pub fn unnest_best(expr: &Expr, catalog: &Catalog) -> (Expr, RewriteTrace) {
     let plans = enumerate_plans(expr, catalog);
-    for preferred in ["group Ξ", "grouping", "semijoin", "anti-semijoin", "outer join", "nest-join"]
-    {
+    for preferred in [
+        "group Ξ",
+        "grouping",
+        "semijoin",
+        "anti-semijoin",
+        "outer join",
+        "nest-join",
+    ] {
         if let Some(p) = plans.iter().find(|p| p.label == preferred) {
-            return (p.expr.clone(), RewriteTrace { steps: p.trace.clone() });
+            return (
+                p.expr.clone(),
+                RewriteTrace {
+                    steps: p.trace.clone(),
+                },
+            );
         }
     }
     (expr.clone(), RewriteTrace::default())
@@ -252,7 +292,9 @@ mod tests {
             rows.into_iter()
                 .map(|r| {
                     Tuple::from_pairs(
-                        r.into_iter().map(|(n, v)| (nal::Sym::new(n), Value::Int(v))).collect(),
+                        r.into_iter()
+                            .map(|(n, v)| (nal::Sym::new(n), Value::Int(v)))
+                            .collect(),
                     )
                 })
                 .collect(),

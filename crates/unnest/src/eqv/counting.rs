@@ -60,7 +60,10 @@ fn count_scan(
     if !d1.value_distinct() || !values_match(catalog, &d1, &d2) {
         return None;
     }
-    let c = Sym::fresh("c", &a_right.iter().copied().chain([a1]).collect::<Vec<_>>());
+    let c = Sym::fresh(
+        "c",
+        &a_right.iter().copied().chain([a1]).collect::<Vec<_>>(),
+    );
     let mut f = GroupFn::count();
     if !corr.local.is_empty() {
         f = f.filtered(Scalar::conjoin(corr.local.clone()));
@@ -80,7 +83,10 @@ fn count_scan(
         input: Box::new(renamed),
         pred: Scalar::cmp(count_cmp, Scalar::attr(c), Scalar::int(0)),
     };
-    Some(Expr::Project { input: Box::new(filtered), op: ProjOp::Drop(vec![c]) })
+    Some(Expr::Project {
+        input: Box::new(filtered),
+        op: ProjOp::Drop(vec![c]),
+    })
 }
 
 /// The self-semijoin variant behind §5.4's third ("grouping") plan.
@@ -102,7 +108,10 @@ pub fn eqv8_self(expr: &Expr) -> Option<Expr> {
     // rewrite works on the unprojected scan and re-applies the projection
     // at the end (Π keeps every tuple, so this is order-exact).
     let (left_core, final_cols): (&Expr, Option<Vec<Sym>>) = match left.as_ref() {
-        Expr::Project { input, op: ProjOp::Cols(cols) } => (input, Some(cols.clone())),
+        Expr::Project {
+            input,
+            op: ProjOp::Cols(cols),
+        } => (input, Some(cols.clone())),
         other => (other, None),
     };
     let left = left_core;
@@ -124,9 +133,7 @@ pub fn eqv8_self(expr: &Expr) -> Option<Expr> {
     }
     // Translate the residual predicate into the left vocabulary.
     let rename: Vec<(Sym, Sym)> = map.iter().map(|&(l, r)| (l, r)).collect();
-    let p_left = Scalar::conjoin(
-        corr.local.iter().map(|c| c.rename_attrs(&rename)).collect(),
-    );
+    let p_left = Scalar::conjoin(corr.local.iter().map(|c| c.rename_attrs(&rename)).collect());
     let used: Vec<Sym> = a_left.iter().copied().collect();
     let g = Sym::fresh("grp", &used);
     let c = Sym::fresh("c", &used);
@@ -149,7 +156,10 @@ pub fn eqv8_self(expr: &Expr) -> Option<Expr> {
         input: Box::new(counted),
         pred: Scalar::cmp(CmpOp::Gt, Scalar::attr(c), Scalar::int(0)),
     };
-    let dropped = Expr::Project { input: Box::new(filtered), op: ProjOp::Drop(vec![c]) };
+    let dropped = Expr::Project {
+        input: Box::new(filtered),
+        op: ProjOp::Drop(vec![c]),
+    };
     let unnested = Expr::Unnest {
         input: Box::new(dropped),
         attr: g,
@@ -157,7 +167,10 @@ pub fn eqv8_self(expr: &Expr) -> Option<Expr> {
         preserve_empty: false,
     };
     Some(match final_cols {
-        Some(cols) => Expr::Project { input: Box::new(unnested), op: ProjOp::Cols(cols) },
+        Some(cols) => Expr::Project {
+            input: Box::new(unnested),
+            op: ProjOp::Cols(cols),
+        },
         None => unnested,
     })
 }
@@ -175,7 +188,10 @@ mod tests {
 
     fn bib_catalog() -> Catalog {
         let mut cat = Catalog::new();
-        cat.register(gen_bib(&BibConfig { books: 5, ..BibConfig::default() }));
+        cat.register(gen_bib(&BibConfig {
+            books: 5,
+            ..BibConfig::default()
+        }));
         cat
     }
 
@@ -263,8 +279,8 @@ mod tests {
 
     #[test]
     fn eqv8_self_declines_non_self_joins() {
-        let l = doc_scan("d1", "bib.xml")
-            .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let l =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
         let r = doc_scan("d3", "reviews.xml")
             .unnest_map("t3", Scalar::attr("d3").path(p("//entry/title")));
         let expr = l.semijoin(r, Scalar::attr_cmp(CmpOp::Eq, "t1", "t3"));

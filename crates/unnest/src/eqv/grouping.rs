@@ -57,7 +57,13 @@ pub fn eqv2(expr: &Expr) -> Option<Expr> {
     let pred = Scalar::conjoin(
         a1.iter()
             .zip(&a2)
-            .map(|(l, r)| Scalar::Cmp(CmpOp::Eq, Box::new(Scalar::Attr(*l)), Box::new(Scalar::Attr(*r))))
+            .map(|(l, r)| {
+                Scalar::Cmp(
+                    CmpOp::Eq,
+                    Box::new(Scalar::Attr(*l)),
+                    Box::new(Scalar::Attr(*r)),
+                )
+            })
             .collect(),
     );
     let joined = Expr::OuterJoin {
@@ -67,7 +73,10 @@ pub fn eqv2(expr: &Expr) -> Option<Expr> {
         g,
         default: f.on_empty(),
     };
-    Some(Expr::Project { input: Box::new(joined), op: nal::ProjOp::Drop(a2) })
+    Some(Expr::Project {
+        input: Box::new(joined),
+        op: nal::ProjOp::Drop(a2),
+    })
 }
 
 /// Eqv. 3: when `e1 = Π^D_{A1:A2}(Π_{A2}(e2))` (checked structurally or
@@ -91,8 +100,13 @@ pub fn eqv3(expr: &Expr, catalog: &Catalog) -> Option<Expr> {
     if !outer_is_distinct_inner_column(e1, &a1, &e2, &a2, catalog) {
         return None;
     }
-    let grouped =
-        Expr::GroupUnary { input: Box::new(e2), g, by: a2.clone(), theta, f: f.clone() };
+    let grouped = Expr::GroupUnary {
+        input: Box::new(e2),
+        g,
+        by: a2.clone(),
+        theta,
+        f: f.clone(),
+    };
     Some(Expr::Project {
         input: Box::new(grouped),
         op: nal::ProjOp::Rename(a1.into_iter().zip(a2).collect()),
@@ -144,7 +158,10 @@ pub fn eqv4(expr: &Expr) -> Option<Expr> {
         g,
         default: f.on_empty(),
     };
-    Some(Expr::Project { input: Box::new(joined), op: nal::ProjOp::Drop(inner) })
+    Some(Expr::Project {
+        input: Box::new(joined),
+        op: nal::ProjOp::Drop(inner),
+    })
 }
 
 /// Eqv. 5: membership correlation with the distinctness condition
@@ -210,9 +227,12 @@ fn outer_is_distinct_inner_column(
     catalog: &Catalog,
 ) -> bool {
     // Structural check: e1 is literally Π^D_{A1:A2}(…e2…).
-    if let Expr::Project { input, op: nal::ProjOp::DistinctRename(pairs) } = e1 {
-        let expected: Vec<(Sym, Sym)> =
-            a1.iter().copied().zip(a2.iter().copied()).collect();
+    if let Expr::Project {
+        input,
+        op: nal::ProjOp::DistinctRename(pairs),
+    } = e1
+    {
+        let expected: Vec<(Sym, Sym)> = a1.iter().copied().zip(a2.iter().copied()).collect();
         if *pairs == expected {
             // Π^D_{A1:A2} already projects, so an explicit inner Π_{A2} is
             // optional.
@@ -238,7 +258,7 @@ fn outer_is_distinct_inner_column(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use nal::{GroupFn, Tuple, Value};
 
     fn s(n: &str) -> Sym {
@@ -270,7 +290,13 @@ mod tests {
     #[test]
     fn eqv1_builds_nest_join() {
         let rewritten = eqv1(&lhs(CmpOp::Le, GroupFn::count())).unwrap();
-        let Expr::GroupBinary { theta, left_on, right_on, .. } = &rewritten else {
+        let Expr::GroupBinary {
+            theta,
+            left_on,
+            right_on,
+            ..
+        } = &rewritten
+        else {
             panic!("expected binary Γ, got {rewritten}")
         };
         assert_eq!(*theta, CmpOp::Le);
@@ -282,7 +308,11 @@ mod tests {
     fn eqv2_requires_equality() {
         assert!(eqv2(&lhs(CmpOp::Lt, GroupFn::count())).is_none());
         let rewritten = eqv2(&lhs(CmpOp::Eq, GroupFn::count())).unwrap();
-        let Expr::Project { input, op: nal::ProjOp::Drop(dropped) } = &rewritten else {
+        let Expr::Project {
+            input,
+            op: nal::ProjOp::Drop(dropped),
+        } = &rewritten
+        else {
             panic!("expected Π_drop, got {rewritten}")
         };
         assert_eq!(dropped, &vec![s("A2")]);
@@ -307,7 +337,11 @@ mod tests {
         );
         let cat = Catalog::new();
         let rewritten = eqv3(&expr, &cat).unwrap();
-        let Expr::Project { input, op: nal::ProjOp::Rename(pairs) } = &rewritten else {
+        let Expr::Project {
+            input,
+            op: nal::ProjOp::Rename(pairs),
+        } = &rewritten
+        else {
             panic!("expected rename, got {rewritten}")
         };
         assert_eq!(pairs, &vec![(s("A1"), s("A2"))]);
@@ -333,7 +367,10 @@ mod tests {
             )
         };
         let e2 = Expr::Literal(vec![
-            Tuple::from_pairs(vec![(s("a2"), mk_nested(&[1, 2])), (s("t2"), Value::Int(100))]),
+            Tuple::from_pairs(vec![
+                (s("a2"), mk_nested(&[1, 2])),
+                (s("t2"), Value::Int(100)),
+            ]),
             Tuple::from_pairs(vec![(s("a2"), mk_nested(&[2])), (s("t2"), Value::Int(200))]),
         ]);
         let e1 = lit(vec![vec![("A1", 1)], vec![("A1", 2)], vec![("A1", 3)]]);
@@ -341,9 +378,7 @@ mod tests {
             "g",
             Scalar::Agg {
                 f,
-                input: Box::new(
-                    e2.select(Scalar::is_in(Scalar::attr("A1"), Scalar::attr("a2"))),
-                ),
+                input: Box::new(e2.select(Scalar::is_in(Scalar::attr("A1"), Scalar::attr("a2")))),
             },
         )
     }
@@ -352,9 +387,15 @@ mod tests {
     fn eqv4_unnests_membership() {
         let rewritten = eqv4(&membership_lhs(GroupFn::project_items("t2"))).unwrap();
         // Π_drop(⟕(e1, Γ(μD(e2))))
-        let Expr::Project { input, .. } = &rewritten else { panic!() };
-        let Expr::OuterJoin { right, .. } = &**input else { panic!() };
-        let Expr::GroupUnary { input: gin, by, .. } = &**right else { panic!() };
+        let Expr::Project { input, .. } = &rewritten else {
+            panic!()
+        };
+        let Expr::OuterJoin { right, .. } = &**input else {
+            panic!()
+        };
+        let Expr::GroupUnary { input: gin, by, .. } = &**right else {
+            panic!()
+        };
         assert_eq!(by, &vec![s("a2x")]);
         assert!(matches!(**gin, Expr::Unnest { distinct: true, .. }));
     }

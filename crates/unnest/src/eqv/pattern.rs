@@ -27,7 +27,12 @@ pub struct MapAggPattern<'a> {
 /// one of §2's familiar equivalences — so selections are hoisted to the
 /// top of the nested expression before matching.
 pub fn match_map_agg(expr: &Expr) -> Option<MapAggPattern<'_>> {
-    let Expr::Map { input: e1, attr: g, value } = expr else {
+    let Expr::Map {
+        input: e1,
+        attr: g,
+        value,
+    } = expr
+    else {
         return None;
     };
     let Scalar::Agg { f, input } = value else {
@@ -52,7 +57,13 @@ pub fn match_map_agg(expr: &Expr) -> Option<MapAggPattern<'_>> {
             pred: Scalar::conjoin(std::mem::take(&mut corr.local)),
         }
     };
-    Some(MapAggPattern { e1, g: *g, f, e2: e2_pushed, corr })
+    Some(MapAggPattern {
+        e1,
+        g: *g,
+        f,
+        e2: e2_pushed,
+        corr,
+    })
 }
 
 /// Pull every selection reachable through a `χ`/`Υ` chain up to the top,
@@ -70,14 +81,22 @@ pub fn hoist_selections(e: &Expr) -> (Expr, Vec<Scalar>) {
         Expr::Map { input, attr, value } => {
             let (base, preds) = hoist_selections(input);
             (
-                Expr::Map { input: Box::new(base), attr: *attr, value: value.clone() },
+                Expr::Map {
+                    input: Box::new(base),
+                    attr: *attr,
+                    value: value.clone(),
+                },
                 preds,
             )
         }
         Expr::UnnestMap { input, attr, value } => {
             let (base, preds) = hoist_selections(input);
             (
-                Expr::UnnestMap { input: Box::new(base), attr: *attr, value: value.clone() },
+                Expr::UnnestMap {
+                    input: Box::new(base),
+                    attr: *attr,
+                    value: value.clone(),
+                },
                 preds,
             )
         }
@@ -114,18 +133,39 @@ fn alpha_expr(l: &Expr, r: &Expr, map: &mut Vec<(Sym, Sym)>) -> bool {
         (Expr::Singleton, Expr::Singleton) => true,
         (Expr::Literal(a), Expr::Literal(b)) => a == b,
         (
-            Expr::Map { input: li, attr: la, value: lv },
-            Expr::Map { input: ri, attr: ra, value: rv },
+            Expr::Map {
+                input: li,
+                attr: la,
+                value: lv,
+            },
+            Expr::Map {
+                input: ri,
+                attr: ra,
+                value: rv,
+            },
         )
         | (
-            Expr::UnnestMap { input: li, attr: la, value: lv },
-            Expr::UnnestMap { input: ri, attr: ra, value: rv },
-        ) => {
-            alpha_expr(li, ri, map) && bind(map, *la, *ra) && alpha_scalar(lv, rv, map)
-        }
-        (Expr::Select { input: li, pred: lp }, Expr::Select { input: ri, pred: rp }) => {
-            alpha_expr(li, ri, map) && alpha_scalar(lp, rp, map)
-        }
+            Expr::UnnestMap {
+                input: li,
+                attr: la,
+                value: lv,
+            },
+            Expr::UnnestMap {
+                input: ri,
+                attr: ra,
+                value: rv,
+            },
+        ) => alpha_expr(li, ri, map) && bind(map, *la, *ra) && alpha_scalar(lv, rv, map),
+        (
+            Expr::Select {
+                input: li,
+                pred: lp,
+            },
+            Expr::Select {
+                input: ri,
+                pred: rp,
+            },
+        ) => alpha_expr(li, ri, map) && alpha_scalar(lp, rp, map),
         (Expr::Project { input: li, op: lo }, Expr::Project { input: ri, op: ro }) => {
             alpha_expr(li, ri, map) && alpha_proj(lo, ro, map)
         }
@@ -190,7 +230,9 @@ mod tests {
     #[test]
     fn matches_the_canonical_map_agg_shape() {
         let e1 = singleton().map("a1", Scalar::int(1));
-        let e2 = singleton().map("a2", Scalar::int(2)).map("b2", Scalar::int(3));
+        let e2 = singleton()
+            .map("a2", Scalar::int(2))
+            .map("b2", Scalar::int(3));
         let expr = e1.map(
             "m",
             Scalar::Agg {
@@ -206,7 +248,10 @@ mod tests {
         );
         let pat = match_map_agg(&expr).unwrap();
         assert_eq!(pat.g, Sym::new("m"));
-        assert_eq!(pat.corr.pairs, vec![(Sym::new("a1"), CmpOp::Eq, Sym::new("a2"))]);
+        assert_eq!(
+            pat.corr.pairs,
+            vec![(Sym::new("a1"), CmpOp::Eq, Sym::new("a2"))]
+        );
         // Local conjunct was pushed into e2 as a selection.
         assert!(matches!(pat.e2, Expr::Select { .. }));
     }
@@ -228,11 +273,11 @@ mod tests {
             "m",
             Scalar::Agg {
                 f: GroupFn::count(),
-                input: Box::new(
-                    singleton()
-                        .map("a2", Scalar::int(2))
-                        .select(Scalar::cmp(CmpOp::Gt, Scalar::attr("a2"), Scalar::int(0))),
-                ),
+                input: Box::new(singleton().map("a2", Scalar::int(2)).select(Scalar::cmp(
+                    CmpOp::Gt,
+                    Scalar::attr("a2"),
+                    Scalar::int(0),
+                ))),
             },
         );
         assert!(match_map_agg(&expr).is_none());
@@ -254,21 +299,25 @@ mod tests {
     #[test]
     fn alpha_rejects_different_paths_or_docs() {
         let l = doc_scan("d1", "bib.xml").unnest_map("b1", Scalar::attr("d1").path(p("//book")));
-        let r1 =
-            doc_scan("d2", "bib.xml").unnest_map("b2", Scalar::attr("d2").path(p("//entry")));
+        let r1 = doc_scan("d2", "bib.xml").unnest_map("b2", Scalar::attr("d2").path(p("//entry")));
         assert!(alpha_map(&l, &r1).is_none());
-        let r2 =
-            doc_scan("d2", "other.xml").unnest_map("b2", Scalar::attr("d2").path(p("//book")));
+        let r2 = doc_scan("d2", "other.xml").unnest_map("b2", Scalar::attr("d2").path(p("//book")));
         assert!(alpha_map(&l, &r2).is_none());
     }
 
     #[test]
     fn alpha_map_is_a_bijection() {
         // Reusing the same right attr for two left attrs must fail.
-        let l = singleton().map("a", Scalar::int(1)).map("b", Scalar::int(2));
-        let r = singleton().map("x", Scalar::int(1)).map("x2", Scalar::int(2));
+        let l = singleton()
+            .map("a", Scalar::int(1))
+            .map("b", Scalar::int(2));
+        let r = singleton()
+            .map("x", Scalar::int(1))
+            .map("x2", Scalar::int(2));
         assert!(alpha_map(&l, &r).is_some());
-        let r_bad = singleton().map("x", Scalar::int(1)).map("x", Scalar::int(2));
+        let r_bad = singleton()
+            .map("x", Scalar::int(1))
+            .map("x", Scalar::int(2));
         assert!(alpha_map(&l, &r_bad).is_none());
     }
 }

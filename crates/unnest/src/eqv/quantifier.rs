@@ -26,7 +26,11 @@ fn rewrite_quantifier(expr: &Expr, universal: bool) -> Option<Expr> {
         _ => return None,
     };
     // The range must have the shape Π_{x'}(σ_q(e2)) or Π_{x'}(e2).
-    let Expr::Project { input: range_in, op } = range.as_ref() else {
+    let Expr::Project {
+        input: range_in,
+        op,
+    } = range.as_ref()
+    else {
         return None;
     };
     let x_prime = match op {
@@ -80,9 +84,17 @@ fn rewrite_quantifier(expr: &Expr, universal: bool) -> Option<Expr> {
         None => p_part,
     };
     Some(if universal {
-        Expr::AntiJoin { left: e1.clone(), right: Box::new(e2.clone()), pred }
+        Expr::AntiJoin {
+            left: e1.clone(),
+            right: Box::new(e2.clone()),
+            pred,
+        }
     } else {
-        Expr::SemiJoin { left: e1.clone(), right: Box::new(e2.clone()), pred }
+        Expr::SemiJoin {
+            left: e1.clone(),
+            right: Box::new(e2.clone()),
+            pred,
+        }
     })
 }
 
@@ -115,7 +127,10 @@ mod tests {
     }
 
     fn e2() -> Expr {
-        lit(vec![vec![("t3", 1), ("y3", 1990)], vec![("t3", 2), ("y3", 2000)]])
+        lit(vec![
+            vec![("t3", 1), ("y3", 1990)],
+            vec![("t3", 2), ("y3", 2000)],
+        ])
     }
 
     #[test]
@@ -124,7 +139,8 @@ mod tests {
         let expr = e1().select(Scalar::Exists {
             var: s("t2"),
             range: Box::new(
-                e2().select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3")).project(&["t3"]),
+                e2().select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3"))
+                    .project(&["t3"]),
             ),
             pred: Box::new(Scalar::Const(Value::Bool(true))),
         });
@@ -141,12 +157,15 @@ mod tests {
         let expr = e1().select(Scalar::Exists {
             var: s("x"),
             range: Box::new(
-                e2().select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3")).project(&["y3"]),
+                e2().select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3"))
+                    .project(&["y3"]),
             ),
             pred: Box::new(Scalar::cmp(CmpOp::Gt, Scalar::attr("x"), Scalar::int(1995))),
         });
         let rewritten = eqv6(&expr).unwrap();
-        let Expr::SemiJoin { pred, .. } = &rewritten else { panic!() };
+        let Expr::SemiJoin { pred, .. } = &rewritten else {
+            panic!()
+        };
         let printed = pred.to_string();
         assert!(printed.contains("y3 > 1995"), "{printed}");
         assert!(!printed.contains("x >"), "{printed}");
@@ -158,9 +177,14 @@ mod tests {
         let expr = e1().select(Scalar::Forall {
             var: s("y2"),
             range: Box::new(
-                e2().select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3")).project(&["y3"]),
+                e2().select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3"))
+                    .project(&["y3"]),
             ),
-            pred: Box::new(Scalar::cmp(CmpOp::Gt, Scalar::attr("y2"), Scalar::int(1993))),
+            pred: Box::new(Scalar::cmp(
+                CmpOp::Gt,
+                Scalar::attr("y2"),
+                Scalar::int(1993),
+            )),
         });
         let rewritten = eqv7(&expr).unwrap();
         let Expr::AntiJoin { pred, .. } = &rewritten else {
@@ -181,9 +205,7 @@ mod tests {
         assert!(eqv6(&expr).is_none());
         // e2 referencing e1's attributes outside the extracted predicate
         // (correlated map) — must decline.
-        let correlated = singleton()
-            .map("t3", Scalar::attr("t1"))
-            .project(&["t3"]);
+        let correlated = singleton().map("t3", Scalar::attr("t1")).project(&["t3"]);
         let expr = e1().select(Scalar::Exists {
             var: s("x"),
             range: Box::new(correlated),

@@ -17,10 +17,20 @@ pub fn xi_fuse(expr: &Expr) -> Option<Expr> {
     };
     // Optional rename between Ξ and Γ (§5.1 renames a1 to a2').
     let (group, rename): (&Expr, Option<&Vec<(nal::Sym, nal::Sym)>>) = match input.as_ref() {
-        Expr::Project { input, op: ProjOp::Rename(pairs) } => (input, Some(pairs)),
+        Expr::Project {
+            input,
+            op: ProjOp::Rename(pairs),
+        } => (input, Some(pairs)),
         other => (other, None),
     };
-    let Expr::GroupUnary { input: x, g, by, theta, f } = group else {
+    let Expr::GroupUnary {
+        input: x,
+        g,
+        by,
+        theta,
+        f,
+    } = group
+    else {
         return None;
     };
     if *theta != CmpOp::Eq || by.len() != 1 {
@@ -108,13 +118,26 @@ mod tests {
         base()
             .group_unary("t1", &["a2"], nal::CmpOp::Eq, GroupFn::project_items("t2"))
             .rename(&[("a1", "a2")])
-            .xi(xi_cmds(&["<author><name>", "$a1", "</name>", "$t1", "</author>"]))
+            .xi(xi_cmds(&[
+                "<author><name>",
+                "$a1",
+                "</name>",
+                "$t1",
+                "</author>",
+            ]))
     }
 
     #[test]
     fn fuses_into_group_xi() {
         let fused = xi_fuse(&grouped_plan()).unwrap();
-        let Expr::XiGroup { by, head, body, tail, .. } = &fused else {
+        let Expr::XiGroup {
+            by,
+            head,
+            body,
+            tail,
+            ..
+        } = &fused
+        else {
             panic!("expected Ξg, got {fused}")
         };
         assert_eq!(by, &vec![Sym::new("a2")]);
@@ -135,7 +158,9 @@ mod tests {
         let mut ctx2 = nal::EvalCtx::new(&cat);
         nal::eval_query(&xi_fuse(&grouped_plan()).unwrap(), &mut ctx2).unwrap();
         assert_eq!(ctx1.out, ctx2.out);
-        assert!(ctx1.out.contains("<author><name>author1</name>title1title2</author>"));
+        assert!(ctx1
+            .out
+            .contains("<author><name>author1</name>title1title2</author>"));
     }
 
     #[test]

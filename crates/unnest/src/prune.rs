@@ -37,9 +37,18 @@ fn prune_req(e: &Expr, required: &BTreeSet<Sym>) -> Expr {
         Expr::XiSimple { input, cmds } => {
             let mut req = required.clone();
             req.extend(cmd_vars(cmds));
-            Expr::XiSimple { input: Box::new(prune_req(input, &req)), cmds: cmds.clone() }
+            Expr::XiSimple {
+                input: Box::new(prune_req(input, &req)),
+                cmds: cmds.clone(),
+            }
         }
-        Expr::XiGroup { input, by, head, body, tail } => {
+        Expr::XiGroup {
+            input,
+            by,
+            head,
+            body,
+            tail,
+        } => {
             let mut req = required.clone();
             req.extend(by.iter().copied());
             req.extend(cmd_vars(head));
@@ -59,7 +68,10 @@ fn prune_req(e: &Expr, required: &BTreeSet<Sym>) -> Expr {
             req.extend(pred.free_attrs().intersection(&in_attrs).copied());
             let pruned = prune_req(input, &req);
             let input = maybe_project(pruned, &req, pred.has_nested_expr());
-            Expr::Select { input: Box::new(input), pred: pred.clone() }
+            Expr::Select {
+                input: Box::new(input),
+                pred: pred.clone(),
+            }
         }
         Expr::Map { input, attr, value } => {
             // Dead computation: the bound attribute is never used above.
@@ -67,18 +79,20 @@ fn prune_req(e: &Expr, required: &BTreeSet<Sym>) -> Expr {
                 return prune_req(input, required);
             }
             let in_attrs = attr_set(input);
-            let mut req: BTreeSet<Sym> =
-                required.iter().copied().filter(|a| a != attr).collect();
+            let mut req: BTreeSet<Sym> = required.iter().copied().filter(|a| a != attr).collect();
             req.extend(value.free_attrs().intersection(&in_attrs).copied());
             let pruned = prune_req(input, &req);
             let input = maybe_project(pruned, &req, value.has_nested_expr());
-            Expr::Map { input: Box::new(input), attr: *attr, value: value.clone() }
+            Expr::Map {
+                input: Box::new(input),
+                attr: *attr,
+                value: value.clone(),
+            }
         }
         Expr::UnnestMap { input, attr, value } => {
             // Υ changes cardinality — never dropped, even if dead.
             let in_attrs = attr_set(input);
-            let mut req: BTreeSet<Sym> =
-                required.iter().copied().filter(|a| a != attr).collect();
+            let mut req: BTreeSet<Sym> = required.iter().copied().filter(|a| a != attr).collect();
             req.extend(value.free_attrs().intersection(&in_attrs).copied());
             Expr::UnnestMap {
                 input: Box::new(prune_req(input, &req)),
@@ -91,9 +105,7 @@ fn prune_req(e: &Expr, required: &BTreeSet<Sym>) -> Expr {
             // below, and keep the projection itself (it may narrow more
             // than `required` asks for, which is fine).
             let req = match op {
-                ProjOp::Cols(cols) | ProjOp::DistinctCols(cols) => {
-                    cols.iter().copied().collect()
-                }
+                ProjOp::Cols(cols) | ProjOp::DistinctCols(cols) => cols.iter().copied().collect(),
                 ProjOp::Drop(_) => attr_set(input),
                 ProjOp::Rename(pairs) | ProjOp::DistinctRename(pairs) => required
                     .iter()
@@ -106,7 +118,10 @@ fn prune_req(e: &Expr, required: &BTreeSet<Sym>) -> Expr {
                     })
                     .collect(),
             };
-            Expr::Project { input: Box::new(prune_req(input, &req)), op: op.clone() }
+            Expr::Project {
+                input: Box::new(prune_req(input, &req)),
+                op: op.clone(),
+            }
         }
         // Binary operators and grouping: be conservative — require
         // everything the children produce (no pruning opportunity lost in
@@ -126,7 +141,11 @@ fn maybe_project(input: Expr, req: &BTreeSet<Sym>, nested_site: bool) -> Expr {
         return input;
     }
     let produced = attr_set(&input);
-    let keep: Vec<Sym> = req.iter().copied().filter(|a| produced.contains(a)).collect();
+    let keep: Vec<Sym> = req
+        .iter()
+        .copied()
+        .filter(|a| produced.contains(a))
+        .collect();
     if keep.len() == produced.len() || keep.is_empty() {
         return input;
     }
@@ -134,7 +153,10 @@ fn maybe_project(input: Expr, req: &BTreeSet<Sym>, nested_site: bool) -> Expr {
     if matches!(&input, Expr::Project { op: ProjOp::Cols(cols), .. } if *cols == keep) {
         return input;
     }
-    Expr::Project { input: Box::new(input), op: ProjOp::Cols(keep) }
+    Expr::Project {
+        input: Box::new(input),
+        op: ProjOp::Cols(keep),
+    }
 }
 
 fn cmd_vars(cmds: &[XiCmd]) -> Vec<Sym> {
@@ -179,12 +201,26 @@ mod tests {
             .map("t2", Scalar::attr("b2").path(p("/title")));
         let nested = e2.select(Scalar::attr_cmp(CmpOp::Eq, "a1", "t2"));
         let q = e1
-            .map("t1", Scalar::Agg { f: GroupFn::project_items("t2"), input: Box::new(nested) })
+            .map(
+                "t1",
+                Scalar::Agg {
+                    f: GroupFn::project_items("t2"),
+                    input: Box::new(nested),
+                },
+            )
             .xi(xi_cmds(&["$a1", "$t1"]));
         let pruned = prune(&q);
-        let Expr::XiSimple { input, .. } = &pruned else { panic!() };
-        let Expr::Map { input: e1p, .. } = &**input else { panic!("{pruned}") };
-        let Expr::Project { op: ProjOp::Cols(cols), .. } = &**e1p else {
+        let Expr::XiSimple { input, .. } = &pruned else {
+            panic!()
+        };
+        let Expr::Map { input: e1p, .. } = &**input else {
+            panic!("{pruned}")
+        };
+        let Expr::Project {
+            op: ProjOp::Cols(cols),
+            ..
+        } = &**e1p
+        else {
             panic!("expected Π before the nested site, got {e1p}")
         };
         assert_eq!(cols, &vec![Sym::new("a1")]);
@@ -207,22 +243,27 @@ mod tests {
 
     #[test]
     fn quantifier_select_input_is_narrowed() {
-        let e1 = doc_scan("d1", "bib.xml")
-            .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let e1 =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
         let e2 = doc_scan("d3", "reviews.xml")
             .unnest_map("t3", Scalar::attr("d3").path(p("//entry/title")));
         let q = e1
             .select(Scalar::Exists {
                 var: Sym::new("t2"),
                 range: Box::new(
-                    e2.select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3")).project(&["t3"]),
+                    e2.select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3"))
+                        .project(&["t3"]),
                 ),
                 pred: Box::new(Scalar::Const(nal::Value::Bool(true))),
             })
             .xi(xi_cmds(&["<r>", "$t1", "</r>"]));
         let pruned = prune(&q);
-        let Expr::XiSimple { input, .. } = &pruned else { panic!() };
-        let Expr::Select { input: sel_in, .. } = &**input else { panic!() };
+        let Expr::XiSimple { input, .. } = &pruned else {
+            panic!()
+        };
+        let Expr::Select { input: sel_in, .. } = &**input else {
+            panic!()
+        };
         assert!(
             matches!(&**sel_in, Expr::Project { op: ProjOp::Cols(c), .. } if c == &vec![Sym::new("t1")]),
             "{pruned}"
@@ -233,7 +274,10 @@ mod tests {
     fn pruning_preserves_results() {
         use xmldb::gen::{gen_bib, BibConfig};
         let mut cat = xmldb::Catalog::new();
-        cat.register(gen_bib(&BibConfig { books: 12, ..BibConfig::default() }));
+        cat.register(gen_bib(&BibConfig {
+            books: 12,
+            ..BibConfig::default()
+        }));
         let q = doc_scan("d1", "bib.xml")
             .map("dead", Scalar::int(1))
             .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")))

@@ -42,9 +42,7 @@ pub enum ValueDescriptor {
 impl ValueDescriptor {
     pub fn uri(&self) -> &str {
         match self {
-            ValueDescriptor::DistinctValues { uri, .. } | ValueDescriptor::Nodes { uri, .. } => {
-                uri
-            }
+            ValueDescriptor::DistinctValues { uri, .. } | ValueDescriptor::Nodes { uri, .. } => uri,
         }
     }
 
@@ -93,9 +91,7 @@ pub fn value_descriptor(e: &Expr, col: Sym) -> Option<ValueDescriptor> {
                 _ => Some(d),
             }
         }
-        Expr::UnnestMap { input, attr, value } if *attr == col => {
-            scalar_descriptor(value, input)
-        }
+        Expr::UnnestMap { input, attr, value } if *attr == col => scalar_descriptor(value, input),
         Expr::UnnestMap { input, attr, .. } if *attr != col => value_descriptor(input, col),
         Expr::Map { input, attr, value } => {
             if *attr == col {
@@ -127,16 +123,18 @@ fn scalar_descriptor(s: &Scalar, input: &Expr) -> Option<ValueDescriptor> {
         Scalar::Path(base, p) => {
             let d = scalar_descriptor(base, input)?;
             Some(match d {
-                ValueDescriptor::Nodes { uri, path } => {
-                    ValueDescriptor::Nodes { uri, path: path.join(p) }
-                }
+                ValueDescriptor::Nodes { uri, path } => ValueDescriptor::Nodes {
+                    uri,
+                    path: path.join(p),
+                },
                 // A path step over already-atomized values is ill-typed.
                 ValueDescriptor::DistinctValues { .. } => return None,
             })
         }
-        Scalar::Doc(uri) => {
-            Some(ValueDescriptor::Nodes { uri: uri.clone(), path: Path::default() })
-        }
+        Scalar::Doc(uri) => Some(ValueDescriptor::Nodes {
+            uri: uri.clone(),
+            path: Path::default(),
+        }),
         Scalar::Attr(v) => value_descriptor(input, *v),
         _ => None,
     }
@@ -163,7 +161,10 @@ pub fn values_match(catalog: &Catalog, d1: &ValueDescriptor, d2: &ValueDescripto
         return false; // no schema — cannot prove anything
     };
     let facts = SchemaFacts::analyze(dtd);
-    match (selects_all(&facts, d1.path()), selects_all(&facts, d2.path())) {
+    match (
+        selects_all(&facts, d1.path()),
+        selects_all(&facts, d2.path()),
+    ) {
         (Some(t1), Some(t2)) => t1 == t2,
         _ => false,
     }
@@ -194,9 +195,10 @@ fn selects_all(facts: &SchemaFacts, path: &Path) -> Option<Target> {
     }
     // Split off a final attribute step.
     let (elem_steps, attribute) = match steps.last() {
-        Some(s) if s.axis == Axis::Attribute => {
-            (&steps[..steps.len() - 1], Some(s.test.literal()?.to_string()))
-        }
+        Some(s) if s.axis == Axis::Attribute => (
+            &steps[..steps.len() - 1],
+            Some(s.test.literal()?.to_string()),
+        ),
         _ => (&steps[..], None),
     };
     if elem_steps.is_empty() {
@@ -238,7 +240,10 @@ fn selects_all(facts: &SchemaFacts, path: &Path) -> Option<Target> {
             return None;
         }
     }
-    Some(Target { element: parent.to_string(), attribute })
+    Some(Target {
+        element: parent.to_string(),
+        attribute,
+    })
 }
 
 #[cfg(test)]
@@ -251,7 +256,10 @@ mod tests {
 
     fn bib_catalog() -> Catalog {
         let mut cat = Catalog::new();
-        cat.register(gen_bib(&BibConfig { books: 5, ..BibConfig::default() }));
+        cat.register(gen_bib(&BibConfig {
+            books: 5,
+            ..BibConfig::default()
+        }));
         cat
     }
 
@@ -267,7 +275,10 @@ mod tests {
         let d = value_descriptor(&e1, Sym::new("a1")).unwrap();
         assert_eq!(
             d,
-            ValueDescriptor::DistinctValues { uri: "bib.xml".into(), path: p("//author") }
+            ValueDescriptor::DistinctValues {
+                uri: "bib.xml".into(),
+                path: p("//author")
+            }
         );
         assert!(d.value_distinct());
     }
@@ -282,7 +293,10 @@ mod tests {
         let d = value_descriptor(&e2, Sym::new("a2")).unwrap();
         assert_eq!(
             d,
-            ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//book/author") }
+            ValueDescriptor::Nodes {
+                uri: "bib.xml".into(),
+                path: p("//book/author")
+            }
         );
         assert!(!d.value_distinct());
     }
@@ -300,8 +314,14 @@ mod tests {
     fn bib_author_paths_match() {
         // distinct(//author) vs //book/author under the bib DTD: equal.
         let cat = bib_catalog();
-        let d1 = ValueDescriptor::DistinctValues { uri: "bib.xml".into(), path: p("//author") };
-        let d2 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//book/author") };
+        let d1 = ValueDescriptor::DistinctValues {
+            uri: "bib.xml".into(),
+            path: p("//author"),
+        };
+        let d2 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("//book/author"),
+        };
         assert!(values_match(&cat, &d1, &d2));
         // And syntactically equal paths always match.
         assert!(values_match(&cat, &d2, &d2.clone()));
@@ -312,16 +332,28 @@ mod tests {
         // The §5.1 pitfall: authors occur under several publication kinds.
         let mut cat = Catalog::new();
         cat.register(gen_dblp(&DblpConfig::default()));
-        let d1 = ValueDescriptor::DistinctValues { uri: "dblp.xml".into(), path: p("//author") };
-        let d2 = ValueDescriptor::Nodes { uri: "dblp.xml".into(), path: p("//book/author") };
+        let d1 = ValueDescriptor::DistinctValues {
+            uri: "dblp.xml".into(),
+            path: p("//author"),
+        };
+        let d2 = ValueDescriptor::Nodes {
+            uri: "dblp.xml".into(),
+            path: p("//book/author"),
+        };
         assert!(!values_match(&cat, &d1, &d2));
     }
 
     #[test]
     fn different_documents_never_match() {
         let cat = bib_catalog();
-        let d1 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//author") };
-        let d2 = ValueDescriptor::Nodes { uri: "other.xml".into(), path: p("//author") };
+        let d1 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("//author"),
+        };
+        let d2 = ValueDescriptor::Nodes {
+            uri: "other.xml".into(),
+            path: p("//author"),
+        };
         assert!(!values_match(&cat, &d1, &d2));
     }
 
@@ -329,20 +361,38 @@ mod tests {
     fn longer_chains_require_full_only_under_proof() {
         let cat = bib_catalog();
         // //last vs //author/last: `last` also occurs under editor → no proof.
-        let d1 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//last") };
-        let d2 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//author/last") };
+        let d1 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("//last"),
+        };
+        let d2 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("//author/last"),
+        };
         assert!(!values_match(&cat, &d1, &d2));
         // //title vs //book/title: title occurs only under book → proof.
-        let t1 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//title") };
-        let t2 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//book/title") };
+        let t1 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("//title"),
+        };
+        let t2 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("//book/title"),
+        };
         assert!(values_match(&cat, &t1, &t2));
     }
 
     #[test]
     fn attribute_targets() {
         let cat = bib_catalog();
-        let d1 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("//book/@year") };
-        let d2 = ValueDescriptor::Nodes { uri: "bib.xml".into(), path: p("/bib/book/@year") };
+        let d1 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("//book/@year"),
+        };
+        let d2 = ValueDescriptor::Nodes {
+            uri: "bib.xml".into(),
+            path: p("/bib/book/@year"),
+        };
         assert!(values_match(&cat, &d1, &d2));
     }
 }

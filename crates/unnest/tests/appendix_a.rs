@@ -14,9 +14,7 @@
 use proptest::prelude::*;
 
 use nal::expr::builder::*;
-use nal::{
-    eval_query, AggKind, CmpOp, EvalCtx, Expr, GroupFn, Scalar, Sym, Tuple, Value,
-};
+use nal::{eval_query, AggKind, CmpOp, EvalCtx, Expr, GroupFn, Scalar, Sym, Tuple, Value};
 use unnest::driver::Rule;
 use xmldb::Catalog;
 
@@ -38,9 +36,7 @@ fn int_rel(attr: &str, keys: &[i64]) -> Expr {
 fn pair_rel(a: &str, b: &str, rows: &[(i64, i64)]) -> Expr {
     Expr::Literal(
         rows.iter()
-            .map(|&(x, y)| {
-                Tuple::from_pairs(vec![(s(a), Value::Int(x)), (s(b), Value::Int(y))])
-            })
+            .map(|&(x, y)| Tuple::from_pairs(vec![(s(a), Value::Int(x)), (s(b), Value::Int(y))]))
             .collect(),
     )
     .project_syms(vec![s(a), s(b)])
@@ -52,6 +48,30 @@ fn eval_both(lhs: &Expr, rhs: &Expr) -> (Vec<Tuple>, Vec<Tuple>, String, String)
     let l = eval_query(lhs, &mut c1).expect("lhs evaluates");
     let mut c2 = EvalCtx::new(&cat);
     let r = eval_query(rhs, &mut c2).expect("rhs evaluates");
+    // Differential on the executors as well: for each side, the
+    // materializing and the streaming engine must produce the reference
+    // rows and Ξ output — so the whole appendix-A query set exercises
+    // `run` and `run_streaming` alike.
+    for (label, expr, rows, out) in [("lhs", lhs, &l, &c1.out), ("rhs", rhs, &r, &c2.out)] {
+        let m = engine::run(expr, &cat).expect("materializing engine evaluates");
+        assert_eq!(
+            &m.rows, rows,
+            "engine::run rows diverge from spec on {label}: {expr}"
+        );
+        assert_eq!(
+            &m.output, out,
+            "engine::run Ξ output diverges on {label}: {expr}"
+        );
+        let s = engine::run_streaming(expr, &cat).expect("streaming engine evaluates");
+        assert_eq!(
+            &s.rows, rows,
+            "run_streaming rows diverge from spec on {label}: {expr}"
+        );
+        assert_eq!(
+            &s.output, out,
+            "run_streaming Ξ output diverges on {label}: {expr}"
+        );
+    }
     (l, r, c1.out, c2.out)
 }
 
@@ -61,7 +81,12 @@ fn assert_equiv(lhs: &Expr, rule: Rule) {
         .apply_at(lhs, &cat)
         .unwrap_or_else(|| panic!("{} did not fire on {lhs}", rule.name()));
     let (l, r, lo, ro) = eval_both(lhs, &rhs);
-    assert_eq!(l, r, "sequences differ for {}\nlhs: {lhs}\nrhs: {rhs}", rule.name());
+    assert_eq!(
+        l,
+        r,
+        "sequences differ for {}\nlhs: {lhs}\nrhs: {rhs}",
+        rule.name()
+    );
     assert_eq!(lo, ro, "Ξ output differs for {}", rule.name());
 }
 
@@ -75,7 +100,14 @@ fn pairs() -> impl Strategy<Value = Vec<(i64, i64)>> {
 }
 
 fn theta() -> impl Strategy<Value = CmpOp> {
-    prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
 }
 
 fn group_fn() -> impl Strategy<Value = GroupFn> {
@@ -94,7 +126,10 @@ fn group_fn() -> impl Strategy<Value = GroupFn> {
 fn map_agg_lhs(e1: Expr, e2: Expr, th: CmpOp, f: GroupFn) -> Expr {
     e1.map(
         "g",
-        Scalar::Agg { f, input: Box::new(e2.select(Scalar::attr_cmp(th, "A1", "A2"))) },
+        Scalar::Agg {
+            f,
+            input: Box::new(e2.select(Scalar::attr_cmp(th, "A1", "A2"))),
+        },
     )
 }
 
@@ -281,13 +316,15 @@ fn eqv5_8_9_on_generated_documents() {
             "t1",
             Scalar::Agg {
                 f: GroupFn::project_items("t2"),
-                input: Box::new(
-                    e2.select(Scalar::is_in(Scalar::attr("a1"), Scalar::attr("a2"))),
-                ),
+                input: Box::new(e2.select(Scalar::is_in(Scalar::attr("a1"), Scalar::attr("a2")))),
             },
         );
-        let rhs5 = Rule::Eqv5.apply_at(&lhs, &cat).expect("Eqv.5 fires under the bib DTD");
-        let rhs4 = Rule::Eqv4.apply_at(&lhs, &cat).expect("Eqv.4 always fires here");
+        let rhs5 = Rule::Eqv5
+            .apply_at(&lhs, &cat)
+            .expect("Eqv.5 fires under the bib DTD");
+        let rhs4 = Rule::Eqv4
+            .apply_at(&lhs, &cat)
+            .expect("Eqv.4 always fires here");
         let mut c = EvalCtx::new(&cat);
         let l = eval_query(&lhs, &mut c).unwrap();
         let r5 = eval_query(&rhs5, &mut c).unwrap();
@@ -354,12 +391,20 @@ fn eqv8_self_on_generated_documents() {
             vec![Scalar::attr("a2"), Scalar::string("an")],
         ));
         let semi = l.semijoin(r, pred);
-        let grouped = Rule::Eqv8Self.apply_at(&semi, &cat).expect("self rule fires");
+        let grouped = Rule::Eqv8Self
+            .apply_at(&semi, &cat)
+            .expect("self rule fires");
         let mut c = EvalCtx::new(&cat);
         let a = eval_query(&semi, &mut c).unwrap();
         let b = eval_query(&grouped, &mut c).unwrap();
         assert_eq!(a, b, "self-semijoin mismatch (seed {seed})");
-        assert!(!a.is_empty(), "predicate should select something (seed {seed})");
-        assert!(a.len() < 25 * 4, "predicate should be selective (seed {seed})");
+        assert!(
+            !a.is_empty(),
+            "predicate should select something (seed {seed})"
+        );
+        assert!(
+            a.len() < 25 * 4,
+            "predicate should be selective (seed {seed})"
+        );
     }
 }

@@ -20,9 +20,7 @@ fn s(n: &str) -> Sym {
 fn rel(a: &str, b: &str, rows: &[(i64, i64)]) -> Expr {
     Expr::Literal(
         rows.iter()
-            .map(|&(x, y)| {
-                Tuple::from_pairs(vec![(s(a), Value::Int(x)), (s(b), Value::Int(y))])
-            })
+            .map(|&(x, y)| Tuple::from_pairs(vec![(s(a), Value::Int(x)), (s(b), Value::Int(y))]))
             .collect(),
     )
     .project_syms(vec![s(a), s(b)])

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::dtd::Dtd;
-use crate::node::{NodeData, NodeKind, NodeId, NONE};
+use crate::node::{NodeData, NodeId, NodeKind, NONE};
 
 /// An immutable XML document.
 ///
@@ -80,12 +80,18 @@ impl Document {
     /// Iterator over the children of `id` in document order
     /// (attributes are *not* children).
     pub fn children(&self, id: NodeId) -> Children<'_> {
-        Children { doc: self, next: wrap(self.data(id).first_child) }
+        Children {
+            doc: self,
+            next: wrap(self.data(id).first_child),
+        }
     }
 
     /// Iterator over the attribute nodes of `id` in declaration order.
     pub fn attributes(&self, id: NodeId) -> Children<'_> {
-        Children { doc: self, next: wrap(self.data(id).first_attr) }
+        Children {
+            doc: self,
+            next: wrap(self.data(id).first_attr),
+        }
     }
 
     /// The attribute node named `name` of element `id`, if present.
@@ -98,7 +104,11 @@ impl Document {
     /// Iterator over all descendants of `id` (excluding `id` itself,
     /// excluding attributes) in document order.
     pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
-        Descendants { doc: self, root: id, next: wrap(self.data(id).first_child) }
+        Descendants {
+            doc: self,
+            root: id,
+            next: wrap(self.data(id).first_child),
+        }
     }
 
     /// The root element of the document, if well-formed.
@@ -240,7 +250,10 @@ impl DocumentBuilder {
             name_index: HashMap::new(),
         };
         doc.nodes.push(NodeData::new(NodeKind::Document));
-        DocumentBuilder { doc, stack: vec![0] }
+        DocumentBuilder {
+            doc,
+            stack: vec![0],
+        }
     }
 
     /// Attach the parsed internal DTD subset.

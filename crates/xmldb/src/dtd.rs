@@ -148,7 +148,10 @@ pub struct Dtd {
 
 impl Dtd {
     pub fn new(doctype: impl Into<String>) -> Dtd {
-        Dtd { doctype: doctype.into(), ..Dtd::default() }
+        Dtd {
+            doctype: doctype.into(),
+            ..Dtd::default()
+        }
     }
 
     pub fn push_element(&mut self, decl: ElementDecl) {
@@ -169,7 +172,10 @@ impl Dtd {
     /// Parse the *internal subset* between `[` and `]` of a DOCTYPE.
     pub fn parse_internal_subset(doctype: &str, subset: &str) -> Result<Dtd, String> {
         let mut dtd = Dtd::new(doctype);
-        let mut p = DtdParser { s: subset.as_bytes(), pos: 0 };
+        let mut p = DtdParser {
+            s: subset.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         while !p.eof() {
             if p.starts_with("<!ELEMENT") {
@@ -346,7 +352,10 @@ impl<'a> DtdParser<'a> {
             match sep {
                 None => sep = Some(s),
                 Some(prev) if prev != s => {
-                    return Err(format!("mixed ',' and '|' in one group at byte {}", self.pos))
+                    return Err(format!(
+                        "mixed ',' and '|' in one group at byte {}",
+                        self.pos
+                    ))
                 }
                 _ => {}
             }
@@ -452,7 +461,10 @@ mod tests {
             ContentSpec::Children(cp) => {
                 let mut names = Vec::new();
                 cp.names(&mut names);
-                assert_eq!(names, vec!["title", "author", "editor", "publisher", "price"]);
+                assert_eq!(
+                    names,
+                    vec!["title", "author", "editor", "publisher", "price"]
+                );
             }
             other => panic!("unexpected content: {other:?}"),
         }
@@ -497,15 +509,23 @@ mod tests {
         let ContentSpec::Children(ContentParticle::Seq(items, _)) = &u.content else {
             panic!()
         };
-        assert_eq!(items[2], ContentParticle::Name("rating".into(), Repetition::Optional));
+        assert_eq!(
+            items[2],
+            ContentParticle::Name("rating".into(), Repetition::Optional)
+        );
     }
 
     #[test]
     fn display_roundtrip_shape() {
         let dtd = Dtd::parse_internal_subset("bib", BIB).unwrap();
         let book = dtd.element("book").unwrap();
-        let ContentSpec::Children(cp) = &book.content else { panic!() };
-        assert_eq!(cp.to_string(), "(title, (author+ | editor+), publisher, price)");
+        let ContentSpec::Children(cp) = &book.content else {
+            panic!()
+        };
+        assert_eq!(
+            cp.to_string(),
+            "(title, (author+ | editor+), publisher, price)"
+        );
     }
 
     #[test]

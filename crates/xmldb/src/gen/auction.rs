@@ -56,7 +56,12 @@ pub struct AuctionConfig {
 
 impl Default for AuctionConfig {
     fn default() -> AuctionConfig {
-        AuctionConfig { bids: 100, items_divisor: 5, users_divisor: 10, seed: 0xa0c1 }
+        AuctionConfig {
+            bids: 100,
+            items_divisor: 5,
+            users_divisor: 10,
+            seed: 0xa0c1,
+        }
     }
 }
 
@@ -127,7 +132,11 @@ pub fn gen_auction(cfg: &AuctionConfig) -> AuctionDocs {
     }
     bb.end_element();
 
-    AuctionDocs { users: ub.finish(), items: ib.finish(), bids: bb.finish() }
+    AuctionDocs {
+        users: ub.finish(),
+        items: ib.finish(),
+        bids: bb.finish(),
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +145,10 @@ mod tests {
 
     #[test]
     fn cardinalities_follow_divisors() {
-        let docs = gen_auction(&AuctionConfig { bids: 100, ..AuctionConfig::default() });
+        let docs = gen_auction(&AuctionConfig {
+            bids: 100,
+            ..AuctionConfig::default()
+        });
         let count = |d: &Document| d.children(d.root_element().unwrap()).count();
         assert_eq!(count(&docs.bids), 100);
         assert_eq!(count(&docs.items), 20);
@@ -145,7 +157,10 @@ mod tests {
 
     #[test]
     fn bids_reference_existing_items_and_users() {
-        let docs = gen_auction(&AuctionConfig { bids: 60, ..AuctionConfig::default() });
+        let docs = gen_auction(&AuctionConfig {
+            bids: 60,
+            ..AuctionConfig::default()
+        });
         let collect = |d: &Document, tag: &str| -> std::collections::HashSet<String> {
             let root = d.root_element().unwrap();
             d.children(root)
@@ -166,7 +181,10 @@ mod tests {
     fn some_item_has_at_least_three_bids() {
         // The §5.6 query returns items with >= 3 bids; the default
         // distribution must produce at least one such item.
-        let docs = gen_auction(&AuctionConfig { bids: 100, ..AuctionConfig::default() });
+        let docs = gen_auction(&AuctionConfig {
+            bids: 100,
+            ..AuctionConfig::default()
+        });
         let d = &docs.bids;
         let root = d.root_element().unwrap();
         let mut counts = std::collections::HashMap::new();
@@ -179,17 +197,26 @@ mod tests {
             *counts.entry(itemno).or_insert(0usize) += 1;
         }
         assert!(counts.values().any(|&c| c >= 3));
-        assert!(counts.values().any(|&c| c < 3), "threshold should be selective");
+        assert!(
+            counts.values().any(|&c| c < 3),
+            "threshold should be selective"
+        );
     }
 
     #[test]
     fn optional_fields_sometimes_missing() {
-        let docs = gen_auction(&AuctionConfig { bids: 200, ..AuctionConfig::default() });
+        let docs = gen_auction(&AuctionConfig {
+            bids: 200,
+            ..AuctionConfig::default()
+        });
         let d = &docs.items;
         let root = d.root_element().unwrap();
         let with_reserve = d
             .children(root)
-            .filter(|&t| d.children(t).any(|c| d.node_name(c) == Some("reserveprice")))
+            .filter(|&t| {
+                d.children(t)
+                    .any(|c| d.node_name(c) == Some("reserveprice"))
+            })
             .count();
         let total = d.children(root).count();
         assert!(with_reserve > 0 && with_reserve < total);

@@ -99,7 +99,11 @@ mod tests {
 
     #[test]
     fn counts_match_config() {
-        let d = gen_bib(&BibConfig { books: 25, authors_per_book: 3, ..BibConfig::default() });
+        let d = gen_bib(&BibConfig {
+            books: 25,
+            authors_per_book: 3,
+            ..BibConfig::default()
+        });
         let root = d.root_element().unwrap();
         let books: Vec<_> = d.children(root).collect();
         assert_eq!(books.len(), 25);
@@ -110,8 +114,10 @@ mod tests {
                 .count();
             assert_eq!(authors, 3);
             assert!(d.attribute(bk, "year").is_some());
-            let names: Vec<_> =
-                d.children(bk).filter_map(|c| d.node_name(c).map(str::to_string)).collect();
+            let names: Vec<_> = d
+                .children(bk)
+                .filter_map(|c| d.node_name(c).map(str::to_string))
+                .collect();
             assert_eq!(names[0], "title");
             assert_eq!(*names.last().unwrap(), "price");
         }
@@ -119,7 +125,11 @@ mod tests {
 
     #[test]
     fn authors_within_a_book_are_distinct() {
-        let d = gen_bib(&BibConfig { books: 50, authors_per_book: 10, ..BibConfig::default() });
+        let d = gen_bib(&BibConfig {
+            books: 50,
+            authors_per_book: 10,
+            ..BibConfig::default()
+        });
         let root = d.root_element().unwrap();
         for bk in d.children(root) {
             let vals: Vec<String> = d
@@ -142,7 +152,10 @@ mod tests {
 
     #[test]
     fn years_in_range() {
-        let d = gen_bib(&BibConfig { books: 40, ..BibConfig::default() });
+        let d = gen_bib(&BibConfig {
+            books: 40,
+            ..BibConfig::default()
+        });
         let root = d.root_element().unwrap();
         for bk in d.children(root) {
             let y: u32 = d.text(d.attribute(bk, "year").unwrap()).parse().unwrap();

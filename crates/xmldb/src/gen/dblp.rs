@@ -76,7 +76,11 @@ pub fn gen_dblp(cfg: &DblpConfig) -> Document {
             ["article", "inproceedings", "phdthesis"][rng.gen_range(0..3)]
         };
         b.start_element(kind);
-        let n_authors = if kind == "phdthesis" { 1 } else { rng.gen_range(1..=3) };
+        let n_authors = if kind == "phdthesis" {
+            1
+        } else {
+            rng.gen_range(1..=3)
+        };
         for _ in 0..n_authors {
             b.leaf("author", &text::full_name(rng.gen_range(0..pool)));
         }
@@ -96,7 +100,10 @@ mod tests {
 
     #[test]
     fn contains_authors_without_books() {
-        let d = gen_dblp(&DblpConfig { publications: 500, ..DblpConfig::default() });
+        let d = gen_dblp(&DblpConfig {
+            publications: 500,
+            ..DblpConfig::default()
+        });
         let root = d.root_element().unwrap();
         let mut all_authors = HashSet::new();
         let mut book_authors = HashSet::new();
@@ -128,7 +135,10 @@ mod tests {
 
     #[test]
     fn publication_count() {
-        let d = gen_dblp(&DblpConfig { publications: 123, ..DblpConfig::default() });
+        let d = gen_dblp(&DblpConfig {
+            publications: 123,
+            ..DblpConfig::default()
+        });
         let root = d.root_element().unwrap();
         assert_eq!(d.children(root).count(), 123);
     }

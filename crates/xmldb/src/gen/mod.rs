@@ -43,9 +43,21 @@ pub fn standard_catalog(scale: usize, authors_per_book: usize, seed: u64) -> Cat
         seed,
         ..BibConfig::default()
     }));
-    cat.register(gen_reviews(&ReviewsConfig { entries: scale, seed, ..ReviewsConfig::default() }));
-    cat.register(gen_prices(&PricesConfig { entries: scale, seed, ..PricesConfig::default() }));
-    let auction = gen_auction(&AuctionConfig { bids: scale, seed, ..AuctionConfig::default() });
+    cat.register(gen_reviews(&ReviewsConfig {
+        entries: scale,
+        seed,
+        ..ReviewsConfig::default()
+    }));
+    cat.register(gen_prices(&PricesConfig {
+        entries: scale,
+        seed,
+        ..PricesConfig::default()
+    }));
+    let auction = gen_auction(&AuctionConfig {
+        bids: scale,
+        seed,
+        ..AuctionConfig::default()
+    });
     cat.register(auction.users);
     cat.register(auction.items);
     cat.register(auction.bids);
@@ -59,7 +71,14 @@ mod tests {
     #[test]
     fn standard_catalog_registers_six_documents() {
         let cat = standard_catalog(20, 2, 42);
-        for uri in ["bib.xml", "reviews.xml", "prices.xml", "users.xml", "items.xml", "bids.xml"] {
+        for uri in [
+            "bib.xml",
+            "reviews.xml",
+            "prices.xml",
+            "users.xml",
+            "items.xml",
+            "bids.xml",
+        ] {
             assert!(cat.by_uri(uri).is_some(), "missing {uri}");
         }
         assert_eq!(cat.len(), 6);
@@ -67,16 +86,13 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = crate::serializer::serialize_document(
-            cat_doc(&standard_catalog(15, 3, 7), "bib.xml"),
-        );
-        let b = crate::serializer::serialize_document(
-            cat_doc(&standard_catalog(15, 3, 7), "bib.xml"),
-        );
+        let a =
+            crate::serializer::serialize_document(cat_doc(&standard_catalog(15, 3, 7), "bib.xml"));
+        let b =
+            crate::serializer::serialize_document(cat_doc(&standard_catalog(15, 3, 7), "bib.xml"));
         assert_eq!(a, b);
-        let c = crate::serializer::serialize_document(
-            cat_doc(&standard_catalog(15, 3, 8), "bib.xml"),
-        );
+        let c =
+            crate::serializer::serialize_document(cat_doc(&standard_catalog(15, 3, 8), "bib.xml"));
         assert_ne!(a, c, "different seeds must differ");
     }
 

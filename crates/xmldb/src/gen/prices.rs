@@ -16,7 +16,11 @@ pub const PRICES_DTD: &str = r#"
 <!ELEMENT price (#PCDATA)>
 "#;
 
-const SOURCES: [&str; 3] = ["bstore1.example.com", "bstore2.example.com", "bstore3.example.com"];
+const SOURCES: [&str; 3] = [
+    "bstore1.example.com",
+    "bstore2.example.com",
+    "bstore3.example.com",
+];
 
 /// Parameters for [`gen_prices`].
 #[derive(Clone, Debug)]
@@ -32,7 +36,12 @@ pub struct PricesConfig {
 
 impl Default for PricesConfig {
     fn default() -> PricesConfig {
-        PricesConfig { uri: "prices.xml".into(), entries: 100, sources_per_title: 3, seed: 0x9a1e }
+        PricesConfig {
+            uri: "prices.xml".into(),
+            entries: 100,
+            sources_per_title: 3,
+            seed: 0x9a1e,
+        }
     }
 }
 
@@ -50,7 +59,7 @@ pub fn gen_prices(cfg: &PricesConfig) -> Document {
         b.leaf("title", &text::title(title_idx));
         b.leaf("source", SOURCES[i % SOURCES.len()]);
         // Each source quotes an independent price.
-        b.leaf("price", &text::price(i, 0x50c1 ^ rng.gen::<u64>() % 7));
+        b.leaf("price", &text::price(i, 0x50c1 ^ (rng.gen::<u64>() % 7)));
         b.end_element();
     }
     b.end_element();
@@ -63,20 +72,29 @@ mod tests {
 
     #[test]
     fn entry_count_and_shape() {
-        let d = gen_prices(&PricesConfig { entries: 30, ..PricesConfig::default() });
+        let d = gen_prices(&PricesConfig {
+            entries: 30,
+            ..PricesConfig::default()
+        });
         let root = d.root_element().unwrap();
         let entries: Vec<_> = d.children(root).collect();
         assert_eq!(entries.len(), 30);
         for &e in &entries {
-            let names: Vec<_> =
-                d.children(e).filter_map(|c| d.node_name(c).map(str::to_string)).collect();
+            let names: Vec<_> = d
+                .children(e)
+                .filter_map(|c| d.node_name(c).map(str::to_string))
+                .collect();
             assert_eq!(names, vec!["title", "source", "price"]);
         }
     }
 
     #[test]
     fn titles_repeat_across_sources() {
-        let d = gen_prices(&PricesConfig { entries: 9, sources_per_title: 3, ..Default::default() });
+        let d = gen_prices(&PricesConfig {
+            entries: 9,
+            sources_per_title: 3,
+            ..Default::default()
+        });
         let root = d.root_element().unwrap();
         let titles: Vec<String> = d
             .children(root)

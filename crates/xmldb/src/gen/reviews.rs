@@ -52,7 +52,10 @@ pub fn gen_reviews(cfg: &ReviewsConfig) -> Document {
         b.start_element("entry");
         b.leaf("title", &text::title(j * cfg.title_stride.max(1)));
         b.leaf("price", &text::price(j, 0x6e).to_string());
-        b.leaf("review", &text::review(j, cfg.review_words + rng.gen_range(0..4)));
+        b.leaf(
+            "review",
+            &text::review(j, cfg.review_words + rng.gen_range(0..4)),
+        );
         b.end_element();
     }
     b.end_element();
@@ -65,27 +68,40 @@ mod tests {
 
     #[test]
     fn shape_and_count() {
-        let d = gen_reviews(&ReviewsConfig { entries: 12, ..ReviewsConfig::default() });
+        let d = gen_reviews(&ReviewsConfig {
+            entries: 12,
+            ..ReviewsConfig::default()
+        });
         let root = d.root_element().unwrap();
         assert_eq!(d.node_name(root), Some("reviews"));
         let entries: Vec<_> = d.children(root).collect();
         assert_eq!(entries.len(), 12);
         for &e in &entries {
-            let names: Vec<_> =
-                d.children(e).filter_map(|c| d.node_name(c).map(str::to_string)).collect();
+            let names: Vec<_> = d
+                .children(e)
+                .filter_map(|c| d.node_name(c).map(str::to_string))
+                .collect();
             assert_eq!(names, vec!["title", "price", "review"]);
         }
     }
 
     #[test]
     fn stride_controls_overlap_with_bib() {
-        let d = gen_reviews(&ReviewsConfig { entries: 10, title_stride: 2, ..Default::default() });
+        let d = gen_reviews(&ReviewsConfig {
+            entries: 10,
+            title_stride: 2,
+            ..Default::default()
+        });
         let root = d.root_element().unwrap();
         let first_entry = d.children(root).next().unwrap();
         let second_entry = d.children(root).nth(1).unwrap();
         let t0 = d.string_value(d.children(first_entry).next().unwrap());
         let t1 = d.string_value(d.children(second_entry).next().unwrap());
-        assert_eq!(t0, text::title(0), "reviewed titles come from the shared pool");
+        assert_eq!(
+            t0,
+            text::title(0),
+            "reviewed titles come from the shared pool"
+        );
         assert_eq!(t1, text::title(2), "stride 2 skips every other title");
     }
 }

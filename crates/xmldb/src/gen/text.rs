@@ -6,33 +6,104 @@
 
 /// Word pool for titles.
 const TITLE_WORDS: [&str; 32] = [
-    "Advanced", "Data", "on", "the", "Web", "Query", "Processing", "Semistructured",
-    "Foundations", "of", "Databases", "Transaction", "Concepts", "XML", "Modern",
-    "Information", "Retrieval", "Systems", "Design", "Principles", "Distributed",
-    "Algorithms", "Optimization", "Streams", "Ordered", "Algebra", "Indexing",
-    "Structures", "Practical", "Theory", "Networks", "Unnesting",
+    "Advanced",
+    "Data",
+    "on",
+    "the",
+    "Web",
+    "Query",
+    "Processing",
+    "Semistructured",
+    "Foundations",
+    "of",
+    "Databases",
+    "Transaction",
+    "Concepts",
+    "XML",
+    "Modern",
+    "Information",
+    "Retrieval",
+    "Systems",
+    "Design",
+    "Principles",
+    "Distributed",
+    "Algorithms",
+    "Optimization",
+    "Streams",
+    "Ordered",
+    "Algebra",
+    "Indexing",
+    "Structures",
+    "Practical",
+    "Theory",
+    "Networks",
+    "Unnesting",
 ];
 
 const LAST_NAMES: [&str; 24] = [
-    "Stevens", "Abiteboul", "Buneman", "Suciu", "Kim", "Dayal", "Moerkotte", "Helmer",
-    "May", "Kanne", "Fiebig", "Westmann", "Neumann", "Schiele", "Beeri", "Tzaban",
-    "Cluet", "Graefe", "Kossmann", "Kemper", "Claussen", "Lerner", "Shasha", "Klug",
+    "Stevens",
+    "Abiteboul",
+    "Buneman",
+    "Suciu",
+    "Kim",
+    "Dayal",
+    "Moerkotte",
+    "Helmer",
+    "May",
+    "Kanne",
+    "Fiebig",
+    "Westmann",
+    "Neumann",
+    "Schiele",
+    "Beeri",
+    "Tzaban",
+    "Cluet",
+    "Graefe",
+    "Kossmann",
+    "Kemper",
+    "Claussen",
+    "Lerner",
+    "Shasha",
+    "Klug",
 ];
 
 const FIRST_NAMES: [&str; 16] = [
-    "W.", "Serge", "Peter", "Dan", "Won", "Umeshwar", "Guido", "Sven", "Norman",
-    "Carl", "Thorsten", "Till", "Julia", "Robert", "Catriel", "Yariv",
+    "W.", "Serge", "Peter", "Dan", "Won", "Umeshwar", "Guido", "Sven", "Norman", "Carl",
+    "Thorsten", "Till", "Julia", "Robert", "Catriel", "Yariv",
 ];
 
 const PUBLISHERS: [&str; 8] = [
-    "Addison-Wesley", "Morgan Kaufmann", "Springer", "ACM Press", "IEEE Press",
-    "O'Reilly", "Prentice Hall", "North Holland",
+    "Addison-Wesley",
+    "Morgan Kaufmann",
+    "Springer",
+    "ACM Press",
+    "IEEE Press",
+    "O'Reilly",
+    "Prentice Hall",
+    "North Holland",
 ];
 
 const REVIEW_WORDS: [&str; 20] = [
-    "excellent", "thorough", "treatment", "of", "the", "subject", "readable",
-    "introduction", "covers", "advanced", "material", "recommended", "for",
-    "practitioners", "dated", "but", "classic", "reference", "dense", "rigorous",
+    "excellent",
+    "thorough",
+    "treatment",
+    "of",
+    "the",
+    "subject",
+    "readable",
+    "introduction",
+    "covers",
+    "advanced",
+    "material",
+    "recommended",
+    "for",
+    "practitioners",
+    "dated",
+    "but",
+    "classic",
+    "reference",
+    "dense",
+    "rigorous",
 ];
 
 /// Splitmix64 — a tiny, high-quality index scrambler so pure functions of

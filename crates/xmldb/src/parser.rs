@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -28,7 +32,11 @@ impl std::error::Error for ParseError {}
 
 /// Parse `input` into a document with the given catalog `uri`.
 pub fn parse_document(uri: &str, input: &str) -> Result<Document, ParseError> {
-    let mut p = Parser { s: input.as_bytes(), pos: 0, builder: DocumentBuilder::new(uri) };
+    let mut p = Parser {
+        s: input.as_bytes(),
+        pos: 0,
+        builder: DocumentBuilder::new(uri),
+    };
     p.document()?;
     Ok(p.builder.finish())
 }
@@ -41,7 +49,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { offset: self.pos, message: msg.into() })
+        Err(ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
     }
 
     fn eof(&self) -> bool {
@@ -161,8 +172,10 @@ impl<'a> Parser<'a> {
             }
             let subset = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
             self.expect("]")?;
-            let dtd = Dtd::parse_internal_subset(&doctype, &subset)
-                .map_err(|m| ParseError { offset: start, message: m })?;
+            let dtd = Dtd::parse_internal_subset(&doctype, &subset).map_err(|m| ParseError {
+                offset: start,
+                message: m,
+            })?;
             self.builder.set_dtd(dtd);
         }
         self.skip_ws();
@@ -290,23 +303,30 @@ impl<'a> Parser<'a> {
         self.expect("&")?;
         if !self.eof() && self.peek() == b'#' {
             self.pos += 1;
-            let (radix, digits_start) = if !self.eof() && (self.peek() == b'x' || self.peek() == b'X')
-            {
-                self.pos += 1;
-                (16, self.pos)
-            } else {
-                (10, self.pos)
-            };
+            let (radix, digits_start) =
+                if !self.eof() && (self.peek() == b'x' || self.peek() == b'X') {
+                    self.pos += 1;
+                    (16, self.pos)
+                } else {
+                    (10, self.pos)
+                };
             while !self.eof() && self.peek() != b';' {
                 self.pos += 1;
             }
-            let digits = std::str::from_utf8(&self.s[digits_start..self.pos])
-                .map_err(|_| ParseError { offset: digits_start, message: "bad charref".into() })?;
+            let digits =
+                std::str::from_utf8(&self.s[digits_start..self.pos]).map_err(|_| ParseError {
+                    offset: digits_start,
+                    message: "bad charref".into(),
+                })?;
             self.expect(";")?;
-            let code = u32::from_str_radix(digits, radix)
-                .map_err(|_| ParseError { offset: digits_start, message: "bad charref".into() })?;
-            return char::from_u32(code)
-                .ok_or_else(|| ParseError { offset: digits_start, message: "bad charref".into() });
+            let code = u32::from_str_radix(digits, radix).map_err(|_| ParseError {
+                offset: digits_start,
+                message: "bad charref".into(),
+            })?;
+            return char::from_u32(code).ok_or_else(|| ParseError {
+                offset: digits_start,
+                message: "bad charref".into(),
+            });
         }
         let name = self.name()?;
         self.expect(";")?;

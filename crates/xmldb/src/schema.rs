@@ -31,7 +31,10 @@ pub struct Occurrence {
 }
 
 impl Occurrence {
-    pub const ZERO: Occurrence = Occurrence { min: 0, many: false };
+    pub const ZERO: Occurrence = Occurrence {
+        min: 0,
+        many: false,
+    };
 
     /// Exactly one occurrence in every instance.
     pub fn exactly_one(self) -> bool {
@@ -116,7 +119,12 @@ impl SchemaFacts {
                 stack.extend(names);
             }
         }
-        SchemaFacts { parents, attr_owners, reachable, dtd: dtd.clone() }
+        SchemaFacts {
+            parents,
+            attr_owners,
+            reachable,
+            dtd: dtd.clone(),
+        }
     }
 
     /// Element names that may contain `child` (directly), restricted to
@@ -124,7 +132,12 @@ impl SchemaFacts {
     pub fn parents_of(&self, child: &str) -> BTreeSet<String> {
         self.parents
             .get(child)
-            .map(|s| s.iter().filter(|p| self.reachable.contains(*p)).cloned().collect())
+            .map(|s| {
+                s.iter()
+                    .filter(|p| self.reachable.contains(*p))
+                    .cloned()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -139,7 +152,12 @@ impl SchemaFacts {
     pub fn attribute_owners(&self, attr: &str) -> BTreeSet<String> {
         self.attr_owners
             .get(attr)
-            .map(|s| s.iter().filter(|p| self.reachable.contains(*p)).cloned().collect())
+            .map(|s| {
+                s.iter()
+                    .filter(|p| self.reachable.contains(*p))
+                    .cloned()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -185,7 +203,11 @@ fn particle_occurrence(cp: &ContentParticle, child: &str) -> Occurrence {
     match cp {
         ContentParticle::Name(n, rep) => {
             if n == child {
-                Occurrence { min: 1, many: false }.repeat(*rep)
+                Occurrence {
+                    min: 1,
+                    many: false,
+                }
+                .repeat(*rep)
             } else {
                 Occurrence::ZERO
             }
@@ -314,7 +336,19 @@ mod tests {
         .unwrap();
         let f = SchemaFacts::analyze(&dtd);
         assert_eq!(f.occurrence("r", "a"), Occurrence { min: 2, many: true });
-        assert_eq!(f.occurrence("r", "b"), Occurrence { min: 0, many: false });
-        assert_eq!(f.occurrence("r", "c"), Occurrence { min: 0, many: false });
+        assert_eq!(
+            f.occurrence("r", "b"),
+            Occurrence {
+                min: 0,
+                many: false
+            }
+        );
+        assert_eq!(
+            f.occurrence("r", "c"),
+            Occurrence {
+                min: 0,
+                many: false
+            }
+        );
     }
 }

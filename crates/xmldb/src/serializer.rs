@@ -123,7 +123,7 @@ fn pretty_node(doc: &Document, node: NodeId, depth: usize, out: &mut String) {
                 for c in doc.children(node) {
                     escape_text(doc.text(c), out);
                 }
-                let _ = write!(out, "</{name}>\n");
+                let _ = writeln!(out, "</{name}>");
             } else {
                 out.push_str(">\n");
                 for c in doc.children(node) {
@@ -132,7 +132,7 @@ fn pretty_node(doc: &Document, node: NodeId, depth: usize, out: &mut String) {
                 for _ in 0..depth {
                     out.push_str("  ");
                 }
-                let _ = write!(out, "</{name}>\n");
+                let _ = writeln!(out, "</{name}>");
             }
         }
         NodeKind::Text => {

@@ -30,21 +30,17 @@ impl DocStats {
         let mut values: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
         for n in doc.descendants(NodeId::DOCUMENT) {
             stats.total_nodes += 1;
-            match doc.kind(n) {
-                NodeKind::Element(name) => {
-                    let name = doc.name(name).to_string();
-                    *stats.element_counts.entry(name.clone()).or_insert(0) += 1;
-                    values.entry(name).or_default().insert(doc.string_value(n));
-                    for a in doc.attributes(n) {
-                        let aname = doc.node_name(a).expect("attr name").to_string();
-                        *stats.attribute_counts.entry(aname).or_insert(0) += 1;
-                    }
+            if let NodeKind::Element(name) = doc.kind(n) {
+                let name = doc.name(name).to_string();
+                *stats.element_counts.entry(name.clone()).or_insert(0) += 1;
+                values.entry(name).or_default().insert(doc.string_value(n));
+                for a in doc.attributes(n) {
+                    let aname = doc.node_name(a).expect("attr name").to_string();
+                    *stats.attribute_counts.entry(aname).or_insert(0) += 1;
                 }
-                _ => {}
             }
         }
-        stats.distinct_values =
-            values.into_iter().map(|(k, v)| (k, v.len())).collect();
+        stats.distinct_values = values.into_iter().map(|(k, v)| (k, v.len())).collect();
         stats
     }
 
@@ -82,7 +78,11 @@ mod tests {
 
     #[test]
     fn counts_match_generator_parameters() {
-        let doc = gen_bib(&BibConfig { books: 50, authors_per_book: 3, ..Default::default() });
+        let doc = gen_bib(&BibConfig {
+            books: 50,
+            authors_per_book: 3,
+            ..Default::default()
+        });
         let stats = DocStats::collect(&doc);
         assert_eq!(stats.elements("book"), 50);
         assert_eq!(stats.elements("author"), 150);
@@ -95,17 +95,28 @@ mod tests {
 
     #[test]
     fn distinct_author_values_bounded_by_pool() {
-        let doc = gen_bib(&BibConfig { books: 60, authors_per_book: 5, ..Default::default() });
+        let doc = gen_bib(&BibConfig {
+            books: 60,
+            authors_per_book: 5,
+            ..Default::default()
+        });
         let stats = DocStats::collect(&doc);
         let d = stats.distinct("author");
-        assert!(d > 0 && d <= 60, "author pool size bounds distinct values, got {d}");
+        assert!(
+            d > 0 && d <= 60,
+            "author pool size bounds distinct values, got {d}"
+        );
         // Titles are unique by construction.
         assert_eq!(stats.distinct("title"), 60);
     }
 
     #[test]
     fn fanout_ratios() {
-        let doc = gen_bib(&BibConfig { books: 40, authors_per_book: 4, ..Default::default() });
+        let doc = gen_bib(&BibConfig {
+            books: 40,
+            authors_per_book: 4,
+            ..Default::default()
+        });
         let stats = DocStats::collect(&doc);
         assert!((stats.avg_fanout("book", "author") - 4.0).abs() < 1e-9);
         assert!((stats.avg_fanout("book", "title") - 1.0).abs() < 1e-9);

@@ -49,15 +49,24 @@ pub struct Step {
 
 impl Step {
     pub fn child(name: impl Into<String>) -> Step {
-        Step { axis: Axis::Child, test: NameTest::Name(name.into()) }
+        Step {
+            axis: Axis::Child,
+            test: NameTest::Name(name.into()),
+        }
     }
 
     pub fn descendant(name: impl Into<String>) -> Step {
-        Step { axis: Axis::Descendant, test: NameTest::Name(name.into()) }
+        Step {
+            axis: Axis::Descendant,
+            test: NameTest::Name(name.into()),
+        }
     }
 
     pub fn attribute(name: impl Into<String>) -> Step {
-        Step { axis: Axis::Attribute, test: NameTest::Name(name.into()) }
+        Step {
+            axis: Axis::Attribute,
+            test: NameTest::Name(name.into()),
+        }
     }
 }
 
@@ -129,7 +138,10 @@ mod tests {
     fn element_trail() {
         let p = Path::new(vec![Step::descendant("book"), Step::child("title")]);
         assert_eq!(p.element_trail(), Some(vec!["book", "title"]));
-        let q = Path::new(vec![Step { axis: Axis::Child, test: NameTest::Any }]);
+        let q = Path::new(vec![Step {
+            axis: Axis::Child,
+            test: NameTest::Any,
+        }]);
         assert_eq!(q.element_trail(), None);
     }
 

@@ -156,13 +156,28 @@ mod tests {
     fn doc_scan_counter() {
         let d = doc();
         let mut c = EvalCounters::default();
-        eval_path(&d, &[NodeId::DOCUMENT], &parse_path("//book").unwrap(), &mut c);
+        eval_path(
+            &d,
+            &[NodeId::DOCUMENT],
+            &parse_path("//book").unwrap(),
+            &mut c,
+        );
         assert_eq!(c.doc_scans, 1);
-        eval_path(&d, &[NodeId::DOCUMENT], &parse_path("//book").unwrap(), &mut c);
+        eval_path(
+            &d,
+            &[NodeId::DOCUMENT],
+            &parse_path("//book").unwrap(),
+            &mut c,
+        );
         assert_eq!(c.doc_scans, 2);
         // A child step is not a scan.
         let before = c.doc_scans;
-        eval_path(&d, &[NodeId::DOCUMENT], &parse_path("/bib").unwrap(), &mut c);
+        eval_path(
+            &d,
+            &[NodeId::DOCUMENT],
+            &parse_path("/bib").unwrap(),
+            &mut c,
+        );
         assert_eq!(c.doc_scans, before);
     }
 

@@ -27,7 +27,11 @@ pub struct PathParseError {
 
 impl fmt::Display for PathParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "path parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "path parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -38,7 +42,10 @@ pub fn parse_path(input: &str) -> Result<Path, PathParseError> {
     let s = input.as_bytes();
     let mut pos = 0usize;
     let mut steps = Vec::new();
-    let err = |pos: usize, m: &str| PathParseError { offset: pos, message: m.into() };
+    let err = |pos: usize, m: &str| PathParseError {
+        offset: pos,
+        message: m.into(),
+    };
 
     if s.is_empty() {
         return Err(err(0, "empty path"));
@@ -73,7 +80,10 @@ pub fn parse_path(input: &str) -> Result<Path, PathParseError> {
         // Name test.
         if pos < s.len() && s[pos] == b'*' {
             pos += 1;
-            steps.push(Step { axis, test: NameTest::Any });
+            steps.push(Step {
+                axis,
+                test: NameTest::Any,
+            });
             continue;
         }
         let start = pos;
@@ -88,9 +98,12 @@ pub fn parse_path(input: &str) -> Result<Path, PathParseError> {
         if pos == start {
             return Err(err(pos, "expected a name or '*'"));
         }
-        let name = std::str::from_utf8(&s[start..pos])
-            .map_err(|_| err(start, "invalid UTF-8 in name"))?;
-        steps.push(Step { axis, test: NameTest::Name(name.to_string()) });
+        let name =
+            std::str::from_utf8(&s[start..pos]).map_err(|_| err(start, "invalid UTF-8 in name"))?;
+        steps.push(Step {
+            axis,
+            test: NameTest::Name(name.to_string()),
+        });
     }
     Ok(Path::new(steps))
 }
@@ -118,7 +131,13 @@ mod tests {
     #[test]
     fn wildcard() {
         let p = parse_path("//*").unwrap();
-        assert_eq!(p.steps, vec![Step { axis: Axis::Descendant, test: NameTest::Any }]);
+        assert_eq!(
+            p.steps,
+            vec![Step {
+                axis: Axis::Descendant,
+                test: NameTest::Any
+            }]
+        );
     }
 
     #[test]

@@ -16,13 +16,27 @@ pub use nal::CmpOp;
 #[derive(Clone, PartialEq, Debug)]
 pub enum QExpr {
     /// FLWR expression: clauses followed by `return`.
-    Flwr { clauses: Vec<Clause>, ret: Box<QExpr> },
+    Flwr {
+        clauses: Vec<Clause>,
+        ret: Box<QExpr>,
+    },
     /// `some $var in range satisfies pred`
-    Some_ { var: String, range: Box<QExpr>, satisfies: Box<QExpr> },
+    Some_ {
+        var: String,
+        range: Box<QExpr>,
+        satisfies: Box<QExpr>,
+    },
     /// `every $var in range satisfies pred`
-    Every { var: String, range: Box<QExpr>, satisfies: Box<QExpr> },
+    Every {
+        var: String,
+        range: Box<QExpr>,
+        satisfies: Box<QExpr>,
+    },
     /// A path expression anchored at `base` (a variable or `doc()` call).
-    Path { base: Box<QExpr>, steps: Vec<PathStep> },
+    Path {
+        base: Box<QExpr>,
+        steps: Vec<PathStep>,
+    },
     /// `doc("uri")` / `document("uri")`
     Doc(String),
     /// `$name`
@@ -92,7 +106,10 @@ pub enum Clause {
 impl QExpr {
     /// Convenience constructor for a variable-anchored path.
     pub fn var_path(var: &str, steps: Vec<PathStep>) -> QExpr {
-        QExpr::Path { base: Box::new(QExpr::Var(var.to_string())), steps }
+        QExpr::Path {
+            base: Box::new(QExpr::Var(var.to_string())),
+            steps,
+        }
     }
 
     /// `true` iff this is a FLWR expression.
@@ -119,7 +136,16 @@ impl QExpr {
                 }
                 ret.collect_vars(out);
             }
-            QExpr::Some_ { var, range, satisfies } | QExpr::Every { var, range, satisfies } => {
+            QExpr::Some_ {
+                var,
+                range,
+                satisfies,
+            }
+            | QExpr::Every {
+                var,
+                range,
+                satisfies,
+            } => {
                 out.push(var.clone());
                 range.collect_vars(out);
                 satisfies.collect_vars(out);
@@ -167,71 +193,83 @@ impl QExpr {
 
 impl fmt::Display for QExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                QExpr::Flwr { clauses, ret } => {
-                    for c in clauses {
-                        write!(f, "{c} ")?;
+        match self {
+            QExpr::Flwr { clauses, ret } => {
+                for c in clauses {
+                    write!(f, "{c} ")?;
+                }
+                write!(f, "return {ret}")
+            }
+            QExpr::Some_ {
+                var,
+                range,
+                satisfies,
+            } => {
+                write!(f, "some ${var} in {range} satisfies {satisfies}")
+            }
+            QExpr::Every {
+                var,
+                range,
+                satisfies,
+            } => {
+                write!(f, "every ${var} in {range} satisfies {satisfies}")
+            }
+            QExpr::Path { base, steps } => {
+                write!(f, "{base}")?;
+                for s in steps {
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            QExpr::Doc(uri) => write!(f, "doc(\"{uri}\")"),
+            QExpr::Var(v) => write!(f, "${v}"),
+            QExpr::Str(s) => write!(f, "\"{s}\""),
+            QExpr::Int(i) => write!(f, "{i}"),
+            QExpr::Dec(d) => write!(f, "{d}"),
+            QExpr::Bool(b) => write!(f, "{b}()"),
+            QExpr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
-                    write!(f, "return {ret}")
+                    write!(f, "{a}")?;
                 }
-                QExpr::Some_ { var, range, satisfies } => {
-                    write!(f, "some ${var} in {range} satisfies {satisfies}")
-                }
-                QExpr::Every { var, range, satisfies } => {
-                    write!(f, "every ${var} in {range} satisfies {satisfies}")
-                }
-                QExpr::Path { base, steps } => {
-                    write!(f, "{base}")?;
-                    for s in steps {
-                        write!(f, "{s}")?;
-                    }
-                    Ok(())
-                }
-                QExpr::Doc(uri) => write!(f, "doc(\"{uri}\")"),
-                QExpr::Var(v) => write!(f, "${v}"),
-                QExpr::Str(s) => write!(f, "\"{s}\""),
-                QExpr::Int(i) => write!(f, "{i}"),
-                QExpr::Dec(d) => write!(f, "{d}"),
-                QExpr::Bool(b) => write!(f, "{b}()"),
-                QExpr::Call(name, args) => {
-                    write!(f, "{name}(")?;
-                    for (i, a) in args.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{a}")?;
-                    }
-                    write!(f, ")")
-                }
-                QExpr::Cmp(op, l, r) => write!(f, "{l} {} {r}", cmp_kw(*op)),
-                QExpr::And(l, r) => write!(f, "({l} and {r})"),
-                QExpr::Or(l, r) => write!(f, "({l} or {r})"),
-                QExpr::Not(x) => write!(f, "not({x})"),
-                QExpr::Elem { name, attrs, content } => {
-                    write!(f, "<{name}")?;
-                    for (an, parts) in attrs {
-                        write!(f, " {an}=\"")?;
-                        for p in parts {
-                            write!(f, "{p}")?;
-                        }
-                        write!(f, "\"")?;
-                    }
-                    write!(f, ">")?;
-                    for p in content {
+                write!(f, ")")
+            }
+            QExpr::Cmp(op, l, r) => write!(f, "{l} {} {r}", cmp_kw(*op)),
+            QExpr::And(l, r) => write!(f, "({l} and {r})"),
+            QExpr::Or(l, r) => write!(f, "({l} or {r})"),
+            QExpr::Not(x) => write!(f, "not({x})"),
+            QExpr::Elem {
+                name,
+                attrs,
+                content,
+            } => {
+                write!(f, "<{name}")?;
+                for (an, parts) in attrs {
+                    write!(f, " {an}=\"")?;
+                    for p in parts {
                         write!(f, "{p}")?;
                     }
-                    write!(f, "</{name}>")
+                    write!(f, "\"")?;
                 }
-                QExpr::Seq(items) => {
-                    write!(f, "(")?;
-                    for (i, e) in items.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{e}")?;
+                write!(f, ">")?;
+                for p in content {
+                    write!(f, "{p}")?;
+                }
+                write!(f, "</{name}>")
+            }
+            QExpr::Seq(items) => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
-                    write!(f, ")")
+                    write!(f, "{e}")?;
                 }
+                write!(f, ")")
+            }
         }
     }
 }

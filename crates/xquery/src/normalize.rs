@@ -36,7 +36,11 @@ use crate::ast::{CPart, Clause, PathAxis, PathStep, QExpr};
 pub fn normalize(q: &QExpr, catalog: &Catalog) -> QExpr {
     let mut used = Vec::new();
     q.collect_vars(&mut used);
-    let mut n = Normalizer { catalog, used, bindings: HashMap::new() };
+    let mut n = Normalizer {
+        catalog,
+        used,
+        bindings: HashMap::new(),
+    };
     n.expr(q, Ctx::TopLevel)
 }
 
@@ -55,7 +59,10 @@ enum Ctx {
 #[derive(Clone, Debug)]
 enum Binding {
     /// Nodes selected by a document-rooted path.
-    Nodes { uri: String, trail: Vec<(PathAxis, String)> },
+    Nodes {
+        uri: String,
+        trail: Vec<(PathAxis, String)>,
+    },
     /// Atomized values (e.g. `distinct-values(…)`) — no child steps.
     Values,
     /// Anything else.
@@ -83,12 +90,16 @@ impl<'a> Normalizer<'a> {
     fn expr(&mut self, q: &QExpr, ctx: Ctx) -> QExpr {
         match q {
             QExpr::Flwr { clauses, ret } => self.flwr(clauses, ret, ctx),
-            QExpr::Some_ { var, range, satisfies } => {
-                self.quantifier(var, range, satisfies, false)
-            }
-            QExpr::Every { var, range, satisfies } => {
-                self.quantifier(var, range, satisfies, true)
-            }
+            QExpr::Some_ {
+                var,
+                range,
+                satisfies,
+            } => self.quantifier(var, range, satisfies, false),
+            QExpr::Every {
+                var,
+                range,
+                satisfies,
+            } => self.quantifier(var, range, satisfies, true),
             QExpr::Cmp(op, l, r) => QExpr::Cmp(
                 *op,
                 Box::new(self.expr(l, ctx)),
@@ -97,9 +108,7 @@ impl<'a> Normalizer<'a> {
             QExpr::And(l, r) => {
                 QExpr::And(Box::new(self.expr(l, ctx)), Box::new(self.expr(r, ctx)))
             }
-            QExpr::Or(l, r) => {
-                QExpr::Or(Box::new(self.expr(l, ctx)), Box::new(self.expr(r, ctx)))
-            }
+            QExpr::Or(l, r) => QExpr::Or(Box::new(self.expr(l, ctx)), Box::new(self.expr(r, ctx))),
             QExpr::Not(x) => QExpr::Not(Box::new(self.expr(x, ctx))),
             QExpr::Call(name, args) => QExpr::Call(
                 name.clone(),
@@ -124,13 +133,8 @@ impl<'a> Normalizer<'a> {
                     for (var, value) in bs {
                         let value = match value {
                             f @ QExpr::Flwr { .. } => self.expr(f, Ctx::Nested),
-                            QExpr::Call(name, args)
-                                if is_aggregate(name) && args.len() == 1 =>
-                            {
-                                QExpr::Call(
-                                    name.clone(),
-                                    vec![self.aggregate_arg(&args[0])],
-                                )
+                            QExpr::Call(name, args) if is_aggregate(name) && args.len() == 1 => {
+                                QExpr::Call(name.clone(), vec![self.aggregate_arg(&args[0])])
                             }
                             other => self.expr(other, ctx),
                         };
@@ -145,7 +149,10 @@ impl<'a> Normalizer<'a> {
             }
         }
         let ret = self.return_clause(ret, &mut out, ctx);
-        QExpr::Flwr { clauses: out, ret: Box::new(ret) }
+        QExpr::Flwr {
+            clauses: out,
+            ret: Box::new(ret),
+        }
     }
 
     /// Step 4: strip path predicates from `for` ranges into `where`
@@ -160,7 +167,10 @@ impl<'a> Normalizer<'a> {
                     .expect("checked above");
                 let prefix: Vec<PathStep> = steps[..=k]
                     .iter()
-                    .map(|s| PathStep { predicates: vec![], ..s.clone() })
+                    .map(|s| PathStep {
+                        predicates: vec![],
+                        ..s.clone()
+                    })
                     .collect();
                 let rest: Vec<PathStep> = steps[k + 1..].to_vec();
                 // Bind the predicate-carrying node set.
@@ -169,7 +179,10 @@ impl<'a> Normalizer<'a> {
                 } else {
                     self.fresh(&format!("{var}n"))
                 };
-                let prefix_range = QExpr::Path { base: base.clone(), steps: prefix };
+                let prefix_range = QExpr::Path {
+                    base: base.clone(),
+                    steps: prefix,
+                };
                 self.for_binding(&node_var, &prefix_range, out, ctx);
                 // Each predicate becomes a where conjunct, re-anchored at
                 // the node variable.
@@ -218,7 +231,10 @@ impl<'a> Normalizer<'a> {
                 let arg = self.aggregate_arg(&args[0]);
                 let c = self.fresh("c");
                 self.bindings.insert(c.clone(), Binding::Opaque);
-                out.push(Clause::Let(vec![(c.clone(), QExpr::Call(name.clone(), vec![arg]))]));
+                out.push(Clause::Let(vec![(
+                    c.clone(),
+                    QExpr::Call(name.clone(), vec![arg]),
+                )]));
                 QExpr::Var(c)
             }
             // $b2/author  →  let/for $f := …
@@ -269,8 +285,13 @@ impl<'a> Normalizer<'a> {
                         };
                         let uri = uri.clone();
                         let d = self.fresh("d");
-                        self.bindings
-                            .insert(d.clone(), Binding::Nodes { uri: uri.clone(), trail: vec![] });
+                        self.bindings.insert(
+                            d.clone(),
+                            Binding::Nodes {
+                                uri: uri.clone(),
+                                trail: vec![],
+                            },
+                        );
                         clauses.push(Clause::Let(vec![(d.clone(), QExpr::Doc(uri))]));
                         Box::new(QExpr::Var(d))
                     }
@@ -279,9 +300,15 @@ impl<'a> Normalizer<'a> {
                 let f = self.fresh("v");
                 clauses.push(Clause::For(vec![(
                     f.clone(),
-                    QExpr::Path { base, steps: steps.clone() },
+                    QExpr::Path {
+                        base,
+                        steps: steps.clone(),
+                    },
                 )]));
-                let flwr = QExpr::Flwr { clauses, ret: Box::new(QExpr::Var(f)) };
+                let flwr = QExpr::Flwr {
+                    clauses,
+                    ret: Box::new(QExpr::Var(f)),
+                };
                 self.expr(&flwr, Ctx::Nested)
             }
             other => self.expr(other, Ctx::Nested),
@@ -292,13 +319,21 @@ impl<'a> Normalizer<'a> {
     /// expressions become `let`s; inner FLWRs must return a variable.
     fn return_clause(&mut self, ret: &QExpr, out: &mut Vec<Clause>, ctx: Ctx) -> QExpr {
         match ret {
-            QExpr::Elem { name, attrs, content } => {
+            QExpr::Elem {
+                name,
+                attrs,
+                content,
+            } => {
                 let attrs = attrs
                     .iter()
                     .map(|(n, parts)| (n.clone(), self.cparts(parts, out)))
                     .collect();
                 let content = self.cparts(content, out);
-                QExpr::Elem { name: name.clone(), attrs, content }
+                QExpr::Elem {
+                    name: name.clone(),
+                    attrs,
+                    content,
+                }
             }
             QExpr::Var(_) => ret.clone(),
             // A non-variable return of a nested FLWR: bind it first, so
@@ -327,11 +362,21 @@ impl<'a> Normalizer<'a> {
                 CPart::Embed(QExpr::Var(v)) => CPart::Embed(QExpr::Var(v.clone())),
                 // Nested constructors stay inline (they become Ξ command
                 // strings); only their embedded expressions are hoisted.
-                CPart::Embed(QExpr::Elem { name, attrs, content }) => {
-                    let attrs =
-                        attrs.iter().map(|(n, ps)| (n.clone(), self.cparts(ps, out))).collect();
+                CPart::Embed(QExpr::Elem {
+                    name,
+                    attrs,
+                    content,
+                }) => {
+                    let attrs = attrs
+                        .iter()
+                        .map(|(n, ps)| (n.clone(), self.cparts(ps, out)))
+                        .collect();
                     let content = self.cparts(content, out);
-                    CPart::Embed(QExpr::Elem { name: name.clone(), attrs, content })
+                    CPart::Embed(QExpr::Elem {
+                        name: name.clone(),
+                        attrs,
+                        content,
+                    })
                 }
                 CPart::Embed(e) => {
                     // Hoist: let $t := (normalized e).
@@ -428,7 +473,10 @@ impl<'a> Normalizer<'a> {
         // scope for translation order; appending also works since our
         // translator is order-driven — keep it simple and append.
         clauses.push(Clause::Let(vec![(y.clone(), path)]));
-        let new_flwr = QExpr::Flwr { clauses, ret: Box::new(QExpr::Var(y)) };
+        let new_flwr = QExpr::Flwr {
+            clauses,
+            ret: Box::new(QExpr::Var(y)),
+        };
         let new_satisfies = replace_var_path(satisfies, var, steps, &QExpr::Var(var.to_string()));
         (new_flwr, new_satisfies)
     }
@@ -437,13 +485,19 @@ impl<'a> Normalizer<'a> {
 
     fn record_binding(&mut self, var: &str, value: &QExpr) {
         let b = match value {
-            QExpr::Doc(uri) => Binding::Nodes { uri: uri.clone(), trail: vec![] },
+            QExpr::Doc(uri) => Binding::Nodes {
+                uri: uri.clone(),
+                trail: vec![],
+            },
             QExpr::Call(name, args) if name == "distinct-values" && args.len() == 1 => {
                 Binding::Values
             }
             QExpr::Path { base, steps } => {
                 let base_binding = match base.as_ref() {
-                    QExpr::Doc(uri) => Some(Binding::Nodes { uri: uri.clone(), trail: vec![] }),
+                    QExpr::Doc(uri) => Some(Binding::Nodes {
+                        uri: uri.clone(),
+                        trail: vec![],
+                    }),
                     QExpr::Var(v) => self.bindings.get(v).cloned(),
                     _ => None,
                 };
@@ -519,12 +573,7 @@ fn reanchor(pred: &QExpr, var: &str) -> QExpr {
 
 /// Collect the step-lists of paths anchored at `var` inside `e`; set
 /// `direct` when `var` is used bare.
-fn collect_var_paths(
-    e: &QExpr,
-    var: &str,
-    paths: &mut Vec<Vec<PathStep>>,
-    direct: &mut bool,
-) {
+fn collect_var_paths(e: &QExpr, var: &str, paths: &mut Vec<Vec<PathStep>>, direct: &mut bool) {
     match e {
         QExpr::Var(v) if v == var => *direct = true,
         QExpr::Path { base, steps } => {
@@ -572,7 +621,9 @@ fn replace_var_path(e: &QExpr, var: &str, steps: &[PathStep], replacement: &QExp
         QExpr::Not(x) => QExpr::Not(Box::new(replace_var_path(x, var, steps, replacement))),
         QExpr::Call(n, args) => QExpr::Call(
             n.clone(),
-            args.iter().map(|a| replace_var_path(a, var, steps, replacement)).collect(),
+            args.iter()
+                .map(|a| replace_var_path(a, var, steps, replacement))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -585,7 +636,7 @@ fn derive_name(_var: &str, steps: &[PathStep]) -> String {
         .last()
         .map(|s| {
             let mut n: String = s.test.chars().take(1).collect();
-            n.push_str("v");
+            n.push('v');
             n
         })
         .unwrap_or_else(|| "v".to_string())
@@ -632,7 +683,10 @@ mod tests {
         assert!(printed.contains("{ $t }"), "{printed}");
         // Nested constructors stay inline; the inner return is a variable.
         assert!(printed.contains("<name>{ $a1 }</name>"), "{printed}");
-        assert!(printed.contains("let $r := $b2/title return $r"), "{printed}");
+        assert!(
+            printed.contains("let $r := $b2/title return $r"),
+            "{printed}"
+        );
     }
 
     #[test]
@@ -663,10 +717,16 @@ mod tests {
         // The range iterates books, extracts authors with `for` (multi),
         // binds the year with `let` (singleton), and returns the years;
         // satisfies now references the quantified variable directly.
-        assert!(printed.contains("every $b2 in for $q in doc(\"bib.xml\")//book"), "{printed}");
+        assert!(
+            printed.contains("every $b2 in for $q in doc(\"bib.xml\")//book"),
+            "{printed}"
+        );
         assert!(printed.contains("for $av in $q/author"), "{printed}");
         assert!(printed.contains("where $av = $a1"), "{printed}");
-        assert!(printed.contains("let $yv := $q/@year return $yv"), "{printed}");
+        assert!(
+            printed.contains("let $yv := $q/@year return $yv"),
+            "{printed}"
+        );
         assert!(printed.contains("satisfies $b2 > 1993"), "{printed}");
     }
 

@@ -18,7 +18,11 @@ pub struct QParseError {
 
 impl fmt::Display for QParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XQuery parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XQuery parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -26,7 +30,10 @@ impl std::error::Error for QParseError {}
 
 /// Parse a complete query; trailing input is an error.
 pub fn parse_query(input: &str) -> Result<QExpr, QParseError> {
-    let mut p = Parser { s: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        s: input.as_bytes(),
+        pos: 0,
+    };
     p.ws();
     let e = p.expr()?;
     p.ws();
@@ -43,7 +50,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, QParseError> {
-        Err(QParseError { offset: self.pos, message: msg.into() })
+        Err(QParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
     }
 
     fn eof(&self) -> bool {
@@ -97,7 +107,9 @@ impl<'a> Parser<'a> {
         }
         let after = self.pos + kw.len();
         let boundary = after >= self.s.len()
-            || !(self.s[after].is_ascii_alphanumeric() || self.s[after] == b'_' || self.s[after] == b'-');
+            || !(self.s[after].is_ascii_alphanumeric()
+                || self.s[after] == b'_'
+                || self.s[after] == b'-');
         if boundary {
             self.pos = after;
             self.ws();
@@ -172,8 +184,14 @@ impl<'a> Parser<'a> {
 
     /// expr := flwr | quantified | or-expr
     fn expr(&mut self) -> Result<QExpr, QParseError> {
-        if self.starts("for ") || self.starts("for\n") || self.starts("let ") || self.starts("let\n")
-            || self.starts("for\t") || self.starts("let\t") || self.starts("for $") || self.starts("let $")
+        if self.starts("for ")
+            || self.starts("for\n")
+            || self.starts("let ")
+            || self.starts("let\n")
+            || self.starts("for\t")
+            || self.starts("let\t")
+            || self.starts("for $")
+            || self.starts("let $")
         {
             return self.flwr();
         }
@@ -200,7 +218,10 @@ impl<'a> Parser<'a> {
                 if clauses.is_empty() {
                     return self.err("FLWR expression without clauses");
                 }
-                return Ok(QExpr::Flwr { clauses, ret: Box::new(ret) });
+                return Ok(QExpr::Flwr {
+                    clauses,
+                    ret: Box::new(ret),
+                });
             } else {
                 return self.err("expected for/let/where/return");
             }
@@ -239,9 +260,17 @@ impl<'a> Parser<'a> {
         }
         let satisfies = self.expr()?;
         Ok(if universal {
-            QExpr::Every { var, range: Box::new(range), satisfies: Box::new(satisfies) }
+            QExpr::Every {
+                var,
+                range: Box::new(range),
+                satisfies: Box::new(satisfies),
+            }
         } else {
-            QExpr::Some_ { var, range: Box::new(range), satisfies: Box::new(satisfies) }
+            QExpr::Some_ {
+                var,
+                range: Box::new(range),
+                satisfies: Box::new(satisfies),
+            }
         })
     }
 
@@ -362,7 +391,10 @@ impl<'a> Parser<'a> {
         if steps.is_empty() {
             Ok(base)
         } else {
-            Ok(QExpr::Path { base: Box::new(base), steps })
+            Ok(QExpr::Path {
+                base: Box::new(base),
+                steps,
+            })
         }
     }
 
@@ -403,7 +435,11 @@ impl<'a> Parser<'a> {
                 self.expect_raw(b']')?;
                 self.ws_inline();
             }
-            steps.push(PathStep { axis, test, predicates });
+            steps.push(PathStep {
+                axis,
+                test,
+                predicates,
+            });
         }
         self.ws();
         Ok(steps)
@@ -411,7 +447,11 @@ impl<'a> Parser<'a> {
 
     /// Whitespace that may precede a predicate but not a new token.
     fn ws_inline(&mut self) {
-        while !self.eof() && (self.peek() == b' ' || self.peek() == b'\n' || self.peek() == b'\t' || self.peek() == b'\r')
+        if !self.eof()
+            && (self.peek() == b' '
+                || self.peek() == b'\n'
+                || self.peek() == b'\t'
+                || self.peek() == b'\r')
         {
             // Only skip if a `[` follows eventually on this run; cheap
             // approach: peek the next non-ws byte without consuming.
@@ -422,7 +462,6 @@ impl<'a> Parser<'a> {
             if k < self.s.len() && self.s[k] == b'[' {
                 self.pos = k;
             }
-            break;
         }
     }
 
@@ -494,7 +533,11 @@ impl<'a> Parser<'a> {
                     // a magic `.` base the normalizer re-anchors.
                     Ok(QExpr::Path {
                         base: Box::new(QExpr::Var(".".to_string())),
-                        steps: vec![PathStep { axis: PathAxis::Child, test: name, predicates: vec![] }],
+                        steps: vec![PathStep {
+                            axis: PathAxis::Child,
+                            test: name,
+                            predicates: vec![],
+                        }],
                     })
                 }
             }
@@ -527,17 +570,25 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.s[start..self.pos])
-            .map_err(|_| QParseError { offset: start, message: "bad number".into() })?;
+        let text = std::str::from_utf8(&self.s[start..self.pos]).map_err(|_| QParseError {
+            offset: start,
+            message: "bad number".into(),
+        })?;
         self.ws();
         if is_dec {
             text.parse::<f64>()
                 .map(QExpr::Dec)
-                .map_err(|_| QParseError { offset: start, message: "bad decimal".into() })
+                .map_err(|_| QParseError {
+                    offset: start,
+                    message: "bad decimal".into(),
+                })
         } else {
             text.parse::<i64>()
                 .map(QExpr::Int)
-                .map_err(|_| QParseError { offset: start, message: "bad integer".into() })
+                .map_err(|_| QParseError {
+                    offset: start,
+                    message: "bad integer".into(),
+                })
         }
     }
 
@@ -552,7 +603,11 @@ impl<'a> Parser<'a> {
             if self.starts("/>") {
                 self.pos += 2;
                 self.ws();
-                return Ok(QExpr::Elem { name, attrs, content: vec![] });
+                return Ok(QExpr::Elem {
+                    name,
+                    attrs,
+                    content: vec![],
+                });
             }
             if self.peek() == b'>' {
                 self.pos += 1;
@@ -582,7 +637,11 @@ impl<'a> Parser<'a> {
                 self.ws();
                 self.expect_raw(b'>')?;
                 self.ws();
-                return Ok(QExpr::Elem { name, attrs, content });
+                return Ok(QExpr::Elem {
+                    name,
+                    attrs,
+                    content,
+                });
             }
             if self.peek() == b'{' {
                 flush_text(&mut text, &mut content);
@@ -696,9 +755,13 @@ mod tests {
                    }
                  </author>"#,
         );
-        let QExpr::Flwr { clauses, ret } = q else { panic!() };
+        let QExpr::Flwr { clauses, ret } = q else {
+            panic!()
+        };
         assert_eq!(clauses.len(), 2);
-        let QExpr::Elem { name, content, .. } = *ret else { panic!() };
+        let QExpr::Elem { name, content, .. } = *ret else {
+            panic!()
+        };
         assert_eq!(name, "author");
         assert_eq!(content.len(), 2); // <name> and the embedded FLWR
         let CPart::Embed(QExpr::Flwr { clauses: inner, .. }) = &content[1] else {
@@ -706,7 +769,9 @@ mod tests {
         };
         // The for range carries a predicate.
         let Clause::For(bs) = &inner[1] else { panic!() };
-        let QExpr::Path { steps, .. } = &bs[0].1 else { panic!() };
+        let QExpr::Path { steps, .. } = &bs[0].1 else {
+            panic!()
+        };
         assert_eq!(steps[0].predicates.len(), 1);
     }
 
@@ -718,8 +783,15 @@ mod tests {
                where some $t2 in doc("reviews.xml")//entry/title satisfies $t1 = $t2
                return <book-with-review> { $t1 } </book-with-review>"#,
         );
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
-        let Clause::Where(QExpr::Some_ { var, range, satisfies }) = &clauses[2] else {
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
+        let Clause::Where(QExpr::Some_ {
+            var,
+            range,
+            satisfies,
+        }) = &clauses[2]
+        else {
             panic!("{:?}", clauses[2])
         };
         assert_eq!(var, "t2");
@@ -735,18 +807,31 @@ mod tests {
                      satisfies $b2/@year > 1993
                return <new-author> { $a1 } </new-author>"#,
         );
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
-        let Clause::Where(QExpr::Every { satisfies, range, .. }) = &clauses[1] else {
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
+        let Clause::Where(QExpr::Every {
+            satisfies, range, ..
+        }) = &clauses[1]
+        else {
             panic!()
         };
         // @year path on the left of the comparison.
-        let QExpr::Cmp(CmpOp::Gt, l, _) = satisfies.as_ref() else { panic!() };
-        let QExpr::Path { steps, .. } = l.as_ref() else { panic!() };
+        let QExpr::Cmp(CmpOp::Gt, l, _) = satisfies.as_ref() else {
+            panic!()
+        };
+        let QExpr::Path { steps, .. } = l.as_ref() else {
+            panic!()
+        };
         assert_eq!(steps[0].axis, PathAxis::Attribute);
         assert_eq!(steps[0].test, "year");
         // Range predicate: bare `author` parses as a context path.
-        let QExpr::Path { steps: rsteps, .. } = range.as_ref() else { panic!() };
-        let QExpr::Cmp(_, pl, _) = &rsteps[0].predicates[0] else { panic!() };
+        let QExpr::Path { steps: rsteps, .. } = range.as_ref() else {
+            panic!()
+        };
+        let QExpr::Cmp(_, pl, _) = &rsteps[0].predicates[0] else {
+            panic!()
+        };
         assert!(matches!(pl.as_ref(), QExpr::Path { .. }));
     }
 
@@ -758,8 +843,12 @@ mod tests {
                where count($d1//bidtuple[itemno = $i1]) >= 3
                return <popular-item> { $i1 } </popular-item>"#,
         );
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
-        let Clause::Where(QExpr::Cmp(CmpOp::Ge, l, r)) = &clauses[2] else { panic!() };
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
+        let Clause::Where(QExpr::Cmp(CmpOp::Ge, l, r)) = &clauses[2] else {
+            panic!()
+        };
         assert!(matches!(l.as_ref(), QExpr::Call(n, _) if n == "count"));
         assert_eq!(**r, QExpr::Int(3));
     }
@@ -768,19 +857,30 @@ mod tests {
     fn comparison_vs_constructor_disambiguation() {
         // `$a < $b` is a comparison; `<a>…</a>` a constructor.
         let q = parse("let $x := 1 where $x < 2 return <a>{ $x }</a>");
-        let QExpr::Flwr { clauses, ret } = q else { panic!() };
-        assert!(matches!(&clauses[1], Clause::Where(QExpr::Cmp(CmpOp::Lt, _, _))));
+        let QExpr::Flwr { clauses, ret } = q else {
+            panic!()
+        };
+        assert!(matches!(
+            &clauses[1],
+            Clause::Where(QExpr::Cmp(CmpOp::Lt, _, _))
+        ));
         assert!(matches!(*ret, QExpr::Elem { .. }));
     }
 
     #[test]
     fn attribute_constructors_with_embeds() {
-        let q = parse(r#"let $t := 1 return <minprice title="{ $t }"><price>{ $t }</price></minprice>"#);
+        let q = parse(
+            r#"let $t := 1 return <minprice title="{ $t }"><price>{ $t }</price></minprice>"#,
+        );
         let QExpr::Flwr { ret, .. } = q else { panic!() };
-        let QExpr::Elem { attrs, content, .. } = *ret else { panic!() };
+        let QExpr::Elem { attrs, content, .. } = *ret else {
+            panic!()
+        };
         assert_eq!(attrs.len(), 1);
         assert!(matches!(&attrs[0].1[0], CPart::Embed(_)));
-        let CPart::Embed(QExpr::Elem { name, .. }) = &content[0] else { panic!() };
+        let CPart::Embed(QExpr::Elem { name, .. }) = &content[0] else {
+            panic!()
+        };
         assert_eq!(name, "price");
     }
 
@@ -791,8 +891,12 @@ mod tests {
                where contains($a2, "Suciu") and not(empty($a2)) or false()
                return <x/>"#,
         );
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
-        let Clause::Where(QExpr::Or(l, r)) = &clauses[1] else { panic!() };
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
+        let Clause::Where(QExpr::Or(l, r)) = &clauses[1] else {
+            panic!()
+        };
         assert!(matches!(l.as_ref(), QExpr::And(_, _)));
         assert_eq!(**r, QExpr::Bool(false));
     }
@@ -805,7 +909,13 @@ mod tests {
 
     #[test]
     fn errors_report_offsets() {
-        for bad in ["let $x 1 return $x", "for $x in", "<a>{", "let $x := (1", "some $x satisfies 1"] {
+        for bad in [
+            "let $x 1 return $x",
+            "for $x in",
+            "<a>{",
+            "let $x := (1",
+            "some $x satisfies 1",
+        ] {
             let e = parse_query(bad).unwrap_err();
             assert!(e.offset <= bad.len(), "{e}");
         }
@@ -814,8 +924,12 @@ mod tests {
     #[test]
     fn multi_bindings_in_one_clause() {
         let q = parse(r#"for $b1 in doc("b.xml")//book, $a1 in $b1/author return $a1"#);
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
-        let Clause::For(bs) = &clauses[0] else { panic!() };
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
+        let Clause::For(bs) = &clauses[0] else {
+            panic!()
+        };
         assert_eq!(bs.len(), 2);
         assert_eq!(bs[1].0, "a1");
     }
@@ -828,13 +942,21 @@ mod arith_tests {
     #[test]
     fn parses_arithmetic_with_precedence() {
         let q = parse_query("let $x := 1 + 2 * 3 return $x").unwrap();
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
-        let Clause::Let(bs) = &clauses[0] else { panic!() };
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
+        let Clause::Let(bs) = &clauses[0] else {
+            panic!()
+        };
         // 1 + (2 * 3)
-        let QExpr::Call(add, args) = &bs[0].1 else { panic!("{:?}", bs[0].1) };
+        let QExpr::Call(add, args) = &bs[0].1 else {
+            panic!("{:?}", bs[0].1)
+        };
         assert_eq!(add, "op:+");
         assert_eq!(args[0], QExpr::Int(1));
-        let QExpr::Call(mul, margs) = &args[1] else { panic!() };
+        let QExpr::Call(mul, margs) = &args[1] else {
+            panic!()
+        };
         assert_eq!(mul, "op:*");
         assert_eq!(margs[0], QExpr::Int(2));
         assert_eq!(margs[1], QExpr::Int(3));
@@ -843,12 +965,20 @@ mod arith_tests {
     #[test]
     fn div_and_mod_keywords() {
         let q = parse_query("let $x := 10 div 2 mod 3 return $x").unwrap();
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
-        let Clause::Let(bs) = &clauses[0] else { panic!() };
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
+        let Clause::Let(bs) = &clauses[0] else {
+            panic!()
+        };
         // left-associative: (10 div 2) mod 3
-        let QExpr::Call(m, args) = &bs[0].1 else { panic!() };
+        let QExpr::Call(m, args) = &bs[0].1 else {
+            panic!()
+        };
         assert_eq!(m, "op:mod");
-        let QExpr::Call(d, _) = &args[0] else { panic!() };
+        let QExpr::Call(d, _) = &args[0] else {
+            panic!()
+        };
         assert_eq!(d, "op:div");
     }
 
@@ -859,7 +989,9 @@ mod arith_tests {
             r#"for $b in doc("bib.xml")//book where $b/price * 2 > 100 return $b/title"#,
         )
         .unwrap();
-        let QExpr::Flwr { clauses, .. } = q else { panic!() };
+        let QExpr::Flwr { clauses, .. } = q else {
+            panic!()
+        };
         let Clause::Where(QExpr::Cmp(CmpOp::Gt, l, r)) = &clauses[1] else {
             panic!("{:?}", clauses[1])
         };

@@ -47,7 +47,11 @@ type TResult<T> = Result<T, TranslateError>;
 
 /// Translate a normalized query into a NAL expression.
 pub fn translate(q: &QExpr, catalog: &Catalog) -> TResult<Expr> {
-    let mut t = Translator { catalog, vars: HashMap::new(), origins: HashMap::new() };
+    let mut t = Translator {
+        catalog,
+        vars: HashMap::new(),
+        origins: HashMap::new(),
+    };
     match q {
         QExpr::Flwr { clauses, ret } => t.flwr_top(clauses, ret),
         other => Err(TranslateError::new(format!(
@@ -82,7 +86,8 @@ struct Translator<'a> {
 impl<'a> Translator<'a> {
     fn bind(&mut self, var: &str, card: Card, lifted: Option<Sym>) -> Sym {
         let attr = Sym::new(var);
-        self.vars.insert(var.to_string(), VarInfo { attr, card, lifted });
+        self.vars
+            .insert(var.to_string(), VarInfo { attr, card, lifted });
         attr
     }
 
@@ -128,7 +133,10 @@ impl<'a> Translator<'a> {
     fn flwr_top(&mut self, clauses: &[Clause], ret: &QExpr) -> TResult<Expr> {
         let acc = self.clauses(clauses, singleton())?;
         let cmds = self.construct(ret)?;
-        Ok(Expr::XiSimple { input: Box::new(acc), cmds })
+        Ok(Expr::XiSimple {
+            input: Box::new(acc),
+            cmds,
+        })
     }
 
     fn clauses(&mut self, clauses: &[Clause], mut acc: Expr) -> TResult<Expr> {
@@ -139,7 +147,11 @@ impl<'a> Translator<'a> {
                         let (scalar, _) = self.scalar(range)?;
                         let attr = self.bind(var, Card::One, None);
                         self.record_origin(var, range);
-                        acc = Expr::UnnestMap { input: Box::new(acc), attr, value: scalar };
+                        acc = Expr::UnnestMap {
+                            input: Box::new(acc),
+                            attr,
+                            value: scalar,
+                        };
                     }
                 }
                 Clause::Let(bs) => {
@@ -149,7 +161,10 @@ impl<'a> Translator<'a> {
                 }
                 Clause::Where(p) => {
                     let pred = self.pred(p)?;
-                    acc = Expr::Select { input: Box::new(acc), pred };
+                    acc = Expr::Select {
+                        input: Box::new(acc),
+                        pred,
+                    };
                 }
             }
         }
@@ -173,7 +188,9 @@ impl<'a> Translator<'a> {
             QExpr::Call(name, args)
                 if args.len() == 1 && args[0].is_flwr() && aggregate_kind(name).is_some() =>
             {
-                let QExpr::Flwr { clauses, ret } = &args[0] else { unreachable!() };
+                let QExpr::Flwr { clauses, ret } = &args[0] else {
+                    unreachable!()
+                };
                 let (inner, ret_attr) = self.nested_flwr(clauses, ret)?;
                 let kind = aggregate_kind(name).expect("checked");
                 let f = if kind == AggKind::Count {
@@ -181,7 +198,13 @@ impl<'a> Translator<'a> {
                 } else {
                     GroupFn::agg_of(kind, ret_attr)
                 };
-                (Scalar::Agg { f, input: Box::new(inner) }, Card::One)
+                (
+                    Scalar::Agg {
+                        f,
+                        input: Box::new(inner),
+                    },
+                    Card::One,
+                )
             }
             // let $a2 := $b2/author — cardinality decides e[a']-lifting.
             QExpr::Path { .. } => {
@@ -202,7 +225,11 @@ impl<'a> Translator<'a> {
         };
         let attr = self.bind(var, card, None);
         self.record_origin(var, value);
-        Ok(Expr::Map { input: Box::new(acc), attr, value: scalar })
+        Ok(Expr::Map {
+            input: Box::new(acc),
+            attr,
+            value: scalar,
+        })
     }
 
     /// A nested query block: translate clauses over `□` and project to the
@@ -255,12 +282,16 @@ impl<'a> Translator<'a> {
                 }
                 Ok(Scalar::cmp(*op, ls, rs))
             }
-            QExpr::Some_ { var, range, satisfies } => {
-                self.quantifier(var, range, satisfies, false)
-            }
-            QExpr::Every { var, range, satisfies } => {
-                self.quantifier(var, range, satisfies, true)
-            }
+            QExpr::Some_ {
+                var,
+                range,
+                satisfies,
+            } => self.quantifier(var, range, satisfies, false),
+            QExpr::Every {
+                var,
+                range,
+                satisfies,
+            } => self.quantifier(var, range, satisfies, true),
             // exists(FLWR) / empty(FLWR) — §5.4's alternative phrasing of
             // existential quantification.
             QExpr::Call(name, args)
@@ -268,7 +299,9 @@ impl<'a> Translator<'a> {
                     && args.len() == 1
                     && args[0].is_flwr() =>
             {
-                let QExpr::Flwr { clauses, ret } = &args[0] else { unreachable!() };
+                let QExpr::Flwr { clauses, ret } = &args[0] else {
+                    unreachable!()
+                };
                 let (inner, ret_attr) = self.nested_flwr(clauses, ret)?;
                 let range = Expr::Project {
                     input: Box::new(inner),
@@ -280,7 +313,11 @@ impl<'a> Translator<'a> {
                     range: Box::new(range),
                     pred: Box::new(Scalar::Const(Value::Bool(true))),
                 };
-                Ok(if name == "empty" { exists.not() } else { exists })
+                Ok(if name == "empty" {
+                    exists.not()
+                } else {
+                    exists
+                })
             }
             other => {
                 let (s, _) = self.scalar(other)?;
@@ -312,9 +349,17 @@ impl<'a> Translator<'a> {
         })?;
         let var = Sym::new(var);
         Ok(if universal {
-            Scalar::Forall { var, range: Box::new(range_expr), pred: Box::new(pred) }
+            Scalar::Forall {
+                var,
+                range: Box::new(range_expr),
+                pred: Box::new(pred),
+            }
         } else {
-            Scalar::Exists { var, range: Box::new(range_expr), pred: Box::new(pred) }
+            Scalar::Exists {
+                var,
+                range: Box::new(range_expr),
+                pred: Box::new(pred),
+            }
         })
     }
 
@@ -352,18 +397,15 @@ impl<'a> Translator<'a> {
                     "*" => nal::ArithOp::Mul,
                     "div" => nal::ArithOp::Div,
                     "mod" => nal::ArithOp::Mod,
-                    other => {
-                        return Err(TranslateError::new(format!("unknown operator {other}")))
-                    }
+                    other => return Err(TranslateError::new(format!("unknown operator {other}"))),
                 };
                 let (l, _) = self.scalar(&args[0])?;
                 let (r, _) = self.scalar(&args[1])?;
                 Ok((Scalar::Arith(op, Box::new(l), Box::new(r)), Card::One))
             }
             QExpr::Call(name, args) => {
-                let func = Func::by_name(name).ok_or_else(|| {
-                    TranslateError::new(format!("unknown function {name}()"))
-                })?;
+                let func = Func::by_name(name)
+                    .ok_or_else(|| TranslateError::new(format!("unknown function {name}()")))?;
                 let mut scalars = Vec::with_capacity(args.len());
                 for a in args {
                     scalars.push(self.scalar(a)?.0);
@@ -381,7 +423,9 @@ impl<'a> Translator<'a> {
                 ))
             }
             QExpr::Seq(items) if items.len() == 1 => self.scalar(&items[0]),
-            other => Err(TranslateError::new(format!("cannot translate value: {other}"))),
+            other => Err(TranslateError::new(format!(
+                "cannot translate value: {other}"
+            ))),
         }
     }
 
@@ -435,7 +479,11 @@ impl<'a> Translator<'a> {
 
     fn construct_into(&mut self, e: &QExpr, out: &mut Vec<XiCmd>) -> TResult<()> {
         match e {
-            QExpr::Elem { name, attrs, content } => {
+            QExpr::Elem {
+                name,
+                attrs,
+                content,
+            } => {
                 let mut open = format!("<{name}");
                 for (an, parts) in attrs {
                     open.push_str(&format!(" {an}=\""));

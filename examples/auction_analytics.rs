@@ -35,7 +35,10 @@ fn run_workload(w: &ordered_unnesting::workloads::Workload, catalog: &xmldb::Cat
 }
 
 fn main() {
-    let bids: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let bids: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1000);
     // items = bids / 5 (the paper's ratio), ~5 bids per item on average.
     let catalog = standard_catalog(bids, 3, 0xa0c1);
 

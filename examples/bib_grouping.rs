@@ -28,7 +28,10 @@ fn main() {
     let plans = unnest::enumerate_plans(&nested, &catalog);
 
     let mut reference: Option<String> = None;
-    println!("{:<12} {:>12} {:>10} {:>12}", "plan", "time", "doc scans", "out bytes");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12}",
+        "plan", "time", "doc scans", "out bytes"
+    );
     for plan in &plans {
         let r = engine::run(&plan.expr, &catalog).expect("plan runs");
         match &reference {

@@ -58,7 +58,10 @@ fn main() {
             let bad_run = engine::run(&bad, &catalog).expect("unsound plan still executes");
             let bad_authors = bad_run.output.matches("<author>").count();
             println!("unsound grouping plan returns {bad_authors} authors");
-            assert!(bad_authors < authors_total, "the pitfall should drop authors");
+            assert!(
+                bad_authors < authors_total,
+                "the pitfall should drop authors"
+            );
             println!(
                 "→ {} authors silently dropped (those who never wrote a book).",
                 authors_total - bad_authors
@@ -73,17 +76,18 @@ fn main() {
 /// precondition.
 fn force_eqv5(pruned: &nal::Expr, catalog: &Catalog) -> Option<nal::Expr> {
     // The outer-join plan: Ξ(Π_drop(e1 ⟕ Γ(μD(e2)))).
-    let (with_oj, _) = unnest::driver::apply_preferring(
-        pruned,
-        &[Rule::Eqv4],
-        catalog,
-    );
+    let (with_oj, _) = unnest::driver::apply_preferring(pruned, &[Rule::Eqv4], catalog);
     // Find the Γ subtree and splice it in place of the whole outer join,
     // renaming its key to the outer attribute — Eqv. 5's RHS.
     let mut replaced = None;
     let result = nal::expr::visit::rewrite_bottom_up(with_oj, &mut |e| match e {
-        nal::Expr::Project { input, op: nal::ProjOp::Drop(_) } => match *input {
-            nal::Expr::OuterJoin { left, right, pred, .. } => {
+        nal::Expr::Project {
+            input,
+            op: nal::ProjOp::Drop(_),
+        } => match *input {
+            nal::Expr::OuterJoin {
+                left, right, pred, ..
+            } => {
                 // left provides a1; right is Γ_{t1;=a2';f}(μD(e2)).
                 let nal::Expr::GroupUnary { by, .. } = right.as_ref() else {
                     return nal::Expr::Project {
@@ -105,7 +109,10 @@ fn force_eqv5(pruned: &nal::Expr, catalog: &Catalog) -> Option<nal::Expr> {
                     op: nal::ProjOp::Rename(vec![(a1, key)]),
                 }
             }
-            other => nal::Expr::Project { input: Box::new(other), op: nal::ProjOp::Drop(vec![]) },
+            other => nal::Expr::Project {
+                input: Box::new(other),
+                op: nal::ProjOp::Drop(vec![]),
+            },
         },
         other => other,
     });

@@ -9,8 +9,10 @@ use ordered_unnesting::workloads::{Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL};
 use xmldb::gen::standard_catalog;
 
 fn main() {
-    let scale: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500);
     let catalog = standard_catalog(scale, 3, 0xbeef);
 
     for w in [&Q3_EXISTENTIAL, &Q4_EXISTS, &Q5_UNIVERSAL] {

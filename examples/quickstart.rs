@@ -69,5 +69,8 @@ fn main() {
     );
     let speedup = slow.elapsed.as_secs_f64() / fast.elapsed.as_secs_f64().max(1e-9);
     println!("speed-up     : {speedup:>10.1}×");
-    println!("\nfirst 300 output chars:\n{}", &fast.output[..fast.output.len().min(300)]);
+    println!(
+        "\nfirst 300 output chars:\n{}",
+        &fast.output[..fast.output.len().min(300)]
+    );
 }

@@ -130,8 +130,14 @@ pub const Q6_HAVING: Workload = Workload {
 };
 
 /// All six §5 workloads in paper order.
-pub const ALL: [Workload; 6] =
-    [Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL, Q6_HAVING];
+pub const ALL: [Workload; 6] = [
+    Q1_GROUPING,
+    Q2_AGGREGATION,
+    Q3_EXISTENTIAL,
+    Q4_EXISTS,
+    Q5_UNIVERSAL,
+    Q6_HAVING,
+];
 
 /// The §5.1 DBLP-style variant of Q1: same query against `dblp.xml`,
 /// where the Eqv. 5 precondition fails and only the outer-join plan is

@@ -36,7 +36,11 @@ fn check_workload_opts(w: &Workload, catalog: &Catalog, require_output: bool) {
 
     let (reference, ref_metrics) = run_plan(&plans[0].expr, catalog);
     if require_output {
-        assert!(!reference.is_empty(), "[{}] nested plan produced no output", w.id);
+        assert!(
+            !reference.is_empty(),
+            "[{}] nested plan produced no output",
+            w.id
+        );
     }
     for plan in &plans[1..] {
         let (out, m) = run_plan(&plan.expr, catalog);
@@ -155,7 +159,10 @@ fn arithmetic_queries_run_end_to_end() {
     let (spec_out, _) = run_plan(&expr, &catalog);
     let eng = engine::run(&expr, &catalog).expect("engine runs");
     assert_eq!(eng.output, spec_out);
-    assert!(spec_out.contains("<pricey>"), "some book should qualify: {spec_out}");
+    assert!(
+        spec_out.contains("<pricey>"),
+        "some book should qualify: {spec_out}"
+    );
     let total_books = 40;
     let matches = spec_out.matches("<pricey>").count();
     assert!(matches < total_books, "the filter should be selective");

@@ -52,7 +52,9 @@ fn titles_per_author(catalog: &Catalog) -> std::collections::HashMap<String, Vec
             &xpath::parse_path("/author").unwrap(),
             &mut counters,
         ) {
-            map.entry(doc.string_value(a)).or_default().push(title.clone());
+            map.entry(doc.string_value(a))
+                .or_default()
+                .push(title.clone());
         }
     }
     map
@@ -141,7 +143,10 @@ fn engine_operators_preserve_relative_order() {
         )),
         scan.clone().map("extra", Scalar::Const(Value::Int(1))),
         scan.clone().project(&["b"]),
-        scan.unnest_map("a", Scalar::attr("b").path(xpath::parse_path("/author").unwrap())),
+        scan.unnest_map(
+            "a",
+            Scalar::attr("b").path(xpath::parse_path("/author").unwrap()),
+        ),
     ];
     for plan in &plans {
         let r = engine::run(plan, &catalog).unwrap();
@@ -149,7 +154,9 @@ fn engine_operators_preserve_relative_order() {
             .rows
             .iter()
             .map(|t| {
-                let Some(Value::Node(n)) = t.get(nal::Sym::new("b")) else { panic!() };
+                let Some(Value::Node(n)) = t.get(nal::Sym::new("b")) else {
+                    panic!()
+                };
                 n.node.index() as u32
             })
             .collect();
