@@ -137,11 +137,50 @@ fn executor_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scan- vs index-backed quantifier joins on the paper's document
+/// workloads: the same semi/anti join plan compiled with `compile` (hash
+/// join over a full build-side scan) and with `compile_indexed` (value-
+/// index probes, no build side at all).
+fn index_ablation(c: &mut Criterion) {
+    use ordered_unnesting::workloads::{Q3_EXISTENTIAL, Q5_UNIVERSAL};
+    let mut group = c.benchmark_group("index_ablation");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let catalog = xmldb::gen::standard_catalog(n, 2, 42);
+        for w in [&Q3_EXISTENTIAL, &Q5_UNIVERSAL] {
+            let nested = xquery::compile(w.query, &catalog).expect("compiles");
+            for p in unnest::enumerate_plans(&nested, &catalog) {
+                if !p.label.contains("semijoin") {
+                    continue;
+                }
+                let scan_plan = engine::compile(&p.expr);
+                let index_plan = engine::compile_indexed(&p.expr, &catalog);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}-scan", w.id), n),
+                    &scan_plan,
+                    |bch, plan| {
+                        bch.iter(|| engine::run_streaming_compiled(plan, &catalog).expect("runs"))
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}-indexed", w.id), n),
+                    &index_plan,
+                    |bch, plan| {
+                        bch.iter(|| engine::run_streaming_compiled(plan, &catalog).expect("runs"))
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     join_ablation,
     grouping_ablation,
     xi_fusion_ablation,
-    executor_ablation
+    executor_ablation,
+    index_ablation
 );
 criterion_main!(benches);

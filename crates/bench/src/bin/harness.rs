@@ -4,11 +4,22 @@
 //! ```sh
 //! cargo run --release -p bench-harness --bin harness -- [--experiment all]
 //!     [--scales 100,1000,10000] [--nested-cap 1000] [--seed 42]
+//!     [--executor materialized|streaming] [--indexes on|off]
+//!     [--json results.json] [--smoke]
 //! ```
 //!
 //! Experiments: `fig6`, `grouping` (§5.1), `dblp` (§5.1), `aggregation`
 //! (§5.2), `existential1` (§5.3), `existential2` (§5.4), `universal`
-//! (§5.5), `having` (§5.6), or `all`.
+//! (§5.5), `having` (§5.6), `costmodel`, `index` (scan- vs index-backed
+//! quantifier joins), or `all`.
+//!
+//! `--indexes on` compiles every measured plan through
+//! `engine::compile_indexed`, so document-rooted path scans and
+//! semi/anti joins run on the `xmldb::index` access paths. `--json`
+//! writes every measured *plan* cell as a JSON array (machine-readable
+//! `BENCH_*.json` trajectories; `fig6` reports document sizes, not plan
+//! runs, so it has no cells). `--smoke` is the CI configuration: tiny
+//! scales, every experiment, seconds not minutes.
 //!
 //! Nested plans are measured up to `--nested-cap` records and
 //! extrapolated quadratically above it (marked `est.`), because their
@@ -17,10 +28,10 @@
 //! fully measured tables.
 
 use std::collections::BTreeMap;
-use std::time::Duration;
 
 use bench_harness::{
-    extrapolate_nested, fmt_secs, measure_plan_with, plans_for, Executor, Measurement,
+    extrapolate_nested, fmt_secs, measure_plan_cfg, plans_for, Executor, Measurement, Report,
+    RunConfig,
 };
 use ordered_unnesting::workloads::{
     Q1_DBLP, Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL, Q6_HAVING,
@@ -38,6 +49,14 @@ struct Args {
     nested_cap: usize,
     seed: u64,
     executor: Executor,
+    indexes: bool,
+    json: Option<String>,
+}
+
+impl Args {
+    fn cfg(&self) -> RunConfig {
+        RunConfig::new(self.executor, self.indexes)
+    }
 }
 
 fn parse_args() -> Args {
@@ -47,6 +66,8 @@ fn parse_args() -> Args {
         nested_cap: 1000,
         seed: 42,
         executor: Executor::Materialized,
+        indexes: false,
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +88,23 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--indexes" => {
+                args.indexes = match value().as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    v => {
+                        eprintln!("unknown --indexes value `{v}` (use on|off)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--json" => args.json = Some(value()),
+            "--smoke" => {
+                // CI configuration: everything, tiny, fast.
+                args.scales = vec![50];
+                args.nested_cap = 50;
+                args.experiment = "all".to_string();
+            }
             "--seed" => args.seed = value().parse().unwrap_or(42),
             "--help" | "-h" => {
                 println!("see module docs: cargo doc -p bench-harness");
@@ -84,24 +122,27 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let run_all = args.experiment == "all";
+    let mut report = Report::new();
     println!("ordered-unnesting harness — reproducing the §5 evaluation");
     println!(
         "scales {:?}, nested plans measured up to {} (extrapolated beyond, marked est.), \
-         seed {}, executor {}\n",
+         seed {}, executor {}, indexes {}\n",
         args.scales,
         args.nested_cap,
         args.seed,
-        args.executor.label()
+        args.executor.label(),
+        args.cfg().indexes_label()
     );
     if run_all || args.experiment == "fig6" {
         fig6(&args);
     }
     if run_all || args.experiment == "grouping" {
-        grouping(&args);
+        grouping(&args, &mut report);
     }
     if run_all || args.experiment == "aggregation" {
         simple_table(
             &args,
+            &mut report,
             &Q2_AGGREGATION,
             "Query 1.1.9.10 (Aggregation) — §5.2",
             "books",
@@ -110,6 +151,7 @@ fn main() {
     if run_all || args.experiment == "existential1" {
         simple_table(
             &args,
+            &mut report,
             &Q3_EXISTENTIAL,
             "Query 1.1.9.5 (Existential Quantification I) — §5.3",
             "books/reviews",
@@ -118,6 +160,7 @@ fn main() {
     if run_all || args.experiment == "existential2" {
         simple_table(
             &args,
+            &mut report,
             &Q4_EXISTS,
             "Existential Quantification II (exists()) — §5.4",
             "books",
@@ -126,6 +169,7 @@ fn main() {
     if run_all || args.experiment == "universal" {
         simple_table(
             &args,
+            &mut report,
             &Q5_UNIVERSAL,
             "Universal Quantification — §5.5",
             "books",
@@ -134,24 +178,110 @@ fn main() {
     if run_all || args.experiment == "having" {
         simple_table(
             &args,
+            &mut report,
             &Q6_HAVING,
             "Query 1.4.4.14 (Aggregation in the Where Clause) — §5.6",
             "bids",
         );
     }
     if run_all || args.experiment == "dblp" {
-        dblp(&args);
+        dblp(&args, &mut report);
     }
     if run_all || args.experiment == "costmodel" {
-        costmodel(&args);
+        costmodel(&args, &mut report);
     }
+    if run_all || args.experiment == "index" {
+        index_ablation(&args, &mut report);
+    }
+    if let Some(path) = &args.json {
+        report
+            .write(path)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {} result rows to {path}", report.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Index ablation: scan- vs index-backed quantifier joins
+// ---------------------------------------------------------------------
+
+/// The `executor_ablation`-style comparison for access paths: run the
+/// quantifier workloads' semi/anti join plans with `--indexes off` and
+/// `on` (streaming executor — its probe counters make the work visible),
+/// assert byte-identical output, and report times plus examined-tuple
+/// counts. The examined count includes the build side's production,
+/// which the index join skips entirely.
+fn index_ablation(args: &Args, report: &mut Report) {
+    println!("== Index ablation: scan vs index-backed quantifier joins ==\n");
+    println!(
+        "{:<16} {:<14} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "workload", "plan", "scale", "scan", "indexed", "examined", "examined", "lookups"
+    );
+    println!(
+        "{:<16} {:<14} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "", "", "", "(time)", "(time)", "(scan)", "(indexed)", "(indexed)"
+    );
+    for w in [&Q3_EXISTENTIAL, &Q4_EXISTS, &Q5_UNIVERSAL] {
+        for &scale in &args.scales {
+            let catalog = standard_catalog(scale, 2, args.seed);
+            for (label, expr) in plans_for(w, &catalog) {
+                if !label.contains("semijoin") {
+                    continue;
+                }
+                let scan_cfg = RunConfig::new(Executor::Streaming, false);
+                let index_cfg = RunConfig::new(Executor::Streaming, true);
+                // One untimed warm-up per configuration: the indexed run
+                // builds its path/value indexes here (the eager-build
+                // strategy — the paper's experiments likewise measure
+                // against a warm database cache). The warm-up results
+                // double as the byte-identical-output check.
+                let scan_warm = scan_cfg.run(&expr, &catalog).expect("scan plan runs");
+                let index_warm = index_cfg.run(&expr, &catalog).expect("indexed plan runs");
+                assert_eq!(
+                    scan_warm.output, index_warm.output,
+                    "[{}] ablation Ξ outputs diverge byte-wise",
+                    w.id
+                );
+                assert_eq!(
+                    scan_warm.rows, index_warm.rows,
+                    "[{}] ablation rows diverge",
+                    w.id
+                );
+                let scan = measure_plan_cfg(&label, &expr, &catalog, scan_cfg);
+                let indexed = measure_plan_cfg(&label, &expr, &catalog, index_cfg);
+                assert!(
+                    indexed.tuples_examined() < scan.tuples_examined(),
+                    "[{}] index-backed join must examine strictly fewer tuples \
+                     ({} vs {})",
+                    w.id,
+                    indexed.tuples_examined(),
+                    scan.tuples_examined()
+                );
+                println!(
+                    "{:<16} {:<14} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
+                    w.id,
+                    label,
+                    scale,
+                    fmt_secs(scan.elapsed, false),
+                    fmt_secs(indexed.elapsed, false),
+                    scan.tuples_examined(),
+                    indexed.tuples_examined(),
+                    indexed.index_lookups
+                );
+                let knobs = [("scale", scale as i64)];
+                report.record(&format!("index:{}", w.id), scan_cfg, &knobs, &scan);
+                report.record(&format!("index:{}", w.id), index_cfg, &knobs, &indexed);
+            }
+        }
+    }
+    println!();
 }
 
 // ---------------------------------------------------------------------
 // Cost-model validation: estimates vs. measured times
 // ---------------------------------------------------------------------
 
-fn costmodel(args: &Args) {
+fn costmodel(args: &Args, report: &mut Report) {
     println!("== Cost model: estimated cost vs. measured time (scale 1000) ==\n");
     let scale = 1000.min(args.nested_cap);
     let catalog = standard_catalog(scale, 2, args.seed);
@@ -159,9 +289,15 @@ fn costmodel(args: &Args) {
         println!("{} ({})", w.id, w.paper_ref);
         let nested = xquery::compile(w.query, &catalog).expect("compiles");
         let plans = unnest::enumerate_plans(&nested, &catalog);
-        let ranked = unnest::rank_plans(plans, &catalog);
+        let ranked = unnest::rank_plans_with(plans, &catalog, args.indexes);
         for (p, est) in &ranked {
-            let m = measure_plan_with(&p.label, &p.expr, &catalog, args.executor);
+            let m = measure_plan_cfg(&p.label, &p.expr, &catalog, args.cfg());
+            report.record(
+                &format!("costmodel:{}", w.id),
+                args.cfg(),
+                &[("scale", scale as i64), ("estimated_cost", est.cost as i64)],
+                &m,
+            );
             println!(
                 "  {:<14} est {:>14.0}   measured {:>12}",
                 p.label,
@@ -246,7 +382,7 @@ fn fig6(args: &Args) {
 // §5.1 grouping: plans × authors-per-book × scale
 // ---------------------------------------------------------------------
 
-fn grouping(args: &Args) {
+fn grouping(args: &Args, report: &mut Report) {
     println!("== Query 1.1.9.4 (Grouping) — §5.1 ==\n");
     // plan -> fanout -> scale -> measurement
     let mut table: BTreeMap<String, BTreeMap<usize, BTreeMap<usize, Measurement>>> =
@@ -268,8 +404,14 @@ fn grouping(args: &Args) {
                 let m = if label == "nested" && scale > args.nested_cap {
                     estimate_from_smaller(&table, &label, fanout, scale)
                 } else {
-                    measure_plan_with(&label, &expr, &catalog, args.executor)
+                    measure_plan_cfg(&label, &expr, &catalog, args.cfg())
                 };
+                report.record(
+                    "grouping",
+                    args.cfg(),
+                    &[("scale", scale as i64), ("fanout", fanout as i64)],
+                    &m,
+                );
                 table
                     .entry(label)
                     .or_default()
@@ -293,14 +435,8 @@ fn estimate_from_smaller(
         .and_then(|t| t.get(&fanout))
         .and_then(|m| m.iter().next_back())
         .map(|(s, m)| (*s, m.elapsed));
-    let (s_small, t_small) = base.unwrap_or((1, Duration::from_millis(1)));
-    Measurement {
-        plan: label.to_string(),
-        elapsed: extrapolate_nested(t_small, s_small, scale),
-        doc_scans: 0,
-        output_len: 0,
-        estimated: true,
-    }
+    let (s_small, t_small) = base.unwrap_or((1, std::time::Duration::from_millis(1)));
+    Measurement::estimated(label, extrapolate_nested(t_small, s_small, scale))
 }
 
 fn print_grouping_table(
@@ -337,6 +473,7 @@ fn print_grouping_table(
 
 fn simple_table(
     args: &Args,
+    report: &mut Report,
     workload: &ordered_unnesting::workloads::Workload,
     title: &str,
     scale_label: &str,
@@ -353,18 +490,16 @@ fn simple_table(
             let m = if label == "nested" && scale > args.nested_cap {
                 let prior = rows.get(&label).and_then(|v| v.last().cloned());
                 match prior {
-                    Some((s_small, prev)) => Measurement {
-                        plan: label.clone(),
-                        elapsed: extrapolate_nested(prev.elapsed, s_small, scale),
-                        doc_scans: 0,
-                        output_len: 0,
-                        estimated: true,
-                    },
-                    None => measure_plan_with(&label, &expr, &catalog, args.executor),
+                    Some((s_small, prev)) => Measurement::estimated(
+                        &label,
+                        extrapolate_nested(prev.elapsed, s_small, scale),
+                    ),
+                    None => measure_plan_cfg(&label, &expr, &catalog, args.cfg()),
                 }
             } else {
-                measure_plan_with(&label, &expr, &catalog, args.executor)
+                measure_plan_cfg(&label, &expr, &catalog, args.cfg())
             };
+            report.record(workload.id, args.cfg(), &[("scale", scale as i64)], &m);
             rows.entry(label).or_default().push((scale, m));
         }
     }
@@ -390,7 +525,7 @@ fn simple_table(
 // §5.1 DBLP anecdote
 // ---------------------------------------------------------------------
 
-fn dblp(args: &Args) {
+fn dblp(args: &Args, report: &mut Report) {
     println!("== §5.1 DBLP anecdote (dblp-like document, authors without books) ==\n");
     let publications = 20_000usize.min(args.nested_cap.max(1) * 20);
     let mut catalog = Catalog::new();
@@ -420,8 +555,14 @@ fn dblp(args: &Args) {
                 ..DblpConfig::default()
             }));
             let nested_small = xquery::compile(Q1_DBLP.query, &small).expect("compiles");
-            let m = measure_plan_with("nested", &nested_small, &small, args.executor);
+            let m = measure_plan_cfg("nested", &nested_small, &small, args.cfg());
             let est = extrapolate_nested(m.elapsed, sample, publications);
+            report.record(
+                "dblp",
+                args.cfg(),
+                &[("publications", publications as i64)],
+                &Measurement::estimated("nested", est),
+            );
             println!(
                 "{label:<12} {:>16}   (measured {} at {} publications)",
                 fmt_secs(est, true),
@@ -429,7 +570,13 @@ fn dblp(args: &Args) {
                 sample
             );
         } else {
-            let m = measure_plan_with(label, expr, &catalog, args.executor);
+            let m = measure_plan_cfg(label, expr, &catalog, args.cfg());
+            report.record(
+                "dblp",
+                args.cfg(),
+                &[("publications", publications as i64)],
+                &m,
+            );
             println!(
                 "{label:<12} {:>16}   ({} document scans)",
                 fmt_secs(m.elapsed, false),

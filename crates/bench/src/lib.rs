@@ -35,11 +35,47 @@ impl Executor {
         }
     }
 
-    /// Run an expression on this executor.
+    /// Run an expression on this executor (scan-based access paths).
     pub fn run(self, expr: &Expr, catalog: &Catalog) -> nal::EvalResult<engine::QueryResult> {
-        match self {
-            Executor::Materialized => engine::run(expr, catalog),
-            Executor::Streaming => engine::run_streaming(expr, catalog),
+        RunConfig {
+            executor: self,
+            indexes: false,
+        }
+        .run(expr, catalog)
+    }
+}
+
+/// Full measurement configuration: which executor, and whether plans are
+/// compiled with index-backed access paths (`--indexes on`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    pub executor: Executor,
+    pub indexes: bool,
+}
+
+impl RunConfig {
+    pub fn new(executor: Executor, indexes: bool) -> RunConfig {
+        RunConfig { executor, indexes }
+    }
+
+    pub fn indexes_label(self) -> &'static str {
+        if self.indexes {
+            "on"
+        } else {
+            "off"
+        }
+    }
+
+    /// Compile (with or without the index rewrite) and run.
+    pub fn run(self, expr: &Expr, catalog: &Catalog) -> nal::EvalResult<engine::QueryResult> {
+        let plan = if self.indexes {
+            engine::compile_indexed(expr, catalog)
+        } else {
+            engine::compile(expr)
+        };
+        match self.executor {
+            Executor::Materialized => engine::run_compiled(&plan, catalog),
+            Executor::Streaming => engine::run_streaming_compiled(&plan, catalog),
         }
     }
 }
@@ -54,6 +90,35 @@ pub struct Measurement {
     /// `true` when the cell was extrapolated instead of measured (nested
     /// plans beyond the time cap).
     pub estimated: bool,
+    pub tuples_produced: u64,
+    pub probe_tuples: u64,
+    pub index_lookups: u64,
+    pub index_hits: u64,
+}
+
+impl Measurement {
+    /// An extrapolated (not measured) cell.
+    pub fn estimated(plan: impl Into<String>, elapsed: Duration) -> Measurement {
+        Measurement {
+            plan: plan.into(),
+            elapsed,
+            doc_scans: 0,
+            output_len: 0,
+            estimated: true,
+            tuples_produced: 0,
+            probe_tuples: 0,
+            index_lookups: 0,
+            index_hits: 0,
+        }
+    }
+
+    /// Total tuples the plan *examined*: probed join candidates plus
+    /// every tuple produced by any operator. Index-backed quantifier
+    /// joins never execute their build side, which is exactly what this
+    /// number exposes in the `index` ablation.
+    pub fn tuples_examined(&self) -> u64 {
+        self.probe_tuples + self.tuples_produced
+    }
 }
 
 /// Compile a workload and enumerate its plan alternatives.
@@ -80,17 +145,141 @@ pub fn measure_plan_with(
     catalog: &Catalog,
     executor: Executor,
 ) -> Measurement {
+    measure_plan_cfg(label, expr, catalog, RunConfig::new(executor, false))
+}
+
+/// [`measure_plan`] under a full [`RunConfig`] (executor + index mode).
+pub fn measure_plan_cfg(
+    label: &str,
+    expr: &Expr,
+    catalog: &Catalog,
+    cfg: RunConfig,
+) -> Measurement {
     let start = Instant::now();
-    let result = executor
-        .run(expr, catalog)
-        .unwrap_or_else(|e| panic!("plan `{label}` failed on {}: {e}", executor.label()));
+    let result = cfg.run(expr, catalog).unwrap_or_else(|e| {
+        panic!(
+            "plan `{label}` failed on {} (indexes {}): {e}",
+            cfg.executor.label(),
+            cfg.indexes_label()
+        )
+    });
     Measurement {
         plan: label.to_string(),
         elapsed: start.elapsed(),
         doc_scans: result.metrics.doc_scans,
         output_len: result.output.len(),
         estimated: false,
+        tuples_produced: result.metrics.tuples_produced,
+        probe_tuples: result.metrics.probe_tuples,
+        index_lookups: result.metrics.index_lookups,
+        index_hits: result.metrics.index_hits,
     }
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable results (`--json <path>`)
+// ---------------------------------------------------------------------
+
+/// A collected run report, written as a JSON array so per-PR
+/// `BENCH_*.json` trajectories can be recorded and diffed. Hand-rolled
+/// emitter — the container has no serde.
+#[derive(Default)]
+pub struct Report {
+    rows: Vec<String>,
+}
+
+impl Report {
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Record one measurement cell with its experimental coordinates.
+    /// `knobs` carries experiment-specific dimensions (scale, fanout…).
+    pub fn record(
+        &mut self,
+        experiment: &str,
+        cfg: RunConfig,
+        knobs: &[(&str, i64)],
+        m: &Measurement,
+    ) {
+        let mut fields = vec![
+            ("experiment".to_string(), json_str(experiment)),
+            ("plan".to_string(), json_str(&m.plan)),
+            ("executor".to_string(), json_str(cfg.executor.label())),
+            ("indexes".to_string(), json_str(cfg.indexes_label())),
+            (
+                "elapsed_secs".to_string(),
+                format!("{}", m.elapsed.as_secs_f64()),
+            ),
+            ("estimated".to_string(), m.estimated.to_string()),
+            ("doc_scans".to_string(), m.doc_scans.to_string()),
+            ("output_len".to_string(), m.output_len.to_string()),
+            ("tuples_produced".to_string(), m.tuples_produced.to_string()),
+            ("probe_tuples".to_string(), m.probe_tuples.to_string()),
+            (
+                "tuples_examined".to_string(),
+                m.tuples_examined().to_string(),
+            ),
+            ("index_lookups".to_string(), m.index_lookups.to_string()),
+            ("index_hits".to_string(), m.index_hits.to_string()),
+        ];
+        for (k, v) in knobs {
+            fields.push(((*k).to_string(), v.to_string()));
+        }
+        let body: Vec<String> = fields
+            .into_iter()
+            .map(|(k, v)| format!("{}: {v}", json_str(&k)))
+            .collect();
+        self.rows.push(format!("{{{}}}", body.join(", ")));
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the whole report as a JSON array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(row);
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Write the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// JSON string literal with the escapes the emitted field values need.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Quadratic extrapolation for nested cells beyond the measurement cap:
@@ -152,5 +341,55 @@ mod tests {
         assert_eq!(fmt_secs(Duration::from_secs(7), false), "7.00 s");
         assert_eq!(fmt_secs(Duration::from_secs(788), false), "788 s");
         assert_eq!(fmt_secs(Duration::from_secs(788), true), "788 s (est.)");
+    }
+
+    #[test]
+    fn indexed_runs_match_scan_runs_and_probe_less() {
+        let catalog = standard_catalog(60, 2, 5);
+        let w = &ordered_unnesting::workloads::Q3_EXISTENTIAL;
+        let plans = plans_for(w, &catalog);
+        let (label, expr) = plans
+            .iter()
+            .find(|(l, _)| l == "semijoin")
+            .expect("semijoin plan");
+        let scan = measure_plan_cfg(
+            label,
+            expr,
+            &catalog,
+            RunConfig::new(Executor::Streaming, false),
+        );
+        let indexed = measure_plan_cfg(
+            label,
+            expr,
+            &catalog,
+            RunConfig::new(Executor::Streaming, true),
+        );
+        assert_eq!(scan.output_len, indexed.output_len);
+        assert!(indexed.index_lookups > 0);
+        assert!(
+            indexed.tuples_examined() < scan.tuples_examined(),
+            "indexed {} vs scan {}",
+            indexed.tuples_examined(),
+            scan.tuples_examined()
+        );
+    }
+
+    #[test]
+    fn report_renders_valid_json_shape() {
+        let mut r = Report::new();
+        let m = Measurement::estimated("outer \"join\"", Duration::from_millis(5));
+        r.record(
+            "grouping",
+            RunConfig::new(Executor::Materialized, true),
+            &[("scale", 100)],
+            &m,
+        );
+        let json = r.to_json();
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.contains("\"experiment\": \"grouping\""), "{json}");
+        assert!(json.contains("\"plan\": \"outer \\\"join\\\"\""), "{json}");
+        assert!(json.contains("\"indexes\": \"on\""), "{json}");
+        assert!(json.contains("\"scale\": 100"), "{json}");
+        assert_eq!(r.len(), 1);
     }
 }

@@ -82,6 +82,14 @@ pub struct Metrics {
     /// at the deciding match, so this stays below the nested-loop bound
     /// |left| × |right| — the observable form of the §5.3–§5.5 argument.
     pub probe_tuples: u64,
+    /// Access-path index probes: one per path-index resolution
+    /// (`IndexScan`) and one per value-index key probe (`IndexSemiJoin` /
+    /// `IndexAntiJoin` left tuple).
+    pub index_lookups: u64,
+    /// Index probes that found at least one node. `index_lookups -
+    /// index_hits` is the number of probes answered without touching a
+    /// single document node — work a scan-based plan cannot skip.
+    pub index_hits: u64,
 }
 
 impl Metrics {

@@ -279,6 +279,62 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             }
             out
         }
+
+        PhysPlan::IndexScan {
+            input,
+            attr,
+            uri,
+            pattern,
+            distinct,
+        } => {
+            let rows = execute(input, env, ctx)?;
+            // The path is document-rooted: one index resolution serves
+            // every input tuple (the replaced Υ re-evaluated it per
+            // tuple, producing the identical sequence each time).
+            let items = crate::index::scan_items(uri, pattern, *distinct, ctx)?;
+            let mut out = Vec::with_capacity(rows.len() * items.len());
+            for t in rows {
+                for item in &items {
+                    out.push(t.extend(*attr, item.clone()));
+                }
+            }
+            out
+        }
+
+        PhysPlan::IndexJoin {
+            left,
+            probe,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        } => {
+            let l = execute(left, env, ctx)?;
+            let access = IndexJoinAccess::resolve(uri, pattern, ctx)?;
+            let mut out = Vec::with_capacity(l.len());
+            for lt in l {
+                let matched = access.probe_matches(
+                    &lt,
+                    *probe,
+                    *key_attr,
+                    seeds,
+                    ops,
+                    residual.as_ref(),
+                    false,
+                    env,
+                    ctx,
+                )?;
+                match kind {
+                    JoinKind::Semi if matched => out.push(lt),
+                    JoinKind::Anti if !matched => out.push(lt),
+                    _ => {}
+                }
+            }
+            out
+        }
     };
     ctx.metrics.tuples_produced += out.len() as u64;
     Ok(out)
@@ -329,6 +385,168 @@ pub(crate) fn hash_groups(
         groups[idx].1.push(t.clone());
     }
     groups
+}
+
+/// Resolved runtime state of an [`PhysPlan::IndexJoin`]: the document id
+/// and the value index of the build path. Shared by both executors so
+/// probe semantics and metrics accounting stay identical.
+pub struct IndexJoinAccess {
+    pub(crate) doc: xmldb::DocId,
+    pub(crate) vindex: std::sync::Arc<xmldb::ValueIndex>,
+}
+
+impl IndexJoinAccess {
+    pub(crate) fn resolve(
+        uri: &str,
+        pattern: &xmldb::PathPattern,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalResult<IndexJoinAccess> {
+        let doc = crate::index::doc_id_of(uri, ctx)?;
+        let vindex = ctx.catalog.value_index(doc, pattern).ok_or_else(|| {
+            EvalError::new(format!("pattern `{pattern}` is not index-resolvable"))
+        })?;
+        Ok(IndexJoinAccess { doc, vindex })
+    }
+
+    /// One probe: does any build row reconstructed from the posting list
+    /// of the probe key match (pass the replayed filters and the
+    /// residual)?
+    ///
+    /// Build rows are reconstructed candidate by candidate in document
+    /// order — exactly the bucket order of the replaced hash join — so
+    /// the first deciding row is the same row the hash probe would have
+    /// stopped at. `count_probes` is set by the streaming executor only,
+    /// matching where `probe_tuples` is tracked for the scan-based join
+    /// cursors (the materializing executor leaves it 0 for every join
+    /// kind).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_matches(
+        &self,
+        lt: &Tuple,
+        probe: Sym,
+        key_attr: Sym,
+        seeds: &[crate::plan::SeedBinding],
+        ops: &[crate::plan::BuildOp],
+        residual: Option<&nal::Scalar>,
+        count_probes: bool,
+        env: &Tuple,
+        ctx: &mut EvalCtx<'_>,
+    ) -> EvalResult<bool> {
+        let Some(v) = lt.get(probe) else {
+            return Ok(false);
+        };
+        ctx.metrics.index_lookups += 1;
+        let key = crate::index::probe_key_of(v, ctx.catalog);
+        let candidates = self.vindex.get(&key);
+        if candidates.is_empty() {
+            return Ok(false);
+        }
+        ctx.metrics.index_hits += 1;
+        // Fast path: no pipeline, no residual — existence is decided by
+        // the posting list alone (one candidate "examined", mirroring
+        // the hash probe's first-bucket-row short-circuit).
+        if ops.is_empty() && residual.is_none() {
+            if count_probes {
+                ctx.metrics.probe_tuples += 1;
+            }
+            return Ok(true);
+        }
+        for &node in candidates {
+            let rows = self.rebuild_rows(node, key_attr, seeds, ops, env, ctx)?;
+            for row in rows {
+                if count_probes {
+                    ctx.metrics.probe_tuples += 1;
+                }
+                match residual {
+                    None => return Ok(true),
+                    Some(p) => {
+                        let joined = lt.concat(&row);
+                        if truthy(p, &scoped(env, &joined), ctx)? {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Reconstruct the build rows of one candidate: seed the key column
+    /// and the ancestor/doc bindings, then replay the recorded pipeline.
+    fn rebuild_rows(
+        &self,
+        node: xmldb::NodeId,
+        key_attr: Sym,
+        seeds: &[crate::plan::SeedBinding],
+        ops: &[crate::plan::BuildOp],
+        env: &Tuple,
+        ctx: &mut EvalCtx<'_>,
+    ) -> EvalResult<Vec<Tuple>> {
+        use crate::plan::{BuildOp, SeedBinding};
+        let doc = self.doc;
+        let tree = ctx.catalog.doc(doc).clone();
+        let mut pairs: Vec<(Sym, Value)> = Vec::with_capacity(seeds.len() + 1);
+        for s in seeds {
+            match s {
+                SeedBinding::DocNode(a) => pairs.push((
+                    *a,
+                    Value::Node(nal::NodeRef {
+                        doc,
+                        node: xmldb::NodeId::DOCUMENT,
+                    }),
+                )),
+                SeedBinding::Ancestor(a, levels) => {
+                    let mut cur = node;
+                    for _ in 0..*levels {
+                        cur = tree.parent(cur).ok_or_else(|| {
+                            EvalError::new("index join: candidate ancestor above document root")
+                        })?;
+                    }
+                    pairs.push((*a, Value::Node(nal::NodeRef { doc, node: cur })));
+                }
+            }
+        }
+        pairs.push((key_attr, Value::Node(nal::NodeRef { doc, node })));
+        let mut rows = vec![Tuple::from_pairs(pairs)];
+        for op in ops {
+            match op {
+                BuildOp::Map(attr, value) => {
+                    let mut next = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        let v = eval_scalar(value, &scoped(env, &t), ctx)?;
+                        next.push(t.extend(*attr, v));
+                    }
+                    rows = next;
+                }
+                BuildOp::UnnestMap(attr, value) => {
+                    let mut next = Vec::new();
+                    for t in rows {
+                        let v = eval_scalar(value, &scoped(env, &t), ctx)?;
+                        for item in v.as_item_seq() {
+                            next.push(t.extend(*attr, item));
+                        }
+                    }
+                    rows = next;
+                }
+                BuildOp::Select(pred) => {
+                    let mut next = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        if truthy(pred, &scoped(env, &t), ctx)? {
+                            next.push(t);
+                        }
+                    }
+                    rows = next;
+                }
+                BuildOp::Project(op) => {
+                    rows = project_rows(&rows, op, ctx);
+                }
+            }
+            if rows.is_empty() {
+                break;
+            }
+        }
+        Ok(rows)
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -1,0 +1,1063 @@
+//! Index-backed access paths: plan rewriting and runtime access.
+//!
+//! [`apply_indexes`] is a physical rewrite pass over a compiled
+//! [`PhysPlan`]: it recognizes document-rooted path scans and hash
+//! semi/anti joins whose build side is such a scan, and replaces them
+//! with [`PhysPlan::IndexScan`] / [`PhysPlan::IndexJoin`] operators
+//! backed by the catalog's [`xmldb::PathIndex`] / [`xmldb::ValueIndex`].
+//!
+//! The pass is *conservative by construction*: a conversion happens only
+//! when the replaced subtree provably produces the same tuple sequence —
+//! same nodes, same document order, same duplicate structure, same
+//! residual-evaluation order — so every converted plan stays
+//! byte-identical in rows and Ξ output to its scan-based original (the
+//! differential suite `tests/index_vs_scan.rs` enforces this across the
+//! paper's workloads and both executors). Anything the tracer cannot
+//! prove is left untouched and keeps scanning. Error behaviour is
+//! guarded too: build-side pipelines are replayed only for probed
+//! candidates, so scalars that can *error* on unprobed rows
+//! (arithmetic, `decimal()`) decline the conversion — see `replay_safe`
+//! — keeping failure behaviour aligned with the scan plan, not just
+//! success behaviour.
+//!
+//! Runtime access lives here too: `scan_items` resolves a pattern
+//! through the path index, and [`probe_key_of`] mirrors the hash
+//! operators' key conversion ([`crate::key::KeyVal`]) so a value-index
+//! probe hits exactly the nodes the hash bucket lookup would have found.
+
+use std::collections::BTreeSet;
+
+use nal::eval::{EvalCtx, EvalError, EvalResult};
+use nal::{NodeRef, Scalar, Sym, Value};
+use xmldb::{Catalog, PathPattern, PatternStep, ValueKey};
+use xpath::{Axis, NameTest, Path};
+
+use crate::plan::{BuildOp, JoinKind, PhysPlan, SeedBinding};
+
+/// Convert a structural path into its index-side pattern form. Total:
+/// every axis/test combination is representable (resolvability is
+/// checked by the index at lookup time).
+pub fn pattern_of(path: &Path) -> PathPattern {
+    let steps = path
+        .steps
+        .iter()
+        .map(|s| {
+            let name = match &s.test {
+                NameTest::Any => None,
+                NameTest::Name(n) => Some(n.clone()),
+            };
+            match s.axis {
+                Axis::Child => PatternStep::Child(name),
+                Axis::Descendant => PatternStep::Descendant(name),
+                Axis::Attribute => PatternStep::Attribute(name),
+            }
+        })
+        .collect();
+    PathPattern::new(steps)
+}
+
+/// The value-index probe key of an attribute value — the exact mirror of
+/// [`crate::key::KeyVal::from_value`], so index probes and hash-bucket
+/// lookups agree on every input (including the deliberate misses: a
+/// numeric probe never equals a string build key).
+pub fn probe_key_of(v: &Value, catalog: &Catalog) -> ValueKey {
+    match v.atomize(catalog) {
+        Value::Null => ValueKey::Null,
+        Value::Bool(b) => ValueKey::Bool(b),
+        Value::Int(i) => ValueKey::num(i as f64),
+        Value::Dec(d) => ValueKey::num(d.0),
+        Value::Str(s) => ValueKey::Str(s.to_string()),
+        other => ValueKey::Other(format!("{other}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime access
+// ---------------------------------------------------------------------
+
+/// Resolve `uri` to its catalog id, or a standard evaluation error.
+pub(crate) fn doc_id_of(uri: &str, ctx: &EvalCtx<'_>) -> EvalResult<xmldb::DocId> {
+    ctx.catalog
+        .by_uri(uri)
+        .ok_or_else(|| EvalError::new(format!("unknown document `{uri}`")))
+}
+
+/// The item sequence an [`PhysPlan::IndexScan`] fans out: the pattern's
+/// nodes in document order, or (with `distinct`) their first-occurrence
+/// distinct atomized values — exactly what the replaced Υ subscript
+/// produced, without touching the document tree.
+pub(crate) fn scan_items(
+    uri: &str,
+    pattern: &PathPattern,
+    distinct: bool,
+    ctx: &mut EvalCtx<'_>,
+) -> EvalResult<Vec<Value>> {
+    let id = doc_id_of(uri, ctx)?;
+    let pidx = ctx.catalog.path_index(id);
+    ctx.metrics.index_lookups += 1;
+    let nodes = pidx.lookup(pattern).ok_or_else(|| {
+        EvalError::new(format!(
+            "pattern `{pattern}` is not resolvable by the path index"
+        ))
+    })?;
+    if !nodes.is_empty() {
+        ctx.metrics.index_hits += 1;
+    }
+    if distinct {
+        let doc = ctx.catalog.doc(id).clone();
+        let values: Vec<Value> = nodes
+            .into_iter()
+            .map(|n| Value::str(doc.string_value(n)))
+            .collect();
+        Ok(nal::sequence::dedup_first_occurrence(&values))
+    } else {
+        Ok(nodes
+            .into_iter()
+            .map(|node| Value::Node(NodeRef { doc: id, node }))
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The rewrite pass
+// ---------------------------------------------------------------------
+
+/// Rewrite a compiled plan to use index-backed access paths wherever the
+/// conversion is provably output-preserving. `catalog` gates conversions
+/// on the referenced document actually being registered.
+pub fn apply_indexes(plan: PhysPlan, catalog: &Catalog) -> PhysPlan {
+    // Try a conversion at this node first (the tracers inspect the
+    // *unconverted* children), then recurse.
+    let plan = try_convert(plan, catalog);
+    map_children(plan, &mut |child| apply_indexes(child, catalog))
+}
+
+fn try_convert(plan: PhysPlan, catalog: &Catalog) -> PhysPlan {
+    match plan {
+        PhysPlan::UnnestMap { input, attr, value } => {
+            match doc_rooted_path(&value, &input, false) {
+                Some((uri, path, distinct)) if scan_convertible(&uri, &path, catalog) => {
+                    PhysPlan::IndexScan {
+                        input,
+                        attr,
+                        uri,
+                        pattern: pattern_of(&path),
+                        distinct,
+                    }
+                }
+                _ => PhysPlan::UnnestMap { input, attr, value },
+            }
+        }
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+            pad,
+        } => {
+            if matches!(kind, JoinKind::Semi | JoinKind::Anti) && left_keys.len() == 1 {
+                if let Some(recipe) = trace_build_recipe(&right, right_keys[0], residual.as_ref()) {
+                    if scan_convertible(&recipe.uri, &recipe.path, catalog) {
+                        return PhysPlan::IndexJoin {
+                            left,
+                            probe: left_keys[0],
+                            key_attr: recipe.key_attr,
+                            uri: recipe.uri,
+                            pattern: pattern_of(&recipe.path),
+                            seeds: recipe.seeds,
+                            ops: recipe.ops,
+                            residual,
+                            kind,
+                        };
+                    }
+                }
+            }
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                kind,
+                pad,
+            }
+        }
+        other => other,
+    }
+}
+
+/// A conversion is worthwhile and safe when the document is registered
+/// and the pattern is resolvable by the path index.
+fn scan_convertible(uri: &str, path: &Path, catalog: &Catalog) -> bool {
+    catalog.by_uri(uri).is_some() && pattern_of(path).is_resolvable()
+}
+
+/// Resolve an Υ subscript to a document-rooted path: `doc(uri)path`
+/// directly, or `Attr(d)path` where `d` is bound to `doc(uri)` somewhere
+/// below in the input chain. `distinct` tracks a `distinct-values`
+/// wrapper. Returns `None` for anything else — in particular for paths
+/// over per-tuple context nodes, which are genuinely tuple-dependent.
+fn doc_rooted_path(
+    value: &Scalar,
+    input: &PhysPlan,
+    distinct: bool,
+) -> Option<(String, Path, bool)> {
+    match value {
+        Scalar::DistinctItems(inner) => doc_rooted_path(inner, input, true),
+        Scalar::Path(base, path) => match base.as_ref() {
+            Scalar::Doc(uri) => Some((uri.clone(), path.clone(), distinct)),
+            Scalar::Attr(d) => {
+                let uri = resolve_doc_binding(input, *d)?;
+                Some((uri, path.clone(), distinct))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Walk an input chain looking for the binding of `d`. Only a `Map` to
+/// `doc(uri)` counts; any operator that could rebind or originate `d`
+/// differently makes the walk decline.
+fn resolve_doc_binding(plan: &PhysPlan, d: Sym) -> Option<String> {
+    match plan {
+        PhysPlan::Map { input, attr, value } => {
+            if *attr == d {
+                match value {
+                    Scalar::Doc(uri) => Some(uri.clone()),
+                    _ => None,
+                }
+            } else {
+                resolve_doc_binding(input, d)
+            }
+        }
+        PhysPlan::UnnestMap { input, attr, .. } | PhysPlan::IndexScan { input, attr, .. } => {
+            if *attr == d {
+                None
+            } else {
+                resolve_doc_binding(input, d)
+            }
+        }
+        PhysPlan::Select { input, .. } => resolve_doc_binding(input, d),
+        PhysPlan::Project { input, op } => {
+            // The name must pass through unrenamed and undropped.
+            let survives = match op {
+                nal::ProjOp::Cols(cols) | nal::ProjOp::DistinctCols(cols) => cols.contains(&d),
+                nal::ProjOp::Drop(cols) => !cols.contains(&d),
+                nal::ProjOp::Rename(pairs) | nal::ProjOp::DistinctRename(pairs) => {
+                    pairs.iter().all(|(new, _)| *new != d)
+                }
+            };
+            if survives {
+                resolve_doc_binding(input, d)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// What the tracer learned about a semi/anti join's build side: the key
+/// column is the nodes of one document-rooted path (in document order,
+/// never dropped before the key binding), plus the recipe to rebuild the
+/// full build rows per candidate node.
+struct BuildRecipe {
+    uri: String,
+    /// Composite document-rooted path of the key column.
+    path: Path,
+    /// Attribute the key binding introduced (post-`Project` renames are
+    /// replayed by the recorded ops, so this is the *binding* name).
+    key_attr: Sym,
+    /// Reconstructable bindings below the key, in chain order.
+    seeds: Vec<SeedBinding>,
+    /// Operators above the key binding, in execution order.
+    ops: Vec<BuildOp>,
+}
+
+/// Prove that a semi/anti join's build side is an indexable document
+/// path scan wrapped in replayable operators.
+///
+/// Walking down from the build root, the accepted shape is
+///
+/// ```text
+/// (Project | Select | Map | UnnestMap)*      — the replayable pipeline
+///   UnnestMap(key ← path over doc/ancestor)  — the key binding
+///     [UnnestMap(ancestor ← …)]*             — invertible ancestor chain
+///       [Map(d ← doc(uri))]* over □          — the singleton seed
+/// ```
+///
+/// with these conditions (each guards an equivalence the differential
+/// suite would otherwise catch):
+///
+/// * pipeline scalars are pure (no nested algebra → no Ξ writes, no
+///   correlated re-evaluation) and never rebind a seed/key attribute,
+/// * pipeline `Project`s keep the key column (renames are replayed;
+///   distinct variants only as the topmost operator of a pipeline with
+///   no residual, where dedup cannot change existence),
+/// * every ancestor binding between the document and the key uses
+///   child/attribute steps only (fixed depth → reconstructable by
+///   parent navigation); a descendant step is accepted only when
+///   nothing references that ancestor,
+/// * the chain roots at `□`, so every key-path node occurs in exactly
+///   one pre-pipeline row.
+///
+/// Anything else — selections below the key, joins, groupings, μ,
+/// `rel(…)` — declines, and the hash join keeps scanning.
+fn trace_build_recipe(
+    plan: &PhysPlan,
+    join_key: Sym,
+    residual: Option<&Scalar>,
+) -> Option<BuildRecipe> {
+    // Phase 1: peel the pipeline, tracking the key column's name down
+    // through renames.
+    let mut ops_rev: Vec<BuildOp> = Vec::new();
+    let mut key = join_key;
+    let mut cur = plan;
+    let (key_binding_value, key_binding_input) = loop {
+        match cur {
+            PhysPlan::Project { input, op } => {
+                match op {
+                    nal::ProjOp::Cols(cols) | nal::ProjOp::DistinctCols(cols) => {
+                        if !cols.contains(&key) {
+                            return None;
+                        }
+                    }
+                    nal::ProjOp::Drop(cols) => {
+                        if cols.contains(&key) {
+                            return None;
+                        }
+                    }
+                    nal::ProjOp::Rename(pairs) | nal::ProjOp::DistinctRename(pairs) => {
+                        key = pairs
+                            .iter()
+                            .find(|(new, _)| *new == key)
+                            .map(|(_, old)| *old)
+                            .unwrap_or(key);
+                    }
+                }
+                // Distinct projections atomize and dedup — existence-
+                // preserving only when nothing downstream (an op above,
+                // or a residual) looks at the re-typed values.
+                let is_distinct = matches!(
+                    op,
+                    nal::ProjOp::DistinctCols(_) | nal::ProjOp::DistinctRename(_)
+                );
+                if is_distinct && (!ops_rev.is_empty() || residual.is_some()) {
+                    return None;
+                }
+                if !is_distinct {
+                    ops_rev.push(BuildOp::Project(op.clone()));
+                }
+                cur = input;
+            }
+            PhysPlan::Select { input, pred } => {
+                if !replay_safe(pred) {
+                    return None;
+                }
+                ops_rev.push(BuildOp::Select(pred.clone()));
+                cur = input;
+            }
+            PhysPlan::Map { input, attr, value } if *attr != key => {
+                if !replay_safe(value) {
+                    return None;
+                }
+                ops_rev.push(BuildOp::Map(*attr, value.clone()));
+                cur = input;
+            }
+            PhysPlan::UnnestMap { input, attr, value } if *attr != key => {
+                if !replay_safe(value) {
+                    return None;
+                }
+                ops_rev.push(BuildOp::UnnestMap(*attr, value.clone()));
+                cur = input;
+            }
+            PhysPlan::UnnestMap { input, attr, value } if *attr == key => {
+                break (value, input);
+            }
+            _ => return None,
+        }
+    };
+
+    // Phase 2: resolve the key binding's subscript to a document-rooted
+    // composite path, collecting ancestor/doc seeds.
+    let mut ops: Vec<BuildOp> = ops_rev.into_iter().rev().collect();
+    let distinct_key = matches!(key_binding_value, Scalar::DistinctItems(_));
+    if distinct_key && (!ops.is_empty() || residual.is_some()) {
+        // Distinct key values are atomized strings, not nodes; only the
+        // bare existence probe is equivalent.
+        return None;
+    }
+    let chain = resolve_key_chain(key_binding_value, key_binding_input)?;
+
+    // Phase 3: reconstructability. The replayed ops and the residual run
+    // over exactly the tuple shape the hash plan had, so errors and
+    // shadowing replicate identically — the only divergence risk is an
+    // attribute bound below the key that parent navigation cannot
+    // rebuild (variable depth). Such a binding is fine only if nothing
+    // reads it.
+    let mut referenced: BTreeSet<Sym> = BTreeSet::new();
+    for op in &ops {
+        match op {
+            BuildOp::Map(_, v) | BuildOp::UnnestMap(_, v) => referenced.extend(v.free_attrs()),
+            BuildOp::Select(p) => referenced.extend(p.free_attrs()),
+            BuildOp::Project(_) => {}
+        }
+    }
+    if let Some(r) = residual {
+        referenced.extend(r.free_attrs());
+    }
+    let mut seeds = Vec::new();
+    for b in chain.bindings {
+        match b {
+            ChainBinding::DocNode(a) => seeds.push(SeedBinding::DocNode(a)),
+            ChainBinding::Ancestor(a, Some(levels)) => seeds.push(SeedBinding::Ancestor(a, levels)),
+            ChainBinding::Ancestor(a, None) => {
+                if referenced.contains(&a) {
+                    return None;
+                }
+            }
+        }
+    }
+    if distinct_key {
+        // Bare distinct existence probe: the pipeline is already empty.
+        ops.clear();
+    }
+    Some(BuildRecipe {
+        uri: chain.uri,
+        path: chain.path,
+        key_attr: key,
+        seeds,
+        ops,
+    })
+}
+
+/// Is this scalar safe to replay lazily, per candidate, instead of
+/// eagerly over every build row?
+///
+/// Two requirements. No nested algebra (a nested quantifier/aggregate
+/// could write Ξ output or be arbitrarily expensive per candidate). And
+/// no *eagerly-erroring* constructs: the index join only replays the
+/// pipeline for probed candidates, so a scalar that would have errored
+/// on some never-probed build row (scan plan: query fails) must not be
+/// deferred (index plan: query succeeds). Arithmetic and `decimal()`
+/// error on non-numeric input; comparisons, `contains()`, paths over
+/// the chain's node bindings, and the other builtins are total on the
+/// values these chains produce.
+fn replay_safe(s: &Scalar) -> bool {
+    match s {
+        Scalar::Exists { .. } | Scalar::Forall { .. } | Scalar::Agg { .. } => false,
+        Scalar::Arith(..) => false,
+        Scalar::Call(f, args) => *f != nal::Func::Decimal && args.iter().all(replay_safe),
+        Scalar::Const(_) | Scalar::Attr(_) | Scalar::Doc(_) => true,
+        Scalar::Cmp(_, l, r) | Scalar::In(l, r) | Scalar::And(l, r) | Scalar::Or(l, r) => {
+            replay_safe(l) && replay_safe(r)
+        }
+        Scalar::Not(x) | Scalar::Lift(x, _) | Scalar::DistinctItems(x) | Scalar::Path(x, _) => {
+            replay_safe(x)
+        }
+    }
+}
+
+/// A binding discovered below the key while resolving its path.
+enum ChainBinding {
+    DocNode(Sym),
+    /// `None` depth = not reconstructable (descendant step in between).
+    Ancestor(Sym, Option<usize>),
+}
+
+struct KeyChain {
+    uri: String,
+    path: Path,
+    /// Bindings below the key, outermost (nearest the key) first.
+    bindings: Vec<ChainBinding>,
+}
+
+/// Resolve the key binding's subscript down to `doc(uri)`, composing
+/// relative paths and recording how each intermediate binding can be
+/// reconstructed from a key node.
+fn resolve_key_chain(value: &Scalar, input: &PhysPlan) -> Option<KeyChain> {
+    match value {
+        Scalar::DistinctItems(inner) => resolve_key_chain(inner, input),
+        Scalar::Path(base, path) => match base.as_ref() {
+            Scalar::Doc(uri) => singleton_seed_bindings(input).map(|bindings| KeyChain {
+                uri: uri.clone(),
+                path: path.clone(),
+                bindings,
+            }),
+            Scalar::Attr(v) => {
+                if let Some(uri) = resolve_doc_binding(input, *v) {
+                    let mut bindings = singleton_seed_bindings(input)?;
+                    // `v` itself is one of the doc bindings; make sure it
+                    // is present even if shadowed oddly.
+                    if !bindings
+                        .iter()
+                        .any(|b| matches!(b, ChainBinding::DocNode(a) if *a == *v))
+                    {
+                        bindings.push(ChainBinding::DocNode(*v));
+                    }
+                    return Some(KeyChain {
+                        uri,
+                        path: path.clone(),
+                        bindings,
+                    });
+                }
+                // `v` must be bound by a directly nested Υ — the
+                // ancestor chain of the key.
+                let PhysPlan::UnnestMap {
+                    input: deeper,
+                    attr,
+                    value: inner_value,
+                } = input
+                else {
+                    return None;
+                };
+                if *attr != *v {
+                    return None;
+                }
+                let inner = resolve_key_chain(inner_value, deeper)?;
+                // Depth of `v` above the key: one level per child or
+                // attribute step; a descendant step makes it variable.
+                let fixed_depth = path
+                    .steps
+                    .iter()
+                    .all(|s| matches!(s.axis, Axis::Child | Axis::Attribute));
+                let mut bindings = vec![ChainBinding::Ancestor(
+                    *v,
+                    fixed_depth.then_some(path.steps.len()),
+                )];
+                // Deeper ancestors sit further from the key: shift their
+                // depths by this binding's (only possible when fixed).
+                for b in inner.bindings {
+                    bindings.push(match b {
+                        ChainBinding::Ancestor(a, Some(d)) if fixed_depth => {
+                            ChainBinding::Ancestor(a, Some(d + path.steps.len()))
+                        }
+                        ChainBinding::Ancestor(a, _) => ChainBinding::Ancestor(a, None),
+                        doc => doc,
+                    });
+                }
+                Some(KeyChain {
+                    uri: inner.uri,
+                    path: inner.path.join(path),
+                    bindings,
+                })
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The doc-binding attributes of a `□`-rooted seed chain, or `None` if
+/// the chain is anything else (which would change row multiplicities).
+fn singleton_seed_bindings(plan: &PhysPlan) -> Option<Vec<ChainBinding>> {
+    match plan {
+        PhysPlan::Singleton => Some(Vec::new()),
+        PhysPlan::Map { input, attr, value } => {
+            if !matches!(value, Scalar::Doc(_)) {
+                return None;
+            }
+            let mut out = singleton_seed_bindings(input)?;
+            out.push(ChainBinding::DocNode(*attr));
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Rebuild a plan with every direct child mapped through `f`.
+fn map_children(plan: PhysPlan, f: &mut impl FnMut(PhysPlan) -> PhysPlan) -> PhysPlan {
+    let fb = |b: Box<PhysPlan>, f: &mut dyn FnMut(PhysPlan) -> PhysPlan| Box::new(f(*b));
+    match plan {
+        leaf @ (PhysPlan::Singleton | PhysPlan::Literal(_) | PhysPlan::AttrRel(_)) => leaf,
+        PhysPlan::Select { input, pred } => PhysPlan::Select {
+            input: fb(input, f),
+            pred,
+        },
+        PhysPlan::Project { input, op } => PhysPlan::Project {
+            input: fb(input, f),
+            op,
+        },
+        PhysPlan::Map { input, attr, value } => PhysPlan::Map {
+            input: fb(input, f),
+            attr,
+            value,
+        },
+        PhysPlan::Cross { left, right } => PhysPlan::Cross {
+            left: fb(left, f),
+            right: fb(right, f),
+        },
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+            pad,
+        } => PhysPlan::HashJoin {
+            left: fb(left, f),
+            right: fb(right, f),
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+            pad,
+        },
+        PhysPlan::LoopJoin {
+            left,
+            right,
+            pred,
+            kind,
+            pad,
+        } => PhysPlan::LoopJoin {
+            left: fb(left, f),
+            right: fb(right, f),
+            pred,
+            kind,
+            pad,
+        },
+        PhysPlan::HashGroupUnary {
+            input,
+            g,
+            by,
+            f: gf,
+        } => PhysPlan::HashGroupUnary {
+            input: fb(input, f),
+            g,
+            by,
+            f: gf,
+        },
+        PhysPlan::ThetaGroupUnary {
+            input,
+            g,
+            by,
+            theta,
+            f: gf,
+        } => PhysPlan::ThetaGroupUnary {
+            input: fb(input, f),
+            g,
+            by,
+            theta,
+            f: gf,
+        },
+        PhysPlan::HashGroupBinary {
+            left,
+            right,
+            g,
+            left_on,
+            right_on,
+            f: gf,
+        } => PhysPlan::HashGroupBinary {
+            left: fb(left, f),
+            right: fb(right, f),
+            g,
+            left_on,
+            right_on,
+            f: gf,
+        },
+        PhysPlan::ThetaGroupBinary {
+            left,
+            right,
+            g,
+            left_on,
+            theta,
+            right_on,
+            f: gf,
+        } => PhysPlan::ThetaGroupBinary {
+            left: fb(left, f),
+            right: fb(right, f),
+            g,
+            left_on,
+            theta,
+            right_on,
+            f: gf,
+        },
+        PhysPlan::Unnest {
+            input,
+            attr,
+            distinct,
+            preserve_empty,
+            inner_attrs,
+        } => PhysPlan::Unnest {
+            input: fb(input, f),
+            attr,
+            distinct,
+            preserve_empty,
+            inner_attrs,
+        },
+        PhysPlan::UnnestMap { input, attr, value } => PhysPlan::UnnestMap {
+            input: fb(input, f),
+            attr,
+            value,
+        },
+        PhysPlan::XiSimple { input, cmds } => PhysPlan::XiSimple {
+            input: fb(input, f),
+            cmds,
+        },
+        PhysPlan::XiGroup {
+            input,
+            by,
+            head,
+            body,
+            tail,
+        } => PhysPlan::XiGroup {
+            input: fb(input, f),
+            by,
+            head,
+            body,
+            tail,
+        },
+        PhysPlan::IndexScan {
+            input,
+            attr,
+            uri,
+            pattern,
+            distinct,
+        } => PhysPlan::IndexScan {
+            input: fb(input, f),
+            attr,
+            uri,
+            pattern,
+            distinct,
+        },
+        PhysPlan::IndexJoin {
+            left,
+            probe,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        } => PhysPlan::IndexJoin {
+            left: fb(left, f),
+            probe,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nal::expr::builder::*;
+    use nal::CmpOp;
+    use xmldb::gen::{gen_bib, BibConfig};
+    use xpath::parse_path;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(gen_bib(&BibConfig {
+            books: 10,
+            authors_per_book: 2,
+            ..BibConfig::default()
+        }));
+        cat
+    }
+
+    fn p(s: &str) -> Path {
+        parse_path(s).unwrap()
+    }
+
+    #[test]
+    fn doc_rooted_scan_converts() {
+        let cat = catalog();
+        let e = doc_scan("d", "bib.xml").unnest_map("b", Scalar::attr("d").path(p("//book")));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let ex = plan.explain();
+        assert!(ex.starts_with("IndexScan"), "{ex}");
+    }
+
+    #[test]
+    fn distinct_scan_converts_with_flag() {
+        let cat = catalog();
+        let e = doc_scan("d", "bib.xml")
+            .unnest_map("a", Scalar::attr("d").path(p("//author")).distinct());
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::IndexScan { distinct, .. } = &plan else {
+            panic!("{}", plan.explain());
+        };
+        assert!(distinct);
+    }
+
+    #[test]
+    fn per_tuple_paths_do_not_convert() {
+        let cat = catalog();
+        // b is bound per tuple: the author step depends on the book.
+        let e = doc_scan("d", "bib.xml")
+            .unnest_map("b", Scalar::attr("d").path(p("//book")))
+            .unnest_map("a", Scalar::attr("b").path(p("/author")));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::UnnestMap { input, .. } = &plan else {
+            panic!("outer Υ must stay scan-based: {}", plan.explain());
+        };
+        assert!(
+            matches!(input.as_ref(), PhysPlan::IndexScan { .. }),
+            "inner doc-rooted Υ must convert: {}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn unknown_documents_do_not_convert() {
+        let cat = Catalog::new();
+        let e = doc_scan("d", "bib.xml").unnest_map("b", Scalar::attr("d").path(p("//book")));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(matches!(plan, PhysPlan::UnnestMap { .. }));
+    }
+
+    #[test]
+    fn semi_join_on_doc_scan_build_converts() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let e = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::IndexJoin { kind, pattern, .. } = &plan else {
+            panic!("{}", plan.explain());
+        };
+        assert_eq!(*kind, JoinKind::Semi);
+        assert_eq!(pattern.key(), "//book/title");
+    }
+
+    #[test]
+    fn composed_build_chain_converts() {
+        let cat = catalog();
+        let probe = doc_scan("d1", "bib.xml")
+            .unnest_map("a1", Scalar::attr("d1").path(p("//author")).distinct());
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .unnest_map("a2", Scalar::attr("b2").path(p("/author")))
+            .project(&["a2"]);
+        let e = probe.antijoin(build, Scalar::attr_cmp(CmpOp::Eq, "a1", "a2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::IndexJoin { kind, pattern, .. } = &plan else {
+            panic!("{}", plan.explain());
+        };
+        assert_eq!(*kind, JoinKind::Anti);
+        assert_eq!(pattern.key(), "//book/author");
+    }
+
+    #[test]
+    fn residual_over_reconstructed_ancestor_converts() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .unnest_map("t2", Scalar::attr("b2").path(p("/title")));
+        // The residual touches b2 — one fixed child step above the key,
+        // so the index join reconstructs it by parent navigation.
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "t1", "t2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b2").path(p("/@year")),
+            Scalar::int(1990),
+        ));
+        let e = probe.semijoin(build, pred);
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::IndexJoin { seeds, .. } = &plan else {
+            panic!("{}", plan.explain());
+        };
+        assert!(
+            seeds.iter().any(
+                |s| matches!(s, crate::plan::SeedBinding::Ancestor(a, 1) if *a == Sym::new("b2"))
+            ),
+            "b2 must be seeded as the key's parent"
+        );
+    }
+
+    #[test]
+    fn variable_depth_ancestor_reference_declines() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("l1", Scalar::attr("d1").path(p("//last")));
+        // l2 sits a *descendant* step below b2: depth is variable, so b2
+        // cannot be reconstructed — and the residual needs it.
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .unnest_map("l2", Scalar::attr("b2").path(p("//last")));
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "l1", "l2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b2").path(p("/@year")),
+            Scalar::int(1990),
+        ));
+        let e = probe.semijoin(build, pred);
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(plan, PhysPlan::HashJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+        // Without the reference the same shape converts.
+        let probe2 =
+            doc_scan("d1", "bib.xml").unnest_map("l1", Scalar::attr("d1").path(p("//last")));
+        let build2 = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .unnest_map("l2", Scalar::attr("b2").path(p("//last")));
+        let e = probe2.semijoin(build2, Scalar::attr_cmp(CmpOp::Eq, "l1", "l2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(plan, PhysPlan::IndexJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn nested_expressions_in_build_filters_decline() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        // A quantifier inside the build-side filter: not replayable.
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .select(Scalar::Exists {
+                var: Sym::new("x"),
+                range: Box::new(nal::expr::builder::singleton().map("y", Scalar::int(1))),
+                pred: Box::new(Scalar::Const(Value::Bool(true))),
+            })
+            .project(&["t2"]);
+        let e = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(plan, PhysPlan::HashJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn erroring_scalars_in_build_pipelines_decline() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        // Arithmetic can error on non-numeric rows the index join would
+        // never replay — the scan plan's failure must be preserved.
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .select(Scalar::cmp(
+                CmpOp::Gt,
+                Scalar::Arith(
+                    nal::ArithOp::Mul,
+                    Box::new(Scalar::attr("t2")),
+                    Box::new(Scalar::int(2)),
+                ),
+                Scalar::int(0),
+            ))
+            .project(&["t2"]);
+        let e = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(plan, PhysPlan::HashJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn literal_build_sides_decline() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build =
+            nal::Expr::Literal(vec![nal::Tuple::singleton(Sym::new("t2"), Value::str("x"))])
+                .project_syms(vec![Sym::new("t2")]);
+        let e = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(plan, PhysPlan::HashJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn residual_over_build_attr_converts() {
+        let cat = catalog();
+        let probe = doc_scan("d1", "bib.xml")
+            .unnest_map("b1", Scalar::attr("d1").path(p("//book")))
+            .map("t1", Scalar::attr("b1").path(p("/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .project(&["b2"]);
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "t1", "b2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b2").path(p("/@year")),
+            Scalar::int(1990),
+        ));
+        let e = probe.semijoin(build, pred);
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(
+                plan,
+                PhysPlan::IndexJoin {
+                    residual: Some(_),
+                    ..
+                }
+            ),
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn filtered_build_side_converts_with_replayed_select() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .select(Scalar::Call(
+                nal::Func::Contains,
+                vec![Scalar::attr("t2"), Scalar::string("a")],
+            ))
+            .project(&["t2"]);
+        let e = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::IndexJoin { ops, .. } = &plan else {
+            panic!("{}", plan.explain());
+        };
+        assert!(
+            ops.iter()
+                .any(|o| matches!(o, crate::plan::BuildOp::Select(_))),
+            "the pushed filter must be replayed per candidate"
+        );
+    }
+
+    #[test]
+    fn probe_keys_mirror_hash_keys() {
+        let cat = catalog();
+        assert_eq!(
+            probe_key_of(&Value::str("x"), &cat),
+            ValueKey::Str("x".into())
+        );
+        assert_eq!(probe_key_of(&Value::Int(2), &cat), ValueKey::num(2.0));
+        assert_eq!(
+            probe_key_of(&Value::Dec(nal::Dec(2.0)), &cat),
+            ValueKey::num(2.0)
+        );
+        assert_eq!(probe_key_of(&Value::Null, &cat), ValueKey::Null);
+        assert!(!probe_key_of(&Value::Null, &cat).matchable());
+    }
+
+    #[test]
+    fn pattern_conversion_roundtrips_display() {
+        for s in ["//book/title", "/bib/book/@year", "//author"] {
+            assert_eq!(pattern_of(&p(s)).key(), s);
+        }
+    }
+}

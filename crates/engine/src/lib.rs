@@ -14,11 +14,13 @@
 //! identical to `nal::eval`.
 
 pub mod exec;
+pub mod index;
 pub mod key;
 pub mod pipeline;
 pub mod plan;
 
 pub use exec::execute;
+pub use index::apply_indexes;
 pub use pipeline::{drain, Cursor};
 pub use plan::{compile, JoinKind, PhysPlan};
 
@@ -77,4 +79,23 @@ pub fn run_streaming_compiled(plan: &PhysPlan, catalog: &Catalog) -> EvalResult<
         metrics: ctx.metrics,
         elapsed,
     })
+}
+
+/// Compile with index-backed access paths: [`compile`] followed by the
+/// [`index::apply_indexes`] rewrite. Document-rooted path scans become
+/// [`PhysPlan::IndexScan`]s and hash semi/anti joins over such scans
+/// become [`PhysPlan::IndexJoin`]s wherever the conversion is provably
+/// output-preserving; everything else compiles exactly as [`compile`].
+pub fn compile_indexed(expr: &Expr, catalog: &Catalog) -> PhysPlan {
+    index::apply_indexes(compile(expr), catalog)
+}
+
+/// [`run`] on an index-backed plan ([`compile_indexed`]).
+pub fn run_indexed(expr: &Expr, catalog: &Catalog) -> EvalResult<QueryResult> {
+    run_compiled(&compile_indexed(expr, catalog), catalog)
+}
+
+/// [`run_streaming`] on an index-backed plan ([`compile_indexed`]).
+pub fn run_streaming_indexed(expr: &Expr, catalog: &Catalog) -> EvalResult<QueryResult> {
+    run_streaming_compiled(&compile_indexed(expr, catalog), catalog)
 }

@@ -271,6 +271,63 @@ impl Cursor for LoopJoin<'_> {
     }
 }
 
+/// Index nested-loop semi/anti join: no build side at all — each probe
+/// tuple is answered by one value-index lookup (plus residual
+/// evaluation over the posting list, in document order, when present).
+/// Short-circuits exactly like the hash cursors: the first passing
+/// candidate decides.
+pub struct IndexJoin<'p> {
+    pub left: super::cursor::BoxCursor<'p>,
+    pub probe: Sym,
+    pub key_attr: Sym,
+    pub uri: &'p str,
+    pub pattern: &'p xmldb::PathPattern,
+    pub seeds: &'p [crate::plan::SeedBinding],
+    pub ops: &'p [crate::plan::BuildOp],
+    pub residual: Option<&'p Scalar>,
+    pub kind: &'p JoinKind,
+    pub env: Tuple,
+    pub access: Option<crate::exec::IndexJoinAccess>,
+}
+
+impl Cursor for IndexJoin<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.access.is_none() {
+            self.access = Some(crate::exec::IndexJoinAccess::resolve(
+                self.uri,
+                self.pattern,
+                ctx,
+            )?);
+        }
+        while let Some(lt) = self.left.next(ctx)? {
+            let access = self.access.as_ref().expect("resolved above");
+            let matched = access.probe_matches(
+                &lt,
+                self.probe,
+                self.key_attr,
+                self.seeds,
+                self.ops,
+                self.residual,
+                true,
+                &self.env,
+                ctx,
+            )?;
+            let emit = matches!(self.kind, JoinKind::Semi) == matched;
+            if emit {
+                return Ok(Some(lt));
+            }
+        }
+        Ok(None)
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Semi => "IndexSemiJoin",
+            _ => "IndexAntiJoin",
+        }
+    }
+}
+
 /// Binary Γ with hash lookup: build buckets on the right once, then
 /// stream the left, aggregating each tuple's group lazily.
 pub struct HashGroupBinary<'p> {

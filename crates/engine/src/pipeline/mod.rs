@@ -61,7 +61,9 @@ fn node_emits_xi(plan: &PhysPlan) -> bool {
         PhysPlan::XiSimple { .. } | PhysPlan::XiGroup { .. } => return true,
         PhysPlan::Select { pred, .. } | PhysPlan::LoopJoin { pred, .. } => vec![pred],
         PhysPlan::Map { value, .. } | PhysPlan::UnnestMap { value, .. } => vec![value],
-        PhysPlan::HashJoin { residual, .. } => residual.iter().collect(),
+        PhysPlan::HashJoin { residual, .. } | PhysPlan::IndexJoin { residual, .. } => {
+            residual.iter().collect()
+        }
         PhysPlan::HashGroupUnary { f, .. }
         | PhysPlan::ThetaGroupUnary { f, .. }
         | PhysPlan::HashGroupBinary { f, .. }
@@ -71,7 +73,9 @@ fn node_emits_xi(plan: &PhysPlan) -> bool {
         | PhysPlan::AttrRel(_)
         | PhysPlan::Project { .. }
         | PhysPlan::Cross { .. }
-        | PhysPlan::Unnest { .. } => vec![],
+        | PhysPlan::Unnest { .. }
+        // Index scans have a pure structural subscript by construction.
+        | PhysPlan::IndexScan { .. } => vec![],
     };
     scalars.into_iter().any(scalar_emits_xi)
 }
@@ -92,7 +96,9 @@ fn contains_xi(plan: &PhysPlan) -> bool {
         | PhysPlan::Unnest { input, .. }
         | PhysPlan::UnnestMap { input, .. }
         | PhysPlan::XiSimple { input, .. }
-        | PhysPlan::XiGroup { input, .. } => contains_xi(input),
+        | PhysPlan::XiGroup { input, .. }
+        | PhysPlan::IndexScan { input, .. } => contains_xi(input),
+        PhysPlan::IndexJoin { left, .. } => contains_xi(left),
         PhysPlan::Cross { left, right }
         | PhysPlan::HashJoin { left, right, .. }
         | PhysPlan::LoopJoin { left, right, .. }
@@ -301,6 +307,46 @@ pub fn lower<'p>(plan: &'p PhysPlan, env: &Tuple) -> BoxCursor<'p> {
             tail,
             env: env.clone(),
             groups: None,
+        }),
+        PhysPlan::IndexScan {
+            input,
+            attr,
+            uri,
+            pattern,
+            distinct,
+        } => Box::new(ops::IndexScan {
+            input: lower(input, env),
+            attr: *attr,
+            uri,
+            pattern,
+            distinct: *distinct,
+            items: None,
+            pending: Default::default(),
+        }),
+        PhysPlan::IndexJoin {
+            left,
+            probe,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        } => Box::new(join::IndexJoin {
+            // A Ξ-writing residual must see the whole left byte stream
+            // first, as in the materializing executor's bottom-up order.
+            left: lower_input(plan, left, env),
+            probe: *probe,
+            key_attr: *key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual: residual.as_ref(),
+            kind,
+            env: env.clone(),
+            access: None,
         }),
     };
     Box::new(Metered { inner, name })

@@ -176,6 +176,49 @@ impl Cursor for UnnestMap<'_> {
     }
 }
 
+/// Index-backed Υ: the item list comes from the path index (resolved
+/// once, on the first pull — the path is document-rooted, so it is the
+/// same for every input tuple) and fans out per input tuple exactly as
+/// the replaced scan would.
+pub struct IndexScan<'p> {
+    pub input: BoxCursor<'p>,
+    pub attr: Sym,
+    pub uri: &'p str,
+    pub pattern: &'p xmldb::PathPattern,
+    pub distinct: bool,
+    pub items: Option<Vec<Value>>,
+    pub pending: VecDeque<Tuple>,
+}
+
+impl Cursor for IndexScan<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.items.is_none() {
+            self.items = Some(crate::index::scan_items(
+                self.uri,
+                self.pattern,
+                self.distinct,
+                ctx,
+            )?);
+        }
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Ok(Some(t));
+            }
+            let Some(t) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            let items = self.items.as_ref().expect("resolved above");
+            for item in items {
+                self.pending.push_back(t.extend(self.attr, item.clone()));
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        "IndexScan"
+    }
+}
+
 /// Ξ — result construction, fully pipelined: each pulled tuple is
 /// serialized and passed through. When the input subtree itself writes Ξ
 /// output, lowering inserts a `Materialize` barrier below this cursor so

@@ -121,6 +121,73 @@ pub enum PhysPlan {
         body: Vec<XiCmd>,
         tail: Vec<XiCmd>,
     },
+    /// Index-backed document path scan: replaces an `UnnestMap` whose
+    /// subscript is a document-rooted structural path. The node sequence
+    /// comes from the catalog's [`xmldb::PathIndex`] (document order, no
+    /// tree traversal); each input tuple fans out over it exactly as the
+    /// replaced Υ would. Produced only by
+    /// [`crate::index::apply_indexes`].
+    IndexScan {
+        input: Box<PhysPlan>,
+        attr: Sym,
+        uri: String,
+        /// Index-side form of the path (resolvable by the path index).
+        pattern: xmldb::PathPattern,
+        /// `true` when the subscript was wrapped in `distinct-values`:
+        /// emit first-occurrence distinct *atomized* values instead of
+        /// nodes.
+        distinct: bool,
+    },
+    /// Index nested-loop semi/anti join: replaces a hash semi/anti join
+    /// whose build side is a document path scan (possibly wrapped in
+    /// filters, computed columns, and fan-outs). Probes the
+    /// [`xmldb::ValueIndex`] of `(uri, pattern)` per left tuple instead
+    /// of building (and scanning) the right side at all; for each
+    /// candidate node the original build rows are *reconstructed* — the
+    /// candidate seeds the key column, ancestor bindings come back by
+    /// parent navigation, and the recorded post-key operator pipeline
+    /// re-runs over that single seed — so filters and residuals see
+    /// exactly the tuples (in exactly the bucket order) the hash join
+    /// would have examined.
+    IndexJoin {
+        left: Box<PhysPlan>,
+        /// Left-side probe key attribute.
+        probe: Sym,
+        /// Build-side attribute the candidate node seeds.
+        key_attr: Sym,
+        uri: String,
+        pattern: xmldb::PathPattern,
+        /// Reconstructed bindings below the key (chain order).
+        seeds: Vec<SeedBinding>,
+        /// Post-key build operators, in execution order.
+        ops: Vec<BuildOp>,
+        residual: Option<Scalar>,
+        /// `Semi` or `Anti` only.
+        kind: JoinKind,
+    },
+}
+
+/// How an [`PhysPlan::IndexJoin`] reconstructs a build-side binding from
+/// a candidate key node.
+#[derive(Clone, Debug)]
+pub enum SeedBinding {
+    /// The attribute holds the document node (a `doc(…)` binding).
+    DocNode(Sym),
+    /// The attribute holds the `levels`-th ancestor of the key node
+    /// (every relative step between the two bindings is a child or
+    /// attribute step, so the depth is fixed).
+    Ancestor(Sym, usize),
+}
+
+/// One post-key build operator replayed per candidate by an
+/// [`PhysPlan::IndexJoin`]. All scalars are pure (no nested algebra), so
+/// replaying them cannot write Ξ output.
+#[derive(Clone, Debug)]
+pub enum BuildOp {
+    Map(Sym, Scalar),
+    UnnestMap(Sym, Scalar),
+    Select(Scalar),
+    Project(ProjOp),
 }
 
 impl PhysPlan {
@@ -154,6 +221,12 @@ impl PhysPlan {
             PhysPlan::UnnestMap { .. } => "UnnestMap",
             PhysPlan::XiSimple { .. } => "Xi",
             PhysPlan::XiGroup { .. } => "XiGroup",
+            PhysPlan::IndexScan { .. } => "IndexScan",
+            PhysPlan::IndexJoin { kind, .. } => match kind {
+                JoinKind::Semi => "IndexSemiJoin",
+                JoinKind::Anti => "IndexAntiJoin",
+                JoinKind::Inner | JoinKind::Outer { .. } => "IndexJoin",
+            },
         }
     }
 
@@ -186,7 +259,9 @@ impl PhysPlan {
             | PhysPlan::Unnest { input, .. }
             | PhysPlan::UnnestMap { input, .. }
             | PhysPlan::XiSimple { input, .. }
-            | PhysPlan::XiGroup { input, .. } => vec![input],
+            | PhysPlan::XiGroup { input, .. }
+            | PhysPlan::IndexScan { input, .. } => vec![input],
+            PhysPlan::IndexJoin { left, .. } => vec![left],
             PhysPlan::Cross { left, right }
             | PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::LoopJoin { left, right, .. }

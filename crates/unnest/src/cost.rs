@@ -12,14 +12,29 @@
 //! * path evaluation pays the visited subtree,
 //! * and — the decisive term — a **nested scalar expression pays its full
 //!   cost once per outer tuple**, which is exactly why nested plans lose.
+//!
+//! The model has an **index mode** ([`CostModel::with_indexes`],
+//! [`rank_plans_with`], [`unnest_cheapest_with`]) matching the engine's
+//! index-backed access paths: document-rooted path scans are priced as
+//! index lookups (result size, not visited subtree) and semi/anti joins
+//! whose build side is an indexable document path are priced as one
+//! value-index probe per left tuple — no build-side scan at all. This is
+//! what lets the cost-based chooser prefer the quantifier-join plans
+//! whenever indexes make them win.
+//!
+//! Statistics come from [`Catalog::stats`], which memoizes one
+//! [`DocStats`] walk per document across every `CostModel` instance.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use nal::{Expr, ProjOp, Scalar};
+use nal::expr::attrs::attr_set;
+use nal::{CmpOp, Expr, ProjOp, Scalar};
 use xmldb::{Catalog, DocStats};
 use xpath::{Axis, Path};
 
 use crate::driver::PlanChoice;
+use crate::schema::value_descriptor;
 
 /// Estimated cardinality and cost of an expression.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -30,10 +45,12 @@ pub struct Estimate {
     pub cost: f64,
 }
 
-/// Estimator with per-document statistics (collected lazily).
+/// Estimator with per-document statistics (memoized on the catalog).
 pub struct CostModel<'a> {
     catalog: &'a Catalog,
-    stats: HashMap<String, DocStats>,
+    stats: HashMap<String, Arc<DocStats>>,
+    /// Price index-backed access paths (engine `compile_indexed`).
+    use_indexes: bool,
 }
 
 /// Default selectivity of a non-correlating predicate.
@@ -41,18 +58,26 @@ const SELECTIVITY: f64 = 0.5;
 
 impl<'a> CostModel<'a> {
     pub fn new(catalog: &'a Catalog) -> CostModel<'a> {
+        CostModel::with_indexes(catalog, false)
+    }
+
+    /// A model that prices index-backed access paths when `use_indexes`.
+    pub fn with_indexes(catalog: &'a Catalog, use_indexes: bool) -> CostModel<'a> {
         CostModel {
             catalog,
             stats: HashMap::new(),
+            use_indexes,
         }
     }
 
     fn stats_for(&mut self, uri: &str) -> Option<&DocStats> {
         if !self.stats.contains_key(uri) {
-            let doc = self.catalog.doc_by_uri(uri)?;
-            self.stats.insert(uri.to_string(), DocStats::collect(doc));
+            // `Catalog::stats` memoizes the document walk globally; the
+            // local map only avoids re-taking the catalog's lock.
+            let stats = self.catalog.stats_by_uri(uri)?;
+            self.stats.insert(uri.to_string(), stats);
         }
-        self.stats.get(uri)
+        self.stats.get(uri).map(Arc::as_ref)
     }
 
     /// Estimate an expression (top-level: no outer bindings).
@@ -120,11 +145,23 @@ impl<'a> CostModel<'a> {
                     cost: l.cost + r.cost + l.rows + r.rows,
                 }
             }
-            Expr::SemiJoin { left, right, .. } | Expr::AntiJoin { left, right, .. } => {
+            Expr::SemiJoin { left, right, pred } | Expr::AntiJoin { left, right, pred } => {
                 let l = self.est(left);
+                let rows = (l.rows * SELECTIVITY).max(1.0);
+                // Index mode: a quantifier join over an indexable build
+                // side never executes the build — each left tuple pays
+                // one value-index probe instead.
+                if self.use_indexes {
+                    if let Some(probe) = self.index_probe_cost(left, right, pred) {
+                        return Estimate {
+                            rows,
+                            cost: l.cost + l.rows * probe,
+                        };
+                    }
+                }
                 let r = self.est(right);
                 Estimate {
-                    rows: (l.rows * SELECTIVITY).max(1.0),
+                    rows,
                     cost: l.cost + r.cost + l.rows + r.rows,
                 }
             }
@@ -217,16 +254,67 @@ impl<'a> CostModel<'a> {
         }
     }
 
+    /// Can the engine answer this semi/anti join with a value-index
+    /// probe? Mirrors `engine::index`'s convertibility conditions at the
+    /// logical level so index-mode ranking does not price plans the
+    /// engine would in fact run as scan joins:
+    ///
+    /// * exactly **one** equi conjunct between a left and a right
+    ///   attribute (the physical converter requires a single hash key),
+    /// * no nested algebraic expressions anywhere in the build side
+    ///   (they are not replayable per candidate),
+    /// * the right column traces to a document-rooted path — through
+    ///   build-side selections, which the engine replays (the strict
+    ///   [`value_descriptor`] declines them because *it* must prove
+    ///   value-set equality; for existence probing a filtered subset is
+    ///   fine).
+    ///
+    /// Returns the per-left-tuple probe cost: a B-tree-ish `log₂` of the
+    /// key count.
+    fn index_probe_cost(&mut self, left: &Expr, right: &Expr, pred: &Scalar) -> Option<f64> {
+        let a_l = attr_set(left);
+        let a_r = attr_set(right);
+        let mut right_cols = pred.conjuncts().into_iter().filter_map(|c| match c {
+            Scalar::Cmp(CmpOp::Eq, x, y) => match (x.as_ref(), y.as_ref()) {
+                (Scalar::Attr(xa), Scalar::Attr(ya)) if a_l.contains(xa) && a_r.contains(ya) => {
+                    Some(*ya)
+                }
+                (Scalar::Attr(xa), Scalar::Attr(ya)) if a_r.contains(xa) && a_l.contains(ya) => {
+                    Some(*xa)
+                }
+                _ => None,
+            },
+            _ => None,
+        });
+        let right_col = right_cols.next()?;
+        if right_cols.next().is_some() {
+            return None; // multi-key joins compile to hash, not index
+        }
+        if right.has_nested_scalars() {
+            return None;
+        }
+        let desc = value_descriptor(&strip_selections(right), right_col)?;
+        let uri = desc.uri().to_string();
+        let name = final_name(desc.path())?;
+        let stats = self.stats_for(&uri)?;
+        let keys = stats.distinct(&name).max(1) as f64;
+        Some(1.0 + (keys + 2.0).log2())
+    }
+
     /// Fan-out and per-tuple cost of an Υ subscript. Document-rooted
-    /// descendant paths are priced from statistics; anything else gets a
-    /// neutral default.
+    /// descendant paths are priced from statistics (as an index lookup
+    /// in index mode — result size, not visited subtree); per-tuple
+    /// child steps are priced by the parent→child [`DocStats::avg_fanout`]
+    /// when the provenance is traceable; anything else gets a neutral
+    /// default.
     fn path_fanout(&mut self, value: &Scalar, input: &Expr) -> (f64, f64) {
         match value {
             Scalar::DistinctItems(inner) => {
                 let (f, c) = self.path_fanout(inner, input);
                 (f * 0.7, c)
             }
-            Scalar::Path(_, path) => {
+            Scalar::Path(base, path) => {
+                let use_indexes = self.use_indexes;
                 if let Some(desc) = crate::schema::value_descriptor(
                     &Expr::UnnestMap {
                         input: Box::new(input.clone()),
@@ -236,15 +324,44 @@ impl<'a> CostModel<'a> {
                     nal::Sym::new("γ-cost-probe"),
                 ) {
                     let uri = desc.uri().to_string();
+                    let trail: Option<Vec<String>> = desc
+                        .path()
+                        .element_trail()
+                        .map(|t| t.iter().map(|s| s.to_string()).collect());
+                    // The descriptor path equals the subscript's own path
+                    // exactly when the base resolved to the document node
+                    // (composition through a per-tuple context column
+                    // prepends that column's steps).
+                    let doc_rooted = matches!(base.as_ref(), Scalar::Doc(_))
+                        || desc.path().steps.len() == path.steps.len();
                     if let Some(stats) = self.stats_for(&uri) {
                         if let Some(name) = final_name(desc.path()) {
                             let count = stats.elements(&name).max(1) as f64;
-                            let scan = if desc.path().has_descendant() {
-                                stats.total_nodes as f64
-                            } else {
-                                count
-                            };
-                            return (count, scan);
+                            if doc_rooted {
+                                // The whole document-rooted path is
+                                // evaluated per tuple.
+                                let scan = if use_indexes {
+                                    // Index lookup: pay the result, not
+                                    // the traversal.
+                                    1.0 + count
+                                } else if desc.path().has_descendant() {
+                                    stats.total_nodes as f64
+                                } else {
+                                    count
+                                };
+                                return (count, scan);
+                            }
+                            // Per-tuple relative step: the fan-out under
+                            // one context node, not the document total.
+                            if let Some(trail) = &trail {
+                                if trail.len() >= 2 && !path.has_descendant() {
+                                    let parent = &trail[trail.len() - 2];
+                                    let child = &trail[trail.len() - 1];
+                                    let fanout = stats.avg_fanout(parent, child);
+                                    return (fanout, 1.0 + fanout);
+                                }
+                            }
+                            return (count, count);
                         }
                     }
                 }
@@ -252,6 +369,30 @@ impl<'a> CostModel<'a> {
             }
             _ => (2.0, 1.0),
         }
+    }
+}
+
+/// Drop σ operators from a unary chain so the provenance tracer sees
+/// through build-side filters (which the engine's index join replays
+/// per candidate rather than declining).
+fn strip_selections(e: &Expr) -> Expr {
+    match e {
+        Expr::Select { input, .. } => strip_selections(input),
+        Expr::Project { input, op } => Expr::Project {
+            input: Box::new(strip_selections(input)),
+            op: op.clone(),
+        },
+        Expr::Map { input, attr, value } => Expr::Map {
+            input: Box::new(strip_selections(input)),
+            attr: *attr,
+            value: value.clone(),
+        },
+        Expr::UnnestMap { input, attr, value } => Expr::UnnestMap {
+            input: Box::new(strip_selections(input)),
+            attr: *attr,
+            value: value.clone(),
+        },
+        other => other.clone(),
     }
 }
 
@@ -274,7 +415,17 @@ fn path_step_cost(path: &Path) -> f64 {
 
 /// Rank plan alternatives by estimated cost, cheapest first.
 pub fn rank_plans(plans: Vec<PlanChoice>, catalog: &Catalog) -> Vec<(PlanChoice, Estimate)> {
-    let mut model = CostModel::new(catalog);
+    rank_plans_with(plans, catalog, false)
+}
+
+/// [`rank_plans`] with an explicit index mode, matching the executor
+/// the plan will run on (`engine::compile` vs `engine::compile_indexed`).
+pub fn rank_plans_with(
+    plans: Vec<PlanChoice>,
+    catalog: &Catalog,
+    use_indexes: bool,
+) -> Vec<(PlanChoice, Estimate)> {
+    let mut model = CostModel::with_indexes(catalog, use_indexes);
     let mut ranked: Vec<(PlanChoice, Estimate)> = plans
         .into_iter()
         .map(|p| {
@@ -289,8 +440,13 @@ pub fn rank_plans(plans: Vec<PlanChoice>, catalog: &Catalog) -> Vec<(PlanChoice,
 /// Cost-based variant of [`crate::unnest_best`]: enumerate the plan
 /// alternatives and pick the cheapest by the model.
 pub fn unnest_cheapest(expr: &Expr, catalog: &Catalog) -> (Expr, Estimate) {
+    unnest_cheapest_with(expr, catalog, false)
+}
+
+/// [`unnest_cheapest`] with an explicit index mode.
+pub fn unnest_cheapest_with(expr: &Expr, catalog: &Catalog, use_indexes: bool) -> (Expr, Estimate) {
     let plans = crate::enumerate_plans(expr, catalog);
-    let ranked = rank_plans(plans, catalog);
+    let ranked = rank_plans_with(plans, catalog, use_indexes);
     let (p, est) = ranked.into_iter().next().expect("at least the nested plan");
     (p.expr, est)
 }
@@ -411,6 +567,125 @@ mod tests {
             "winner {} vs nested {nested_cost}",
             est.cost
         );
+    }
+
+    #[test]
+    fn index_mode_prices_quantifier_joins_below_scan_joins() {
+        let cat = catalog(500);
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let semi = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let scan_cost = CostModel::new(&cat).estimate(&semi).cost;
+        let index_cost = CostModel::with_indexes(&cat, true).estimate(&semi).cost;
+        assert!(
+            index_cost < scan_cost,
+            "index probe ({index_cost}) must undercut the build-side scan ({scan_cost})"
+        );
+        // And the gap grows with the build side: the probe cost is
+        // logarithmic in the key count while the scan is linear in the
+        // document.
+        assert!(index_cost * 2.0 < scan_cost, "{index_cost} vs {scan_cost}");
+    }
+
+    #[test]
+    fn index_pricing_mirrors_engine_convertibility() {
+        let cat = catalog(200);
+        let probe = doc_scan("d1", "bib.xml")
+            .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")))
+            .unnest_map("y1", Scalar::attr("d1").path(p("//book/@year")));
+        let build =
+            doc_scan("d2", "bib.xml").unnest_map("t2", Scalar::attr("d2").path(p("//book/title")));
+        let single_pred = Scalar::attr_cmp(CmpOp::Eq, "t1", "t2");
+        let mut m = CostModel::with_indexes(&cat, true);
+        // Single-key over a document path: priced as a probe.
+        assert!(m.index_probe_cost(&probe, &build, &single_pred).is_some());
+        // Multi-key predicates compile to hash joins (the engine's
+        // converter requires a single key) — no index discount.
+        let build2 = build
+            .clone()
+            .unnest_map("y2", Scalar::attr("d2").path(p("//book/@year")));
+        let multi_pred =
+            Scalar::attr_cmp(CmpOp::Eq, "t1", "t2").and(Scalar::attr_cmp(CmpOp::Eq, "y1", "y2"));
+        assert_eq!(m.index_probe_cost(&probe, &build2, &multi_pred), None);
+        // A filtered build side *is* convertible (the engine replays the
+        // σ per candidate) and keeps the discount…
+        let filtered = build.clone().select(Scalar::Call(
+            nal::Func::Contains,
+            vec![Scalar::attr("t2"), Scalar::string("a")],
+        ));
+        assert!(m
+            .index_probe_cost(&probe, &filtered, &single_pred)
+            .is_some());
+        // …but a nested algebraic expression in the build is not
+        // replayable and must decline.
+        let nested = build.select(Scalar::Exists {
+            var: nal::Sym::new("x"),
+            range: Box::new(nal::expr::builder::singleton().map("y", Scalar::int(1))),
+            pred: Box::new(Scalar::Const(nal::Value::Bool(true))),
+        });
+        assert_eq!(m.index_probe_cost(&probe, &nested, &single_pred), None);
+    }
+
+    #[test]
+    fn index_mode_keeps_quantifier_plans_ahead_of_nested() {
+        let cat = catalog(120);
+        let probe = doc_scan("d1", "bib.xml")
+            .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")))
+            .project(&["t1"]);
+        let range =
+            doc_scan("d3", "bib.xml").unnest_map("t3", Scalar::attr("d3").path(p("//book/title")));
+        let q = probe.select(Scalar::Exists {
+            var: nal::Sym::new("t2"),
+            range: Box::new(
+                range
+                    .select(Scalar::attr_cmp(CmpOp::Eq, "t1", "t3"))
+                    .project(&["t3"]),
+            ),
+            pred: Box::new(Scalar::Const(nal::Value::Bool(true))),
+        });
+        let (indexed_best, est) = unnest_cheapest_with(&q, &cat, true);
+        assert_ne!(indexed_best, q, "index mode must still unnest");
+        let nested_cost = CostModel::with_indexes(&cat, true).estimate(&q).cost;
+        assert!(
+            est.cost * 10.0 < nested_cost,
+            "winner {} vs nested {nested_cost}",
+            est.cost
+        );
+        // Index-aware ranking agrees with scan-based ranking on the
+        // winner here, but prices it strictly cheaper.
+        let (_, scan_est) = unnest_cheapest(&q, &cat);
+        assert!(
+            est.cost < scan_est.cost,
+            "indexed {} vs scan {}",
+            est.cost,
+            scan_est.cost
+        );
+    }
+
+    #[test]
+    fn relative_child_steps_use_avg_fanout() {
+        let cat = catalog(100); // 3 authors per book
+        let mut m = CostModel::new(&cat);
+        let books = doc_scan("d", "bib.xml").unnest_map("b", Scalar::attr("d").path(p("//book")));
+        let authors = books
+            .clone()
+            .unnest_map("a", Scalar::attr("b").path(p("/author")));
+        let est_books = m.estimate(&books);
+        let est_authors = m.estimate(&authors);
+        let ratio = est_authors.rows / est_books.rows;
+        assert!(
+            (ratio - 3.0).abs() < 0.5,
+            "per-book author fan-out should be ≈3, got {ratio}"
+        );
+        // A path under an absent parent prices as empty, not as NaN/inf
+        // (the avg_fanout guard).
+        let ghosts = books.unnest_map("g", Scalar::attr("b").path(p("/ghost")));
+        let est = m.estimate(&ghosts);
+        assert!(est.rows.is_finite() && est.cost.is_finite());
+        assert!(est.rows >= 1.0);
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod eqv;
 pub mod prune;
 pub mod schema;
 
-pub use cost::{rank_plans, unnest_cheapest, CostModel, Estimate};
+pub use cost::{
+    rank_plans, rank_plans_with, unnest_cheapest, unnest_cheapest_with, CostModel, Estimate,
+};
 pub use driver::{enumerate_plans, unnest_best, PlanChoice, RewriteTrace};
 pub use prune::prune;
 pub use schema::{column_path, value_descriptor, values_match, ValueDescriptor};

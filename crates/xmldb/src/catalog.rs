@@ -6,9 +6,11 @@
 //! setup where the documents are resident in the database cache).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use crate::document::Document;
+use crate::index::{IndexCatalog, PathIndex, PathPattern, ValueIndex};
+use crate::stats::DocStats;
 
 /// Index of a document within a [`Catalog`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -21,11 +23,16 @@ impl DocId {
     }
 }
 
-/// A registry of documents addressable by URI.
+/// A registry of documents addressable by URI, with lazily built
+/// per-document statistics and access-path indexes (both cached behind
+/// interior mutability so the catalog stays shareable by `&` during
+/// execution).
 #[derive(Default)]
 pub struct Catalog {
     docs: Vec<Arc<Document>>,
     by_uri: HashMap<String, DocId>,
+    stats: RwLock<HashMap<DocId, Arc<DocStats>>>,
+    indexes: IndexCatalog,
 }
 
 impl Catalog {
@@ -43,6 +50,8 @@ impl Catalog {
     pub fn register_arc(&mut self, doc: Arc<Document>) -> DocId {
         if let Some(&id) = self.by_uri.get(&doc.uri) {
             self.docs[id.index()] = doc;
+            self.stats.write().expect("stats lock").remove(&id);
+            self.indexes.invalidate(id);
             return id;
         }
         let id = DocId(u32::try_from(self.docs.len()).expect("too many documents"));
@@ -82,6 +91,47 @@ impl Catalog {
             .enumerate()
             .map(|(i, d)| (DocId(i as u32), d))
     }
+
+    /// Memoized per-document statistics: the first call walks the
+    /// document once ([`DocStats::collect`]); repeated callers (every
+    /// `CostModel::new`, the index cost estimates) share the result.
+    pub fn stats(&self, id: DocId) -> Arc<DocStats> {
+        if let Some(s) = self.stats.read().expect("stats lock").get(&id) {
+            return s.clone();
+        }
+        let collected = Arc::new(DocStats::collect(self.doc(id)));
+        let mut w = self.stats.write().expect("stats lock");
+        w.entry(id).or_insert(collected).clone()
+    }
+
+    /// Memoized statistics by URI.
+    pub fn stats_by_uri(&self, uri: &str) -> Option<Arc<DocStats>> {
+        self.by_uri(uri).map(|id| self.stats(id))
+    }
+
+    /// The access-path index registry.
+    pub fn indexes(&self) -> &IndexCatalog {
+        &self.indexes
+    }
+
+    /// The path index of `id`, built lazily on first use.
+    pub fn path_index(&self, id: DocId) -> Arc<PathIndex> {
+        self.indexes.path_index(id, self.doc(id))
+    }
+
+    /// The value index of `(id, pattern)`, built lazily on first use.
+    /// `None` when the pattern is not resolvable by the path index.
+    pub fn value_index(&self, id: DocId, pattern: &PathPattern) -> Option<Arc<ValueIndex>> {
+        self.indexes.value_index(id, self.doc(id), pattern)
+    }
+
+    /// Eagerly build every document's path index (the "at catalog load"
+    /// strategy; the default is lazy build on first lookup).
+    pub fn prewarm_indexes(&self) {
+        for (id, doc) in self.iter() {
+            self.indexes.path_index(id, doc);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +161,18 @@ mod tests {
         assert_eq!(id1, id2);
         assert_eq!(cat.len(), 1);
         assert_eq!(cat.doc(id1).node_count(), 3);
+    }
+
+    #[test]
+    fn stats_are_memoized_and_invalidated_on_replace() {
+        let mut cat = Catalog::new();
+        let id = cat.register(parse_document("a.xml", "<a><b/><b/></a>").unwrap());
+        let s1 = cat.stats(id);
+        let s2 = cat.stats(id);
+        assert!(Arc::ptr_eq(&s1, &s2), "repeated calls must share one walk");
+        assert_eq!(s1.elements("b"), 2);
+        cat.register(parse_document("a.xml", "<a><b/></a>").unwrap());
+        assert_eq!(cat.stats(id).elements("b"), 1, "stale stats must drop");
+        assert!(cat.stats_by_uri("missing.xml").is_none());
     }
 }

@@ -1,0 +1,151 @@
+//! Ordered access-path indexes.
+//!
+//! The paper's quantifier rewrites turn `some`/`every` into semi/anti
+//! joins, but both executors still *scan* full document sequences for
+//! every build and probe. This subsystem provides the order-aware access
+//! paths that make those joins pay off at scale:
+//!
+//! * [`PathIndex`] — label path / tag → element & attribute nodes, in
+//!   document order (document order is the result order every NAL
+//!   operator assumes, so index results can be substituted for scans
+//!   without re-sorting);
+//! * [`ValueIndex`] — typed atomized value → nodes, ordered on both the
+//!   key axis (`BTreeMap` over [`ValueKey`]) and the posting-list axis
+//!   (document order);
+//! * [`IndexCatalog`] — a per-catalog registry caching one lazily built
+//!   [`PathIndex`] per document and one [`ValueIndex`] per
+//!   `(document, path pattern)` the engine has probed.
+//!
+//! Indexes are built lazily on first use (the first lookup pays the
+//! build) or eagerly via [`crate::Catalog::prewarm_indexes`]. Documents
+//! are immutable after registration, so no invalidation is needed except
+//! on URI re-registration, which drops the document's cached indexes.
+
+pub mod path;
+pub mod value;
+
+pub use path::{PathIndex, PathIndexStats, PathPattern, PatternStep};
+pub use value::{ValueIndex, ValueKey};
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::catalog::DocId;
+use crate::document::Document;
+
+/// Registry of lazily built indexes for the documents of one
+/// [`crate::Catalog`]. Interior mutability keeps the catalog shareable
+/// by `&` during query execution (the engine holds `&Catalog`).
+#[derive(Default)]
+pub struct IndexCatalog {
+    paths: RwLock<HashMap<DocId, Arc<PathIndex>>>,
+    values: RwLock<HashMap<(DocId, String), Arc<ValueIndex>>>,
+}
+
+impl IndexCatalog {
+    pub fn new() -> IndexCatalog {
+        IndexCatalog::default()
+    }
+
+    /// The path index of `id`, building it on first use.
+    pub fn path_index(&self, id: DocId, doc: &Document) -> Arc<PathIndex> {
+        if let Some(idx) = self.paths.read().expect("index lock").get(&id) {
+            return idx.clone();
+        }
+        let built = Arc::new(PathIndex::build(doc));
+        let mut w = self.paths.write().expect("index lock");
+        // A racing builder may have won; keep the first one registered.
+        w.entry(id).or_insert(built).clone()
+    }
+
+    /// The value index of `(id, pattern)`, building it on first use from
+    /// the path index's node set. Returns `None` when the pattern is not
+    /// resolvable by the path index.
+    pub fn value_index(
+        &self,
+        id: DocId,
+        doc: &Document,
+        pattern: &PathPattern,
+    ) -> Option<Arc<ValueIndex>> {
+        let key = (id, pattern.key());
+        if let Some(idx) = self.values.read().expect("index lock").get(&key) {
+            return Some(idx.clone());
+        }
+        let nodes = self.path_index(id, doc).lookup(pattern)?;
+        let built = Arc::new(ValueIndex::build(doc, &nodes));
+        let mut w = self.values.write().expect("index lock");
+        Some(w.entry(key).or_insert(built).clone())
+    }
+
+    /// Drop every cached index of `id` (URI re-registration).
+    pub fn invalidate(&self, id: DocId) {
+        self.paths.write().expect("index lock").remove(&id);
+        self.values
+            .write()
+            .expect("index lock")
+            .retain(|(doc, _), _| *doc != id);
+    }
+
+    /// Number of built path indexes (observability / tests).
+    pub fn built_path_indexes(&self) -> usize {
+        self.paths.read().expect("index lock").len()
+    }
+
+    /// Number of built value indexes.
+    pub fn built_value_indexes(&self) -> usize {
+        self.values.read().expect("index lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::parser::parse_document;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            parse_document("a.xml", "<r><x>1</x><x>2</x></r>").expect("well-formed document"),
+        );
+        cat
+    }
+
+    fn x_pattern() -> PathPattern {
+        PathPattern::new(vec![PatternStep::Descendant(Some("x".into()))])
+    }
+
+    #[test]
+    fn indexes_build_lazily_and_cache() {
+        let cat = catalog();
+        let id = cat.by_uri("a.xml").unwrap();
+        assert_eq!(cat.indexes().built_path_indexes(), 0);
+        let p1 = cat.path_index(id);
+        let p2 = cat.path_index(id);
+        assert!(Arc::ptr_eq(&p1, &p2), "path index must be cached");
+        assert_eq!(cat.indexes().built_path_indexes(), 1);
+        let v1 = cat.value_index(id, &x_pattern()).unwrap();
+        let v2 = cat.value_index(id, &x_pattern()).unwrap();
+        assert!(Arc::ptr_eq(&v1, &v2), "value index must be cached");
+        assert_eq!(v1.len(), 2);
+    }
+
+    #[test]
+    fn reregistration_invalidates() {
+        let mut cat = catalog();
+        let id = cat.by_uri("a.xml").unwrap();
+        let before = cat.value_index(id, &x_pattern()).unwrap();
+        assert_eq!(before.len(), 2);
+        cat.register(parse_document("a.xml", "<r><x>1</x></r>").unwrap());
+        let after = cat.value_index(id, &x_pattern()).unwrap();
+        assert_eq!(after.len(), 1, "stale index must be dropped");
+    }
+
+    #[test]
+    fn prewarm_builds_all_path_indexes() {
+        let mut cat = catalog();
+        cat.register(parse_document("b.xml", "<r/>").unwrap());
+        cat.prewarm_indexes();
+        assert_eq!(cat.indexes().built_path_indexes(), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! The value index: typed atomized value → node ids, ordered on both
+//! axes.
+//!
+//! Keys are [`ValueKey`]s — a totally ordered, typed mirror of the
+//! engine's hash-join key domain, so that an index probe finds exactly
+//! the nodes a hash bucket lookup would. Keys live in a `BTreeMap`, so
+//! iterating the index walks keys in ascending [`ValueKey`] order (the
+//! foundation for future range scans); each posting list holds node ids
+//! in document order (insertion order during the build pass).
+//!
+//! XML nodes always atomize to their *string value*, so every key stored
+//! by [`ValueIndex::build`] is a [`ValueKey::Str`]. The other variants
+//! exist so that probes carrying non-string values are well-defined —
+//! and, by deliberate design, *miss*: that is exactly the behaviour of
+//! the hash operators (`engine::key::KeyVal`), which never equate a
+//! numeric probe with a string build key. Byte-identical plans first.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::document::Document;
+use crate::node::NodeId;
+
+/// A typed, totally ordered index key.
+///
+/// Ordering: `Null < Bool < Num < Str < Other`, with numbers compared by
+/// IEEE-754 total order (via an order-preserving bit mapping) and strings
+/// lexicographically.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ValueKey {
+    /// NULL — present for completeness; never stored (NULL keys match
+    /// nothing) and probes with it always miss.
+    Null,
+    Bool(bool),
+    /// A numeric key, stored as order-preserving bits of the `f64` value
+    /// so that derived `Ord` equals `f64::total_cmp`.
+    Num(u64),
+    Str(String),
+    /// Non-atomic leftovers by canonical rendering (sequences etc.).
+    Other(String),
+}
+
+impl ValueKey {
+    /// Numeric key from an `f64` (total-order preserving).
+    pub fn num(v: f64) -> ValueKey {
+        ValueKey::Num(f64_order_bits(v))
+    }
+
+    /// Recover the `f64` of a numeric key.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ValueKey::Num(bits) => Some(f64_from_order_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// NULL keys never match anything, including each other.
+    pub fn matchable(&self) -> bool {
+        !matches!(self, ValueKey::Null)
+    }
+}
+
+/// Map an `f64` to bits whose unsigned order equals `total_cmp` order:
+/// flip all bits of negatives, flip only the sign bit of non-negatives.
+#[inline]
+pub fn f64_order_bits(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1u64 << 63)
+    }
+}
+
+/// Inverse of [`f64_order_bits`].
+#[inline]
+pub fn f64_from_order_bits(b: u64) -> f64 {
+    if b >> 63 == 1 {
+        f64::from_bits(b ^ (1u64 << 63))
+    } else {
+        f64::from_bits(!b)
+    }
+}
+
+impl fmt::Display for ValueKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueKey::Null => write!(f, "NULL"),
+            ValueKey::Bool(b) => write!(f, "{b}"),
+            ValueKey::Num(_) => write!(f, "{}", self.as_f64().expect("Num variant")),
+            ValueKey::Str(s) => write!(f, "\"{s}\""),
+            ValueKey::Other(s) => write!(f, "⟨{s}⟩"),
+        }
+    }
+}
+
+/// An ordered value index over a fixed node set (typically the result of
+/// a [`super::PathIndex`] lookup for one path pattern).
+pub struct ValueIndex {
+    entries: BTreeMap<ValueKey, Vec<NodeId>>,
+    total_nodes: usize,
+}
+
+impl ValueIndex {
+    /// Index `nodes` (which must be in document order — posting lists
+    /// inherit it) by their atomized string value.
+    pub fn build(doc: &Document, nodes: &[NodeId]) -> ValueIndex {
+        let mut entries: BTreeMap<ValueKey, Vec<NodeId>> = BTreeMap::new();
+        for &n in nodes {
+            entries
+                .entry(ValueKey::Str(doc.string_value(n)))
+                .or_default()
+                .push(n);
+        }
+        ValueIndex {
+            entries,
+            total_nodes: nodes.len(),
+        }
+    }
+
+    /// Posting list of `key`, in document order. Empty for misses and for
+    /// unmatchable (NULL) probes.
+    pub fn get(&self, key: &ValueKey) -> &[NodeId] {
+        if !key.matchable() {
+            return &[];
+        }
+        self.entries.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` iff at least one node carries `key`.
+    pub fn contains(&self, key: &ValueKey) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.total_nodes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total_nodes == 0
+    }
+
+    /// Iterate `(key, posting list)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ValueKey, &[NodeId])> {
+        self.entries.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::path::{PathIndex, PathPattern, PatternStep};
+    use crate::parser::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "t.xml",
+            r#"<bib>
+                 <book><title>Beta</title></book>
+                 <book><title>Alpha</title></book>
+                 <book><title>Beta</title></book>
+               </bib>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn posting_lists_in_document_order_keys_in_key_order() {
+        let d = doc();
+        let pidx = PathIndex::build(&d);
+        let titles = pidx
+            .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some(
+                "title".into(),
+            ))]))
+            .unwrap();
+        let vidx = ValueIndex::build(&d, &titles);
+        assert_eq!(vidx.len(), 3);
+        assert_eq!(vidx.distinct_keys(), 2);
+        let beta = vidx.get(&ValueKey::Str("Beta".into()));
+        assert_eq!(beta.len(), 2);
+        assert!(beta[0] < beta[1], "posting list must be in document order");
+        let keys: Vec<&ValueKey> = vidx.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                &ValueKey::Str("Alpha".into()),
+                &ValueKey::Str("Beta".into())
+            ]
+        );
+        assert!(vidx.contains(&ValueKey::Str("Alpha".into())));
+        assert!(!vidx.contains(&ValueKey::Str("Gamma".into())));
+    }
+
+    #[test]
+    fn non_string_probes_miss_by_design() {
+        let d = parse_document("n.xml", "<r><v>42</v></r>").unwrap();
+        let pidx = PathIndex::build(&d);
+        let vs = pidx
+            .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some(
+                "v".into(),
+            ))]))
+            .unwrap();
+        let vidx = ValueIndex::build(&d, &vs);
+        // The node's value is the *string* "42"; a numeric probe misses,
+        // exactly as the hash operators' typed keys would.
+        assert!(vidx.contains(&ValueKey::Str("42".into())));
+        assert!(!vidx.contains(&ValueKey::num(42.0)));
+        assert!(!vidx.contains(&ValueKey::Null));
+    }
+
+    #[test]
+    fn numeric_key_order_matches_total_cmp() {
+        let samples = [-1.5f64, -0.0, 0.0, 1.0, 2.5, f64::INFINITY, -f64::INFINITY];
+        for &a in &samples {
+            assert_eq!(ValueKey::num(a).as_f64(), Some(a), "round-trip {a}");
+            for &b in &samples {
+                assert_eq!(
+                    ValueKey::num(a).cmp(&ValueKey::num(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variant_order_is_total() {
+        let mut keys = [
+            ValueKey::Str("a".into()),
+            ValueKey::num(1.0),
+            ValueKey::Null,
+            ValueKey::Bool(true),
+            ValueKey::Other("(1, 2)".into()),
+            ValueKey::Bool(false),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], ValueKey::Null);
+        assert_eq!(keys[1], ValueKey::Bool(false));
+        assert_eq!(keys[2], ValueKey::Bool(true));
+        assert!(matches!(keys[3], ValueKey::Num(_)));
+        assert!(matches!(keys[4], ValueKey::Str(_)));
+        assert!(matches!(keys[5], ValueKey::Other(_)));
+    }
+}

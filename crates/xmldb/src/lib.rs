@@ -23,6 +23,7 @@ pub mod catalog;
 pub mod document;
 pub mod dtd;
 pub mod gen;
+pub mod index;
 pub mod node;
 pub mod parser;
 pub mod schema;
@@ -32,6 +33,7 @@ pub mod stats;
 pub use catalog::{Catalog, DocId};
 pub use document::{Document, DocumentBuilder};
 pub use dtd::{AttDef, ContentParticle, ContentSpec, Dtd, ElementDecl, Repetition};
+pub use index::{IndexCatalog, PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey};
 pub use node::{NodeId, NodeKind};
 pub use parser::{parse_document, ParseError};
 pub use schema::{Occurrence, SchemaFacts};

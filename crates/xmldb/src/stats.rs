@@ -59,12 +59,17 @@ impl DocStats {
         self.attribute_counts.get(name).copied().unwrap_or(0)
     }
 
-    /// Average fan-out of `child` under `parent` (1.0 when unknown).
+    /// Average fan-out of `child` under `parent`.
+    ///
+    /// When the parent tag is absent the ratio `c / 0` is undefined; a
+    /// naive division would return `inf`/`NaN` and poison every cost
+    /// estimate built on top. An absent parent means nothing fans out,
+    /// so the answer is 0.0 — always finite.
     pub fn avg_fanout(&self, parent: &str, child: &str) -> f64 {
         let p = self.elements(parent);
         let c = self.elements(child);
         if p == 0 {
-            1.0
+            0.0
         } else {
             c as f64 / p as f64
         }
@@ -120,6 +125,8 @@ mod tests {
         let stats = DocStats::collect(&doc);
         assert!((stats.avg_fanout("book", "author") - 4.0).abs() < 1e-9);
         assert!((stats.avg_fanout("book", "title") - 1.0).abs() < 1e-9);
-        assert_eq!(stats.avg_fanout("missing", "x"), 1.0);
+        // Absent parent: defined (0.0), finite — not a division by zero.
+        assert_eq!(stats.avg_fanout("missing", "x"), 0.0);
+        assert!(stats.avg_fanout("missing", "author").is_finite());
     }
 }

@@ -1,0 +1,128 @@
+//! Property tests for the index subsystem: value-index key ordering
+//! round-trips, document-order posting lists, and path-index/naive-scan
+//! agreement on randomized documents.
+
+use proptest::prelude::*;
+
+use xmldb::index::{PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey};
+use xmldb::{Document, DocumentBuilder, NodeId, NodeKind};
+
+/// Deterministically build a small random document from a shape vector:
+/// each entry adds a book with `authors` authors whose names are drawn
+/// from a tiny pool (so values collide and posting lists grow).
+fn build_doc(shape: &[(u32, u32)]) -> Document {
+    let mut b = DocumentBuilder::new("prop.xml");
+    b.start_element("bib");
+    for &(title_pick, authors) in shape {
+        b.start_element("book");
+        b.attribute("year", &(1990 + (title_pick % 10)).to_string());
+        b.leaf("title", &format!("T{}", title_pick % 7));
+        for a in 0..(authors % 4) {
+            b.start_element("author");
+            b.leaf("last", &format!("A{}", (title_pick + a) % 5));
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+/// Reference implementation: walk the document and collect elements by
+/// tag in document order.
+fn naive_by_tag(doc: &Document, tag: &str) -> Vec<NodeId> {
+    doc.descendants(NodeId::DOCUMENT)
+        .filter(|&n| matches!(doc.kind(n), NodeKind::Element(i) if doc.name(i) == tag))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_key_numeric_order_round_trips(
+        nums in prop::collection::vec((0i64..2000, 1i64..1000), 1..24),
+    ) {
+        // Keys built from f64s round-trip exactly and order identically
+        // to total_cmp — the property that makes the BTreeMap's key
+        // order meaningful for future range scans.
+        let floats: Vec<f64> = nums
+            .iter()
+            .map(|&(n, d)| (n - 1000) as f64 / d as f64)
+            .collect();
+        for &f in &floats {
+            prop_assert_eq!(ValueKey::num(f).as_f64(), Some(f));
+        }
+        let mut by_key: Vec<f64> = floats.clone();
+        by_key.sort_by(|a, b| ValueKey::num(*a).cmp(&ValueKey::num(*b)));
+        let mut by_float = floats;
+        by_float.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(by_key, by_float);
+    }
+
+    #[test]
+    fn value_index_keys_sorted_postings_in_doc_order(
+        shape in prop::collection::vec((0u32..40, 0u32..5), 1..30),
+    ) {
+        let doc = build_doc(&shape);
+        let pidx = PathIndex::build(&doc);
+        for tag in ["title", "last", "book"] {
+            let nodes = pidx
+                .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some(tag.into()))]))
+                .expect("tag pattern resolvable");
+            let vidx = ValueIndex::build(&doc, &nodes);
+            prop_assert_eq!(vidx.len(), nodes.len());
+            // Keys iterate in strictly ascending order…
+            let keys: Vec<&ValueKey> = vidx.iter().map(|(k, _)| k).collect();
+            for w in keys.windows(2) {
+                prop_assert!(w[0] < w[1], "keys out of order: {} !< {}", w[0], w[1]);
+            }
+            // …and every posting list is strictly ascending (document
+            // order) and partitions the node set.
+            let mut total = 0usize;
+            for (_, list) in vidx.iter() {
+                prop_assert!(!list.is_empty());
+                for w in list.windows(2) {
+                    prop_assert!(w[0] < w[1], "posting list out of doc order");
+                }
+                total += list.len();
+            }
+            prop_assert_eq!(total, nodes.len());
+            // Lookup round-trip: every node is found under its own value.
+            for &n in &nodes {
+                let key = ValueKey::Str(doc.string_value(n));
+                prop_assert!(vidx.get(&key).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn path_index_matches_naive_tag_scan(
+        shape in prop::collection::vec((0u32..40, 0u32..5), 1..30),
+    ) {
+        let doc = build_doc(&shape);
+        let pidx = PathIndex::build(&doc);
+        for tag in ["bib", "book", "title", "author", "last", "missing"] {
+            let via_index = pidx
+                .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some(tag.into()))]))
+                .expect("resolvable");
+            prop_assert_eq!(via_index, naive_by_tag(&doc, tag), "tag {}", tag);
+        }
+        // A composed child chain agrees with parent-filtered collection.
+        let authors_of_books = pidx
+            .lookup(&PathPattern::new(vec![
+                PatternStep::Descendant(Some("book".into())),
+                PatternStep::Child(Some("author".into())),
+            ]))
+            .expect("resolvable");
+        let expected: Vec<NodeId> = naive_by_tag(&doc, "author")
+            .into_iter()
+            .filter(|&a| {
+                doc.parent(a)
+                    .map(|p| matches!(doc.kind(p), NodeKind::Element(i) if doc.name(i) == "book"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        prop_assert_eq!(authors_of_books, expected);
+    }
+}
