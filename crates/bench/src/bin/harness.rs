@@ -11,6 +11,7 @@
 //! Experiments: `fig6`, `grouping` (§5.1), `dblp` (§5.1), `aggregation`
 //! (§5.2), `existential1` (§5.3), `existential2` (§5.4), `universal`
 //! (§5.5), `having` (§5.6), `costmodel`, `index` (scan- vs index-backed
+//! quantifier joins), `range` (loop- vs range-probe inequality
 //! quantifier joins), or `all`.
 //!
 //! `--indexes on` compiles every measured plan through
@@ -193,6 +194,9 @@ fn main() {
     if run_all || args.experiment == "index" {
         index_ablation(&args, &mut report);
     }
+    if run_all || args.experiment == "range" {
+        range_ablation(&args, &mut report);
+    }
     if let Some(path) = &args.json {
         report
             .write(path)
@@ -202,17 +206,50 @@ fn main() {
 }
 
 // ---------------------------------------------------------------------
-// Index ablation: scan- vs index-backed quantifier joins
+// Access-path ablations: scan- vs index-backed quantifier joins
 // ---------------------------------------------------------------------
 
-/// The `executor_ablation`-style comparison for access paths: run the
-/// quantifier workloads' semi/anti join plans with `--indexes off` and
-/// `on` (streaming executor — its probe counters make the work visible),
-/// assert byte-identical output, and report times plus examined-tuple
-/// counts. The examined count includes the build side's production,
-/// which the index join skips entirely.
+/// The `executor_ablation`-style comparison for access paths: run each
+/// workload's quantifier-join plans with `--indexes off` and `on`
+/// (streaming executor — its probe counters make the work visible),
+/// byte-compare the outputs (CI fails on any divergence), and assert
+/// the indexed run examines strictly fewer tuples while actually
+/// probing the index. The examined count includes the build side's
+/// production, which the index joins skip entirely.
+///
+/// `index_ablation` covers the equality workloads (hash-join scan
+/// form); `range_ablation` covers the inequality workloads, whose scan
+/// form is the definitional nested loop the `IndexRangeJoin` replaces.
 fn index_ablation(args: &Args, report: &mut Report) {
-    println!("== Index ablation: scan vs index-backed quantifier joins ==\n");
+    access_path_ablation(
+        args,
+        report,
+        "Index ablation: scan vs index-backed quantifier joins",
+        &[&Q3_EXISTENTIAL, &Q4_EXISTS, &Q5_UNIVERSAL],
+        "index",
+    );
+}
+
+fn range_ablation(args: &Args, report: &mut Report) {
+    let range: Vec<&ordered_unnesting::workloads::Workload> =
+        ordered_unnesting::workloads::RANGE.iter().collect();
+    access_path_ablation(
+        args,
+        report,
+        "Range ablation: loop vs range-probe inequality quantifier joins",
+        &range,
+        "range",
+    );
+}
+
+fn access_path_ablation(
+    args: &Args,
+    report: &mut Report,
+    title: &str,
+    workloads: &[&ordered_unnesting::workloads::Workload],
+    prefix: &str,
+) {
+    println!("== {title} ==\n");
     println!(
         "{:<16} {:<14} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
         "workload", "plan", "scale", "scan", "indexed", "examined", "examined", "lookups"
@@ -221,7 +258,7 @@ fn index_ablation(args: &Args, report: &mut Report) {
         "{:<16} {:<14} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
         "", "", "", "(time)", "(time)", "(scan)", "(indexed)", "(indexed)"
     );
-    for w in [&Q3_EXISTENTIAL, &Q4_EXISTS, &Q5_UNIVERSAL] {
+    for w in workloads {
         for &scale in &args.scales {
             let catalog = standard_catalog(scale, 2, args.seed);
             for (label, expr) in plans_for(w, &catalog) {
@@ -257,6 +294,11 @@ fn index_ablation(args: &Args, report: &mut Report) {
                     indexed.tuples_examined(),
                     scan.tuples_examined()
                 );
+                assert!(
+                    indexed.index_lookups > 0,
+                    "[{}] the indexed plan must actually probe the index",
+                    w.id
+                );
                 println!(
                     "{:<16} {:<14} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
                     w.id,
@@ -269,8 +311,8 @@ fn index_ablation(args: &Args, report: &mut Report) {
                     indexed.index_lookups
                 );
                 let knobs = [("scale", scale as i64)];
-                report.record(&format!("index:{}", w.id), scan_cfg, &knobs, &scan);
-                report.record(&format!("index:{}", w.id), index_cfg, &knobs, &indexed);
+                report.record(&format!("{prefix}:{}", w.id), scan_cfg, &knobs, &scan);
+                report.record(&format!("{prefix}:{}", w.id), index_cfg, &knobs, &indexed);
             }
         }
     }

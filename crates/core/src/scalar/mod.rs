@@ -317,6 +317,29 @@ impl Scalar {
         }
     }
 
+    /// Is this scalar *pure and total* on the values the engine's
+    /// chains produce — free of nested algebra (a quantifier/aggregate
+    /// could write Ξ output or be arbitrarily expensive per evaluation)
+    /// and of eagerly-erroring constructs (arithmetic and `decimal()`
+    /// error on non-numeric input)? The engine's index conversions
+    /// replay such scalars lazily per probed candidate, and the cost
+    /// model prices only plans the engine will convert, so both layers
+    /// share this predicate.
+    pub fn replay_safe(&self) -> bool {
+        match self {
+            Scalar::Exists { .. } | Scalar::Forall { .. } | Scalar::Agg { .. } => false,
+            Scalar::Arith(..) => false,
+            Scalar::Call(f, args) => *f != Func::Decimal && args.iter().all(Scalar::replay_safe),
+            Scalar::Const(_) | Scalar::Attr(_) | Scalar::Doc(_) => true,
+            Scalar::Cmp(_, l, r) | Scalar::In(l, r) | Scalar::And(l, r) | Scalar::Or(l, r) => {
+                l.replay_safe() && r.replay_safe()
+            }
+            Scalar::Not(x) | Scalar::Lift(x, _) | Scalar::DistinctItems(x) | Scalar::Path(x, _) => {
+                x.replay_safe()
+            }
+        }
+    }
+
     /// `true` iff this scalar contains a nested algebra expression —
     /// i.e. forces nested-loop evaluation.
     pub fn has_nested_expr(&self) -> bool {

@@ -17,13 +17,31 @@ use xmldb::{Catalog, DocId, NodeId};
 use crate::tuple::Tuple;
 
 /// A decimal value with total ordering (wrapper over `f64` comparing by
-/// IEEE total order so it can serve as a grouping key).
+/// IEEE total order so it can serve as a grouping key). `-0.0`
+/// canonicalizes to `0.0` in equality, ordering, and hashing, so the
+/// two zeros are one key point everywhere a `Dec` is used as a dedup or
+/// group key — matching [`cmp_atomic`] (where they compare equal) and
+/// the engine's hash/index keys. NaN stays an ordinary point of the
+/// total order here (distinct-values keeps one NaN); *comparisons* with
+/// NaN are the business of [`cmp_atomic`], which rejects them.
 #[derive(Clone, Copy, Debug)]
 pub struct Dec(pub f64);
 
+impl Dec {
+    /// The canonical key value: `-0.0` folds to `0.0`.
+    #[inline]
+    fn canon(self) -> f64 {
+        if self.0 == 0.0 {
+            0.0
+        } else {
+            self.0
+        }
+    }
+}
+
 impl PartialEq for Dec {
     fn eq(&self, other: &Dec) -> bool {
-        self.0.total_cmp(&other.0) == Ordering::Equal
+        self.canon().total_cmp(&other.canon()) == Ordering::Equal
     }
 }
 
@@ -37,13 +55,13 @@ impl PartialOrd for Dec {
 
 impl Ord for Dec {
     fn cmp(&self, other: &Dec) -> Ordering {
-        self.0.total_cmp(&other.0)
+        self.canon().total_cmp(&other.canon())
     }
 }
 
 impl std::hash::Hash for Dec {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.0.to_bits().hash(state);
+        self.canon().to_bits().hash(state);
     }
 }
 
@@ -235,7 +253,11 @@ impl CmpOp {
 ///
 /// Untyped data coming from XML is numeric-coerced when the other side is
 /// numeric (`@year > 1993` works on the string `"1994"`), otherwise
-/// compared as strings.
+/// compared as strings. Numeric comparison is IEEE: `NaN` behaves like
+/// NULL and satisfies no comparison (not even `≠`), and `-0.0` equals
+/// `0.0` — the semantics mirrored by the engine's hash keys and the
+/// value index's ordered keys, so every access path agrees on these
+/// edge points.
 pub fn cmp_atomic(op: CmpOp, l: &Value, r: &Value, catalog: &Catalog) -> bool {
     let l = l.atomize(catalog);
     let r = r.atomize(catalog);
@@ -247,7 +269,7 @@ pub fn cmp_atomic(op: CmpOp, l: &Value, r: &Value, catalog: &Catalog) -> bool {
         matches!(l, Value::Int(_) | Value::Dec(_)) || matches!(r, Value::Int(_) | Value::Dec(_));
     if numericish {
         return match (l.as_number(), r.as_number()) {
-            (Some(a), Some(b)) => op.test(a.total_cmp(&b)),
+            (Some(a), Some(b)) => a.partial_cmp(&b).is_some_and(|ord| op.test(ord)),
             _ => false,
         };
     }
@@ -389,6 +411,40 @@ mod tests {
     }
 
     #[test]
+    fn nan_behaves_like_null_in_comparisons() {
+        let c = cat();
+        let nan = Value::Dec(Dec(f64::NAN));
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert!(!cmp_atomic(op, &nan, &nan, &c), "NaN {} NaN", op.symbol());
+            assert!(!cmp_atomic(op, &nan, &Value::Int(1), &c));
+            assert!(!cmp_atomic(op, &Value::Int(1), &nan, &c));
+            // Coerced too: a string that parses to NaN matches nothing.
+            assert!(!cmp_atomic(op, &Value::str("NaN"), &Value::Int(1), &c));
+        }
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero() {
+        let c = cat();
+        let nz = Value::Dec(Dec(-0.0));
+        let pz = Value::Dec(Dec(0.0));
+        assert!(cmp_atomic(CmpOp::Eq, &nz, &pz, &c));
+        assert!(cmp_atomic(CmpOp::Le, &nz, &pz, &c));
+        assert!(cmp_atomic(CmpOp::Ge, &nz, &pz, &c));
+        assert!(!cmp_atomic(CmpOp::Lt, &nz, &pz, &c));
+        assert!(!cmp_atomic(CmpOp::Ne, &nz, &pz, &c));
+        // And through string coercion.
+        assert!(cmp_atomic(CmpOp::Eq, &Value::str("-0"), &Value::Int(0), &c));
+    }
+
+    #[test]
     fn null_never_compares() {
         let c = cat();
         for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt] {
@@ -466,5 +522,14 @@ mod tests {
         assert!(set.contains(&Value::Dec(Dec(1.5))));
         assert!(Dec(1.0) < Dec(2.0));
         assert_eq!(Dec(13.0).to_string(), "13.0");
+        // The two zeros are one key point: equal, same hash bucket, and
+        // neither orders below the other — so dedup/group keys agree
+        // with cmp_atomic and the engine's hash/index keys.
+        assert_eq!(Dec(-0.0), Dec(0.0));
+        assert!(set.insert(Value::Dec(Dec(-0.0))));
+        assert!(set.contains(&Value::Dec(Dec(0.0))));
+        assert_eq!(Dec(-0.0).cmp(&Dec(0.0)), std::cmp::Ordering::Equal);
+        // NaN stays a single, self-equal point of the dedup order.
+        assert_eq!(Dec(f64::NAN), Dec(f64::NAN));
     }
 }

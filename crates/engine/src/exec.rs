@@ -335,6 +335,54 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             }
             out
         }
+
+        PhysPlan::IndexRangeJoin {
+            left,
+            eq_probe,
+            ranges,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        } => {
+            let l = execute(left, env, ctx)?;
+            let access = IndexJoinAccess::resolve(uri, pattern, ctx)?;
+            let cacheable = range_probe_invariant(*eq_probe, ranges, residual.as_ref());
+            let mut cached: Option<bool> = None;
+            let mut out = Vec::with_capacity(l.len());
+            for lt in l {
+                let matched = match cached {
+                    Some(m) => m,
+                    None => {
+                        let m = access.range_probe_matches(
+                            &lt,
+                            *eq_probe,
+                            ranges,
+                            *key_attr,
+                            seeds,
+                            ops,
+                            residual.as_ref(),
+                            false,
+                            env,
+                            ctx,
+                        )?;
+                        if cacheable {
+                            cached = Some(m);
+                        }
+                        m
+                    }
+                };
+                match kind {
+                    JoinKind::Semi if matched => out.push(lt),
+                    JoinKind::Anti if !matched => out.push(lt),
+                    _ => {}
+                }
+            }
+            out
+        }
     };
     ctx.metrics.tuples_produced += out.len() as u64;
     Ok(out)
@@ -387,6 +435,22 @@ pub(crate) fn hash_groups(
     groups
 }
 
+/// Is an [`PhysPlan::IndexRangeJoin`]'s decision independent of the
+/// probe tuple? True for constant-bound quantifiers (`every $x
+/// satisfies $x > 5`): no typed bucket probe, no residual, and every
+/// range side closed (build-side ops reference only the reconstructed
+/// chain by construction). Both executors then probe once and reuse the
+/// answer — identically, so metric parity is preserved.
+pub(crate) fn range_probe_invariant(
+    eq_probe: Option<Sym>,
+    ranges: &[crate::plan::RangeProbe],
+    residual: Option<&nal::Scalar>,
+) -> bool {
+    eq_probe.is_none()
+        && residual.is_none()
+        && ranges.iter().all(|rp| rp.side.free_attrs().is_empty())
+}
+
 /// Resolved runtime state of an [`PhysPlan::IndexJoin`]: the document id
 /// and the value index of the build path. Shared by both executors so
 /// probe semantics and metrics accounting stay identical.
@@ -418,7 +482,8 @@ impl IndexJoinAccess {
     /// stopped at. `count_probes` is set by the streaming executor only,
     /// matching where `probe_tuples` is tracked for the scan-based join
     /// cursors (the materializing executor leaves it 0 for every join
-    /// kind).
+    /// kind). `index_lookups`/`index_hits` are counted here, shared by
+    /// both executors, so their totals are identical by construction.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_matches(
         &self,
@@ -442,9 +507,187 @@ impl IndexJoinAccess {
             return Ok(false);
         }
         ctx.metrics.index_hits += 1;
-        // Fast path: no pipeline, no residual — existence is decided by
-        // the posting list alone (one candidate "examined", mirroring
-        // the hash probe's first-bucket-row short-circuit).
+        self.decide_from_candidates(
+            lt,
+            candidates,
+            key_attr,
+            seeds,
+            ops,
+            residual,
+            count_probes,
+            env,
+            ctx,
+        )
+    }
+
+    /// One **range** probe over the ordered key space
+    /// ([`PhysPlan::IndexRangeJoin`]): evaluate every conjunct's probe
+    /// side once, seek the value index for candidate nodes, filter them
+    /// by the remaining conjuncts (via [`nal::cmp_general`] against the
+    /// candidate node — exactly the comparison the scan plan's predicate
+    /// would run), and decide from the survivors like an equality probe.
+    ///
+    /// With `eq_probe` set (band conversions), the typed bucket lookup
+    /// of [`Self::probe_matches`] supplies the candidates and every
+    /// range conjunct filters. Without it, the first conjunct whose
+    /// probe key is a string or number drives a
+    /// [`xmldb::ValueIndex::range`] seek (postings already merged into
+    /// document order); a NULL/NaN side decides the tuple outright
+    /// (those values satisfy no comparison); and if no side is
+    /// rangeable (sequences, booleans), every indexed key is examined —
+    /// still without ever executing the build side.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn range_probe_matches(
+        &self,
+        lt: &Tuple,
+        eq_probe: Option<Sym>,
+        ranges: &[crate::plan::RangeProbe],
+        key_attr: Sym,
+        seeds: &[crate::plan::SeedBinding],
+        ops: &[crate::plan::BuildOp],
+        residual: Option<&nal::Scalar>,
+        count_probes: bool,
+        env: &Tuple,
+        ctx: &mut EvalCtx<'_>,
+    ) -> EvalResult<bool> {
+        use std::ops::Bound;
+        use xmldb::ValueKey;
+        // The probe sides are pure and replay-safe by conversion; the
+        // loop join evaluated them once per candidate row, so evaluating
+        // them once per probe tuple is unobservable.
+        let mut sides: Vec<(Value, nal::CmpOp)> = Vec::with_capacity(ranges.len());
+        for rp in ranges {
+            sides.push((eval_scalar(&rp.side, &scoped(env, lt), ctx)?, rp.op));
+        }
+        // Non-driving conjuncts filter at the node level — a candidate's
+        // atomized value is its index key, so this is the scan plan's
+        // predicate conjunct verbatim.
+        let catalog = ctx.catalog;
+        let doc = self.doc;
+        let passes = |node: xmldb::NodeId, skip: Option<usize>| {
+            sides.iter().enumerate().all(|(i, (v, op))| {
+                Some(i) == skip
+                    || nal::cmp_general(*op, v, &Value::Node(nal::NodeRef { doc, node }), catalog)
+            })
+        };
+        // Fast path: no pipeline, no residual — existence alone decides,
+        // so the key window streams lazily and stops at the first
+        // passing candidate (the range analogue of the hash probe's
+        // first-bucket-row short-circuit).
+        let fast = ops.is_empty() && residual.is_none();
+        let candidates: Vec<xmldb::NodeId> = if let Some(p) = eq_probe {
+            let Some(v) = lt.get(p) else {
+                return Ok(false);
+            };
+            ctx.metrics.index_lookups += 1;
+            let key = crate::index::probe_key_of(v, ctx.catalog);
+            let posting = self.vindex.get(&key);
+            if fast {
+                let found = posting.iter().any(|&n| passes(n, None));
+                if found {
+                    ctx.metrics.index_hits += 1;
+                    if count_probes {
+                        ctx.metrics.probe_tuples += 1;
+                    }
+                }
+                return Ok(found);
+            }
+            posting
+                .iter()
+                .copied()
+                .filter(|&n| passes(n, None))
+                .collect()
+        } else {
+            let mut driver: Option<usize> = None;
+            let mut keys: Vec<ValueKey> = Vec::with_capacity(sides.len());
+            for (i, (v, _)) in sides.iter().enumerate() {
+                let k = crate::index::probe_key_of(v, ctx.catalog);
+                if matches!(k, ValueKey::Null) {
+                    // NULL (and NaN, which canonicalizes to NULL)
+                    // satisfies no comparison: the conjunction is false
+                    // for every build row.
+                    return Ok(false);
+                }
+                if driver.is_none() && matches!(k, ValueKey::Num(_) | ValueKey::Str(_)) {
+                    driver = Some(i);
+                }
+                keys.push(k);
+            }
+            // The first string/numeric side drives the index seek; if no
+            // side is rangeable (sequences, booleans), every indexed key
+            // is examined — still without executing the build side.
+            let (lo, hi) = match driver {
+                Some(i) => {
+                    let key = &keys[i];
+                    match sides[i].1 {
+                        nal::CmpOp::Eq => (Bound::Included(key), Bound::Included(key)),
+                        nal::CmpOp::Lt => (Bound::Excluded(key), Bound::Unbounded),
+                        nal::CmpOp::Le => (Bound::Included(key), Bound::Unbounded),
+                        nal::CmpOp::Gt => (Bound::Unbounded, Bound::Excluded(key)),
+                        nal::CmpOp::Ge => (Bound::Unbounded, Bound::Included(key)),
+                        nal::CmpOp::Ne => unreachable!("≠ never converts to a range probe"),
+                    }
+                }
+                None => (Bound::Unbounded, Bound::Unbounded),
+            };
+            ctx.metrics.index_lookups += 1;
+            if fast {
+                let found = self.vindex.range_iter(lo, hi).any(|n| passes(n, driver));
+                if found {
+                    ctx.metrics.index_hits += 1;
+                    if count_probes {
+                        ctx.metrics.probe_tuples += 1;
+                    }
+                }
+                return Ok(found);
+            }
+            // Residual/pipeline path: materialize the surviving window
+            // and merge it back into document order, so rows reconstruct
+            // in exactly the build order the scan join examined.
+            let mut nodes: Vec<xmldb::NodeId> = self
+                .vindex
+                .range_iter(lo, hi)
+                .filter(|&n| passes(n, driver))
+                .collect();
+            nodes.sort_unstable();
+            nodes
+        };
+        if candidates.is_empty() {
+            return Ok(false);
+        }
+        ctx.metrics.index_hits += 1;
+        self.decide_from_candidates(
+            lt,
+            &candidates,
+            key_attr,
+            seeds,
+            ops,
+            residual,
+            count_probes,
+            env,
+            ctx,
+        )
+    }
+
+    /// Decide a probe from its candidate nodes (already restricted to
+    /// the matching key set, in document order). Fast path: no pipeline,
+    /// no residual — existence is decided by the candidate list alone
+    /// (one candidate "examined", mirroring the scan probes'
+    /// first-row short-circuit). Otherwise candidates reconstruct build
+    /// rows in document order and the first passing row decides.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_from_candidates(
+        &self,
+        lt: &Tuple,
+        candidates: &[xmldb::NodeId],
+        key_attr: Sym,
+        seeds: &[crate::plan::SeedBinding],
+        ops: &[crate::plan::BuildOp],
+        residual: Option<&nal::Scalar>,
+        count_probes: bool,
+        env: &Tuple,
+        ctx: &mut EvalCtx<'_>,
+    ) -> EvalResult<bool> {
         if ops.is_empty() && residual.is_none() {
             if count_probes {
                 ctx.metrics.probe_tuples += 1;

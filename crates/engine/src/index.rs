@@ -28,11 +28,11 @@
 use std::collections::BTreeSet;
 
 use nal::eval::{EvalCtx, EvalError, EvalResult};
-use nal::{NodeRef, Scalar, Sym, Value};
+use nal::{CmpOp, NodeRef, Scalar, Sym, Value};
 use xmldb::{Catalog, PathPattern, PatternStep, ValueKey};
 use xpath::{Axis, NameTest, Path};
 
-use crate::plan::{BuildOp, JoinKind, PhysPlan, SeedBinding};
+use crate::plan::{BuildOp, JoinKind, PhysPlan, RangeProbe, SeedBinding};
 
 /// Convert a structural path into its index-side pattern form. Total:
 /// every axis/test combination is representable (resolvability is
@@ -158,6 +158,29 @@ fn try_convert(plan: PhysPlan, catalog: &Catalog) -> PhysPlan {
             pad,
         } => {
             if matches!(kind, JoinKind::Semi | JoinKind::Anti) && left_keys.len() == 1 {
+                // Band case first: inequality residual conjuncts on the
+                // join key column become index-side range filters —
+                // checked once per candidate key, before any build row
+                // is reconstructed — leaving only the non-key residual
+                // to replay per row.
+                if let Some((ranges, rest_residual, recipe)) =
+                    trace_band_recipe(&right, right_keys[0], residual.as_ref())
+                {
+                    if scan_convertible(&recipe.uri, &recipe.path, catalog) {
+                        return PhysPlan::IndexRangeJoin {
+                            left,
+                            eq_probe: Some(left_keys[0]),
+                            ranges,
+                            key_attr: recipe.key_attr,
+                            uri: recipe.uri,
+                            pattern: pattern_of(&recipe.path),
+                            seeds: recipe.seeds,
+                            ops: recipe.ops,
+                            residual: rest_residual,
+                            kind,
+                        };
+                    }
+                }
                 if let Some(recipe) = trace_build_recipe(&right, right_keys[0], residual.as_ref()) {
                     if scan_convertible(&recipe.uri, &recipe.path, catalog) {
                         return PhysPlan::IndexJoin {
@@ -184,7 +207,197 @@ fn try_convert(plan: PhysPlan, catalog: &Catalog) -> PhysPlan {
                 pad,
             }
         }
+        PhysPlan::LoopJoin {
+            left,
+            right,
+            pred,
+            kind,
+            pad,
+        } => {
+            // Non-equi quantifier joins: inequality conjuncts against one
+            // document path column probe the value index's ordered key
+            // space instead of scanning the build per probe tuple.
+            if matches!(kind, JoinKind::Semi | JoinKind::Anti) {
+                if let Some((ranges, residual, recipe)) = trace_range_recipe(&right, &pred) {
+                    if scan_convertible(&recipe.uri, &recipe.path, catalog) {
+                        return PhysPlan::IndexRangeJoin {
+                            left,
+                            eq_probe: None,
+                            ranges,
+                            key_attr: recipe.key_attr,
+                            uri: recipe.uri,
+                            pattern: pattern_of(&recipe.path),
+                            seeds: recipe.seeds,
+                            ops: recipe.ops,
+                            residual,
+                            kind,
+                        };
+                    }
+                }
+            }
+            PhysPlan::LoopJoin {
+                left,
+                right,
+                pred,
+                kind,
+                pad,
+            }
+        }
         other => other,
+    }
+}
+
+/// Split a loop join's predicate into `side θ key` range conjuncts over
+/// one build column plus a replay-safe residual, and trace that column
+/// to a build recipe. The residual runs only for in-range candidates —
+/// the loop join evaluated the whole predicate over *every* build row —
+/// so every leftover conjunct must be replay-safe (pure and total) for
+/// the skipped evaluations to be unobservable.
+fn trace_range_recipe(
+    right: &PhysPlan,
+    pred: &Scalar,
+) -> Option<(Vec<RangeProbe>, Option<Scalar>, BuildRecipe)> {
+    let r_attrs = phys_attrs(right)?;
+    let mut key: Option<Sym> = None;
+    let mut ranges: Vec<RangeProbe> = Vec::new();
+    let mut rest: Vec<Scalar> = Vec::new();
+    for c in pred.conjuncts() {
+        match as_range_conjunct(c, &r_attrs) {
+            Some((k, probe)) if key.is_none() || key == Some(k) => {
+                key = Some(k);
+                ranges.push(probe);
+            }
+            _ => rest.push(c.clone()),
+        }
+    }
+    let key = key?;
+    if !rest.iter().all(replay_safe) {
+        return None;
+    }
+    let residual = if rest.is_empty() {
+        None
+    } else {
+        Some(Scalar::conjoin(rest))
+    };
+    let recipe = trace_build_recipe(right, key, residual.as_ref())?;
+    Some((ranges, residual, recipe))
+}
+
+/// The hash-join band variant of [`trace_range_recipe`]: keep the
+/// equality key as the typed bucket probe, peel inequality residual
+/// conjuncts **on that same key column** into range filters, and require
+/// the remaining residual to be replay-safe (the candidate set shrinks,
+/// so skipped residual evaluations must be unobservable).
+fn trace_band_recipe(
+    right: &PhysPlan,
+    join_key: Sym,
+    residual: Option<&Scalar>,
+) -> Option<(Vec<RangeProbe>, Option<Scalar>, BuildRecipe)> {
+    let residual = residual?;
+    let r_attrs = phys_attrs(right)?;
+    let mut ranges: Vec<RangeProbe> = Vec::new();
+    let mut rest: Vec<Scalar> = Vec::new();
+    for c in residual.conjuncts() {
+        match as_range_conjunct(c, &r_attrs) {
+            Some((k, probe)) if k == join_key => ranges.push(probe),
+            _ => rest.push(c.clone()),
+        }
+    }
+    if ranges.is_empty() || !rest.iter().all(replay_safe) {
+        return None;
+    }
+    let rest_residual = if rest.is_empty() {
+        None
+    } else {
+        Some(Scalar::conjoin(rest))
+    };
+    let recipe = trace_build_recipe(right, join_key, rest_residual.as_ref())?;
+    Some((ranges, rest_residual, recipe))
+}
+
+/// Recognize `side θ key` (or `key θ side`, flipped) with θ ∈
+/// {=, <, ≤, >, ≥}, where `key` is a bare build-side attribute and
+/// `side` is a replay-safe scalar free of build-side attributes. `≠`
+/// stays residual: its key set is two disjoint ranges, not one.
+fn as_range_conjunct(c: &Scalar, r_attrs: &BTreeSet<Sym>) -> Option<(Sym, RangeProbe)> {
+    let Scalar::Cmp(op, x, y) = c else {
+        return None;
+    };
+    if matches!(op, CmpOp::Ne) {
+        return None;
+    }
+    let as_key = |s: &Scalar| match s {
+        Scalar::Attr(a) if r_attrs.contains(a) => Some(*a),
+        _ => None,
+    };
+    let side_ok =
+        |s: &Scalar| replay_safe(s) && s.free_attrs().iter().all(|a| !r_attrs.contains(a));
+    if let Some(k) = as_key(y) {
+        if side_ok(x) {
+            return Some((
+                k,
+                RangeProbe {
+                    side: (**x).clone(),
+                    op: *op,
+                },
+            ));
+        }
+    }
+    if let Some(k) = as_key(x) {
+        if side_ok(y) {
+            return Some((
+                k,
+                RangeProbe {
+                    side: (**y).clone(),
+                    op: op.flip(),
+                },
+            ));
+        }
+    }
+    None
+}
+
+/// Output attribute set of a build-side plan, for the operator shapes
+/// the build tracer accepts; `None` for anything whose schema this pass
+/// does not model (such builds decline conversion anyway).
+fn phys_attrs(plan: &PhysPlan) -> Option<BTreeSet<Sym>> {
+    match plan {
+        PhysPlan::Singleton => Some(BTreeSet::new()),
+        PhysPlan::Map { input, attr, .. }
+        | PhysPlan::UnnestMap { input, attr, .. }
+        | PhysPlan::IndexScan { input, attr, .. } => {
+            let mut a = phys_attrs(input)?;
+            a.insert(*attr);
+            Some(a)
+        }
+        PhysPlan::Select { input, .. } => phys_attrs(input),
+        PhysPlan::Project { input, op } => {
+            let a = phys_attrs(input)?;
+            Some(match op {
+                nal::ProjOp::Cols(cols) | nal::ProjOp::DistinctCols(cols) => {
+                    cols.iter().copied().filter(|c| a.contains(c)).collect()
+                }
+                nal::ProjOp::Drop(cols) => a.into_iter().filter(|x| !cols.contains(x)).collect(),
+                // Π_rename keeps unmatched columns; Π^D_rename projects
+                // onto the renamed columns first.
+                nal::ProjOp::Rename(pairs) => a
+                    .into_iter()
+                    .map(|x| {
+                        pairs
+                            .iter()
+                            .find(|(_, old)| *old == x)
+                            .map(|(new, _)| *new)
+                            .unwrap_or(x)
+                    })
+                    .collect(),
+                nal::ProjOp::DistinctRename(pairs) => pairs
+                    .iter()
+                    .filter(|(_, old)| a.contains(old))
+                    .map(|(new, _)| *new)
+                    .collect(),
+            })
+        }
+        _ => None,
     }
 }
 
@@ -445,20 +658,11 @@ fn trace_build_recipe(
 /// deferred (index plan: query succeeds). Arithmetic and `decimal()`
 /// error on non-numeric input; comparisons, `contains()`, paths over
 /// the chain's node bindings, and the other builtins are total on the
-/// values these chains produce.
+/// values these chains produce. The predicate itself lives in
+/// [`nal::Scalar::replay_safe`], shared with the cost model so pricing
+/// never assumes a conversion this pass declines.
 fn replay_safe(s: &Scalar) -> bool {
-    match s {
-        Scalar::Exists { .. } | Scalar::Forall { .. } | Scalar::Agg { .. } => false,
-        Scalar::Arith(..) => false,
-        Scalar::Call(f, args) => *f != nal::Func::Decimal && args.iter().all(replay_safe),
-        Scalar::Const(_) | Scalar::Attr(_) | Scalar::Doc(_) => true,
-        Scalar::Cmp(_, l, r) | Scalar::In(l, r) | Scalar::And(l, r) | Scalar::Or(l, r) => {
-            replay_safe(l) && replay_safe(r)
-        }
-        Scalar::Not(x) | Scalar::Lift(x, _) | Scalar::DistinctItems(x) | Scalar::Path(x, _) => {
-            replay_safe(x)
-        }
-    }
+    s.replay_safe()
 }
 
 /// A binding discovered below the key while resolving its path.
@@ -737,6 +941,29 @@ fn map_children(plan: PhysPlan, f: &mut impl FnMut(PhysPlan) -> PhysPlan) -> Phy
         } => PhysPlan::IndexJoin {
             left: fb(left, f),
             probe,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        },
+        PhysPlan::IndexRangeJoin {
+            left,
+            eq_probe,
+            ranges,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        } => PhysPlan::IndexRangeJoin {
+            left: fb(left, f),
+            eq_probe,
+            ranges,
             key_attr,
             uri,
             pattern,
@@ -1035,6 +1262,141 @@ mod tests {
             ops.iter()
                 .any(|o| matches!(o, crate::plan::BuildOp::Select(_))),
             "the pushed filter must be replayed per candidate"
+        );
+    }
+
+    #[test]
+    fn inequality_semi_and_anti_joins_convert_to_range_joins() {
+        let cat = catalog();
+        for (anti, op) in [
+            (false, CmpOp::Lt),
+            (false, CmpOp::Le),
+            (true, CmpOp::Gt),
+            (true, CmpOp::Ge),
+        ] {
+            let probe = doc_scan("d1", "bib.xml")
+                .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+            let build = doc_scan("d2", "bib.xml")
+                .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+                .project(&["t2"]);
+            let pred = Scalar::attr_cmp(op, "t1", "t2");
+            let e = if anti {
+                probe.antijoin(build, pred)
+            } else {
+                probe.semijoin(build, pred)
+            };
+            let plan = apply_indexes(crate::compile(&e), &cat);
+            let PhysPlan::IndexRangeJoin {
+                eq_probe,
+                ranges,
+                kind,
+                pattern,
+                ..
+            } = &plan
+            else {
+                panic!("{}", plan.explain());
+            };
+            assert_eq!(eq_probe, &None);
+            assert_eq!(ranges.len(), 1);
+            assert_eq!(ranges[0].op, op);
+            assert_eq!(*kind, if anti { JoinKind::Anti } else { JoinKind::Semi });
+            assert_eq!(pattern.key(), "//book/title");
+        }
+    }
+
+    #[test]
+    fn constant_bound_quantifier_joins_convert() {
+        let cat = catalog();
+        // `every $y in doc//book/@year satisfies $y > 1990` → anti join
+        // with the negated constant bound, no probe-side attribute.
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("y2", Scalar::attr("d2").path(p("//book/@year")))
+            .project(&["y2"]);
+        let e = probe.antijoin(
+            build,
+            Scalar::cmp(CmpOp::Le, Scalar::attr("y2"), Scalar::int(1990)),
+        );
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::IndexRangeJoin { ranges, .. } = &plan else {
+            panic!("{}", plan.explain());
+        };
+        // `y2 <= 1990` normalizes (flipped) to `1990 >= key`.
+        assert_eq!(ranges[0].op, CmpOp::Ge);
+        assert!(matches!(ranges[0].side, Scalar::Const(_)));
+    }
+
+    #[test]
+    fn band_predicates_on_the_hash_key_convert_to_range_joins() {
+        let cat = catalog();
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        // Eq on the key plus an inequality on the same column: the hash
+        // join's residual band becomes an index-side filter.
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "t1", "t2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("t2"),
+            Scalar::string("B"),
+        ));
+        let e = probe.semijoin(build, pred);
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        let PhysPlan::IndexRangeJoin {
+            eq_probe,
+            ranges,
+            residual,
+            ..
+        } = &plan
+        else {
+            panic!("{}", plan.explain());
+        };
+        assert_eq!(*eq_probe, Some(Sym::new("t1")));
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].op, CmpOp::Lt, "t2 > \"B\" flips to \"B\" < key");
+        assert!(residual.is_none(), "the band is the whole residual");
+    }
+
+    #[test]
+    fn inequality_conversions_decline_unsafe_residuals() {
+        let cat = catalog();
+        // An arithmetic residual can error on rows a narrower candidate
+        // set would skip — the loop join must keep scanning.
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let pred = Scalar::attr_cmp(CmpOp::Lt, "t1", "t2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::Arith(
+                nal::ArithOp::Mul,
+                Box::new(Scalar::attr("t2")),
+                Box::new(Scalar::int(2)),
+            ),
+            Scalar::int(0),
+        ));
+        let e = probe.semijoin(build, pred);
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(plan, PhysPlan::LoopJoin { .. }),
+            "{}",
+            plan.explain()
+        );
+        // `≠` alone offers no single key range: stays a loop join.
+        let probe2 =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build2 = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let e = probe2.semijoin(build2, Scalar::attr_cmp(CmpOp::Ne, "t1", "t2"));
+        let plan = apply_indexes(crate::compile(&e), &cat);
+        assert!(
+            matches!(plan, PhysPlan::LoopJoin { .. }),
+            "{}",
+            plan.explain()
         );
     }
 

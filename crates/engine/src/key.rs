@@ -32,11 +32,23 @@ impl KeyVal {
         match v.atomize(catalog) {
             Value::Null => KeyVal::Null,
             Value::Bool(b) => KeyVal::Bool(b),
-            Value::Int(i) => KeyVal::Num((i as f64).to_bits()),
-            Value::Dec(d) => KeyVal::Num(d.0.to_bits()),
+            Value::Int(i) => KeyVal::num(i as f64),
+            Value::Dec(d) => KeyVal::num(d.0),
             Value::Str(s) => KeyVal::Str(s.to_string()),
             other => KeyVal::Other(format!("{other}")),
         }
+    }
+
+    /// Numeric key component with `cmp_atomic`'s edge semantics: `NaN`
+    /// behaves like NULL (matches nothing, not even another NaN) and
+    /// `-0.0` canonicalizes to `0.0` (they are equal, so they must hash
+    /// to one bucket).
+    pub fn num(v: f64) -> KeyVal {
+        if v.is_nan() {
+            return KeyVal::Null;
+        }
+        let v = if v == 0.0 { 0.0 } else { v };
+        KeyVal::Num(v.to_bits())
     }
 
     /// NULL keys never join/group with anything, including other NULLs.
@@ -83,6 +95,21 @@ mod tests {
             KeyVal::from_value(&Value::Int(2), &c),
             KeyVal::from_value(&Value::str("2"), &c),
             "strings stay strings (cmp_atomic only coerces when one side is numeric)"
+        );
+    }
+
+    #[test]
+    fn nan_and_negative_zero_mirror_cmp_atomic() {
+        let c = cat();
+        // NaN keys are unmatchable, like NULL (cmp_atomic: NaN never
+        // satisfies any comparison).
+        assert!(!KeyVal::from_value(&Value::Dec(Dec(f64::NAN)), &c).matchable());
+        let t = Tuple::singleton(Sym::new("a"), Value::Dec(Dec(f64::NAN)));
+        assert_eq!(key_of(&t, &[Sym::new("a")], &c), None);
+        // -0.0 and 0.0 are one bucket (cmp_atomic: they are equal).
+        assert_eq!(
+            KeyVal::from_value(&Value::Dec(Dec(-0.0)), &c),
+            KeyVal::from_value(&Value::Int(0), &c)
         );
     }
 

@@ -328,6 +328,81 @@ impl Cursor for IndexJoin<'_> {
     }
 }
 
+/// Index range semi/anti join: each probe tuple is answered by one
+/// ordered-key range seek (plus conjunct filtering and, when present,
+/// residual evaluation over the candidates in document order). Metric
+/// accounting is shared with the materializing executor through
+/// [`crate::exec::IndexJoinAccess::range_probe_matches`], so both
+/// executors report identical `index_lookups`/`index_hits`.
+pub struct IndexRangeJoin<'p> {
+    pub left: super::cursor::BoxCursor<'p>,
+    pub eq_probe: Option<Sym>,
+    pub ranges: &'p [crate::plan::RangeProbe],
+    pub key_attr: Sym,
+    pub uri: &'p str,
+    pub pattern: &'p xmldb::PathPattern,
+    pub seeds: &'p [crate::plan::SeedBinding],
+    pub ops: &'p [crate::plan::BuildOp],
+    pub residual: Option<&'p Scalar>,
+    pub kind: &'p JoinKind,
+    pub env: Tuple,
+    pub access: Option<crate::exec::IndexJoinAccess>,
+    /// Whether the decision is probe-invariant (constant bounds, no
+    /// residual) — computed once at lowering, same policy as the
+    /// materializing executor, so metrics stay equal.
+    pub cacheable: bool,
+    /// Memoized decision for probe-invariant joins.
+    pub cached: Option<bool>,
+}
+
+impl Cursor for IndexRangeJoin<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.access.is_none() {
+            self.access = Some(crate::exec::IndexJoinAccess::resolve(
+                self.uri,
+                self.pattern,
+                ctx,
+            )?);
+        }
+        while let Some(lt) = self.left.next(ctx)? {
+            let access = self.access.as_ref().expect("resolved above");
+            let matched = match self.cached {
+                Some(m) => m,
+                None => {
+                    let m = access.range_probe_matches(
+                        &lt,
+                        self.eq_probe,
+                        self.ranges,
+                        self.key_attr,
+                        self.seeds,
+                        self.ops,
+                        self.residual,
+                        true,
+                        &self.env,
+                        ctx,
+                    )?;
+                    if self.cacheable {
+                        self.cached = Some(m);
+                    }
+                    m
+                }
+            };
+            let emit = matches!(self.kind, JoinKind::Semi) == matched;
+            if emit {
+                return Ok(Some(lt));
+            }
+        }
+        Ok(None)
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Semi => "IndexRangeSemiJoin",
+            _ => "IndexRangeAntiJoin",
+        }
+    }
+}
+
 /// Binary Γ with hash lookup: build buckets on the right once, then
 /// stream the left, aggregating each tuple's group lazily.
 pub struct HashGroupBinary<'p> {

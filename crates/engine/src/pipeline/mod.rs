@@ -61,9 +61,11 @@ fn node_emits_xi(plan: &PhysPlan) -> bool {
         PhysPlan::XiSimple { .. } | PhysPlan::XiGroup { .. } => return true,
         PhysPlan::Select { pred, .. } | PhysPlan::LoopJoin { pred, .. } => vec![pred],
         PhysPlan::Map { value, .. } | PhysPlan::UnnestMap { value, .. } => vec![value],
-        PhysPlan::HashJoin { residual, .. } | PhysPlan::IndexJoin { residual, .. } => {
-            residual.iter().collect()
-        }
+        PhysPlan::HashJoin { residual, .. }
+        | PhysPlan::IndexJoin { residual, .. }
+        // Range-join probe sides are replay-safe (no nested algebra) by
+        // conversion; only the residual could carry Ξ.
+        | PhysPlan::IndexRangeJoin { residual, .. } => residual.iter().collect(),
         PhysPlan::HashGroupUnary { f, .. }
         | PhysPlan::ThetaGroupUnary { f, .. }
         | PhysPlan::HashGroupBinary { f, .. }
@@ -98,7 +100,9 @@ fn contains_xi(plan: &PhysPlan) -> bool {
         | PhysPlan::XiSimple { input, .. }
         | PhysPlan::XiGroup { input, .. }
         | PhysPlan::IndexScan { input, .. } => contains_xi(input),
-        PhysPlan::IndexJoin { left, .. } => contains_xi(left),
+        PhysPlan::IndexJoin { left, .. } | PhysPlan::IndexRangeJoin { left, .. } => {
+            contains_xi(left)
+        }
         PhysPlan::Cross { left, right }
         | PhysPlan::HashJoin { left, right, .. }
         | PhysPlan::LoopJoin { left, right, .. }
@@ -347,6 +351,35 @@ pub fn lower<'p>(plan: &'p PhysPlan, env: &Tuple) -> BoxCursor<'p> {
             kind,
             env: env.clone(),
             access: None,
+        }),
+        PhysPlan::IndexRangeJoin {
+            left,
+            eq_probe,
+            ranges,
+            key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual,
+            kind,
+        } => Box::new(join::IndexRangeJoin {
+            // A Ξ-writing residual must see the whole left byte stream
+            // first, as in the materializing executor's bottom-up order.
+            left: lower_input(plan, left, env),
+            eq_probe: *eq_probe,
+            ranges,
+            key_attr: *key_attr,
+            uri,
+            pattern,
+            seeds,
+            ops,
+            residual: residual.as_ref(),
+            kind,
+            env: env.clone(),
+            access: None,
+            cacheable: crate::exec::range_probe_invariant(*eq_probe, ranges, residual.as_ref()),
+            cached: None,
         }),
     };
     Box::new(Metered { inner, name })

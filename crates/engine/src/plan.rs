@@ -165,6 +165,50 @@ pub enum PhysPlan {
         /// `Semi` or `Anti` only.
         kind: JoinKind,
     },
+    /// Index **range** semi/anti join: replaces a quantifier join whose
+    /// predicate compares probe-side values against a document path
+    /// column with *inequalities* (`<`, `≤`, `>`, `≥` — the
+    /// `every $x satisfies $x < c` regime), or a hash semi/anti join
+    /// whose residual adds band bounds on the equality key. Instead of
+    /// scanning the build side (loop join) or its bucket (hash join), it
+    /// seeks the value index's ordered key space: the first rangeable
+    /// conjunct drives a [`xmldb::ValueIndex::range`] probe (postings
+    /// merged back into document order), remaining conjuncts filter the
+    /// candidates by `cmp_general` against the candidate node, and the
+    /// surviving candidates reconstruct build rows exactly as
+    /// [`PhysPlan::IndexJoin`] does. Vacuous quantifiers behave
+    /// correctly by construction: an empty candidate set means `matched
+    /// = false`, so semi emits nothing and anti emits every probe tuple.
+    IndexRangeJoin {
+        left: Box<PhysPlan>,
+        /// Hash-semantics equality probe attribute: `Some` when the
+        /// conversion came from a hash join (the band case — the bucket
+        /// lookup stays typed, exactly like [`PhysPlan::IndexJoin`]);
+        /// `None` for pure inequality (loop join) conversions.
+        eq_probe: Option<Sym>,
+        /// `side θ key` conjuncts in comparison (`cmp_atomic` coercion)
+        /// semantics. `side` is a pure, replay-safe scalar over
+        /// probe-side attributes, evaluated once per probe tuple.
+        ranges: Vec<RangeProbe>,
+        /// Build-side attribute the candidate node seeds.
+        key_attr: Sym,
+        uri: String,
+        pattern: xmldb::PathPattern,
+        seeds: Vec<SeedBinding>,
+        ops: Vec<BuildOp>,
+        residual: Option<Scalar>,
+        /// `Semi` or `Anti` only.
+        kind: JoinKind,
+    },
+}
+
+/// One range/filter conjunct of an [`PhysPlan::IndexRangeJoin`]: the
+/// predicate `side θ key`, where `side` references only probe-side
+/// attributes (or constants) and θ is `=`, `<`, `≤`, `>`, or `≥`.
+#[derive(Clone, Debug)]
+pub struct RangeProbe {
+    pub side: Scalar,
+    pub op: nal::CmpOp,
 }
 
 /// How an [`PhysPlan::IndexJoin`] reconstructs a build-side binding from
@@ -227,6 +271,11 @@ impl PhysPlan {
                 JoinKind::Anti => "IndexAntiJoin",
                 JoinKind::Inner | JoinKind::Outer { .. } => "IndexJoin",
             },
+            PhysPlan::IndexRangeJoin { kind, .. } => match kind {
+                JoinKind::Semi => "IndexRangeSemiJoin",
+                JoinKind::Anti => "IndexRangeAntiJoin",
+                JoinKind::Inner | JoinKind::Outer { .. } => "IndexRangeJoin",
+            },
         }
     }
 
@@ -261,7 +310,7 @@ impl PhysPlan {
             | PhysPlan::XiSimple { input, .. }
             | PhysPlan::XiGroup { input, .. }
             | PhysPlan::IndexScan { input, .. } => vec![input],
-            PhysPlan::IndexJoin { left, .. } => vec![left],
+            PhysPlan::IndexJoin { left, .. } | PhysPlan::IndexRangeJoin { left, .. } => vec![left],
             PhysPlan::Cross { left, right }
             | PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::LoopJoin { left, right, .. }

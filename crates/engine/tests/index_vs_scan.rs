@@ -107,6 +107,81 @@ fn quantifier_workloads_use_indexes_and_examine_fewer_tuples() {
     }
 }
 
+#[test]
+fn range_workloads_are_byte_identical_and_examine_fewer_tuples() {
+    let catalog = standard_catalog(50, 2, 13);
+    // Q7 (string-regime `some … < …`) and Q8 (numeric-regime vacuous
+    // `every`): the scan plans run these as nested loops; the indexed
+    // plans must range-probe instead, byte-identically.
+    for (w, label) in [
+        (&ordered_unnesting::workloads::Q7_RANGE_SOME, "semijoin"),
+        (
+            &ordered_unnesting::workloads::Q8_RANGE_EVERY,
+            "anti-semijoin",
+        ),
+    ] {
+        let nested = xquery::compile(w.query, &catalog).expect("compiles");
+        let plans = unnest::enumerate_plans(&nested, &catalog);
+        let plan = plans
+            .iter()
+            .find(|p| p.label == label)
+            .unwrap_or_else(|| panic!("[{}] missing `{label}` plan", w.id));
+        let explained = engine::compile_indexed(&plan.expr, &catalog).explain();
+        assert!(
+            explained.contains("IndexRange"),
+            "[{}] expected a range join: {explained}",
+            w.id
+        );
+        let (scan, indexed) = assert_all_modes_identical(&plan.expr, &catalog);
+        assert!(indexed.index_lookups > 0, "[{}] no index probes", w.id);
+        assert!(
+            tuples_examined(&indexed) < tuples_examined(&scan),
+            "[{}] range probe must examine strictly fewer tuples: {} vs {}",
+            w.id,
+            tuples_examined(&indexed),
+            tuples_examined(&scan)
+        );
+    }
+    // Every plan alternative of the range workloads (including nested)
+    // stays byte-identical across all four modes.
+    for w in &ordered_unnesting::workloads::RANGE {
+        let nested = xquery::compile(w.query, &catalog).expect("compiles");
+        for plan in unnest::enumerate_plans(&nested, &catalog) {
+            assert_all_modes_identical(&plan.expr, &catalog);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Both executors report identical index metrics (parity regression)
+// ---------------------------------------------------------------------
+
+#[test]
+fn executors_report_identical_index_metrics() {
+    let catalog = standard_catalog(40, 2, 17);
+    let mut workloads: Vec<&ordered_unnesting::workloads::Workload> =
+        ordered_unnesting::workloads::ALL.iter().collect();
+    workloads.extend(ordered_unnesting::workloads::RANGE.iter());
+    for w in workloads {
+        let nested = xquery::compile(w.query, &catalog).expect("compiles");
+        for plan in unnest::enumerate_plans(&nested, &catalog) {
+            let indexed = engine::compile_indexed(&plan.expr, &catalog);
+            let m = engine::run_compiled(&indexed, &catalog).expect("materialized");
+            let s = engine::run_streaming_compiled(&indexed, &catalog).expect("streaming");
+            assert_eq!(
+                m.metrics.index_lookups, s.metrics.index_lookups,
+                "[{} / {}] index_lookups diverge between executors",
+                w.id, plan.label
+            );
+            assert_eq!(
+                m.metrics.index_hits, s.metrics.index_hits,
+                "[{} / {}] index_hits diverge between executors",
+                w.id, plan.label
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Index scans agree with path evaluation on every supported path shape
 // ---------------------------------------------------------------------
@@ -253,6 +328,241 @@ fn crafted_semi_and_anti_joins_differential() {
 }
 
 #[test]
+fn crafted_range_joins_differential() {
+    let mut cat = Catalog::new();
+    let doc = gen_bib(&BibConfig {
+        books: 30,
+        authors_per_book: 2,
+        seed: 5,
+        ..BibConfig::default()
+    });
+    let titles: Vec<String> = {
+        let mut c = xpath::EvalCounters::default();
+        xpath::eval_path(&doc, &[NodeId::DOCUMENT], &p("//title"), &mut c)
+            .into_iter()
+            .map(|n| doc.string_value(n))
+            .collect()
+    };
+    cat.register(doc);
+    // String regime: every inequality against the title column, with
+    // probe keys straddling the stored key range.
+    let probe_keys: Vec<&str> = titles
+        .iter()
+        .map(String::as_str)
+        .chain(["", "zzzz-past-everything", "M"])
+        .collect();
+    for anti in [false, true] {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let l = title_probe_rel(&probe_keys);
+            let r = title_build("bib.xml");
+            let e = if anti {
+                l.antijoin(r, Scalar::attr_cmp(op, "t1", "t2"))
+            } else {
+                l.semijoin(r, Scalar::attr_cmp(op, "t1", "t2"))
+            };
+            let plan = engine::compile_indexed(&e, &cat);
+            assert!(
+                plan.explain().starts_with(if anti {
+                    "IndexRangeAntiJoin"
+                } else {
+                    "IndexRangeSemiJoin"
+                }),
+                "{}",
+                plan.explain()
+            );
+            let (scan, indexed) = assert_all_modes_identical(&e, &cat);
+            assert_eq!(indexed.index_lookups, probe_keys.len() as u64);
+            assert!(tuples_examined(&indexed) < tuples_examined(&scan));
+        }
+    }
+    // Numeric regime: integer probes against the @year attribute column
+    // (string-valued in the document, numerically coerced by `<`).
+    let year_build = doc_scan("d2", "bib.xml")
+        .unnest_map("y2", Scalar::attr("d2").path(p("//book/@year")))
+        .project(&["y2"]);
+    for anti in [false, true] {
+        for (op, year) in [
+            (CmpOp::Lt, 1994),
+            (CmpOp::Le, 1990),
+            (CmpOp::Gt, 2100),
+            (CmpOp::Ge, 1800),
+        ] {
+            let l = Expr::Literal(vec![Tuple::singleton(s("y1"), Value::Int(year))])
+                .project_syms(vec![s("y1")]);
+            let pred = Scalar::attr_cmp(op, "y1", "y2");
+            let e = if anti {
+                l.antijoin(year_build.clone(), pred)
+            } else {
+                l.semijoin(year_build.clone(), pred)
+            };
+            let plan = engine::compile_indexed(&e, &cat);
+            assert!(plan.explain().contains("IndexRange"), "{}", plan.explain());
+            assert_all_modes_identical(&e, &cat);
+        }
+    }
+    // Two-sided band over one column (string regime) with both bounds
+    // tuple-dependent.
+    let l = title_probe_rel(&probe_keys);
+    let band = l.semijoin(
+        title_build("bib.xml"),
+        Scalar::attr_cmp(CmpOp::Le, "t1", "t2").and(Scalar::cmp(
+            CmpOp::Lt,
+            Scalar::attr("t2"),
+            Scalar::string("zz"),
+        )),
+    );
+    let plan = engine::compile_indexed(&band, &cat);
+    assert!(plan.explain().contains("IndexRange"), "{}", plan.explain());
+    assert_all_modes_identical(&band, &cat);
+}
+
+#[test]
+fn nan_probes_match_nothing_on_scan_and_index_paths() {
+    // Regression for the NaN key-semantics decision: NaN behaves like
+    // NULL — an equality or inequality probe carrying NaN matches no
+    // build row on either access path, on either executor.
+    let mut cat = Catalog::new();
+    cat.register(
+        xmldb::parse_document(
+            "nums.xml",
+            "<r><v>1</v><v>2</v><v>NaN</v><v>30</v><v>abc</v></r>",
+        )
+        .expect("well-formed"),
+    );
+    let build = doc_scan("d2", "nums.xml")
+        .unnest_map("v2", Scalar::attr("d2").path(p("//v")))
+        .project(&["v2"]);
+    let rows = vec![
+        Tuple::singleton(s("v1"), Value::Dec(nal::Dec(f64::NAN))),
+        Tuple::singleton(s("v1"), Value::Dec(nal::Dec(2.0))),
+        Tuple::singleton(s("v1"), Value::Null),
+    ];
+    for anti in [false, true] {
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let l = Expr::Literal(rows.clone()).project_syms(vec![s("v1")]);
+            let pred = Scalar::attr_cmp(op, "v1", "v2");
+            let e = if anti {
+                l.antijoin(build.clone(), pred)
+            } else {
+                l.semijoin(build.clone(), pred)
+            };
+            let m = engine::run_compiled(&engine::compile(&e), &cat).expect("scan");
+            assert_all_modes_identical(&e, &cat);
+            // Semantic pin, not just differential: the NaN and NULL rows
+            // match nothing — semi drops them, anti keeps them.
+            let nan_kept = m
+                .rows
+                .iter()
+                .any(|t| matches!(t.get(s("v1")), Some(Value::Dec(d)) if d.0.is_nan()));
+            assert_eq!(nan_kept, anti, "NaN row must match nothing ({op:?})");
+        }
+    }
+    // And a NaN *in the document* is unmatchable from the probe side:
+    // even `v1 = NaN-valued-node` finds nothing.
+    let l = Expr::Literal(vec![Tuple::singleton(
+        s("v1"),
+        Value::Dec(nal::Dec(f64::NAN)),
+    )])
+    .project_syms(vec![s("v1")]);
+    let e = l.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "v1", "v2"));
+    let m = engine::run_compiled(&engine::compile(&e), &cat).expect("scan");
+    assert!(m.rows.is_empty(), "NaN = NaN must not match");
+    assert_all_modes_identical(&e, &cat);
+}
+
+#[test]
+fn negative_zero_probes_hit_positive_zero_keys() {
+    // Regression for the -0.0 canonicalization: -0.0 and 0.0 are one key
+    // point on every access path.
+    let mut cat = Catalog::new();
+    cat.register(
+        xmldb::parse_document("z.xml", "<r><v>0</v><v>-0</v><v>0.0</v><v>7</v></r>")
+            .expect("well-formed"),
+    );
+    let build = doc_scan("d2", "z.xml")
+        .unnest_map("v2", Scalar::attr("d2").path(p("//v")))
+        .project(&["v2"]);
+    for probe in [-0.0f64, 0.0] {
+        for op in [CmpOp::Eq, CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt] {
+            // Constant-bound predicate: compiles to a loop join on the
+            // scan side (numeric coercion semantics) and to a range
+            // probe — an `=` bound is a point seek at the canonical
+            // zero — on the indexed side.
+            let l = Expr::Literal(vec![Tuple::singleton(s("x"), Value::Int(1))])
+                .project_syms(vec![s("x")]);
+            let pred = Scalar::cmp(
+                op,
+                Scalar::Const(Value::Dec(nal::Dec(probe))),
+                Scalar::attr("v2"),
+            );
+            let e = l.semijoin(build.clone(), pred);
+            let plan = engine::compile_indexed(&e, &cat);
+            assert!(plan.explain().contains("IndexRange"), "{}", plan.explain());
+            let m = engine::run_compiled(&engine::compile(&e), &cat).expect("scan");
+            assert_all_modes_identical(&e, &cat);
+            if op == CmpOp::Eq {
+                assert_eq!(m.rows.len(), 1, "{probe} = zero keys must match");
+            }
+        }
+    }
+}
+
+#[test]
+fn range_joins_with_residuals_and_reconstructed_ancestors() {
+    let mut cat = Catalog::new();
+    cat.register(gen_bib(&BibConfig {
+        books: 40,
+        authors_per_book: 2,
+        seed: 8,
+        ..BibConfig::default()
+    }));
+    // Inequality on the title key PLUS a residual over the book node one
+    // fixed child step above it (rebuilt by parent navigation).
+    let probe = doc_scan("d1", "bib.xml")
+        .unnest_map("t1", Scalar::attr("d1").path(p("//book/title")))
+        .project(&["t1"]);
+    let build = doc_scan("d2", "bib.xml")
+        .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+        .unnest_map("t2", Scalar::attr("b2").path(p("/title")));
+    for (anti, year) in [(false, 1993), (true, 1993), (false, 2100), (true, 1800)] {
+        let pred = Scalar::attr_cmp(CmpOp::Lt, "t1", "t2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b2").path(p("/@year")),
+            Scalar::int(year),
+        ));
+        let e = if anti {
+            probe.clone().antijoin(build.clone(), pred)
+        } else {
+            probe.clone().semijoin(build.clone(), pred)
+        };
+        let plan = engine::compile_indexed(&e, &cat);
+        assert!(plan.explain().contains("IndexRange"), "{}", plan.explain());
+        assert_all_modes_identical(&e, &cat);
+    }
+}
+
+#[test]
+fn vacuous_range_quantifiers_on_empty_documents() {
+    let mut cat = Catalog::new();
+    cat.register(xmldb::parse_document("bib.xml", "<bib></bib>").expect("well-formed empty doc"));
+    // Empty build: `some` is false for every probe (semi emits nothing),
+    // `every` is vacuously true (anti emits everything) — on all paths.
+    for op in [CmpOp::Lt, CmpOp::Ge] {
+        let semi = title_probe_rel(&["a", "b"])
+            .semijoin(title_build("bib.xml"), Scalar::attr_cmp(op, "t1", "t2"));
+        let anti = title_probe_rel(&["a", "b"])
+            .antijoin(title_build("bib.xml"), Scalar::attr_cmp(op, "t1", "t2"));
+        let (_, semi_m) = assert_all_modes_identical(&semi, &cat);
+        assert_all_modes_identical(&anti, &cat);
+        assert_eq!(semi_m.index_hits, 0);
+        let anti_rows = engine::run_compiled(&engine::compile_indexed(&anti, &cat), &cat)
+            .expect("runs")
+            .rows;
+        assert_eq!(anti_rows.len(), 2, "vacuous `every` keeps every tuple");
+    }
+}
+
+#[test]
 fn residual_joins_differential() {
     let mut cat = Catalog::new();
     cat.register(gen_bib(&BibConfig {
@@ -393,6 +703,52 @@ proptest! {
         } else {
             l.semijoin(title_build("bib.xml"), pred)
         };
+        assert_all_modes_identical(&e, &cat);
+    }
+
+    #[test]
+    fn random_range_probes_stream_identically(
+        picks in prop::collection::vec((0usize..40, prop::bool::ANY), 0..16),
+        op_pick in 0usize..4,
+        anti in prop::bool::ANY,
+        books in 5usize..25,
+    ) {
+        let mut cat = Catalog::new();
+        let doc = gen_bib(&BibConfig {
+            books,
+            authors_per_book: 2,
+            seed: 23,
+            ..BibConfig::default()
+        });
+        let titles: Vec<String> = {
+            let mut c = xpath::EvalCounters::default();
+            xpath::eval_path(&doc, &[NodeId::DOCUMENT], &p("//title"), &mut c)
+                .into_iter()
+                .map(|n| doc.string_value(n))
+                .collect()
+        };
+        cat.register(doc);
+        let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op_pick];
+        let rows: Vec<Tuple> = picks
+            .iter()
+            .map(|&(i, hit)| {
+                let v = if hit && i < titles.len() {
+                    Value::str(&titles[i])
+                } else {
+                    Value::str(format!("probe-{i}"))
+                };
+                Tuple::singleton(s("t1"), v)
+            })
+            .collect();
+        let l = Expr::Literal(rows).project_syms(vec![s("t1")]);
+        let pred = Scalar::attr_cmp(op, "t1", "t2");
+        let e = if anti {
+            l.antijoin(title_build("bib.xml"), pred)
+        } else {
+            l.semijoin(title_build("bib.xml"), pred)
+        };
+        let plan = engine::compile_indexed(&e, &cat);
+        prop_assert!(plan.explain().contains("IndexRange"), "{}", plan.explain());
         assert_all_modes_identical(&e, &cat);
     }
 }

@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use nal::expr::attrs::attr_set;
-use nal::{CmpOp, Expr, ProjOp, Scalar};
+use nal::{CmpOp, Expr, ProjOp, Scalar, Sym};
 use xmldb::{Catalog, DocStats};
 use xpath::{Axis, Path};
 
@@ -259,8 +259,11 @@ impl<'a> CostModel<'a> {
     /// logical level so index-mode ranking does not price plans the
     /// engine would in fact run as scan joins:
     ///
-    /// * exactly **one** equi conjunct between a left and a right
+    /// * either exactly **one** equi conjunct between a left and a right
     ///   attribute (the physical converter requires a single hash key),
+    ///   or — with no equi conjunct at all — at least one *inequality*
+    ///   conjunct (`<`, `≤`, `>`, `≥`) against a single right column
+    ///   (the `IndexRangeJoin` regime),
     /// * no nested algebraic expressions anywhere in the build side
     ///   (they are not replayable per candidate),
     /// * the right column traces to a document-rooted path — through
@@ -269,27 +272,88 @@ impl<'a> CostModel<'a> {
     ///   value-set equality; for existence probing a filtered subset is
     ///   fine).
     ///
-    /// Returns the per-left-tuple probe cost: a B-tree-ish `log₂` of the
-    /// key count.
+    /// Returns the per-left-tuple probe cost: a B-tree-ish `log₂` seek
+    /// of the key count, plus — for range probes — a scan term matching
+    /// the engine's two execution regimes: existence-only probes
+    /// short-circuit on the first in-range node (one average posting
+    /// run), while probes with residual conjuncts reconstruct in-range
+    /// candidates until one passes (a selectivity-scaled scan of the
+    /// whole window).
     fn index_probe_cost(&mut self, left: &Expr, right: &Expr, pred: &Scalar) -> Option<f64> {
         let a_l = attr_set(left);
         let a_r = attr_set(right);
-        let mut right_cols = pred.conjuncts().into_iter().filter_map(|c| match c {
-            Scalar::Cmp(CmpOp::Eq, x, y) => match (x.as_ref(), y.as_ref()) {
-                (Scalar::Attr(xa), Scalar::Attr(ya)) if a_l.contains(xa) && a_r.contains(ya) => {
-                    Some(*ya)
-                }
-                (Scalar::Attr(xa), Scalar::Attr(ya)) if a_r.contains(xa) && a_l.contains(ya) => {
-                    Some(*xa)
-                }
+        // One side a bare right attribute, the other free of right
+        // attributes (mirrors `engine::index::as_range_conjunct`).
+        let probe_col = |x: &Scalar, y: &Scalar| -> Option<Sym> {
+            let as_key = |s: &Scalar| match s {
+                Scalar::Attr(a) if a_r.contains(a) => Some(*a),
                 _ => None,
-            },
-            _ => None,
-        });
-        let right_col = right_cols.next()?;
-        if right_cols.next().is_some() {
-            return None; // multi-key joins compile to hash, not index
+            };
+            let side_ok = |s: &Scalar| s.free_attrs().iter().all(|a| !a_r.contains(a));
+            if let Some(k) = as_key(y) {
+                if side_ok(x) {
+                    return Some(k);
+                }
+            }
+            if let Some(k) = as_key(x) {
+                if side_ok(y) {
+                    return Some(k);
+                }
+            }
+            None
+        };
+        let mut eq_cols: Vec<Sym> = Vec::new();
+        let mut range_cols: Vec<Sym> = Vec::new();
+        let mut leftovers = 0usize;
+        for c in pred.conjuncts() {
+            match c {
+                Scalar::Cmp(CmpOp::Eq, x, y) => match (x.as_ref(), y.as_ref()) {
+                    (Scalar::Attr(xa), Scalar::Attr(ya))
+                        if a_l.contains(xa) && a_r.contains(ya) =>
+                    {
+                        eq_cols.push(*ya)
+                    }
+                    (Scalar::Attr(xa), Scalar::Attr(ya))
+                        if a_r.contains(xa) && a_l.contains(ya) =>
+                    {
+                        eq_cols.push(*xa)
+                    }
+                    // A constant-or-computed `= key` conjunct is a point
+                    // range for the engine's range conversion (the hash
+                    // compiler only keys on attr-attr equalities).
+                    _ => match probe_col(x, y) {
+                        Some(k) => range_cols.push(k),
+                        None => leftovers += 1,
+                    },
+                },
+                Scalar::Cmp(CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, x, y) => {
+                    match probe_col(x, y) {
+                        Some(k) => range_cols.push(k),
+                        None => leftovers += 1,
+                    }
+                }
+                _ => leftovers += 1,
+            }
         }
+        let (right_col, ranged) = match eq_cols.as_slice() {
+            [] => {
+                let k = *range_cols.first()?;
+                // Conjuncts over other columns stay residual; count them
+                // as leftovers rather than declining.
+                leftovers += range_cols.iter().filter(|c| **c != k).count();
+                // The engine's range conversion requires every probe side
+                // and every leftover residual conjunct to be replay-safe
+                // (pure and total) — a loop join whose predicate carries
+                // arithmetic or `decimal()` keeps scanning, so it must
+                // not be priced as a probe.
+                if !pred.conjuncts().iter().all(|c| c.replay_safe()) {
+                    return None;
+                }
+                (k, true)
+            }
+            [k] => (*k, false),
+            _ => return None, // multi-key joins compile to hash, not index
+        };
         if right.has_nested_scalars() {
             return None;
         }
@@ -298,7 +362,23 @@ impl<'a> CostModel<'a> {
         let name = final_name(desc.path())?;
         let stats = self.stats_for(&uri)?;
         let keys = stats.distinct(&name).max(1) as f64;
-        Some(1.0 + (keys + 2.0).log2())
+        let seek = 1.0 + (keys + 2.0).log2();
+        if ranged {
+            let postings = stats.elements(&name).max(1) as f64;
+            if leftovers > 0 {
+                // Residual conjuncts force candidate reconstruction
+                // until one passes: a selectivity-scaled scan of ALL
+                // in-range postings (still no build-side execution).
+                Some(seek + SELECTIVITY * postings)
+            } else {
+                // Existence-only probe: the engine short-circuits on
+                // the first in-range node, so the expected scan is one
+                // average posting run, not the window.
+                Some(seek + SELECTIVITY * (postings / keys).max(1.0))
+            }
+        } else {
+            Some(seek)
+        }
     }
 
     /// Fan-out and per-tuple cost of an Υ subscript. Document-rooted
@@ -588,6 +668,62 @@ mod tests {
         // logarithmic in the key count while the scan is linear in the
         // document.
         assert!(index_cost * 2.0 < scan_cost, "{index_cost} vs {scan_cost}");
+    }
+
+    #[test]
+    fn index_mode_prices_inequality_quantifier_joins_below_loop_scans() {
+        let cat = catalog(500);
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        // `some $t2 satisfies $t1 < $t2` — a pure inequality quantifier
+        // join, which the scan engine runs as a nested loop.
+        let semi = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Lt, "t1", "t2"));
+        let scan_cost = CostModel::new(&cat).estimate(&semi).cost;
+        let index_cost = CostModel::with_indexes(&cat, true).estimate(&semi).cost;
+        assert!(
+            index_cost < scan_cost,
+            "range probe ({index_cost}) must undercut the build-side scan ({scan_cost})"
+        );
+        // The range probe pays a selectivity-scaled posting scan on top
+        // of the log₂ seek, so it must price above the point probe of
+        // the equality join on the same column.
+        let probe2 =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build2 = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let eq_semi = probe2.semijoin(build2, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let eq_cost = CostModel::with_indexes(&cat, true).estimate(&eq_semi).cost;
+        assert!(
+            eq_cost <= index_cost,
+            "point probe ({eq_cost}) must not price above the range probe ({index_cost})"
+        );
+        // A non-replay-safe residual conjunct makes the engine keep the
+        // loop join (arithmetic can error on rows the narrower candidate
+        // set would skip) — pricing must decline the probe discount too.
+        let probe3 =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build3 = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let unsafe_pred = Scalar::attr_cmp(CmpOp::Lt, "t1", "t2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::Arith(
+                nal::ArithOp::Mul,
+                Box::new(Scalar::attr("t2")),
+                Box::new(Scalar::int(2)),
+            ),
+            Scalar::int(0),
+        ));
+        let mut m = CostModel::with_indexes(&cat, true);
+        assert_eq!(
+            m.index_probe_cost(&probe3, &build3, &unsafe_pred),
+            None,
+            "engine keeps the loop join here; pricing must not assume a probe"
+        );
     }
 
     #[test]

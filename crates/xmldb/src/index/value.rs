@@ -5,8 +5,8 @@
 //! engine's hash-join key domain, so that an index probe finds exactly
 //! the nodes a hash bucket lookup would. Keys live in a `BTreeMap`, so
 //! iterating the index walks keys in ascending [`ValueKey`] order (the
-//! foundation for future range scans); each posting list holds node ids
-//! in document order (insertion order during the build pass).
+//! foundation of [`ValueIndex::range`]); each posting list holds node
+//! ids in document order (insertion order during the build pass).
 //!
 //! XML nodes always atomize to their *string value*, so every key stored
 //! by [`ValueIndex::build`] is a [`ValueKey::Str`]. The other variants
@@ -14,9 +14,23 @@
 //! and, by deliberate design, *miss*: that is exactly the behaviour of
 //! the hash operators (`engine::key::KeyVal`), which never equate a
 //! numeric probe with a string build key. Byte-identical plans first.
+//!
+//! Besides the string-keyed map, the index keeps a **numeric view**: for
+//! every node whose string value parses as a finite-or-infinite `f64`
+//! (the engine's coercion rule for `@year > 1993`-style comparisons), a
+//! second `BTreeMap` keyed by order-preserving bits of the parsed value.
+//! [`ValueIndex::range`] probes either view depending on the bound type,
+//! which is what turns inequality quantifier joins into index seeks.
+//!
+//! Key edge semantics (shared with `cmp_atomic` and the hash keys):
+//! `NaN` behaves like NULL — it is unmatchable on build *and* probe
+//! ([`ValueKey::num`] canonicalizes it to [`ValueKey::Null`], and nodes
+//! whose value parses to NaN are left out of the numeric view) — and
+//! `-0.0` canonicalizes to `0.0`, so both zeros are a single key point.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Bound;
 
 use crate::document::Document;
 use crate::node::NodeId;
@@ -24,16 +38,18 @@ use crate::node::NodeId;
 /// A typed, totally ordered index key.
 ///
 /// Ordering: `Null < Bool < Num < Str < Other`, with numbers compared by
-/// IEEE-754 total order (via an order-preserving bit mapping) and strings
-/// lexicographically.
+/// IEEE-754 total order (via an order-preserving bit mapping, with both
+/// zeros canonicalized to `+0.0` and NaN canonicalized to `Null` — see
+/// [`ValueKey::num`]) and strings lexicographically.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ValueKey {
     /// NULL — present for completeness; never stored (NULL keys match
     /// nothing) and probes with it always miss.
     Null,
     Bool(bool),
-    /// A numeric key, stored as order-preserving bits of the `f64` value
-    /// so that derived `Ord` equals `f64::total_cmp`.
+    /// A numeric key, stored as order-preserving bits of the
+    /// (zero-canonicalized, non-NaN) `f64` value so that derived `Ord`
+    /// equals IEEE order.
     Num(u64),
     Str(String),
     /// Non-atomic leftovers by canonical rendering (sequences etc.).
@@ -41,8 +57,15 @@ pub enum ValueKey {
 }
 
 impl ValueKey {
-    /// Numeric key from an `f64` (total-order preserving).
+    /// Numeric key from an `f64` (order preserving). `NaN` canonicalizes
+    /// to [`ValueKey::Null`] — NaN never satisfies a comparison, so a NaN
+    /// key must be unmatchable on build and probe alike — and `-0.0`
+    /// canonicalizes to `0.0`, making the two zeros one key point.
     pub fn num(v: f64) -> ValueKey {
+        if v.is_nan() {
+            return ValueKey::Null;
+        }
+        let v = if v == 0.0 { 0.0 } else { v };
         ValueKey::Num(f64_order_bits(v))
     }
 
@@ -98,22 +121,35 @@ impl fmt::Display for ValueKey {
 /// a [`super::PathIndex`] lookup for one path pattern).
 pub struct ValueIndex {
     entries: BTreeMap<ValueKey, Vec<NodeId>>,
+    /// Numeric view: order bits of the parsed string value → nodes, for
+    /// every node whose value coerces to a (non-NaN) number. `-0.0` is
+    /// canonicalized to `0.0` on entry.
+    numeric: BTreeMap<u64, Vec<NodeId>>,
     total_nodes: usize,
 }
 
 impl ValueIndex {
     /// Index `nodes` (which must be in document order — posting lists
-    /// inherit it) by their atomized string value.
+    /// inherit it) by their atomized string value, and additionally by
+    /// their parsed numeric value where one exists (the numeric view
+    /// range probes use).
     pub fn build(doc: &Document, nodes: &[NodeId]) -> ValueIndex {
         let mut entries: BTreeMap<ValueKey, Vec<NodeId>> = BTreeMap::new();
+        let mut numeric: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
         for &n in nodes {
-            entries
-                .entry(ValueKey::Str(doc.string_value(n)))
-                .or_default()
-                .push(n);
+            let s = doc.string_value(n);
+            // Mirror `Value::as_number`'s coercion exactly; NaN-parsing
+            // values stay out (NaN keys are unmatchable by decision).
+            if let Ok(v) = s.trim().parse::<f64>() {
+                if let ValueKey::Num(bits) = ValueKey::num(v) {
+                    numeric.entry(bits).or_default().push(n);
+                }
+            }
+            entries.entry(ValueKey::Str(s)).or_default().push(n);
         }
         ValueIndex {
             entries,
+            numeric,
             total_nodes: nodes.len(),
         }
     }
@@ -149,6 +185,101 @@ impl ValueIndex {
     /// Iterate `(key, posting list)` in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (&ValueKey, &[NodeId])> {
         self.entries.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Nodes whose value falls in the `(lo, hi)` key range, with the
+    /// per-key posting lists merged back into **document order**.
+    ///
+    /// The comparison regime follows the bound type, mirroring
+    /// `cmp_atomic`'s coercion rules exactly:
+    ///
+    /// * [`ValueKey::Str`] bounds select string keys lexicographically;
+    /// * [`ValueKey::Num`] bounds probe the numeric view — nodes whose
+    ///   string value parses as a number, compared numerically. NaN is
+    ///   excluded on both axes: NaN-valued nodes are not in the view, and
+    ///   a NaN endpoint arrives here as [`ValueKey::Null`] (see
+    ///   [`ValueKey::num`]), which selects nothing;
+    /// * a [`ValueKey::Null`] bound selects nothing (NULL and NaN probes
+    ///   are unmatchable);
+    /// * mixed `Str`/`Num` or other-typed bounds have no defined order
+    ///   against the stored keys and select nothing;
+    /// * two unbounded ends return every indexed node (in document
+    ///   order).
+    pub fn range(&self, lo: Bound<&ValueKey>, hi: Bound<&ValueKey>) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.range_iter(lo, hi).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Lazy form of [`Self::range`]: the same node set, streamed in
+    /// **key order** (document order within each key) without
+    /// materializing or merging. Existence probes (`some`/`every` with
+    /// no replayed pipeline or residual) short-circuit on the first
+    /// yielded node.
+    pub fn range_iter<'a>(
+        &'a self,
+        lo: Bound<&ValueKey>,
+        hi: Bound<&ValueKey>,
+    ) -> Box<dyn Iterator<Item = NodeId> + 'a> {
+        fn typed(b: Bound<&ValueKey>) -> Option<&ValueKey> {
+            match b {
+                Bound::Included(k) | Bound::Excluded(k) => Some(k),
+                Bound::Unbounded => None,
+            }
+        }
+        match (typed(lo), typed(hi)) {
+            (None, None) => Box::new(self.entries.values().flatten().copied()),
+            (Some(ValueKey::Null), _) | (_, Some(ValueKey::Null)) => Box::new(std::iter::empty()),
+            (Some(ValueKey::Num(_)), Some(ValueKey::Num(_)))
+            | (Some(ValueKey::Num(_)), None)
+            | (None, Some(ValueKey::Num(_))) => {
+                let bits = |b: Bound<&ValueKey>| match b {
+                    Bound::Included(ValueKey::Num(n)) => Bound::Included(*n),
+                    Bound::Excluded(ValueKey::Num(n)) => Bound::Excluded(*n),
+                    _ => Bound::Unbounded,
+                };
+                let (lo, hi) = (bits(lo), bits(hi));
+                if !bounds_ordered(&lo, &hi) {
+                    return Box::new(std::iter::empty());
+                }
+                Box::new(
+                    self.numeric
+                        .range((lo, hi))
+                        .flat_map(|(_, v)| v.iter().copied()),
+                )
+            }
+            (Some(ValueKey::Str(_)), Some(ValueKey::Str(_)))
+            | (Some(ValueKey::Str(_)), None)
+            | (None, Some(ValueKey::Str(_))) => {
+                if !bounds_ordered(&lo, &hi) {
+                    return Box::new(std::iter::empty());
+                }
+                Box::new(
+                    self.entries
+                        .range((lo, hi))
+                        .flat_map(|(_, v)| v.iter().copied()),
+                )
+            }
+            _ => Box::new(std::iter::empty()),
+        }
+    }
+}
+
+/// Is `(lo, hi)` a non-empty, `BTreeMap::range`-safe bound pair? Degenerate
+/// pairs (start past end, or a shared endpoint that at least one side
+/// excludes) select nothing, so callers can return empty directly.
+fn bounds_ordered<T: Ord>(lo: &Bound<T>, hi: &Bound<T>) -> bool {
+    match (lo, hi) {
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+            if a > b {
+                return false;
+            }
+            if a == b && (matches!(lo, Bound::Excluded(_)) || matches!(hi, Bound::Excluded(_))) {
+                return false;
+            }
+            true
+        }
+        _ => true,
     }
 }
 
@@ -215,18 +346,99 @@ mod tests {
     }
 
     #[test]
-    fn numeric_key_order_matches_total_cmp() {
+    fn numeric_key_order_matches_ieee_order() {
         let samples = [-1.5f64, -0.0, 0.0, 1.0, 2.5, f64::INFINITY, -f64::INFINITY];
         for &a in &samples {
             assert_eq!(ValueKey::num(a).as_f64(), Some(a), "round-trip {a}");
             for &b in &samples {
                 assert_eq!(
                     ValueKey::num(a).cmp(&ValueKey::num(b)),
-                    a.total_cmp(&b),
+                    a.partial_cmp(&b).expect("no NaN in samples"),
                     "{a} vs {b}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn nan_keys_are_unmatchable_and_zeros_collapse() {
+        // NaN canonicalizes to the unmatchable Null key on build & probe.
+        assert_eq!(ValueKey::num(f64::NAN), ValueKey::Null);
+        assert!(!ValueKey::num(f64::NAN).matchable());
+        // -0.0 and 0.0 are one key point.
+        assert_eq!(ValueKey::num(-0.0), ValueKey::num(0.0));
+        let d = parse_document("z.xml", "<r><v>-0</v><v>0</v><v>0.0</v></r>").unwrap();
+        let pidx = PathIndex::build(&d);
+        let vs = pidx
+            .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some(
+                "v".into(),
+            ))]))
+            .unwrap();
+        let vidx = ValueIndex::build(&d, &vs);
+        // All three spellings live under the single canonical zero in the
+        // numeric view.
+        let zeroes = vidx.range(
+            Bound::Included(&ValueKey::num(-0.0)),
+            Bound::Included(&ValueKey::num(0.0)),
+        );
+        assert_eq!(zeroes.len(), 3);
+    }
+
+    #[test]
+    fn range_probes_numeric_and_string_regimes() {
+        let d = parse_document(
+            "n.xml",
+            "<r><v>10</v><v>2</v><v>30</v><v>abc</v><v>NaN</v></r>",
+        )
+        .unwrap();
+        let pidx = PathIndex::build(&d);
+        let vs = pidx
+            .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some(
+                "v".into(),
+            ))]))
+            .unwrap();
+        let vidx = ValueIndex::build(&d, &vs);
+        // Numeric regime: parsed values in numeric order; "abc" and "NaN"
+        // are not in the view.
+        let le_10 = vidx.range(Bound::Unbounded, Bound::Included(&ValueKey::num(10.0)));
+        assert_eq!(le_10.len(), 2, "2 and 10");
+        let gt_2 = vidx.range(Bound::Excluded(&ValueKey::num(2.0)), Bound::Unbounded);
+        assert_eq!(gt_2.len(), 2, "10 and 30");
+        assert!(gt_2.windows(2).all(|w| w[0] < w[1]), "document order");
+        // String regime: lexicographic, every node participates.
+        let lex = vidx.range(
+            Bound::Included(&ValueKey::Str("1".into())),
+            Bound::Excluded(&ValueKey::Str("3".into())),
+        );
+        assert_eq!(lex.len(), 2, "\"10\" and \"2\" sort inside [\"1\", \"3\")");
+        // NaN endpoints (canonicalized to Null) select nothing.
+        assert!(vidx
+            .range(Bound::Included(&ValueKey::num(f64::NAN)), Bound::Unbounded)
+            .is_empty());
+        // Mixed regimes have no defined order.
+        assert!(vidx
+            .range(
+                Bound::Included(&ValueKey::num(1.0)),
+                Bound::Included(&ValueKey::Str("z".into()))
+            )
+            .is_empty());
+        // Degenerate bounds are empty, not a panic.
+        assert!(vidx
+            .range(
+                Bound::Excluded(&ValueKey::num(5.0)),
+                Bound::Excluded(&ValueKey::num(5.0))
+            )
+            .is_empty());
+        assert!(vidx
+            .range(
+                Bound::Included(&ValueKey::Str("z".into())),
+                Bound::Included(&ValueKey::Str("a".into()))
+            )
+            .is_empty());
+        // Fully unbounded: every node, in document order.
+        let all = vidx.range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 5);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

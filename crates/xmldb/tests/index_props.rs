@@ -1,6 +1,9 @@
 //! Property tests for the index subsystem: value-index key ordering
-//! round-trips, document-order posting lists, and path-index/naive-scan
-//! agreement on randomized documents.
+//! round-trips, document-order posting lists, range probes vs filtered
+//! full scans, and path-index/naive-scan agreement on randomized
+//! documents.
+
+use std::ops::Bound;
 
 use proptest::prelude::*;
 
@@ -93,6 +96,156 @@ proptest! {
                 let key = ValueKey::Str(doc.string_value(n));
                 prop_assert!(vidx.get(&key).contains(&n));
             }
+        }
+    }
+
+    #[test]
+    fn value_key_num_canonicalizes_nan_and_negative_zero(
+        nums in prop::collection::vec((0i64..2000, 1i64..1000), 1..16),
+    ) {
+        // NaN is unmatchable on build and probe (it canonicalizes to the
+        // NULL key), and the two zeros are one key point.
+        prop_assert_eq!(ValueKey::num(f64::NAN), ValueKey::Null);
+        prop_assert_eq!(ValueKey::num(-0.0), ValueKey::num(0.0));
+        for &(n, d) in &nums {
+            let f = (n - 1000) as f64 / d as f64;
+            // Negating a zero never changes the key; negating anything
+            // else always does.
+            prop_assert_eq!(
+                ValueKey::num(-f) == ValueKey::num(f),
+                f == 0.0,
+                "f = {}", f
+            );
+        }
+    }
+
+    #[test]
+    fn range_equals_filtered_full_scan(
+        // Values: a mix of small numerics (negatives, zeros in both
+        // spellings), NaN, and non-numeric strings.
+        value_picks in prop::collection::vec(0usize..12, 1..40),
+        lo_pick in 0usize..14,
+        hi_pick in 0usize..14,
+        lo_incl in prop::bool::ANY,
+        hi_incl in prop::bool::ANY,
+        numeric_probe in prop::bool::ANY,
+    ) {
+        const POOL: [&str; 12] = [
+            "-3.5", "-1", "-0", "0", "0.0", "2", "10", "100", "NaN", "abc", "", "zz",
+        ];
+        // Endpoint pool: the numeric interpretations plus edge values;
+        // the string regime uses the raw spellings.
+        const NUM_ENDPOINTS: [f64; 12] = [
+            -5.0, -3.5, -1.0, -0.0, 0.0, 2.0, 10.0, 99.5, 100.0,
+            f64::NEG_INFINITY, f64::INFINITY, f64::NAN,
+        ];
+        let mut b = DocumentBuilder::new("range.xml");
+        b.start_element("r");
+        for &i in &value_picks {
+            b.leaf("v", POOL[i]);
+        }
+        b.end_element();
+        let doc = b.finish();
+        let pidx = PathIndex::build(&doc);
+        let nodes = pidx
+            .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some("v".into()))]))
+            .expect("resolvable");
+        let vidx = ValueIndex::build(&doc, &nodes);
+
+        let bound = |key: Option<ValueKey>, incl: bool| match key {
+            None => Bound::Unbounded,
+            Some(k) => if incl { Bound::Included(k) } else { Bound::Excluded(k) },
+        };
+        fn as_ref_bound(b: &Bound<ValueKey>) -> Bound<&ValueKey> {
+            match b {
+                Bound::Unbounded => Bound::Unbounded,
+                Bound::Included(k) => Bound::Included(k),
+                Bound::Excluded(k) => Bound::Excluded(k),
+            }
+        }
+        // Reference: filter the full node scan by the bound predicate in
+        // the regime's comparison semantics.
+        let in_num_bounds = |v: f64, lo: &Bound<f64>, hi: &Bound<f64>| {
+            let lo_ok = match lo {
+                Bound::Unbounded => true,
+                Bound::Included(l) => v >= *l,
+                Bound::Excluded(l) => v > *l,
+            };
+            let hi_ok = match hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => v <= *h,
+                Bound::Excluded(h) => v < *h,
+            };
+            lo_ok && hi_ok
+        };
+        if numeric_probe {
+            let lo_f = (lo_pick < NUM_ENDPOINTS.len()).then(|| NUM_ENDPOINTS[lo_pick]);
+            let hi_f = (hi_pick < NUM_ENDPOINTS.len()).then(|| NUM_ENDPOINTS[hi_pick]);
+            let lo = bound(lo_f.map(ValueKey::num), lo_incl);
+            let hi = bound(hi_f.map(ValueKey::num), hi_incl);
+            let got = vidx.range(as_ref_bound(&lo), as_ref_bound(&hi));
+            let nan_endpoint = lo_f.is_some_and(f64::is_nan) || hi_f.is_some_and(f64::is_nan);
+            // Two unbounded ends are regime-free: every indexed node.
+            let unbounded_both = lo_f.is_none() && hi_f.is_none();
+            let expected: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    if unbounded_both {
+                        return true;
+                    }
+                    if nan_endpoint {
+                        return false; // NaN endpoints select nothing
+                    }
+                    // Canonical IEEE comparison on parsed values; NaN
+                    // values are unmatchable.
+                    match doc.string_value(n).trim().parse::<f64>() {
+                        Ok(v) if !v.is_nan() => {
+                            let lo_f64 = match &lo {
+                                Bound::Unbounded => Bound::Unbounded,
+                                Bound::Included(k) => Bound::Included(k.as_f64().unwrap()),
+                                Bound::Excluded(k) => Bound::Excluded(k.as_f64().unwrap()),
+                            };
+                            let hi_f64 = match &hi {
+                                Bound::Unbounded => Bound::Unbounded,
+                                Bound::Included(k) => Bound::Included(k.as_f64().unwrap()),
+                                Bound::Excluded(k) => Bound::Excluded(k.as_f64().unwrap()),
+                            };
+                            in_num_bounds(v, &lo_f64, &hi_f64)
+                        }
+                        _ => false,
+                    }
+                })
+                .collect();
+            prop_assert_eq!(&got, &expected, "numeric bounds {:?} {:?}", lo, hi);
+            // Document order is ascending NodeId order.
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+        } else {
+            let lo_s = (lo_pick < POOL.len()).then(|| POOL[lo_pick].to_string());
+            let hi_s = (hi_pick < POOL.len()).then(|| POOL[hi_pick].to_string());
+            let lo = bound(lo_s.clone().map(ValueKey::Str), lo_incl);
+            let hi = bound(hi_s.clone().map(ValueKey::Str), hi_incl);
+            let got = vidx.range(as_ref_bound(&lo), as_ref_bound(&hi));
+            let expected: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    let v = doc.string_value(n);
+                    let lo_ok = match (&lo_s, lo_incl) {
+                        (None, _) => true,
+                        (Some(l), true) => v.as_str() >= l.as_str(),
+                        (Some(l), false) => v.as_str() > l.as_str(),
+                    };
+                    let hi_ok = match (&hi_s, hi_incl) {
+                        (None, _) => true,
+                        (Some(h), true) => v.as_str() <= h.as_str(),
+                        (Some(h), false) => v.as_str() < h.as_str(),
+                    };
+                    lo_ok && hi_ok
+                })
+                .collect();
+            prop_assert_eq!(&got, &expected, "string bounds {:?} {:?}", lo_s, hi_s);
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
         }
     }
 

@@ -139,6 +139,48 @@ pub const ALL: [Workload; 6] = [
     Q6_HAVING,
 ];
 
+/// Inequality quantification I (§5.3-style, string regime): titles for
+/// which some review title sorts strictly after them. The `some … < …`
+/// predicate has no equality conjunct, so the scan plans run it as a
+/// nested loop; the index plans probe the title index's ordered key
+/// space instead (`IndexRangeJoin`).
+pub const Q7_RANGE_SOME: Workload = Workload {
+    id: "q7-range-some",
+    paper_ref: "§5.3-style (existential quantification, inequality)",
+    query: r#"
+        let $d1 := document("bib.xml")
+        for $t1 in $d1//book/title
+        where some $t2 in document("reviews.xml")//entry/title
+              satisfies $t1 < $t2
+        return
+          <has-later-review>{ $t1 }</has-later-review>"#,
+    documents: &["bib.xml", "reviews.xml"],
+    expected_plans: &["nested", "semijoin"],
+};
+
+/// Inequality quantification II (§5.5-style, numeric regime): `every`
+/// over a numeric floor that holds for the whole price population, i.e.
+/// the vacuous-counterexample case — the scan anti join probes every
+/// price per title before conceding, while the range probe answers each
+/// title with one empty seek.
+pub const Q8_RANGE_EVERY: Workload = Workload {
+    id: "q8-range-every",
+    paper_ref: "§5.5-style (universal quantification, inequality)",
+    query: r#"
+        let $d1 := document("bib.xml")
+        for $t1 in $d1//book/title
+        where every $p2 in document("prices.xml")//book/price
+              satisfies $p2 > 5
+        return
+          <above-floor>{ $t1 }</above-floor>"#,
+    documents: &["bib.xml", "prices.xml"],
+    expected_plans: &["nested", "anti-semijoin"],
+};
+
+/// The inequality-quantifier workloads (the `range` bench ablation and
+/// the index differential suite run these in addition to [`ALL`]).
+pub const RANGE: [Workload; 2] = [Q7_RANGE_SOME, Q8_RANGE_EVERY];
+
 /// The §5.1 DBLP-style variant of Q1: same query against `dblp.xml`,
 /// where the Eqv. 5 precondition fails and only the outer-join plan is
 /// sound.
