@@ -11,8 +11,12 @@
 //! Experiments: `fig6`, `grouping` (§5.1), `dblp` (§5.1), `aggregation`
 //! (§5.2), `existential1` (§5.3), `existential2` (§5.4), `universal`
 //! (§5.5), `having` (§5.6), `costmodel`, `index` (scan- vs index-backed
-//! quantifier joins), `range` (loop- vs range-probe inequality
-//! quantifier joins), or `all`.
+//! quantifier joins, incl. the composite-key and variable-depth
+//! workloads), `range` (loop- vs range-probe inequality quantifier
+//! joins), `composite` (the focused multi-key/deep-ancestor cut), or
+//! `all`. Every `--json` cell records the cost model's `predicted_cost`
+//! next to the measured time, so `BENCH_*.json` trajectories can
+//! calibrate the probe constants against reality.
 //!
 //! `--indexes on` compiles every measured plan through
 //! `engine::compile_indexed`, so document-rooted path scans and
@@ -35,7 +39,8 @@ use bench_harness::{
     RunConfig,
 };
 use ordered_unnesting::workloads::{
-    Q1_DBLP, Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL, Q6_HAVING,
+    Q10_DEEP, Q1_DBLP, Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL,
+    Q6_HAVING, Q9_COMPOSITE,
 };
 use xmldb::gen::{
     gen_auction, gen_bib, gen_dblp, gen_prices, gen_reviews, standard_catalog, AuctionConfig,
@@ -197,6 +202,9 @@ fn main() {
     if run_all || args.experiment == "range" {
         range_ablation(&args, &mut report);
     }
+    if run_all || args.experiment == "composite" {
+        composite_ablation(&args, &mut report);
+    }
     if let Some(path) = &args.json {
         report
             .write(path)
@@ -225,8 +233,29 @@ fn index_ablation(args: &Args, report: &mut Report) {
         args,
         report,
         "Index ablation: scan vs index-backed quantifier joins",
-        &[&Q3_EXISTENTIAL, &Q4_EXISTS, &Q5_UNIVERSAL],
+        &[
+            &Q3_EXISTENTIAL,
+            &Q4_EXISTS,
+            &Q5_UNIVERSAL,
+            &Q9_COMPOSITE,
+            &Q10_DEEP,
+        ],
         "index",
+    );
+}
+
+/// The focused composite/deep cut of the index ablation: the two-key
+/// (`IndexCompositeSemiJoin`) and variable-depth-ancestor workloads that
+/// the multi-key and descendant-above-key conversions unlock — run
+/// separately in CI so a regression in either conversion fails a named
+/// step.
+fn composite_ablation(args: &Args, report: &mut Report) {
+    access_path_ablation(
+        args,
+        report,
+        "Composite ablation: multi-key + variable-depth quantifier joins",
+        &[&Q9_COMPOSITE, &Q10_DEEP],
+        "composite",
     );
 }
 

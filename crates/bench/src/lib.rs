@@ -94,6 +94,13 @@ pub struct Measurement {
     pub probe_tuples: u64,
     pub index_lookups: u64,
     pub index_hits: u64,
+    /// The cost model's prediction for this plan under the measured
+    /// configuration's index mode (`CostModel::with_indexes`), recorded
+    /// next to the measured time in every `--json` row so the
+    /// `BENCH_*.json` trajectories can fit the probe constants against
+    /// reality (the cost-model calibration hook). `None` for
+    /// extrapolated cells.
+    pub predicted_cost: Option<f64>,
 }
 
 impl Measurement {
@@ -109,6 +116,7 @@ impl Measurement {
             probe_tuples: 0,
             index_lookups: 0,
             index_hits: 0,
+            predicted_cost: None,
         }
     }
 
@@ -155,6 +163,11 @@ pub fn measure_plan_cfg(
     catalog: &Catalog,
     cfg: RunConfig,
 ) -> Measurement {
+    // Predict before measuring: the model's estimate under the matching
+    // index mode rides along in every JSON row (calibration hook).
+    let predicted = unnest::CostModel::with_indexes(catalog, cfg.indexes)
+        .estimate(expr)
+        .cost;
     let start = Instant::now();
     let result = cfg.run(expr, catalog).unwrap_or_else(|e| {
         panic!(
@@ -173,6 +186,7 @@ pub fn measure_plan_cfg(
         probe_tuples: result.metrics.probe_tuples,
         index_lookups: result.metrics.index_lookups,
         index_hits: result.metrics.index_hits,
+        predicted_cost: Some(predicted),
     }
 }
 
@@ -222,6 +236,13 @@ impl Report {
             ),
             ("index_lookups".to_string(), m.index_lookups.to_string()),
             ("index_hits".to_string(), m.index_hits.to_string()),
+            (
+                "predicted_cost".to_string(),
+                match m.predicted_cost {
+                    Some(c) if c.is_finite() => format!("{c}"),
+                    _ => "null".to_string(),
+                },
+            ),
         ];
         for (k, v) in knobs {
             fields.push(((*k).to_string(), v.to_string()));

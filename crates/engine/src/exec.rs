@@ -291,7 +291,7 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             // The path is document-rooted: one index resolution serves
             // every input tuple (the replaced Υ re-evaluated it per
             // tuple, producing the identical sequence each time).
-            let items = crate::index::scan_items(uri, pattern, *distinct, ctx)?;
+            let items = crate::access::scan_items(uri, pattern, *distinct, ctx)?;
             let mut out = Vec::with_capacity(rows.len() * items.len());
             for t in rows {
                 for item in &items {
@@ -301,81 +301,27 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
             out
         }
 
-        PhysPlan::IndexJoin {
-            left,
-            probe,
-            key_attr,
-            uri,
-            pattern,
-            seeds,
-            ops,
-            residual,
-            kind,
-        } => {
+        PhysPlan::IndexJoin { left, recipe } => {
             let l = execute(left, env, ctx)?;
-            let access = IndexJoinAccess::resolve(uri, pattern, ctx)?;
-            let mut out = Vec::with_capacity(l.len());
-            for lt in l {
-                let matched = access.probe_matches(
-                    &lt,
-                    *probe,
-                    *key_attr,
-                    seeds,
-                    ops,
-                    residual.as_ref(),
-                    false,
-                    env,
-                    ctx,
-                )?;
-                match kind {
-                    JoinKind::Semi if matched => out.push(lt),
-                    JoinKind::Anti if !matched => out.push(lt),
-                    _ => {}
-                }
-            }
-            out
-        }
-
-        PhysPlan::IndexRangeJoin {
-            left,
-            eq_probe,
-            ranges,
-            key_attr,
-            uri,
-            pattern,
-            seeds,
-            ops,
-            residual,
-            kind,
-        } => {
-            let l = execute(left, env, ctx)?;
-            let access = IndexJoinAccess::resolve(uri, pattern, ctx)?;
-            let cacheable = range_probe_invariant(*eq_probe, ranges, residual.as_ref());
+            let access = crate::access::IndexJoinAccess::resolve(recipe, ctx)?;
+            // Probe-invariant range recipes (constant bounds, no
+            // residual) decide once and reuse the answer — the streaming
+            // executor memoizes identically, so metrics stay equal.
+            let cacheable = recipe.probe_invariant();
             let mut cached: Option<bool> = None;
             let mut out = Vec::with_capacity(l.len());
             for lt in l {
                 let matched = match cached {
                     Some(m) => m,
                     None => {
-                        let m = access.range_probe_matches(
-                            &lt,
-                            *eq_probe,
-                            ranges,
-                            *key_attr,
-                            seeds,
-                            ops,
-                            residual.as_ref(),
-                            false,
-                            env,
-                            ctx,
-                        )?;
+                        let m = access.probe_matches(recipe, &lt, false, env, ctx)?;
                         if cacheable {
                             cached = Some(m);
                         }
                         m
                     }
                 };
-                match kind {
+                match recipe.kind {
                     JoinKind::Semi if matched => out.push(lt),
                     JoinKind::Anti if !matched => out.push(lt),
                     _ => {}
@@ -388,7 +334,9 @@ pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResul
     Ok(out)
 }
 
-fn project_rows(rows: &[Tuple], op: &ProjOp, ctx: &EvalCtx<'_>) -> Seq {
+/// Shared with the access-path probe runtime, which replays recorded
+/// `Project` build operators per reconstructed candidate.
+pub(crate) fn project_rows(rows: &[Tuple], op: &ProjOp, ctx: &EvalCtx<'_>) -> Seq {
     use nal::eval::atomize_tuple;
     match op {
         ProjOp::Cols(cols) => rows.iter().map(|t| t.project(cols)).collect(),
@@ -433,363 +381,6 @@ pub(crate) fn hash_groups(
         groups[idx].1.push(t.clone());
     }
     groups
-}
-
-/// Is an [`PhysPlan::IndexRangeJoin`]'s decision independent of the
-/// probe tuple? True for constant-bound quantifiers (`every $x
-/// satisfies $x > 5`): no typed bucket probe, no residual, and every
-/// range side closed (build-side ops reference only the reconstructed
-/// chain by construction). Both executors then probe once and reuse the
-/// answer — identically, so metric parity is preserved.
-pub(crate) fn range_probe_invariant(
-    eq_probe: Option<Sym>,
-    ranges: &[crate::plan::RangeProbe],
-    residual: Option<&nal::Scalar>,
-) -> bool {
-    eq_probe.is_none()
-        && residual.is_none()
-        && ranges.iter().all(|rp| rp.side.free_attrs().is_empty())
-}
-
-/// Resolved runtime state of an [`PhysPlan::IndexJoin`]: the document id
-/// and the value index of the build path. Shared by both executors so
-/// probe semantics and metrics accounting stay identical.
-pub struct IndexJoinAccess {
-    pub(crate) doc: xmldb::DocId,
-    pub(crate) vindex: std::sync::Arc<xmldb::ValueIndex>,
-}
-
-impl IndexJoinAccess {
-    pub(crate) fn resolve(
-        uri: &str,
-        pattern: &xmldb::PathPattern,
-        ctx: &EvalCtx<'_>,
-    ) -> EvalResult<IndexJoinAccess> {
-        let doc = crate::index::doc_id_of(uri, ctx)?;
-        let vindex = ctx.catalog.value_index(doc, pattern).ok_or_else(|| {
-            EvalError::new(format!("pattern `{pattern}` is not index-resolvable"))
-        })?;
-        Ok(IndexJoinAccess { doc, vindex })
-    }
-
-    /// One probe: does any build row reconstructed from the posting list
-    /// of the probe key match (pass the replayed filters and the
-    /// residual)?
-    ///
-    /// Build rows are reconstructed candidate by candidate in document
-    /// order — exactly the bucket order of the replaced hash join — so
-    /// the first deciding row is the same row the hash probe would have
-    /// stopped at. `count_probes` is set by the streaming executor only,
-    /// matching where `probe_tuples` is tracked for the scan-based join
-    /// cursors (the materializing executor leaves it 0 for every join
-    /// kind). `index_lookups`/`index_hits` are counted here, shared by
-    /// both executors, so their totals are identical by construction.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn probe_matches(
-        &self,
-        lt: &Tuple,
-        probe: Sym,
-        key_attr: Sym,
-        seeds: &[crate::plan::SeedBinding],
-        ops: &[crate::plan::BuildOp],
-        residual: Option<&nal::Scalar>,
-        count_probes: bool,
-        env: &Tuple,
-        ctx: &mut EvalCtx<'_>,
-    ) -> EvalResult<bool> {
-        let Some(v) = lt.get(probe) else {
-            return Ok(false);
-        };
-        ctx.metrics.index_lookups += 1;
-        let key = crate::index::probe_key_of(v, ctx.catalog);
-        let candidates = self.vindex.get(&key);
-        if candidates.is_empty() {
-            return Ok(false);
-        }
-        ctx.metrics.index_hits += 1;
-        self.decide_from_candidates(
-            lt,
-            candidates,
-            key_attr,
-            seeds,
-            ops,
-            residual,
-            count_probes,
-            env,
-            ctx,
-        )
-    }
-
-    /// One **range** probe over the ordered key space
-    /// ([`PhysPlan::IndexRangeJoin`]): evaluate every conjunct's probe
-    /// side once, seek the value index for candidate nodes, filter them
-    /// by the remaining conjuncts (via [`nal::cmp_general`] against the
-    /// candidate node — exactly the comparison the scan plan's predicate
-    /// would run), and decide from the survivors like an equality probe.
-    ///
-    /// With `eq_probe` set (band conversions), the typed bucket lookup
-    /// of [`Self::probe_matches`] supplies the candidates and every
-    /// range conjunct filters. Without it, the first conjunct whose
-    /// probe key is a string or number drives a
-    /// [`xmldb::ValueIndex::range`] seek (postings already merged into
-    /// document order); a NULL/NaN side decides the tuple outright
-    /// (those values satisfy no comparison); and if no side is
-    /// rangeable (sequences, booleans), every indexed key is examined —
-    /// still without ever executing the build side.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn range_probe_matches(
-        &self,
-        lt: &Tuple,
-        eq_probe: Option<Sym>,
-        ranges: &[crate::plan::RangeProbe],
-        key_attr: Sym,
-        seeds: &[crate::plan::SeedBinding],
-        ops: &[crate::plan::BuildOp],
-        residual: Option<&nal::Scalar>,
-        count_probes: bool,
-        env: &Tuple,
-        ctx: &mut EvalCtx<'_>,
-    ) -> EvalResult<bool> {
-        use std::ops::Bound;
-        use xmldb::ValueKey;
-        // The probe sides are pure and replay-safe by conversion; the
-        // loop join evaluated them once per candidate row, so evaluating
-        // them once per probe tuple is unobservable.
-        let mut sides: Vec<(Value, nal::CmpOp)> = Vec::with_capacity(ranges.len());
-        for rp in ranges {
-            sides.push((eval_scalar(&rp.side, &scoped(env, lt), ctx)?, rp.op));
-        }
-        // Non-driving conjuncts filter at the node level — a candidate's
-        // atomized value is its index key, so this is the scan plan's
-        // predicate conjunct verbatim.
-        let catalog = ctx.catalog;
-        let doc = self.doc;
-        let passes = |node: xmldb::NodeId, skip: Option<usize>| {
-            sides.iter().enumerate().all(|(i, (v, op))| {
-                Some(i) == skip
-                    || nal::cmp_general(*op, v, &Value::Node(nal::NodeRef { doc, node }), catalog)
-            })
-        };
-        // Fast path: no pipeline, no residual — existence alone decides,
-        // so the key window streams lazily and stops at the first
-        // passing candidate (the range analogue of the hash probe's
-        // first-bucket-row short-circuit).
-        let fast = ops.is_empty() && residual.is_none();
-        let candidates: Vec<xmldb::NodeId> = if let Some(p) = eq_probe {
-            let Some(v) = lt.get(p) else {
-                return Ok(false);
-            };
-            ctx.metrics.index_lookups += 1;
-            let key = crate::index::probe_key_of(v, ctx.catalog);
-            let posting = self.vindex.get(&key);
-            if fast {
-                let found = posting.iter().any(|&n| passes(n, None));
-                if found {
-                    ctx.metrics.index_hits += 1;
-                    if count_probes {
-                        ctx.metrics.probe_tuples += 1;
-                    }
-                }
-                return Ok(found);
-            }
-            posting
-                .iter()
-                .copied()
-                .filter(|&n| passes(n, None))
-                .collect()
-        } else {
-            let mut driver: Option<usize> = None;
-            let mut keys: Vec<ValueKey> = Vec::with_capacity(sides.len());
-            for (i, (v, _)) in sides.iter().enumerate() {
-                let k = crate::index::probe_key_of(v, ctx.catalog);
-                if matches!(k, ValueKey::Null) {
-                    // NULL (and NaN, which canonicalizes to NULL)
-                    // satisfies no comparison: the conjunction is false
-                    // for every build row.
-                    return Ok(false);
-                }
-                if driver.is_none() && matches!(k, ValueKey::Num(_) | ValueKey::Str(_)) {
-                    driver = Some(i);
-                }
-                keys.push(k);
-            }
-            // The first string/numeric side drives the index seek; if no
-            // side is rangeable (sequences, booleans), every indexed key
-            // is examined — still without executing the build side.
-            let (lo, hi) = match driver {
-                Some(i) => {
-                    let key = &keys[i];
-                    match sides[i].1 {
-                        nal::CmpOp::Eq => (Bound::Included(key), Bound::Included(key)),
-                        nal::CmpOp::Lt => (Bound::Excluded(key), Bound::Unbounded),
-                        nal::CmpOp::Le => (Bound::Included(key), Bound::Unbounded),
-                        nal::CmpOp::Gt => (Bound::Unbounded, Bound::Excluded(key)),
-                        nal::CmpOp::Ge => (Bound::Unbounded, Bound::Included(key)),
-                        nal::CmpOp::Ne => unreachable!("≠ never converts to a range probe"),
-                    }
-                }
-                None => (Bound::Unbounded, Bound::Unbounded),
-            };
-            ctx.metrics.index_lookups += 1;
-            if fast {
-                let found = self.vindex.range_iter(lo, hi).any(|n| passes(n, driver));
-                if found {
-                    ctx.metrics.index_hits += 1;
-                    if count_probes {
-                        ctx.metrics.probe_tuples += 1;
-                    }
-                }
-                return Ok(found);
-            }
-            // Residual/pipeline path: materialize the surviving window
-            // and merge it back into document order, so rows reconstruct
-            // in exactly the build order the scan join examined.
-            let mut nodes: Vec<xmldb::NodeId> = self
-                .vindex
-                .range_iter(lo, hi)
-                .filter(|&n| passes(n, driver))
-                .collect();
-            nodes.sort_unstable();
-            nodes
-        };
-        if candidates.is_empty() {
-            return Ok(false);
-        }
-        ctx.metrics.index_hits += 1;
-        self.decide_from_candidates(
-            lt,
-            &candidates,
-            key_attr,
-            seeds,
-            ops,
-            residual,
-            count_probes,
-            env,
-            ctx,
-        )
-    }
-
-    /// Decide a probe from its candidate nodes (already restricted to
-    /// the matching key set, in document order). Fast path: no pipeline,
-    /// no residual — existence is decided by the candidate list alone
-    /// (one candidate "examined", mirroring the scan probes'
-    /// first-row short-circuit). Otherwise candidates reconstruct build
-    /// rows in document order and the first passing row decides.
-    #[allow(clippy::too_many_arguments)]
-    fn decide_from_candidates(
-        &self,
-        lt: &Tuple,
-        candidates: &[xmldb::NodeId],
-        key_attr: Sym,
-        seeds: &[crate::plan::SeedBinding],
-        ops: &[crate::plan::BuildOp],
-        residual: Option<&nal::Scalar>,
-        count_probes: bool,
-        env: &Tuple,
-        ctx: &mut EvalCtx<'_>,
-    ) -> EvalResult<bool> {
-        if ops.is_empty() && residual.is_none() {
-            if count_probes {
-                ctx.metrics.probe_tuples += 1;
-            }
-            return Ok(true);
-        }
-        for &node in candidates {
-            let rows = self.rebuild_rows(node, key_attr, seeds, ops, env, ctx)?;
-            for row in rows {
-                if count_probes {
-                    ctx.metrics.probe_tuples += 1;
-                }
-                match residual {
-                    None => return Ok(true),
-                    Some(p) => {
-                        let joined = lt.concat(&row);
-                        if truthy(p, &scoped(env, &joined), ctx)? {
-                            return Ok(true);
-                        }
-                    }
-                }
-            }
-        }
-        Ok(false)
-    }
-
-    /// Reconstruct the build rows of one candidate: seed the key column
-    /// and the ancestor/doc bindings, then replay the recorded pipeline.
-    fn rebuild_rows(
-        &self,
-        node: xmldb::NodeId,
-        key_attr: Sym,
-        seeds: &[crate::plan::SeedBinding],
-        ops: &[crate::plan::BuildOp],
-        env: &Tuple,
-        ctx: &mut EvalCtx<'_>,
-    ) -> EvalResult<Vec<Tuple>> {
-        use crate::plan::{BuildOp, SeedBinding};
-        let doc = self.doc;
-        let tree = ctx.catalog.doc(doc).clone();
-        let mut pairs: Vec<(Sym, Value)> = Vec::with_capacity(seeds.len() + 1);
-        for s in seeds {
-            match s {
-                SeedBinding::DocNode(a) => pairs.push((
-                    *a,
-                    Value::Node(nal::NodeRef {
-                        doc,
-                        node: xmldb::NodeId::DOCUMENT,
-                    }),
-                )),
-                SeedBinding::Ancestor(a, levels) => {
-                    let mut cur = node;
-                    for _ in 0..*levels {
-                        cur = tree.parent(cur).ok_or_else(|| {
-                            EvalError::new("index join: candidate ancestor above document root")
-                        })?;
-                    }
-                    pairs.push((*a, Value::Node(nal::NodeRef { doc, node: cur })));
-                }
-            }
-        }
-        pairs.push((key_attr, Value::Node(nal::NodeRef { doc, node })));
-        let mut rows = vec![Tuple::from_pairs(pairs)];
-        for op in ops {
-            match op {
-                BuildOp::Map(attr, value) => {
-                    let mut next = Vec::with_capacity(rows.len());
-                    for t in rows {
-                        let v = eval_scalar(value, &scoped(env, &t), ctx)?;
-                        next.push(t.extend(*attr, v));
-                    }
-                    rows = next;
-                }
-                BuildOp::UnnestMap(attr, value) => {
-                    let mut next = Vec::new();
-                    for t in rows {
-                        let v = eval_scalar(value, &scoped(env, &t), ctx)?;
-                        for item in v.as_item_seq() {
-                            next.push(t.extend(*attr, item));
-                        }
-                    }
-                    rows = next;
-                }
-                BuildOp::Select(pred) => {
-                    let mut next = Vec::with_capacity(rows.len());
-                    for t in rows {
-                        if truthy(pred, &scoped(env, &t), ctx)? {
-                            next.push(t);
-                        }
-                    }
-                    rows = next;
-                }
-                BuildOp::Project(op) => {
-                    rows = project_rows(&rows, op, ctx);
-                }
-            }
-            if rows.is_empty() {
-                break;
-            }
-        }
-        Ok(rows)
-    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -13,14 +13,14 @@
 //! `tests/` suite) assert that every plan produces results and Ξ output
 //! identical to `nal::eval`.
 
+pub mod access;
 pub mod exec;
-pub mod index;
 pub mod key;
 pub mod pipeline;
 pub mod plan;
 
+pub use access::{apply_indexes, join_recipe, AccessRecipe};
 pub use exec::execute;
-pub use index::apply_indexes;
 pub use pipeline::{drain, Cursor};
 pub use plan::{compile, JoinKind, PhysPlan};
 
@@ -82,12 +82,12 @@ pub fn run_streaming_compiled(plan: &PhysPlan, catalog: &Catalog) -> EvalResult<
 }
 
 /// Compile with index-backed access paths: [`compile`] followed by the
-/// [`index::apply_indexes`] rewrite. Document-rooted path scans become
+/// [`access::apply_indexes`] rewrite. Document-rooted path scans become
 /// [`PhysPlan::IndexScan`]s and hash semi/anti joins over such scans
 /// become [`PhysPlan::IndexJoin`]s wherever the conversion is provably
 /// output-preserving; everything else compiles exactly as [`compile`].
 pub fn compile_indexed(expr: &Expr, catalog: &Catalog) -> PhysPlan {
-    index::apply_indexes(compile(expr), catalog)
+    access::apply_indexes(compile(expr), catalog)
 }
 
 /// [`run`] on an index-backed plan ([`compile_indexed`]).

@@ -271,123 +271,46 @@ impl Cursor for LoopJoin<'_> {
     }
 }
 
-/// Index nested-loop semi/anti join: no build side at all — each probe
-/// tuple is answered by one value-index lookup (plus residual
-/// evaluation over the posting list, in document order, when present).
+/// Index-backed semi/anti quantifier join: no build side at all — each
+/// probe tuple is answered by the recipe's driver (point, composite, or
+/// range probe of the value indexes), plus residual evaluation over
+/// reconstructed candidates in document order when present.
 /// Short-circuits exactly like the hash cursors: the first passing
-/// candidate decides.
+/// candidate decides. Probe semantics and metric accounting are shared
+/// with the materializing executor through the recipe runtime
+/// ([`crate::access::IndexJoinAccess`]), so both executors report
+/// identical `index_lookups`/`index_hits` by construction.
 pub struct IndexJoin<'p> {
     pub left: super::cursor::BoxCursor<'p>,
-    pub probe: Sym,
-    pub key_attr: Sym,
-    pub uri: &'p str,
-    pub pattern: &'p xmldb::PathPattern,
-    pub seeds: &'p [crate::plan::SeedBinding],
-    pub ops: &'p [crate::plan::BuildOp],
-    pub residual: Option<&'p Scalar>,
-    pub kind: &'p JoinKind,
+    pub recipe: &'p crate::access::AccessRecipe,
     pub env: Tuple,
-    pub access: Option<crate::exec::IndexJoinAccess>,
-}
-
-impl Cursor for IndexJoin<'_> {
-    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
-        if self.access.is_none() {
-            self.access = Some(crate::exec::IndexJoinAccess::resolve(
-                self.uri,
-                self.pattern,
-                ctx,
-            )?);
-        }
-        while let Some(lt) = self.left.next(ctx)? {
-            let access = self.access.as_ref().expect("resolved above");
-            let matched = access.probe_matches(
-                &lt,
-                self.probe,
-                self.key_attr,
-                self.seeds,
-                self.ops,
-                self.residual,
-                true,
-                &self.env,
-                ctx,
-            )?;
-            let emit = matches!(self.kind, JoinKind::Semi) == matched;
-            if emit {
-                return Ok(Some(lt));
-            }
-        }
-        Ok(None)
-    }
-
-    fn op_name(&self) -> &'static str {
-        match self.kind {
-            JoinKind::Semi => "IndexSemiJoin",
-            _ => "IndexAntiJoin",
-        }
-    }
-}
-
-/// Index range semi/anti join: each probe tuple is answered by one
-/// ordered-key range seek (plus conjunct filtering and, when present,
-/// residual evaluation over the candidates in document order). Metric
-/// accounting is shared with the materializing executor through
-/// [`crate::exec::IndexJoinAccess::range_probe_matches`], so both
-/// executors report identical `index_lookups`/`index_hits`.
-pub struct IndexRangeJoin<'p> {
-    pub left: super::cursor::BoxCursor<'p>,
-    pub eq_probe: Option<Sym>,
-    pub ranges: &'p [crate::plan::RangeProbe],
-    pub key_attr: Sym,
-    pub uri: &'p str,
-    pub pattern: &'p xmldb::PathPattern,
-    pub seeds: &'p [crate::plan::SeedBinding],
-    pub ops: &'p [crate::plan::BuildOp],
-    pub residual: Option<&'p Scalar>,
-    pub kind: &'p JoinKind,
-    pub env: Tuple,
-    pub access: Option<crate::exec::IndexJoinAccess>,
-    /// Whether the decision is probe-invariant (constant bounds, no
-    /// residual) — computed once at lowering, same policy as the
+    pub access: Option<crate::access::IndexJoinAccess>,
+    /// Whether the decision is probe-invariant (constant range bounds,
+    /// no residual) — computed once at lowering, same policy as the
     /// materializing executor, so metrics stay equal.
     pub cacheable: bool,
     /// Memoized decision for probe-invariant joins.
     pub cached: Option<bool>,
 }
 
-impl Cursor for IndexRangeJoin<'_> {
+impl Cursor for IndexJoin<'_> {
     fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
         if self.access.is_none() {
-            self.access = Some(crate::exec::IndexJoinAccess::resolve(
-                self.uri,
-                self.pattern,
-                ctx,
-            )?);
+            self.access = Some(crate::access::IndexJoinAccess::resolve(self.recipe, ctx)?);
         }
         while let Some(lt) = self.left.next(ctx)? {
             let access = self.access.as_ref().expect("resolved above");
             let matched = match self.cached {
                 Some(m) => m,
                 None => {
-                    let m = access.range_probe_matches(
-                        &lt,
-                        self.eq_probe,
-                        self.ranges,
-                        self.key_attr,
-                        self.seeds,
-                        self.ops,
-                        self.residual,
-                        true,
-                        &self.env,
-                        ctx,
-                    )?;
+                    let m = access.probe_matches(self.recipe, &lt, true, &self.env, ctx)?;
                     if self.cacheable {
                         self.cached = Some(m);
                     }
                     m
                 }
             };
-            let emit = matches!(self.kind, JoinKind::Semi) == matched;
+            let emit = matches!(self.recipe.kind, JoinKind::Semi) == matched;
             if emit {
                 return Ok(Some(lt));
             }
@@ -396,10 +319,7 @@ impl Cursor for IndexRangeJoin<'_> {
     }
 
     fn op_name(&self) -> &'static str {
-        match self.kind {
-            JoinKind::Semi => "IndexRangeSemiJoin",
-            _ => "IndexRangeAntiJoin",
-        }
+        self.recipe.op_name()
     }
 }
 

@@ -61,11 +61,10 @@ fn node_emits_xi(plan: &PhysPlan) -> bool {
         PhysPlan::XiSimple { .. } | PhysPlan::XiGroup { .. } => return true,
         PhysPlan::Select { pred, .. } | PhysPlan::LoopJoin { pred, .. } => vec![pred],
         PhysPlan::Map { value, .. } | PhysPlan::UnnestMap { value, .. } => vec![value],
-        PhysPlan::HashJoin { residual, .. }
-        | PhysPlan::IndexJoin { residual, .. }
-        // Range-join probe sides are replay-safe (no nested algebra) by
-        // conversion; only the residual could carry Ξ.
-        | PhysPlan::IndexRangeJoin { residual, .. } => residual.iter().collect(),
+        PhysPlan::HashJoin { residual, .. } => residual.iter().collect(),
+        // Recipe probe sides and replayed pipelines are replay-safe (no
+        // nested algebra) by conversion; only the residual could carry Ξ.
+        PhysPlan::IndexJoin { recipe, .. } => recipe.residual.iter().collect(),
         PhysPlan::HashGroupUnary { f, .. }
         | PhysPlan::ThetaGroupUnary { f, .. }
         | PhysPlan::HashGroupBinary { f, .. }
@@ -100,9 +99,7 @@ fn contains_xi(plan: &PhysPlan) -> bool {
         | PhysPlan::XiSimple { input, .. }
         | PhysPlan::XiGroup { input, .. }
         | PhysPlan::IndexScan { input, .. } => contains_xi(input),
-        PhysPlan::IndexJoin { left, .. } | PhysPlan::IndexRangeJoin { left, .. } => {
-            contains_xi(left)
-        }
+        PhysPlan::IndexJoin { left, .. } => contains_xi(left),
         PhysPlan::Cross { left, right }
         | PhysPlan::HashJoin { left, right, .. }
         | PhysPlan::LoopJoin { left, right, .. }
@@ -327,58 +324,14 @@ pub fn lower<'p>(plan: &'p PhysPlan, env: &Tuple) -> BoxCursor<'p> {
             items: None,
             pending: Default::default(),
         }),
-        PhysPlan::IndexJoin {
-            left,
-            probe,
-            key_attr,
-            uri,
-            pattern,
-            seeds,
-            ops,
-            residual,
-            kind,
-        } => Box::new(join::IndexJoin {
+        PhysPlan::IndexJoin { left, recipe } => Box::new(join::IndexJoin {
             // A Ξ-writing residual must see the whole left byte stream
             // first, as in the materializing executor's bottom-up order.
             left: lower_input(plan, left, env),
-            probe: *probe,
-            key_attr: *key_attr,
-            uri,
-            pattern,
-            seeds,
-            ops,
-            residual: residual.as_ref(),
-            kind,
+            recipe,
             env: env.clone(),
             access: None,
-        }),
-        PhysPlan::IndexRangeJoin {
-            left,
-            eq_probe,
-            ranges,
-            key_attr,
-            uri,
-            pattern,
-            seeds,
-            ops,
-            residual,
-            kind,
-        } => Box::new(join::IndexRangeJoin {
-            // A Ξ-writing residual must see the whole left byte stream
-            // first, as in the materializing executor's bottom-up order.
-            left: lower_input(plan, left, env),
-            eq_probe: *eq_probe,
-            ranges,
-            key_attr: *key_attr,
-            uri,
-            pattern,
-            seeds,
-            ops,
-            residual: residual.as_ref(),
-            kind,
-            env: env.clone(),
-            access: None,
-            cacheable: crate::exec::range_probe_invariant(*eq_probe, ranges, residual.as_ref()),
+            cacheable: recipe.probe_invariant(),
             cached: None,
         }),
     };

@@ -193,7 +193,7 @@ pub struct IndexScan<'p> {
 impl Cursor for IndexScan<'_> {
     fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
         if self.items.is_none() {
-            self.items = Some(crate::index::scan_items(
+            self.items = Some(crate::access::scan_items(
                 self.uri,
                 self.pattern,
                 self.distinct,

@@ -126,7 +126,7 @@ pub enum PhysPlan {
     /// comes from the catalog's [`xmldb::PathIndex`] (document order, no
     /// tree traversal); each input tuple fans out over it exactly as the
     /// replaced Υ would. Produced only by
-    /// [`crate::index::apply_indexes`].
+    /// [`crate::access::apply_indexes`].
     IndexScan {
         input: Box<PhysPlan>,
         attr: Sym,
@@ -138,100 +138,21 @@ pub enum PhysPlan {
         /// nodes.
         distinct: bool,
     },
-    /// Index nested-loop semi/anti join: replaces a hash semi/anti join
-    /// whose build side is a document path scan (possibly wrapped in
-    /// filters, computed columns, and fan-outs). Probes the
-    /// [`xmldb::ValueIndex`] of `(uri, pattern)` per left tuple instead
-    /// of building (and scanning) the right side at all; for each
-    /// candidate node the original build rows are *reconstructed* — the
-    /// candidate seeds the key column, ancestor bindings come back by
-    /// parent navigation, and the recorded post-key operator pipeline
-    /// re-runs over that single seed — so filters and residuals see
-    /// exactly the tuples (in exactly the bucket order) the hash join
-    /// would have examined.
+    /// Index-backed semi/anti quantifier join: replaces a hash or loop
+    /// semi/anti join whose build side is a document path scan (possibly
+    /// wrapped in filters, computed columns, and fan-outs) with a probe
+    /// of the catalog's value indexes, never executing the build side at
+    /// all. *Everything* about the access path — point, composite-key,
+    /// or ordered range probing; ancestor reconstruction (fixed-depth
+    /// parent hops or variable-depth trail matching); the replayed
+    /// pipeline and residual — is carried by the declarative
+    /// [`crate::access::AccessRecipe`], which both executors and the
+    /// cost model consume unchanged. Produced only by
+    /// [`crate::access::apply_indexes`].
     IndexJoin {
         left: Box<PhysPlan>,
-        /// Left-side probe key attribute.
-        probe: Sym,
-        /// Build-side attribute the candidate node seeds.
-        key_attr: Sym,
-        uri: String,
-        pattern: xmldb::PathPattern,
-        /// Reconstructed bindings below the key (chain order).
-        seeds: Vec<SeedBinding>,
-        /// Post-key build operators, in execution order.
-        ops: Vec<BuildOp>,
-        residual: Option<Scalar>,
-        /// `Semi` or `Anti` only.
-        kind: JoinKind,
+        recipe: std::sync::Arc<crate::access::AccessRecipe>,
     },
-    /// Index **range** semi/anti join: replaces a quantifier join whose
-    /// predicate compares probe-side values against a document path
-    /// column with *inequalities* (`<`, `≤`, `>`, `≥` — the
-    /// `every $x satisfies $x < c` regime), or a hash semi/anti join
-    /// whose residual adds band bounds on the equality key. Instead of
-    /// scanning the build side (loop join) or its bucket (hash join), it
-    /// seeks the value index's ordered key space: the first rangeable
-    /// conjunct drives a [`xmldb::ValueIndex::range`] probe (postings
-    /// merged back into document order), remaining conjuncts filter the
-    /// candidates by `cmp_general` against the candidate node, and the
-    /// surviving candidates reconstruct build rows exactly as
-    /// [`PhysPlan::IndexJoin`] does. Vacuous quantifiers behave
-    /// correctly by construction: an empty candidate set means `matched
-    /// = false`, so semi emits nothing and anti emits every probe tuple.
-    IndexRangeJoin {
-        left: Box<PhysPlan>,
-        /// Hash-semantics equality probe attribute: `Some` when the
-        /// conversion came from a hash join (the band case — the bucket
-        /// lookup stays typed, exactly like [`PhysPlan::IndexJoin`]);
-        /// `None` for pure inequality (loop join) conversions.
-        eq_probe: Option<Sym>,
-        /// `side θ key` conjuncts in comparison (`cmp_atomic` coercion)
-        /// semantics. `side` is a pure, replay-safe scalar over
-        /// probe-side attributes, evaluated once per probe tuple.
-        ranges: Vec<RangeProbe>,
-        /// Build-side attribute the candidate node seeds.
-        key_attr: Sym,
-        uri: String,
-        pattern: xmldb::PathPattern,
-        seeds: Vec<SeedBinding>,
-        ops: Vec<BuildOp>,
-        residual: Option<Scalar>,
-        /// `Semi` or `Anti` only.
-        kind: JoinKind,
-    },
-}
-
-/// One range/filter conjunct of an [`PhysPlan::IndexRangeJoin`]: the
-/// predicate `side θ key`, where `side` references only probe-side
-/// attributes (or constants) and θ is `=`, `<`, `≤`, `>`, or `≥`.
-#[derive(Clone, Debug)]
-pub struct RangeProbe {
-    pub side: Scalar,
-    pub op: nal::CmpOp,
-}
-
-/// How an [`PhysPlan::IndexJoin`] reconstructs a build-side binding from
-/// a candidate key node.
-#[derive(Clone, Debug)]
-pub enum SeedBinding {
-    /// The attribute holds the document node (a `doc(…)` binding).
-    DocNode(Sym),
-    /// The attribute holds the `levels`-th ancestor of the key node
-    /// (every relative step between the two bindings is a child or
-    /// attribute step, so the depth is fixed).
-    Ancestor(Sym, usize),
-}
-
-/// One post-key build operator replayed per candidate by an
-/// [`PhysPlan::IndexJoin`]. All scalars are pure (no nested algebra), so
-/// replaying them cannot write Ξ output.
-#[derive(Clone, Debug)]
-pub enum BuildOp {
-    Map(Sym, Scalar),
-    UnnestMap(Sym, Scalar),
-    Select(Scalar),
-    Project(ProjOp),
 }
 
 impl PhysPlan {
@@ -266,16 +187,7 @@ impl PhysPlan {
             PhysPlan::XiSimple { .. } => "Xi",
             PhysPlan::XiGroup { .. } => "XiGroup",
             PhysPlan::IndexScan { .. } => "IndexScan",
-            PhysPlan::IndexJoin { kind, .. } => match kind {
-                JoinKind::Semi => "IndexSemiJoin",
-                JoinKind::Anti => "IndexAntiJoin",
-                JoinKind::Inner | JoinKind::Outer { .. } => "IndexJoin",
-            },
-            PhysPlan::IndexRangeJoin { kind, .. } => match kind {
-                JoinKind::Semi => "IndexRangeSemiJoin",
-                JoinKind::Anti => "IndexRangeAntiJoin",
-                JoinKind::Inner | JoinKind::Outer { .. } => "IndexRangeJoin",
-            },
+            PhysPlan::IndexJoin { recipe, .. } => recipe.op_name(),
         }
     }
 
@@ -310,7 +222,7 @@ impl PhysPlan {
             | PhysPlan::XiSimple { input, .. }
             | PhysPlan::XiGroup { input, .. }
             | PhysPlan::IndexScan { input, .. } => vec![input],
-            PhysPlan::IndexJoin { left, .. } | PhysPlan::IndexRangeJoin { left, .. } => vec![left],
+            PhysPlan::IndexJoin { left, .. } => vec![left],
             PhysPlan::Cross { left, right }
             | PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::LoopJoin { left, right, .. }

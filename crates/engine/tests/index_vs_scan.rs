@@ -152,6 +152,53 @@ fn range_workloads_are_byte_identical_and_examine_fewer_tuples() {
     }
 }
 
+#[test]
+fn composite_workloads_are_byte_identical_and_examine_fewer_tuples() {
+    let catalog = standard_catalog(50, 2, 19);
+    // Q9 (two-key composite probe) and Q10 (variable-depth ancestor
+    // binding referenced by the residual): both former decline cases
+    // must now produce index plans, byte-identical to the scan plans in
+    // all four modes, examining strictly fewer tuples.
+    for (w, op_name) in [
+        (
+            &ordered_unnesting::workloads::Q9_COMPOSITE,
+            "IndexCompositeSemiJoin",
+        ),
+        (&ordered_unnesting::workloads::Q10_DEEP, "IndexSemiJoin"),
+    ] {
+        let nested = xquery::compile(w.query, &catalog).expect("compiles");
+        let plans = unnest::enumerate_plans(&nested, &catalog);
+        let plan = plans
+            .iter()
+            .find(|p| p.label == "semijoin")
+            .unwrap_or_else(|| panic!("[{}] missing `semijoin` plan", w.id));
+        let explained = engine::compile_indexed(&plan.expr, &catalog).explain();
+        assert!(
+            explained.contains(op_name),
+            "[{}] expected {op_name}: {explained}",
+            w.id
+        );
+        let (scan, indexed) = assert_all_modes_identical(&plan.expr, &catalog);
+        assert!(indexed.index_lookups > 0, "[{}] no index probes", w.id);
+        assert!(
+            tuples_examined(&indexed) < tuples_examined(&scan),
+            "[{}] index plan must examine strictly fewer tuples: {} vs {}",
+            w.id,
+            tuples_examined(&indexed),
+            tuples_examined(&scan)
+        );
+        assert_eq!(
+            indexed.doc_scans, 0,
+            "[{}] index-backed plan must not scan the document",
+            w.id
+        );
+        // Every plan alternative (including nested) stays byte-identical.
+        for plan in &plans {
+            assert_all_modes_identical(&plan.expr, &catalog);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Both executors report identical index metrics (parity regression)
 // ---------------------------------------------------------------------
@@ -162,6 +209,7 @@ fn executors_report_identical_index_metrics() {
     let mut workloads: Vec<&ordered_unnesting::workloads::Workload> =
         ordered_unnesting::workloads::ALL.iter().collect();
     workloads.extend(ordered_unnesting::workloads::RANGE.iter());
+    workloads.extend(ordered_unnesting::workloads::COMPOSITE.iter());
     for w in workloads {
         let nested = xquery::compile(w.query, &catalog).expect("compiles");
         for plan in unnest::enumerate_plans(&nested, &catalog) {
@@ -656,6 +704,236 @@ fn vacuous_and_empty_probes() {
 }
 
 // ---------------------------------------------------------------------
+// Crafted composite-key joins: hit/miss mixes, NaN/-0.0 components,
+// residuals over fixed anchors
+// ---------------------------------------------------------------------
+
+/// Two-column probe relation `(t1, y1)`.
+fn pair_probe_rel(pairs: &[(Value, Value)]) -> Expr {
+    Expr::Literal(
+        pairs
+            .iter()
+            .map(|(t, y)| Tuple::from_pairs(vec![(s("t1"), t.clone()), (s("y1"), y.clone())]))
+            .collect(),
+    )
+    .project_syms(vec![s("t1"), s("y1")])
+}
+
+/// Build side binding book → title → @year (the composite shape).
+fn title_year_build(uri: &str) -> Expr {
+    doc_scan("d2", uri)
+        .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+        .unnest_map("t2", Scalar::attr("b2").path(p("/title")))
+        .unnest_map("y2", Scalar::attr("b2").path(p("/@year")))
+}
+
+#[test]
+fn crafted_composite_joins_differential() {
+    let mut cat = Catalog::new();
+    let doc = gen_bib(&BibConfig {
+        books: 30,
+        authors_per_book: 2,
+        seed: 14,
+        ..BibConfig::default()
+    });
+    // Real (title, year) pairs for hits, plus crafted misses: wrong
+    // pairing, unknown strings, numeric/NaN/-0.0/NULL components.
+    let mut c = xpath::EvalCounters::default();
+    let books = xpath::eval_path(&doc, &[NodeId::DOCUMENT], &p("//book"), &mut c);
+    let mut pairs: Vec<(Value, Value)> = books
+        .iter()
+        .map(|&b| {
+            let title = xpath::eval_path(&doc, &[b], &p("/title"), &mut c)[0];
+            let year = xpath::eval_path(&doc, &[b], &p("/@year"), &mut c)[0];
+            (
+                Value::str(doc.string_value(title)),
+                Value::str(doc.string_value(year)),
+            )
+        })
+        .collect();
+    let (t0, _) = pairs[0].clone();
+    let (_, y1) = pairs[1].clone();
+    pairs.push((t0.clone(), y1)); // cross-pairing: likely miss
+    pairs.push((Value::str("no-such-title"), Value::str("1994")));
+    pairs.push((t0.clone(), Value::Int(1994))); // numeric vs string key
+    pairs.push((t0.clone(), Value::Dec(nal::Dec(f64::NAN)))); // unmatchable
+    pairs.push((t0.clone(), Value::Dec(nal::Dec(-0.0)))); // numeric, misses string keys
+    pairs.push((t0, Value::Null)); // NULL component matches nothing
+    cat.register(doc);
+    let pred = Scalar::attr_cmp(CmpOp::Eq, "t1", "t2").and(Scalar::attr_cmp(CmpOp::Eq, "y1", "y2"));
+    for anti in [false, true] {
+        let l = pair_probe_rel(&pairs);
+        let e = if anti {
+            l.antijoin(title_year_build("bib.xml"), pred.clone())
+        } else {
+            l.semijoin(title_year_build("bib.xml"), pred.clone())
+        };
+        let plan = engine::compile_indexed(&e, &cat);
+        assert!(
+            plan.explain().starts_with(if anti {
+                "IndexCompositeAntiJoin"
+            } else {
+                "IndexCompositeSemiJoin"
+            }),
+            "{}",
+            plan.explain()
+        );
+        let (scan, indexed) = assert_all_modes_identical(&e, &cat);
+        // NaN and NULL components never reach the index (unmatchable by
+        // canonicalization), mirroring the hash key's None.
+        assert_eq!(indexed.index_lookups, (pairs.len() - 2) as u64);
+        assert!(tuples_examined(&indexed) < tuples_examined(&scan));
+    }
+    // With a residual over the shared anchor (the book node, one fixed
+    // hop above the primary), rows reconstruct before the residual runs.
+    let l = pair_probe_rel(&pairs);
+    let banded = pred.clone().and(Scalar::cmp(
+        CmpOp::Gt,
+        Scalar::attr("b2").path(p("/@year")),
+        Scalar::int(1993),
+    ));
+    let e = l.semijoin(title_year_build("bib.xml"), banded);
+    let plan = engine::compile_indexed(&e, &cat);
+    assert!(
+        plan.explain().starts_with("IndexCompositeSemiJoin"),
+        "{}",
+        plan.explain()
+    );
+    assert_all_modes_identical(&e, &cat);
+    // Doc-rooted member columns (independent fan-out) convert too.
+    let l = pair_probe_rel(&pairs);
+    let cross_build = doc_scan("d2", "bib.xml")
+        .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+        .unnest_map("y2", Scalar::attr("d2").path(p("//book/@year")));
+    let e = l.semijoin(cross_build, pred);
+    let plan = engine::compile_indexed(&e, &cat);
+    assert!(
+        plan.explain().starts_with("IndexCompositeSemiJoin"),
+        "{}",
+        plan.explain()
+    );
+    assert_all_modes_identical(&e, &cat);
+}
+
+#[test]
+fn variable_depth_ancestor_joins_differential() {
+    let mut cat = Catalog::new();
+    cat.register(gen_bib(&BibConfig {
+        books: 30,
+        authors_per_book: 2,
+        seed: 15,
+        ..BibConfig::default()
+    }));
+    // l2 sits a descendant step below b2; the residual reads b2 — the
+    // formerly-declining shape, now a point index join with matched
+    // ancestor reconstruction.
+    let probe = doc_scan("d1", "bib.xml")
+        .unnest_map("l1", Scalar::attr("d1").path(p("//last")))
+        .project(&["l1"]);
+    let build = doc_scan("d2", "bib.xml")
+        .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+        .unnest_map("l2", Scalar::attr("b2").path(p("//last")));
+    for (anti, year) in [(false, 1993), (true, 1993), (false, 2100), (true, 1800)] {
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "l1", "l2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b2").path(p("/@year")),
+            Scalar::int(year),
+        ));
+        let e = if anti {
+            probe.clone().antijoin(build.clone(), pred)
+        } else {
+            probe.clone().semijoin(build.clone(), pred)
+        };
+        let plan = engine::compile_indexed(&e, &cat);
+        assert!(
+            plan.explain().contains("IndexSemiJoin") || plan.explain().contains("IndexAntiJoin"),
+            "{}",
+            plan.explain()
+        );
+        let (scan, indexed) = assert_all_modes_identical(&e, &cat);
+        assert!(indexed.index_lookups > 0);
+        assert!(tuples_examined(&indexed) < tuples_examined(&scan));
+    }
+    // Two-level chain: b2 ← //book, a2 ← b2//author (variable), key ←
+    // a2/last, residual over BOTH bindings.
+    let probe2 = doc_scan("d1", "bib.xml")
+        .unnest_map("l1", Scalar::attr("d1").path(p("//last")))
+        .project(&["l1"]);
+    let build2 = doc_scan("d2", "bib.xml")
+        .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+        .unnest_map("a2", Scalar::attr("b2").path(p("//author")))
+        .unnest_map("l2", Scalar::attr("a2").path(p("/last")));
+    let pred = Scalar::attr_cmp(CmpOp::Eq, "l1", "l2")
+        .and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b2").path(p("/@year")),
+            Scalar::int(1990),
+        ))
+        .and(Scalar::Call(
+            nal::Func::Contains,
+            vec![Scalar::attr("a2").path(p("/last")), Scalar::string("a")],
+        ));
+    let e = probe2.semijoin(build2, pred);
+    let plan = engine::compile_indexed(&e, &cat);
+    assert!(
+        plan.explain().starts_with("IndexSemiJoin"),
+        "{}",
+        plan.explain()
+    );
+    assert_all_modes_identical(&e, &cat);
+}
+
+#[test]
+fn variable_depth_reconstruction_with_nested_anchors() {
+    // Nested same-name anchors: a <s> inside an <s>. Every (anchor, key)
+    // pair is a build row, so the matched reconstruction must enumerate
+    // multiple assignments per candidate — and the year-like filter on
+    // the anchor decides existence.
+    let mut cat = Catalog::new();
+    cat.register(
+        xmldb::parse_document(
+            "nest.xml",
+            r#"<r>
+                 <s tag="outer"><s tag="inner"><k>v</k></s></s>
+                 <s tag="solo"><k>w</k></s>
+               </r>"#,
+        )
+        .expect("well-formed"),
+    );
+    let probe = Expr::Literal(vec![
+        Tuple::singleton(s("k1"), Value::str("v")),
+        Tuple::singleton(s("k1"), Value::str("w")),
+        Tuple::singleton(s("k1"), Value::str("miss")),
+    ])
+    .project_syms(vec![s("k1")]);
+    let build = doc_scan("d2", "nest.xml")
+        .unnest_map("s2", Scalar::attr("d2").path(p("//s")))
+        .unnest_map("k2", Scalar::attr("s2").path(p("//k")));
+    for tag in ["outer", "inner", "solo", "none"] {
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "k1", "k2").and(Scalar::cmp(
+            CmpOp::Eq,
+            Scalar::attr("s2").path(p("/@tag")),
+            Scalar::string(tag),
+        ));
+        for anti in [false, true] {
+            let e = if anti {
+                probe.clone().antijoin(build.clone(), pred.clone())
+            } else {
+                probe.clone().semijoin(build.clone(), pred.clone())
+            };
+            let plan = engine::compile_indexed(&e, &cat);
+            assert!(
+                plan.explain().contains("IndexSemiJoin")
+                    || plan.explain().contains("IndexAntiJoin"),
+                "{}",
+                plan.explain()
+            );
+            assert_all_modes_identical(&e, &cat);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Randomized differential: probe keys with hit/miss/typed mixes
 // ---------------------------------------------------------------------
 
@@ -703,6 +981,127 @@ proptest! {
         } else {
             l.semijoin(title_build("bib.xml"), pred)
         };
+        assert_all_modes_identical(&e, &cat);
+    }
+
+    #[test]
+    fn random_composite_probes_stream_identically(
+        picks in prop::collection::vec((0usize..40, 0usize..6), 0..20),
+        anti in prop::bool::ANY,
+        books in 5usize..25,
+    ) {
+        let mut cat = Catalog::new();
+        let doc = gen_bib(&BibConfig {
+            books,
+            authors_per_book: 2,
+            seed: 27,
+            ..BibConfig::default()
+        });
+        let mut c = xpath::EvalCounters::default();
+        let pairs: Vec<(String, String)> = xpath::eval_path(&doc, &[NodeId::DOCUMENT], &p("//book"), &mut c)
+            .into_iter()
+            .map(|b| {
+                let t = xpath::eval_path(&doc, &[b], &p("/title"), &mut c)[0];
+                let y = xpath::eval_path(&doc, &[b], &p("/@year"), &mut c)[0];
+                (doc.string_value(t), doc.string_value(y))
+            })
+            .collect();
+        cat.register(doc);
+        // Mix of aligned pairs (hits), shuffled pairs (mostly misses),
+        // and typed edge components (numeric, NaN, -0.0, NULL).
+        let rows: Vec<Tuple> = picks
+            .iter()
+            .map(|&(i, mode)| {
+                let (t, y): (Value, Value) = match mode {
+                    0 if i < pairs.len() => {
+                        (Value::str(&pairs[i].0), Value::str(&pairs[i].1))
+                    }
+                    1 if i < pairs.len() => {
+                        let j = (i + 1) % pairs.len();
+                        (Value::str(&pairs[i].0), Value::str(&pairs[j].1))
+                    }
+                    2 => (Value::str(format!("miss-{i}")), Value::str("1994")),
+                    3 if i < pairs.len() => {
+                        let parsed = pairs[i].1.parse::<f64>().unwrap_or(0.0);
+                        (Value::str(&pairs[i].0), Value::Dec(nal::Dec(parsed)))
+                    }
+                    4 => (Value::str("x"), Value::Dec(nal::Dec(f64::NAN))),
+                    5 => (Value::Dec(nal::Dec(-0.0)), Value::Null),
+                    _ => (Value::str("y"), Value::str("z")),
+                };
+                Tuple::from_pairs(vec![(s("t1"), t), (s("y1"), y)])
+            })
+            .collect();
+        let l = Expr::Literal(rows).project_syms(vec![s("t1"), s("y1")]);
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "t1", "t2")
+            .and(Scalar::attr_cmp(CmpOp::Eq, "y1", "y2"));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .unnest_map("t2", Scalar::attr("b2").path(p("/title")))
+            .unnest_map("y2", Scalar::attr("b2").path(p("/@year")));
+        let e = if anti {
+            l.antijoin(build, pred)
+        } else {
+            l.semijoin(build, pred)
+        };
+        let plan = engine::compile_indexed(&e, &cat);
+        prop_assert!(plan.explain().contains("IndexComposite"), "{}", plan.explain());
+        assert_all_modes_identical(&e, &cat);
+    }
+
+    #[test]
+    fn random_deep_ancestor_probes_stream_identically(
+        picks in prop::collection::vec((0usize..60, prop::bool::ANY), 0..20),
+        year in 1980i64..2010,
+        anti in prop::bool::ANY,
+        books in 5usize..25,
+    ) {
+        let mut cat = Catalog::new();
+        let doc = gen_bib(&BibConfig {
+            books,
+            authors_per_book: 2,
+            seed: 29,
+            ..BibConfig::default()
+        });
+        let lasts: Vec<String> = {
+            let mut c = xpath::EvalCounters::default();
+            xpath::eval_path(&doc, &[NodeId::DOCUMENT], &p("//last"), &mut c)
+                .into_iter()
+                .map(|n| doc.string_value(n))
+                .collect()
+        };
+        cat.register(doc);
+        let rows: Vec<Tuple> = picks
+            .iter()
+            .map(|&(i, hit)| {
+                let v = if hit && i < lasts.len() {
+                    Value::str(&lasts[i])
+                } else {
+                    Value::str(format!("miss-{i}"))
+                };
+                Tuple::singleton(s("l1"), v)
+            })
+            .collect();
+        let l = Expr::Literal(rows).project_syms(vec![s("l1")]);
+        // The key sits a descendant step below b2; the residual needs b2.
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("b2", Scalar::attr("d2").path(p("//book")))
+            .unnest_map("l2", Scalar::attr("b2").path(p("//last")));
+        let pred = Scalar::attr_cmp(CmpOp::Eq, "l1", "l2").and(Scalar::cmp(
+            CmpOp::Gt,
+            Scalar::attr("b2").path(p("/@year")),
+            Scalar::int(year),
+        ));
+        let e = if anti {
+            l.antijoin(build, pred)
+        } else {
+            l.semijoin(build, pred)
+        };
+        let plan = engine::compile_indexed(&e, &cat);
+        prop_assert!(
+            plan.explain().contains("IndexSemiJoin") || plan.explain().contains("IndexAntiJoin"),
+            "{}", plan.explain()
+        );
         assert_all_modes_identical(&e, &cat);
     }
 

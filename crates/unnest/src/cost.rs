@@ -28,13 +28,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use nal::expr::attrs::attr_set;
-use nal::{CmpOp, Expr, ProjOp, Scalar, Sym};
+use nal::{Expr, ProjOp, Scalar};
 use xmldb::{Catalog, DocStats};
 use xpath::{Axis, Path};
 
 use crate::driver::PlanChoice;
-use crate::schema::value_descriptor;
 
 /// Estimated cardinality and cost of an expression.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -255,129 +253,57 @@ impl<'a> CostModel<'a> {
     }
 
     /// Can the engine answer this semi/anti join with a value-index
-    /// probe? Mirrors `engine::index`'s convertibility conditions at the
-    /// logical level so index-mode ranking does not price plans the
-    /// engine would in fact run as scan joins:
+    /// probe? Instead of re-deriving the convertibility conditions at
+    /// the logical level (the drift-prone duplication this model used to
+    /// carry), the join is compiled and handed to the engine's **own**
+    /// tracer: [`engine::join_recipe`] either emits the
+    /// [`engine::AccessRecipe`] the executors would run, or the model
+    /// prices the scan join — "never price what the engine declines" is
+    /// true by construction.
     ///
-    /// * either exactly **one** equi conjunct between a left and a right
-    ///   attribute (the physical converter requires a single hash key),
-    ///   or — with no equi conjunct at all — at least one *inequality*
-    ///   conjunct (`<`, `≤`, `>`, `≥`) against a single right column
-    ///   (the `IndexRangeJoin` regime),
-    /// * no nested algebraic expressions anywhere in the build side
-    ///   (they are not replayable per candidate),
-    /// * the right column traces to a document-rooted path — through
-    ///   build-side selections, which the engine replays (the strict
-    ///   [`value_descriptor`] declines them because *it* must prove
-    ///   value-set equality; for existence probing a filtered subset is
-    ///   fine).
+    /// Returns the per-left-tuple probe cost, read off the recipe's
+    /// driver:
     ///
-    /// Returns the per-left-tuple probe cost: a B-tree-ish `log₂` seek
-    /// of the key count, plus — for range probes — a scan term matching
-    /// the engine's two execution regimes: existence-only probes
-    /// short-circuit on the first in-range node (one average posting
-    /// run), while probes with residual conjuncts reconstruct in-range
-    /// candidates until one passes (a selectivity-scaled scan of the
-    /// whole window).
+    /// * point probes pay a B-tree-ish `log₂` seek of the key count;
+    /// * composite probes pay the seek plus one comparison per key
+    ///   component (the lexicographic key is wider, the posting set per
+    ///   key smaller — the seek still dominates);
+    /// * range probes add a scan term matching the engine's two
+    ///   execution regimes: existence-only probes short-circuit on the
+    ///   first in-range node (one average posting run), while probes
+    ///   with a residual or replayed pipeline reconstruct in-range
+    ///   candidates until one passes (a selectivity-scaled scan of the
+    ///   whole window).
     fn index_probe_cost(&mut self, left: &Expr, right: &Expr, pred: &Scalar) -> Option<f64> {
-        let a_l = attr_set(left);
-        let a_r = attr_set(right);
-        // One side a bare right attribute, the other free of right
-        // attributes (mirrors `engine::index::as_range_conjunct`).
-        let probe_col = |x: &Scalar, y: &Scalar| -> Option<Sym> {
-            let as_key = |s: &Scalar| match s {
-                Scalar::Attr(a) if a_r.contains(a) => Some(*a),
-                _ => None,
-            };
-            let side_ok = |s: &Scalar| s.free_attrs().iter().all(|a| !a_r.contains(a));
-            if let Some(k) = as_key(y) {
-                if side_ok(x) {
-                    return Some(k);
-                }
-            }
-            if let Some(k) = as_key(x) {
-                if side_ok(y) {
-                    return Some(k);
-                }
-            }
-            None
+        // Kind is irrelevant to convertibility; trace as a semijoin.
+        let join = Expr::SemiJoin {
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+            pred: pred.clone(),
         };
-        let mut eq_cols: Vec<Sym> = Vec::new();
-        let mut range_cols: Vec<Sym> = Vec::new();
-        let mut leftovers = 0usize;
-        for c in pred.conjuncts() {
-            match c {
-                Scalar::Cmp(CmpOp::Eq, x, y) => match (x.as_ref(), y.as_ref()) {
-                    (Scalar::Attr(xa), Scalar::Attr(ya))
-                        if a_l.contains(xa) && a_r.contains(ya) =>
-                    {
-                        eq_cols.push(*ya)
-                    }
-                    (Scalar::Attr(xa), Scalar::Attr(ya))
-                        if a_r.contains(xa) && a_l.contains(ya) =>
-                    {
-                        eq_cols.push(*xa)
-                    }
-                    // A constant-or-computed `= key` conjunct is a point
-                    // range for the engine's range conversion (the hash
-                    // compiler only keys on attr-attr equalities).
-                    _ => match probe_col(x, y) {
-                        Some(k) => range_cols.push(k),
-                        None => leftovers += 1,
-                    },
-                },
-                Scalar::Cmp(CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, x, y) => {
-                    match probe_col(x, y) {
-                        Some(k) => range_cols.push(k),
-                        None => leftovers += 1,
-                    }
-                }
-                _ => leftovers += 1,
-            }
-        }
-        let (right_col, ranged) = match eq_cols.as_slice() {
-            [] => {
-                let k = *range_cols.first()?;
-                // Conjuncts over other columns stay residual; count them
-                // as leftovers rather than declining.
-                leftovers += range_cols.iter().filter(|c| **c != k).count();
-                // The engine's range conversion requires every probe side
-                // and every leftover residual conjunct to be replay-safe
-                // (pure and total) — a loop join whose predicate carries
-                // arithmetic or `decimal()` keeps scanning, so it must
-                // not be priced as a probe.
-                if !pred.conjuncts().iter().all(|c| c.replay_safe()) {
-                    return None;
-                }
-                (k, true)
-            }
-            [k] => (*k, false),
-            _ => return None, // multi-key joins compile to hash, not index
-        };
-        if right.has_nested_scalars() {
-            return None;
-        }
-        let desc = value_descriptor(&strip_selections(right), right_col)?;
-        let uri = desc.uri().to_string();
-        let name = final_name(desc.path())?;
-        let stats = self.stats_for(&uri)?;
+        let recipe = engine::join_recipe(&engine::compile(&join), self.catalog)?;
+        let name = recipe.key_tag()?.to_string();
+        let stats = self.stats_for(&recipe.uri)?;
         let keys = stats.distinct(&name).max(1) as f64;
         let seek = 1.0 + (keys + 2.0).log2();
-        if ranged {
-            let postings = stats.elements(&name).max(1) as f64;
-            if leftovers > 0 {
-                // Residual conjuncts force candidate reconstruction
-                // until one passes: a selectivity-scaled scan of ALL
-                // in-range postings (still no build-side execution).
-                Some(seek + SELECTIVITY * postings)
-            } else {
-                // Existence-only probe: the engine short-circuits on
-                // the first in-range node, so the expected scan is one
-                // average posting run, not the window.
-                Some(seek + SELECTIVITY * (postings / keys).max(1.0))
+        match &recipe.driver {
+            engine::access::Driver::Point { .. } => Some(seek),
+            engine::access::Driver::Composite { probes, .. } => Some(seek + probes.len() as f64),
+            engine::access::Driver::Range { .. } => {
+                let postings = stats.elements(&name).max(1) as f64;
+                if recipe.filters_rows() {
+                    // A residual or replayed pipeline forces candidate
+                    // reconstruction until one passes: a selectivity-
+                    // scaled scan of ALL in-range postings (still no
+                    // build-side execution).
+                    Some(seek + SELECTIVITY * postings)
+                } else {
+                    // Existence-only probe: the engine short-circuits on
+                    // the first in-range node, so the expected scan is
+                    // one average posting run, not the window.
+                    Some(seek + SELECTIVITY * (postings / keys).max(1.0))
+                }
             }
-        } else {
-            Some(seek)
         }
     }
 
@@ -449,30 +375,6 @@ impl<'a> CostModel<'a> {
             }
             _ => (2.0, 1.0),
         }
-    }
-}
-
-/// Drop σ operators from a unary chain so the provenance tracer sees
-/// through build-side filters (which the engine's index join replays
-/// per candidate rather than declining).
-fn strip_selections(e: &Expr) -> Expr {
-    match e {
-        Expr::Select { input, .. } => strip_selections(input),
-        Expr::Project { input, op } => Expr::Project {
-            input: Box::new(strip_selections(input)),
-            op: op.clone(),
-        },
-        Expr::Map { input, attr, value } => Expr::Map {
-            input: Box::new(strip_selections(input)),
-            attr: *attr,
-            value: value.clone(),
-        },
-        Expr::UnnestMap { input, attr, value } => Expr::UnnestMap {
-            input: Box::new(strip_selections(input)),
-            attr: *attr,
-            value: value.clone(),
-        },
-        other => other.clone(),
     }
 }
 
@@ -737,15 +639,23 @@ mod tests {
         let single_pred = Scalar::attr_cmp(CmpOp::Eq, "t1", "t2");
         let mut m = CostModel::with_indexes(&cat, true);
         // Single-key over a document path: priced as a probe.
-        assert!(m.index_probe_cost(&probe, &build, &single_pred).is_some());
-        // Multi-key predicates compile to hash joins (the engine's
-        // converter requires a single key) — no index discount.
+        let single_cost = m.index_probe_cost(&probe, &build, &single_pred);
+        assert!(single_cost.is_some());
+        // Multi-key predicates now convert to composite index joins —
+        // the engine's tracer emits a recipe, so the model prices the
+        // probe (slightly above the single-key seek: one comparison per
+        // extra key component).
         let build2 = build
             .clone()
             .unnest_map("y2", Scalar::attr("d2").path(p("//book/@year")));
         let multi_pred =
             Scalar::attr_cmp(CmpOp::Eq, "t1", "t2").and(Scalar::attr_cmp(CmpOp::Eq, "y1", "y2"));
-        assert_eq!(m.index_probe_cost(&probe, &build2, &multi_pred), None);
+        let multi_cost = m.index_probe_cost(&probe, &build2, &multi_pred);
+        assert!(
+            multi_cost.is_some(),
+            "composite joins must be priced as probes now"
+        );
+        assert!(multi_cost > single_cost, "wider keys cost a little more");
         // A filtered build side *is* convertible (the engine replays the
         // σ per candidate) and keeps the discount…
         let filtered = build.clone().select(Scalar::Call(

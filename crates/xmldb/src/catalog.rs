@@ -9,7 +9,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use crate::document::Document;
-use crate::index::{IndexCatalog, PathIndex, PathPattern, ValueIndex};
+use crate::index::{
+    CompositeSpec, CompositeValueIndex, IndexCatalog, PathIndex, PathPattern, ValueIndex,
+};
 use crate::stats::DocStats;
 
 /// Index of a document within a [`Catalog`].
@@ -123,6 +125,16 @@ impl Catalog {
     /// `None` when the pattern is not resolvable by the path index.
     pub fn value_index(&self, id: DocId, pattern: &PathPattern) -> Option<Arc<ValueIndex>> {
         self.indexes.value_index(id, self.doc(id), pattern)
+    }
+
+    /// The composite value index of `(id, spec)`, built lazily on first
+    /// use. `None` when the primary pattern is not resolvable.
+    pub fn composite_index(
+        &self,
+        id: DocId,
+        spec: &CompositeSpec,
+    ) -> Option<Arc<CompositeValueIndex>> {
+        self.indexes.composite_index(id, self.doc(id), spec)
     }
 
     /// Eagerly build every document's path index (the "at catalog load"

@@ -21,11 +21,16 @@
 //! are immutable after registration, so no invalidation is needed except
 //! on URI re-registration, which drops the document's cached indexes.
 
+pub mod ancestor;
 pub mod path;
 pub mod value;
 
+pub use ancestor::{eval_relative, matched_assignments, nth_parent, AncestorChainSpec};
 pub use path::{PathIndex, PathIndexStats, PathPattern, PatternStep};
-pub use value::{ValueIndex, ValueKey};
+pub use value::{
+    CompositeEntry, CompositeSpec, CompositeValueIndex, KeyComponent, MemberSpec, ValueIndex,
+    ValueKey,
+};
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -40,6 +45,7 @@ use crate::document::Document;
 pub struct IndexCatalog {
     paths: RwLock<HashMap<DocId, Arc<PathIndex>>>,
     values: RwLock<HashMap<(DocId, String), Arc<ValueIndex>>>,
+    composites: RwLock<HashMap<(DocId, String), Arc<CompositeValueIndex>>>,
 }
 
 impl IndexCatalog {
@@ -77,10 +83,33 @@ impl IndexCatalog {
         Some(w.entry(key).or_insert(built).clone())
     }
 
+    /// The composite value index of `(id, spec)`, building it on first
+    /// use from the path index's primary-node set. Returns `None` when
+    /// the primary pattern is not resolvable by the path index.
+    pub fn composite_index(
+        &self,
+        id: DocId,
+        doc: &Document,
+        spec: &CompositeSpec,
+    ) -> Option<Arc<CompositeValueIndex>> {
+        let key = (id, spec.cache_key());
+        if let Some(idx) = self.composites.read().expect("index lock").get(&key) {
+            return Some(idx.clone());
+        }
+        let primary = self.path_index(id, doc).lookup(&spec.primary)?;
+        let built = Arc::new(CompositeValueIndex::build(doc, &primary, spec));
+        let mut w = self.composites.write().expect("index lock");
+        Some(w.entry(key).or_insert(built).clone())
+    }
+
     /// Drop every cached index of `id` (URI re-registration).
     pub fn invalidate(&self, id: DocId) {
         self.paths.write().expect("index lock").remove(&id);
         self.values
+            .write()
+            .expect("index lock")
+            .retain(|(doc, _), _| *doc != id);
+        self.composites
             .write()
             .expect("index lock")
             .retain(|(doc, _), _| *doc != id);
@@ -94,6 +123,11 @@ impl IndexCatalog {
     /// Number of built value indexes.
     pub fn built_value_indexes(&self) -> usize {
         self.values.read().expect("index lock").len()
+    }
+
+    /// Number of built composite value indexes.
+    pub fn built_composite_indexes(&self) -> usize {
+        self.composites.read().expect("index lock").len()
     }
 }
 
@@ -139,6 +173,52 @@ mod tests {
         cat.register(parse_document("a.xml", "<r><x>1</x></r>").unwrap());
         let after = cat.value_index(id, &x_pattern()).unwrap();
         assert_eq!(after.len(), 1, "stale index must be dropped");
+    }
+
+    #[test]
+    fn reregistration_rebuilds_composite_indexes() {
+        // Regression for the stale-posting bug class: a composite index
+        // cached for a URI must be dropped and rebuilt when that URI is
+        // re-registered, like every other index kind.
+        let mut cat = Catalog::new();
+        cat.register(
+            parse_document(
+                "c.xml",
+                "<r><p><x>1</x><y>a</y></p><p><x>2</x><y>b</y></p></r>",
+            )
+            .unwrap(),
+        );
+        let id = cat.by_uri("c.xml").unwrap();
+        let spec = CompositeSpec {
+            primary: PathPattern::new(vec![PatternStep::Descendant(Some("x".into()))]),
+            members: vec![MemberSpec {
+                levels: Some(1),
+                rel: PathPattern::new(vec![PatternStep::Child(Some("y".into()))]),
+            }],
+            key: vec![KeyComponent::Primary, KeyComponent::Member(0)],
+        };
+        let before = cat.composite_index(id, &spec).unwrap();
+        assert_eq!(before.len(), 2);
+        assert_eq!(cat.indexes().built_composite_indexes(), 1);
+        assert_eq!(
+            before
+                .get(&[ValueKey::Str("1".into()), ValueKey::Str("a".into())])
+                .len(),
+            1
+        );
+        cat.register(parse_document("c.xml", "<r><p><x>1</x><y>Z</y></p></r>").unwrap());
+        assert_eq!(cat.indexes().built_composite_indexes(), 0, "must drop");
+        let after = cat.composite_index(id, &spec).unwrap();
+        assert_eq!(after.len(), 1, "stale composite entries must be gone");
+        assert!(after
+            .get(&[ValueKey::Str("1".into()), ValueKey::Str("a".into())])
+            .is_empty());
+        assert_eq!(
+            after
+                .get(&[ValueKey::Str("1".into()), ValueKey::Str("Z".into())])
+                .len(),
+            1
+        );
     }
 
     #[test]

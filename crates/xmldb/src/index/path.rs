@@ -80,8 +80,11 @@ impl PathPattern {
 
 /// Recursive pattern match: `steps` against the remaining `segs`, where a
 /// child step consumes exactly one segment and a descendant step consumes
-/// one or more (the named segment may sit at any deeper position).
-fn matches_from(steps: &[PatternStep], segs: &[&str]) -> bool {
+/// one or more (the named segment may sit at any deeper position). Shared
+/// with [`super::ancestor`], which matches *relative* spans between a
+/// reconstructed ancestor binding and its key node with the same anchored
+/// semantics.
+pub(crate) fn matches_from(steps: &[PatternStep], segs: &[&str]) -> bool {
     let Some((step, rest)) = steps.split_first() else {
         // All steps consumed: the path matches iff it is fully consumed
         // (the final step names the *selected* node, not an ancestor).
@@ -100,7 +103,7 @@ fn matches_from(steps: &[PatternStep], segs: &[&str]) -> bool {
 }
 
 #[inline]
-fn name_matches(test: &Option<String>, seg: &str) -> bool {
+pub(crate) fn name_matches(test: &Option<String>, seg: &str) -> bool {
     match test {
         None => true,
         Some(n) => n == seg,

@@ -265,6 +265,194 @@ impl ValueIndex {
     }
 }
 
+// ---------------------------------------------------------------------
+// Composite keys
+// ---------------------------------------------------------------------
+
+/// How one component of a composite key is derived from a primary node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeyComponent {
+    /// The primary node's own string value.
+    Primary,
+    /// The `i`-th member column's string value (index into
+    /// [`CompositeSpec::members`]).
+    Member(usize),
+}
+
+/// One member column of a composite key: nodes selected by `rel` from
+/// the anchor `levels` parent hops above the primary node (`None` = the
+/// document node, for doc-rooted members).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberSpec {
+    pub levels: Option<usize>,
+    pub rel: super::path::PathPattern,
+}
+
+/// Declarative build spec of a [`CompositeValueIndex`]: the primary key
+/// column's absolute pattern, its member columns in **build (chain)
+/// order** — the order their `Υ` bindings nest in the replaced build
+/// side, outermost member first — and the key component order the probe
+/// uses (the join's key list order, which need not equal chain order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompositeSpec {
+    pub primary: super::path::PathPattern,
+    pub members: Vec<MemberSpec>,
+    pub key: Vec<KeyComponent>,
+}
+
+impl CompositeSpec {
+    /// Canonical cache key.
+    pub fn cache_key(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.primary.key();
+        for m in &self.members {
+            match m.levels {
+                Some(l) => write!(out, "|^{l}{}", m.rel.key()).expect("write to string"),
+                None => write!(out, "|doc{}", m.rel.key()).expect("write to string"),
+            }
+        }
+        out.push('|');
+        for k in &self.key {
+            match k {
+                KeyComponent::Primary => out.push('p'),
+                KeyComponent::Member(i) => write!(out, "m{i}").expect("write to string"),
+            }
+        }
+        out
+    }
+}
+
+/// One posting entry of a composite key: the primary node plus the
+/// member nodes (chain order) that produced the key — everything a probe
+/// needs to reconstruct the original build row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompositeEntry {
+    pub primary: NodeId,
+    pub members: Vec<NodeId>,
+}
+
+/// An ordered **composite** value index: lexicographic `Vec<ValueKey>`
+/// keys (derived `Ord` on vectors is lexicographic by component, so the
+/// single-component order above extends componentwise) mapping to
+/// posting entries in build-row order. This is what converts *multi-key*
+/// semi/anti quantifier joins to index joins: one typed probe with the
+/// full composite key replaces the hash join's build-side scan.
+///
+/// Every stored component is a [`ValueKey::Str`] (XML nodes atomize to
+/// their string value), so probes carrying non-string components miss by
+/// design — exactly the hash operators' typed-key behaviour, and NaN /
+/// `-0.0` probe components canonicalize through [`ValueKey::num`] like
+/// every other access path (NaN → the unmatchable NULL key).
+pub struct CompositeValueIndex {
+    entries: BTreeMap<Vec<ValueKey>, Vec<CompositeEntry>>,
+    total_rows: usize,
+}
+
+impl CompositeValueIndex {
+    /// Index the cross product of member columns under each primary node
+    /// (`primary_nodes` must be in document order). Member lists nest in
+    /// chain order — member 0 varies slowest — mirroring the `Υ` nesting
+    /// of the replaced build side, so each posting list is in build-row
+    /// order. A primary node whose member evaluation is empty (or whose
+    /// anchor walk runs past the root) contributes nothing, exactly as
+    /// the scan build's empty `Υ` fan-out drops the row.
+    pub fn build(doc: &Document, primary_nodes: &[NodeId], spec: &CompositeSpec) -> Self {
+        let mut entries: BTreeMap<Vec<ValueKey>, Vec<CompositeEntry>> = BTreeMap::new();
+        let mut total_rows = 0usize;
+        for &p in primary_nodes {
+            let member_lists: Option<Vec<Vec<NodeId>>> = spec
+                .members
+                .iter()
+                .map(|m| {
+                    let anchor = match m.levels {
+                        None => Some(NodeId::DOCUMENT),
+                        Some(l) => super::ancestor::nth_parent(doc, p, l),
+                    };
+                    anchor.map(|a| super::ancestor::eval_relative(doc, a, &m.rel))
+                })
+                .collect();
+            let Some(member_lists) = member_lists else {
+                continue;
+            };
+            if member_lists.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let primary_value = doc.string_value(p);
+            let mut combo = vec![0usize; member_lists.len()];
+            loop {
+                let members: Vec<NodeId> = member_lists
+                    .iter()
+                    .zip(&combo)
+                    .map(|(list, &i)| list[i])
+                    .collect();
+                let key: Vec<ValueKey> = spec
+                    .key
+                    .iter()
+                    .map(|c| match c {
+                        KeyComponent::Primary => ValueKey::Str(primary_value.clone()),
+                        KeyComponent::Member(i) => ValueKey::Str(doc.string_value(members[*i])),
+                    })
+                    .collect();
+                entries.entry(key).or_default().push(CompositeEntry {
+                    primary: p,
+                    members,
+                });
+                total_rows += 1;
+                // Advance the cross product, innermost (last) member first.
+                let mut level = member_lists.len();
+                loop {
+                    if level == 0 {
+                        break;
+                    }
+                    level -= 1;
+                    combo[level] += 1;
+                    if combo[level] < member_lists[level].len() {
+                        break;
+                    }
+                    combo[level] = 0;
+                }
+                if combo.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+        CompositeValueIndex {
+            entries,
+            total_rows,
+        }
+    }
+
+    /// Posting entries of a composite key, in build-row order. Empty for
+    /// misses and for probes with any unmatchable (NULL/NaN) component.
+    pub fn get(&self, key: &[ValueKey]) -> &[CompositeEntry] {
+        if key.iter().any(|k| !k.matchable()) {
+            return &[];
+        }
+        self.entries.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct composite keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of indexed build rows.
+    pub fn len(&self) -> usize {
+        self.total_rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total_rows == 0
+    }
+
+    /// Iterate `(key, entries)` in ascending lexicographic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[ValueKey], &[CompositeEntry])> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+}
+
 /// Is `(lo, hi)` a non-empty, `BTreeMap::range`-safe bound pair? Degenerate
 /// pairs (start past end, or a shared endpoint that at least one side
 /// excludes) select nothing, so callers can return empty directly.

@@ -33,7 +33,10 @@ pub mod stats;
 pub use catalog::{Catalog, DocId};
 pub use document::{Document, DocumentBuilder};
 pub use dtd::{AttDef, ContentParticle, ContentSpec, Dtd, ElementDecl, Repetition};
-pub use index::{IndexCatalog, PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey};
+pub use index::{
+    AncestorChainSpec, CompositeEntry, CompositeSpec, CompositeValueIndex, IndexCatalog,
+    KeyComponent, MemberSpec, PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey,
+};
 pub use node::{NodeId, NodeKind};
 pub use parser::{parse_document, ParseError};
 pub use schema::{Occurrence, SchemaFacts};

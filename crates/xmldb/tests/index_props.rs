@@ -7,7 +7,10 @@ use std::ops::Bound;
 
 use proptest::prelude::*;
 
-use xmldb::index::{PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey};
+use xmldb::index::{
+    matched_assignments, AncestorChainSpec, CompositeSpec, CompositeValueIndex, KeyComponent,
+    MemberSpec, PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey,
+};
 use xmldb::{Document, DocumentBuilder, NodeId, NodeKind};
 
 /// Deterministically build a small random document from a shape vector:
@@ -246,6 +249,113 @@ proptest! {
                 .collect();
             prop_assert_eq!(&got, &expected, "string bounds {:?} {:?}", lo_s, hi_s);
             prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn composite_index_matches_naive_pairing(
+        shape in prop::collection::vec((0u32..40, 0u32..5), 1..30),
+    ) {
+        // Composite (title, year) over the primary //book/title with the
+        // @year member anchored one hop up: every (title node, year
+        // attr) pair of a book is exactly one entry, keyed by the two
+        // string values.
+        let doc = build_doc(&shape);
+        let pidx = PathIndex::build(&doc);
+        let primary_pat = PathPattern::new(vec![
+            PatternStep::Descendant(Some("book".into())),
+            PatternStep::Child(Some("title".into())),
+        ]);
+        let titles = pidx.lookup(&primary_pat).expect("resolvable");
+        let spec = CompositeSpec {
+            primary: primary_pat,
+            members: vec![MemberSpec {
+                levels: Some(1),
+                rel: PathPattern::new(vec![PatternStep::Attribute(Some("year".into()))]),
+            }],
+            key: vec![KeyComponent::Primary, KeyComponent::Member(0)],
+        };
+        let cidx = CompositeValueIndex::build(&doc, &titles, &spec);
+        // Naive reference: every title paired with its book's year.
+        let mut expected: Vec<(Vec<ValueKey>, NodeId)> = Vec::new();
+        for &t in &titles {
+            let book = doc.parent(t).expect("book parent");
+            if let Some(y) = doc.attribute(book, "year") {
+                expected.push((
+                    vec![
+                        ValueKey::Str(doc.string_value(t)),
+                        ValueKey::Str(doc.string_value(y)),
+                    ],
+                    t,
+                ));
+            }
+        }
+        prop_assert_eq!(cidx.len(), expected.len());
+        // Lookup round-trip: every expected row is found under its key,
+        // and every posting entry is expected.
+        let mut seen = 0usize;
+        for (key, entries) in cidx.iter() {
+            for e in entries {
+                prop_assert!(
+                    expected.iter().any(|(k, t)| k == key && *t == e.primary),
+                    "unexpected entry {:?} under {:?}", e, key
+                );
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, expected.len());
+        // Composite keys are lexicographic: iterate in strictly
+        // ascending Vec<ValueKey> order.
+        let keys: Vec<Vec<ValueKey>> = cidx.iter().map(|(k, _)| k.to_vec()).collect();
+        for w in keys.windows(2) {
+            prop_assert!(w[0] < w[1], "composite keys out of order");
+        }
+        // Unmatchable and type-mismatched probes miss, like the hash key
+        // domain: NaN → Null component, numeric vs string.
+        if let Some((k, _)) = expected.first() {
+            prop_assert!(cidx.get(&[k[0].clone(), ValueKey::num(f64::NAN)]).is_empty());
+            prop_assert!(cidx.get(&[k[0].clone(), ValueKey::num(-0.0)]).is_empty());
+            prop_assert!(!cidx.get(k).is_empty());
+        }
+    }
+
+    #[test]
+    fn matched_assignments_agree_with_naive_ancestor_enumeration(
+        shape in prop::collection::vec((0u32..40, 0u32..5), 1..30),
+    ) {
+        // For every last-name node, the matched assignments of the chain
+        // (author ← //book//author, key ← author/last) must equal the
+        // naive enumeration of matching ancestors, outermost first.
+        let doc = build_doc(&shape);
+        let lasts = naive_by_tag(&doc, "last");
+        let spec = AncestorChainSpec {
+            base: PathPattern::new(vec![
+                PatternStep::Descendant(Some("book".into())),
+                PatternStep::Descendant(Some("author".into())),
+            ]),
+            rels: vec![PathPattern::new(vec![PatternStep::Child(Some("last".into()))])],
+        };
+        for &l in &lasts {
+            let got = matched_assignments(&doc, l, &spec);
+            // Naive: the parent must be an author under a book.
+            let parent = doc.parent(l).expect("author parent");
+            let is_author_under_book = matches!(doc.kind(parent), NodeKind::Element(i) if doc.name(i) == "author")
+                && {
+                    let mut anc = doc.parent(parent);
+                    let mut found = false;
+                    while let Some(a) = anc {
+                        if matches!(doc.kind(a), NodeKind::Element(i) if doc.name(i) == "book") {
+                            found = true;
+                        }
+                        anc = doc.parent(a);
+                    }
+                    found
+                };
+            if is_author_under_book {
+                prop_assert_eq!(got, vec![vec![parent]]);
+            } else {
+                prop_assert!(got.is_empty());
+            }
         }
     }
 

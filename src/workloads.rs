@@ -181,6 +181,65 @@ pub const Q8_RANGE_EVERY: Workload = Workload {
 /// the index differential suite run these in addition to [`ALL`]).
 pub const RANGE: [Workload; 2] = [Q7_RANGE_SOME, Q8_RANGE_EVERY];
 
+/// Composite-key quantification (§5.4-style, two keys): books sharing
+/// *both* title and year with some book of the (same) catalog. The
+/// existential correlates on two columns, so the rewritten plan is a
+/// **multi-key** hash semi join — which the scan engine must build and
+/// bucket — while the indexed engine probes the lexicographic
+/// composite value index (`IndexCompositeSemiJoin`), never executing
+/// the build side.
+pub const Q9_COMPOSITE: Workload = Workload {
+    id: "q9-composite",
+    paper_ref: "§5.4-style (existential quantification, two keys)",
+    query: r#"
+        let $d1 := doc("bib.xml")
+        for $b1 in $d1//book,
+            $t1 in $b1/title,
+            $y1 in $b1/@year
+        where exists(
+            let $d2 := doc("bib.xml")
+            for $b2 in $d2//book,
+                $t2 in $b2/title,
+                $y2 in $b2/@year
+            where $t1 = $t2 and $y1 = $y2
+            return $b2)
+        return
+          <same-title-year>{ $t1 }</same-title-year>"#,
+    documents: &["bib.xml"],
+    expected_plans: &["nested", "semijoin"],
+};
+
+/// Deep-ancestor quantification (§5.3-style): last names that appear in
+/// some sufficiently recent book, where the name binding sits a
+/// *descendant* step below the book binding (`$l2 in $b2//last`) and
+/// the year filter references the book. The residual needs `$b2`, whose
+/// depth above the key node is variable — the index join reconstructs
+/// it by matching the candidate's ancestor trail against `//book`
+/// (formerly a decline case; the scan plan stays a hash semi join over
+/// the full build).
+pub const Q10_DEEP: Workload = Workload {
+    id: "q10-deep",
+    paper_ref: "§5.3-style (existential quantification, variable-depth ancestor)",
+    query: r#"
+        let $d1 := doc("bib.xml")
+        for $l1 in $d1//last
+        where exists(
+            let $d2 := doc("bib.xml")
+            for $b2 in $d2//book,
+                $l2 in $b2//last
+            where $l1 = $l2 and $b2/@year > 1993
+            return $b2)
+        return
+          <recent-author>{ $l1 }</recent-author>"#,
+    documents: &["bib.xml"],
+    expected_plans: &["nested", "semijoin"],
+};
+
+/// The composite/deep access-path workloads (the `composite` bench
+/// ablation and the index differential suite run these in addition to
+/// [`ALL`] and [`RANGE`]).
+pub const COMPOSITE: [Workload; 2] = [Q9_COMPOSITE, Q10_DEEP];
+
 /// The §5.1 DBLP-style variant of Q1: same query against `dblp.xml`,
 /// where the Eqv. 5 precondition fails and only the outer-join plan is
 /// sound.
