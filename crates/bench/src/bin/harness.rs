@@ -13,10 +13,12 @@
 //! (§5.5), `having` (§5.6), `costmodel`, `index` (scan- vs index-backed
 //! quantifier joins, incl. the composite-key and variable-depth
 //! workloads), `range` (loop- vs range-probe inequality quantifier
-//! joins), `composite` (the focused multi-key/deep-ancestor cut), or
-//! `all`. Every `--json` cell records the cost model's `predicted_cost`
-//! next to the measured time, so `BENCH_*.json` trajectories can
-//! calibrate the probe constants against reality.
+//! joins), `composite` (the focused multi-key/deep-ancestor cut),
+//! `update` (interleaved insert/query workload: posting-list delta
+//! maintenance vs rebuild-from-scratch), or `all`. Every `--json` cell
+//! records the cost model's `predicted_cost` next to the measured time,
+//! so `BENCH_*.json` trajectories can calibrate the probe constants
+//! against reality.
 //!
 //! `--indexes on` compiles every measured plan through
 //! `engine::compile_indexed`, so document-rooted path scans and
@@ -205,6 +207,9 @@ fn main() {
     if run_all || args.experiment == "composite" {
         composite_ablation(&args, &mut report);
     }
+    if run_all || args.experiment == "update" {
+        update_ablation(&args, &mut report);
+    }
     if let Some(path) = &args.json {
         report
             .write(path)
@@ -346,6 +351,160 @@ fn access_path_ablation(
         }
     }
     println!();
+}
+
+// ---------------------------------------------------------------------
+// Update ablation: delta maintenance vs rebuild-from-scratch
+// ---------------------------------------------------------------------
+
+/// Interleaved insert/query workload over a mutable store: per round,
+/// one catalog-level update to `bib.xml` (duplicate a book / delete a
+/// book / retitle one) followed by the quantifier workloads (Q3
+/// semijoin, Q5 anti-semijoin) run scan- and index-backed, with the
+/// outputs byte-compared (CI fails on any post-update divergence).
+///
+/// The whole phase runs twice — once with posting-list **delta**
+/// maintenance (the default) and once in **rebuild** mode (every update
+/// drops the document's indexes; the next query pays full builds) — and
+/// asserts the maintained-postings figure of the delta run stays
+/// strictly below the rebuild run's built-postings figure. That is the
+/// incremental-maintenance claim in one number: a delta touches the
+/// postings of the touched subtree, a rebuild touches them all.
+fn update_ablation(args: &Args, report: &mut Report) {
+    use xmldb::MaintenanceMode;
+    println!("== Update ablation: incremental index maintenance vs rebuild ==\n");
+    println!(
+        "{:<8} {:>9} {:>8} {:>14} {:>14} {:>12}",
+        "mode", "scale", "updates", "postings", "query time", "update time"
+    );
+    let rounds = 9usize;
+    for &scale in &args.scales {
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for mode in [MaintenanceMode::Delta, MaintenanceMode::Rebuild] {
+            let mode_label = match mode {
+                MaintenanceMode::Delta => "delta",
+                MaintenanceMode::Rebuild => "rebuild",
+            };
+            let mut catalog = standard_catalog(scale, 2, args.seed);
+            catalog.set_index_maintenance(mode);
+            let plans: Vec<(String, nal::Expr)> = [&Q3_EXISTENTIAL, &Q5_UNIVERSAL]
+                .iter()
+                .flat_map(|w| plans_for(w, &catalog))
+                .filter(|(label, _)| label.contains("semijoin"))
+                .collect();
+            let scan_cfg = RunConfig::new(Executor::Streaming, false);
+            let index_cfg = RunConfig::new(Executor::Streaming, true);
+            // Warm every index the plans probe, then count from zero:
+            // the measured postings are pure maintenance traffic.
+            for (_, expr) in &plans {
+                index_cfg.run(expr, &catalog).expect("warm-up");
+            }
+            catalog.indexes().reset_maintenance_stats();
+            let id = catalog.by_uri("bib.xml").expect("bib registered");
+            let mut update_time = std::time::Duration::ZERO;
+            let mut query_time = std::time::Duration::ZERO;
+            for round in 0..rounds {
+                let t0 = std::time::Instant::now();
+                apply_update(&mut catalog, id, round);
+                update_time += t0.elapsed();
+                for (label, expr) in &plans {
+                    let t1 = std::time::Instant::now();
+                    let indexed = index_cfg.run(expr, &catalog).expect("indexed plan runs");
+                    query_time += t1.elapsed();
+                    let scan = scan_cfg.run(expr, &catalog).expect("scan plan runs");
+                    assert_eq!(
+                        scan.output, indexed.output,
+                        "[update/{mode_label}] round {round}, plan {label}: \
+                         post-update indexed output diverges from scan"
+                    );
+                }
+            }
+            let stats = catalog.index_maintenance_stats();
+            let postings = stats.postings_total();
+            totals.insert(mode_label, postings);
+            println!(
+                "{:<8} {:>9} {:>8} {:>14} {:>14} {:>12}",
+                mode_label,
+                scale,
+                rounds,
+                postings,
+                fmt_secs(query_time, false),
+                fmt_secs(update_time, false)
+            );
+            // The probe-metric fields stay zero: this experiment's
+            // figures are the maintenance counters, recorded as
+            // dedicated knobs below (repurposing e.g. `index_lookups`
+            // would corrupt cross-experiment JSON consumers).
+            let m = Measurement {
+                plan: mode_label.to_string(),
+                elapsed: query_time + update_time,
+                doc_scans: 0,
+                output_len: 0,
+                estimated: false,
+                tuples_produced: 0,
+                probe_tuples: 0,
+                index_lookups: 0,
+                index_hits: 0,
+                predicted_cost: None,
+            };
+            report.record(
+                "update",
+                RunConfig::new(Executor::Streaming, true),
+                &[
+                    ("scale", scale as i64),
+                    ("updates", rounds as i64),
+                    ("delta_updates", stats.delta_updates as i64),
+                    ("postings", postings as i64),
+                    ("postings_built", stats.postings_built as i64),
+                    ("postings_maintained", stats.postings_maintained as i64),
+                ],
+                &m,
+            );
+        }
+        let (delta, rebuild) = (totals["delta"], totals["rebuild"]);
+        assert!(
+            delta < rebuild,
+            "delta maintenance must touch strictly fewer postings than \
+             rebuild-from-scratch ({delta} vs {rebuild} at scale {scale})"
+        );
+        println!(
+            "  → delta touches {delta} postings vs {rebuild} rebuilt ({:.1}× cheaper)\n",
+            rebuild as f64 / delta.max(1) as f64
+        );
+    }
+}
+
+/// One deterministic update per round, cycling through the three kinds.
+fn apply_update(catalog: &mut Catalog, id: xmldb::DocId, round: usize) {
+    let doc = catalog.doc(id).as_ref().clone();
+    let root = doc.root_element().expect("bib root");
+    let books: Vec<xmldb::NodeId> = doc.children(root).collect();
+    let n = books.len();
+    assert!(n >= 3, "update ablation needs at least 3 books");
+    match round % 3 {
+        0 => {
+            // Duplicate one book in front of another.
+            let src = books[round % n];
+            let before = books[(round + n / 2) % n];
+            catalog
+                .insert_subtree(id, root, Some(before), &doc, src)
+                .expect("insert");
+        }
+        1 => {
+            catalog
+                .delete_subtree(id, books[(round + 1) % n])
+                .expect("delete");
+        }
+        _ => {
+            let book = books[round % n];
+            let title = doc.children(book).next().expect("title child");
+            if let Some(text) = doc.children(title).next() {
+                catalog
+                    .replace_text(id, text, &format!("Retitled {round}"))
+                    .expect("replace_text");
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

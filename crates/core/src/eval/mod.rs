@@ -32,10 +32,12 @@ use crate::value::{cmp_atomic, CmpOp, Value};
 /// Evaluation error (unbound attribute, type mismatch, unknown document…).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalError {
+    /// Human-readable description.
     pub message: String,
 }
 
 impl EvalError {
+    /// An error with the given message.
     pub fn new(message: impl Into<String>) -> EvalError {
         EvalError {
             message: message.into(),
@@ -57,6 +59,7 @@ impl From<String> for EvalError {
     }
 }
 
+/// Result alias for evaluation.
 pub type EvalResult<T> = Result<T, EvalError>;
 
 /// Counters exposing the paper's cost arguments (…"the nested plan needs
@@ -107,14 +110,17 @@ impl Metrics {
 /// Evaluation context: the document catalog, the Ξ output stream, and
 /// metrics.
 pub struct EvalCtx<'a> {
+    /// The document catalog queries resolve URIs against.
     pub catalog: &'a Catalog,
     /// Result constructed by Ξ operators (§2: "the result is constructed
     /// as a string on some output stream").
     pub out: String,
+    /// Collected counters.
     pub metrics: Metrics,
 }
 
 impl<'a> EvalCtx<'a> {
+    /// A fresh context over `catalog` (empty output, zero metrics).
     pub fn new(catalog: &'a Catalog) -> EvalCtx<'a> {
         EvalCtx {
             catalog,

@@ -23,6 +23,7 @@ pub fn singleton() -> Expr {
 }
 
 impl Expr {
+    /// σ_pred.
     pub fn select(self, pred: Scalar) -> Expr {
         Expr::Select {
             input: Box::new(self),
@@ -30,6 +31,7 @@ impl Expr {
         }
     }
 
+    /// `Π_A` by name.
     pub fn project(self, cols: &[&str]) -> Expr {
         Expr::Project {
             input: Box::new(self),
@@ -37,6 +39,7 @@ impl Expr {
         }
     }
 
+    /// `Π_A` by symbol.
     pub fn project_syms(self, cols: Vec<Sym>) -> Expr {
         Expr::Project {
             input: Box::new(self),
@@ -44,6 +47,7 @@ impl Expr {
         }
     }
 
+    /// `Π_{Ā}` by name.
     pub fn drop_attrs(self, cols: &[&str]) -> Expr {
         Expr::Project {
             input: Box::new(self),
@@ -51,6 +55,7 @@ impl Expr {
         }
     }
 
+    /// `Π_{Ā}` by symbol.
     pub fn drop_syms(self, cols: Vec<Sym>) -> Expr {
         Expr::Project {
             input: Box::new(self),
@@ -71,6 +76,7 @@ impl Expr {
         }
     }
 
+    /// `Π_{new:old}` by symbol.
     pub fn rename_syms(self, pairs: Vec<(Sym, Sym)>) -> Expr {
         Expr::Project {
             input: Box::new(self),
@@ -78,6 +84,7 @@ impl Expr {
         }
     }
 
+    /// `Π^D_A`.
     pub fn distinct_cols(self, cols: &[&str]) -> Expr {
         Expr::Project {
             input: Box::new(self),
@@ -98,6 +105,7 @@ impl Expr {
         }
     }
 
+    /// `χ_{attr:value}`.
     pub fn map(self, attr: impl Into<Sym>, value: Scalar) -> Expr {
         Expr::Map {
             input: Box::new(self),
@@ -106,6 +114,7 @@ impl Expr {
         }
     }
 
+    /// `self × right`.
     pub fn cross(self, right: Expr) -> Expr {
         Expr::Cross {
             left: Box::new(self),
@@ -113,6 +122,7 @@ impl Expr {
         }
     }
 
+    /// `self ⋈_pred right`.
     pub fn join(self, right: Expr, pred: Scalar) -> Expr {
         Expr::Join {
             left: Box::new(self),
@@ -121,6 +131,7 @@ impl Expr {
         }
     }
 
+    /// `self ⋉_pred right`.
     pub fn semijoin(self, right: Expr, pred: Scalar) -> Expr {
         Expr::SemiJoin {
             left: Box::new(self),
@@ -129,6 +140,7 @@ impl Expr {
         }
     }
 
+    /// `self ▷_pred right`.
     pub fn antijoin(self, right: Expr, pred: Scalar) -> Expr {
         Expr::AntiJoin {
             left: Box::new(self),
@@ -137,6 +149,7 @@ impl Expr {
         }
     }
 
+    /// `self ⟕^{g:default}_pred right`.
     pub fn outerjoin(self, right: Expr, pred: Scalar, g: impl Into<Sym>, default: Value) -> Expr {
         Expr::OuterJoin {
             left: Box::new(self),

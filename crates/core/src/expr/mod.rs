@@ -34,7 +34,9 @@ pub enum ProjOp {
 /// string or the string value of a variable (§2).
 #[derive(Clone, PartialEq, Debug)]
 pub enum XiCmd {
+    /// Emit a constant string.
     Str(String),
+    /// Emit the string value of the named attribute.
     Var(Sym),
 }
 
@@ -56,66 +58,110 @@ pub enum Expr {
     /// them (used by the single-scan group-filter plans of §5.4).
     AttrRel(Sym),
     /// `σ_p(e)` — order-preserving selection.
-    Select { input: Box<Expr>, pred: Scalar },
+    Select {
+        /// Input expression.
+        input: Box<Expr>,
+        /// The predicate.
+        pred: Scalar,
+    },
     /// `Π(e)` in one of its flavors.
-    Project { input: Box<Expr>, op: ProjOp },
+    Project {
+        /// Input expression.
+        input: Box<Expr>,
+        /// The projection operation.
+        op: ProjOp,
+    },
     /// `χ_{a:e2}(e1)` — map: extend each tuple with `a` bound to the value
     /// of `e2` under that tuple's bindings. `e2` may contain nested
     /// algebraic expressions; unnesting removes them.
     Map {
+        /// Input expression.
         input: Box<Expr>,
+        /// The bound attribute.
         attr: Sym,
+        /// The subscript computing the attribute’s value.
         value: Scalar,
     },
     /// `e1 × e2` — order-preserving cross product (left-major).
-    Cross { left: Box<Expr>, right: Box<Expr> },
+    Cross {
+        /// Left (outer, slow-varying) input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+    },
     /// `e1 ⋈_p e2 = σ_p(e1 × e2)`.
     Join {
+        /// Left input.
         left: Box<Expr>,
+        /// Right input.
         right: Box<Expr>,
+        /// The predicate.
         pred: Scalar,
     },
     /// `e1 ⋉_p e2` — semijoin (keeps left tuples with at least one match).
     SemiJoin {
+        /// Left input.
         left: Box<Expr>,
+        /// Right input.
         right: Box<Expr>,
+        /// The predicate.
         pred: Scalar,
     },
     /// `e1 ▷_p e2` — anti-join (keeps left tuples with no match).
     AntiJoin {
+        /// Left input.
         left: Box<Expr>,
+        /// Right input.
         right: Box<Expr>,
+        /// The predicate.
         pred: Scalar,
     },
     /// `e1 ⟕^{g:default}_p e2` — left outer join with a default value for
     /// attribute `g` of unmatched left tuples; the other right attributes
     /// are padded with NULL (§2; `g ∈ A(e2)`).
     OuterJoin {
+        /// Left input.
         left: Box<Expr>,
+        /// Right input.
         right: Box<Expr>,
+        /// The predicate.
         pred: Scalar,
+        /// Attribute receiving the group aggregate (or outer-join default).
         g: Sym,
+        /// `g`’s value on unmatched left tuples.
         default: Value,
     },
     /// `Γ_{g;θA;f}(e)` — unary grouping: group keys are the distinct
     /// `A`-projections of `e` itself (§2).
     GroupUnary {
+        /// Input expression.
         input: Box<Expr>,
+        /// Attribute receiving the group aggregate (or outer-join default).
         g: Sym,
+        /// Grouping attributes.
         by: Vec<Sym>,
+        /// The grouping comparison.
         theta: CmpOp,
+        /// The aggregate applied per group.
         f: GroupFn,
     },
     /// `e1 Γ_{g;A1θA2;f} e2` — binary grouping (nest-join): the *left*
     /// operand determines the groups (§2: "this will become important for
     /// the correctness of the unnesting procedure").
     GroupBinary {
+        /// Left input.
         left: Box<Expr>,
+        /// Right input.
         right: Box<Expr>,
+        /// Attribute receiving the group aggregate (or outer-join default).
         g: Sym,
+        /// Left-side match attributes.
         left_on: Vec<Sym>,
+        /// The grouping comparison.
         theta: CmpOp,
+        /// Right-side match attributes.
         right_on: Vec<Sym>,
+        /// The aggregate applied per group.
         f: GroupFn,
     },
     /// `μ_g(e)` / `μ^D_g(e)` — unnest a tuple-sequence-valued attribute.
@@ -125,29 +171,46 @@ pub enum Expr {
     /// sequence yields one output tuple padded with NULLs; when false it
     /// yields nothing (the XQuery `for` semantics used by Υ).
     Unnest {
+        /// Input expression.
         input: Box<Expr>,
+        /// The bound attribute.
         attr: Sym,
+        /// μ^D: deduplicate the nested sequence first.
         distinct: bool,
+        /// Keep tuples with an empty nested sequence (⊥ padding).
         preserve_empty: bool,
     },
     /// `Υ_{a:e2}(e1) = μ_g(χ_{g:e2[a]}(e1))` — unnest-map, the workhorse
     /// for `for` clauses and path expressions (§2).
     UnnestMap {
+        /// Input expression.
         input: Box<Expr>,
+        /// The bound attribute.
         attr: Sym,
+        /// The subscript computing the attribute’s value.
         value: Scalar,
     },
     /// Simple `Ξ_{cmds}(e)` — execute the command list per input tuple as
     /// a side effect on the output stream; identity on the sequence (§2).
-    XiSimple { input: Box<Expr>, cmds: Vec<XiCmd> },
+    XiSimple {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Serialization commands per tuple.
+        cmds: Vec<XiCmd>,
+    },
     /// Group-detecting `s1 Ξ^{s3}_{A;s2}(e)` (§2): for each group of
     /// consecutive-by-`A` tuples, run `head` on the first tuple, `body`
     /// on every tuple, `tail` on the last.
     XiGroup {
+        /// Input expression.
         input: Box<Expr>,
+        /// Grouping attributes.
         by: Vec<Sym>,
+        /// Commands once per group, before the body.
         head: Vec<XiCmd>,
+        /// Commands per tuple of the group.
         body: Vec<XiCmd>,
+        /// Commands once per group, after the body.
         tail: Vec<XiCmd>,
     },
 }

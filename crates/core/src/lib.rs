@@ -13,10 +13,12 @@
 //!   unary/binary Γ, μ, μ^D, Υ, Ξ, □),
 //! * static analyses `A(e)`/`F(e)`: [`expr::attrs`],
 //! * and the reference evaluator implementing the §2 definitions
-//!   literally: [`eval`].
+//!   literally: [`mod@eval`].
 //!
 //! The unnesting equivalences that rewrite these expressions live in the
 //! `unnest` crate; the optimized physical operators in `engine`.
+
+#![warn(missing_docs)]
 
 pub mod eval;
 pub mod expr;

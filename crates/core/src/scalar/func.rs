@@ -40,6 +40,7 @@ pub enum Func {
 }
 
 impl Func {
+    /// XQuery surface name of the function.
     pub fn name(self) -> &'static str {
         match self {
             Func::Contains => "contains",

@@ -33,14 +33,20 @@ pub enum AggKind {
     /// Project to the item sequence of a single attribute (the paper's
     /// `Π_a` used as `f`, e.g. `Π_{t2}` in §5.1). Requires `project`.
     Items,
+    /// `count` — group cardinality.
     Count,
+    /// `sum` — numeric sum of the projected items.
     Sum,
+    /// `min` — minimum of the projected items.
     Min,
+    /// `max` — maximum of the projected items.
     Max,
+    /// `avg` — mean of the projected items.
     Avg,
 }
 
 impl AggKind {
+    /// Display name of the aggregate.
     pub fn name(self) -> &'static str {
         match self {
             AggKind::Tuples => "id",
@@ -62,6 +68,7 @@ pub struct GroupFn {
     pub filter: Option<Box<Scalar>>,
     /// Optional projection to a single attribute before aggregating.
     pub project: Option<Sym>,
+    /// The aggregate applied to the (filtered, projected) group.
     pub agg: AggKind,
 }
 

@@ -25,14 +25,20 @@ use crate::value::{CmpOp, Value};
 /// Arithmetic operators.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ArithOp {
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `div`
     Div,
+    /// `mod`
     Mod,
 }
 
 impl ArithOp {
+    /// XQuery surface syntax of the operator.
     pub fn symbol(self) -> &'static str {
         match self {
             ArithOp::Add => "+",
@@ -69,8 +75,11 @@ pub enum Scalar {
     /// `Cmp(Eq, …)` at runtime, kept distinct because equivalences 4 and 5
     /// pattern-match on it).
     In(Box<Scalar>, Box<Scalar>),
+    /// Logical conjunction.
     And(Box<Scalar>, Box<Scalar>),
+    /// Logical disjunction.
     Or(Box<Scalar>, Box<Scalar>),
+    /// Logical negation.
     Not(Box<Scalar>),
     /// Builtin function call.
     Call(Func, Vec<Scalar>),
@@ -90,42 +99,55 @@ pub enum Scalar {
     /// `∃ x ∈ range : pred` — a nested algebraic expression in a
     /// quantifier (left-hand side of Eqv. 6).
     Exists {
+        /// The quantified variable.
         var: Sym,
+        /// The range expression (a query block).
         range: Box<Expr>,
+        /// The quantified predicate.
         pred: Box<Scalar>,
     },
     /// `∀ x ∈ range : pred` (left-hand side of Eqv. 7).
     Forall {
+        /// The quantified variable.
         var: Sym,
+        /// The range expression (a query block).
         range: Box<Expr>,
+        /// The quantified predicate.
         pred: Box<Scalar>,
     },
     /// `f(e)` where `e` is a nested algebraic expression and `f` a group
     /// function — the shape produced by translating `let` clauses, and the
     /// left-hand side of equivalences 1–5.
     Agg {
+        /// The group function applied to the block's result.
         f: GroupFn,
+        /// The nested query block.
         input: Box<Expr>,
     },
 }
 
 impl Scalar {
+    /// An attribute reference.
     pub fn attr(a: impl Into<Sym>) -> Scalar {
         Scalar::Attr(a.into())
     }
 
+    /// A constant.
     pub fn constant(v: Value) -> Scalar {
         Scalar::Const(v)
     }
 
+    /// An integer constant.
     pub fn int(i: i64) -> Scalar {
         Scalar::Const(Value::Int(i))
     }
 
+    /// A string constant.
     pub fn string(s: &str) -> Scalar {
         Scalar::Const(Value::str(s))
     }
 
+    /// The comparison `l op r`.
     pub fn cmp(op: CmpOp, l: Scalar, r: Scalar) -> Scalar {
         Scalar::Cmp(op, Box::new(l), Box::new(r))
     }
@@ -136,18 +158,22 @@ impl Scalar {
         Scalar::cmp(op, Scalar::attr(l), Scalar::attr(r))
     }
 
+    /// The membership test `l ∈ r`.
     pub fn is_in(l: Scalar, r: Scalar) -> Scalar {
         Scalar::In(Box::new(l), Box::new(r))
     }
 
+    /// `self ∧ other`.
     pub fn and(self, other: Scalar) -> Scalar {
         Scalar::And(Box::new(self), Box::new(other))
     }
 
+    /// `self ∨ other`.
     pub fn or(self, other: Scalar) -> Scalar {
         Scalar::Or(Box::new(self), Box::new(other))
     }
 
+    /// `¬self`, with comparison negation folded in.
     #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Scalar {
         match self {
@@ -158,14 +184,17 @@ impl Scalar {
         }
     }
 
+    /// Apply a structural path to this context value.
     pub fn path(self, p: Path) -> Scalar {
         Scalar::Path(Box::new(self), p)
     }
 
+    /// `self[a]` — lift the item sequence into single-attribute tuples.
     pub fn lift(self, a: impl Into<Sym>) -> Scalar {
         Scalar::Lift(Box::new(self), a.into())
     }
 
+    /// `distinct-values(self)`.
     pub fn distinct(self) -> Scalar {
         Scalar::DistinctItems(Box::new(self))
     }

@@ -9,7 +9,7 @@ pub type Seq = Vec<Tuple>;
 
 /// `e[a]`: lift a sequence of non-tuple values into a sequence of tuples
 /// with the single attribute `a` (§2: "we construct from a sequence of
-/// non-tuple values e a sequence of tuples denoted by e[a]").
+/// non-tuple values e a sequence of tuples denoted by e\[a\]").
 pub fn lift_items(value: &Value, a: Sym) -> Seq {
     value
         .as_item_seq()

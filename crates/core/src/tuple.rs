@@ -61,6 +61,7 @@ impl Tuple {
         self.fields.len()
     }
 
+    /// `true` for the empty tuple.
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
     }

@@ -78,7 +78,9 @@ impl fmt::Display for Dec {
 /// A handle to a node of a catalog document.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeRef {
+    /// The owning catalog document.
     pub doc: DocId,
+    /// The node within it.
     pub node: NodeId,
 }
 
@@ -87,9 +89,13 @@ pub struct NodeRef {
 pub enum Value {
     /// NULL — produced by `⊥_A` (outer joins, empty unnests).
     Null,
+    /// A boolean.
     Bool(bool),
+    /// An integer.
     Int(i64),
+    /// A decimal (canonicalized `f64`).
     Dec(Dec),
+    /// A string (shared).
     Str(Arc<str>),
     /// A node handle.
     Node(NodeRef),
@@ -102,6 +108,7 @@ pub enum Value {
 }
 
 impl Value {
+    /// A string value.
     pub fn str(s: impl AsRef<str>) -> Value {
         Value::Str(Arc::from(s.as_ref()))
     }
@@ -123,6 +130,7 @@ impl Value {
         }
     }
 
+    /// A nested relation value.
     pub fn tuples(ts: Vec<Tuple>) -> Value {
         Value::Tuples(Arc::new(ts))
     }
@@ -191,11 +199,17 @@ impl Value {
 /// Comparison operators θ ∈ {=, ≤, ≥, <, >, ≠} on atomic values (§2).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
+    /// `=`
     Eq,
+    /// `!=`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
@@ -225,6 +239,7 @@ impl CmpOp {
         }
     }
 
+    /// Surface syntax of the operator.
     pub fn symbol(self) -> &'static str {
         match self {
             CmpOp::Eq => "=",

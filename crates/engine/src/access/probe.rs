@@ -33,28 +33,45 @@ pub struct IndexJoinAccess {
 impl IndexJoinAccess {
     /// Resolve the recipe's index through the catalog (building it
     /// lazily on first use).
+    ///
+    /// Recipes are declarative, so one compiled before a document
+    /// update is still *correct* — the indexes resolved here are the
+    /// delta-maintained (or lazily rebuilt) current ones. The recipe's
+    /// epoch stamp is re-validated against the document's: when the
+    /// document has advanced and the pattern no longer resolves (e.g.
+    /// the URI was re-registered with structurally different content),
+    /// the failure is reported as recipe staleness rather than as an
+    /// unexplained resolution error.
     pub fn resolve(recipe: &AccessRecipe, ctx: &EvalCtx<'_>) -> EvalResult<IndexJoinAccess> {
         let doc = doc_id_of(&recipe.uri, ctx)?;
+        let stale = ctx.catalog.epoch(doc) != recipe.epoch;
+        let unresolvable = |what: &str| {
+            if stale {
+                EvalError::new(format!(
+                    "stale access recipe: document `{}` was updated since the plan \
+                     was compiled and {what} `{}` no longer resolves — recompile the plan",
+                    recipe.uri, recipe.pattern
+                ))
+            } else {
+                EvalError::new(format!(
+                    "{what} `{}` is not index-resolvable",
+                    recipe.pattern
+                ))
+            }
+        };
         let (vindex, cindex) = match &recipe.driver {
             Driver::Composite { spec, .. } => {
-                let idx = ctx.catalog.composite_index(doc, spec).ok_or_else(|| {
-                    EvalError::new(format!(
-                        "composite pattern `{}` is not index-resolvable",
-                        recipe.pattern
-                    ))
-                })?;
+                let idx = ctx
+                    .catalog
+                    .composite_index(doc, spec)
+                    .ok_or_else(|| unresolvable("composite pattern"))?;
                 (None, Some(idx))
             }
             _ => {
                 let idx = ctx
                     .catalog
                     .value_index(doc, &recipe.pattern)
-                    .ok_or_else(|| {
-                        EvalError::new(format!(
-                            "pattern `{}` is not index-resolvable",
-                            recipe.pattern
-                        ))
-                    })?;
+                    .ok_or_else(|| unresolvable("pattern"))?;
                 (Some(idx), None)
             }
         };

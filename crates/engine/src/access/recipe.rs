@@ -31,7 +31,9 @@ use crate::plan::JoinKind;
 /// attributes (or constants) and θ is `=`, `<`, `≤`, `>`, or `≥`.
 #[derive(Clone, Debug)]
 pub struct RangeProbe {
+    /// The probe-side scalar (pure and replay-safe).
     pub side: Scalar,
+    /// The comparison, oriented `side θ key`.
     pub op: nal::CmpOp,
 }
 
@@ -40,7 +42,10 @@ pub struct RangeProbe {
 pub enum Driver {
     /// Typed point probe: the left attribute's key against the value
     /// index — the hash semi/anti join replacement.
-    Point { probe: Sym },
+    Point {
+        /// The probe tuple's key attribute.
+        probe: Sym,
+    },
     /// Lexicographic composite probe: the left attributes (in join-key
     /// order, parallel to `spec.key`) form a `Vec<ValueKey>` probed
     /// against the composite value index — the multi-key hash semi/anti
@@ -48,8 +53,11 @@ pub enum Driver {
     /// `spec.members`) are the build attributes each entry's member
     /// nodes seed during reconstruction.
     Composite {
+        /// Probe-side key attributes, in join-key order.
         probes: Vec<Sym>,
+        /// Build attributes seeded from each entry's member nodes.
         member_attrs: Vec<Sym>,
+        /// The composite index's build spec.
         spec: CompositeSpec,
     },
     /// Ordered-key range seek: `side θ key` conjuncts drive a
@@ -57,7 +65,9 @@ pub enum Driver {
     /// bucket lookup in the hash-join band case; `None` for pure
     /// inequality loop-join conversions).
     Range {
+        /// Typed bucket probe of the band case, if any.
         eq_probe: Option<Sym>,
+        /// The range/filter conjuncts.
         ranges: Vec<RangeProbe>,
     },
 }
@@ -76,7 +86,9 @@ pub enum AncestorMode {
     /// per consistent assignment, in build-row order. `attrs` lists the
     /// bound attributes deepest-first, parallel to `spec.rels`.
     Matched {
+        /// Bound attributes, deepest-first (parallel to `spec.rels`).
         attrs: Vec<Sym>,
+        /// The chain's base and relative patterns.
         spec: AncestorChainSpec,
     },
 }
@@ -86,9 +98,13 @@ pub enum AncestorMode {
 /// Ξ output.
 #[derive(Clone, Debug)]
 pub enum BuildOp {
+    /// χ — bind the attribute to the scalar's value.
     Map(Sym, Scalar),
+    /// Υ — fan out over the scalar's item sequence.
     UnnestMap(Sym, Scalar),
+    /// σ — keep rows satisfying the predicate.
     Select(Scalar),
+    /// Π — project/rename/drop columns.
     Project(ProjOp),
 }
 
@@ -97,8 +113,19 @@ pub enum BuildOp {
 pub struct AccessRecipe {
     /// `Semi` or `Anti` only.
     pub kind: JoinKind,
+    /// How candidates are obtained per probe tuple.
     pub driver: Driver,
+    /// URI of the document whose value index backs the probe.
     pub uri: String,
+    /// The document's index epoch ([`xmldb::Catalog::epoch`]) at trace
+    /// time. The recipe is declarative — its correctness does not decay
+    /// under incremental index maintenance, because the probe runtime
+    /// resolves indexes freshly per execution — but the runtime uses
+    /// the stamp to *re-validate* a recipe whose document has advanced
+    /// (deltas applied, or the URI re-registered with new content): a
+    /// resolution failure is then reported as recipe staleness, not as
+    /// a compile-time contradiction.
+    pub epoch: u64,
     /// Absolute pattern of the (primary) key column — the node set the
     /// value index is built over.
     pub pattern: PathPattern,
@@ -110,6 +137,7 @@ pub struct AccessRecipe {
     pub ancestors: AncestorMode,
     /// Post-key build operators, replayed in execution order.
     pub ops: Vec<BuildOp>,
+    /// Join residual evaluated over each reconstructed row.
     pub residual: Option<Scalar>,
 }
 

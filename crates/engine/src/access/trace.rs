@@ -35,7 +35,43 @@ use super::recipe::{AccessRecipe, AncestorMode, BuildOp, Driver, RangeProbe};
 ///   or point ([`Driver::Point`]);
 /// * `HashJoin` with several keys → composite ([`Driver::Composite`]);
 /// * `LoopJoin` with rangeable inequality conjuncts → [`Driver::Range`].
+///
+/// The emitted recipe is stamped with the document's current index
+/// epoch, so the probe runtime can tell a recipe compiled before an
+/// update from a fresh one (see [`AccessRecipe::epoch`]).
+///
+/// # Examples
+///
+/// ```
+/// use engine::{compile, join_recipe};
+/// use nal::expr::builder::*;
+/// use nal::{CmpOp, Scalar};
+/// use xmldb::{parse_document, Catalog};
+///
+/// let mut cat = Catalog::new();
+/// cat.register(parse_document("bib.xml", "<bib><book><title>T</title></book></bib>").unwrap());
+/// let probe = doc_scan("d1", "bib.xml")
+///     .unnest_map("t1", Scalar::attr("d1").path(xpath::parse_path("//book/title").unwrap()));
+/// let build = doc_scan("d2", "bib.xml")
+///     .unnest_map("t2", Scalar::attr("d2").path(xpath::parse_path("//book/title").unwrap()))
+///     .project(&["t2"]);
+/// let join = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+///
+/// // The tracer is the single convertibility predicate: a recipe is
+/// // emitted iff the engine converts (and the cost model prices) the join.
+/// let recipe = join_recipe(&compile(&join), &cat).expect("convertible");
+/// assert_eq!(recipe.pattern.key(), "//book/title");
+/// assert_eq!(recipe.op_name(), "IndexSemiJoin");
+/// ```
 pub fn join_recipe(plan: &PhysPlan, catalog: &Catalog) -> Option<AccessRecipe> {
+    let mut recipe = join_recipe_inner(plan, catalog)?;
+    if let Some(id) = catalog.by_uri(&recipe.uri) {
+        recipe.epoch = catalog.epoch(id);
+    }
+    Some(recipe)
+}
+
+fn join_recipe_inner(plan: &PhysPlan, catalog: &Catalog) -> Option<AccessRecipe> {
     match plan {
         PhysPlan::HashJoin {
             right,
@@ -366,6 +402,8 @@ impl BuildParts {
             kind,
             driver,
             uri: self.uri,
+            // Stamped by `join_recipe` once the document id is known.
+            epoch: 0,
             pattern: pattern_of(&self.path),
             key_attr: self.key_attr,
             doc_seeds: self.doc_seeds,

@@ -18,9 +18,11 @@ use xmldb::Catalog;
 pub enum KeyVal {
     /// NULL — carries "never equal" semantics via [`KeyVal::matchable`].
     Null,
+    /// A boolean component.
     Bool(bool),
     /// Numeric values, unified across `Int`/`Dec` (total-order bits).
     Num(u64),
+    /// A string component.
     Str(String),
     /// Sequences and other non-atomic leftovers, by canonical rendering.
     Other(String),

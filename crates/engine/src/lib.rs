@@ -13,6 +13,8 @@
 //! `tests/` suite) assert that every plan produces results and Ξ output
 //! identical to `nal::eval`.
 
+#![warn(missing_docs)]
+
 pub mod access;
 pub mod exec;
 pub mod key;
@@ -36,7 +38,9 @@ pub struct QueryResult {
     pub rows: Seq,
     /// The serialized Ξ output stream.
     pub output: String,
+    /// Collected per-run counters.
     pub metrics: Metrics,
+    /// Wall-clock execution time.
     pub elapsed: Duration,
 }
 

@@ -36,7 +36,9 @@ pub fn drain(cur: &mut dyn Cursor, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
 /// short-circuiting observable: a semi join that stops probing early
 /// produces visibly fewer tuples downstream than the input cardinality.
 pub struct Metered<'p> {
+    /// The wrapped cursor.
     pub inner: BoxCursor<'p>,
+    /// Operator name the counts are attributed to.
     pub name: &'static str,
 }
 
@@ -60,11 +62,14 @@ impl Cursor for Metered<'_> {
 /// output in a subtree) requires the materializing executor's strict
 /// left-then-right evaluation order.
 pub enum Feed<'p> {
+    /// A live pipelined stream.
     Stream(BoxCursor<'p>),
+    /// A pre-materialized buffer.
     Buffered(std::vec::IntoIter<Tuple>),
 }
 
 impl Feed<'_> {
+    /// Produce the next tuple from the stream or the buffer.
     pub fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
         match self {
             Feed::Stream(c) => c.next(ctx),
@@ -96,7 +101,9 @@ impl Feed<'_> {
 /// materializing executor evaluates strictly bottom-up, so the input's
 /// entire byte stream must precede the parent's first write.
 pub struct Materialize<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// The drained input, once the first pull materialized it.
     pub buffered: Option<std::vec::IntoIter<Tuple>>,
 }
 
@@ -115,6 +122,7 @@ impl Cursor for Materialize<'_> {
 
 /// `□` — the singleton sequence of the empty tuple.
 pub struct Once {
+    /// Whether the one tuple was already emitted.
     pub done: bool,
 }
 
@@ -134,7 +142,9 @@ impl Cursor for Once {
 
 /// A literal relation, streamed without copying the backing slice.
 pub struct Literal<'p> {
+    /// The backing rows.
     pub rows: &'p [Tuple],
+    /// Next row to emit.
     pub idx: usize,
 }
 
@@ -154,8 +164,11 @@ impl Cursor for Literal<'_> {
 /// attribute. Resolution is deferred to the first `next` call so lowering
 /// stays infallible.
 pub struct AttrRel {
+    /// The bound attribute.
     pub attr: Sym,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Resolved relation + position (first pull).
     pub state: Option<(Arc<Vec<Tuple>>, usize)>,
 }
 

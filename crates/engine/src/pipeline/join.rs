@@ -23,13 +23,18 @@ use crate::plan::JoinKind;
 
 /// × — materialize the right side, stream the left.
 pub struct Cross<'p> {
+    /// Left (probe/outer) input.
     pub left: Feed<'p>,
+    /// Right (build/inner) input.
     pub right: Feed<'p>,
     /// Materialize left before right (Ξ in a subtree needs the
     /// materializing executor's left-then-right evaluation order).
     pub strict: bool,
+    /// Materialized right side.
     pub right_rows: Option<Vec<Tuple>>,
+    /// Current left tuple being crossed.
     pub cur_left: Option<Tuple>,
+    /// Position within the materialized right side.
     pub ridx: usize,
 }
 
@@ -80,18 +85,28 @@ fn unmatched_output(kind: &JoinKind, pad: &[Sym], lt: &Tuple) -> Option<Tuple> {
 /// order within a bucket = right arrival order), probe left tuples in
 /// stream order.
 pub struct HashJoin<'p> {
+    /// Left (probe/outer) input.
     pub left: Feed<'p>,
+    /// Right (build/inner) input.
     pub right: Feed<'p>,
+    /// Probe-side key attributes.
     pub left_keys: &'p [Sym],
+    /// Build-side key attributes.
     pub right_keys: &'p [Sym],
+    /// Non-equi conjuncts evaluated per bucket match.
     pub residual: Option<&'p Scalar>,
+    /// How matches are consumed.
     pub kind: &'p JoinKind,
+    /// Outer-join NULL padding.
     pub pad: &'p [Sym],
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Materialize left before right (Ξ evaluation-order barrier).
     pub strict: bool,
     /// Build state: bucket storage + key index (separate so iteration
     /// state can hold plain indices).
     pub bucket_rows: Vec<Vec<Tuple>>,
+    /// Key → bucket slot.
     pub bucket_index: Option<HashMap<Key, usize>>,
     /// Inner/outer iteration state: (probe tuple, bucket, position,
     /// matched-so-far).
@@ -203,14 +218,23 @@ impl Cursor for HashJoin<'_> {
 /// is materialized, the left streams, and semi/anti probes stop at the
 /// first passing match.
 pub struct LoopJoin<'p> {
+    /// Left (probe/outer) input.
     pub left: Feed<'p>,
+    /// Right (build/inner) input.
     pub right: Feed<'p>,
+    /// The predicate.
     pub pred: &'p Scalar,
+    /// How matches are consumed.
     pub kind: &'p JoinKind,
+    /// Outer-join NULL padding.
     pub pad: &'p [Sym],
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Materialize left before right (Ξ evaluation-order barrier).
     pub strict: bool,
+    /// Materialized right side.
     pub right_rows: Option<Vec<Tuple>>,
+    /// Mid-bucket probe state being resumed.
     pub cur: Option<(Tuple, usize, bool)>,
 }
 
@@ -281,9 +305,13 @@ impl Cursor for LoopJoin<'_> {
 /// ([`crate::access::IndexJoinAccess`]), so both executors report
 /// identical `index_lookups`/`index_hits` by construction.
 pub struct IndexJoin<'p> {
+    /// Left (probe/outer) input.
     pub left: super::cursor::BoxCursor<'p>,
+    /// The declarative access path.
     pub recipe: &'p crate::access::AccessRecipe,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Resolved index state (first pull).
     pub access: Option<crate::access::IndexJoinAccess>,
     /// Whether the decision is probe-invariant (constant range bounds,
     /// no residual) — computed once at lowering, same policy as the
@@ -326,14 +354,23 @@ impl Cursor for IndexJoin<'_> {
 /// Binary Γ with hash lookup: build buckets on the right once, then
 /// stream the left, aggregating each tuple's group lazily.
 pub struct HashGroupBinary<'p> {
+    /// Left (probe/outer) input.
     pub left: Feed<'p>,
+    /// Right (build/inner) input.
     pub right: Feed<'p>,
+    /// Attribute receiving the group aggregate.
     pub g: Sym,
+    /// Left-side match attributes.
     pub left_on: &'p [Sym],
+    /// Right-side match attributes.
     pub right_on: &'p [Sym],
+    /// The aggregate applied per group.
     pub f: &'p GroupFn,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Materialize left before right (Ξ evaluation-order barrier).
     pub strict: bool,
+    /// Key → group members.
     pub buckets: Option<HashMap<Key, Vec<Tuple>>>,
 }
 
@@ -371,14 +408,23 @@ impl Cursor for HashGroupBinary<'_> {
 /// θ binary grouping fallback: materialize both sides, delegate to the
 /// reference semantics, stream the result.
 pub struct ThetaGroupBinary<'p> {
+    /// Left (probe/outer) input.
     pub left: Feed<'p>,
+    /// Right (build/inner) input.
     pub right: Feed<'p>,
+    /// Attribute receiving the group aggregate.
     pub g: Sym,
+    /// Left-side match attributes.
     pub left_on: &'p [Sym],
+    /// The grouping comparison.
     pub theta: nal::CmpOp,
+    /// Right-side match attributes.
     pub right_on: &'p [Sym],
+    /// The aggregate applied per group.
     pub f: &'p GroupFn,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Materialized result, streamed out.
     pub out: Option<std::vec::IntoIter<Tuple>>,
 }
 

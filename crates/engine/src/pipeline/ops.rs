@@ -13,8 +13,11 @@ use crate::exec::{hash_groups, scoped};
 
 /// σ — filter, one pull per surviving tuple.
 pub struct Select<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// The predicate.
     pub pred: &'p Scalar,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
 }
 
@@ -37,8 +40,11 @@ impl Cursor for Select<'_> {
 /// first-occurrence filter is order-preserving, so no materialization is
 /// needed).
 pub struct Project<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// The projection operation.
     pub op: &'p ProjOp,
+    /// First-occurrence dedup state (distinct variants).
     pub seen: HashSet<Vec<Value>>,
 }
 
@@ -72,9 +78,13 @@ impl Cursor for Project<'_> {
 
 /// χ — extend each tuple with one computed attribute.
 pub struct Map<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// The bound attribute.
     pub attr: Sym,
+    /// The subscript computing the attribute’s value.
     pub value: &'p Scalar,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
 }
 
@@ -95,11 +105,17 @@ impl Cursor for Map<'_> {
 /// μ / μ^D — unnest a tuple-valued attribute; a small pending queue holds
 /// the fan-out of the current input tuple.
 pub struct Unnest<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// The bound attribute.
     pub attr: Sym,
+    /// Atomize and deduplicate the fanned-out items.
     pub distinct: bool,
+    /// Keep tuples with an empty nested sequence.
     pub preserve_empty: bool,
+    /// Attributes of the nested tuples (NULL padding schema).
     pub inner_attrs: &'p [Sym],
+    /// Fan-out queue of the current input tuple.
     pub pending: VecDeque<Tuple>,
 }
 
@@ -148,10 +164,15 @@ impl Cursor for Unnest<'_> {
 
 /// Υ — unnest-map: evaluate a scalar per tuple and fan out its items.
 pub struct UnnestMap<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// The bound attribute.
     pub attr: Sym,
+    /// The subscript computing the attribute’s value.
     pub value: &'p Scalar,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Fan-out queue of the current input tuple.
     pub pending: VecDeque<Tuple>,
 }
 
@@ -181,12 +202,19 @@ impl Cursor for UnnestMap<'_> {
 /// same for every input tuple) and fans out per input tuple exactly as
 /// the replaced scan would.
 pub struct IndexScan<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// The bound attribute.
     pub attr: Sym,
+    /// Document URI resolved through the catalog.
     pub uri: &'p str,
+    /// Index-side pattern of the scanned path.
     pub pattern: &'p xmldb::PathPattern,
+    /// Atomize and deduplicate the fanned-out items.
     pub distinct: bool,
+    /// The resolved item sequence (fetched on first pull).
     pub items: Option<Vec<Value>>,
+    /// Fan-out queue of the current input tuple.
     pub pending: VecDeque<Tuple>,
 }
 
@@ -225,8 +253,11 @@ impl Cursor for IndexScan<'_> {
 /// the byte stream matches the materializing executor's strict bottom-up
 /// order.
 pub struct XiSimple<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// Serialization commands per tuple.
     pub cmds: &'p [XiCmd],
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
 }
 
@@ -247,12 +278,19 @@ impl Cursor for XiSimple<'_> {
 /// Grouped Ξ — blocking on the input (grouping needs all tuples), then
 /// streams one key tuple per group, emitting head/body/tail as pulled.
 pub struct XiGroup<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// Group-key attributes.
     pub by: &'p [Sym],
+    /// Commands once per group, before the body.
     pub head: &'p [XiCmd],
+    /// Commands per tuple of the group.
     pub body: &'p [XiCmd],
+    /// Commands once per group, after the body.
     pub tail: &'p [XiCmd],
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Materialized groups, streamed out one per pull.
     pub groups: Option<std::vec::IntoIter<(Tuple, Vec<Tuple>)>>,
 }
 
@@ -282,11 +320,17 @@ impl Cursor for XiGroup<'_> {
 /// Hash Γ — blocking build of the group table, then one aggregated tuple
 /// per group streamed out (the group function runs lazily per pull).
 pub struct HashGroupUnary<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// Attribute receiving the group aggregate.
     pub g: Sym,
+    /// Group-key attributes.
     pub by: &'p [Sym],
+    /// The aggregate applied per group.
     pub f: &'p GroupFn,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Materialized groups, streamed out one per pull.
     pub groups: Option<std::vec::IntoIter<(Tuple, Vec<Tuple>)>>,
 }
 
@@ -311,12 +355,19 @@ impl Cursor for HashGroupUnary<'_> {
 /// θ-grouping fallback: materialize, delegate to the reference semantics
 /// (as the materializing executor does), stream the result.
 pub struct ThetaGroupUnary<'p> {
+    /// Input cursor.
     pub input: BoxCursor<'p>,
+    /// Attribute receiving the group aggregate.
     pub g: Sym,
+    /// Group-key attributes.
     pub by: &'p [Sym],
+    /// The grouping comparison.
     pub theta: nal::CmpOp,
+    /// The aggregate applied per group.
     pub f: &'p GroupFn,
+    /// Outer-scope bindings visible to subscript evaluation.
     pub env: Tuple,
+    /// Materialized result, streamed out.
     pub out: Option<std::vec::IntoIter<Tuple>>,
 }
 

@@ -16,109 +16,188 @@ use nal::{Expr, GroupFn, ProjOp, Scalar, Sym, Value, XiCmd};
 /// How a binary matching operator consumes its matches.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JoinKind {
+    /// Emit concatenated pairs for every match.
     Inner,
+    /// Emit each left tuple with at least one match (⋉).
     Semi,
+    /// Emit each left tuple with no match (▷).
     Anti,
-    Outer { g: Sym, default: Value },
+    /// Left outer join (⟕): unmatched left tuples pad the right
+    /// attributes with NULL and bind `g` to `default`.
+    Outer {
+        /// The grouped/padded attribute.
+        g: Sym,
+        /// `g`'s value on unmatched left tuples.
+        default: Value,
+    },
 }
 
 /// A physical operator tree.
 #[derive(Clone, Debug)]
 pub enum PhysPlan {
+    /// `□` — the one-empty-tuple relation.
     Singleton,
+    /// A literal tuple sequence (tests, rewrites).
     Literal(Vec<nal::Tuple>),
+    /// `rel(a)` — the group sequence bound to attribute `a`.
     AttrRel(Sym),
+    /// σ — keep tuples satisfying `pred`.
     Select {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// The selection predicate.
         pred: Scalar,
     },
+    /// Π / Π^D — column projection, renaming, dropping.
     Project {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// The projection operation.
         op: ProjOp,
     },
+    /// χ — bind `attr` to `value` per tuple.
     Map {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// The bound attribute.
         attr: Sym,
+        /// The subscript computing its value.
         value: Scalar,
     },
+    /// × — ordered cross product.
     Cross {
+        /// Outer (slow-varying) input.
         left: Box<PhysPlan>,
+        /// Inner input.
         right: Box<PhysPlan>,
     },
     /// Hash-based order-preserving join: build on the right, probe the
     /// left in order; bucket order preserves right order.
     HashJoin {
+        /// Probe side.
         left: Box<PhysPlan>,
+        /// Build side.
         right: Box<PhysPlan>,
+        /// Probe-side key attributes (parallel to `right_keys`).
         left_keys: Vec<Sym>,
+        /// Build-side key attributes.
         right_keys: Vec<Sym>,
+        /// Non-equi conjuncts evaluated per bucket match.
         residual: Option<Scalar>,
+        /// How matches are consumed.
         kind: JoinKind,
         /// `A(right) \ {g}` — outer-join NULL padding (precomputed).
         pad: Vec<Sym>,
     },
     /// Definitional nested-loop join for non-equi predicates.
     LoopJoin {
+        /// Outer side.
         left: Box<PhysPlan>,
+        /// Inner side, re-scanned per outer tuple.
         right: Box<PhysPlan>,
+        /// The join predicate.
         pred: Scalar,
+        /// How matches are consumed.
         kind: JoinKind,
+        /// Outer-join NULL padding.
         pad: Vec<Sym>,
     },
     /// Single-pass hash grouping (θ = '='), first-occurrence key order.
     HashGroupUnary {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// Attribute receiving each group's aggregate.
         g: Sym,
+        /// Grouping attributes.
         by: Vec<Sym>,
+        /// The aggregate applied per group.
         f: GroupFn,
     },
     /// θ-grouping fallback (distinct keys × input scan).
     ThetaGroupUnary {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// Attribute receiving each group's aggregate.
         g: Sym,
+        /// Grouping attributes.
         by: Vec<Sym>,
+        /// The grouping comparison.
         theta: nal::CmpOp,
+        /// The aggregate applied per group.
         f: GroupFn,
     },
     /// Binary grouping with hash lookup of each left tuple's group.
     HashGroupBinary {
+        /// The kept side (each tuple receives its group).
         left: Box<PhysPlan>,
+        /// The grouped side.
         right: Box<PhysPlan>,
+        /// Attribute receiving the group aggregate.
         g: Sym,
+        /// Left-side match attributes.
         left_on: Vec<Sym>,
+        /// Right-side match attributes.
         right_on: Vec<Sym>,
+        /// The aggregate applied per group.
         f: GroupFn,
     },
+    /// Binary θ-grouping fallback (non-equality comparisons).
     ThetaGroupBinary {
+        /// The kept side.
         left: Box<PhysPlan>,
+        /// The grouped side.
         right: Box<PhysPlan>,
+        /// Attribute receiving the group aggregate.
         g: Sym,
+        /// Left-side match attributes.
         left_on: Vec<Sym>,
+        /// The grouping comparison.
         theta: nal::CmpOp,
+        /// Right-side match attributes.
         right_on: Vec<Sym>,
+        /// The aggregate applied per group.
         f: GroupFn,
     },
+    /// μ / μ^D — unnest a sequence-valued attribute.
     Unnest {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// The sequence-valued attribute to flatten.
         attr: Sym,
+        /// μ^D: atomize and deduplicate the flattened items.
         distinct: bool,
+        /// Keep tuples whose sequence is empty (outer-join provenance).
         preserve_empty: bool,
+        /// Attributes of the nested tuples (precomputed schema).
         inner_attrs: Vec<Sym>,
     },
+    /// Υ — bind `attr` to each item of the subscript's sequence.
     UnnestMap {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// The bound attribute.
         attr: Sym,
+        /// The sequence-producing subscript.
         value: Scalar,
     },
+    /// Ξ — serialize per input tuple (identity output).
     XiSimple {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// Serialization commands per tuple.
         cmds: Vec<XiCmd>,
     },
+    /// Grouped Ξ — head/body/tail serialization per key group.
     XiGroup {
+        /// Input operator.
         input: Box<PhysPlan>,
+        /// Group-key attributes.
         by: Vec<Sym>,
+        /// Commands once per group, before the body.
         head: Vec<XiCmd>,
+        /// Commands per tuple of the group.
         body: Vec<XiCmd>,
+        /// Commands once per group, after the body.
         tail: Vec<XiCmd>,
     },
     /// Index-backed document path scan: replaces an `UnnestMap` whose
@@ -128,8 +207,11 @@ pub enum PhysPlan {
     /// replaced Υ would. Produced only by
     /// [`crate::access::apply_indexes`].
     IndexScan {
+        /// Input operator (each tuple fans out over the node sequence).
         input: Box<PhysPlan>,
+        /// The bound attribute.
         attr: Sym,
+        /// Document URI resolved through the catalog.
         uri: String,
         /// Index-side form of the path (resolvable by the path index).
         pattern: xmldb::PathPattern,
@@ -150,7 +232,9 @@ pub enum PhysPlan {
     /// cost model consume unchanged. Produced only by
     /// [`crate::access::apply_indexes`].
     IndexJoin {
+        /// Probe side.
         left: Box<PhysPlan>,
+        /// The declarative access path (driver, reconstruction, replay).
         recipe: std::sync::Arc<crate::access::AccessRecipe>,
     },
 }

@@ -48,6 +48,17 @@ fn assert_all_modes_identical(expr: &Expr, cat: &Catalog) -> (Metrics, Metrics) 
             "{label}: Ξ output mismatch for {expr}"
         );
     }
+    // Both executors run the same shared probe runtime, so index metric
+    // parity is a construction property — including after incremental
+    // index maintenance.
+    assert_eq!(
+        m_index.metrics.index_lookups, s_index.metrics.index_lookups,
+        "index_lookups must be executor-identical for {expr}"
+    );
+    assert_eq!(
+        m_index.metrics.index_hits, s_index.metrics.index_hits,
+        "index_hits must be executor-identical for {expr}"
+    );
     (s_scan.metrics, s_index.metrics)
 }
 
@@ -1150,4 +1161,154 @@ proptest! {
         prop_assert!(plan.explain().contains("IndexRange"), "{}", plan.explain());
         assert_all_modes_identical(&e, &cat);
     }
+}
+
+// ---------------------------------------------------------------------
+// Incremental index maintenance: updated documents, same guarantees
+// ---------------------------------------------------------------------
+
+/// A scripted batch of catalog-level updates against the standard
+/// corpus: duplicate one record (before another), delete one, and
+/// rewrite one text leaf — on each of the three documents the paper's
+/// workloads read. Handles are re-snapshotted between steps so the
+/// batch survives an ordering-key rebalance.
+fn mutate_corpus(cat: &mut Catalog, seed: usize) {
+    for uri in ["bib.xml", "reviews.xml", "prices.xml"] {
+        let id = cat.by_uri(uri).unwrap();
+        // Duplicate entry `seed % n` in front of entry `(seed + 2) % n`.
+        {
+            let doc = cat.doc(id).as_ref().clone();
+            let root = doc.root_element().unwrap();
+            let entries: Vec<NodeId> = doc.children(root).collect();
+            let n = entries.len();
+            assert!(n >= 3, "{uri}: corpus too small to mutate");
+            let (src, before) = (entries[seed % n], entries[(seed + 2) % n]);
+            cat.insert_subtree(id, root, Some(before), &doc, src)
+                .unwrap();
+        }
+        // Delete entry `(seed + 1) % n`.
+        {
+            let doc = cat.doc(id).as_ref().clone();
+            let root = doc.root_element().unwrap();
+            let entries: Vec<NodeId> = doc.children(root).collect();
+            let victim = entries[(seed + 1) % entries.len()];
+            cat.delete_subtree(id, victim).unwrap();
+        }
+        // Rewrite the first text leaf of the first entry.
+        {
+            let doc = cat.doc(id).as_ref().clone();
+            let root = doc.root_element().unwrap();
+            let first = doc.children(root).next().unwrap();
+            if let Some(text) = doc
+                .descendants(first)
+                .find(|&t| matches!(doc.kind(t), xmldb::NodeKind::Text))
+            {
+                cat.replace_text(id, text, "Updated Leaf").unwrap();
+            }
+        }
+    }
+}
+
+/// Run every plan alternative of every workload (equality, range, and
+/// composite) through all four modes on an *updated* corpus whose
+/// indexes were warmed pre-update — so the indexed runs exercise
+/// delta-maintained postings, and the scan runs are the ground truth.
+#[test]
+fn updated_corpus_stays_byte_identical_across_all_workloads() {
+    let mut catalog = standard_catalog(30, 2, 7);
+    let workloads: Vec<&ordered_unnesting::workloads::Workload> = ordered_unnesting::workloads::ALL
+        .iter()
+        .chain(ordered_unnesting::workloads::RANGE.iter())
+        .chain(ordered_unnesting::workloads::COMPOSITE.iter())
+        .collect();
+    // Warm: run each workload's plans indexed once so every index the
+    // plans probe is built and cached.
+    let mut plans: Vec<Expr> = Vec::new();
+    for w in &workloads {
+        let nested = xquery::compile(w.query, &catalog)
+            .unwrap_or_else(|e| panic!("[{}] compile failed: {e}", w.id));
+        for plan in unnest::enumerate_plans(&nested, &catalog) {
+            engine::run_indexed(&plan.expr, &catalog).expect("warm indexed run");
+            plans.push(plan.expr);
+        }
+    }
+    let warmed = catalog.index_maintenance_stats();
+    mutate_corpus(&mut catalog, 5);
+    for expr in &plans {
+        assert_all_modes_identical(expr, &catalog);
+    }
+    let after = catalog.index_maintenance_stats();
+    assert!(
+        after.delta_updates >= 9,
+        "three updates on three documents must apply as deltas (got {})",
+        after.delta_updates
+    );
+    assert_eq!(
+        after.full_builds, warmed.full_builds,
+        "post-update indexed runs must reuse the delta-maintained indexes"
+    );
+}
+
+/// Plans (and their embedded access recipes) compiled *before* an
+/// update keep producing scan-identical results when executed after it:
+/// the recipe is declarative and the probe runtime resolves the
+/// delta-maintained indexes freshly per execution.
+#[test]
+fn pre_update_compiled_plans_survive_deltas() {
+    let mut catalog = standard_catalog(30, 2, 11);
+    let workloads = [
+        &ordered_unnesting::workloads::Q3_EXISTENTIAL,
+        &ordered_unnesting::workloads::Q5_UNIVERSAL,
+        &ordered_unnesting::workloads::Q7_RANGE_SOME,
+        &ordered_unnesting::workloads::Q9_COMPOSITE,
+    ];
+    let mut compiled: Vec<(engine::PhysPlan, engine::PhysPlan)> = Vec::new();
+    for w in workloads {
+        let nested = xquery::compile(w.query, &catalog).expect("compiles");
+        for plan in unnest::enumerate_plans(&nested, &catalog) {
+            let scan = engine::compile(&plan.expr);
+            let indexed = engine::compile_indexed(&plan.expr, &catalog);
+            // Pre-update sanity.
+            let a = engine::run_compiled(&scan, &catalog).unwrap();
+            let b = engine::run_compiled(&indexed, &catalog).unwrap();
+            assert_eq!(a.output, b.output);
+            compiled.push((scan, indexed));
+        }
+    }
+    mutate_corpus(&mut catalog, 2);
+    for (scan, indexed) in &compiled {
+        let a = engine::run_compiled(scan, &catalog).expect("scan plan");
+        let b = engine::run_compiled(indexed, &catalog).expect("stale-epoch indexed plan");
+        let c = engine::run_streaming_compiled(indexed, &catalog).expect("streaming");
+        assert_eq!(a.rows, b.rows, "pre-update recipe diverged after deltas");
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.output, c.output);
+        assert_eq!(b.metrics.index_lookups, c.metrics.index_lookups);
+        assert_eq!(b.metrics.index_hits, c.metrics.index_hits);
+    }
+}
+
+/// A stale recipe whose document was re-registered (not delta-updated)
+/// still executes correctly: the rebuilt indexes resolve freshly.
+#[test]
+fn reregistration_rebuilds_and_recipes_recover() {
+    let mut catalog = standard_catalog(20, 2, 3);
+    let w = &ordered_unnesting::workloads::Q3_EXISTENTIAL;
+    let nested = xquery::compile(w.query, &catalog).expect("compiles");
+    let plan = unnest::enumerate_plans(&nested, &catalog)
+        .into_iter()
+        .find(|p| p.label == "semijoin")
+        .expect("semijoin plan");
+    let indexed = engine::compile_indexed(&plan.expr, &catalog);
+    engine::run_compiled(&indexed, &catalog).expect("pre-update run");
+    // Replace bib.xml wholesale (twice the books).
+    catalog.register(gen_bib(&BibConfig {
+        books: 40,
+        authors_per_book: 2,
+        seed: 3,
+        ..BibConfig::default()
+    }));
+    let scan = engine::run_compiled(&engine::compile(&plan.expr), &catalog).unwrap();
+    let idx = engine::run_compiled(&indexed, &catalog).expect("recipe recovers");
+    assert_eq!(scan.output, idx.output);
 }

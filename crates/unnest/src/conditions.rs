@@ -37,10 +37,12 @@ impl Correlation {
         }
     }
 
+    /// The outer-side attributes of the correlation pairs.
     pub fn outer_attrs(&self) -> Vec<Sym> {
         self.pairs.iter().map(|(a, _, _)| *a).collect()
     }
 
+    /// The inner-side attributes of the correlation pairs.
     pub fn inner_attrs(&self) -> Vec<Sym> {
         self.pairs.iter().map(|(_, _, b)| *b).collect()
     }

@@ -55,6 +55,7 @@ pub struct CostModel<'a> {
 const SELECTIVITY: f64 = 0.5;
 
 impl<'a> CostModel<'a> {
+    /// A scan-mode model (no index-backed access paths priced).
     pub fn new(catalog: &'a Catalog) -> CostModel<'a> {
         CostModel::with_indexes(catalog, false)
     }
@@ -453,6 +454,29 @@ mod tests {
 
     fn p(s: &str) -> xpath::Path {
         parse_path(s).unwrap()
+    }
+
+    #[test]
+    fn estimates_track_document_updates() {
+        // The model reads statistics through the catalog's epoch-stamped
+        // memo, so a model constructed *after* an update prices the new
+        // cardinalities — stale `DocStats` never leak into plan choice.
+        let mut cat = catalog(50);
+        let scan = doc_scan("d", "bib.xml").unnest_map("b", Scalar::attr("d").path(p("//book")));
+        let before = CostModel::new(&cat).estimate(&scan);
+        assert!((before.rows - 50.0).abs() < 1.0);
+        let id = cat.by_uri("bib.xml").unwrap();
+        let doc = cat.doc(id).as_ref().clone();
+        let root = doc.root_element().unwrap();
+        let victim = doc.children(root).next().unwrap();
+        cat.delete_subtree(id, victim).unwrap();
+        let after = CostModel::new(&cat).estimate(&scan);
+        assert!(
+            (after.rows - 49.0).abs() < 1.0,
+            "post-update estimate must see 49 books, got {}",
+            after.rows
+        );
+        assert!(after.cost < before.cost);
     }
 
     #[test]

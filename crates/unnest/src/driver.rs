@@ -20,21 +20,34 @@ use crate::eqv;
 /// A rewrite rule identifier (for traces and tests).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Rule {
+    /// Eqv. 1 — nest-join.
     Eqv1,
+    /// Eqv. 2 — outer join + unary Γ.
     Eqv2,
+    /// Eqv. 3 — unary Γ (distinctness condition).
     Eqv3,
+    /// Eqv. 4 — outer join + Γ ∘ μ^D.
     Eqv4,
+    /// Eqv. 5 — unary Γ ∘ μ^D (distinctness condition).
     Eqv5,
+    /// Eqv. 6 — ∃ → semijoin.
     Eqv6,
+    /// Eqv. 7 — ∀ → anti-join on ¬p.
     Eqv7,
+    /// Eqv. 8 — count-filter → semi/anti join.
     Eqv8,
+    /// Eqv. 9 — count-filter via unary grouping.
     Eqv9,
+    /// Eqv. 8 with a self-comparable group filter.
     Eqv8Self,
+    /// Classical selection push-down (§2).
     PushRight,
+    /// Ξ fusion into grouped serialization.
     XiFuse,
 }
 
 impl Rule {
+    /// Display name (paper reference included).
     pub fn name(self) -> &'static str {
         match self {
             Rule::Eqv1 => "Eqv.1 (nest-join)",
@@ -95,14 +108,18 @@ impl Rule {
 /// One rewritten plan with its label and the applied rule trace.
 #[derive(Clone, Debug)]
 pub struct PlanChoice {
+    /// Plan label (`nested`, `outer join`, `semijoin`, …).
     pub label: String,
+    /// The rewritten expression.
     pub expr: Expr,
+    /// Names of the rules that fired, in order.
     pub trace: Vec<&'static str>,
 }
 
 /// Rule trace of [`unnest_best`].
 #[derive(Clone, Debug, Default)]
 pub struct RewriteTrace {
+    /// Names of the rules that fired, in order.
     pub steps: Vec<&'static str>,
 }
 

@@ -9,11 +9,15 @@ use crate::conditions::{split_correlation, Correlation};
 /// `χ_{g:f(σ_{corr}(e2))}(e1)`, with local conjuncts already pushed into
 /// `e2`.
 pub struct MapAggPattern<'a> {
+    /// The outer expression.
     pub e1: &'a Expr,
+    /// The attribute the aggregate binds.
     pub g: Sym,
+    /// The aggregating group function.
     pub f: &'a GroupFn,
     /// The inner expression with local conjuncts pushed into a selection.
     pub e2: Expr,
+    /// The split correlation predicate.
     pub corr: Correlation,
 }
 

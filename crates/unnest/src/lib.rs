@@ -18,6 +18,8 @@
 //! randomized inputs satisfying the conditions and assert sequence
 //! equality (order included).
 
+#![warn(missing_docs)]
+
 pub mod classic;
 pub mod conditions;
 pub mod cost;

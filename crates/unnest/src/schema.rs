@@ -33,19 +33,31 @@ pub enum ValueDescriptor {
     /// The distinct atomized values of the nodes selected by `path` in
     /// document `uri` (first-occurrence order) — the shape
     /// `distinct-values(doc(uri)path)` produces.
-    DistinctValues { uri: String, path: Path },
+    DistinctValues {
+        /// The source document URI.
+        uri: String,
+        /// The selecting path.
+        path: Path,
+    },
     /// The nodes selected by `path` in `uri`, in document order,
     /// duplicate-free *as nodes* (values may repeat).
-    Nodes { uri: String, path: Path },
+    Nodes {
+        /// The source document URI.
+        uri: String,
+        /// The selecting path.
+        path: Path,
+    },
 }
 
 impl ValueDescriptor {
+    /// The source document URI.
     pub fn uri(&self) -> &str {
         match self {
             ValueDescriptor::DistinctValues { uri, .. } | ValueDescriptor::Nodes { uri, .. } => uri,
         }
     }
 
+    /// The selecting path.
     pub fn path(&self) -> &Path {
         match self {
             ValueDescriptor::DistinctValues { path, .. } | ValueDescriptor::Nodes { path, .. } => {

@@ -1,17 +1,25 @@
 //! Document catalog: URI → loaded document.
 //!
 //! Queries reference documents by URI (`doc("bib.xml")`); the catalog is
-//! the runtime binding of those URIs. Documents are registered once before
-//! query execution and shared immutably afterwards (mirroring the paper's
-//! setup where the documents are resident in the database cache).
+//! the runtime binding of those URIs. Documents are registered before
+//! query execution and shared by `&` during it; **between** executions
+//! they are mutable through the catalog's update API
+//! ([`Catalog::insert_subtree`], [`Catalog::delete_subtree`],
+//! [`Catalog::replace_text`]), which keeps the cached statistics and
+//! access-path indexes consistent by applying posting-list deltas (see
+//! [`crate::index::delta`]). The borrow checker enforces the phasing:
+//! updates take `&mut Catalog`, execution holds `&Catalog`.
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use crate::document::Document;
+use crate::document::{Document, UpdateError};
+use crate::index::delta::{TouchPost, TouchPre};
 use crate::index::{
-    CompositeSpec, CompositeValueIndex, IndexCatalog, PathIndex, PathPattern, ValueIndex,
+    CompositeSpec, CompositeValueIndex, IndexCatalog, MaintenanceMode, MaintenanceStats, PathIndex,
+    PathPattern, ValueIndex,
 };
+use crate::node::NodeId;
 use crate::stats::DocStats;
 
 /// Index of a document within a [`Catalog`].
@@ -19,6 +27,7 @@ use crate::stats::DocStats;
 pub struct DocId(pub u32);
 
 impl DocId {
+    /// Position of the document in the catalog's registration order.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -33,11 +42,15 @@ impl DocId {
 pub struct Catalog {
     docs: Vec<Arc<Document>>,
     by_uri: HashMap<String, DocId>,
-    stats: RwLock<HashMap<DocId, Arc<DocStats>>>,
+    /// Memoized statistics, stamped with the document epoch they were
+    /// collected at — a stale entry (document updated since) recollects
+    /// instead of serving pre-update cardinalities.
+    stats: RwLock<HashMap<DocId, (u64, Arc<DocStats>)>>,
     indexes: IndexCatalog,
 }
 
 impl Catalog {
+    /// An empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
     }
@@ -82,6 +95,7 @@ impl Catalog {
         self.docs.len()
     }
 
+    /// `true` when no document is registered.
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
     }
@@ -97,13 +111,24 @@ impl Catalog {
     /// Memoized per-document statistics: the first call walks the
     /// document once ([`DocStats::collect`]); repeated callers (every
     /// `CostModel::new`, the index cost estimates) share the result.
+    ///
+    /// The memo is stamped with [`Document::epoch`]: an update
+    /// invalidates it implicitly, so post-update callers never see
+    /// pre-update cardinalities.
     pub fn stats(&self, id: DocId) -> Arc<DocStats> {
-        if let Some(s) = self.stats.read().expect("stats lock").get(&id) {
-            return s.clone();
+        let epoch = self.doc(id).epoch();
+        if let Some((e, s)) = self.stats.read().expect("stats lock").get(&id) {
+            if *e == epoch {
+                return s.clone();
+            }
         }
         let collected = Arc::new(DocStats::collect(self.doc(id)));
         let mut w = self.stats.write().expect("stats lock");
-        w.entry(id).or_insert(collected).clone()
+        let entry = w.entry(id).or_insert((epoch, collected.clone()));
+        if entry.0 != epoch {
+            *entry = (epoch, collected);
+        }
+        entry.1.clone()
     }
 
     /// Memoized statistics by URI.
@@ -142,6 +167,125 @@ impl Catalog {
     pub fn prewarm_indexes(&self) {
         for (id, doc) in self.iter() {
             self.indexes.path_index(id, doc);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Updates
+    // -----------------------------------------------------------------
+
+    /// The document's index epoch (bumped per applied update and per
+    /// invalidation; monotonic across URI re-registration). Compiled
+    /// access recipes are stamped with it and re-validate on mismatch.
+    pub fn epoch(&self, id: DocId) -> u64 {
+        self.indexes.epoch(id)
+    }
+
+    /// Select how updates maintain built indexes (posting-list deltas by
+    /// default; [`MaintenanceMode::Rebuild`] drops and rebuilds — the
+    /// bench baseline).
+    pub fn set_index_maintenance(&mut self, mode: MaintenanceMode) {
+        self.indexes.set_maintenance_mode(mode);
+    }
+
+    /// Cumulative index build/maintenance counters.
+    pub fn index_maintenance_stats(&self) -> MaintenanceStats {
+        self.indexes.maintenance_stats()
+    }
+
+    /// Insert a copy of `frag_root`'s subtree into document `id` —
+    /// [`Document::insert_subtree`] plus index and statistics
+    /// maintenance. Returns the inserted root's handle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xmldb::{parse_document, Catalog, PathPattern, PatternStep};
+    ///
+    /// let mut cat = Catalog::new();
+    /// let id = cat.register(parse_document("a.xml", "<r><x>1</x></r>").unwrap());
+    /// let pat = PathPattern::new(vec![PatternStep::Descendant(Some("x".into()))]);
+    /// assert_eq!(cat.value_index(id, &pat).unwrap().len(), 1);
+    ///
+    /// let frag = parse_document("frag", "<x>2</x>").unwrap();
+    /// let root = cat.doc(id).root_element().unwrap();
+    /// cat.insert_subtree(id, root, None, &frag, frag.root_element().unwrap())
+    ///     .unwrap();
+    /// // The cached value index was maintained in place, not rebuilt.
+    /// assert_eq!(cat.value_index(id, &pat).unwrap().len(), 2);
+    /// assert_eq!(cat.index_maintenance_stats().delta_updates, 1);
+    /// ```
+    pub fn insert_subtree(
+        &mut self,
+        id: DocId,
+        parent: NodeId,
+        before: Option<NodeId>,
+        frag: &Document,
+        frag_root: NodeId,
+    ) -> Result<NodeId, UpdateError> {
+        let plan = self.capture(id, TouchPre::Insert { parent });
+        let pre_order_epoch = self.doc(id).order_epoch();
+        let doc = Arc::make_mut(&mut self.docs[id.index()]);
+        let root = doc.insert_subtree(parent, before, frag, frag_root)?;
+        let rebalanced = self.doc(id).order_epoch() != pre_order_epoch;
+        self.finish_update(id, plan, rebalanced, TouchPost::Insert { root });
+        Ok(root)
+    }
+
+    /// Delete a subtree from document `id` — [`Document::delete_subtree`]
+    /// plus index and statistics maintenance. Returns the number of
+    /// removed nodes.
+    pub fn delete_subtree(&mut self, id: DocId, node: NodeId) -> Result<usize, UpdateError> {
+        let plan = self.capture(id, TouchPre::Delete { root: node });
+        let doc = Arc::make_mut(&mut self.docs[id.index()]);
+        let removed = doc.delete_subtree(node)?;
+        self.finish_update(id, plan, false, TouchPost::Delete);
+        Ok(removed)
+    }
+
+    /// Replace a text or attribute node's content in document `id` —
+    /// [`Document::replace_text`] plus index and statistics maintenance.
+    pub fn replace_text(&mut self, id: DocId, node: NodeId, text: &str) -> Result<(), UpdateError> {
+        let plan = self.capture(id, TouchPre::Text { node });
+        let doc = Arc::make_mut(&mut self.docs[id.index()]);
+        doc.replace_text(node, text)?;
+        self.finish_update(id, plan, false, TouchPost::Text);
+        Ok(())
+    }
+
+    /// Pre-mutation capture: a delta plan in [`MaintenanceMode::Delta`]
+    /// (when the touched handle is live — a doomed update captures
+    /// nothing), or `None` in rebuild mode.
+    fn capture(&self, id: DocId, touch: TouchPre) -> Option<crate::index::delta::DeltaPlan> {
+        if self.indexes.maintenance_mode() != MaintenanceMode::Delta {
+            return None;
+        }
+        let doc = self.doc(id);
+        let live = match &touch {
+            TouchPre::Insert { parent } => doc.is_live(*parent),
+            TouchPre::Delete { root } => doc.is_live(*root),
+            TouchPre::Text { node } => doc.is_live(*node),
+        };
+        if !live {
+            return None;
+        }
+        Some(self.indexes.capture_delta(id, doc, &touch))
+    }
+
+    /// Post-mutation bookkeeping: apply the delta, or invalidate when
+    /// there is no plan (rebuild mode, doomed capture) or a rebalance
+    /// made stored node ids stale. Statistics revalidate lazily via the
+    /// document-epoch stamp.
+    fn finish_update(
+        &mut self,
+        id: DocId,
+        plan: Option<crate::index::delta::DeltaPlan>,
+        rebalanced: bool,
+        post: TouchPost,
+    ) {
+        match plan {
+            Some(plan) if !rebalanced => self.indexes.apply_delta(id, self.doc(id), plan, post),
+            _ => self.indexes.invalidate(id),
         }
     }
 }

@@ -50,12 +50,16 @@ impl Repetition {
 /// repetition indicator.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ContentParticle {
+    /// A single element name.
     Name(String, Repetition),
+    /// `(a, b, …)` — ordered sequence.
     Seq(Vec<ContentParticle>, Repetition),
+    /// `(a | b | …)` — choice.
     Choice(Vec<ContentParticle>, Repetition),
 }
 
 impl ContentParticle {
+    /// The particle's repetition indicator.
     pub fn repetition(&self) -> Repetition {
         match self {
             ContentParticle::Name(_, r)
@@ -108,7 +112,9 @@ impl fmt::Display for ContentParticle {
 /// The content specification of an element declaration.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ContentSpec {
+    /// `EMPTY` — no content allowed.
     Empty,
+    /// `ANY` — unconstrained content.
     Any,
     /// `(#PCDATA)`
     PcData,
@@ -121,14 +127,18 @@ pub enum ContentSpec {
 /// `<!ELEMENT name content>`
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ElementDecl {
+    /// The declared element name.
     pub name: String,
+    /// Its content specification.
     pub content: ContentSpec,
 }
 
 /// One attribute definition from an `<!ATTLIST>` declaration.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AttDef {
+    /// The owning element's name.
     pub element: String,
+    /// The attribute name.
     pub name: String,
     /// `CDATA`, `ID`, enumerations, … — kept verbatim.
     pub att_type: String,
@@ -141,12 +151,15 @@ pub struct AttDef {
 pub struct Dtd {
     /// The document type name from `<!DOCTYPE name [...]>`.
     pub doctype: String,
+    /// Element declarations, in declaration order.
     pub elements: Vec<ElementDecl>,
+    /// Attribute definitions, in declaration order.
     pub attributes: Vec<AttDef>,
     by_name: HashMap<String, usize>,
 }
 
 impl Dtd {
+    /// An empty DTD for the given document type name.
     pub fn new(doctype: impl Into<String>) -> Dtd {
         Dtd {
             doctype: doctype.into(),
@@ -154,6 +167,7 @@ impl Dtd {
         }
     }
 
+    /// Add an element declaration (later declarations win lookups).
     pub fn push_element(&mut self, decl: ElementDecl) {
         self.by_name.insert(decl.name.clone(), self.elements.len());
         self.elements.push(decl);

@@ -51,6 +51,7 @@ pub struct AuctionConfig {
     /// `users = bids / users_divisor` (the paper varies users per bid
     /// between 1 and 10; 10 bids per user is the default here).
     pub users_divisor: usize,
+    /// Deterministic content seed.
     pub seed: u64,
 }
 
@@ -67,8 +68,11 @@ impl Default for AuctionConfig {
 
 /// The three generated auction documents.
 pub struct AuctionDocs {
+    /// `users.xml`.
     pub users: Document,
+    /// `items.xml`.
     pub items: Document,
+    /// `bids.xml`.
     pub bids: Document,
 }
 

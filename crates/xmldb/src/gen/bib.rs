@@ -37,6 +37,7 @@ pub struct BibConfig {
     /// Publication years are drawn uniformly from this inclusive range; the
     /// universal-quantification query of §5.5 filters on `> 1993`.
     pub year_range: (u32, u32),
+    /// Deterministic content seed.
     pub seed: u64,
 }
 

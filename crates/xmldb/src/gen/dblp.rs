@@ -9,7 +9,7 @@
 //!    never wrote a `book` — so `distinct-values(//author)` is not the
 //!    distinct author list of `//book`, and only the general outer-join
 //!    plan (Eqv. 4) is sound. This is exactly the precondition missed by
-//!    Paparizos et al. [31].
+//!    Paparizos et al. \[31\].
 //!
 //! We do not have DBLP, so this generator produces a document with the
 //! same two properties at a configurable scale: publications of several
@@ -40,6 +40,7 @@ pub const DBLP_DTD: &str = r#"
 /// Parameters for [`gen_dblp`].
 #[derive(Clone, Debug)]
 pub struct DblpConfig {
+    /// Catalog URI of the generated document.
     pub uri: String,
     /// Total number of publications of all kinds.
     pub publications: usize,
@@ -47,6 +48,7 @@ pub struct DblpConfig {
     pub book_percent: u32,
     /// Size of the author pool.
     pub authors: usize,
+    /// Deterministic content seed.
     pub seed: u64,
 }
 

@@ -25,12 +25,15 @@ const SOURCES: [&str; 3] = [
 /// Parameters for [`gen_prices`].
 #[derive(Clone, Debug)]
 pub struct PricesConfig {
+    /// Catalog URI of the generated document.
     pub uri: String,
     /// Total number of `book` (price entry) elements. Every
     /// `sources_per_title` consecutive entries share a title, so the
     /// min-price aggregation of §5.2 has real groups to reduce.
     pub entries: usize,
+    /// Consecutive entries sharing one title (price sources per title).
     pub sources_per_title: usize,
+    /// Deterministic content seed.
     pub seed: u64,
 }
 

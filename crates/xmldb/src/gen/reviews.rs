@@ -19,6 +19,7 @@ pub const REVIEWS_DTD: &str = r#"
 /// Parameters for [`gen_reviews`].
 #[derive(Clone, Debug)]
 pub struct ReviewsConfig {
+    /// Catalog URI of the generated document.
     pub uri: String,
     /// Number of `entry` elements.
     pub entries: usize,
@@ -26,7 +27,9 @@ pub struct ReviewsConfig {
     /// stride 2 and equally many books, about half the books have a review
     /// — a realistic selectivity for the semijoin experiment (§5.3).
     pub title_stride: usize,
+    /// Length of each generated review text, in words.
     pub review_words: usize,
+    /// Deterministic content seed.
     pub seed: u64,
 }
 

@@ -101,7 +101,10 @@ pub fn nth_parent(doc: &Document, node: NodeId, levels: usize) -> Option<NodeId>
 /// path from the root).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AncestorChainSpec {
+    /// Absolute pattern of the deepest binding.
     pub base: PathPattern,
+    /// Relative patterns between consecutive bindings, deepest-first;
+    /// the last spans from the nearest binding to the key candidate.
     pub rels: Vec<PathPattern>,
 }
 

@@ -12,24 +12,33 @@
 //! * [`ValueIndex`] — typed atomized value → nodes, ordered on both the
 //!   key axis (`BTreeMap` over [`ValueKey`]) and the posting-list axis
 //!   (document order);
+//! * [`CompositeValueIndex`] — lexicographic multi-key variant backing
+//!   composite quantifier joins;
 //! * [`IndexCatalog`] — a per-catalog registry caching one lazily built
-//!   [`PathIndex`] per document and one [`ValueIndex`] per
-//!   `(document, path pattern)` the engine has probed.
+//!   [`PathIndex`] per document and one [`ValueIndex`] /
+//!   [`CompositeValueIndex`] per `(document, pattern/spec)` the engine
+//!   has probed.
 //!
 //! Indexes are built lazily on first use (the first lookup pays the
 //! build) or eagerly via [`crate::Catalog::prewarm_indexes`]. Documents
-//! are immutable after registration, so no invalidation is needed except
-//! on URI re-registration, which drops the document's cached indexes.
+//! are **mutable**: catalog-level updates
+//! ([`crate::Catalog::insert_subtree`] and friends) keep every cached
+//! index consistent by applying posting-list deltas derived from the
+//! touched subtree ([`delta`]), tracked per document by an epoch
+//! counter. URI re-registration and ordering-key rebalances fall back to
+//! dropping the document's cached indexes (rebuilt on next use).
 
 pub mod ancestor;
+pub mod delta;
 pub mod path;
 pub mod value;
 
 pub use ancestor::{eval_relative, matched_assignments, nth_parent, AncestorChainSpec};
+pub use delta::{MaintenanceMode, MaintenanceStats};
 pub use path::{PathIndex, PathIndexStats, PathPattern, PatternStep};
 pub use value::{
-    CompositeEntry, CompositeSpec, CompositeValueIndex, KeyComponent, MemberSpec, ValueIndex,
-    ValueKey,
+    entries_for_primary, CompositeEntry, CompositeSpec, CompositeValueIndex, KeyComponent,
+    MemberSpec, ValueIndex, ValueKey,
 };
 
 use std::collections::HashMap;
@@ -38,17 +47,34 @@ use std::sync::{Arc, RwLock};
 use crate::catalog::DocId;
 use crate::document::Document;
 
+/// Cached value indexes, keyed by `(document, pattern key)` and stored
+/// with the pattern so the delta machinery can re-match touched nodes.
+type ValueCache = HashMap<(DocId, String), (PathPattern, Arc<ValueIndex>)>;
+/// Cached composite indexes, keyed by `(document, spec cache key)`.
+type CompositeCache = HashMap<(DocId, String), (CompositeSpec, Arc<CompositeValueIndex>)>;
+
 /// Registry of lazily built indexes for the documents of one
 /// [`crate::Catalog`]. Interior mutability keeps the catalog shareable
 /// by `&` during query execution (the engine holds `&Catalog`).
+///
+/// Each cache entry remembers the pattern/spec it was built for, so the
+/// update path ([`delta`]) can decide which indexes a touched subtree
+/// affects and apply posting-list deltas in place.
 #[derive(Default)]
 pub struct IndexCatalog {
     paths: RwLock<HashMap<DocId, Arc<PathIndex>>>,
-    values: RwLock<HashMap<(DocId, String), Arc<ValueIndex>>>,
-    composites: RwLock<HashMap<(DocId, String), Arc<CompositeValueIndex>>>,
+    values: RwLock<ValueCache>,
+    composites: RwLock<CompositeCache>,
+    /// Per-document update epoch: bumped on every applied delta and on
+    /// every invalidation (re-registration, rebalance). Monotonic across
+    /// document replacement, unlike [`Document::epoch`].
+    epochs: RwLock<HashMap<DocId, u64>>,
+    mode: RwLock<MaintenanceMode>,
+    stats: RwLock<MaintenanceStats>,
 }
 
 impl IndexCatalog {
+    /// An empty registry (no indexes built).
     pub fn new() -> IndexCatalog {
         IndexCatalog::default()
     }
@@ -59,6 +85,8 @@ impl IndexCatalog {
             return idx.clone();
         }
         let built = Arc::new(PathIndex::build(doc));
+        let s = built.stats();
+        self.record_build((s.element_entries + s.attribute_entries) as u64);
         let mut w = self.paths.write().expect("index lock");
         // A racing builder may have won; keep the first one registered.
         w.entry(id).or_insert(built).clone()
@@ -74,13 +102,14 @@ impl IndexCatalog {
         pattern: &PathPattern,
     ) -> Option<Arc<ValueIndex>> {
         let key = (id, pattern.key());
-        if let Some(idx) = self.values.read().expect("index lock").get(&key) {
+        if let Some((_, idx)) = self.values.read().expect("index lock").get(&key) {
             return Some(idx.clone());
         }
         let nodes = self.path_index(id, doc).lookup(pattern)?;
         let built = Arc::new(ValueIndex::build(doc, &nodes));
+        self.record_build(built.len() as u64);
         let mut w = self.values.write().expect("index lock");
-        Some(w.entry(key).or_insert(built).clone())
+        Some(w.entry(key).or_insert((pattern.clone(), built)).1.clone())
     }
 
     /// The composite value index of `(id, spec)`, building it on first
@@ -93,16 +122,19 @@ impl IndexCatalog {
         spec: &CompositeSpec,
     ) -> Option<Arc<CompositeValueIndex>> {
         let key = (id, spec.cache_key());
-        if let Some(idx) = self.composites.read().expect("index lock").get(&key) {
+        if let Some((_, idx)) = self.composites.read().expect("index lock").get(&key) {
             return Some(idx.clone());
         }
         let primary = self.path_index(id, doc).lookup(&spec.primary)?;
         let built = Arc::new(CompositeValueIndex::build(doc, &primary, spec));
+        self.record_build(built.len() as u64);
         let mut w = self.composites.write().expect("index lock");
-        Some(w.entry(key).or_insert(built).clone())
+        Some(w.entry(key).or_insert((spec.clone(), built)).1.clone())
     }
 
-    /// Drop every cached index of `id` (URI re-registration).
+    /// Drop every cached index of `id` (URI re-registration, ordering
+    /// rebalance, or an update in [`MaintenanceMode::Rebuild`]). Bumps
+    /// the document's epoch.
     pub fn invalidate(&self, id: DocId) {
         self.paths.write().expect("index lock").remove(&id);
         self.values
@@ -113,6 +145,56 @@ impl IndexCatalog {
             .write()
             .expect("index lock")
             .retain(|(doc, _), _| *doc != id);
+        self.bump_epoch(id);
+    }
+
+    /// The document's index epoch: how many times its cached indexes
+    /// have been delta-maintained or invalidated. Consumers holding
+    /// epoch-stamped state (compiled access recipes, memoized
+    /// statistics) compare against this to detect staleness.
+    pub fn epoch(&self, id: DocId) -> u64 {
+        self.epochs
+            .read()
+            .expect("epoch lock")
+            .get(&id)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn bump_epoch(&self, id: DocId) {
+        *self
+            .epochs
+            .write()
+            .expect("epoch lock")
+            .entry(id)
+            .or_insert(0) += 1;
+    }
+
+    /// How updates maintain built indexes (delta vs. rebuild).
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        *self.mode.read().expect("mode lock")
+    }
+
+    /// Select the maintenance strategy (the bench harness's `update`
+    /// ablation switches this to compare deltas against rebuilds).
+    pub fn set_maintenance_mode(&self, mode: MaintenanceMode) {
+        *self.mode.write().expect("mode lock") = mode;
+    }
+
+    /// Cumulative build/maintenance posting counters.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        *self.stats.read().expect("stats lock")
+    }
+
+    /// Reset the counters (per-phase bench accounting).
+    pub fn reset_maintenance_stats(&self) {
+        *self.stats.write().expect("stats lock") = MaintenanceStats::default();
+    }
+
+    fn record_build(&self, postings: u64) {
+        let mut s = self.stats.write().expect("stats lock");
+        s.full_builds += 1;
+        s.postings_built += postings;
     }
 
     /// Number of built path indexes (observability / tests).
@@ -162,6 +244,9 @@ mod tests {
         let v2 = cat.value_index(id, &x_pattern()).unwrap();
         assert!(Arc::ptr_eq(&v1, &v2), "value index must be cached");
         assert_eq!(v1.len(), 2);
+        let stats = cat.indexes().maintenance_stats();
+        assert_eq!(stats.full_builds, 2, "one path + one value build");
+        assert!(stats.postings_built >= 5, "3 path + 2 value postings");
     }
 
     #[test]
@@ -170,7 +255,9 @@ mod tests {
         let id = cat.by_uri("a.xml").unwrap();
         let before = cat.value_index(id, &x_pattern()).unwrap();
         assert_eq!(before.len(), 2);
+        let epoch = cat.indexes().epoch(id);
         cat.register(parse_document("a.xml", "<r><x>1</x></r>").unwrap());
+        assert!(cat.indexes().epoch(id) > epoch, "invalidation bumps epoch");
         let after = cat.value_index(id, &x_pattern()).unwrap();
         assert_eq!(after.len(), 1, "stale index must be dropped");
     }

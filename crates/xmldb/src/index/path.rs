@@ -38,10 +38,12 @@ pub enum PatternStep {
 /// [`PathIndex`] without touching the document tree.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct PathPattern {
+    /// The pattern's steps, outermost first.
     pub steps: Vec<PatternStep>,
 }
 
 impl PathPattern {
+    /// A pattern from its steps.
     pub fn new(steps: Vec<PatternStep>) -> PathPattern {
         PathPattern { steps }
     }
@@ -63,6 +65,30 @@ impl PathPattern {
             && self.steps[..self.steps.len() - 1]
                 .iter()
                 .all(|s| !matches!(s, PatternStep::Attribute(_)))
+    }
+
+    /// Does this (element-selecting) pattern match an element with the
+    /// absolute label path `segs` (`["bib", "book", "author"]`)? `false`
+    /// for attribute-final or unresolvable patterns. The incremental
+    /// index maintenance uses this to decide which cached value indexes
+    /// a touched node belongs to.
+    pub fn matches_element_path(&self, segs: &[&str]) -> bool {
+        self.is_resolvable() && !self.selects_attributes() && self.matches_elements(segs)
+    }
+
+    /// Does this (attribute-final) pattern match an attribute named
+    /// `name` whose owner element has the label path `owner_segs`?
+    /// `false` for element-selecting or unresolvable patterns.
+    pub fn matches_attribute(&self, owner_segs: &[&str], name: &str) -> bool {
+        if !self.is_resolvable() || self.steps.len() < 2 {
+            return false;
+        }
+        match self.steps.last() {
+            Some(PatternStep::Attribute(test)) => {
+                name_matches(test, name) && self.matches_elements(owner_segs)
+            }
+            _ => false,
+        }
     }
 
     /// Match the element steps against an absolute label path
@@ -136,6 +162,7 @@ pub struct PathIndexStats {
 }
 
 /// The document-order path index of one document.
+#[derive(Clone)]
 pub struct PathIndex {
     /// Distinct element label paths, each with its posting list in
     /// document order. Paths are stored pre-split for matching.
@@ -242,6 +269,87 @@ impl PathIndex {
         self.lookup(pattern).map(|nodes| nodes.len())
     }
 
+    // -----------------------------------------------------------------
+    // Incremental maintenance
+    // -----------------------------------------------------------------
+    //
+    // Posting lists are ordered by `NodeId` — and NodeId order is
+    // document order even after updates (gap-based ordering keys) — so a
+    // delta is a binary-search insert/remove per touched node, never a
+    // rebuild. Each method returns the number of postings written or
+    // removed (the maintained-postings counter the `update` bench
+    // ablation compares against full rebuilds).
+
+    /// Add a newly inserted element with label path `trail` to its path
+    /// and tag posting lists.
+    pub fn insert_element(&mut self, trail: &[String], node: NodeId) -> usize {
+        let slot = match self.paths.iter().position(|(p, _)| p == trail) {
+            Some(i) => i,
+            None => {
+                self.paths.push((trail.to_vec(), Vec::new()));
+                self.paths.len() - 1
+            }
+        };
+        ordered_insert(&mut self.paths[slot].1, node);
+        let tag = trail.last().expect("element trails are non-empty");
+        ordered_insert(self.by_tag.entry(tag.clone()).or_default(), node);
+        2
+    }
+
+    /// Remove a deleted element from its path and tag posting lists.
+    pub fn remove_element(&mut self, trail: &[String], node: NodeId) -> usize {
+        let mut removed = 0;
+        if let Some(i) = self.paths.iter().position(|(p, _)| p == trail) {
+            removed += ordered_remove(&mut self.paths[i].1, node);
+            if self.paths[i].1.is_empty() {
+                self.paths.remove(i);
+            }
+        }
+        let tag = trail.last().expect("element trails are non-empty");
+        if let Some(list) = self.by_tag.get_mut(tag.as_str()) {
+            removed += ordered_remove(list, node);
+            if list.is_empty() {
+                self.by_tag.remove(tag.as_str());
+            }
+        }
+        removed
+    }
+
+    /// Add a newly inserted attribute (owner label path + attribute
+    /// name) to its posting list.
+    pub fn insert_attribute(&mut self, owner_trail: &[String], name: &str, node: NodeId) -> usize {
+        let slot = match self
+            .attrs
+            .iter()
+            .position(|(p, a, _)| p == owner_trail && a == name)
+        {
+            Some(i) => i,
+            None => {
+                self.attrs
+                    .push((owner_trail.to_vec(), name.to_string(), Vec::new()));
+                self.attrs.len() - 1
+            }
+        };
+        ordered_insert(&mut self.attrs[slot].2, node);
+        1
+    }
+
+    /// Remove a deleted attribute from its posting list.
+    pub fn remove_attribute(&mut self, owner_trail: &[String], name: &str, node: NodeId) -> usize {
+        let mut removed = 0;
+        if let Some(i) = self
+            .attrs
+            .iter()
+            .position(|(p, a, _)| p == owner_trail && a == name)
+        {
+            removed += ordered_remove(&mut self.attrs[i].2, node);
+            if self.attrs[i].2.is_empty() {
+                self.attrs.remove(i);
+            }
+        }
+        removed
+    }
+
     /// Index size statistics.
     pub fn stats(&self) -> PathIndexStats {
         PathIndexStats {
@@ -249,6 +357,27 @@ impl PathIndex {
             element_entries: self.paths.iter().map(|(_, ns)| ns.len()).sum(),
             attribute_entries: self.attrs.iter().map(|(_, _, ns)| ns.len()).sum(),
         }
+    }
+}
+
+/// Binary-search insert into an ascending (document-order) posting
+/// list; idempotent for an already-present node.
+pub(crate) fn ordered_insert(list: &mut Vec<NodeId>, node: NodeId) {
+    let pos = list.partition_point(|&n| n < node);
+    if list.get(pos) != Some(&node) {
+        list.insert(pos, node);
+    }
+}
+
+/// Binary-search removal from an ascending posting list; returns the
+/// number of postings removed (0 or 1).
+pub(crate) fn ordered_remove(list: &mut Vec<NodeId>, node: NodeId) -> usize {
+    let pos = list.partition_point(|&n| n < node);
+    if list.get(pos) == Some(&node) {
+        list.remove(pos);
+        1
+    } else {
+        0
     }
 }
 

@@ -46,11 +46,13 @@ pub enum ValueKey {
     /// NULL — present for completeness; never stored (NULL keys match
     /// nothing) and probes with it always miss.
     Null,
+    /// A boolean key (`false < true`).
     Bool(bool),
     /// A numeric key, stored as order-preserving bits of the
     /// (zero-canonicalized, non-NaN) `f64` value so that derived `Ord`
     /// equals IEEE order.
     Num(u64),
+    /// A string key, ordered lexicographically.
     Str(String),
     /// Non-atomic leftovers by canonical rendering (sequences etc.).
     Other(String),
@@ -117,8 +119,11 @@ impl fmt::Display for ValueKey {
     }
 }
 
-/// An ordered value index over a fixed node set (typically the result of
-/// a [`super::PathIndex`] lookup for one path pattern).
+/// An ordered value index over the node set of one path pattern
+/// (typically the result of a [`super::PathIndex`] lookup), maintained
+/// incrementally under document updates by the catalog's delta
+/// machinery ([`ValueIndex::insert_node`] / [`ValueIndex::remove_node`]).
+#[derive(Clone)]
 pub struct ValueIndex {
     entries: BTreeMap<ValueKey, Vec<NodeId>>,
     /// Numeric view: order bits of the parsed string value → nodes, for
@@ -154,6 +159,53 @@ impl ValueIndex {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Incremental maintenance
+    // -----------------------------------------------------------------
+
+    /// Add one node with atomized string value `value` (both the string
+    /// map and, when the value parses numerically, the numeric view).
+    /// Posting lists stay in document order by binary insert — `NodeId`
+    /// order survives updates thanks to the gap-based ordering keys.
+    /// Returns the number of postings written.
+    pub fn insert_node(&mut self, value: String, node: NodeId) -> usize {
+        let mut written = 1;
+        if let Ok(v) = value.trim().parse::<f64>() {
+            if let ValueKey::Num(bits) = ValueKey::num(v) {
+                super::path::ordered_insert(self.numeric.entry(bits).or_default(), node);
+                written += 1;
+            }
+        }
+        super::path::ordered_insert(self.entries.entry(ValueKey::Str(value)).or_default(), node);
+        self.total_nodes += 1;
+        written
+    }
+
+    /// Remove one node whose (pre-update) atomized string value was
+    /// `value`. Returns the number of postings removed.
+    pub fn remove_node(&mut self, value: &str, node: NodeId) -> usize {
+        let mut removed = 0;
+        let key = ValueKey::Str(value.to_string());
+        if let Some(list) = self.entries.get_mut(&key) {
+            removed += super::path::ordered_remove(list, node);
+            if list.is_empty() {
+                self.entries.remove(&key);
+            }
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            if let ValueKey::Num(bits) = ValueKey::num(v) {
+                if let Some(list) = self.numeric.get_mut(&bits) {
+                    removed += super::path::ordered_remove(list, node);
+                    if list.is_empty() {
+                        self.numeric.remove(&bits);
+                    }
+                }
+            }
+        }
+        self.total_nodes = self.total_nodes.saturating_sub(1);
+        removed
+    }
+
     /// Posting list of `key`, in document order. Empty for misses and for
     /// unmatchable (NULL) probes.
     pub fn get(&self, key: &ValueKey) -> &[NodeId] {
@@ -178,6 +230,7 @@ impl ValueIndex {
         self.total_nodes
     }
 
+    /// `true` when no node is indexed.
     pub fn is_empty(&self) -> bool {
         self.total_nodes == 0
     }
@@ -205,6 +258,30 @@ impl ValueIndex {
     ///   against the stored keys and select nothing;
     /// * two unbounded ends return every indexed node (in document
     ///   order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::ops::Bound;
+    /// use xmldb::{parse_document, PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey};
+    ///
+    /// let doc = parse_document("p.xml", "<r><v>10</v><v>2</v><v>30</v><v>abc</v></r>").unwrap();
+    /// let nodes = PathIndex::build(&doc)
+    ///     .lookup(&PathPattern::new(vec![PatternStep::Descendant(Some("v".into()))]))
+    ///     .unwrap();
+    /// let idx = ValueIndex::build(&doc, &nodes);
+    ///
+    /// // Numeric bounds probe the numeric view: parsed values, IEEE order.
+    /// let small = idx.range(Bound::Unbounded, Bound::Included(&ValueKey::num(10.0)));
+    /// assert_eq!(small.len(), 2); // 2 and 10; "abc" is not in the view
+    ///
+    /// // String bounds are lexicographic over every node's string value.
+    /// let lex = idx.range(
+    ///     Bound::Included(&ValueKey::Str("1".into())),
+    ///     Bound::Excluded(&ValueKey::Str("3".into())),
+    /// );
+    /// assert_eq!(lex.len(), 2); // "10" and "2" sort inside ["1", "3")
+    /// ```
     pub fn range(&self, lo: Bound<&ValueKey>, hi: Bound<&ValueKey>) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self.range_iter(lo, hi).collect();
         out.sort_unstable();
@@ -284,7 +361,10 @@ pub enum KeyComponent {
 /// document node, for doc-rooted members).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemberSpec {
+    /// Parent hops from the primary node to the anchor (`None`: the
+    /// document node).
     pub levels: Option<usize>,
+    /// Relative pattern evaluated from the anchor.
     pub rel: super::path::PathPattern,
 }
 
@@ -295,8 +375,11 @@ pub struct MemberSpec {
 /// uses (the join's key list order, which need not equal chain order).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompositeSpec {
+    /// Absolute pattern of the primary key column.
     pub primary: super::path::PathPattern,
+    /// Member columns, in chain order.
     pub members: Vec<MemberSpec>,
+    /// Key component order (the join's key-list order).
     pub key: Vec<KeyComponent>,
 }
 
@@ -325,9 +408,16 @@ impl CompositeSpec {
 /// One posting entry of a composite key: the primary node plus the
 /// member nodes (chain order) that produced the key — everything a probe
 /// needs to reconstruct the original build row.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The derived ordering — `(primary, members)` lexicographically, i.e.
+/// document order of the primary then of each member in chain order —
+/// *is* build-row order, which is what lets incremental maintenance
+/// binary-insert new entries into a posting list instead of rebuilding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CompositeEntry {
+    /// The primary key column's node.
     pub primary: NodeId,
+    /// Member column nodes, in chain order.
     pub members: Vec<NodeId>,
 }
 
@@ -343,83 +433,143 @@ pub struct CompositeEntry {
 /// design — exactly the hash operators' typed-key behaviour, and NaN /
 /// `-0.0` probe components canonicalize through [`ValueKey::num`] like
 /// every other access path (NaN → the unmatchable NULL key).
+#[derive(Clone)]
 pub struct CompositeValueIndex {
     entries: BTreeMap<Vec<ValueKey>, Vec<CompositeEntry>>,
     total_rows: usize,
 }
 
+/// The composite `(key, entry)` rows one primary node contributes under
+/// `spec`: the cross product of its member columns, nested in chain
+/// order (member 0 varies slowest) — mirroring the `Υ` nesting of the
+/// replaced build side, so the rows come out in build-row order. A
+/// primary whose member evaluation is empty (or whose anchor walk runs
+/// past the root) contributes nothing, exactly as the scan build's
+/// empty `Υ` fan-out drops the row.
+///
+/// Shared by [`CompositeValueIndex::build`] and the incremental
+/// maintenance, which re-derives exactly the *affected* primaries'
+/// rows after an update instead of rebuilding the index.
+pub fn entries_for_primary(
+    doc: &Document,
+    p: NodeId,
+    spec: &CompositeSpec,
+) -> Vec<(Vec<ValueKey>, CompositeEntry)> {
+    let member_lists: Option<Vec<Vec<NodeId>>> = spec
+        .members
+        .iter()
+        .map(|m| {
+            let anchor = match m.levels {
+                None => Some(NodeId::DOCUMENT),
+                Some(l) => super::ancestor::nth_parent(doc, p, l),
+            };
+            anchor.map(|a| super::ancestor::eval_relative(doc, a, &m.rel))
+        })
+        .collect();
+    let Some(member_lists) = member_lists else {
+        return Vec::new();
+    };
+    if member_lists.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let primary_value = doc.string_value(p);
+    let mut out = Vec::new();
+    let mut combo = vec![0usize; member_lists.len()];
+    loop {
+        let members: Vec<NodeId> = member_lists
+            .iter()
+            .zip(&combo)
+            .map(|(list, &i)| list[i])
+            .collect();
+        let key: Vec<ValueKey> = spec
+            .key
+            .iter()
+            .map(|c| match c {
+                KeyComponent::Primary => ValueKey::Str(primary_value.clone()),
+                KeyComponent::Member(i) => ValueKey::Str(doc.string_value(members[*i])),
+            })
+            .collect();
+        out.push((
+            key,
+            CompositeEntry {
+                primary: p,
+                members,
+            },
+        ));
+        // Advance the cross product, innermost (last) member first.
+        let mut level = member_lists.len();
+        loop {
+            if level == 0 {
+                break;
+            }
+            level -= 1;
+            combo[level] += 1;
+            if combo[level] < member_lists[level].len() {
+                break;
+            }
+            combo[level] = 0;
+        }
+        if combo.iter().all(|&i| i == 0) {
+            break;
+        }
+    }
+    out
+}
+
 impl CompositeValueIndex {
     /// Index the cross product of member columns under each primary node
-    /// (`primary_nodes` must be in document order). Member lists nest in
-    /// chain order — member 0 varies slowest — mirroring the `Υ` nesting
-    /// of the replaced build side, so each posting list is in build-row
-    /// order. A primary node whose member evaluation is empty (or whose
-    /// anchor walk runs past the root) contributes nothing, exactly as
-    /// the scan build's empty `Υ` fan-out drops the row.
+    /// (`primary_nodes` must be in document order); see
+    /// [`entries_for_primary`] for the per-primary row derivation and
+    /// ordering.
     pub fn build(doc: &Document, primary_nodes: &[NodeId], spec: &CompositeSpec) -> Self {
         let mut entries: BTreeMap<Vec<ValueKey>, Vec<CompositeEntry>> = BTreeMap::new();
         let mut total_rows = 0usize;
         for &p in primary_nodes {
-            let member_lists: Option<Vec<Vec<NodeId>>> = spec
-                .members
-                .iter()
-                .map(|m| {
-                    let anchor = match m.levels {
-                        None => Some(NodeId::DOCUMENT),
-                        Some(l) => super::ancestor::nth_parent(doc, p, l),
-                    };
-                    anchor.map(|a| super::ancestor::eval_relative(doc, a, &m.rel))
-                })
-                .collect();
-            let Some(member_lists) = member_lists else {
-                continue;
-            };
-            if member_lists.iter().any(Vec::is_empty) {
-                continue;
-            }
-            let primary_value = doc.string_value(p);
-            let mut combo = vec![0usize; member_lists.len()];
-            loop {
-                let members: Vec<NodeId> = member_lists
-                    .iter()
-                    .zip(&combo)
-                    .map(|(list, &i)| list[i])
-                    .collect();
-                let key: Vec<ValueKey> = spec
-                    .key
-                    .iter()
-                    .map(|c| match c {
-                        KeyComponent::Primary => ValueKey::Str(primary_value.clone()),
-                        KeyComponent::Member(i) => ValueKey::Str(doc.string_value(members[*i])),
-                    })
-                    .collect();
-                entries.entry(key).or_default().push(CompositeEntry {
-                    primary: p,
-                    members,
-                });
+            for (key, entry) in entries_for_primary(doc, p, spec) {
+                entries.entry(key).or_default().push(entry);
                 total_rows += 1;
-                // Advance the cross product, innermost (last) member first.
-                let mut level = member_lists.len();
-                loop {
-                    if level == 0 {
-                        break;
-                    }
-                    level -= 1;
-                    combo[level] += 1;
-                    if combo[level] < member_lists[level].len() {
-                        break;
-                    }
-                    combo[level] = 0;
-                }
-                if combo.iter().all(|&i| i == 0) {
-                    break;
-                }
             }
         }
         CompositeValueIndex {
             entries,
             total_rows,
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Incremental maintenance
+    // -----------------------------------------------------------------
+
+    /// Add one `(key, entry)` row, keeping the posting list in build-row
+    /// order ([`CompositeEntry`]'s derived ordering) by binary insert.
+    /// Returns the number of postings written (1).
+    pub fn insert_entry(&mut self, key: Vec<ValueKey>, entry: CompositeEntry) -> usize {
+        let list = self.entries.entry(key).or_default();
+        let pos = list.partition_point(|e| *e < entry);
+        if list.get(pos) == Some(&entry) {
+            return 0;
+        }
+        list.insert(pos, entry);
+        self.total_rows += 1;
+        1
+    }
+
+    /// Remove one previously indexed `(key, entry)` row. Returns the
+    /// number of postings removed (0 or 1).
+    pub fn remove_entry(&mut self, key: &[ValueKey], entry: &CompositeEntry) -> usize {
+        let Some(list) = self.entries.get_mut(key) else {
+            return 0;
+        };
+        let pos = list.partition_point(|e| e < entry);
+        if list.get(pos) != Some(entry) {
+            return 0;
+        }
+        list.remove(pos);
+        if list.is_empty() {
+            self.entries.remove(key);
+        }
+        self.total_rows -= 1;
+        1
     }
 
     /// Posting entries of a composite key, in build-row order. Empty for
@@ -441,6 +591,7 @@ impl CompositeValueIndex {
         self.total_rows
     }
 
+    /// `true` when no build row is indexed.
     pub fn is_empty(&self) -> bool {
         self.total_rows == 0
     }

@@ -14,10 +14,18 @@
 //!   six workloads (Fig. 5 / Fig. 6), and
 //! * a [`Catalog`] mapping document URIs (`"bib.xml"`) to loaded documents.
 //!
-//! The store is immutable after construction: documents are built once (by
-//! the parser or a generator) and then only read by the query engine. That
-//! is exactly the regime of the paper's experiments, where the database
-//! cache is configured to hold the queried documents.
+//! The store is **mutable**: documents are built once (by the parser or a
+//! generator), read by the query engine during execution, and updated
+//! *between* executions through [`Document::insert_subtree`],
+//! [`Document::delete_subtree`], and [`Document::replace_text`] — or
+//! their [`Catalog`] wrappers, which additionally keep the built indexes
+//! and statistics consistent via posting-list deltas
+//! ([`index::delta`]). Gap-based ordering keys keep [`NodeId`]
+//! comparison equal to document order across mid-document inserts
+//! without renumbering the arena; see `docs/ARCHITECTURE.md` for the
+//! full invariant story.
+
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod document;
@@ -31,11 +39,12 @@ pub mod serializer;
 pub mod stats;
 
 pub use catalog::{Catalog, DocId};
-pub use document::{Document, DocumentBuilder};
+pub use document::{Document, DocumentBuilder, UpdateError};
 pub use dtd::{AttDef, ContentParticle, ContentSpec, Dtd, ElementDecl, Repetition};
 pub use index::{
     AncestorChainSpec, CompositeEntry, CompositeSpec, CompositeValueIndex, IndexCatalog,
-    KeyComponent, MemberSpec, PathIndex, PathPattern, PatternStep, ValueIndex, ValueKey,
+    KeyComponent, MaintenanceMode, MaintenanceStats, MemberSpec, PathIndex, PathPattern,
+    PatternStep, ValueIndex, ValueKey,
 };
 pub use node::{NodeId, NodeKind};
 pub use parser::{parse_document, ParseError};

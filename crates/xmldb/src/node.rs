@@ -1,43 +1,82 @@
 //! Node handles and node kinds.
 //!
-//! A [`NodeId`] is an index into the owning document's arena. Nodes are
-//! allocated in document order, so comparing two `NodeId`s of the same
-//! document compares their document order — the property the
-//! order-preserving algebra relies on.
+//! A [`NodeId`] pairs an index into the owning document's arena with a
+//! **gap-based ordering key**. Comparing two `NodeId`s of the same
+//! document compares their ordering keys — which the store maintains so
+//! that key order *is* document order, even after mid-document inserts —
+//! the property the order-preserving algebra relies on.
 
 use std::fmt;
 
+/// Spacing between the ordering keys of consecutively built nodes.
+///
+/// The builder (and every full renumbering) assigns keys `slot × 2³²`,
+/// leaving a 2³²-wide gap between document-order neighbours. A
+/// mid-document insert takes keys from the enclosing gap; splitting one
+/// gap repeatedly in the same place halves it each time, so ~32 such
+/// inserts exhaust it and trigger a local rebalance
+/// (see `Document::insert_subtree`).
+pub(crate) const ORDER_STRIDE: u64 = 1 << 32;
+
 /// Handle to a node within a [`crate::Document`].
 ///
-/// Internally an arena index. `NodeId(0)` is always the document node.
-/// Because the parser and the generators allocate nodes in document order,
-/// `a < b` iff `a` precedes `b` in document order (attributes are ordered
-/// immediately after their owner element, before its children, matching the
-/// XPath data model closely enough for this project).
+/// Internally an arena slot plus the node's gap-based **ordering key**.
+/// The store maintains the invariant that for two live nodes of the same
+/// document, `a < b` iff `a` precedes `b` in document order (attributes
+/// are ordered immediately after their owner element, before its
+/// children, matching the XPath data model closely enough for this
+/// project). Immutable documents get keys in build order; the update API
+/// ([`crate::Document::insert_subtree`]) allocates keys from the gaps so
+/// the invariant survives mid-document inserts without renumbering the
+/// arena.
+///
+/// A `NodeId` is a *snapshot* handle: deleting its subtree, or a gap
+/// rebalance renumbering its region, invalidates outstanding ids (the
+/// catalog bumps the document's epochs so cached consumers notice).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub(crate) u32);
+pub struct NodeId {
+    /// Gap-based ordering key; compared first, so derived ordering is
+    /// document order.
+    pub(crate) order: u64,
+    /// Arena slot (stable for the node's lifetime; never reused).
+    pub(crate) slot: u32,
+}
 
 impl NodeId {
-    /// The document node of every document.
-    pub const DOCUMENT: NodeId = NodeId(0);
+    /// The document node of every document (slot 0, ordering key 0 — the
+    /// minimum; rebalances never renumber it).
+    pub const DOCUMENT: NodeId = NodeId { order: 0, slot: 0 };
 
-    /// Raw arena index.
+    /// Raw arena slot.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.slot as usize
     }
 
-    /// Construct from a raw arena index. Intended for the document builder
-    /// and tests; an out-of-range id will panic on first use.
+    /// Construct the handle a *never-mutated* document gives slot `i`:
+    /// build order is document order, so the key is `i ×` the build
+    /// stride. Intended for the document builder and tests; after
+    /// updates, obtain handles by navigation instead (an out-of-range or
+    /// stale id misbehaves on first use).
     #[inline]
     pub fn from_index(i: usize) -> NodeId {
-        NodeId(u32::try_from(i).expect("document too large: more than u32::MAX nodes"))
+        let slot = u32::try_from(i).expect("document too large: more than u32::MAX nodes");
+        NodeId {
+            order: (slot as u64) * ORDER_STRIDE,
+            slot,
+        }
+    }
+
+    /// Construct from an arena slot and its current ordering key.
+    #[inline]
+    pub(crate) fn new(slot: u32, order: u64) -> NodeId {
+        NodeId { order, slot }
     }
 }
 
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
+        write!(f, "n{}", self.slot)
     }
 }
 
@@ -70,16 +109,19 @@ impl NodeKind {
         }
     }
 
+    /// `true` for element nodes.
     #[inline]
     pub fn is_element(self) -> bool {
         matches!(self, NodeKind::Element(_))
     }
 
+    /// `true` for attribute nodes.
     #[inline]
     pub fn is_attribute(self) -> bool {
         matches!(self, NodeKind::Attribute(_))
     }
 
+    /// `true` for text nodes.
     #[inline]
     pub fn is_text(self) -> bool {
         matches!(self, NodeKind::Text)
@@ -94,6 +136,8 @@ impl NodeKind {
 #[derive(Clone, Debug)]
 pub(crate) struct NodeData {
     pub kind: NodeKind,
+    /// The node's current gap-based ordering key (document order).
+    pub order: u64,
     pub parent: u32,
     pub first_child: u32,
     pub last_child: u32,
@@ -101,6 +145,9 @@ pub(crate) struct NodeData {
     pub prev_sibling: u32,
     /// First attribute node (elements only).
     pub first_attr: u32,
+    /// `false` once the node's subtree has been deleted; dead slots are
+    /// unreachable by navigation and never reused.
+    pub live: bool,
     /// Text content for `Text` and `Attribute` nodes; empty otherwise.
     pub text: Box<str>,
 }
@@ -111,12 +158,14 @@ impl NodeData {
     pub(crate) fn new(kind: NodeKind) -> NodeData {
         NodeData {
             kind,
+            order: 0,
             parent: NONE,
             first_child: NONE,
             last_child: NONE,
             next_sibling: NONE,
             prev_sibling: NONE,
             first_attr: NONE,
+            live: true,
             text: "".into(),
         }
     }
@@ -131,6 +180,15 @@ mod tests {
         assert!(NodeId::from_index(1) < NodeId::from_index(2));
         assert_eq!(NodeId::DOCUMENT, NodeId::from_index(0));
         assert_eq!(NodeId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn node_id_orders_by_key_not_slot() {
+        // After an insert, a high-slot node can sit early in document
+        // order: the ordering key decides the comparison.
+        let early = NodeId::new(90, 5 * ORDER_STRIDE);
+        let late = NodeId::new(3, 7 * ORDER_STRIDE);
+        assert!(early < late);
     }
 
     #[test]

@@ -14,7 +14,9 @@ use crate::dtd::Dtd;
 /// Parse error with byte offset and a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// Byte offset of the failure in the input.
     pub offset: usize,
+    /// Human-readable description.
     pub message: String,
 }
 

@@ -31,6 +31,7 @@ pub struct Occurrence {
 }
 
 impl Occurrence {
+    /// Zero occurrences (absent).
     pub const ZERO: Occurrence = Occurrence {
         min: 0,
         many: false,

@@ -1,0 +1,357 @@
+//! Incremental index maintenance: after any sequence of catalog-level
+//! updates, every cached (delta-maintained) index must be
+//! indistinguishable from one rebuilt from scratch on the post-update
+//! document — same posting lists, same key spaces, same composite rows.
+//!
+//! Also the rebalance regression: inserts that exhaust an ordering-key
+//! gap renumber a local region, after which cached indexes must be
+//! dropped (their stored `NodeId`s carry stale keys) and document order
+//! must still equal `NodeId` order.
+
+use proptest::prelude::*;
+
+use xmldb::index::{
+    CompositeSpec, CompositeValueIndex, KeyComponent, MemberSpec, PathIndex, PathPattern,
+    PatternStep, ValueIndex,
+};
+use xmldb::{parse_document, Catalog, DocId, Document, MaintenanceMode, NodeId, NodeKind};
+
+fn desc(n: &str) -> PatternStep {
+    PatternStep::Descendant(Some(n.into()))
+}
+
+fn child(n: &str) -> PatternStep {
+    PatternStep::Child(Some(n.into()))
+}
+
+fn attr(n: &str) -> PatternStep {
+    PatternStep::Attribute(Some(n.into()))
+}
+
+fn pat(steps: &[PatternStep]) -> PathPattern {
+    PathPattern::new(steps.to_vec())
+}
+
+/// The patterns this suite keeps cached across updates.
+fn patterns() -> Vec<PathPattern> {
+    vec![
+        pat(&[desc("book")]),
+        pat(&[desc("title")]),
+        pat(&[desc("book"), child("title")]),
+        pat(&[desc("last")]),
+        pat(&[desc("book"), attr("year")]),
+    ]
+}
+
+fn composite_spec() -> CompositeSpec {
+    CompositeSpec {
+        primary: pat(&[desc("book"), child("title")]),
+        members: vec![MemberSpec {
+            levels: Some(1),
+            rel: pat(&[attr("year")]),
+        }],
+        key: vec![KeyComponent::Primary, KeyComponent::Member(0)],
+    }
+}
+
+/// Assert every cached index equals a fresh build over the current
+/// document state.
+fn assert_indexes_fresh(cat: &Catalog, id: DocId) {
+    let doc = cat.doc(id);
+    let fresh_path = PathIndex::build(doc);
+    let cached_path = cat.path_index(id);
+    assert_eq!(cached_path.stats(), fresh_path.stats(), "path index stats");
+    for p in patterns() {
+        let cached = cached_path.lookup(&p).unwrap();
+        let fresh = fresh_path.lookup(&p).unwrap();
+        assert_eq!(cached, fresh, "path postings for `{p}`");
+        // Value index: identical key space and posting lists.
+        let cached_v = cat.value_index(id, &p).unwrap();
+        let fresh_v = ValueIndex::build(doc, &fresh);
+        let cv: Vec<_> = cached_v
+            .iter()
+            .map(|(k, ns)| (k.clone(), ns.to_vec()))
+            .collect();
+        let fv: Vec<_> = fresh_v
+            .iter()
+            .map(|(k, ns)| (k.clone(), ns.to_vec()))
+            .collect();
+        assert_eq!(cv, fv, "value index for `{p}`");
+        assert_eq!(cached_v.len(), fresh_v.len(), "value index size for `{p}`");
+    }
+    let spec = composite_spec();
+    let cached_c = cat.composite_index(id, &spec).unwrap();
+    let fresh_c =
+        CompositeValueIndex::build(doc, &fresh_path.lookup(&spec.primary).unwrap(), &spec);
+    let cc: Vec<_> = cached_c
+        .iter()
+        .map(|(k, es)| (k.to_vec(), es.to_vec()))
+        .collect();
+    let fc: Vec<_> = fresh_c
+        .iter()
+        .map(|(k, es)| (k.to_vec(), es.to_vec()))
+        .collect();
+    assert_eq!(cc, fc, "composite index rows");
+}
+
+fn bib_catalog(xml: &str) -> (Catalog, DocId) {
+    let mut cat = Catalog::new();
+    let id = cat.register(parse_document("bib.xml", xml).unwrap());
+    // Build and cache everything before the updates.
+    for p in patterns() {
+        cat.value_index(id, &p).unwrap();
+    }
+    cat.composite_index(id, &composite_spec()).unwrap();
+    (cat, id)
+}
+
+const BASE: &str = r#"<bib>
+    <book year="1994"><title>TCP/IP</title><author><last>Stevens</last></author></book>
+    <book year="2000"><title>Data on the Web</title>
+      <author><last>Abiteboul</last></author>
+      <author><last>Buneman</last></author>
+    </book>
+    <article><author><last>Suciu</last></author></article>
+  </bib>"#;
+
+fn frag(xml: &str) -> Document {
+    parse_document("frag.xml", xml).unwrap()
+}
+
+#[test]
+fn insert_maintains_all_index_kinds() {
+    let (mut cat, id) = bib_catalog(BASE);
+    let root = cat.doc(id).root_element().unwrap();
+    let second = cat.doc(id).children(root).nth(1).unwrap();
+    let f =
+        frag(r#"<book year="1997"><title>Middle</title><author><last>New</last></author></book>"#);
+    let stats_before = cat.index_maintenance_stats();
+    cat.insert_subtree(id, root, Some(second), &f, f.root_element().unwrap())
+        .unwrap();
+    let stats_after = cat.index_maintenance_stats();
+    assert_eq!(
+        stats_after.full_builds, stats_before.full_builds,
+        "a delta-maintained insert must not rebuild"
+    );
+    assert_eq!(stats_after.delta_updates, stats_before.delta_updates + 1);
+    assert!(stats_after.postings_maintained > stats_before.postings_maintained);
+    assert_indexes_fresh(&cat, id);
+}
+
+#[test]
+fn delete_maintains_all_index_kinds() {
+    let (mut cat, id) = bib_catalog(BASE);
+    let root = cat.doc(id).root_element().unwrap();
+    let first = cat.doc(id).children(root).next().unwrap();
+    cat.delete_subtree(id, first).unwrap();
+    assert_indexes_fresh(&cat, id);
+    // Delete an attribute: only the attribute-pattern postings move.
+    let book = cat.doc(id).children(root).next().unwrap();
+    let year = cat.doc(id).attribute(book, "year").unwrap();
+    cat.delete_subtree(id, year).unwrap();
+    assert_indexes_fresh(&cat, id);
+}
+
+#[test]
+fn replace_text_rekeys_ancestors_and_attributes() {
+    let (mut cat, id) = bib_catalog(BASE);
+    let doc = cat.doc(id).clone();
+    let root = doc.root_element().unwrap();
+    let book = doc.children(root).next().unwrap();
+    let title = doc.children(book).next().unwrap();
+    let text = doc.children(title).next().unwrap();
+    // The title's and the book's string values both change; `//title`,
+    // `//book/title`, `//book`, and the composite key all re-key.
+    cat.replace_text(id, text, "Renamed").unwrap();
+    assert_indexes_fresh(&cat, id);
+    // Attribute text: the `@year` value index and the composite member
+    // column re-key; element values are untouched.
+    let year = cat.doc(id).attribute(book, "year").unwrap();
+    cat.replace_text(id, year, "2024").unwrap();
+    assert_indexes_fresh(&cat, id);
+}
+
+#[test]
+fn doc_rooted_composite_members_fall_back_to_rebuild() {
+    let mut cat = Catalog::new();
+    let id = cat.register(parse_document("bib.xml", BASE).unwrap());
+    let spec = CompositeSpec {
+        primary: pat(&[desc("title")]),
+        members: vec![MemberSpec {
+            levels: None,
+            rel: pat(&[desc("last")]),
+        }],
+        key: vec![KeyComponent::Primary, KeyComponent::Member(0)],
+    };
+    cat.composite_index(id, &spec).unwrap();
+    assert_eq!(cat.indexes().built_composite_indexes(), 1);
+    let root = cat.doc(id).root_element().unwrap();
+    let f = frag("<book year=\"1999\"><title>X</title><author><last>L</last></author></book>");
+    cat.insert_subtree(id, root, None, &f, f.root_element().unwrap())
+        .unwrap();
+    // A doc-rooted member sees every touch: the cached index is dropped
+    // (not wrongly "maintained") and rebuilt correctly on next use.
+    assert_eq!(cat.indexes().built_composite_indexes(), 0);
+    let rebuilt = cat.composite_index(id, &spec).unwrap();
+    let doc = cat.doc(id);
+    let fresh = CompositeValueIndex::build(
+        doc,
+        &PathIndex::build(doc).lookup(&spec.primary).unwrap(),
+        &spec,
+    );
+    let a: Vec<_> = rebuilt
+        .iter()
+        .map(|(k, e)| (k.to_vec(), e.to_vec()))
+        .collect();
+    let b: Vec<_> = fresh
+        .iter()
+        .map(|(k, e)| (k.to_vec(), e.to_vec()))
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn rebuild_mode_invalidates_instead_of_maintaining() {
+    let (mut cat, id) = bib_catalog(BASE);
+    cat.set_index_maintenance(MaintenanceMode::Rebuild);
+    let root = cat.doc(id).root_element().unwrap();
+    let f = frag("<book year=\"1999\"><title>X</title></book>");
+    cat.insert_subtree(id, root, None, &f, f.root_element().unwrap())
+        .unwrap();
+    assert_eq!(cat.indexes().built_path_indexes(), 0, "dropped, not kept");
+    let stats = cat.index_maintenance_stats();
+    assert_eq!(stats.delta_updates, 0);
+    // The rebuilt state is of course also correct.
+    assert_indexes_fresh(&cat, id);
+}
+
+#[test]
+fn rebalance_invalidates_indexes_and_keeps_document_order() {
+    // Regression: splitting the same gap repeatedly must (a) eventually
+    // rebalance, (b) keep NodeId order == document order throughout, and
+    // (c) drop cached indexes at the rebalance (their stored NodeIds
+    // carry pre-rebalance keys).
+    let (mut cat, id) = bib_catalog(BASE);
+    let f = frag("<book year=\"1991\"><title>W</title></book>");
+    let froot = f.root_element().unwrap();
+    let mut saw_rebalance = false;
+    for round in 0..80 {
+        let doc = cat.doc(id).clone();
+        let root = doc.root_element().unwrap();
+        let second = doc.children(root).nth(1).unwrap();
+        let pre_order_epoch = doc.order_epoch();
+        cat.insert_subtree(id, root, Some(second), &f, froot)
+            .unwrap();
+        let post = cat.doc(id);
+        if post.order_epoch() != pre_order_epoch {
+            saw_rebalance = true;
+        }
+        // NodeId order must equal document order after every insert.
+        let all: Vec<NodeId> = post.descendants(NodeId::DOCUMENT).collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted, "round {round}: document order broke");
+        assert_indexes_fresh(&cat, id);
+    }
+    assert!(
+        saw_rebalance,
+        "80 same-gap splits must exhaust the 2^32 gap"
+    );
+}
+
+#[test]
+fn epochs_advance_and_stats_memo_stays_fresh() {
+    let (mut cat, id) = bib_catalog(BASE);
+    let e0 = cat.epoch(id);
+    assert_eq!(cat.stats(id).elements("book"), 2);
+    let root = cat.doc(id).root_element().unwrap();
+    let f = frag("<book year=\"1999\"><title>X</title></book>");
+    cat.insert_subtree(id, root, None, &f, f.root_element().unwrap())
+        .unwrap();
+    assert!(cat.epoch(id) > e0, "updates bump the index epoch");
+    // The small fix: memoized DocStats must not be served stale.
+    assert_eq!(cat.stats(id).elements("book"), 3);
+    let s1 = cat.stats(id);
+    let s2 = cat.stats(id);
+    assert!(
+        std::sync::Arc::ptr_eq(&s1, &s2),
+        "unchanged documents still share one walk"
+    );
+}
+
+/// One randomized update step against the catalog.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Insert(u32),
+    Delete(u32),
+    Retitle(u32, u32),
+    Reyear(u32, u32),
+}
+
+fn books_of(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(NodeId::DOCUMENT)
+        .filter(|&n| matches!(doc.kind(n), NodeKind::Element(i) if doc.name(i) == "book"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_update_sequences_keep_indexes_fresh(
+        steps in prop::collection::vec((0u32..4, 0u32..64, 0u32..16), 1..14),
+    ) {
+        let (mut cat, id) = bib_catalog(BASE);
+        for &(kind, a, b) in &steps {
+            let step = match kind {
+                0 => Step::Insert(a),
+                1 => Step::Delete(a),
+                2 => Step::Retitle(a, b),
+                _ => Step::Reyear(a, b),
+            };
+            let doc = cat.doc(id).clone();
+            let root = doc.root_element().unwrap();
+            let books = books_of(&doc);
+            match step {
+                Step::Insert(pick) => {
+                    let f = frag(&format!(
+                        "<book year=\"{}\"><title>T{}</title><author><last>A{}</last></author></book>",
+                        1990 + pick % 20,
+                        pick % 7,
+                        pick % 5,
+                    ));
+                    let before = if books.is_empty() {
+                        None
+                    } else {
+                        Some(books[(pick as usize) % books.len()])
+                    };
+                    cat.insert_subtree(id, root, before, &f, f.root_element().unwrap())
+                        .unwrap();
+                }
+                Step::Delete(pick) => {
+                    if !books.is_empty() {
+                        cat.delete_subtree(id, books[(pick as usize) % books.len()]).unwrap();
+                    }
+                }
+                Step::Retitle(pick, t) => {
+                    if !books.is_empty() {
+                        let bk = books[(pick as usize) % books.len()];
+                        let title = doc.children(bk).next().unwrap();
+                        if let Some(text) = doc.children(title).next() {
+                            cat.replace_text(id, text, &format!("T{}", t % 7)).unwrap();
+                        }
+                    }
+                }
+                Step::Reyear(pick, y) => {
+                    if !books.is_empty() {
+                        let bk = books[(pick as usize) % books.len()];
+                        if let Some(year) = doc.attribute(bk, "year") {
+                            cat.replace_text(id, year, &(1980 + y).to_string()).unwrap();
+                        }
+                    }
+                }
+            }
+            assert_indexes_fresh(&cat, id);
+        }
+    }
+}
