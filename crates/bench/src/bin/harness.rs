@@ -15,7 +15,9 @@
 //! workloads), `range` (loop- vs range-probe inequality quantifier
 //! joins), `composite` (the focused multi-key/deep-ancestor cut),
 //! `update` (interleaved insert/query workload: posting-list delta
-//! maintenance vs rebuild-from-scratch), or `all`. Every `--json` cell
+//! maintenance vs rebuild-from-scratch), `service` (the query-service
+//! plan cache: cold vs warm latency per workload, then sustained mixed
+//! query/update throughput), or `all`. Every `--json` cell
 //! records the cost model's `predicted_cost` next to the measured time,
 //! so `BENCH_*.json` trajectories can calibrate the probe constants
 //! against reality.
@@ -41,7 +43,7 @@ use bench_harness::{
     RunConfig,
 };
 use ordered_unnesting::workloads::{
-    Q10_DEEP, Q1_DBLP, Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL,
+    self, Q10_DEEP, Q1_DBLP, Q1_GROUPING, Q2_AGGREGATION, Q3_EXISTENTIAL, Q4_EXISTS, Q5_UNIVERSAL,
     Q6_HAVING, Q9_COMPOSITE,
 };
 use xmldb::gen::{
@@ -209,6 +211,9 @@ fn main() {
     }
     if run_all || args.experiment == "update" {
         update_ablation(&args, &mut report);
+    }
+    if run_all || args.experiment == "service" {
+        service_ablation(&args, &mut report);
     }
     if let Some(path) = &args.json {
         report
@@ -504,6 +509,180 @@ fn apply_update(catalog: &mut Catalog, id: xmldb::DocId, round: usize) {
                     .expect("replace_text");
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query-service ablation: cold vs warm planning, sustained mixed load
+// ---------------------------------------------------------------------
+
+/// The plan-cache claim in numbers. Phase 1 runs every workload cold
+/// (full parse → normalize → unnest → compile) and then warm (cache
+/// hit) through one `QueryService`, measuring *end-to-end* latency —
+/// the `QueryOutcome::elapsed` field only times execution, and the
+/// whole point is the frontend work the warm path skips. The harness
+/// asserts the best warm run beats the cold run strictly, that every
+/// warm run is an actual cache hit, and that outputs stay
+/// byte-identical. Phase 2 hammers the same service with several
+/// reader threads and an interleaved updater and reports sustained
+/// throughput (every query still checked against the cold output of
+/// the catalog state its `updates_seen` stamp names — here just for
+/// the zero-update prefix, the full replay matrix lives in
+/// `crates/service/tests/concurrent.rs`).
+fn service_ablation(args: &Args, report: &mut Report) {
+    use service::{CacheOutcome, ExecMode, QueryService, ServiceConfig, UpdateOp};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const WARM_ROUNDS: usize = 5;
+    println!("== Service ablation: plan-cache cold vs warm, mixed load ==\n");
+    let all: Vec<&workloads::Workload> = workloads::ALL
+        .iter()
+        .chain(workloads::RANGE.iter())
+        .chain(workloads::COMPOSITE.iter())
+        .collect();
+    let cfg = RunConfig::new(Executor::Streaming, true);
+    for &scale in &args.scales {
+        println!(
+            "{:<16} {:>9} {:>12} {:>12} {:>9}",
+            "workload", "scale", "cold", "warm(best)", "speedup"
+        );
+        let svc = Arc::new(QueryService::with_catalog(
+            standard_catalog(scale, 2, args.seed),
+            ServiceConfig {
+                cache_capacity: 64,
+                use_indexes: true,
+                exec: ExecMode::Streaming,
+            },
+        ));
+        for w in &all {
+            let t0 = Instant::now();
+            let cold = svc.query(w.query).expect("cold run");
+            let cold_latency = t0.elapsed();
+            assert_eq!(cold.cache, CacheOutcome::Miss, "[service] {} cold", w.id);
+            let mut warm_best = std::time::Duration::MAX;
+            for round in 0..WARM_ROUNDS {
+                let t1 = Instant::now();
+                let warm = svc.query(w.query).expect("warm run");
+                let latency = t1.elapsed();
+                assert_eq!(
+                    warm.cache,
+                    CacheOutcome::Hit,
+                    "[service] {} warm round {round}",
+                    w.id
+                );
+                assert_eq!(
+                    warm.output, cold.output,
+                    "[service] {} warm round {round}: output diverges from cold",
+                    w.id
+                );
+                warm_best = warm_best.min(latency);
+            }
+            assert!(
+                warm_best < cold_latency,
+                "[service] {}: warm-path latency must beat cold planning \
+                 ({warm_best:?} vs {cold_latency:?} at scale {scale})",
+                w.id
+            );
+            println!(
+                "{:<16} {:>9} {:>12} {:>12} {:>8.1}×",
+                w.id,
+                scale,
+                fmt_secs(cold_latency, false),
+                fmt_secs(warm_best, false),
+                cold_latency.as_secs_f64() / warm_best.as_secs_f64().max(1e-9)
+            );
+            for (phase, latency) in [("cold", cold_latency), ("warm", warm_best)] {
+                let m = Measurement {
+                    plan: format!("{}/{phase}", w.id),
+                    elapsed: latency,
+                    doc_scans: 0,
+                    output_len: cold.output.len(),
+                    estimated: false,
+                    tuples_produced: 0,
+                    probe_tuples: 0,
+                    index_lookups: 0,
+                    index_hits: 0,
+                    predicted_cost: None,
+                };
+                report.record("service", cfg, &[("scale", scale as i64)], &m);
+            }
+        }
+
+        // Phase 2: sustained mixed load on the warmed service.
+        let readers = 3usize;
+        let rounds = 3usize;
+        let t0 = Instant::now();
+        let threads: Vec<_> = (0..readers)
+            .map(|r| {
+                let svc = Arc::clone(&svc);
+                let queries: Vec<&'static str> = all.iter().map(|w| w.query).collect();
+                std::thread::spawn(move || {
+                    for round in 0..rounds {
+                        for i in 0..queries.len() {
+                            let q = queries[(i + r + round) % queries.len()];
+                            svc.query(q).expect("mixed-load query");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let updates = 6usize;
+        for k in 0..updates {
+            svc.update(&UpdateOp::InsertXml {
+                uri: "bib.xml".to_string(),
+                parent: "/bib".to_string(),
+                xml: format!(
+                    "<book year=\"19{:02}\"><title>Service Bench {k}</title>\
+                     <author><last>Bench</last><first>B{k}</first></author>\
+                     <publisher>harness</publisher><price>{k}.25</price></book>",
+                    70 + k
+                ),
+            })
+            .expect("mixed-load update");
+        }
+        for t in threads {
+            t.join().expect("reader thread");
+        }
+        let wall = t0.elapsed();
+        let served = (readers * rounds * all.len()) as u64;
+        let qps = served as f64 / wall.as_secs_f64().max(1e-9);
+        let stats = svc.stats();
+        println!(
+            "\n  mixed load: {served} queries + {updates} updates over {} \
+             ({qps:.0} q/s; {} hits, {} revalidations, {} misses)\n",
+            fmt_secs(wall, false),
+            stats.cache.hits,
+            stats.cache.revalidations,
+            stats.cache.misses
+        );
+        let m = Measurement {
+            plan: "mixed-load".to_string(),
+            elapsed: wall,
+            doc_scans: 0,
+            output_len: 0,
+            estimated: false,
+            tuples_produced: stats.rows_streamed,
+            probe_tuples: 0,
+            index_lookups: 0,
+            index_hits: 0,
+            predicted_cost: None,
+        };
+        report.record(
+            "service",
+            cfg,
+            &[
+                ("scale", scale as i64),
+                ("readers", readers as i64),
+                ("queries", served as i64),
+                ("updates", updates as i64),
+                ("qps", qps as i64),
+                ("cache_hits", stats.cache.hits as i64),
+                ("cache_revalidations", stats.cache.revalidations as i64),
+                ("cache_invalidations", stats.cache.invalidations as i64),
+            ],
+            &m,
+        );
     }
 }
 

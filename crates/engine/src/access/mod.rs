@@ -90,6 +90,118 @@ pub fn probe_key_of(v: &Value, catalog: &Catalog) -> xmldb::ValueKey {
 }
 
 // ---------------------------------------------------------------------
+// Plan revalidation (the plan-cache re-resolution surface)
+// ---------------------------------------------------------------------
+
+/// One access path embedded in a compiled plan: a doc-rooted index scan
+/// or an index-backed quantifier join's recipe.
+pub enum AccessPathRef<'p> {
+    /// A [`PhysPlan::IndexScan`]'s document and pattern.
+    Scan {
+        /// Document URI the scan resolves through the catalog.
+        uri: &'p str,
+        /// The scanned pattern.
+        pattern: &'p PathPattern,
+    },
+    /// A [`PhysPlan::IndexJoin`]'s recipe.
+    Join(&'p AccessRecipe),
+}
+
+/// Visit every access path embedded anywhere in `plan`, in plan order.
+pub fn for_each_access_path<'p>(plan: &'p PhysPlan, f: &mut impl FnMut(AccessPathRef<'p>)) {
+    match plan {
+        PhysPlan::Singleton | PhysPlan::Literal(_) | PhysPlan::AttrRel(_) => {}
+        PhysPlan::IndexScan {
+            input,
+            uri,
+            pattern,
+            ..
+        } => {
+            f(AccessPathRef::Scan { uri, pattern });
+            for_each_access_path(input, f);
+        }
+        PhysPlan::IndexJoin { left, recipe } => {
+            f(AccessPathRef::Join(recipe));
+            for_each_access_path(left, f);
+        }
+        PhysPlan::Select { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Map { input, .. }
+        | PhysPlan::HashGroupUnary { input, .. }
+        | PhysPlan::ThetaGroupUnary { input, .. }
+        | PhysPlan::Unnest { input, .. }
+        | PhysPlan::UnnestMap { input, .. }
+        | PhysPlan::XiSimple { input, .. }
+        | PhysPlan::XiGroup { input, .. } => for_each_access_path(input, f),
+        PhysPlan::Cross { left, right }
+        | PhysPlan::HashJoin { left, right, .. }
+        | PhysPlan::LoopJoin { left, right, .. }
+        | PhysPlan::HashGroupBinary { left, right, .. }
+        | PhysPlan::ThetaGroupBinary { left, right, .. } => {
+            for_each_access_path(left, f);
+            for_each_access_path(right, f);
+        }
+    }
+}
+
+/// Re-validate every access path of a compiled plan against the
+/// catalog's *current* state — the plan-cache counterpart of the
+/// stale-recipe check in [`IndexJoinAccess::resolve`].
+///
+/// Recipes are declarative: execution resolves their backing indexes
+/// freshly every run, so a plan compiled before a document update stays
+/// *correct* as long as each referenced pattern still resolves. This
+/// walk performs exactly the resolutions execution would (path-index
+/// lookup for scans, value/composite index for join recipes, building
+/// lazily as needed) and reports the first one that no longer does —
+/// e.g. after a URI was re-registered with structurally different
+/// content. On `Ok(n)`, the plan's `n` access paths are all serviceable
+/// at the current epochs and the cached plan can be re-used without
+/// re-planning; on `Err`, the caller should recompile.
+pub fn revalidate_plan(plan: &PhysPlan, catalog: &Catalog) -> Result<usize, String> {
+    let mut checked = 0usize;
+    let mut failure: Option<String> = None;
+    for_each_access_path(plan, &mut |ap| {
+        if failure.is_some() {
+            return;
+        }
+        checked += 1;
+        let (uri, outcome) = match ap {
+            AccessPathRef::Scan { uri, pattern } => {
+                let ok = catalog
+                    .by_uri(uri)
+                    .map(|id| catalog.path_index(id).lookup(pattern).is_some())
+                    .unwrap_or(false);
+                (uri, ok.then_some(()).ok_or(pattern.to_string()))
+            }
+            AccessPathRef::Join(recipe) => {
+                let ok = catalog
+                    .by_uri(&recipe.uri)
+                    .is_some_and(|id| match &recipe.driver {
+                        Driver::Composite { spec, .. } => {
+                            catalog.composite_index(id, spec).is_some()
+                        }
+                        _ => catalog.value_index(id, &recipe.pattern).is_some(),
+                    });
+                (
+                    recipe.uri.as_str(),
+                    ok.then_some(()).ok_or(recipe.pattern.to_string()),
+                )
+            }
+        };
+        if let Err(pattern) = outcome {
+            failure = Some(format!(
+                "access path `{pattern}` over `{uri}` no longer resolves"
+            ));
+        }
+    });
+    match failure {
+        Some(msg) => Err(msg),
+        None => Ok(checked),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Runtime access
 // ---------------------------------------------------------------------
 

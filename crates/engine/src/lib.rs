@@ -21,7 +21,9 @@ pub mod key;
 pub mod pipeline;
 pub mod plan;
 
-pub use access::{apply_indexes, join_recipe, AccessRecipe};
+pub use access::{
+    apply_indexes, for_each_access_path, join_recipe, revalidate_plan, AccessPathRef, AccessRecipe,
+};
 pub use exec::execute;
 pub use pipeline::{drain, Cursor};
 pub use plan::{compile, JoinKind, PhysPlan};

@@ -1,0 +1,373 @@
+//! The two-level plan cache behind [`crate::QueryService`].
+//!
+//! **L0 — text memo.** Raw query text → [`Fingerprint`] (the canonical
+//! alpha-renamed rendering of the *normalized* query, its FNV-1a hash,
+//! and the referenced document URIs). Normalization consults the catalog
+//! (DTD-derived schema facts decide which rewrites are legal), so a memo
+//! entry records the epoch of every referenced document and is dropped
+//! when any of them moves — re-normalizing under changed schema facts
+//! could produce a different canonical form.
+//!
+//! **L1 — plan cache.** `(fingerprint hash, index mode)` →
+//! [`PhysPlan`], bucketed by hash with the full canonical string compared
+//! on lookup so a 64-bit collision can never alias two different plans.
+//! Each entry is stamped with the epoch vector of its document set:
+//!
+//! * all epochs current → **hit**: the cached plan is returned with no
+//!   parse, normalize, unnest, or compile work at all;
+//! * some epoch moved → the entry is *revalidated* with
+//!   [`engine::revalidate_plan`], which performs exactly the index and
+//!   path-pattern resolutions execution would perform. Success means
+//!   every access path still resolves — the plan (whose access recipes
+//!   are declarative and re-resolve per execution) stays correct, so
+//!   the entry's epoch stamp is refreshed and the plan reused;
+//! * revalidation fails → the entry is **invalidated** (an access path
+//!   disappeared; the caller re-plans from scratch, which may now pick
+//!   a different — still output-equivalent — plan shape).
+//!
+//! Both levels are bounded LRU: a logical clock is bumped on every
+//! touch and the stalest entry is evicted at capacity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use engine::PhysPlan;
+use xmldb::Catalog;
+use xquery::Fingerprint;
+
+/// How the cache participated in answering one query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Fingerprint and plan found, every document epoch current: the
+    /// whole frontend (parse → normalize → unnest → compile) was skipped.
+    Hit,
+    /// Plan found with stale epochs, but every access path still
+    /// resolves; reused after an epoch refresh.
+    Revalidated,
+    /// Plan found but an access path no longer resolves; the entry was
+    /// dropped and the query re-planned.
+    Recompiled,
+    /// No cached plan for this fingerprint.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable lower-case label (wire protocol and bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Revalidated => "revalidated",
+            CacheOutcome::Recompiled => "recompiled",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Result of a plan lookup (the caller compiles on the last two).
+pub enum Lookup {
+    /// Fresh entry: plan plus its label.
+    Hit(Arc<PhysPlan>, String),
+    /// Stale entry that passed revalidation: plan plus its label.
+    Revalidated(Arc<PhysPlan>, String),
+    /// Stale entry that failed revalidation and was removed.
+    Invalidated,
+    /// Nothing cached under this fingerprint.
+    Miss,
+}
+
+/// Monotonic counters, all cumulative since service start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// L1 hits (fresh epochs).
+    pub hits: u64,
+    /// L1 reuses after successful revalidation.
+    pub revalidations: u64,
+    /// L1 lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped because revalidation failed or a load purged
+    /// the cache.
+    pub invalidations: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// L0 text-memo hits (raw text resolved to a fingerprint without
+    /// parsing).
+    pub memo_hits: u64,
+}
+
+struct MemoEntry {
+    fp: Fingerprint,
+    /// `(uri, epoch-at-normalize-time)`; `u64::MAX` marks a document
+    /// that was absent (still-absent compares equal, so the entry stays
+    /// valid until the document actually appears).
+    epochs: Vec<(String, u64)>,
+    last_used: u64,
+}
+
+struct PlanEntry {
+    canonical: String,
+    use_indexes: bool,
+    epochs: Vec<(String, u64)>,
+    plan: Arc<PhysPlan>,
+    label: String,
+    last_used: u64,
+}
+
+/// The bounded two-level cache. Not internally synchronized — the
+/// service wraps it in a `Mutex` (lookups are sub-microsecond; compiles
+/// happen outside the lock).
+pub struct PlanCache {
+    cap: usize,
+    clock: u64,
+    memo: HashMap<String, MemoEntry>,
+    plans: HashMap<u64, Vec<PlanEntry>>,
+    counters: CacheCounters,
+}
+
+fn current_epochs(docs: &[String], catalog: &Catalog) -> Vec<(String, u64)> {
+    docs.iter()
+        .map(|uri| {
+            let e = catalog.by_uri(uri).map_or(u64::MAX, |id| catalog.epoch(id));
+            (uri.clone(), e)
+        })
+        .collect()
+}
+
+fn epochs_current(stamped: &[(String, u64)], catalog: &Catalog) -> bool {
+    stamped
+        .iter()
+        .all(|(uri, epoch)| catalog.by_uri(uri).map_or(u64::MAX, |id| catalog.epoch(id)) == *epoch)
+}
+
+impl PlanCache {
+    /// A cache holding at most `cap` plans (and `4 * cap` memo entries).
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            cap: cap.max(1),
+            clock: 0,
+            memo: HashMap::new(),
+            plans: HashMap::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.values().map(Vec::len).sum()
+    }
+
+    /// Whether the plan cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Number of live text-memo entries.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// L0: resolve raw query text to its fingerprint without parsing, if
+    /// memoized under current epochs. A stale memo entry is dropped (its
+    /// canonical form may no longer be what normalization would produce).
+    pub fn memo_get(&mut self, text: &str, catalog: &Catalog) -> Option<Fingerprint> {
+        let stale = match self.memo.get(text) {
+            None => return None,
+            Some(e) => !epochs_current(&e.epochs, catalog),
+        };
+        if stale {
+            self.memo.remove(text);
+            return None;
+        }
+        let now = self.tick();
+        let e = self.memo.get_mut(text).expect("checked above");
+        e.last_used = now;
+        self.counters.memo_hits += 1;
+        Some(e.fp.clone())
+    }
+
+    /// L0: memoize `text → fp` under the current epochs of `fp.docs`.
+    pub fn memo_put(&mut self, text: &str, fp: &Fingerprint, catalog: &Catalog) {
+        let memo_cap = self.cap * 4;
+        if self.memo.len() >= memo_cap && !self.memo.contains_key(text) {
+            if let Some(victim) = self
+                .memo
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.memo.remove(&victim);
+            }
+        }
+        let now = self.tick();
+        self.memo.insert(
+            text.to_string(),
+            MemoEntry {
+                fp: fp.clone(),
+                epochs: current_epochs(&fp.docs, catalog),
+                last_used: now,
+            },
+        );
+    }
+
+    /// L1 lookup, with epoch validation and stale-entry revalidation
+    /// (see module docs for the three-way outcome).
+    pub fn lookup(&mut self, fp: &Fingerprint, use_indexes: bool, catalog: &Catalog) -> Lookup {
+        let now = self.tick();
+        let bucket = match self.plans.get_mut(&fp.hash) {
+            Some(b) => b,
+            None => {
+                self.counters.misses += 1;
+                return Lookup::Miss;
+            }
+        };
+        let idx = bucket
+            .iter()
+            .position(|e| e.use_indexes == use_indexes && e.canonical == fp.canonical);
+        let idx = match idx {
+            Some(i) => i,
+            None => {
+                self.counters.misses += 1;
+                return Lookup::Miss;
+            }
+        };
+        if epochs_current(&bucket[idx].epochs, catalog) {
+            let e = &mut bucket[idx];
+            e.last_used = now;
+            self.counters.hits += 1;
+            return Lookup::Hit(Arc::clone(&e.plan), e.label.clone());
+        }
+        match engine::revalidate_plan(&bucket[idx].plan, catalog) {
+            Ok(_checked) => {
+                let fresh = current_epochs(&fp.docs, catalog);
+                let e = &mut bucket[idx];
+                e.epochs = fresh;
+                e.last_used = now;
+                self.counters.revalidations += 1;
+                Lookup::Revalidated(Arc::clone(&e.plan), e.label.clone())
+            }
+            Err(_) => {
+                bucket.remove(idx);
+                if bucket.is_empty() {
+                    self.plans.remove(&fp.hash);
+                }
+                self.counters.invalidations += 1;
+                Lookup::Invalidated
+            }
+        }
+    }
+
+    /// L1 insert, evicting the least-recently-used plan at capacity.
+    pub fn insert(
+        &mut self,
+        fp: &Fingerprint,
+        use_indexes: bool,
+        plan: Arc<PhysPlan>,
+        label: String,
+        catalog: &Catalog,
+    ) {
+        // Replace an existing entry for the same key in place.
+        if let Some(bucket) = self.plans.get_mut(&fp.hash) {
+            bucket.retain(|e| !(e.use_indexes == use_indexes && e.canonical == fp.canonical));
+            if bucket.is_empty() {
+                self.plans.remove(&fp.hash);
+            }
+        }
+        while self.len() >= self.cap {
+            self.evict_lru();
+        }
+        let now = self.tick();
+        self.plans.entry(fp.hash).or_default().push(PlanEntry {
+            canonical: fp.canonical.clone(),
+            use_indexes,
+            epochs: current_epochs(&fp.docs, catalog),
+            plan,
+            label,
+            last_used: now,
+        });
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .plans
+            .iter()
+            .flat_map(|(h, b)| {
+                b.iter()
+                    .map(move |e| (*h, e.canonical.clone(), e.last_used))
+            })
+            .min_by_key(|(_, _, used)| *used);
+        if let Some((hash, canonical, _)) = victim {
+            if let Some(bucket) = self.plans.get_mut(&hash) {
+                bucket.retain(|e| e.canonical != canonical);
+                if bucket.is_empty() {
+                    self.plans.remove(&hash);
+                }
+            }
+            self.counters.evictions += 1;
+        }
+    }
+
+    /// Drop everything (both levels) — used when a load replaces
+    /// documents wholesale, which resets epoch lineages and would
+    /// otherwise let a recycled epoch number alias a fresh one.
+    pub fn purge(&mut self) {
+        self.counters.invalidations += self.len() as u64;
+        self.plans.clear();
+        self.memo.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_for(canonical: &str) -> Fingerprint {
+        Fingerprint {
+            canonical: canonical.to_string(),
+            hash: xquery::fingerprint::hash64(canonical),
+            docs: vec![],
+        }
+    }
+
+    #[test]
+    fn lru_evicts_stalest_plan() {
+        let catalog = Catalog::new();
+        let mut c = PlanCache::new(2);
+        let plan = Arc::new(PhysPlan::Singleton);
+        let (a, b, d) = (fp_for("a"), fp_for("b"), fp_for("d"));
+        c.insert(&a, false, Arc::clone(&plan), "p".into(), &catalog);
+        c.insert(&b, false, Arc::clone(&plan), "p".into(), &catalog);
+        // Touch `a` so `b` is the LRU victim.
+        assert!(matches!(c.lookup(&a, false, &catalog), Lookup::Hit(..)));
+        c.insert(&d, false, plan, "p".into(), &catalog);
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c.lookup(&a, false, &catalog), Lookup::Hit(..)));
+        assert!(matches!(c.lookup(&b, false, &catalog), Lookup::Miss));
+        assert!(matches!(c.lookup(&d, false, &catalog), Lookup::Hit(..)));
+        assert_eq!(c.counters().evictions, 1);
+    }
+
+    #[test]
+    fn index_mode_is_part_of_the_key() {
+        let catalog = Catalog::new();
+        let mut c = PlanCache::new(4);
+        let a = fp_for("a");
+        c.insert(
+            &a,
+            false,
+            Arc::new(PhysPlan::Singleton),
+            "p".into(),
+            &catalog,
+        );
+        assert!(matches!(c.lookup(&a, true, &catalog), Lookup::Miss));
+        assert!(matches!(c.lookup(&a, false, &catalog), Lookup::Hit(..)));
+    }
+}

@@ -1,0 +1,53 @@
+//! `service` — the long-running query service over the
+//! ordered-unnesting pipeline, in two layers:
+//!
+//! 1. [`QueryService`] ([`service`]): an embeddable facade owning a
+//!    [`xmldb::Catalog`] plus a bounded, epoch-keyed plan cache
+//!    ([`cache`]). Repeated queries skip the whole frontend
+//!    (parse → normalize → unnest → compile) on a cache hit; updates go
+//!    through the catalog's delta-maintenance wrappers, whose epoch
+//!    bumps invalidate exactly the stale entries. Concurrent readers
+//!    share the catalog; one writer serializes mutations.
+//! 2. `xqd-server` ([`server`] + [`proto`]): a TCP server speaking
+//!    newline-delimited JSON ([`json`]) that streams query results
+//!    item-by-item from the pull-based streaming executor.
+//!
+//! ```
+//! use service::{QueryService, ServiceConfig};
+//! let svc = QueryService::new(ServiceConfig::default());
+//! svc.load_xml("bib.xml", "<bib><book><title>a</title></book></bib>").unwrap();
+//! let q = r#"let $d := doc("bib.xml") for $t in $d//book/title return <t>{ $t }</t>"#;
+//! let cold = svc.query(q).unwrap();
+//! let warm = svc.query(q).unwrap();
+//! assert_eq!(cold.output, warm.output);
+//! assert_eq!(warm.cache.label(), "hit");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheCounters, CacheOutcome, PlanCache};
+pub use json::Json;
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use service::{
+    ExecMode, QueryOutcome, QueryService, ServiceConfig, ServiceError, ServiceStats, UpdateOp,
+    UpdateReport,
+};
+
+// Compile-time `Send + Sync` audit (complementing the one in `xmldb`):
+// the server shares one `QueryService` across connection threads via
+// `Arc`, and cached plans (with their access recipes) cross the cache
+// mutex between threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<engine::PhysPlan>();
+    assert_send_sync::<engine::AccessRecipe>();
+    assert_send_sync::<xquery::Fingerprint>();
+};

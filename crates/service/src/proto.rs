@@ -1,0 +1,331 @@
+//! The `xqd-server` wire protocol: one JSON object per line, in both
+//! directions (frames never contain raw newlines — [`crate::json`]
+//! escapes them).
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"load","uri":"bib.xml","xml":"<bib>…</bib>"}
+//! {"op":"load_standard","scale":100,"seed":42}
+//! {"op":"query","q":"for $t in doc(\"bib.xml\")//title return $t"}
+//! {"op":"update","kind":"insert","uri":"bib.xml","parent":"/bib","xml":"<book>…</book>"}
+//! {"op":"update","kind":"delete","uri":"bib.xml","path":"/bib/book"}
+//! {"op":"update","kind":"retext","uri":"bib.xml","path":"/bib/book/title","text":"New"}
+//! {"op":"stats"}
+//! {"op":"close"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! # Responses
+//!
+//! Every request draws exactly one response frame — except `query`,
+//! which draws a `begin` frame, zero or more `item` frames (one per
+//! result item, streamed as the executor produces them), and a `done`
+//! frame. Failures of any kind are `{"ok":false,"error":"…"}`; a
+//! malformed line is answered with an error frame and the session
+//! continues.
+//!
+//! ```text
+//! {"ok":true,"op":"query","type":"begin"}
+//! {"type":"item","xml":"<t>Data on the Web</t>"}
+//! {"type":"done","rows":2,"plan":"semijoin","cache":"hit","elapsed_us":184,"updates_seen":0}
+//! ```
+
+use crate::json::Json;
+use crate::service::{QueryService, ServiceStats, UpdateOp};
+
+/// A parsed request frame.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Register a document from inline XML.
+    Load {
+        /// Document URI to register under.
+        uri: String,
+        /// Document text.
+        xml: String,
+    },
+    /// Replace the catalog with the standard generated workload.
+    LoadStandard {
+        /// Generator scale (element count knob).
+        scale: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Run a query, streaming items.
+    Query(
+        /// The XQuery text.
+        String,
+    ),
+    /// Apply one mutation.
+    Update(UpdateOp),
+    /// Report service counters.
+    Stats,
+    /// End this session (the connection closes after the reply).
+    Close,
+    /// Stop the whole server gracefully.
+    Shutdown,
+}
+
+/// What the session loop should do after a handled frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading frames.
+    Continue,
+    /// Close this connection.
+    Close,
+    /// Close this connection and stop the server.
+    Shutdown,
+}
+
+fn need_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| format!("malformed frame: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `op`")?;
+    match op {
+        "load" => Ok(Request::Load {
+            uri: need_str(&v, "uri")?,
+            xml: need_str(&v, "xml")?,
+        }),
+        "load_standard" => {
+            let scale = v
+                .get("scale")
+                .and_then(Json::as_u64)
+                .ok_or("missing numeric field `scale`")? as usize;
+            let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(42);
+            Ok(Request::LoadStandard { scale, seed })
+        }
+        "query" => Ok(Request::Query(need_str(&v, "q")?)),
+        "update" => {
+            let kind = need_str(&v, "kind")?;
+            let uri = need_str(&v, "uri")?;
+            let op = match kind.as_str() {
+                "insert" => UpdateOp::InsertXml {
+                    uri,
+                    parent: need_str(&v, "parent")?,
+                    xml: need_str(&v, "xml")?,
+                },
+                "delete" => UpdateOp::DeleteFirst {
+                    uri,
+                    path: need_str(&v, "path")?,
+                },
+                "retext" => UpdateOp::ReplaceText {
+                    uri,
+                    path: need_str(&v, "path")?,
+                    text: need_str(&v, "text")?,
+                },
+                other => return Err(format!("unknown update kind `{other}`")),
+            };
+            Ok(Request::Update(op))
+        }
+        "stats" => Ok(Request::Stats),
+        "close" => Ok(Request::Close),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Render an error frame.
+pub fn error_frame(msg: &str) -> String {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::str(msg)),
+    ])
+    .render()
+}
+
+fn ok_frame(op: &str, extra: Vec<(String, Json)>) -> String {
+    let mut fields = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::str(op)),
+    ];
+    fields.extend(extra);
+    Json::Obj(fields).render()
+}
+
+/// Render the `stats` response payload.
+pub fn stats_frame(s: &ServiceStats) -> String {
+    ok_frame(
+        "stats",
+        vec![
+            ("queries".to_string(), Json::num(s.queries as f64)),
+            (
+                "rows_streamed".to_string(),
+                Json::num(s.rows_streamed as f64),
+            ),
+            ("updates".to_string(), Json::num(s.updates as f64)),
+            ("cache_hits".to_string(), Json::num(s.cache.hits as f64)),
+            (
+                "cache_revalidations".to_string(),
+                Json::num(s.cache.revalidations as f64),
+            ),
+            ("cache_misses".to_string(), Json::num(s.cache.misses as f64)),
+            (
+                "cache_invalidations".to_string(),
+                Json::num(s.cache.invalidations as f64),
+            ),
+            (
+                "cache_evictions".to_string(),
+                Json::num(s.cache.evictions as f64),
+            ),
+            ("memo_hits".to_string(), Json::num(s.cache.memo_hits as f64)),
+            ("cached_plans".to_string(), Json::num(s.cached_plans as f64)),
+            ("memo_entries".to_string(), Json::num(s.memo_entries as f64)),
+            ("documents".to_string(), Json::num(s.documents as f64)),
+            ("update_seq".to_string(), Json::num(s.update_seq as f64)),
+        ],
+    )
+}
+
+/// Handle one request line against `svc`, emitting response frames via
+/// `emit` (which returns `false` when the peer is gone — mid-stream,
+/// that cancels the running query). Returns what the session loop
+/// should do next.
+pub fn handle_line(svc: &QueryService, line: &str, emit: &mut dyn FnMut(&str) -> bool) -> Control {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            emit(&error_frame(&e));
+            return Control::Continue;
+        }
+    };
+    match req {
+        Request::Load { uri, xml } => {
+            let frame = match svc.load_xml(&uri, &xml) {
+                Ok(()) => ok_frame("load", vec![("uri".to_string(), Json::str(uri))]),
+                Err(e) => error_frame(&e.to_string()),
+            };
+            emit(&frame);
+            Control::Continue
+        }
+        Request::LoadStandard { scale, seed } => {
+            let frame = match svc.load_standard(scale, seed) {
+                Ok(()) => {
+                    let docs = svc.stats().documents;
+                    ok_frame(
+                        "load_standard",
+                        vec![("documents".to_string(), Json::num(docs as f64))],
+                    )
+                }
+                Err(e) => error_frame(&e.to_string()),
+            };
+            emit(&frame);
+            Control::Continue
+        }
+        Request::Query(q) => {
+            handle_query(svc, &q, emit);
+            Control::Continue
+        }
+        Request::Update(op) => {
+            let frame = match svc.update(&op) {
+                Ok(r) => ok_frame(
+                    "update",
+                    vec![
+                        ("uri".to_string(), Json::str(r.uri)),
+                        ("epoch".to_string(), Json::num(r.epoch as f64)),
+                        ("nodes".to_string(), Json::num(r.nodes as f64)),
+                        ("update_seq".to_string(), Json::num(r.update_seq as f64)),
+                    ],
+                ),
+                Err(e) => error_frame(&e.to_string()),
+            };
+            emit(&frame);
+            Control::Continue
+        }
+        Request::Stats => {
+            emit(&stats_frame(&svc.stats()));
+            Control::Continue
+        }
+        Request::Close => {
+            emit(&ok_frame("close", vec![]));
+            Control::Close
+        }
+        Request::Shutdown => {
+            emit(&ok_frame("shutdown", vec![]));
+            Control::Shutdown
+        }
+    }
+}
+
+/// The three-part query exchange: `begin`, streamed `item`s, `done`.
+/// Compile errors surface as a single error frame instead of `begin`;
+/// runtime errors surface as an error frame in place of `done`, so the
+/// client can always tell how the exchange ended.
+fn handle_query(svc: &QueryService, q: &str, emit: &mut dyn FnMut(&str) -> bool) {
+    let mut begun = false;
+    // The plan label and cache outcome only come back with the final
+    // outcome struct, so `begin` (emitted lazily before the first item,
+    // or before `done` for empty results) just opens the exchange and
+    // `done` carries the metadata. Items still flow incrementally.
+    let mut on_item = |item: &str| -> bool {
+        if !begun {
+            begun = true;
+            if !emit(
+                &Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("op".to_string(), Json::str("query")),
+                    ("type".to_string(), Json::str("begin")),
+                ])
+                .render(),
+            ) {
+                return false;
+            }
+        }
+        emit(
+            &Json::Obj(vec![
+                ("type".to_string(), Json::str("item")),
+                ("xml".to_string(), Json::str(item)),
+            ])
+            .render(),
+        )
+    };
+    match svc.query_streamed(q, &mut on_item) {
+        Ok(outcome) => {
+            if !begun {
+                // Empty result: still open the exchange.
+                if !emit(
+                    &Json::Obj(vec![
+                        ("ok".to_string(), Json::Bool(true)),
+                        ("op".to_string(), Json::str("query")),
+                        ("type".to_string(), Json::str("begin")),
+                    ])
+                    .render(),
+                ) {
+                    return;
+                }
+            }
+            if outcome.cancelled {
+                return; // Peer is gone; nothing left to tell it.
+            }
+            emit(
+                &Json::Obj(vec![
+                    ("type".to_string(), Json::str("done")),
+                    ("rows".to_string(), Json::num(outcome.rows as f64)),
+                    ("plan".to_string(), Json::str(outcome.plan)),
+                    ("cache".to_string(), Json::str(outcome.cache.label())),
+                    (
+                        "elapsed_us".to_string(),
+                        Json::num(outcome.elapsed.as_micros() as f64),
+                    ),
+                    (
+                        "updates_seen".to_string(),
+                        Json::num(outcome.updates_seen as f64),
+                    ),
+                ])
+                .render(),
+            );
+        }
+        Err(e) => {
+            emit(&error_frame(&e.to_string()));
+        }
+    }
+}

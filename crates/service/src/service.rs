@@ -1,0 +1,528 @@
+//! [`QueryService`] — the embeddable query facade.
+//!
+//! Owns a [`Catalog`] behind an `RwLock` (any number of concurrent
+//! readers, one serialized writer) and a [`PlanCache`] behind a `Mutex`.
+//! A query takes the catalog read lock for its whole lifetime — plan
+//! resolution and execution see one consistent catalog snapshot — and
+//! touches the cache mutex only for sub-microsecond lookups and inserts;
+//! parse/normalize/unnest/compile all run outside it, so a slow compile
+//! never blocks cache hits on other connections.
+//!
+//! Updates go through the existing [`Catalog`] delta-maintenance
+//! wrappers ([`Catalog::insert_subtree`] & friends), which keep indexes
+//! and statistics consistent and bump the touched document's epoch; the
+//! cache notices the moved epoch lazily at the next lookup
+//! (revalidate-or-recompile, see [`crate::cache`]).
+//!
+//! Lock order is **catalog before cache**, on both the read path and the
+//! write path — there is no path that acquires them in the other order,
+//! so the pair cannot deadlock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use engine::PhysPlan;
+use nal::{EvalCtx, Metrics, Tuple};
+use xmldb::{parse_document, Catalog, NodeId};
+use xquery::{normalize, parse_query, Fingerprint};
+
+use crate::cache::{CacheCounters, CacheOutcome, Lookup, PlanCache};
+
+/// Which executor runs the (cached or fresh) physical plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// [`engine::run_compiled`] — materializing operators.
+    Materialized,
+    /// [`engine::run_streaming_compiled`] — the pull-based pipeline
+    /// (also what [`QueryService::query_streamed`] uses to ship items
+    /// incrementally).
+    Streaming,
+}
+
+/// Service construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Maximum number of cached plans (L0 text memo holds `4×` this).
+    pub cache_capacity: usize,
+    /// Compile index-backed access paths ([`engine::compile_indexed`])
+    /// rather than pure scans.
+    pub use_indexes: bool,
+    /// Executor for [`QueryService::query`].
+    pub exec: ExecMode,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            cache_capacity: 64,
+            use_indexes: true,
+            exec: ExecMode::Streaming,
+        }
+    }
+}
+
+/// Anything the service can fail with. Everything renders to one line —
+/// the wire protocol ships these verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// Parse or translate failure.
+    Compile(String),
+    /// Runtime failure from the executor.
+    Exec(String),
+    /// Update failure (storage layer or target resolution).
+    Update(String),
+    /// A referenced document URI is not registered.
+    UnknownDocument(String),
+    /// Malformed request (bad path syntax, empty target set, …).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Compile(m) => write!(f, "compile error: {m}"),
+            ServiceError::Exec(m) => write!(f, "execution error: {m}"),
+            ServiceError::Update(m) => write!(f, "update error: {m}"),
+            ServiceError::UnknownDocument(uri) => write!(f, "unknown document `{uri}`"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Everything one query run reports back.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The serialized Ξ output stream.
+    pub output: String,
+    /// Result rows produced (root-tuple count).
+    pub rows: usize,
+    /// Label of the plan that ran (`nested`, `semijoin`, …).
+    pub plan: String,
+    /// How the plan cache participated.
+    pub cache: CacheOutcome,
+    /// Executor counters for this run.
+    pub metrics: Metrics,
+    /// Execution wall-clock (excludes planning/cache time).
+    pub elapsed: Duration,
+    /// Value of the service update sequence when this query's catalog
+    /// snapshot was taken — replaying the first `updates_seen` updates
+    /// on a fresh store must reproduce `output` byte-for-byte.
+    pub updates_seen: u64,
+    /// True when a streaming consumer cancelled mid-stream (`output`
+    /// then holds only what was produced before the cut).
+    pub cancelled: bool,
+}
+
+/// One mutation, addressed by document URI and a structural path
+/// (evaluated with the [`xpath`] crate from the document node; the
+/// *first* match in document order is the target).
+#[derive(Clone, Debug)]
+pub enum UpdateOp {
+    /// Parse `xml` and insert its root element as the last child of the
+    /// first node matching `parent`.
+    InsertXml {
+        /// Target document URI.
+        uri: String,
+        /// Path selecting the parent node.
+        parent: String,
+        /// Well-formed fragment to insert.
+        xml: String,
+    },
+    /// Delete the subtree rooted at the first node matching `path`.
+    DeleteFirst {
+        /// Target document URI.
+        uri: String,
+        /// Path selecting the doomed node.
+        path: String,
+    },
+    /// Replace the text content of the first node matching `path`
+    /// (a text or attribute node, or an element with a single text
+    /// child — resolved by the storage layer's rules).
+    ReplaceText {
+        /// Target document URI.
+        uri: String,
+        /// Path selecting the node.
+        path: String,
+        /// Replacement text.
+        text: String,
+    },
+}
+
+/// What an applied update reports back.
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// Document that was touched.
+    pub uri: String,
+    /// The document's index epoch *after* the update.
+    pub epoch: u64,
+    /// Nodes inserted or removed (1 for text replacement).
+    pub nodes: usize,
+    /// Service-wide update sequence number of this update (1-based).
+    pub update_seq: u64,
+}
+
+/// Point-in-time counter snapshot ([`QueryService::stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Queries served (successful runs).
+    pub queries: u64,
+    /// Result rows streamed or materialized across all queries.
+    pub rows_streamed: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Cache counters (hits, revalidations, misses, invalidations,
+    /// evictions, memo hits).
+    pub cache: CacheCounters,
+    /// Plans currently cached.
+    pub cached_plans: usize,
+    /// Text-memo entries currently cached.
+    pub memo_entries: usize,
+    /// Documents registered.
+    pub documents: usize,
+    /// Current update sequence number.
+    pub update_seq: u64,
+}
+
+/// The embeddable query service (see module docs).
+pub struct QueryService {
+    config: ServiceConfig,
+    catalog: RwLock<Catalog>,
+    cache: Mutex<PlanCache>,
+    update_seq: AtomicU64,
+    queries: AtomicU64,
+    rows_streamed: AtomicU64,
+    updates: AtomicU64,
+}
+
+impl QueryService {
+    /// An empty service (no documents registered yet).
+    pub fn new(config: ServiceConfig) -> QueryService {
+        QueryService::with_catalog(Catalog::new(), config)
+    }
+
+    /// Wrap an existing catalog.
+    pub fn with_catalog(catalog: Catalog, config: ServiceConfig) -> QueryService {
+        QueryService {
+            config,
+            catalog: RwLock::new(catalog),
+            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            update_seq: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            rows_streamed: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Parse `xml` and register it under `uri` (replacing any previous
+    /// document with that URI). Purges the plan cache: registration
+    /// resets the document's epoch lineage, so stale entries could
+    /// otherwise alias a recycled epoch number.
+    pub fn load_xml(&self, uri: &str, xml: &str) -> Result<(), ServiceError> {
+        let doc = parse_document(uri, xml).map_err(|e| ServiceError::BadRequest(format!("{e}")))?;
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        catalog.register(doc);
+        self.cache.lock().expect("cache lock").purge();
+        self.update_seq.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Replace the whole catalog with the standard six-document paper
+    /// workload at `scale` ([`xmldb::gen::standard_catalog`]).
+    pub fn load_standard(&self, scale: usize, seed: u64) -> Result<(), ServiceError> {
+        let fresh = xmldb::gen::standard_catalog(scale, 2, seed);
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        *catalog = fresh;
+        self.cache.lock().expect("cache lock").purge();
+        self.update_seq.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Run `text` to completion and return the materialized outcome.
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, ServiceError> {
+        let catalog = self.catalog.read().expect("catalog lock");
+        let updates_seen = self.update_seq.load(Ordering::SeqCst);
+        let (plan, label, outcome) = self.prepare(text, &catalog)?;
+        let start = Instant::now();
+        let result = match self.config.exec {
+            ExecMode::Materialized => engine::run_compiled(&plan, &catalog),
+            ExecMode::Streaming => engine::run_streaming_compiled(&plan, &catalog),
+        }
+        .map_err(|e| ServiceError::Exec(format!("{e}")))?;
+        let elapsed = start.elapsed();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows_streamed
+            .fetch_add(result.rows.len() as u64, Ordering::Relaxed);
+        Ok(QueryOutcome {
+            output: result.output,
+            rows: result.rows.len(),
+            plan: label,
+            cache: outcome,
+            metrics: result.metrics,
+            elapsed,
+            updates_seen,
+            cancelled: false,
+        })
+    }
+
+    /// Run `text` with the streaming executor, invoking `on_item` with
+    /// each Ξ output increment as the root cursor produces it (one call
+    /// per root tuple that extended the output; the concatenation of all
+    /// increments is byte-identical to [`QueryOutcome::output`] of a
+    /// materialized run). `on_item` returning `false` cancels the run —
+    /// this is how a dropped client connection stops a long stream.
+    pub fn query_streamed(
+        &self,
+        text: &str,
+        on_item: &mut dyn FnMut(&str) -> bool,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let catalog = self.catalog.read().expect("catalog lock");
+        let updates_seen = self.update_seq.load(Ordering::SeqCst);
+        let (plan, label, outcome) = self.prepare(text, &catalog)?;
+        let start = Instant::now();
+        let mut ctx = EvalCtx::new(&catalog);
+        let env = Tuple::empty();
+        let mut root = engine::pipeline::lower(&plan, &env);
+        let mut rows = 0usize;
+        let mut flushed = 0usize;
+        let mut cancelled = false;
+        loop {
+            match root.next(&mut ctx) {
+                Ok(Some(_tuple)) => {
+                    rows += 1;
+                    if ctx.out.len() > flushed && !on_item(&ctx.out[flushed..]) {
+                        cancelled = true;
+                        break;
+                    }
+                    flushed = ctx.out.len();
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    drop(root);
+                    return Err(ServiceError::Exec(format!("{e}")));
+                }
+            }
+        }
+        if !cancelled && ctx.out.len() > flushed {
+            on_item(&ctx.out[flushed..]);
+        }
+        let elapsed = start.elapsed();
+        drop(root);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows_streamed.fetch_add(rows as u64, Ordering::Relaxed);
+        Ok(QueryOutcome {
+            output: ctx.take_output(),
+            rows,
+            plan: label,
+            cache: outcome,
+            metrics: ctx.metrics,
+            elapsed,
+            updates_seen,
+            cancelled,
+        })
+    }
+
+    /// Apply one mutation through the catalog's delta-maintenance
+    /// wrappers (single writer; readers block only for the mutation
+    /// itself, never for cache maintenance).
+    pub fn update(&self, op: &UpdateOp) -> Result<UpdateReport, ServiceError> {
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        let (uri, nodes) = match op {
+            UpdateOp::InsertXml { uri, parent, xml } => {
+                let id = catalog
+                    .by_uri(uri)
+                    .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
+                let target = first_match(&catalog, id, parent)?;
+                let frag = parse_document("fragment", xml)
+                    .map_err(|e| ServiceError::BadRequest(format!("bad fragment: {e}")))?;
+                let frag_root = frag
+                    .root_element()
+                    .ok_or_else(|| ServiceError::BadRequest("empty fragment".to_string()))?;
+                catalog
+                    .insert_subtree(id, target, None, &frag, frag_root)
+                    .map_err(|e| ServiceError::Update(format!("{e}")))?;
+                (uri.clone(), 1)
+            }
+            UpdateOp::DeleteFirst { uri, path } => {
+                let id = catalog
+                    .by_uri(uri)
+                    .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
+                let target = first_match(&catalog, id, path)?;
+                let removed = catalog
+                    .delete_subtree(id, target)
+                    .map_err(|e| ServiceError::Update(format!("{e}")))?;
+                (uri.clone(), removed)
+            }
+            UpdateOp::ReplaceText { uri, path, text } => {
+                let id = catalog
+                    .by_uri(uri)
+                    .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
+                let mut target = first_match(&catalog, id, path)?;
+                // Structural paths address elements; the storage layer
+                // wants the text node itself. Resolve an element target
+                // to its first text child.
+                {
+                    let doc = catalog.doc(id);
+                    if doc.kind(target).is_element() {
+                        target = doc
+                            .children(target)
+                            .find(|&c| matches!(doc.kind(c), xmldb::NodeKind::Text))
+                            .ok_or_else(|| {
+                                ServiceError::BadRequest(format!(
+                                    "path `{path}` selects an element with no text child"
+                                ))
+                            })?;
+                    }
+                }
+                catalog
+                    .replace_text(id, target, text)
+                    .map_err(|e| ServiceError::Update(format!("{e}")))?;
+                (uri.clone(), 1)
+            }
+        };
+        let id = catalog.by_uri(&uri).expect("checked above");
+        let epoch = catalog.epoch(id);
+        let update_seq = self.update_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(UpdateReport {
+            uri,
+            epoch,
+            nodes,
+            update_seq,
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let (cache, cached_plans, memo_entries) = {
+            let c = self.cache.lock().expect("cache lock");
+            (c.counters(), c.len(), c.memo_len())
+        };
+        let documents = self.catalog.read().expect("catalog lock").len();
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            cache,
+            cached_plans,
+            memo_entries,
+            documents,
+            update_seq: self.update_seq.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Run `f` with shared access to the catalog (test and bench hook).
+    pub fn with_catalog_read<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.catalog.read().expect("catalog lock"))
+    }
+
+    /// Resolve `text` to an executable plan: L0 text memo → L1 plan
+    /// cache → full frontend. See [`crate::cache`] for the outcome
+    /// taxonomy. Compilation runs *outside* the cache mutex.
+    fn prepare(
+        &self,
+        text: &str,
+        catalog: &Catalog,
+    ) -> Result<(Arc<PhysPlan>, String, CacheOutcome), ServiceError> {
+        let use_indexes = self.config.use_indexes;
+        let mut invalidated = false;
+        let memo_fp = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            match cache.memo_get(text, catalog) {
+                Some(fp) => match cache.lookup(&fp, use_indexes, catalog) {
+                    Lookup::Hit(plan, label) => {
+                        return Ok((plan, label, CacheOutcome::Hit));
+                    }
+                    Lookup::Revalidated(plan, label) => {
+                        return Ok((plan, label, CacheOutcome::Revalidated));
+                    }
+                    Lookup::Invalidated => {
+                        invalidated = true;
+                        Some(fp)
+                    }
+                    Lookup::Miss => Some(fp),
+                },
+                None => None,
+            }
+        };
+
+        // Slow path. Parsing + normalization are needed for translation
+        // even when the fingerprint was memoized.
+        let parsed = parse_query(text).map_err(|e| ServiceError::Compile(format!("{e}")))?;
+        let normalized = normalize(&parsed, catalog);
+        let fp = match memo_fp {
+            Some(fp) => fp,
+            None => {
+                let fp = Fingerprint::of_normalized(&normalized);
+                let mut cache = self.cache.lock().expect("cache lock");
+                cache.memo_put(text, &fp, catalog);
+                // Another query text may have compiled this same
+                // canonical form already.
+                match cache.lookup(&fp, use_indexes, catalog) {
+                    Lookup::Hit(plan, label) => {
+                        return Ok((plan, label, CacheOutcome::Hit));
+                    }
+                    Lookup::Revalidated(plan, label) => {
+                        return Ok((plan, label, CacheOutcome::Revalidated));
+                    }
+                    Lookup::Invalidated => {
+                        invalidated = true;
+                        fp
+                    }
+                    Lookup::Miss => fp,
+                }
+            }
+        };
+
+        let expr = xquery::translate(&normalized, catalog)
+            .map_err(|e| ServiceError::Compile(format!("{e}")))?;
+        let ranked = unnest::rank_plans_with(
+            unnest::enumerate_plans(&expr, catalog),
+            catalog,
+            use_indexes,
+        );
+        let (choice, _estimate) = ranked
+            .into_iter()
+            .next()
+            .expect("enumerate_plans yields at least the nested plan");
+        let label = choice.label;
+        let plan = Arc::new(if use_indexes {
+            engine::compile_indexed(&choice.expr, catalog)
+        } else {
+            engine::compile(&choice.expr)
+        });
+        self.cache.lock().expect("cache lock").insert(
+            &fp,
+            use_indexes,
+            Arc::clone(&plan),
+            label.clone(),
+            catalog,
+        );
+        let outcome = if invalidated {
+            CacheOutcome::Recompiled
+        } else {
+            CacheOutcome::Miss
+        };
+        Ok((plan, label, outcome))
+    }
+}
+
+/// First node (document order) matching `path` in document `id`,
+/// evaluated from the document node.
+fn first_match(catalog: &Catalog, id: xmldb::DocId, path: &str) -> Result<NodeId, ServiceError> {
+    let parsed = xpath::parse_path(path)
+        .map_err(|e| ServiceError::BadRequest(format!("bad path `{path}`: {e}")))?;
+    let mut counters = xpath::EvalCounters::default();
+    let doc = catalog.doc(id);
+    let hits = xpath::eval_path(doc, &[NodeId::DOCUMENT], &parsed, &mut counters);
+    hits.into_iter().next().ok_or_else(|| {
+        ServiceError::BadRequest(format!("path `{path}` matches nothing in `{}`", doc.uri))
+    })
+}

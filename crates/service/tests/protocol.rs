@@ -1,0 +1,265 @@
+//! Wire-protocol round trips against a real TCP socket: the full frame
+//! grammar, malformed input, concurrent sessions, a client that
+//! disconnects mid-stream, and graceful shutdown.
+
+use service::{serve, ExecMode, Json, QueryService, ServerConfig, ServerHandle, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const BIB: &str = "<bib>\
+    <book year=\"1994\"><title>TCP/IP Illustrated</title>\
+      <author><last>Stevens</last><first>W.</first></author>\
+      <publisher>Addison-Wesley</publisher><price>65.95</price></book>\
+    <book year=\"2000\"><title>Data on the Web</title>\
+      <author><last>Abiteboul</last><first>Serge</first></author>\
+      <publisher>Morgan Kaufmann</publisher><price>39.95</price></book>\
+    </bib>";
+
+const TITLES: &str = r#"let $d := doc("bib.xml") for $t in $d//book/title return <t>{ $t }</t>"#;
+
+fn start_server() -> ServerHandle {
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        cache_capacity: 16,
+        use_indexes: true,
+        exec: ExecMode::Streaming,
+    }));
+    serve(
+        svc,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+        },
+    )
+    .expect("bind")
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, frame: &str) {
+        self.writer.write_all(frame.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad frame `{line}`: {e}"))
+    }
+
+    /// Read until EOF (used after `close`); true when the server closed.
+    fn at_eof(&mut self) -> bool {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map(|n| n == 0)
+            .unwrap_or(true)
+    }
+
+    fn load_bib(&mut self) {
+        self.send(
+            &Json::Obj(vec![
+                ("op".to_string(), Json::str("load")),
+                ("uri".to_string(), Json::str("bib.xml")),
+                ("xml".to_string(), Json::str(BIB)),
+            ])
+            .render(),
+        );
+        let v = self.recv();
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            v.render()
+        );
+    }
+
+    /// Run one query exchange; returns (items, done frame).
+    fn query(&mut self, q: &str) -> (Vec<String>, Json) {
+        self.send(
+            &Json::Obj(vec![
+                ("op".to_string(), Json::str("query")),
+                ("q".to_string(), Json::str(q)),
+            ])
+            .render(),
+        );
+        let begin = self.recv();
+        assert_eq!(
+            begin.get("type").and_then(Json::as_str),
+            Some("begin"),
+            "expected begin, got {}",
+            begin.render()
+        );
+        let mut items = Vec::new();
+        loop {
+            let f = self.recv();
+            match f.get("type").and_then(Json::as_str) {
+                Some("item") => items.push(
+                    f.get("xml")
+                        .and_then(Json::as_str)
+                        .expect("item frame carries xml")
+                        .to_string(),
+                ),
+                Some("done") => return (items, f),
+                _ => panic!("unexpected frame {}", f.render()),
+            }
+        }
+    }
+}
+
+#[test]
+fn full_session_round_trip() {
+    let mut handle = start_server();
+    let mut c = Client::connect(&handle);
+    c.load_bib();
+
+    // Query: streamed items concatenate to the service's own output.
+    let (items, done) = c.query(TITLES);
+    assert_eq!(done.get("rows").and_then(Json::as_u64), Some(2));
+    assert_eq!(done.get("cache").and_then(Json::as_str), Some("miss"));
+    let streamed: String = items.concat();
+    let direct = handle.service().query(TITLES).expect("direct query");
+    assert_eq!(streamed, direct.output, "wire items must equal Ξ output");
+
+    // Same text again: served from the cache.
+    let (_, done) = c.query(TITLES);
+    assert_eq!(done.get("cache").and_then(Json::as_str), Some("hit"));
+
+    // Update through the wire, then verify visibility.
+    c.send(
+        r#"{"op":"update","kind":"retext","uri":"bib.xml","path":"/bib/book/title","text":"Renamed Book"}"#,
+    );
+    let v = c.recv();
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v.render()
+    );
+    // Sequence 2: the `load` counted too (any catalog mutation does).
+    assert_eq!(v.get("update_seq").and_then(Json::as_u64), Some(2));
+    let (items, done) = c.query(TITLES);
+    assert!(items.concat().contains("Renamed Book"));
+    assert_ne!(done.get("cache").and_then(Json::as_str), Some("hit"));
+
+    // Stats reflect the session.
+    c.send(r#"{"op":"stats"}"#);
+    let v = c.recv();
+    assert_eq!(v.get("queries").and_then(Json::as_u64), Some(4));
+    // Two hits: the warm wire query and this test's own direct
+    // `service().query` call above.
+    assert_eq!(v.get("cache_hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(v.get("updates").and_then(Json::as_u64), Some(1));
+    assert_eq!(v.get("documents").and_then(Json::as_u64), Some(1));
+
+    // Close ends only this session.
+    c.send(r#"{"op":"close"}"#);
+    let v = c.recv();
+    assert_eq!(v.get("op").and_then(Json::as_str), Some("close"));
+    assert!(c.at_eof(), "server must close after `close`");
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_frames_do_not_kill_the_session() {
+    let mut handle = start_server();
+    let mut c = Client::connect(&handle);
+    c.load_bib();
+    for bad in [
+        "{not json",
+        r#"{"no_op":1}"#,
+        r#"{"op":"frobnicate"}"#,
+        r#"{"op":"query"}"#,
+        r#"{"op":"update","kind":"insert","uri":"bib.xml"}"#,
+        r#"{"op":"update","kind":"warp","uri":"bib.xml"}"#,
+        r#"{"op":"load","uri":"x.xml","xml":"<unclosed>"}"#,
+        r#"{"op":"query","q":"let $$ nonsense"}"#,
+        r#"{"op":"update","kind":"delete","uri":"ghost.xml","path":"/x"}"#,
+    ] {
+        c.send(bad);
+        let v = c.recv();
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "`{bad}` must draw an error frame, got {}",
+            v.render()
+        );
+    }
+    // The session survived all of it.
+    let (items, _) = c.query(TITLES);
+    assert_eq!(items.len(), 2);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_share_the_cache() {
+    let mut handle = start_server();
+    let mut a = Client::connect(&handle);
+    let mut b = Client::connect(&handle);
+    a.load_bib();
+    let (_, done) = a.query(TITLES);
+    assert_eq!(done.get("cache").and_then(Json::as_str), Some("miss"));
+    // The other session sees the plan the first one compiled.
+    let (_, done) = b.query(TITLES);
+    assert_eq!(done.get("cache").and_then(Json::as_str), Some("hit"));
+    handle.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_the_server_healthy() {
+    let mut handle = start_server();
+    let mut c = Client::connect(&handle);
+    c.load_bib();
+    // Start a query exchange and vanish after the first frame.
+    c.send(
+        &Json::Obj(vec![
+            ("op".to_string(), Json::str("query")),
+            ("q".to_string(), Json::str(TITLES)),
+        ])
+        .render(),
+    );
+    let begin = c.recv();
+    assert_eq!(begin.get("type").and_then(Json::as_str), Some("begin"));
+    drop(c);
+
+    // A fresh session on the same server still works end to end.
+    let mut c2 = Client::connect(&handle);
+    let (items, _) = c2.query(TITLES);
+    assert_eq!(items.len(), 2);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_frame_stops_the_server() {
+    let mut handle = start_server();
+    let mut c = Client::connect(&handle);
+    c.send(r#"{"op":"shutdown"}"#);
+    let v = c.recv();
+    assert_eq!(v.get("op").and_then(Json::as_str), Some("shutdown"));
+    // The accept loop exits; wait() returning proves the graceful path.
+    handle.wait();
+    assert!(handle.is_shutting_down());
+    // New connections are refused (or immediately closed by a racing
+    // accept that observed the flag).
+    match TcpStream::connect(handle.addr()) {
+        Err(_) => {}
+        Ok(s) => {
+            let mut line = String::new();
+            let n = BufReader::new(s).read_line(&mut line).unwrap_or(0);
+            assert_eq!(n, 0, "post-shutdown connection must get EOF");
+        }
+    }
+}

@@ -50,3 +50,23 @@ pub use node::{NodeId, NodeKind};
 pub use parser::{parse_document, ParseError};
 pub use schema::{Occurrence, SchemaFacts};
 pub use stats::DocStats;
+
+// Compile-time `Send + Sync` audit: concurrent serving shares one
+// `Catalog` (and everything reachable from it) across reader threads by
+// `&`, so these bounds are load-bearing API. Evaluating the constant
+// fails to *compile* if an `Rc`, a `RefCell`, or any other non-thread-safe
+// interior ever sneaks into these types — the `static_assertions` idiom,
+// hand-rolled because the container is offline.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<Document>();
+    assert_send_sync::<DocStats>();
+    assert_send_sync::<IndexCatalog>();
+    assert_send_sync::<PathIndex>();
+    assert_send_sync::<ValueIndex>();
+    assert_send_sync::<CompositeValueIndex>();
+    assert_send_sync::<MaintenanceStats>();
+    assert_send_sync::<NodeId>();
+    assert_send_sync::<ValueKey>();
+};

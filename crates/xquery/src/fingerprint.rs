@@ -1,0 +1,446 @@
+//! Normalization fingerprints: a canonical, alpha-renamed rendering of a
+//! normalized query, used as the plan-cache key of the query service.
+//!
+//! Two query texts that differ only in whitespace, comment-irrelevant
+//! layout, or the *names* of bound variables normalize to
+//! alpha-equivalent [`QExpr`]s; [`canonical`] renders both to the same
+//! string by numbering binders in traversal order (`$_0`, `$_1`, …) —
+//! a de Bruijn-style rename performed during printing, so the AST is
+//! never mutated. [`hash64`] folds the rendering into a 64-bit FNV-1a
+//! key for cheap map lookups (the full canonical string is kept next to
+//! the hash wherever collisions must not alias plans).
+//!
+//! ```
+//! use xquery::fingerprint::Fingerprint;
+//! let catalog = xmldb::Catalog::new();
+//! let a = Fingerprint::of_query(
+//!     r#"let $d := doc("bib.xml") for $t in $d//book/title return $t"#,
+//!     &catalog,
+//! ).unwrap();
+//! let b = Fingerprint::of_query(
+//!     "let   $x := doc(\"bib.xml\")\n for $y in $x//book/title\n return $y",
+//!     &catalog,
+//! ).unwrap();
+//! assert_eq!(a.canonical, b.canonical);
+//! assert_eq!(a.docs, vec!["bib.xml".to_string()]);
+//! ```
+
+use std::fmt::Write as _;
+
+use xmldb::Catalog;
+
+use crate::ast::{CPart, Clause, PathAxis, PathStep, QExpr};
+use crate::{normalize, parse_query, CompileError};
+
+/// The cache identity of one normalized query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// The canonical alpha-renamed rendering of the normalized query.
+    pub canonical: String,
+    /// FNV-1a hash of [`Fingerprint::canonical`].
+    pub hash: u64,
+    /// URIs of every document the normalized query references
+    /// (`doc("…")` mentions), sorted and deduplicated — the cache's
+    /// "document set" component.
+    pub docs: Vec<String>,
+}
+
+impl Fingerprint {
+    /// Fingerprint a normalized expression.
+    pub fn of_normalized(normalized: &QExpr) -> Fingerprint {
+        let canonical = canonical(normalized);
+        let hash = hash64(&canonical);
+        let mut docs = Vec::new();
+        collect_docs(normalized, &mut docs);
+        docs.sort();
+        docs.dedup();
+        Fingerprint {
+            canonical,
+            hash,
+            docs,
+        }
+    }
+
+    /// Parse and normalize `query`, then fingerprint the result.
+    pub fn of_query(query: &str, catalog: &Catalog) -> Result<Fingerprint, CompileError> {
+        let parsed = parse_query(query)?;
+        let normalized = normalize(&parsed, catalog);
+        Ok(Fingerprint::of_normalized(&normalized))
+    }
+}
+
+/// 64-bit FNV-1a (the container has no hashing crates; this is the
+/// textbook constant pair).
+pub fn hash64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Render `q` canonically: structure mirrors [`QExpr`]'s `Display`, but
+/// every bound variable prints as its binder's traversal-order index
+/// (`$_N`), so alpha-equivalent expressions render identically. Free
+/// variables (absent from well-formed top-level queries) print by name.
+pub fn canonical(q: &QExpr) -> String {
+    let mut c = Canon {
+        scope: Vec::new(),
+        next: 0,
+        out: String::new(),
+    };
+    c.expr(q);
+    c.out
+}
+
+/// Collect every `doc("…")` URI mentioned anywhere in `q`.
+pub fn collect_docs(q: &QExpr, out: &mut Vec<String>) {
+    match q {
+        QExpr::Doc(uri) => out.push(uri.clone()),
+        QExpr::Flwr { clauses, ret } => {
+            for c in clauses {
+                match c {
+                    Clause::For(bs) | Clause::Let(bs) => {
+                        for (_, e) in bs {
+                            collect_docs(e, out);
+                        }
+                    }
+                    Clause::Where(p) => collect_docs(p, out),
+                }
+            }
+            collect_docs(ret, out);
+        }
+        QExpr::Some_ {
+            range, satisfies, ..
+        }
+        | QExpr::Every {
+            range, satisfies, ..
+        } => {
+            collect_docs(range, out);
+            collect_docs(satisfies, out);
+        }
+        QExpr::Path { base, steps } => {
+            collect_docs(base, out);
+            for s in steps {
+                for p in &s.predicates {
+                    collect_docs(p, out);
+                }
+            }
+        }
+        QExpr::Call(_, args) | QExpr::Seq(args) => {
+            for a in args {
+                collect_docs(a, out);
+            }
+        }
+        QExpr::Cmp(_, l, r) | QExpr::And(l, r) | QExpr::Or(l, r) => {
+            collect_docs(l, out);
+            collect_docs(r, out);
+        }
+        QExpr::Not(x) => collect_docs(x, out),
+        QExpr::Elem { attrs, content, .. } => {
+            for (_, parts) in attrs {
+                for p in parts {
+                    if let CPart::Embed(e) = p {
+                        collect_docs(e, out);
+                    }
+                }
+            }
+            for p in content {
+                if let CPart::Embed(e) = p {
+                    collect_docs(e, out);
+                }
+            }
+        }
+        QExpr::Var(_) | QExpr::Str(_) | QExpr::Int(_) | QExpr::Dec(_) | QExpr::Bool(_) => {}
+    }
+}
+
+/// Rendering state: a lexical scope stack mapping source variable names
+/// to binder indices, plus the running binder counter.
+struct Canon {
+    scope: Vec<(String, usize)>,
+    next: usize,
+    out: String,
+}
+
+impl Canon {
+    fn bind(&mut self, name: &str) {
+        let id = self.next;
+        self.next += 1;
+        self.scope.push((name.to_string(), id));
+    }
+
+    fn var(&mut self, name: &str) {
+        match self.scope.iter().rev().find(|(n, _)| n == name) {
+            Some((_, id)) => {
+                let _ = write!(self.out, "$_{id}");
+            }
+            None => {
+                let _ = write!(self.out, "${name}");
+            }
+        }
+    }
+
+    fn expr(&mut self, q: &QExpr) {
+        match q {
+            QExpr::Flwr { clauses, ret } => {
+                let depth = self.scope.len();
+                for c in clauses {
+                    match c {
+                        Clause::For(bs) => {
+                            self.out.push_str("for ");
+                            for (i, (v, e)) in bs.iter().enumerate() {
+                                if i > 0 {
+                                    self.out.push_str(", ");
+                                }
+                                // Range is evaluated before the binder
+                                // becomes visible.
+                                self.expr(e);
+                                self.bind(v);
+                                let id = self.scope.last().expect("just bound").1;
+                                let _ = write!(self.out, " as $_{id}");
+                            }
+                            self.out.push(' ');
+                        }
+                        Clause::Let(bs) => {
+                            self.out.push_str("let ");
+                            for (i, (v, e)) in bs.iter().enumerate() {
+                                if i > 0 {
+                                    self.out.push_str(", ");
+                                }
+                                self.expr(e);
+                                self.bind(v);
+                                let id = self.scope.last().expect("just bound").1;
+                                let _ = write!(self.out, " as $_{id}");
+                            }
+                            self.out.push(' ');
+                        }
+                        Clause::Where(p) => {
+                            self.out.push_str("where ");
+                            self.expr(p);
+                            self.out.push(' ');
+                        }
+                    }
+                }
+                self.out.push_str("return ");
+                self.expr(ret);
+                self.scope.truncate(depth);
+            }
+            QExpr::Some_ {
+                var,
+                range,
+                satisfies,
+            }
+            | QExpr::Every {
+                var,
+                range,
+                satisfies,
+            } => {
+                let kw = if matches!(q, QExpr::Some_ { .. }) {
+                    "some"
+                } else {
+                    "every"
+                };
+                let depth = self.scope.len();
+                let _ = write!(self.out, "{kw} ");
+                self.expr(range);
+                self.bind(var);
+                let id = self.scope.last().expect("just bound").1;
+                let _ = write!(self.out, " as $_{id} satisfies ");
+                self.expr(satisfies);
+                self.scope.truncate(depth);
+            }
+            QExpr::Path { base, steps } => {
+                self.expr(base);
+                for s in steps {
+                    self.step(s);
+                }
+            }
+            QExpr::Doc(uri) => {
+                let _ = write!(self.out, "doc({uri:?})");
+            }
+            QExpr::Var(v) => self.var(v),
+            QExpr::Str(s) => {
+                let _ = write!(self.out, "{s:?}");
+            }
+            QExpr::Int(i) => {
+                let _ = write!(self.out, "{i}");
+            }
+            QExpr::Dec(d) => {
+                // `{:?}` keeps a trailing `.0`, so `2` and `2.0` (Int vs
+                // Dec literals) never collide.
+                let _ = write!(self.out, "{d:?}");
+            }
+            QExpr::Bool(b) => {
+                let _ = write!(self.out, "{b}()");
+            }
+            QExpr::Call(name, args) => {
+                let _ = write!(self.out, "{name}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            QExpr::Cmp(op, l, r) => {
+                self.expr(l);
+                let _ = write!(self.out, " {op:?} ");
+                self.expr(r);
+            }
+            QExpr::And(l, r) => {
+                self.out.push('(');
+                self.expr(l);
+                self.out.push_str(" and ");
+                self.expr(r);
+                self.out.push(')');
+            }
+            QExpr::Or(l, r) => {
+                self.out.push('(');
+                self.expr(l);
+                self.out.push_str(" or ");
+                self.expr(r);
+                self.out.push(')');
+            }
+            QExpr::Not(x) => {
+                self.out.push_str("not(");
+                self.expr(x);
+                self.out.push(')');
+            }
+            QExpr::Elem {
+                name,
+                attrs,
+                content,
+            } => {
+                let _ = write!(self.out, "<{name}");
+                for (an, parts) in attrs {
+                    let _ = write!(self.out, " {an}=\"");
+                    for p in parts {
+                        self.cpart(p);
+                    }
+                    self.out.push('"');
+                }
+                self.out.push('>');
+                for p in content {
+                    self.cpart(p);
+                }
+                let _ = write!(self.out, "</{name}>");
+            }
+            QExpr::Seq(items) => {
+                self.out.push('(');
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(e);
+                }
+                self.out.push(')');
+            }
+        }
+    }
+
+    fn step(&mut self, s: &PathStep) {
+        match s.axis {
+            PathAxis::Child => {
+                let _ = write!(self.out, "/{}", s.test);
+            }
+            PathAxis::Descendant => {
+                let _ = write!(self.out, "//{}", s.test);
+            }
+            PathAxis::Attribute => {
+                let _ = write!(self.out, "/@{}", s.test);
+            }
+        }
+        for p in &s.predicates {
+            self.out.push('[');
+            self.expr(p);
+            self.out.push(']');
+        }
+    }
+
+    fn cpart(&mut self, p: &CPart) {
+        match p {
+            CPart::Text(t) => {
+                let _ = write!(self.out, "{t:?}");
+            }
+            CPart::Embed(e) => {
+                self.out.push_str("{ ");
+                self.expr(e);
+                self.out.push_str(" }");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(q: &str) -> Fingerprint {
+        Fingerprint::of_query(q, &Catalog::new()).expect("parses")
+    }
+
+    #[test]
+    fn whitespace_is_invisible() {
+        let a = fp(r#"let $d := doc("b.xml") for $t in $d//book/title return $t"#);
+        let b = fp("let $d := doc(\"b.xml\")\n\n   for $t in\n $d//book/title\nreturn   $t");
+        assert_eq!(a.canonical, b.canonical);
+        assert_eq!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn bound_variable_names_are_invisible() {
+        let a = fp(r#"let $d := doc("b.xml") for $t in $d//book/title return <x>{ $t }</x>"#);
+        let b = fp(r#"let $q := doc("b.xml") for $z in $q//book/title return <x>{ $z }</x>"#);
+        assert_eq!(a.canonical, b.canonical);
+    }
+
+    #[test]
+    fn quantifier_binders_rename_too() {
+        let a = fp(r#"let $d := doc("b.xml") for $t in $d//title
+               where some $r in doc("r.xml")//entry/title satisfies $t = $r
+               return $t"#);
+        let b = fp(r#"let $doc := doc("b.xml") for $ti in $doc//title
+               where some $rev in doc("r.xml")//entry/title satisfies $ti = $rev
+               return $ti"#);
+        assert_eq!(a.canonical, b.canonical);
+        assert_eq!(a.docs, vec!["b.xml".to_string(), "r.xml".to_string()]);
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        let a = fp(r#"let $d := doc("b.xml") for $t in $d//book/title return $t"#);
+        let b = fp(r#"let $d := doc("b.xml") for $t in $d//book/author return $t"#);
+        assert_ne!(a.canonical, b.canonical);
+        let c = fp(r#"let $d := doc("c.xml") for $t in $d//book/title return $t"#);
+        assert_ne!(a.canonical, c.canonical);
+    }
+
+    #[test]
+    fn shadowing_resolves_to_innermost_binder() {
+        // The inner `for` re-binds $t; references after it must point at
+        // the inner binder, so renaming only the inner one is invisible…
+        let a = fp(r#"for $t in doc("b.xml")//book for $t in $t/title return $t"#);
+        let b = fp(r#"for $t in doc("b.xml")//book for $u in $t/title return $u"#);
+        assert_eq!(a.canonical, b.canonical);
+        // …while renaming across the shadow boundary is not equivalent
+        // and must not collide.
+        let c = fp(r#"for $t in doc("b.xml")//book for $u in $t/title return $t"#);
+        assert_ne!(a.canonical, c.canonical);
+    }
+
+    #[test]
+    fn int_and_dec_literals_do_not_collide() {
+        let a = fp(r#"for $t in doc("b.xml")//book where $t/@year > 2 return $t"#);
+        let b = fp(r#"for $t in doc("b.xml")//book where $t/@year > 2.0 return $t"#);
+        assert_ne!(a.canonical, b.canonical);
+    }
+
+    #[test]
+    fn hash_is_stable_fnv() {
+        assert_eq!(hash64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash64("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -21,11 +21,13 @@
 //! ```
 
 pub mod ast;
+pub mod fingerprint;
 pub mod normalize;
 pub mod parser;
 pub mod translate;
 
 pub use ast::{CPart, Clause, PathAxis, PathStep, QExpr};
+pub use fingerprint::Fingerprint;
 pub use normalize::normalize;
 pub use parser::{parse_query, QParseError};
 pub use translate::{translate, TranslateError};
