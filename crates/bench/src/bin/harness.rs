@@ -17,10 +17,13 @@
 //! `update` (interleaved insert/query workload: posting-list delta
 //! maintenance vs rebuild-from-scratch), `service` (the query-service
 //! plan cache: cold vs warm latency per workload, then sustained mixed
-//! query/update throughput), or `all`. Every `--json` cell
-//! records the cost model's `predicted_cost` next to the measured time,
-//! so `BENCH_*.json` trajectories can calibrate the probe constants
-//! against reality.
+//! query/update throughput), `observability` (EXPLAIN ANALYZE over
+//! every workload on both executors: per-operator
+//! `(predicted_cost, measured_us, rows)` calibration pairs), or `all`.
+//! Every `--json` cell records the cost model's `predicted_cost` next
+//! to the measured time — and, per operator, the traced companion
+//! run's `operators` array — so `BENCH_*.json` trajectories can
+//! calibrate the probe constants against reality.
 //!
 //! `--indexes on` compiles every measured plan through
 //! `engine::compile_indexed`, so document-rooted path scans and
@@ -214,6 +217,9 @@ fn main() {
     }
     if run_all || args.experiment == "service" {
         service_ablation(&args, &mut report);
+    }
+    if run_all || args.experiment == "observability" {
+        observability(&args, &mut report);
     }
     if let Some(path) = &args.json {
         report
@@ -451,6 +457,7 @@ fn update_ablation(args: &Args, report: &mut Report) {
                 index_lookups: 0,
                 index_hits: 0,
                 predicted_cost: None,
+                operators: Vec::new(),
             };
             report.record(
                 "update",
@@ -553,6 +560,7 @@ fn service_ablation(args: &Args, report: &mut Report) {
                 cache_capacity: 64,
                 use_indexes: true,
                 exec: ExecMode::Streaming,
+                slow_query_us: None,
             },
         ));
         for w in &all {
@@ -604,6 +612,7 @@ fn service_ablation(args: &Args, report: &mut Report) {
                     index_lookups: 0,
                     index_hits: 0,
                     predicted_cost: None,
+                    operators: Vec::new(),
                 };
                 report.record("service", cfg, &[("scale", scale as i64)], &m);
             }
@@ -667,6 +676,7 @@ fn service_ablation(args: &Args, report: &mut Report) {
             index_lookups: 0,
             index_hits: 0,
             predicted_cost: None,
+            operators: Vec::new(),
         };
         report.record(
             "service",
@@ -684,6 +694,81 @@ fn service_ablation(args: &Args, report: &mut Report) {
             &m,
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Observability: EXPLAIN ANALYZE calibration pairs for every workload
+// ---------------------------------------------------------------------
+
+/// Run every workload (Q1–Q10: the equality, range and composite sets)
+/// on **both** executors with per-operator tracing and print predicted
+/// cost vs measured time for the root operator; the full per-operator
+/// `(predicted_cost, measured_us, rows)` pairs land in the `--json`
+/// cells' `operators` arrays (`bench-observability.json` in CI). Every
+/// operator of every plan must come back priced and measured — a node
+/// the cost walk cannot price or the tracer never attributes fails the
+/// run here, not downstream in calibration.
+fn observability(args: &Args, report: &mut Report) {
+    println!("== Observability: EXPLAIN ANALYZE over all workloads, both executors ==\n");
+    let all: Vec<&workloads::Workload> = workloads::ALL
+        .iter()
+        .chain(workloads::RANGE.iter())
+        .chain(workloads::COMPOSITE.iter())
+        .collect();
+    let scale = args.scales.first().copied().unwrap_or(100);
+    let catalog = standard_catalog(scale, 2, args.seed);
+    println!(
+        "{:<16} {:<14} {:<13} {:>5} {:>14} {:>12}",
+        "workload", "plan", "executor", "ops", "root cost", "root time"
+    );
+    for w in &all {
+        for executor in [Executor::Materialized, Executor::Streaming] {
+            let cfg = RunConfig::new(executor, args.indexes);
+            for (label, expr) in plans_for(w, &catalog) {
+                if label == "nested" && scale > args.nested_cap {
+                    continue;
+                }
+                let m = measure_plan_cfg(&label, &expr, &catalog, cfg);
+                assert!(
+                    !m.operators.is_empty(),
+                    "[observability] {} `{label}` on {} produced no operator rows",
+                    w.id,
+                    executor.label()
+                );
+                for o in &m.operators {
+                    assert!(
+                        o.predicted_cost.is_some(),
+                        "[observability] {} `{label}`: operator {} unpriced",
+                        w.id,
+                        o.op
+                    );
+                    assert!(
+                        o.calls > 0,
+                        "[observability] {} `{label}`: operator {} never entered",
+                        w.id,
+                        o.op
+                    );
+                }
+                let root = &m.operators[0];
+                println!(
+                    "{:<16} {:<14} {:<13} {:>5} {:>14.1} {:>12}",
+                    w.id,
+                    label,
+                    executor.label(),
+                    m.operators.len(),
+                    root.predicted_cost.unwrap_or(f64::NAN),
+                    fmt_secs(std::time::Duration::from_micros(root.measured_us), false)
+                );
+                report.record(
+                    &format!("observability:{}", w.id),
+                    cfg,
+                    &[("scale", scale as i64)],
+                    &m,
+                );
+            }
+        }
+    }
+    println!();
 }
 
 // ---------------------------------------------------------------------

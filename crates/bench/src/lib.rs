@@ -68,16 +68,57 @@ impl RunConfig {
 
     /// Compile (with or without the index rewrite) and run.
     pub fn run(self, expr: &Expr, catalog: &Catalog) -> nal::EvalResult<engine::QueryResult> {
-        let plan = if self.indexes {
-            engine::compile_indexed(expr, catalog)
-        } else {
-            engine::compile(expr)
-        };
+        let plan = self.compile(expr, catalog);
         match self.executor {
             Executor::Materialized => engine::run_compiled(&plan, catalog),
             Executor::Streaming => engine::run_streaming_compiled(&plan, catalog),
         }
     }
+
+    /// Compile under this configuration's index mode.
+    pub fn compile(self, expr: &Expr, catalog: &Catalog) -> engine::PhysPlan {
+        if self.indexes {
+            engine::compile_indexed(expr, catalog)
+        } else {
+            engine::compile(expr)
+        }
+    }
+
+    /// Run an already-compiled plan with per-operator tracing
+    /// ([`engine::run_traced`] / [`engine::run_streaming_traced`]).
+    pub fn run_traced(
+        self,
+        plan: &engine::PhysPlan,
+        catalog: &Catalog,
+    ) -> nal::EvalResult<(engine::QueryResult, nal::obs::ExecTrace)> {
+        match self.executor {
+            Executor::Materialized => engine::run_traced(plan, catalog),
+            Executor::Streaming => engine::run_streaming_traced(plan, catalog),
+        }
+    }
+}
+
+/// One operator row of an EXPLAIN ANALYZE'd measurement: the predicted
+/// cost next to the measured figures for the same plan node — the
+/// per-operator calibration pair every `--json` cell carries.
+#[derive(Clone, Debug)]
+pub struct OpCell {
+    /// Operator display name.
+    pub op: String,
+    /// Tree depth (root = 0).
+    pub depth: usize,
+    /// Output rows the operator produced.
+    pub rows: u64,
+    /// Times the operator was entered.
+    pub calls: u64,
+    /// Inclusive measured wall time, microseconds.
+    pub measured_us: u64,
+    /// Index probes issued in this operator's subtree.
+    pub index_lookups: u64,
+    /// Index probes that found at least one node.
+    pub index_hits: u64,
+    /// The cost model's inclusive prediction for this node.
+    pub predicted_cost: Option<f64>,
 }
 
 /// One measured (plan, scale) cell.
@@ -101,6 +142,9 @@ pub struct Measurement {
     /// reality (the cost-model calibration hook). `None` for
     /// extrapolated cells.
     pub predicted_cost: Option<f64>,
+    /// Per-operator `(predicted_cost, measured)` pairs from a traced
+    /// companion run of the same plan (empty for extrapolated cells).
+    pub operators: Vec<OpCell>,
 }
 
 impl Measurement {
@@ -117,6 +161,7 @@ impl Measurement {
             index_lookups: 0,
             index_hits: 0,
             predicted_cost: None,
+            operators: Vec::new(),
         }
     }
 
@@ -176,9 +221,34 @@ pub fn measure_plan_cfg(
             cfg.indexes_label()
         )
     });
+    let elapsed = start.elapsed();
+    // A second, traced companion run yields the per-operator figures
+    // (EXPLAIN ANALYZE). Kept out of the timed run above so the
+    // per-operator clock reads never perturb the headline time.
+    let plan = cfg.compile(expr, catalog);
+    let operators = match cfg.run_traced(&plan, catalog) {
+        Ok((_, trace)) => {
+            let mut rep = engine::ExplainReport::from_trace(&plan, &trace);
+            rep.annotate_costs(&unnest::plan_cost_map(&plan, catalog, cfg.indexes));
+            rep.nodes
+                .into_iter()
+                .map(|n| OpCell {
+                    op: n.op,
+                    depth: n.depth,
+                    rows: n.rows,
+                    calls: n.calls,
+                    measured_us: n.elapsed_us,
+                    index_lookups: n.index_lookups,
+                    index_hits: n.index_hits,
+                    predicted_cost: n.predicted_cost,
+                })
+                .collect()
+        }
+        Err(_) => Vec::new(),
+    };
     Measurement {
         plan: label.to_string(),
-        elapsed: start.elapsed(),
+        elapsed,
         doc_scans: result.metrics.doc_scans,
         output_len: result.output.len(),
         estimated: false,
@@ -187,6 +257,7 @@ pub fn measure_plan_cfg(
         index_lookups: result.metrics.index_lookups,
         index_hits: result.metrics.index_hits,
         predicted_cost: Some(predicted),
+        operators,
     }
 }
 
@@ -244,6 +315,29 @@ impl Report {
                 },
             ),
         ];
+        let ops: Vec<String> = m
+            .operators
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"op\": {}, \"depth\": {}, \"rows\": {}, \"calls\": {}, \
+                     \"measured_us\": {}, \"index_lookups\": {}, \"index_hits\": {}, \
+                     \"predicted_cost\": {}}}",
+                    json_str(&o.op),
+                    o.depth,
+                    o.rows,
+                    o.calls,
+                    o.measured_us,
+                    o.index_lookups,
+                    o.index_hits,
+                    match o.predicted_cost {
+                        Some(c) if c.is_finite() => format!("{c}"),
+                        _ => "null".to_string(),
+                    }
+                )
+            })
+            .collect();
+        fields.push(("operators".to_string(), format!("[{}]", ops.join(", "))));
         for (k, v) in knobs {
             fields.push(((*k).to_string(), v.to_string()));
         }
@@ -387,6 +481,14 @@ mod tests {
         );
         assert_eq!(scan.output_len, indexed.output_len);
         assert!(indexed.index_lookups > 0);
+        // Every measured cell carries per-operator calibration pairs,
+        // each node priced by the physical cost walk.
+        for m in [&scan, &indexed] {
+            assert!(!m.operators.is_empty());
+            assert!(m.operators.iter().all(|o| o.predicted_cost.is_some()));
+            let root = m.operators[0].measured_us;
+            assert!(m.operators.iter().all(|o| o.measured_us <= root));
+        }
         assert!(
             indexed.tuples_examined() < scan.tuples_examined(),
             "indexed {} vs scan {}",
@@ -408,6 +510,7 @@ mod tests {
         let json = r.to_json();
         assert!(json.starts_with("[\n"), "{json}");
         assert!(json.contains("\"experiment\": \"grouping\""), "{json}");
+        assert!(json.contains("\"operators\": []"), "{json}");
         assert!(json.contains("\"plan\": \"outer \\\"join\\\"\""), "{json}");
         assert!(json.contains("\"indexes\": \"on\""), "{json}");
         assert!(json.contains("\"scale\": 100"), "{json}");

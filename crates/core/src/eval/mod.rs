@@ -117,6 +117,13 @@ pub struct EvalCtx<'a> {
     pub out: String,
     /// Collected counters.
     pub metrics: Metrics,
+    /// Optional per-operator execution trace. `None` (the default) keeps
+    /// the executors' hot paths untimed; a traced run
+    /// ([`EvalCtx::enable_trace`]) makes both executors record per-node
+    /// wall time, rows, and probe deltas here. Kept *outside*
+    /// [`Metrics`] so the executor counter-parity invariants never
+    /// compare timing.
+    pub trace: Option<crate::obs::ExecTrace>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -126,7 +133,18 @@ impl<'a> EvalCtx<'a> {
             catalog,
             out: String::new(),
             metrics: Metrics::default(),
+            trace: None,
         }
+    }
+
+    /// Turn on per-operator tracing for this context.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(crate::obs::ExecTrace::new());
+    }
+
+    /// Take the recorded execution trace (if tracing was enabled).
+    pub fn take_trace(&mut self) -> Option<crate::obs::ExecTrace> {
+        self.trace.take()
     }
 
     /// Take the Ξ output accumulated so far.

@@ -22,6 +22,7 @@
 
 pub mod eval;
 pub mod expr;
+pub mod obs;
 pub mod scalar;
 pub mod sequence;
 pub mod sym;

@@ -30,7 +30,35 @@ pub(crate) fn scoped<'a>(env: &Tuple, t: &'a Tuple) -> Cow<'a, Tuple> {
 
 /// Execute a plan under an environment (non-empty only for nested
 /// evaluation contexts).
+///
+/// When the context carries a trace ([`EvalCtx::enable_trace`]), every
+/// node records inclusive wall time, output rows, and index-probe deltas
+/// under its address — the materializing side of EXPLAIN ANALYZE.
+/// Untraced runs take the first branch and pay a single `Option` check
+/// per node.
 pub fn execute(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
+    if ctx.trace.is_none() {
+        return execute_node(plan, env, ctx);
+    }
+    let start = std::time::Instant::now();
+    let (lookups0, hits0) = (ctx.metrics.index_lookups, ctx.metrics.index_hits);
+    let out = execute_node(plan, env, ctx)?;
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let lookups = ctx.metrics.index_lookups - lookups0;
+    let hits = ctx.metrics.index_hits - hits0;
+    if let Some(trace) = ctx.trace.as_mut() {
+        trace.record(
+            plan as *const PhysPlan as usize,
+            out.len() as u64,
+            elapsed_ns,
+            lookups,
+            hits,
+        );
+    }
+    Ok(out)
+}
+
+fn execute_node(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Seq> {
     let out = match plan {
         PhysPlan::Singleton => vec![Tuple::empty()],
         PhysPlan::Literal(rows) => rows.clone(),

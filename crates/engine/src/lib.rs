@@ -17,6 +17,7 @@
 
 pub mod access;
 pub mod exec;
+pub mod explain;
 pub mod key;
 pub mod pipeline;
 pub mod plan;
@@ -25,6 +26,7 @@ pub use access::{
     apply_indexes, for_each_access_path, join_recipe, revalidate_plan, AccessPathRef, AccessRecipe,
 };
 pub use exec::execute;
+pub use explain::{run_streaming_traced, run_traced, ExplainNode, ExplainReport};
 pub use pipeline::{drain, Cursor};
 pub use plan::{compile, JoinKind, PhysPlan};
 

@@ -40,11 +40,34 @@ pub struct Metered<'p> {
     pub inner: BoxCursor<'p>,
     /// Operator name the counts are attributed to.
     pub name: &'static str,
+    /// Plan-node identity (the node's address) the execution trace
+    /// attributes this cursor's work to when tracing is enabled.
+    pub node: usize,
 }
 
 impl Cursor for Metered<'_> {
     fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if ctx.trace.is_none() {
+            let item = self.inner.next(ctx)?;
+            if item.is_some() {
+                ctx.metrics.tuples_produced += 1;
+                ctx.metrics.bump_op(self.name, 1);
+            }
+            return Ok(item);
+        }
+        // Traced run: per-pull inclusive timing plus index-probe deltas,
+        // accumulated under the plan node's identity. Children are pulled
+        // inside `inner.next`, so like the materializing executor the
+        // recorded time is inclusive of the subtree.
+        let start = std::time::Instant::now();
+        let (lookups0, hits0) = (ctx.metrics.index_lookups, ctx.metrics.index_hits);
         let item = self.inner.next(ctx)?;
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let lookups = ctx.metrics.index_lookups - lookups0;
+        let hits = ctx.metrics.index_hits - hits0;
+        if let Some(trace) = ctx.trace.as_mut() {
+            trace.record(self.node, item.is_some() as u64, elapsed_ns, lookups, hits);
+        }
         if item.is_some() {
             ctx.metrics.tuples_produced += 1;
             ctx.metrics.bump_op(self.name, 1);

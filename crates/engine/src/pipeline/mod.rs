@@ -335,7 +335,11 @@ pub fn lower<'p>(plan: &'p PhysPlan, env: &Tuple) -> BoxCursor<'p> {
             cached: None,
         }),
     };
-    Box::new(Metered { inner, name })
+    Box::new(Metered {
+        inner,
+        name,
+        node: plan as *const PhysPlan as usize,
+    })
 }
 
 /// Execute a plan by streaming it to exhaustion — the cursor-level

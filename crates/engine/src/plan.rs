@@ -293,7 +293,11 @@ impl PhysPlan {
         }
     }
 
-    fn children(&self) -> Vec<&PhysPlan> {
+    /// The node's direct plan inputs, in left-to-right order (the probe
+    /// side only for [`PhysPlan::IndexJoin`] — the build side is never
+    /// executed). Used by explain rendering and per-node cost/trace
+    /// walks.
+    pub fn children(&self) -> Vec<&PhysPlan> {
         match self {
             PhysPlan::Singleton | PhysPlan::Literal(_) | PhysPlan::AttrRel(_) => vec![],
             PhysPlan::Select { input, .. }

@@ -2,16 +2,17 @@
 //!
 //! ```text
 //! xqd-server [--addr HOST:PORT] [--cache N] [--scale N] [--seed N]
-//!            [--no-indexes] [--smoke]
+//!            [--no-indexes] [--slow-query-log MS] [--smoke]
 //! ```
 //!
 //! `--scale N` preloads the standard six-document paper workload at
 //! scale `N` so clients can query without a `load` step. `--smoke`
 //! starts the server on an ephemeral port, runs a scripted client
 //! session against it over a real socket (load, cold query, warm query
-//! that must be a cache hit, update, post-update query, stats,
-//! shutdown), prints the transcript, and exits non-zero on any
-//! mismatch — this is the CI smoke test.
+//! that must be a cache hit, update, post-update query, explain,
+//! stats, metrics — checked for Prometheus line format and counter
+//! agreement with stats — shutdown), prints the transcript, and exits
+//! non-zero on any mismatch — this is the CI smoke test.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -26,6 +27,7 @@ struct Args {
     scale: Option<usize>,
     seed: u64,
     use_indexes: bool,
+    slow_query_ms: Option<u64>,
     smoke: bool,
 }
 
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         scale: None,
         seed: 42,
         use_indexes: true,
+        slow_query_ms: None,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -61,11 +64,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--no-indexes" => args.use_indexes = false,
+            "--slow-query-log" => {
+                args.slow_query_ms = Some(
+                    value("--slow-query-log")?
+                        .parse()
+                        .map_err(|e| format!("--slow-query-log: {e}"))?,
+                )
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 println!(
                     "usage: xqd-server [--addr HOST:PORT] [--cache N] [--scale N] \
-                     [--seed N] [--no-indexes] [--smoke]"
+                     [--seed N] [--no-indexes] [--slow-query-log MS] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -87,6 +97,7 @@ fn main() -> ExitCode {
         cache_capacity: args.cache,
         use_indexes: args.use_indexes,
         exec: ExecMode::Streaming,
+        slow_query_us: args.slow_query_ms.map(|ms| ms * 1000),
     }));
     if let Some(scale) = args.scale {
         if let Err(e) = svc.load_standard(scale, args.seed) {
@@ -233,20 +244,120 @@ fn run_smoke(addr: std::net::SocketAddr) -> Result<(), String> {
         ));
     }
 
-    // 5. Stats must reflect the session.
+    // 5. EXPLAIN ANALYZE: one frame, per-operator measured figures
+    //    alongside predicted costs.
+    let frame = Json::Obj(vec![
+        ("op".to_string(), Json::str("explain")),
+        ("q".to_string(), Json::str(q)),
+    ])
+    .render();
+    send(&frame)?;
+    let v = recv(&mut reader)?;
+    expect_ok(&v, "explain")?;
+    let operators = match v.get("operators") {
+        Some(Json::Arr(ops)) if !ops.is_empty() => ops.clone(),
+        other => return Err(format!("explain: missing operators, got {other:?}")),
+    };
+    for op in &operators {
+        if op.get("op").and_then(Json::as_str).is_none()
+            || op.get("rows").and_then(Json::as_u64).is_none()
+            || op.get("elapsed_us").and_then(Json::as_u64).is_none()
+        {
+            return Err(format!("explain: malformed operator {}", op.render()));
+        }
+    }
+    if !operators
+        .iter()
+        .any(|op| op.get("predicted_cost").and_then(Json::as_f64).is_some())
+    {
+        return Err("explain: no operator carries a predicted cost".to_string());
+    }
+    if v.get("stages")
+        .map(|s| matches!(s, Json::Arr(a) if !a.is_empty()))
+        != Some(true)
+    {
+        return Err("explain: missing stage spans".to_string());
+    }
+
+    // 6. Stats must reflect the session.
     send(r#"{"op":"stats"}"#)?;
     let v = recv(&mut reader)?;
     expect_ok(&v, "stats")?;
-    if v.get("cache_hits").and_then(Json::as_u64) != Some(1) {
-        return Err(format!("expected exactly 1 cache hit, got {}", v.render()));
+    // Warm query + explain (same text, traced run) each hit the cache.
+    if v.get("cache_hits").and_then(Json::as_u64) != Some(2) {
+        return Err(format!("expected exactly 2 cache hits, got {}", v.render()));
     }
     if v.get("updates").and_then(Json::as_u64) != Some(1) {
         return Err(format!("expected exactly 1 update, got {}", v.render()));
     }
+    let stats_queries = v.get("queries").and_then(Json::as_u64).unwrap_or(0);
+    let stats_errors = v.get("errors").and_then(Json::as_u64).unwrap_or(0);
 
-    // 6. Graceful shutdown.
+    // 7. Metrics: Prometheus text exposition whose counters agree with
+    //    the stats frame, every line well-formed.
+    send(r#"{"op":"metrics"}"#)?;
+    let v = recv(&mut reader)?;
+    expect_ok(&v, "metrics")?;
+    let text = v
+        .get("text")
+        .and_then(Json::as_str)
+        .ok_or("metrics: missing text field")?
+        .to_string();
+    check_prometheus_format(&text)?;
+    let queries =
+        prometheus_value(&text, "xqd_queries_total").ok_or("metrics: missing xqd_queries_total")?;
+    if queries != stats_queries as f64 {
+        return Err(format!(
+            "metrics/stats disagree on queries: {queries} vs {stats_queries}"
+        ));
+    }
+    let errors =
+        prometheus_value(&text, "xqd_errors_total").ok_or("metrics: missing xqd_errors_total")?;
+    if errors != stats_errors as f64 {
+        return Err(format!(
+            "metrics/stats disagree on errors: {errors} vs {stats_errors}"
+        ));
+    }
+    if prometheus_value(&text, "xqd_updates_total") != Some(1.0) {
+        return Err("metrics: expected xqd_updates_total 1".to_string());
+    }
+
+    // 8. Graceful shutdown.
     send(r#"{"op":"shutdown"}"#)?;
     let v = recv(&mut reader)?;
     expect_ok(&v, "shutdown")?;
     Ok(())
+}
+
+/// Check every non-empty line of a Prometheus text exposition is either
+/// a `#` comment or `name[{labels}] value` with a parseable value.
+fn check_prometheus_format(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("metrics: no value in line `{line}`"))?;
+        let bare = name_part.split('{').next().unwrap_or("");
+        if bare.is_empty()
+            || !bare
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("metrics: bad metric name in line `{line}`"));
+        }
+        if value_part != "+Inf" && value_part.parse::<f64>().is_err() {
+            return Err(format!("metrics: bad value in line `{line}`"));
+        }
+    }
+    Ok(())
+}
+
+/// The sample value of an unlabelled metric in a Prometheus exposition.
+fn prometheus_value(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
 }

@@ -27,16 +27,18 @@
 
 pub mod cache;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod service;
 
 pub use cache::{CacheCounters, CacheOutcome, PlanCache};
 pub use json::Json;
+pub use metrics::{render_prometheus, HistogramSnapshot, LatencyHistogram, MetricsRegistry};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use service::{
-    ExecMode, QueryOutcome, QueryService, ServiceConfig, ServiceError, ServiceStats, UpdateOp,
-    UpdateReport,
+    ExecMode, ExplainOutcome, QueryOutcome, QueryService, ServiceConfig, ServiceError,
+    ServiceStats, UpdateOp, UpdateReport,
 };
 
 // Compile-time `Send + Sync` audit (complementing the one in `xmldb`):

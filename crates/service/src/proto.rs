@@ -11,7 +11,9 @@
 //! {"op":"update","kind":"insert","uri":"bib.xml","parent":"/bib","xml":"<book>…</book>"}
 //! {"op":"update","kind":"delete","uri":"bib.xml","path":"/bib/book"}
 //! {"op":"update","kind":"retext","uri":"bib.xml","path":"/bib/book/title","text":"New"}
+//! {"op":"explain","q":"for $t in doc(\"bib.xml\")//title return $t"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"close"}
 //! {"op":"shutdown"}
 //! ```
@@ -30,9 +32,17 @@
 //! {"type":"item","xml":"<t>Data on the Web</t>"}
 //! {"type":"done","rows":2,"plan":"semijoin","cache":"hit","elapsed_us":184,"updates_seen":0}
 //! ```
+//!
+//! `explain` runs the query with per-operator tracing and answers with
+//! one frame carrying the stage spans, the annotated operator list
+//! (measured rows/calls/time/probes next to the predicted cost), and
+//! the rendered tree. `metrics` answers with one frame whose `text`
+//! field is the Prometheus text exposition of the service registry —
+//! the same counters the `stats` frame reports as JSON.
 
 use crate::json::Json;
-use crate::service::{QueryService, ServiceStats, UpdateOp};
+use crate::metrics::render_prometheus;
+use crate::service::{ExplainOutcome, QueryService, ServiceStats, UpdateOp};
 
 /// A parsed request frame.
 #[derive(Clone, Debug)]
@@ -58,8 +68,15 @@ pub enum Request {
     ),
     /// Apply one mutation.
     Update(UpdateOp),
+    /// Run a query with per-operator tracing (EXPLAIN ANALYZE).
+    Explain(
+        /// The XQuery text.
+        String,
+    ),
     /// Report service counters.
     Stats,
+    /// Report the Prometheus text exposition of the metrics registry.
+    Metrics,
     /// End this session (the connection closes after the reply).
     Close,
     /// Stop the whole server gracefully.
@@ -105,6 +122,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::LoadStandard { scale, seed })
         }
         "query" => Ok(Request::Query(need_str(&v, "q")?)),
+        "explain" => Ok(Request::Explain(need_str(&v, "q")?)),
+        "metrics" => Ok(Request::Metrics),
         "update" => {
             let kind = need_str(&v, "kind")?;
             let uri = need_str(&v, "uri")?;
@@ -182,6 +201,98 @@ pub fn stats_frame(s: &ServiceStats) -> String {
             ("memo_entries".to_string(), Json::num(s.memo_entries as f64)),
             ("documents".to_string(), Json::num(s.documents as f64)),
             ("update_seq".to_string(), Json::num(s.update_seq as f64)),
+            ("errors".to_string(), Json::num(s.errors as f64)),
+            (
+                "active_sessions".to_string(),
+                Json::num(s.active_sessions as f64),
+            ),
+            ("plan_hits".to_string(), Json::num(s.plan_hits as f64)),
+            (
+                "plan_revalidations".to_string(),
+                Json::num(s.plan_revalidations as f64),
+            ),
+            (
+                "plan_recompiles".to_string(),
+                Json::num(s.plan_recompiles as f64),
+            ),
+            ("plan_misses".to_string(), Json::num(s.plan_misses as f64)),
+            (
+                "postings_built".to_string(),
+                Json::num(s.maintenance.postings_built as f64),
+            ),
+            (
+                "postings_maintained".to_string(),
+                Json::num(s.maintenance.postings_maintained as f64),
+            ),
+            (
+                "full_builds".to_string(),
+                Json::num(s.maintenance.full_builds as f64),
+            ),
+            (
+                "delta_updates".to_string(),
+                Json::num(s.maintenance.delta_updates as f64),
+            ),
+            ("query_p50_us".to_string(), Json::num(s.query_p50_us as f64)),
+            ("query_p90_us".to_string(), Json::num(s.query_p90_us as f64)),
+            ("query_p99_us".to_string(), Json::num(s.query_p99_us as f64)),
+        ],
+    )
+}
+
+/// Render the `explain` response payload: run metadata, stage spans,
+/// the annotated operator list, and the rendered tree.
+pub fn explain_frame(o: &ExplainOutcome) -> String {
+    let stages: Vec<Json> = o
+        .trace
+        .stages
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("stage".to_string(), Json::str(s.stage.label())),
+                ("us".to_string(), Json::num(s.duration_us() as f64)),
+            ])
+        })
+        .collect();
+    let operators: Vec<Json> = o
+        .report
+        .nodes
+        .iter()
+        .map(|n| {
+            Json::Obj(vec![
+                ("op".to_string(), Json::str(n.op.clone())),
+                ("depth".to_string(), Json::num(n.depth as f64)),
+                ("rows".to_string(), Json::num(n.rows as f64)),
+                ("calls".to_string(), Json::num(n.calls as f64)),
+                ("elapsed_us".to_string(), Json::num(n.elapsed_us as f64)),
+                (
+                    "index_lookups".to_string(),
+                    Json::num(n.index_lookups as f64),
+                ),
+                ("index_hits".to_string(), Json::num(n.index_hits as f64)),
+                (
+                    "predicted_cost".to_string(),
+                    match n.predicted_cost {
+                        Some(c) => Json::num(c),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    ok_frame(
+        "explain",
+        vec![
+            ("plan".to_string(), Json::str(o.plan.clone())),
+            ("cache".to_string(), Json::str(o.cache.label())),
+            ("rows".to_string(), Json::num(o.rows as f64)),
+            ("total_us".to_string(), Json::num(o.trace.total_us as f64)),
+            (
+                "fingerprint".to_string(),
+                Json::str(format!("{:016x}", o.fingerprint)),
+            ),
+            ("stages".to_string(), Json::Arr(stages)),
+            ("operators".to_string(), Json::Arr(operators)),
+            ("text".to_string(), Json::str(o.report.render())),
         ],
     )
 }
@@ -241,8 +352,28 @@ pub fn handle_line(svc: &QueryService, line: &str, emit: &mut dyn FnMut(&str) ->
             emit(&frame);
             Control::Continue
         }
+        Request::Explain(q) => {
+            let frame = match svc.explain(&q) {
+                Ok(o) => explain_frame(&o),
+                Err(e) => error_frame(&e.to_string()),
+            };
+            emit(&frame);
+            Control::Continue
+        }
         Request::Stats => {
             emit(&stats_frame(&svc.stats()));
+            Control::Continue
+        }
+        Request::Metrics => {
+            let text = render_prometheus(
+                &svc.stats(),
+                &svc.metrics().query_latency(),
+                &svc.metrics().update_latency(),
+            );
+            emit(&ok_frame(
+                "metrics",
+                vec![("text".to_string(), Json::str(text))],
+            ));
             Control::Continue
         }
         Request::Close => {

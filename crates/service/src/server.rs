@@ -149,6 +149,16 @@ fn accept_loop(
     }
 }
 
+/// Decrements the active-session gauge when a connection thread exits,
+/// whichever return path it takes.
+struct SessionGuard<'a>(&'a QueryService);
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.metrics().session_ended();
+    }
+}
+
 /// Serve one connection to completion. Returns `true` when the client
 /// requested server shutdown.
 fn serve_connection(stream: TcpStream, service: &QueryService, shutdown: &AtomicBool) -> bool {
@@ -156,6 +166,9 @@ fn serve_connection(stream: TcpStream, service: &QueryService, shutdown: &Atomic
         Ok(r) => r,
         Err(_) => return false,
     };
+    // Active-session gauge: decremented on every exit path by the guard.
+    service.metrics().session_started();
+    let _session = SessionGuard(service);
     let _ = reader.set_read_timeout(Some(POLL_INTERVAL));
     let mut writer = stream;
     let mut emit = |frame: &str| -> bool {

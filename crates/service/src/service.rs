@@ -20,14 +20,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use engine::PhysPlan;
+use engine::{ExplainReport, PhysPlan};
+use nal::obs::{Clock, QueryTrace, Stage};
 use nal::{EvalCtx, Metrics, Tuple};
-use xmldb::{parse_document, Catalog, NodeId};
+use xmldb::{parse_document, Catalog, MaintenanceStats, NodeId};
 use xquery::{normalize, parse_query, Fingerprint};
 
 use crate::cache::{CacheCounters, CacheOutcome, Lookup, PlanCache};
+use crate::metrics::MetricsRegistry;
 
 /// Which executor runs the (cached or fresh) physical plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +52,10 @@ pub struct ServiceConfig {
     pub use_indexes: bool,
     /// Executor for [`QueryService::query`].
     pub exec: ExecMode,
+    /// Log queries whose whole-query latency reaches this many
+    /// microseconds to stderr, with fingerprint and stage breakdown
+    /// (`None` disables the slow-query log).
+    pub slow_query_us: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +64,7 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             use_indexes: true,
             exec: ExecMode::Streaming,
+            slow_query_us: None,
         }
     }
 }
@@ -114,6 +121,14 @@ pub struct QueryOutcome {
     /// True when a streaming consumer cancelled mid-stream (`output`
     /// then holds only what was produced before the cut).
     pub cancelled: bool,
+    /// Stage-level timing of this run (parse/normalize/cache/unnest/
+    /// plan/execute spans plus the whole-query total), all read off one
+    /// monotonic clock — [`QueryOutcome::elapsed`] equals the execute
+    /// span of this trace.
+    pub trace: QueryTrace,
+    /// FNV-1a fingerprint hash of the normalized query (the plan-cache
+    /// identity; what the slow-query log prints).
+    pub fingerprint: u64,
 }
 
 /// One mutation, addressed by document URI and a structural path
@@ -184,6 +199,46 @@ pub struct ServiceStats {
     pub documents: usize,
     /// Current update sequence number.
     pub update_seq: u64,
+    /// Failed requests (compile, execution, update, or load errors).
+    pub errors: u64,
+    /// Currently open server connections.
+    pub active_sessions: u64,
+    /// Queries resolved as plain plan-cache hits.
+    pub plan_hits: u64,
+    /// Queries resolved by revalidating a stale cached plan.
+    pub plan_revalidations: u64,
+    /// Queries that recompiled after an invalidated cache entry.
+    pub plan_recompiles: u64,
+    /// Queries compiled from scratch (no cached plan).
+    pub plan_misses: u64,
+    /// Cumulative index maintenance counters (posting writes, full
+    /// builds, delta updates) from the catalog's index layer.
+    pub maintenance: MaintenanceStats,
+    /// Median whole-query latency (µs, histogram bucket bound).
+    pub query_p50_us: u64,
+    /// 90th-percentile whole-query latency (µs).
+    pub query_p90_us: u64,
+    /// 99th-percentile whole-query latency (µs).
+    pub query_p99_us: u64,
+}
+
+/// What [`QueryService::explain`] reports: the per-operator annotated
+/// plan plus the same run metadata a normal query returns.
+#[derive(Debug)]
+pub struct ExplainOutcome {
+    /// The annotated plan tree — measured rows/calls/time/probes and
+    /// predicted cost per operator.
+    pub report: ExplainReport,
+    /// Label of the plan that ran (`nested`, `semijoin`, …).
+    pub plan: String,
+    /// How the plan cache participated.
+    pub cache: CacheOutcome,
+    /// Result rows produced.
+    pub rows: usize,
+    /// Stage-level timing of this run.
+    pub trace: QueryTrace,
+    /// Fingerprint hash of the normalized query.
+    pub fingerprint: u64,
 }
 
 /// The embeddable query service (see module docs).
@@ -192,9 +247,7 @@ pub struct QueryService {
     catalog: RwLock<Catalog>,
     cache: Mutex<PlanCache>,
     update_seq: AtomicU64,
-    queries: AtomicU64,
-    rows_streamed: AtomicU64,
-    updates: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl QueryService {
@@ -210,9 +263,7 @@ impl QueryService {
             catalog: RwLock::new(catalog),
             cache: Mutex::new(PlanCache::new(config.cache_capacity)),
             update_seq: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            rows_streamed: AtomicU64::new(0),
-            updates: AtomicU64::new(0),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -226,7 +277,10 @@ impl QueryService {
     /// resets the document's epoch lineage, so stale entries could
     /// otherwise alias a recycled epoch number.
     pub fn load_xml(&self, uri: &str, xml: &str) -> Result<(), ServiceError> {
-        let doc = parse_document(uri, xml).map_err(|e| ServiceError::BadRequest(format!("{e}")))?;
+        let doc = parse_document(uri, xml).map_err(|e| {
+            self.metrics.record_error();
+            ServiceError::BadRequest(format!("{e}"))
+        })?;
         let mut catalog = self.catalog.write().expect("catalog lock");
         catalog.register(doc);
         self.cache.lock().expect("cache lock").purge();
@@ -247,19 +301,35 @@ impl QueryService {
 
     /// Run `text` to completion and return the materialized outcome.
     pub fn query(&self, text: &str) -> Result<QueryOutcome, ServiceError> {
+        let r = self.query_inner(text);
+        if r.is_err() {
+            self.metrics.record_error();
+        }
+        r
+    }
+
+    fn query_inner(&self, text: &str) -> Result<QueryOutcome, ServiceError> {
+        let clock = Clock::start();
+        let mut trace = QueryTrace::default();
         let catalog = self.catalog.read().expect("catalog lock");
         let updates_seen = self.update_seq.load(Ordering::SeqCst);
-        let (plan, label, outcome) = self.prepare(text, &catalog)?;
-        let start = Instant::now();
+        let (plan, label, outcome, fingerprint) =
+            self.prepare(text, &catalog, &clock, &mut trace)?;
+        let exec_start = clock.now_us();
         let result = match self.config.exec {
             ExecMode::Materialized => engine::run_compiled(&plan, &catalog),
             ExecMode::Streaming => engine::run_streaming_compiled(&plan, &catalog),
         }
         .map_err(|e| ServiceError::Exec(format!("{e}")))?;
-        let elapsed = start.elapsed();
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.rows_streamed
-            .fetch_add(result.rows.len() as u64, Ordering::Relaxed);
+        let exec_end = clock.now_us();
+        trace.record_stage(Stage::Execute, exec_start, exec_end);
+        trace.total_us = clock.now_us();
+        // One clock for everything: the reported execution time IS the
+        // execute span, so `elapsed_us` and the stage breakdown agree.
+        let elapsed = Duration::from_micros(exec_end - exec_start);
+        self.metrics
+            .record_query(outcome, result.rows.len() as u64, trace.total_us);
+        self.maybe_log_slow(fingerprint, &trace);
         Ok(QueryOutcome {
             output: result.output,
             rows: result.rows.len(),
@@ -269,6 +339,8 @@ impl QueryService {
             elapsed,
             updates_seen,
             cancelled: false,
+            trace,
+            fingerprint,
         })
     }
 
@@ -283,10 +355,25 @@ impl QueryService {
         text: &str,
         on_item: &mut dyn FnMut(&str) -> bool,
     ) -> Result<QueryOutcome, ServiceError> {
+        let r = self.query_streamed_inner(text, on_item);
+        if r.is_err() {
+            self.metrics.record_error();
+        }
+        r
+    }
+
+    fn query_streamed_inner(
+        &self,
+        text: &str,
+        on_item: &mut dyn FnMut(&str) -> bool,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let clock = Clock::start();
+        let mut trace = QueryTrace::default();
         let catalog = self.catalog.read().expect("catalog lock");
         let updates_seen = self.update_seq.load(Ordering::SeqCst);
-        let (plan, label, outcome) = self.prepare(text, &catalog)?;
-        let start = Instant::now();
+        let (plan, label, outcome, fingerprint) =
+            self.prepare(text, &catalog, &clock, &mut trace)?;
+        let exec_start = clock.now_us();
         let mut ctx = EvalCtx::new(&catalog);
         let env = Tuple::empty();
         let mut root = engine::pipeline::lower(&plan, &env);
@@ -313,10 +400,14 @@ impl QueryService {
         if !cancelled && ctx.out.len() > flushed {
             on_item(&ctx.out[flushed..]);
         }
-        let elapsed = start.elapsed();
+        let exec_end = clock.now_us();
         drop(root);
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.rows_streamed.fetch_add(rows as u64, Ordering::Relaxed);
+        trace.record_stage(Stage::Execute, exec_start, exec_end);
+        trace.total_us = clock.now_us();
+        let elapsed = Duration::from_micros(exec_end - exec_start);
+        self.metrics
+            .record_query(outcome, rows as u64, trace.total_us);
+        self.maybe_log_slow(fingerprint, &trace);
         Ok(QueryOutcome {
             output: ctx.take_output(),
             rows,
@@ -326,6 +417,8 @@ impl QueryService {
             elapsed,
             updates_seen,
             cancelled,
+            trace,
+            fingerprint,
         })
     }
 
@@ -333,6 +426,16 @@ impl QueryService {
     /// wrappers (single writer; readers block only for the mutation
     /// itself, never for cache maintenance).
     pub fn update(&self, op: &UpdateOp) -> Result<UpdateReport, ServiceError> {
+        let clock = Clock::start();
+        let r = self.update_inner(op);
+        match &r {
+            Ok(_) => self.metrics.record_update(clock.now_us()),
+            Err(_) => self.metrics.record_error(),
+        }
+        r
+    }
+
+    fn update_inner(&self, op: &UpdateOp) -> Result<UpdateReport, ServiceError> {
         let mut catalog = self.catalog.write().expect("catalog lock");
         let (uri, nodes) = match op {
             UpdateOp::InsertXml { uri, parent, xml } => {
@@ -390,7 +493,6 @@ impl QueryService {
         let id = catalog.by_uri(&uri).expect("checked above");
         let epoch = catalog.epoch(id);
         let update_seq = self.update_seq.fetch_add(1, Ordering::SeqCst) + 1;
-        self.updates.fetch_add(1, Ordering::Relaxed);
         Ok(UpdateReport {
             uri,
             epoch,
@@ -399,22 +501,104 @@ impl QueryService {
         })
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Every counter is read from the same
+    /// [`MetricsRegistry`] the `metrics` op renders, so the `stats` and
+    /// `metrics` wire surfaces agree by construction.
     pub fn stats(&self) -> ServiceStats {
         let (cache, cached_plans, memo_entries) = {
             let c = self.cache.lock().expect("cache lock");
             (c.counters(), c.len(), c.memo_len())
         };
-        let documents = self.catalog.read().expect("catalog lock").len();
+        let (documents, maintenance) = {
+            let c = self.catalog.read().expect("catalog lock");
+            (c.len(), c.index_maintenance_stats())
+        };
+        let (plan_hits, plan_revalidations, plan_recompiles, plan_misses) =
+            self.metrics.plan_outcomes();
+        let latency = self.metrics.query_latency();
         ServiceStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
-            updates: self.updates.load(Ordering::Relaxed),
+            queries: self.metrics.queries(),
+            rows_streamed: self.metrics.rows_streamed(),
+            updates: self.metrics.updates(),
             cache,
             cached_plans,
             memo_entries,
             documents,
             update_seq: self.update_seq.load(Ordering::SeqCst),
+            errors: self.metrics.errors(),
+            active_sessions: self.metrics.active_sessions(),
+            plan_hits,
+            plan_revalidations,
+            plan_recompiles,
+            plan_misses,
+            maintenance,
+            query_p50_us: latency.quantile_us(0.5),
+            query_p90_us: latency.quantile_us(0.9),
+            query_p99_us: latency.quantile_us(0.99),
+        }
+    }
+
+    /// The service's metrics registry (histogram snapshots, gauges).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// EXPLAIN ANALYZE: resolve `text` exactly as [`QueryService::query`]
+    /// would (same cache path, same executor choice), run it with
+    /// per-operator tracing, and pair every operator's measured
+    /// rows/calls/time/probes with the cost model's predicted cost for
+    /// that node. Counts toward the query counters like any other run.
+    pub fn explain(&self, text: &str) -> Result<ExplainOutcome, ServiceError> {
+        let r = self.explain_inner(text);
+        if r.is_err() {
+            self.metrics.record_error();
+        }
+        r
+    }
+
+    fn explain_inner(&self, text: &str) -> Result<ExplainOutcome, ServiceError> {
+        let clock = Clock::start();
+        let mut trace = QueryTrace::default();
+        let catalog = self.catalog.read().expect("catalog lock");
+        let (plan, label, outcome, fingerprint) =
+            self.prepare(text, &catalog, &clock, &mut trace)?;
+        let exec_start = clock.now_us();
+        let (result, exec_trace) = match self.config.exec {
+            ExecMode::Materialized => engine::run_traced(&plan, &catalog),
+            ExecMode::Streaming => engine::run_streaming_traced(&plan, &catalog),
+        }
+        .map_err(|e| ServiceError::Exec(format!("{e}")))?;
+        let exec_end = clock.now_us();
+        trace.record_stage(Stage::Execute, exec_start, exec_end);
+        trace.total_us = clock.now_us();
+        let mut report = ExplainReport::from_trace(&plan, &exec_trace);
+        report.annotate_costs(&unnest::plan_cost_map(
+            &plan,
+            &catalog,
+            self.config.use_indexes,
+        ));
+        self.metrics
+            .record_query(outcome, result.rows.len() as u64, trace.total_us);
+        self.maybe_log_slow(fingerprint, &trace);
+        Ok(ExplainOutcome {
+            report,
+            plan: label,
+            cache: outcome,
+            rows: result.rows.len(),
+            trace,
+            fingerprint,
+        })
+    }
+
+    fn maybe_log_slow(&self, fingerprint: u64, trace: &QueryTrace) {
+        if let Some(threshold) = self.config.slow_query_us {
+            if trace.total_us >= threshold {
+                eprintln!(
+                    "[xqd] slow query fp={fingerprint:016x} total={}us {}",
+                    trace.total_us,
+                    trace.breakdown()
+                );
+            }
         }
     }
 
@@ -425,52 +609,70 @@ impl QueryService {
 
     /// Resolve `text` to an executable plan: L0 text memo → L1 plan
     /// cache → full frontend. See [`crate::cache`] for the outcome
-    /// taxonomy. Compilation runs *outside* the cache mutex.
+    /// taxonomy. Compilation runs *outside* the cache mutex. Records
+    /// parse/normalize/cache-lookup/unnest/plan stage spans on `trace`
+    /// (all read off `clock`) and returns the fingerprint hash along
+    /// with the plan.
     fn prepare(
         &self,
         text: &str,
         catalog: &Catalog,
-    ) -> Result<(Arc<PhysPlan>, String, CacheOutcome), ServiceError> {
+        clock: &Clock,
+        trace: &mut QueryTrace,
+    ) -> Result<(Arc<PhysPlan>, String, CacheOutcome, u64), ServiceError> {
         let use_indexes = self.config.use_indexes;
         let mut invalidated = false;
-        let memo_fp = {
+        let t0 = clock.now_us();
+        let looked_up = {
             let mut cache = self.cache.lock().expect("cache lock");
-            match cache.memo_get(text, catalog) {
-                Some(fp) => match cache.lookup(&fp, use_indexes, catalog) {
-                    Lookup::Hit(plan, label) => {
-                        return Ok((plan, label, CacheOutcome::Hit));
-                    }
-                    Lookup::Revalidated(plan, label) => {
-                        return Ok((plan, label, CacheOutcome::Revalidated));
-                    }
-                    Lookup::Invalidated => {
-                        invalidated = true;
-                        Some(fp)
-                    }
-                    Lookup::Miss => Some(fp),
-                },
-                None => None,
+            cache.memo_get(text, catalog).map(|fp| {
+                let lookup = cache.lookup(&fp, use_indexes, catalog);
+                (fp, lookup)
+            })
+        };
+        trace.record_stage(Stage::CacheLookup, t0, clock.now_us());
+        let memo_fp = match looked_up {
+            Some((fp, Lookup::Hit(plan, label))) => {
+                return Ok((plan, label, CacheOutcome::Hit, fp.hash));
             }
+            Some((fp, Lookup::Revalidated(plan, label))) => {
+                return Ok((plan, label, CacheOutcome::Revalidated, fp.hash));
+            }
+            Some((fp, Lookup::Invalidated)) => {
+                invalidated = true;
+                Some(fp)
+            }
+            Some((fp, Lookup::Miss)) => Some(fp),
+            None => None,
         };
 
         // Slow path. Parsing + normalization are needed for translation
         // even when the fingerprint was memoized.
+        let t = clock.now_us();
         let parsed = parse_query(text).map_err(|e| ServiceError::Compile(format!("{e}")))?;
+        trace.record_stage(Stage::Parse, t, clock.now_us());
+        let t = clock.now_us();
         let normalized = normalize(&parsed, catalog);
+        trace.record_stage(Stage::Normalize, t, clock.now_us());
         let fp = match memo_fp {
             Some(fp) => fp,
             None => {
                 let fp = Fingerprint::of_normalized(&normalized);
-                let mut cache = self.cache.lock().expect("cache lock");
-                cache.memo_put(text, &fp, catalog);
-                // Another query text may have compiled this same
-                // canonical form already.
-                match cache.lookup(&fp, use_indexes, catalog) {
+                let t = clock.now_us();
+                let lookup = {
+                    let mut cache = self.cache.lock().expect("cache lock");
+                    cache.memo_put(text, &fp, catalog);
+                    // Another query text may have compiled this same
+                    // canonical form already.
+                    cache.lookup(&fp, use_indexes, catalog)
+                };
+                trace.record_stage(Stage::CacheLookup, t, clock.now_us());
+                match lookup {
                     Lookup::Hit(plan, label) => {
-                        return Ok((plan, label, CacheOutcome::Hit));
+                        return Ok((plan, label, CacheOutcome::Hit, fp.hash));
                     }
                     Lookup::Revalidated(plan, label) => {
-                        return Ok((plan, label, CacheOutcome::Revalidated));
+                        return Ok((plan, label, CacheOutcome::Revalidated, fp.hash));
                     }
                     Lookup::Invalidated => {
                         invalidated = true;
@@ -481,6 +683,7 @@ impl QueryService {
             }
         };
 
+        let t = clock.now_us();
         let expr = xquery::translate(&normalized, catalog)
             .map_err(|e| ServiceError::Compile(format!("{e}")))?;
         let ranked = unnest::rank_plans_with(
@@ -488,11 +691,13 @@ impl QueryService {
             catalog,
             use_indexes,
         );
+        trace.record_stage(Stage::Unnest, t, clock.now_us());
         let (choice, _estimate) = ranked
             .into_iter()
             .next()
             .expect("enumerate_plans yields at least the nested plan");
         let label = choice.label;
+        let t = clock.now_us();
         let plan = Arc::new(if use_indexes {
             engine::compile_indexed(&choice.expr, catalog)
         } else {
@@ -505,12 +710,13 @@ impl QueryService {
             label.clone(),
             catalog,
         );
+        trace.record_stage(Stage::Plan, t, clock.now_us());
         let outcome = if invalidated {
             CacheOutcome::Recompiled
         } else {
             CacheOutcome::Miss
         };
-        Ok((plan, label, outcome))
+        Ok((plan, label, outcome, fp.hash))
     }
 }
 

@@ -26,6 +26,7 @@ fn standard_service() -> QueryService {
             cache_capacity: 64,
             use_indexes: true,
             exec: ExecMode::Streaming,
+            slow_query_us: None,
         },
     )
 }

@@ -20,6 +20,7 @@ fn standard_service(cache_capacity: usize) -> QueryService {
             cache_capacity,
             use_indexes: true,
             exec: ExecMode::Streaming,
+            slow_query_us: None,
         },
     )
 }

@@ -23,6 +23,7 @@ fn start_server() -> ServerHandle {
         cache_capacity: 16,
         use_indexes: true,
         exec: ExecMode::Streaming,
+        slow_query_us: None,
     }));
     serve(
         svc,
@@ -262,4 +263,138 @@ fn shutdown_frame_stops_the_server() {
             assert_eq!(n, 0, "post-shutdown connection must get EOF");
         }
     }
+}
+
+#[test]
+fn explain_op_over_the_wire() {
+    let mut handle = start_server();
+    let mut c = Client::connect(&handle);
+    c.load_bib();
+    let (_, _) = c.query(TITLES); // cache the plan first
+    c.send(
+        &Json::Obj(vec![
+            ("op".to_string(), Json::str("explain")),
+            ("q".to_string(), Json::str(TITLES)),
+        ])
+        .render(),
+    );
+    let v = c.recv();
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v.render()
+    );
+    assert_eq!(v.get("op").and_then(Json::as_str), Some("explain"));
+    assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(v.get("rows").and_then(Json::as_u64), Some(2));
+    assert!(v.get("total_us").and_then(Json::as_u64).is_some());
+    let fp = v
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint");
+    assert_eq!(fp.len(), 16, "fingerprint is 16 hex digits: {fp}");
+    assert!(fp.chars().all(|ch| ch.is_ascii_hexdigit()));
+    // Stage spans: the warm path records cache_lookup + execute.
+    let stages = match v.get("stages") {
+        Some(Json::Arr(a)) => a.clone(),
+        other => panic!("stages missing: {other:?}"),
+    };
+    assert!(stages
+        .iter()
+        .any(|s| s.get("stage").and_then(Json::as_str) == Some("execute")));
+    // Operators: every row measured, at least one priced.
+    let ops = match v.get("operators") {
+        Some(Json::Arr(a)) if !a.is_empty() => a.clone(),
+        other => panic!("operators missing: {other:?}"),
+    };
+    for op in &ops {
+        assert!(op.get("op").and_then(Json::as_str).is_some());
+        assert!(op.get("rows").and_then(Json::as_u64).is_some());
+        assert!(op.get("calls").and_then(Json::as_u64).is_some());
+        assert!(op.get("elapsed_us").and_then(Json::as_u64).is_some());
+    }
+    assert!(ops
+        .iter()
+        .any(|op| op.get("predicted_cost").and_then(Json::as_f64).is_some()));
+    // The rendered text parses back with the engine's own parser.
+    let text = v.get("text").and_then(Json::as_str).expect("text");
+    let report = engine::ExplainReport::parse(text).expect("round trip");
+    assert_eq!(report.nodes.len(), ops.len());
+
+    // Malformed explain frames: error, session lives on.
+    c.send(r#"{"op":"explain"}"#);
+    let v = c.recv();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    c.send(r#"{"op":"explain","q":42}"#);
+    let v = c.recv();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    c.send(r#"{"op":"explain","q":"for $x in ("}"#);
+    let v = c.recv();
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{}",
+        v.render()
+    );
+    let (items, _) = c.query(TITLES);
+    assert_eq!(items.len(), 2, "session survives malformed explains");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_op_exposes_prometheus_text() {
+    let mut handle = start_server();
+    let mut c = Client::connect(&handle);
+    c.load_bib();
+    c.query(TITLES);
+    c.query(TITLES);
+    c.send(r#"{"op":"stats"}"#);
+    let stats = c.recv();
+    let queries = stats
+        .get("queries")
+        .and_then(Json::as_u64)
+        .expect("queries");
+    assert_eq!(
+        stats.get("active_sessions").and_then(Json::as_u64),
+        Some(1),
+        "{}",
+        stats.render()
+    );
+    c.send(r#"{"op":"metrics"}"#);
+    let v = c.recv();
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v.render()
+    );
+    let text = v
+        .get("text")
+        .and_then(Json::as_str)
+        .expect("text")
+        .to_string();
+    // Line format: every non-empty line is a comment or `name[{labels}] value`.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("value-bearing line");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value in `{line}`"
+        );
+    }
+    // The exposition agrees with the stats frame taken a moment ago.
+    let sample = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit_once(' '))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    assert_eq!(sample("xqd_queries_total"), queries as f64);
+    assert_eq!(sample("xqd_active_sessions"), 1.0);
+    assert_eq!(sample("xqd_documents"), 1.0);
+    handle.shutdown();
 }

@@ -283,6 +283,14 @@ impl<'a> CostModel<'a> {
             pred: pred.clone(),
         };
         let recipe = engine::join_recipe(&engine::compile(&join), self.catalog)?;
+        self.recipe_probe_cost(&recipe)
+    }
+
+    /// Per-left-tuple probe cost of an already-traced access recipe —
+    /// the pricing half of the (private) `index_probe_cost`, reusable
+    /// when the recipe is in hand (per-node attribution over compiled
+    /// plans, where the `IndexJoin` node carries its recipe).
+    pub fn recipe_probe_cost(&mut self, recipe: &engine::AccessRecipe) -> Option<f64> {
         let name = recipe.key_tag()?.to_string();
         let stats = self.stats_for(&recipe.uri)?;
         let keys = stats.distinct(&name).max(1) as f64;
@@ -377,6 +385,252 @@ impl<'a> CostModel<'a> {
             _ => (2.0, 1.0),
         }
     }
+}
+
+impl<'a> CostModel<'a> {
+    /// Fan-out and per-tuple cost of a *compiled* Υ subscript. The
+    /// physical walk has no logical input expression to trace provenance
+    /// through [`crate::schema::value_descriptor`]; instead it carries
+    /// `docs`, the attributes the plan's χ nodes bound to document
+    /// nodes, so document-rooted paths (direct or through such a
+    /// binding) are stats-priced and everything else gets the neutral
+    /// default.
+    fn phys_path_fanout(&mut self, value: &Scalar, docs: &HashMap<nal::Sym, String>) -> (f64, f64) {
+        match value {
+            Scalar::DistinctItems(inner) => {
+                let (f, c) = self.phys_path_fanout(inner, docs);
+                (f * 0.7, c)
+            }
+            Scalar::Path(base, path) => {
+                let uri = match base.as_ref() {
+                    Scalar::Doc(u) => Some(u.clone()),
+                    Scalar::Attr(a) => docs.get(a).cloned(),
+                    _ => None,
+                };
+                if let Some(uri) = uri {
+                    let use_indexes = self.use_indexes;
+                    if let (Some(name), Some(stats)) = (final_name(path), self.stats_for(&uri)) {
+                        let count = stats.elements(&name).max(1) as f64;
+                        let scan = if use_indexes {
+                            1.0 + count
+                        } else if path.has_descendant() {
+                            stats.total_nodes as f64
+                        } else {
+                            count
+                        };
+                        return (count, scan);
+                    }
+                }
+                (2.0, path_step_cost(path))
+            }
+            _ => (2.0, 1.0),
+        }
+    }
+
+    /// Estimate one physical node (and, recursively, its subtree),
+    /// recording every node's **inclusive** predicted cost in `out`
+    /// keyed by plan-node identity — the same key a traced run's
+    /// [`nal::obs::ExecTrace`] uses, so EXPLAIN ANALYZE can pair
+    /// `(predicted, measured)` per operator.
+    fn plan_est(
+        &mut self,
+        plan: &engine::PhysPlan,
+        out: &mut HashMap<usize, f64>,
+        docs: &mut HashMap<nal::Sym, String>,
+    ) -> Estimate {
+        use engine::PhysPlan as P;
+        let est = match plan {
+            P::Singleton => Estimate {
+                rows: 1.0,
+                cost: 1.0,
+            },
+            P::Literal(rows) => Estimate {
+                rows: rows.len() as f64,
+                cost: rows.len() as f64,
+            },
+            P::AttrRel(_) => Estimate {
+                rows: 8.0,
+                cost: 8.0,
+            },
+            P::Select { input, pred } => {
+                let i = self.plan_est(input, out, docs);
+                let scalar = self.scalar_cost(pred);
+                Estimate {
+                    rows: (i.rows * SELECTIVITY).max(1.0),
+                    cost: i.cost + i.rows * (1.0 + scalar),
+                }
+            }
+            P::Project { input, op } => {
+                let i = self.plan_est(input, out, docs);
+                let rows = match op {
+                    ProjOp::DistinctCols(_) | ProjOp::DistinctRename(_) => (i.rows * 0.5).max(1.0),
+                    _ => i.rows,
+                };
+                Estimate {
+                    rows,
+                    cost: i.cost + i.rows,
+                }
+            }
+            P::Map { input, attr, value } => {
+                let i = self.plan_est(input, out, docs);
+                let scalar = self.scalar_cost(value);
+                // Remember document bindings: a later Υ subscript rooted
+                // at this attribute is a document-rooted path.
+                if let Scalar::Doc(uri) = value {
+                    docs.insert(*attr, uri.clone());
+                }
+                Estimate {
+                    rows: i.rows,
+                    cost: i.cost + i.rows * (1.0 + scalar),
+                }
+            }
+            P::Cross { left, right } => {
+                let l = self.plan_est(left, out, docs);
+                let r = self.plan_est(right, out, docs);
+                Estimate {
+                    rows: l.rows * r.rows,
+                    cost: l.cost + r.cost + l.rows * r.rows,
+                }
+            }
+            P::HashJoin {
+                left, right, kind, ..
+            } => {
+                let l = self.plan_est(left, out, docs);
+                let r = self.plan_est(right, out, docs);
+                Estimate {
+                    rows: join_rows(kind, &l, &r),
+                    cost: l.cost + r.cost + l.rows + r.rows,
+                }
+            }
+            P::LoopJoin {
+                left, right, kind, ..
+            } => {
+                let l = self.plan_est(left, out, docs);
+                let r = self.plan_est(right, out, docs);
+                // The definitional nested loop compares every pair.
+                Estimate {
+                    rows: join_rows(kind, &l, &r),
+                    cost: l.cost + r.cost + l.rows * r.rows,
+                }
+            }
+            P::HashGroupUnary { input, .. } | P::ThetaGroupUnary { input, .. } => {
+                let i = self.plan_est(input, out, docs);
+                Estimate {
+                    rows: (i.rows * 0.5).max(1.0),
+                    cost: i.cost + 2.0 * i.rows,
+                }
+            }
+            P::HashGroupBinary { left, right, .. } | P::ThetaGroupBinary { left, right, .. } => {
+                let l = self.plan_est(left, out, docs);
+                let r = self.plan_est(right, out, docs);
+                Estimate {
+                    rows: l.rows,
+                    cost: l.cost + r.cost + l.rows + r.rows,
+                }
+            }
+            P::Unnest { input, .. } => {
+                let i = self.plan_est(input, out, docs);
+                Estimate {
+                    rows: i.rows * 2.0,
+                    cost: i.cost + i.rows * 2.0,
+                }
+            }
+            P::UnnestMap { input, value, .. } => {
+                let i = self.plan_est(input, out, docs);
+                let (fanout, step_cost) = self.phys_path_fanout(value, docs);
+                Estimate {
+                    rows: (i.rows * fanout).max(1.0),
+                    cost: i.cost + i.rows * (1.0 + step_cost),
+                }
+            }
+            P::XiSimple { input, .. } => {
+                let i = self.plan_est(input, out, docs);
+                Estimate {
+                    rows: i.rows,
+                    cost: i.cost + i.rows,
+                }
+            }
+            P::XiGroup { input, .. } => {
+                let i = self.plan_est(input, out, docs);
+                Estimate {
+                    rows: (i.rows * 0.5).max(1.0),
+                    cost: i.cost + 2.0 * i.rows,
+                }
+            }
+            P::IndexScan {
+                input,
+                uri,
+                pattern,
+                distinct,
+                ..
+            } => {
+                let i = self.plan_est(input, out, docs);
+                let uri = uri.clone();
+                let count = match (pattern_final_name(pattern), self.stats_for(&uri)) {
+                    (Some(name), Some(stats)) => stats.elements(name).max(1) as f64,
+                    // Untracked document: the neutral path default.
+                    _ => 2.0,
+                };
+                let fanout = if *distinct { count * 0.7 } else { count };
+                // Index lookup: pay the result, not the traversal.
+                Estimate {
+                    rows: (i.rows * fanout).max(1.0),
+                    cost: i.cost + i.rows * (1.0 + count),
+                }
+            }
+            P::IndexJoin { left, recipe } => {
+                let l = self.plan_est(left, out, docs);
+                // The recipe is the engine's own trace of the access
+                // path, so pricing never disagrees with execution; a
+                // stats-less document degrades to a unit probe.
+                let probe = self.recipe_probe_cost(recipe).unwrap_or(1.0);
+                Estimate {
+                    rows: (l.rows * SELECTIVITY).max(1.0),
+                    cost: l.cost + l.rows * probe,
+                }
+            }
+        };
+        out.insert(plan as *const engine::PhysPlan as usize, est.cost);
+        est
+    }
+}
+
+/// Output-row estimate of a join by consumption kind, mirroring the
+/// logical model's `Join`/`SemiJoin`/`AntiJoin`/`OuterJoin` cases.
+fn join_rows(kind: &engine::JoinKind, l: &Estimate, r: &Estimate) -> f64 {
+    match kind {
+        engine::JoinKind::Inner => (l.rows * r.rows * 0.1).max(1.0),
+        engine::JoinKind::Semi | engine::JoinKind::Anti => (l.rows * SELECTIVITY).max(1.0),
+        engine::JoinKind::Outer { .. } => l.rows.max(1.0),
+    }
+}
+
+/// The tag name an index pattern's selected *element* carries (skipping
+/// a terminal attribute step) — the statistics key for its cardinality.
+fn pattern_final_name(pattern: &xmldb::PathPattern) -> Option<&str> {
+    pattern.steps.iter().rev().find_map(|s| match s {
+        xmldb::PatternStep::Child(n) | xmldb::PatternStep::Descendant(n) => n.as_deref(),
+        xmldb::PatternStep::Attribute(_) => None,
+    })
+}
+
+/// Per-node predicted cost of every operator in a compiled physical
+/// plan, keyed by plan-node identity (`&node as *const _ as usize` —
+/// the key [`nal::obs::ExecTrace`] and
+/// [`engine::ExplainReport::annotate_costs`] use). Costs are
+/// **inclusive** (a node's cost covers its whole subtree), matching the
+/// measured wall times of a traced run, so `(predicted, measured)` pairs
+/// line up per operator. `use_indexes` must match how the plan was
+/// compiled ([`engine::compile`] vs [`engine::compile_indexed`]).
+pub fn plan_cost_map(
+    plan: &engine::PhysPlan,
+    catalog: &Catalog,
+    use_indexes: bool,
+) -> HashMap<usize, f64> {
+    let mut model = CostModel::with_indexes(catalog, use_indexes);
+    let mut out = HashMap::new();
+    model.plan_est(plan, &mut out, &mut HashMap::new());
+    out
 }
 
 fn final_name(path: &Path) -> Option<String> {
@@ -756,6 +1010,57 @@ mod tests {
         let est = m.estimate(&ghosts);
         assert!(est.rows.is_finite() && est.cost.is_finite());
         assert!(est.rows >= 1.0);
+    }
+
+    #[test]
+    fn plan_cost_map_prices_every_node_inclusively() {
+        let cat = catalog(100);
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let semi = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        for use_indexes in [false, true] {
+            let plan = if use_indexes {
+                engine::compile_indexed(&semi, &cat)
+            } else {
+                engine::compile(&semi)
+            };
+            let costs = plan_cost_map(&plan, &cat, use_indexes);
+            // Every node of the tree is priced, every price is positive
+            // and finite, and inclusiveness makes the root the maximum.
+            fn walk<'p>(n: &'p engine::PhysPlan, out: &mut Vec<&'p engine::PhysPlan>) {
+                out.push(n);
+                for c in n.children() {
+                    walk(c, out);
+                }
+            }
+            let mut nodes = Vec::new();
+            walk(&plan, &mut nodes);
+            let root_cost = costs[&(&plan as *const engine::PhysPlan as usize)];
+            for n in &nodes {
+                let c = costs
+                    .get(&(*n as *const engine::PhysPlan as usize))
+                    .unwrap_or_else(|| panic!("unpriced node {}", n.op_name()));
+                assert!(c.is_finite() && *c > 0.0, "{}: {c}", n.op_name());
+                assert!(*c <= root_cost, "{} above the root", n.op_name());
+            }
+            assert_eq!(costs.len(), nodes.len());
+        }
+        // Index mode prices the index-backed plan strictly cheaper.
+        let scan_root = {
+            let plan = engine::compile(&semi);
+            plan_cost_map(&plan, &cat, false)[&(&plan as *const engine::PhysPlan as usize)]
+        };
+        let indexed_root = {
+            let plan = engine::compile_indexed(&semi, &cat);
+            plan_cost_map(&plan, &cat, true)[&(&plan as *const engine::PhysPlan as usize)]
+        };
+        assert!(
+            indexed_root < scan_root,
+            "indexed {indexed_root} vs scan {scan_root}"
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod prune;
 pub mod schema;
 
 pub use cost::{
-    rank_plans, rank_plans_with, unnest_cheapest, unnest_cheapest_with, CostModel, Estimate,
+    plan_cost_map, rank_plans, rank_plans_with, unnest_cheapest, unnest_cheapest_with, CostModel,
+    Estimate,
 };
 pub use driver::{enumerate_plans, unnest_best, PlanChoice, RewriteTrace};
 pub use prune::prune;
