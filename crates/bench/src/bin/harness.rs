@@ -19,7 +19,15 @@
 //! plan cache: cold vs warm latency per workload, then sustained mixed
 //! query/update throughput), `observability` (EXPLAIN ANALYZE over
 //! every workload on both executors: per-operator
-//! `(predicted_cost, measured_us, rows)` calibration pairs), or `all`.
+//! `(predicted_cost, measured_us, rows)` calibration pairs),
+//! `calibration` (grid-fit the cost model's guessed constants —
+//! index-probe weight and untraceable-path fan-out — against measured
+//! plan times, then check the fitted model's plan ranking
+//! rank-correlates with the measured ranking on Q1–Q10), `concurrency`
+//! (lock-free snapshot reads: reader count × writer churn rate sweep
+//! over streamed queries, asserting throughput scales with readers and
+//! every streamed result is byte-identical to a serial replay of its
+//! `updates_seen` state), or `all`.
 //! Every `--json` cell records the cost model's `predicted_cost` next
 //! to the measured time — and, per operator, the traced companion
 //! run's `operators` array — so `BENCH_*.json` trajectories can
@@ -220,6 +228,12 @@ fn main() {
     }
     if run_all || args.experiment == "observability" {
         observability(&args, &mut report);
+    }
+    if run_all || args.experiment == "calibration" {
+        calibration(&args, &mut report);
+    }
+    if run_all || args.experiment == "concurrency" {
+        concurrency(&args, &mut report);
     }
     if let Some(path) = &args.json {
         report
@@ -694,6 +708,421 @@ fn service_ablation(args: &Args, report: &mut Report) {
             &m,
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency ablation: lock-free snapshot reads under a churning writer
+// ---------------------------------------------------------------------
+
+/// The same deterministic update cycle the service stress tests replay
+/// (`crates/service/tests/concurrent.rs`): given the round number, the
+/// whole update history `0..k` is reproducible on a fresh store.
+fn concurrency_update_op(k: usize) -> service::UpdateOp {
+    use service::UpdateOp;
+    match k % 3 {
+        0 => UpdateOp::InsertXml {
+            uri: "bib.xml".to_string(),
+            parent: "/bib".to_string(),
+            xml: format!(
+                "<book year=\"19{:02}\"><title>Churn Volume {k}</title>\
+                 <author><last>Writer</last><first>W{k}</first></author>\
+                 <publisher>pub{k}</publisher><price>{k}.50</price></book>",
+                60 + k
+            ),
+        },
+        1 => UpdateOp::DeleteFirst {
+            uri: "bib.xml".to_string(),
+            path: "/bib/book".to_string(),
+        },
+        _ => UpdateOp::ReplaceText {
+            uri: "reviews.xml".to_string(),
+            path: "/reviews/entry/title".to_string(),
+            text: format!("Rewritten Review {k}"),
+        },
+    }
+}
+
+/// The snapshot-isolation claim in numbers: N reader threads stream
+/// Q1–Q10 through one `QueryService` while a writer churns the catalog
+/// at a swept rate. Because every query pins one immutable snapshot and
+/// readers take no lock, (a) sustained queries/sec must **scale with
+/// the reader count** (asserted whenever the host has ≥ 2 cores), and
+/// (b) every streamed result must be **byte-identical to a serial
+/// replay** of the deterministic update prefix its `updates_seen` stamp
+/// names — a divergence would mean a reader observed a torn snapshot.
+/// After the run every superseded version must have been reclaimed
+/// (`live_snapshots == 1`).
+fn concurrency(args: &Args, report: &mut Report) {
+    use service::{ExecMode, QueryService, ServiceConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    println!("== Concurrency ablation: snapshot reads under a churning writer ==\n");
+    let scale = args.scales.first().copied().unwrap_or(100);
+    let all: Vec<&workloads::Workload> = workloads::ALL
+        .iter()
+        .chain(workloads::RANGE.iter())
+        .chain(workloads::COMPOSITE.iter())
+        .collect();
+    let queries: Vec<&'static str> = all.iter().map(|w| w.query).collect();
+    let rounds = 2usize;
+    let max_updates = 300usize;
+    let svc_config = ServiceConfig {
+        cache_capacity: 64,
+        use_indexes: true,
+        exec: ExecMode::Streaming,
+        slow_query_us: None,
+    };
+    let fresh = || QueryService::with_catalog(standard_catalog(scale, 2, args.seed), svc_config);
+    let cfg = RunConfig::new(Executor::Streaming, true);
+    let par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "{:>8} {:>13} {:>8} {:>8} {:>9} {:>8}",
+        "readers", "interval(µs)", "queries", "updates", "qps", "states"
+    );
+    for &interval_us in &[1_000u64, 4_000] {
+        let mut qps_by_readers: Vec<(usize, f64)> = Vec::new();
+        for &readers in &[1usize, 2, 4] {
+            let svc = Arc::new(fresh());
+            // Readers record (query index, updates_seen, output) triples
+            // for the replay check below.
+            let captured = Arc::new(Mutex::new(Vec::<(usize, u64, String)>::new()));
+            let stop = Arc::new(AtomicBool::new(false));
+            let t0 = Instant::now();
+            let reader_threads: Vec<_> = (0..readers)
+                .map(|r| {
+                    let svc = Arc::clone(&svc);
+                    let captured = Arc::clone(&captured);
+                    let queries = queries.clone();
+                    std::thread::spawn(move || {
+                        for round in 0..rounds {
+                            for i in 0..queries.len() {
+                                let qi = (i + r + round) % queries.len();
+                                let mut out = String::new();
+                                let outcome = svc
+                                    .query_streamed(queries[qi], &mut |item| {
+                                        out.push_str(item);
+                                        true
+                                    })
+                                    .expect("streamed query under churn");
+                                assert_eq!(
+                                    outcome.output, out,
+                                    "[concurrency] streamed items diverge from the outcome"
+                                );
+                                captured.lock().expect("capture lock").push((
+                                    qi,
+                                    outcome.updates_seen,
+                                    out,
+                                ));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // The churning writer: the deterministic op cycle at the
+            // swept rate, capped so the replay below stays bounded.
+            let writer = {
+                let svc = Arc::clone(&svc);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut k = 0usize;
+                    while !stop.load(Ordering::SeqCst) && k < max_updates {
+                        svc.update(&concurrency_update_op(k))
+                            .expect("writer update");
+                        k += 1;
+                        std::thread::sleep(std::time::Duration::from_micros(interval_us));
+                    }
+                    k
+                })
+            };
+            for t in reader_threads {
+                t.join().expect("reader thread");
+            }
+            let wall = t0.elapsed();
+            stop.store(true, Ordering::SeqCst);
+            let updates = writer.join().expect("writer thread");
+            let served = readers * rounds * queries.len();
+            let qps = served as f64 / wall.as_secs_f64().max(1e-9);
+            // No torn snapshots: replay the deterministic update prefix
+            // serially on a fresh service and every captured output must
+            // reproduce byte-for-byte at its `updates_seen` state.
+            let captured = Arc::try_unwrap(captured)
+                .expect("readers joined")
+                .into_inner()
+                .expect("capture lock");
+            let mut states: Vec<u64> = captured.iter().map(|&(_, s, _)| s).collect();
+            states.sort_unstable();
+            states.dedup();
+            let replay = fresh();
+            let mut applied = 0usize;
+            for &state in &states {
+                while (applied as u64) < state {
+                    replay
+                        .update(&concurrency_update_op(applied))
+                        .expect("replay update");
+                    applied += 1;
+                }
+                for (qi, seen, out) in captured.iter().filter(|&&(_, s, _)| s == state) {
+                    let got = replay.query(queries[*qi]).expect("replay query");
+                    assert_eq!(
+                        &got.output, out,
+                        "[concurrency] torn snapshot: query {qi} captured at update \
+                         state {seen} diverges from its serial replay"
+                    );
+                }
+            }
+            // Superseded versions are reclaimed once no stream pins them.
+            let live = svc.stats().live_snapshots;
+            assert_eq!(
+                live, 1,
+                "[concurrency] {updates} published versions must leave exactly \
+                 the current snapshot alive, found {live}"
+            );
+            println!(
+                "{readers:>8} {interval_us:>13} {served:>8} {updates:>8} {qps:>9.0} {:>8}",
+                states.len()
+            );
+            qps_by_readers.push((readers, qps));
+            let m = Measurement {
+                plan: format!("readers-{readers}"),
+                elapsed: wall,
+                doc_scans: 0,
+                output_len: 0,
+                estimated: false,
+                tuples_produced: 0,
+                probe_tuples: 0,
+                index_lookups: 0,
+                index_hits: 0,
+                predicted_cost: None,
+                operators: Vec::new(),
+            };
+            report.record(
+                "concurrency",
+                cfg,
+                &[
+                    ("scale", scale as i64),
+                    ("readers", readers as i64),
+                    ("update_interval_us", interval_us as i64),
+                    ("queries", served as i64),
+                    ("updates", updates as i64),
+                    ("qps", qps as i64),
+                    ("distinct_states", states.len() as i64),
+                ],
+                &m,
+            );
+        }
+        let solo = qps_by_readers
+            .iter()
+            .find(|(r, _)| *r == 1)
+            .map(|&(_, q)| q)
+            .expect("solo config measured");
+        let (best_readers, best) =
+            qps_by_readers
+                .iter()
+                .filter(|(r, _)| *r > 1)
+                .fold(
+                    (1, 0.0f64),
+                    |acc, &(r, q)| if q > acc.1 { (r, q) } else { acc },
+                );
+        if par >= 2 {
+            assert!(
+                best > solo,
+                "[concurrency] lock-free snapshot reads must scale with readers \
+                 under a churning writer: best {best:.0} q/s ({best_readers} readers) \
+                 vs {solo:.0} q/s solo at interval {interval_us}µs on {par} cores"
+            );
+        }
+        println!(
+            "  → interval {interval_us}µs: {solo:.0} q/s solo → {best:.0} q/s \
+             with {best_readers} readers ({:.2}×)\n",
+            best / solo.max(1e-9)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Calibration: fit the cost model's guessed constants to measured times
+// ---------------------------------------------------------------------
+
+/// Competition ranks (average over ties) of `xs`, ascending.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation of two samples (`None` when either side
+/// has fewer than two points or is entirely tied).
+fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() < 2 {
+        return None;
+    }
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = a.len() as f64;
+    let (ma, mb) = (ra.iter().sum::<f64>() / n, rb.iter().sum::<f64>() / n);
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = ra.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = rb.iter().map(|y| (y - mb) * (y - mb)).sum();
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+/// Fit the model's two guessed constants ([`unnest::Calibration`]) from
+/// `(predicted_cost, measured_us)` pairs, then validate the fit: grid
+/// search `probe_weight × fanout_prior` minimizing log-space squared
+/// error with a **per-workload intercept** (the abstract-cost-unit ↔ µs
+/// scale factor is workload-specific; only relative order matters for
+/// plan choice), and assert the fitted model's per-workload plan
+/// ranking rank-correlates with the measured ranking across Q1–Q10.
+fn calibration(args: &Args, report: &mut Report) {
+    println!("== Calibration: fitting probe weight and fan-out prior ==\n");
+    let scale = args
+        .scales
+        .first()
+        .copied()
+        .unwrap_or(100)
+        .min(args.nested_cap);
+    let catalog = standard_catalog(scale, 2, args.seed);
+    let cfg = RunConfig::new(Executor::Streaming, true);
+    let all: Vec<&workloads::Workload> = workloads::ALL
+        .iter()
+        .chain(workloads::RANGE.iter())
+        .chain(workloads::COMPOSITE.iter())
+        .collect();
+    // Measure every plan of every workload (best of three — the fit
+    // target), keeping the logical expressions for re-pricing under
+    // candidate calibrations.
+    struct Cell {
+        expr: nal::Expr,
+        measured_us: f64,
+        m: Measurement,
+    }
+    let mut groups: Vec<(&str, Vec<Cell>)> = Vec::new();
+    for w in &all {
+        let mut cells = Vec::new();
+        for (label, expr) in plans_for(w, &catalog) {
+            let mut best: Option<Measurement> = None;
+            for _ in 0..3 {
+                let m = measure_plan_cfg(&label, &expr, &catalog, cfg);
+                if best.as_ref().is_none_or(|b| m.elapsed < b.elapsed) {
+                    best = Some(m);
+                }
+            }
+            let m = best.expect("three runs");
+            let measured_us = (m.elapsed.as_secs_f64() * 1e6).max(1.0);
+            cells.push(Cell {
+                expr,
+                measured_us,
+                m,
+            });
+        }
+        groups.push((w.id, cells));
+    }
+    let price = |cal: unnest::Calibration, expr: &nal::Expr| {
+        unnest::CostModel::with_calibration(&catalog, true, cal)
+            .estimate(expr)
+            .cost
+            .max(1.0)
+    };
+    let mut fitted = unnest::Calibration::default();
+    let mut best_err = f64::INFINITY;
+    for &probe_weight in &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        for &fanout_prior in &[1.0, 2.0, 4.0, 8.0] {
+            let cal = unnest::Calibration {
+                probe_weight,
+                fanout_prior,
+            };
+            let mut err = 0.0;
+            for (_, cells) in &groups {
+                let logs: Vec<(f64, f64)> = cells
+                    .iter()
+                    .map(|c| (price(cal, &c.expr).ln(), c.measured_us.ln()))
+                    .collect();
+                let intercept =
+                    logs.iter().map(|(p, m)| p - m).sum::<f64>() / logs.len().max(1) as f64;
+                err += logs
+                    .iter()
+                    .map(|(p, m)| {
+                        let r = p - m - intercept;
+                        r * r
+                    })
+                    .sum::<f64>();
+            }
+            if err < best_err {
+                best_err = err;
+                fitted = cal;
+            }
+        }
+    }
+    println!(
+        "fitted at scale {scale}: probe_weight {}, fanout_prior {} \
+         (log-space residual {best_err:.2})\n",
+        fitted.probe_weight, fitted.fanout_prior
+    );
+    // Validation: the fitted model's plan ranking must rank-correlate
+    // with the measured ranking, workload by workload.
+    println!("{:<16} {:>6} {:>10}", "workload", "plans", "spearman ρ");
+    let mut rhos: Vec<f64> = Vec::new();
+    for (id, cells) in &groups {
+        let predicted: Vec<f64> = cells.iter().map(|c| price(fitted, &c.expr)).collect();
+        let measured: Vec<f64> = cells.iter().map(|c| c.measured_us).collect();
+        let rho = spearman(&predicted, &measured);
+        match rho {
+            Some(r) => {
+                rhos.push(r);
+                println!("{id:<16} {:>6} {r:>10.2}", cells.len());
+            }
+            None => println!("{id:<16} {:>6} {:>10}", cells.len(), "tied"),
+        }
+        for c in cells {
+            report.record(
+                &format!("calibration:{id}"),
+                cfg,
+                &[
+                    ("scale", scale as i64),
+                    ("calibrated_cost", price(fitted, &c.expr) as i64),
+                    ("probe_weight_milli", (fitted.probe_weight * 1000.0) as i64),
+                    ("fanout_prior_milli", (fitted.fanout_prior * 1000.0) as i64),
+                    (
+                        "spearman_milli",
+                        rho.map(|r| (r * 1000.0) as i64).unwrap_or(i64::MIN),
+                    ),
+                ],
+                &c.m,
+            );
+        }
+    }
+    let mean = rhos.iter().sum::<f64>() / rhos.len().max(1) as f64;
+    assert!(
+        !rhos.is_empty(),
+        "[calibration] at least one workload must offer rankable plans"
+    );
+    assert!(
+        mean >= 0.3,
+        "[calibration] the fitted model's plan ranking must rank-correlate \
+         with the measured ranking (mean Spearman ρ {mean:.2} over {} \
+         workloads at scale {scale})",
+        rhos.len()
+    );
+    println!("\n  → mean ρ {mean:.2} over {} workloads\n", rhos.len());
 }
 
 // ---------------------------------------------------------------------

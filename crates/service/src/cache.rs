@@ -4,26 +4,35 @@
 //! alpha-renamed rendering of the *normalized* query, its FNV-1a hash,
 //! and the referenced document URIs). Normalization consults the catalog
 //! (DTD-derived schema facts decide which rewrites are legal), so a memo
-//! entry records the epoch of every referenced document and is dropped
-//! when any of them moves — re-normalizing under changed schema facts
-//! could produce a different canonical form.
+//! entry records the `doc_seq` of every referenced document and is
+//! dropped when any of them moves — re-normalizing under changed schema
+//! facts could produce a different canonical form.
 //!
 //! **L1 — plan cache.** `(fingerprint hash, index mode)` →
 //! [`PhysPlan`], bucketed by hash with the full canonical string compared
 //! on lookup so a 64-bit collision can never alias two different plans.
-//! Each entry is stamped with the epoch vector of its document set:
+//! Each entry is stamped with the per-document `doc_seq` vector of its
+//! document set, read from the pinned [`CatalogSnapshot`] the query runs
+//! against (see [`xmldb::snapshot`]):
 //!
-//! * all epochs current → **hit**: the cached plan is returned with no
+//! * all stamps current → **hit**: the cached plan is returned with no
 //!   parse, normalize, unnest, or compile work at all;
-//! * some epoch moved → the entry is *revalidated* with
+//! * some stamp moved → the entry is *revalidated* with
 //!   [`engine::revalidate_plan`], which performs exactly the index and
 //!   path-pattern resolutions execution would perform. Success means
 //!   every access path still resolves — the plan (whose access recipes
 //!   are declarative and re-resolve per execution) stays correct, so
-//!   the entry's epoch stamp is refreshed and the plan reused;
+//!   the entry's stamps are refreshed and the plan reused;
 //! * revalidation fails → the entry is **invalidated** (an access path
 //!   disappeared; the caller re-plans from scratch, which may now pick
 //!   a different — still output-equivalent — plan shape).
+//!
+//! `doc_seq` stamps are **monotone across wholesale reloads** (they
+//! derive from the snapshot chain's ever-growing `update_seq`), which is
+//! what lets a `load` skip the eager purge older revisions needed:
+//! reloading one document moves only that URI's stamp, so entries over
+//! unrelated documents stay warm and keep hitting, while entries over
+//! the reloaded URI revalidate or recompile lazily at their next lookup.
 //!
 //! Both levels are bounded LRU: a logical clock is bumped on every
 //! touch and the stalest entry is evicted at capacity.
@@ -32,17 +41,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use engine::PhysPlan;
-use xmldb::Catalog;
+use xmldb::CatalogSnapshot;
 use xquery::Fingerprint;
 
 /// How the cache participated in answering one query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// Fingerprint and plan found, every document epoch current: the
+    /// Fingerprint and plan found, every document stamp current: the
     /// whole frontend (parse → normalize → unnest → compile) was skipped.
     Hit,
-    /// Plan found with stale epochs, but every access path still
-    /// resolves; reused after an epoch refresh.
+    /// Plan found with stale stamps, but every access path still
+    /// resolves; reused after a stamp refresh.
     Revalidated,
     /// Plan found but an access path no longer resolves; the entry was
     /// dropped and the query re-planned.
@@ -78,14 +87,13 @@ pub enum Lookup {
 /// Monotonic counters, all cumulative since service start.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
-    /// L1 hits (fresh epochs).
+    /// L1 hits (fresh stamps).
     pub hits: u64,
     /// L1 reuses after successful revalidation.
     pub revalidations: u64,
     /// L1 lookups that found nothing.
     pub misses: u64,
-    /// Entries dropped because revalidation failed or a load purged
-    /// the cache.
+    /// Entries dropped because revalidation failed.
     pub invalidations: u64,
     /// Entries dropped to stay within capacity.
     pub evictions: u64,
@@ -96,17 +104,18 @@ pub struct CacheCounters {
 
 struct MemoEntry {
     fp: Fingerprint,
-    /// `(uri, epoch-at-normalize-time)`; `u64::MAX` marks a document
-    /// that was absent (still-absent compares equal, so the entry stays
-    /// valid until the document actually appears).
-    epochs: Vec<(String, u64)>,
+    /// `(uri, doc_seq-at-normalize-time)`;
+    /// [`xmldb::snapshot::DOC_SEQ_ABSENT`] marks a document that was
+    /// absent (still-absent compares equal, so the entry stays valid
+    /// until the document actually appears).
+    seqs: Vec<(String, u64)>,
     last_used: u64,
 }
 
 struct PlanEntry {
     canonical: String,
     use_indexes: bool,
-    epochs: Vec<(String, u64)>,
+    seqs: Vec<(String, u64)>,
     plan: Arc<PhysPlan>,
     label: String,
     last_used: u64,
@@ -123,19 +132,16 @@ pub struct PlanCache {
     counters: CacheCounters,
 }
 
-fn current_epochs(docs: &[String], catalog: &Catalog) -> Vec<(String, u64)> {
+fn current_seqs(docs: &[String], snapshot: &CatalogSnapshot) -> Vec<(String, u64)> {
     docs.iter()
-        .map(|uri| {
-            let e = catalog.by_uri(uri).map_or(u64::MAX, |id| catalog.epoch(id));
-            (uri.clone(), e)
-        })
+        .map(|uri| (uri.clone(), snapshot.doc_seq(uri)))
         .collect()
 }
 
-fn epochs_current(stamped: &[(String, u64)], catalog: &Catalog) -> bool {
+fn seqs_current(stamped: &[(String, u64)], snapshot: &CatalogSnapshot) -> bool {
     stamped
         .iter()
-        .all(|(uri, epoch)| catalog.by_uri(uri).map_or(u64::MAX, |id| catalog.epoch(id)) == *epoch)
+        .all(|(uri, seq)| snapshot.doc_seq(uri) == *seq)
 }
 
 impl PlanCache {
@@ -176,12 +182,12 @@ impl PlanCache {
     }
 
     /// L0: resolve raw query text to its fingerprint without parsing, if
-    /// memoized under current epochs. A stale memo entry is dropped (its
+    /// memoized under current stamps. A stale memo entry is dropped (its
     /// canonical form may no longer be what normalization would produce).
-    pub fn memo_get(&mut self, text: &str, catalog: &Catalog) -> Option<Fingerprint> {
+    pub fn memo_get(&mut self, text: &str, snapshot: &CatalogSnapshot) -> Option<Fingerprint> {
         let stale = match self.memo.get(text) {
             None => return None,
-            Some(e) => !epochs_current(&e.epochs, catalog),
+            Some(e) => !seqs_current(&e.seqs, snapshot),
         };
         if stale {
             self.memo.remove(text);
@@ -194,8 +200,8 @@ impl PlanCache {
         Some(e.fp.clone())
     }
 
-    /// L0: memoize `text → fp` under the current epochs of `fp.docs`.
-    pub fn memo_put(&mut self, text: &str, fp: &Fingerprint, catalog: &Catalog) {
+    /// L0: memoize `text → fp` under the current stamps of `fp.docs`.
+    pub fn memo_put(&mut self, text: &str, fp: &Fingerprint, snapshot: &CatalogSnapshot) {
         let memo_cap = self.cap * 4;
         if self.memo.len() >= memo_cap && !self.memo.contains_key(text) {
             if let Some(victim) = self
@@ -212,15 +218,20 @@ impl PlanCache {
             text.to_string(),
             MemoEntry {
                 fp: fp.clone(),
-                epochs: current_epochs(&fp.docs, catalog),
+                seqs: current_seqs(&fp.docs, snapshot),
                 last_used: now,
             },
         );
     }
 
-    /// L1 lookup, with epoch validation and stale-entry revalidation
+    /// L1 lookup, with stamp validation and stale-entry revalidation
     /// (see module docs for the three-way outcome).
-    pub fn lookup(&mut self, fp: &Fingerprint, use_indexes: bool, catalog: &Catalog) -> Lookup {
+    pub fn lookup(
+        &mut self,
+        fp: &Fingerprint,
+        use_indexes: bool,
+        snapshot: &CatalogSnapshot,
+    ) -> Lookup {
         let now = self.tick();
         let bucket = match self.plans.get_mut(&fp.hash) {
             Some(b) => b,
@@ -239,17 +250,17 @@ impl PlanCache {
                 return Lookup::Miss;
             }
         };
-        if epochs_current(&bucket[idx].epochs, catalog) {
+        if seqs_current(&bucket[idx].seqs, snapshot) {
             let e = &mut bucket[idx];
             e.last_used = now;
             self.counters.hits += 1;
             return Lookup::Hit(Arc::clone(&e.plan), e.label.clone());
         }
-        match engine::revalidate_plan(&bucket[idx].plan, catalog) {
+        match engine::revalidate_plan(&bucket[idx].plan, snapshot) {
             Ok(_checked) => {
-                let fresh = current_epochs(&fp.docs, catalog);
+                let fresh = current_seqs(&fp.docs, snapshot);
                 let e = &mut bucket[idx];
-                e.epochs = fresh;
+                e.seqs = fresh;
                 e.last_used = now;
                 self.counters.revalidations += 1;
                 Lookup::Revalidated(Arc::clone(&e.plan), e.label.clone())
@@ -272,7 +283,7 @@ impl PlanCache {
         use_indexes: bool,
         plan: Arc<PhysPlan>,
         label: String,
-        catalog: &Catalog,
+        snapshot: &CatalogSnapshot,
     ) {
         // Replace an existing entry for the same key in place.
         if let Some(bucket) = self.plans.get_mut(&fp.hash) {
@@ -288,7 +299,7 @@ impl PlanCache {
         self.plans.entry(fp.hash).or_default().push(PlanEntry {
             canonical: fp.canonical.clone(),
             use_indexes,
-            epochs: current_epochs(&fp.docs, catalog),
+            seqs: current_seqs(&fp.docs, snapshot),
             plan,
             label,
             last_used: now,
@@ -314,20 +325,12 @@ impl PlanCache {
             self.counters.evictions += 1;
         }
     }
-
-    /// Drop everything (both levels) — used when a load replaces
-    /// documents wholesale, which resets epoch lineages and would
-    /// otherwise let a recycled epoch number alias a fresh one.
-    pub fn purge(&mut self) {
-        self.counters.invalidations += self.len() as u64;
-        self.plans.clear();
-        self.memo.clear();
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xmldb::Catalog;
 
     fn fp_for(canonical: &str) -> Fingerprint {
         Fingerprint {
@@ -339,25 +342,25 @@ mod tests {
 
     #[test]
     fn lru_evicts_stalest_plan() {
-        let catalog = Catalog::new();
+        let snapshot = CatalogSnapshot::from_catalog(Catalog::new());
         let mut c = PlanCache::new(2);
         let plan = Arc::new(PhysPlan::Singleton);
         let (a, b, d) = (fp_for("a"), fp_for("b"), fp_for("d"));
-        c.insert(&a, false, Arc::clone(&plan), "p".into(), &catalog);
-        c.insert(&b, false, Arc::clone(&plan), "p".into(), &catalog);
+        c.insert(&a, false, Arc::clone(&plan), "p".into(), &snapshot);
+        c.insert(&b, false, Arc::clone(&plan), "p".into(), &snapshot);
         // Touch `a` so `b` is the LRU victim.
-        assert!(matches!(c.lookup(&a, false, &catalog), Lookup::Hit(..)));
-        c.insert(&d, false, plan, "p".into(), &catalog);
+        assert!(matches!(c.lookup(&a, false, &snapshot), Lookup::Hit(..)));
+        c.insert(&d, false, plan, "p".into(), &snapshot);
         assert_eq!(c.len(), 2);
-        assert!(matches!(c.lookup(&a, false, &catalog), Lookup::Hit(..)));
-        assert!(matches!(c.lookup(&b, false, &catalog), Lookup::Miss));
-        assert!(matches!(c.lookup(&d, false, &catalog), Lookup::Hit(..)));
+        assert!(matches!(c.lookup(&a, false, &snapshot), Lookup::Hit(..)));
+        assert!(matches!(c.lookup(&b, false, &snapshot), Lookup::Miss));
+        assert!(matches!(c.lookup(&d, false, &snapshot), Lookup::Hit(..)));
         assert_eq!(c.counters().evictions, 1);
     }
 
     #[test]
     fn index_mode_is_part_of_the_key() {
-        let catalog = Catalog::new();
+        let snapshot = CatalogSnapshot::from_catalog(Catalog::new());
         let mut c = PlanCache::new(4);
         let a = fp_for("a");
         c.insert(
@@ -365,9 +368,9 @@ mod tests {
             false,
             Arc::new(PhysPlan::Singleton),
             "p".into(),
-            &catalog,
+            &snapshot,
         );
-        assert!(matches!(c.lookup(&a, true, &catalog), Lookup::Miss));
-        assert!(matches!(c.lookup(&a, false, &catalog), Lookup::Hit(..)));
+        assert!(matches!(c.lookup(&a, true, &snapshot), Lookup::Miss));
+        assert!(matches!(c.lookup(&a, false, &snapshot), Lookup::Hit(..)));
     }
 }

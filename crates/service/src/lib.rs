@@ -1,13 +1,16 @@
 //! `service` — the long-running query service over the
 //! ordered-unnesting pipeline, in two layers:
 //!
-//! 1. [`QueryService`] ([`service`]): an embeddable facade owning a
-//!    [`xmldb::Catalog`] plus a bounded, epoch-keyed plan cache
+//! 1. [`QueryService`] ([`service`]): an embeddable facade owning the
+//!    catalog through a lock-free [`xmldb::CatalogHandle`] (immutable
+//!    `Arc`-swapped snapshot versions; every query pins one version for
+//!    its whole lifetime) plus a bounded, `doc_seq`-stamped plan cache
 //!    ([`cache`]). Repeated queries skip the whole frontend
-//!    (parse → normalize → unnest → compile) on a cache hit; updates go
-//!    through the catalog's delta-maintenance wrappers, whose epoch
-//!    bumps invalidate exactly the stale entries. Concurrent readers
-//!    share the catalog; one writer serializes mutations.
+//!    (parse → normalize → unnest → compile) on a cache hit; updates
+//!    clone-on-write through the catalog's delta-maintenance wrappers
+//!    and publish the next version, whose moved stamps invalidate
+//!    exactly the stale entries. Readers never take a lock and never
+//!    stall behind the single serialized writer.
 //! 2. `xqd-server` ([`server`] + [`proto`]): a TCP server speaking
 //!    newline-delimited JSON ([`json`]) that streams query results
 //!    item-by-item from the pull-based streaming executor.
@@ -49,6 +52,8 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<QueryService>();
     assert_send_sync::<PlanCache>();
+    assert_send_sync::<xmldb::CatalogSnapshot>();
+    assert_send_sync::<xmldb::CatalogHandle>();
     assert_send_sync::<engine::PhysPlan>();
     assert_send_sync::<engine::AccessRecipe>();
     assert_send_sync::<xquery::Fingerprint>();

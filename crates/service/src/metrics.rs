@@ -137,6 +137,7 @@ pub struct MetricsRegistry {
     plan_misses: AtomicU64,
     query_latency: LatencyHistogram,
     update_latency: LatencyHistogram,
+    publish_latency: LatencyHistogram,
 }
 
 impl MetricsRegistry {
@@ -154,6 +155,7 @@ impl MetricsRegistry {
             plan_misses: AtomicU64::new(0),
             query_latency: LatencyHistogram::new(),
             update_latency: LatencyHistogram::new(),
+            publish_latency: LatencyHistogram::new(),
         }
     }
 
@@ -177,6 +179,12 @@ impl MetricsRegistry {
     pub fn record_update(&self, us: u64) {
         self.updates.fetch_add(1, Ordering::Relaxed);
         self.update_latency.observe_us(us);
+    }
+
+    /// Record one writer publish (clone-on-write + mutation + atomic
+    /// snapshot swap) and its latency — updates and loads both count.
+    pub fn record_publish(&self, us: u64) {
+        self.publish_latency.observe_us(us);
     }
 
     /// Record one failed request (query, update, or load).
@@ -243,6 +251,11 @@ impl MetricsRegistry {
     pub fn update_latency(&self) -> HistogramSnapshot {
         self.update_latency.snapshot()
     }
+
+    /// Snapshot of the writer publish latency histogram.
+    pub fn publish_latency(&self) -> HistogramSnapshot {
+        self.publish_latency.snapshot()
+    }
 }
 
 impl Default for MetricsRegistry {
@@ -252,13 +265,14 @@ impl Default for MetricsRegistry {
 }
 
 /// Render the Prometheus text exposition (version 0.0.4) of a stats
-/// snapshot: counters, gauges, and the query/update latency histograms.
-/// Counter values come from the same [`ServiceStats`] the `stats` op
-/// ships, so the two surfaces agree by construction.
+/// snapshot: counters, gauges, and the query/update/publish latency
+/// histograms. Counter values come from the same [`ServiceStats`] the
+/// `stats` op ships, so the two surfaces agree by construction.
 pub fn render_prometheus(
     s: &ServiceStats,
     query: &HistogramSnapshot,
     update: &HistogramSnapshot,
+    publish: &HistogramSnapshot,
 ) -> String {
     let mut out = String::new();
     let mut counter = |name: &str, help: &str, v: u64| {
@@ -339,6 +353,16 @@ pub fn render_prometheus(
         "Plans currently cached.",
         s.cached_plans as u64,
     );
+    gauge(
+        "xqd_snapshot_version",
+        "update_seq of the currently published catalog snapshot.",
+        s.snapshot_version,
+    );
+    gauge(
+        "xqd_live_snapshots",
+        "Catalog versions still referenced (current + reader-pinned).",
+        s.live_snapshots,
+    );
     render_histogram(
         &mut out,
         "xqd_query_latency_us",
@@ -350,6 +374,12 @@ pub fn render_prometheus(
         "xqd_update_latency_us",
         "Update latency (µs).",
         update,
+    );
+    render_histogram(
+        &mut out,
+        "xqd_publish_latency_us",
+        "Writer snapshot publish latency (µs): clone-on-write + swap.",
+        publish,
     );
     out
 }

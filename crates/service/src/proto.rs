@@ -235,6 +235,22 @@ pub fn stats_frame(s: &ServiceStats) -> String {
             ("query_p50_us".to_string(), Json::num(s.query_p50_us as f64)),
             ("query_p90_us".to_string(), Json::num(s.query_p90_us as f64)),
             ("query_p99_us".to_string(), Json::num(s.query_p99_us as f64)),
+            (
+                "snapshot_version".to_string(),
+                Json::num(s.snapshot_version as f64),
+            ),
+            (
+                "live_snapshots".to_string(),
+                Json::num(s.live_snapshots as f64),
+            ),
+            (
+                "publish_p50_us".to_string(),
+                Json::num(s.publish_p50_us as f64),
+            ),
+            (
+                "publish_p99_us".to_string(),
+                Json::num(s.publish_p99_us as f64),
+            ),
         ],
     )
 }
@@ -369,6 +385,7 @@ pub fn handle_line(svc: &QueryService, line: &str, emit: &mut dyn FnMut(&str) ->
                 &svc.stats(),
                 &svc.metrics().query_latency(),
                 &svc.metrics().update_latency(),
+                &svc.metrics().publish_latency(),
             );
             emit(&ok_frame(
                 "metrics",

@@ -1,31 +1,34 @@
 //! [`QueryService`] — the embeddable query facade.
 //!
-//! Owns a [`Catalog`] behind an `RwLock` (any number of concurrent
-//! readers, one serialized writer) and a [`PlanCache`] behind a `Mutex`.
-//! A query takes the catalog read lock for its whole lifetime — plan
-//! resolution and execution see one consistent catalog snapshot — and
-//! touches the cache mutex only for sub-microsecond lookups and inserts;
+//! Owns the catalog through a [`CatalogHandle`] (see
+//! [`xmldb::snapshot`]): immutable, `Arc`-swapped [`CatalogSnapshot`]
+//! versions with one serialized clone-on-write writer. **The read path
+//! takes no lock.** A query pins the current snapshot (a few atomic
+//! operations) and executes against it from `begin` to `done` — plan
+//! resolution and execution see one consistent, immutable catalog
+//! version, and a writer publishing mid-stream neither stalls the
+//! reader nor is stalled by it. The only mutex a query touches is the
+//! [`PlanCache`]'s, for sub-microsecond lookups and inserts;
 //! parse/normalize/unnest/compile all run outside it, so a slow compile
 //! never blocks cache hits on other connections.
 //!
-//! Updates go through the existing [`Catalog`] delta-maintenance
-//! wrappers ([`Catalog::insert_subtree`] & friends), which keep indexes
-//! and statistics consistent and bump the touched document's epoch; the
-//! cache notices the moved epoch lazily at the next lookup
-//! (revalidate-or-recompile, see [`crate::cache`]).
-//!
-//! Lock order is **catalog before cache**, on both the read path and the
-//! write path — there is no path that acquires them in the other order,
-//! so the pair cannot deadlock.
+//! Updates go through [`CatalogHandle::try_write`]: the writer clones
+//! the current catalog (cheap — everything shares by `Arc` until
+//! touched), applies the existing [`xmldb::Catalog`] delta-maintenance
+//! wrappers (`insert_subtree` & friends, which keep indexes and
+//! statistics consistent), and publishes the next version with one
+//! atomic swap. The plan cache notices moved per-document `doc_seq`
+//! stamps lazily at the next lookup (revalidate-or-recompile, see
+//! [`crate::cache`]); whole-catalog loads move only the reloaded URIs'
+//! stamps, so unrelated hot entries stay warm.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use engine::{ExplainReport, PhysPlan};
 use nal::obs::{Clock, QueryTrace, Stage};
 use nal::{EvalCtx, Metrics, Tuple};
-use xmldb::{parse_document, Catalog, MaintenanceStats, NodeId};
+use xmldb::{parse_document, Catalog, CatalogHandle, CatalogSnapshot, MaintenanceStats, NodeId};
 use xquery::{normalize, parse_query, Fingerprint};
 
 use crate::cache::{CacheCounters, CacheOutcome, Lookup, PlanCache};
@@ -114,9 +117,9 @@ pub struct QueryOutcome {
     pub metrics: Metrics,
     /// Execution wall-clock (excludes planning/cache time).
     pub elapsed: Duration,
-    /// Value of the service update sequence when this query's catalog
-    /// snapshot was taken — replaying the first `updates_seen` updates
-    /// on a fresh store must reproduce `output` byte-for-byte.
+    /// `update_seq` of the catalog snapshot this query pinned —
+    /// replaying the first `updates_seen` updates on a fresh store must
+    /// reproduce `output` byte-for-byte.
     pub updates_seen: u64,
     /// True when a streaming consumer cancelled mid-stream (`output`
     /// then holds only what was produced before the cut).
@@ -175,7 +178,7 @@ pub struct UpdateReport {
     pub epoch: u64,
     /// Nodes inserted or removed (1 for text replacement).
     pub nodes: usize,
-    /// Service-wide update sequence number of this update (1-based).
+    /// `update_seq` of the snapshot this update published (1-based).
     pub update_seq: u64,
 }
 
@@ -197,8 +200,17 @@ pub struct ServiceStats {
     pub memo_entries: usize,
     /// Documents registered.
     pub documents: usize,
-    /// Current update sequence number.
+    /// Current update sequence number (the published snapshot's stamp).
     pub update_seq: u64,
+    /// `update_seq` of the currently published catalog snapshot — the
+    /// version a query pinning right now would see. Alias of
+    /// `update_seq`, named for the snapshot-chain surface.
+    pub snapshot_version: u64,
+    /// Catalog versions still referenced: the current one plus every
+    /// older snapshot an in-flight query still pins. Steady state with
+    /// no running query is 1; a persistently higher value means readers
+    /// lag versions (long streams over a churning writer).
+    pub live_snapshots: u64,
     /// Failed requests (compile, execution, update, or load errors).
     pub errors: u64,
     /// Currently open server connections.
@@ -220,6 +232,11 @@ pub struct ServiceStats {
     pub query_p90_us: u64,
     /// 99th-percentile whole-query latency (µs).
     pub query_p99_us: u64,
+    /// Median writer publish latency (µs): clone-on-write + mutation +
+    /// atomic swap, for updates and loads.
+    pub publish_p50_us: u64,
+    /// 99th-percentile writer publish latency (µs).
+    pub publish_p99_us: u64,
 }
 
 /// What [`QueryService::explain`] reports: the per-operator annotated
@@ -244,9 +261,8 @@ pub struct ExplainOutcome {
 /// The embeddable query service (see module docs).
 pub struct QueryService {
     config: ServiceConfig,
-    catalog: RwLock<Catalog>,
+    catalog: CatalogHandle,
     cache: Mutex<PlanCache>,
-    update_seq: AtomicU64,
     metrics: MetricsRegistry,
 }
 
@@ -256,13 +272,12 @@ impl QueryService {
         QueryService::with_catalog(Catalog::new(), config)
     }
 
-    /// Wrap an existing catalog.
+    /// Wrap an existing catalog (published as snapshot version 0).
     pub fn with_catalog(catalog: Catalog, config: ServiceConfig) -> QueryService {
         QueryService {
             config,
-            catalog: RwLock::new(catalog),
+            catalog: CatalogHandle::new(catalog),
             cache: Mutex::new(PlanCache::new(config.cache_capacity)),
-            update_seq: AtomicU64::new(0),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -273,29 +288,33 @@ impl QueryService {
     }
 
     /// Parse `xml` and register it under `uri` (replacing any previous
-    /// document with that URI). Purges the plan cache: registration
-    /// resets the document's epoch lineage, so stale entries could
-    /// otherwise alias a recycled epoch number.
+    /// document with that URI), publishing the next snapshot version.
+    /// Only this URI's `doc_seq` stamp moves, so cached plans over other
+    /// documents keep hitting; entries referencing `uri` revalidate or
+    /// recompile lazily at their next lookup.
     pub fn load_xml(&self, uri: &str, xml: &str) -> Result<(), ServiceError> {
         let doc = parse_document(uri, xml).map_err(|e| {
             self.metrics.record_error();
             ServiceError::BadRequest(format!("{e}"))
         })?;
-        let mut catalog = self.catalog.write().expect("catalog lock");
-        catalog.register(doc);
-        self.cache.lock().expect("cache lock").purge();
-        self.update_seq.fetch_add(1, Ordering::SeqCst);
+        let clock = Clock::start();
+        self.catalog.write(|catalog| {
+            catalog.register(doc);
+        });
+        self.metrics.record_publish(clock.now_us());
         Ok(())
     }
 
     /// Replace the whole catalog with the standard six-document paper
-    /// workload at `scale` ([`xmldb::gen::standard_catalog`]).
+    /// workload at `scale` ([`xmldb::gen::standard_catalog`]), published
+    /// as the next snapshot version. The version stamp advances
+    /// monotonically, so stale cache entries can never alias the fresh
+    /// documents — they revalidate or recompile lazily, no eager purge.
     pub fn load_standard(&self, scale: usize, seed: u64) -> Result<(), ServiceError> {
         let fresh = xmldb::gen::standard_catalog(scale, 2, seed);
-        let mut catalog = self.catalog.write().expect("catalog lock");
-        *catalog = fresh;
-        self.cache.lock().expect("cache lock").purge();
-        self.update_seq.fetch_add(1, Ordering::SeqCst);
+        let clock = Clock::start();
+        self.catalog.publish_replace(fresh);
+        self.metrics.record_publish(clock.now_us());
         Ok(())
     }
 
@@ -311,14 +330,14 @@ impl QueryService {
     fn query_inner(&self, text: &str) -> Result<QueryOutcome, ServiceError> {
         let clock = Clock::start();
         let mut trace = QueryTrace::default();
-        let catalog = self.catalog.read().expect("catalog lock");
-        let updates_seen = self.update_seq.load(Ordering::SeqCst);
+        let snapshot = self.catalog.pin();
+        let updates_seen = snapshot.update_seq();
         let (plan, label, outcome, fingerprint) =
-            self.prepare(text, &catalog, &clock, &mut trace)?;
+            self.prepare(text, &snapshot, &clock, &mut trace)?;
         let exec_start = clock.now_us();
         let result = match self.config.exec {
-            ExecMode::Materialized => engine::run_compiled(&plan, &catalog),
-            ExecMode::Streaming => engine::run_streaming_compiled(&plan, &catalog),
+            ExecMode::Materialized => engine::run_compiled(&plan, &snapshot),
+            ExecMode::Streaming => engine::run_streaming_compiled(&plan, &snapshot),
         }
         .map_err(|e| ServiceError::Exec(format!("{e}")))?;
         let exec_end = clock.now_us();
@@ -350,6 +369,11 @@ impl QueryService {
     /// increments is byte-identical to [`QueryOutcome::output`] of a
     /// materialized run). `on_item` returning `false` cancels the run —
     /// this is how a dropped client connection stops a long stream.
+    ///
+    /// The whole stream executes against the snapshot pinned at entry:
+    /// no lock is held, a writer publishing versions mid-stream never
+    /// stalls `begin`→`done` (and is never stalled by it), and the
+    /// pinned version is released when the stream ends.
     pub fn query_streamed(
         &self,
         text: &str,
@@ -369,12 +393,12 @@ impl QueryService {
     ) -> Result<QueryOutcome, ServiceError> {
         let clock = Clock::start();
         let mut trace = QueryTrace::default();
-        let catalog = self.catalog.read().expect("catalog lock");
-        let updates_seen = self.update_seq.load(Ordering::SeqCst);
+        let snapshot = self.catalog.pin();
+        let updates_seen = snapshot.update_seq();
         let (plan, label, outcome, fingerprint) =
-            self.prepare(text, &catalog, &clock, &mut trace)?;
+            self.prepare(text, &snapshot, &clock, &mut trace)?;
         let exec_start = clock.now_us();
-        let mut ctx = EvalCtx::new(&catalog);
+        let mut ctx = EvalCtx::new(&snapshot);
         let env = Tuple::empty();
         let mut root = engine::pipeline::lower(&plan, &env);
         let mut rows = 0usize;
@@ -423,8 +447,10 @@ impl QueryService {
     }
 
     /// Apply one mutation through the catalog's delta-maintenance
-    /// wrappers (single writer; readers block only for the mutation
-    /// itself, never for cache maintenance).
+    /// wrappers and publish the next snapshot version. Writers
+    /// serialize among themselves; readers are never blocked (in-flight
+    /// queries keep their pinned versions, new queries pin the new one).
+    /// A failed update publishes nothing.
     pub fn update(&self, op: &UpdateOp) -> Result<UpdateReport, ServiceError> {
         let clock = Clock::start();
         let r = self.update_inner(op);
@@ -436,63 +462,66 @@ impl QueryService {
     }
 
     fn update_inner(&self, op: &UpdateOp) -> Result<UpdateReport, ServiceError> {
-        let mut catalog = self.catalog.write().expect("catalog lock");
-        let (uri, nodes) = match op {
-            UpdateOp::InsertXml { uri, parent, xml } => {
-                let id = catalog
-                    .by_uri(uri)
-                    .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
-                let target = first_match(&catalog, id, parent)?;
-                let frag = parse_document("fragment", xml)
-                    .map_err(|e| ServiceError::BadRequest(format!("bad fragment: {e}")))?;
-                let frag_root = frag
-                    .root_element()
-                    .ok_or_else(|| ServiceError::BadRequest("empty fragment".to_string()))?;
-                catalog
-                    .insert_subtree(id, target, None, &frag, frag_root)
-                    .map_err(|e| ServiceError::Update(format!("{e}")))?;
-                (uri.clone(), 1)
-            }
-            UpdateOp::DeleteFirst { uri, path } => {
-                let id = catalog
-                    .by_uri(uri)
-                    .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
-                let target = first_match(&catalog, id, path)?;
-                let removed = catalog
-                    .delete_subtree(id, target)
-                    .map_err(|e| ServiceError::Update(format!("{e}")))?;
-                (uri.clone(), removed)
-            }
-            UpdateOp::ReplaceText { uri, path, text } => {
-                let id = catalog
-                    .by_uri(uri)
-                    .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
-                let mut target = first_match(&catalog, id, path)?;
-                // Structural paths address elements; the storage layer
-                // wants the text node itself. Resolve an element target
-                // to its first text child.
-                {
-                    let doc = catalog.doc(id);
-                    if doc.kind(target).is_element() {
-                        target = doc
-                            .children(target)
-                            .find(|&c| matches!(doc.kind(c), xmldb::NodeKind::Text))
-                            .ok_or_else(|| {
-                                ServiceError::BadRequest(format!(
-                                    "path `{path}` selects an element with no text child"
-                                ))
-                            })?;
-                    }
+        let clock = Clock::start();
+        let ((uri, nodes, epoch), update_seq) = self.catalog.try_write(|catalog| {
+            let (uri, nodes) = match op {
+                UpdateOp::InsertXml { uri, parent, xml } => {
+                    let id = catalog
+                        .by_uri(uri)
+                        .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
+                    let target = first_match(catalog, id, parent)?;
+                    let frag = parse_document("fragment", xml)
+                        .map_err(|e| ServiceError::BadRequest(format!("bad fragment: {e}")))?;
+                    let frag_root = frag
+                        .root_element()
+                        .ok_or_else(|| ServiceError::BadRequest("empty fragment".to_string()))?;
+                    catalog
+                        .insert_subtree(id, target, None, &frag, frag_root)
+                        .map_err(|e| ServiceError::Update(format!("{e}")))?;
+                    (uri.clone(), 1)
                 }
-                catalog
-                    .replace_text(id, target, text)
-                    .map_err(|e| ServiceError::Update(format!("{e}")))?;
-                (uri.clone(), 1)
-            }
-        };
-        let id = catalog.by_uri(&uri).expect("checked above");
-        let epoch = catalog.epoch(id);
-        let update_seq = self.update_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                UpdateOp::DeleteFirst { uri, path } => {
+                    let id = catalog
+                        .by_uri(uri)
+                        .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
+                    let target = first_match(catalog, id, path)?;
+                    let removed = catalog
+                        .delete_subtree(id, target)
+                        .map_err(|e| ServiceError::Update(format!("{e}")))?;
+                    (uri.clone(), removed)
+                }
+                UpdateOp::ReplaceText { uri, path, text } => {
+                    let id = catalog
+                        .by_uri(uri)
+                        .ok_or_else(|| ServiceError::UnknownDocument(uri.clone()))?;
+                    let mut target = first_match(catalog, id, path)?;
+                    // Structural paths address elements; the storage layer
+                    // wants the text node itself. Resolve an element target
+                    // to its first text child.
+                    {
+                        let doc = catalog.doc(id);
+                        if doc.kind(target).is_element() {
+                            target = doc
+                                .children(target)
+                                .find(|&c| matches!(doc.kind(c), xmldb::NodeKind::Text))
+                                .ok_or_else(|| {
+                                    ServiceError::BadRequest(format!(
+                                        "path `{path}` selects an element with no text child"
+                                    ))
+                                })?;
+                        }
+                    }
+                    catalog
+                        .replace_text(id, target, text)
+                        .map_err(|e| ServiceError::Update(format!("{e}")))?;
+                    (uri.clone(), 1)
+                }
+            };
+            let id = catalog.by_uri(&uri).expect("checked above");
+            let epoch = catalog.epoch(id);
+            Ok((uri, nodes, epoch))
+        })?;
+        self.metrics.record_publish(clock.now_us());
         Ok(UpdateReport {
             uri,
             epoch,
@@ -509,13 +538,11 @@ impl QueryService {
             let c = self.cache.lock().expect("cache lock");
             (c.counters(), c.len(), c.memo_len())
         };
-        let (documents, maintenance) = {
-            let c = self.catalog.read().expect("catalog lock");
-            (c.len(), c.index_maintenance_stats())
-        };
+        let snapshot = self.catalog.pin();
         let (plan_hits, plan_revalidations, plan_recompiles, plan_misses) =
             self.metrics.plan_outcomes();
         let latency = self.metrics.query_latency();
+        let publish = self.metrics.publish_latency();
         ServiceStats {
             queries: self.metrics.queries(),
             rows_streamed: self.metrics.rows_streamed(),
@@ -523,18 +550,22 @@ impl QueryService {
             cache,
             cached_plans,
             memo_entries,
-            documents,
-            update_seq: self.update_seq.load(Ordering::SeqCst),
+            documents: snapshot.len(),
+            update_seq: snapshot.update_seq(),
+            snapshot_version: snapshot.update_seq(),
+            live_snapshots: self.catalog.live_snapshots() as u64,
             errors: self.metrics.errors(),
             active_sessions: self.metrics.active_sessions(),
             plan_hits,
             plan_revalidations,
             plan_recompiles,
             plan_misses,
-            maintenance,
+            maintenance: snapshot.index_maintenance_stats(),
             query_p50_us: latency.quantile_us(0.5),
             query_p90_us: latency.quantile_us(0.9),
             query_p99_us: latency.quantile_us(0.99),
+            publish_p50_us: publish.quantile_us(0.5),
+            publish_p99_us: publish.quantile_us(0.99),
         }
     }
 
@@ -559,13 +590,13 @@ impl QueryService {
     fn explain_inner(&self, text: &str) -> Result<ExplainOutcome, ServiceError> {
         let clock = Clock::start();
         let mut trace = QueryTrace::default();
-        let catalog = self.catalog.read().expect("catalog lock");
+        let snapshot = self.catalog.pin();
         let (plan, label, outcome, fingerprint) =
-            self.prepare(text, &catalog, &clock, &mut trace)?;
+            self.prepare(text, &snapshot, &clock, &mut trace)?;
         let exec_start = clock.now_us();
         let (result, exec_trace) = match self.config.exec {
-            ExecMode::Materialized => engine::run_traced(&plan, &catalog),
-            ExecMode::Streaming => engine::run_streaming_traced(&plan, &catalog),
+            ExecMode::Materialized => engine::run_traced(&plan, &snapshot),
+            ExecMode::Streaming => engine::run_streaming_traced(&plan, &snapshot),
         }
         .map_err(|e| ServiceError::Exec(format!("{e}")))?;
         let exec_end = clock.now_us();
@@ -574,7 +605,7 @@ impl QueryService {
         let mut report = ExplainReport::from_trace(&plan, &exec_trace);
         report.annotate_costs(&unnest::plan_cost_map(
             &plan,
-            &catalog,
+            &snapshot,
             self.config.use_indexes,
         ));
         self.metrics
@@ -602,9 +633,16 @@ impl QueryService {
         }
     }
 
-    /// Run `f` with shared access to the catalog (test and bench hook).
+    /// Run `f` against the current snapshot (test and bench hook).
     pub fn with_catalog_read<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
-        f(&self.catalog.read().expect("catalog lock"))
+        f(&self.catalog.pin())
+    }
+
+    /// Pin the current catalog snapshot — the same version a query
+    /// starting now would execute against. Test and bench hook for
+    /// observing snapshot lifetimes (`Arc::strong_count`) and stamps.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        self.catalog.pin()
     }
 
     /// Resolve `text` to an executable plan: L0 text memo → L1 plan
@@ -616,7 +654,7 @@ impl QueryService {
     fn prepare(
         &self,
         text: &str,
-        catalog: &Catalog,
+        snapshot: &CatalogSnapshot,
         clock: &Clock,
         trace: &mut QueryTrace,
     ) -> Result<(Arc<PhysPlan>, String, CacheOutcome, u64), ServiceError> {
@@ -625,8 +663,8 @@ impl QueryService {
         let t0 = clock.now_us();
         let looked_up = {
             let mut cache = self.cache.lock().expect("cache lock");
-            cache.memo_get(text, catalog).map(|fp| {
-                let lookup = cache.lookup(&fp, use_indexes, catalog);
+            cache.memo_get(text, snapshot).map(|fp| {
+                let lookup = cache.lookup(&fp, use_indexes, snapshot);
                 (fp, lookup)
             })
         };
@@ -652,7 +690,7 @@ impl QueryService {
         let parsed = parse_query(text).map_err(|e| ServiceError::Compile(format!("{e}")))?;
         trace.record_stage(Stage::Parse, t, clock.now_us());
         let t = clock.now_us();
-        let normalized = normalize(&parsed, catalog);
+        let normalized = normalize(&parsed, snapshot);
         trace.record_stage(Stage::Normalize, t, clock.now_us());
         let fp = match memo_fp {
             Some(fp) => fp,
@@ -661,10 +699,10 @@ impl QueryService {
                 let t = clock.now_us();
                 let lookup = {
                     let mut cache = self.cache.lock().expect("cache lock");
-                    cache.memo_put(text, &fp, catalog);
+                    cache.memo_put(text, &fp, snapshot);
                     // Another query text may have compiled this same
                     // canonical form already.
-                    cache.lookup(&fp, use_indexes, catalog)
+                    cache.lookup(&fp, use_indexes, snapshot)
                 };
                 trace.record_stage(Stage::CacheLookup, t, clock.now_us());
                 match lookup {
@@ -684,11 +722,11 @@ impl QueryService {
         };
 
         let t = clock.now_us();
-        let expr = xquery::translate(&normalized, catalog)
+        let expr = xquery::translate(&normalized, snapshot)
             .map_err(|e| ServiceError::Compile(format!("{e}")))?;
         let ranked = unnest::rank_plans_with(
-            unnest::enumerate_plans(&expr, catalog),
-            catalog,
+            unnest::enumerate_plans(&expr, snapshot),
+            snapshot,
             use_indexes,
         );
         trace.record_stage(Stage::Unnest, t, clock.now_us());
@@ -699,7 +737,7 @@ impl QueryService {
         let label = choice.label;
         let t = clock.now_us();
         let plan = Arc::new(if use_indexes {
-            engine::compile_indexed(&choice.expr, catalog)
+            engine::compile_indexed(&choice.expr, snapshot)
         } else {
             engine::compile(&choice.expr)
         });
@@ -708,7 +746,7 @@ impl QueryService {
             use_indexes,
             Arc::clone(&plan),
             label.clone(),
-            catalog,
+            snapshot,
         );
         trace.record_stage(Stage::Plan, t, clock.now_us());
         let outcome = if invalidated {

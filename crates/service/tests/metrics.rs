@@ -193,6 +193,7 @@ fn prometheus_exposition_agrees_with_stats() {
         &stats,
         &svc.metrics().query_latency(),
         &svc.metrics().update_latency(),
+        &svc.metrics().publish_latency(),
     );
     let value = |name: &str| -> f64 {
         text.lines()
@@ -246,6 +247,13 @@ fn prometheus_exposition_agrees_with_stats() {
         value("xqd_index_delta_updates_total"),
         stats.maintenance.delta_updates as f64
     );
+    // The snapshot-chain surface rides along: the version gauge equals
+    // the stats' update_seq, exactly one version is live at rest, and
+    // every publish (one load + one update) landed in the histogram.
+    assert_eq!(value("xqd_snapshot_version"), stats.snapshot_version as f64);
+    assert_eq!(stats.snapshot_version, stats.update_seq);
+    assert_eq!(value("xqd_live_snapshots"), 1.0);
+    assert_eq!(value("xqd_publish_latency_us_count"), 2.0);
 }
 
 // ---------------------------------------------------------------------

@@ -217,21 +217,50 @@ fn all_three_update_kinds_invalidate() {
     assert_eq!(svc.query(q).unwrap().output, fresh.query(q).unwrap().output);
 }
 
+/// Loads no longer purge the cache: `doc_seq` stamps are monotone
+/// across wholesale reloads, so only entries referencing a *reloaded*
+/// URI go stale — unrelated hot entries keep hitting.
 #[test]
-fn loads_purge_the_cache() {
+fn loads_invalidate_only_reloaded_documents() {
     let svc = standard_service(16);
     let q = r#"let $d := doc("bib.xml") for $t in $d//book/title return $t"#;
     svc.query(q).expect("prime");
     assert_eq!(svc.stats().cached_plans, 1);
+
+    // Loading a document the entry never references leaves it fully
+    // warm: still cached, and the next run is a plain hit.
+    svc.load_xml("unrelated.xml", "<r><x>1</x></r>")
+        .expect("load");
+    assert_eq!(svc.stats().cached_plans, 1);
+    assert_eq!(svc.query(q).unwrap().cache, CacheOutcome::Hit);
+
+    // Reloading the whole catalog moves bib.xml's stamp. The entry is
+    // not purged, but it must not be served as a plain hit either: the
+    // moved stamp forces revalidation (or recompile) against the new
+    // snapshot …
     svc.load_standard(SCALE, SEED + 1).expect("reload");
-    assert_eq!(svc.stats().cached_plans, 0);
-    assert_eq!(svc.query(q).unwrap().cache, CacheOutcome::Miss);
+    assert_eq!(svc.stats().cached_plans, 1, "no eager purge");
+    let post = svc.query(q).expect("post-reload");
+    assert!(
+        matches!(
+            post.cache,
+            CacheOutcome::Revalidated | CacheOutcome::Recompiled
+        ),
+        "expected revalidation or recompile after the reload, got {:?}",
+        post.cache
+    );
+    // … and the served result reflects the reloaded data, byte-identical
+    // to a service that never cached anything.
+    let fresh = standard_service(16);
+    fresh.load_standard(SCALE, SEED + 1).expect("reload");
+    assert_eq!(post.output, fresh.query(q).unwrap().output);
 }
 
 /// A cached plan whose document vanished from the catalog fails
 /// revalidation and is dropped (the `Invalidated` → recompile branch).
-/// Whole-catalog swaps purge eagerly in the service, so this drives the
-/// cache directly with two catalogs to pin the defensive branch down.
+/// This drives the cache directly with two snapshots to pin the
+/// defensive branch down: the vanished URI reads as the absent-sentinel
+/// stamp, which can never equal a real `doc_seq`.
 #[test]
 fn vanished_document_invalidates_the_entry() {
     let mut with_doc = xmldb::Catalog::new();
@@ -242,6 +271,7 @@ fn vanished_document_invalidates_the_entry() {
     let expr = xquery::compile(q, &with_doc).expect("compiles");
     let plan = Arc::new(engine::compile_indexed(&expr, &with_doc));
     let fp = xquery::Fingerprint::of_query(q, &with_doc).expect("fingerprints");
+    let with_doc = xmldb::CatalogSnapshot::from_catalog(with_doc);
 
     let mut cache = PlanCache::new(4);
     cache.insert(&fp, true, plan, "nested".to_string(), &with_doc);
@@ -250,9 +280,9 @@ fn vanished_document_invalidates_the_entry() {
         Lookup::Hit(..)
     ));
 
-    // Same fingerprint against a catalog where ghost.xml never existed:
-    // stale epochs, and revalidation cannot resolve the scan.
-    let without_doc = xmldb::Catalog::new();
+    // Same fingerprint against a snapshot where ghost.xml never existed:
+    // stale stamps, and revalidation cannot resolve the scan.
+    let without_doc = xmldb::CatalogSnapshot::from_catalog(xmldb::Catalog::new());
     assert!(matches!(
         cache.lookup(&fp, true, &without_doc),
         Lookup::Invalidated

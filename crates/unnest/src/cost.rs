@@ -43,12 +43,42 @@ pub struct Estimate {
     pub cost: f64,
 }
 
+/// Fitted constants for the model's two guessed terms.
+///
+/// The cardinality side of the model is statistics-driven, but two
+/// numbers are pure priors: the weight of a B-tree-ish index seek
+/// relative to one tuple of scan work, and the fan-out assumed for a
+/// path whose provenance the model cannot trace. Both are fittable
+/// from `(predicted_cost, measured_us)` pairs — the bench harness's
+/// `calibration` experiment grid-fits them against measured plan times
+/// and checks that the fitted model's plan ranking rank-correlates
+/// with the measured ranking.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Calibration {
+    /// Multiplier on the index-probe seek term (`1.0` = one seek costs
+    /// `1 + log₂(keys)` tuples of work, the uncalibrated prior).
+    pub probe_weight: f64,
+    /// Fan-out assumed for untraceable paths (uncalibrated prior: 2.0).
+    pub fanout_prior: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Calibration {
+        Calibration {
+            probe_weight: 1.0,
+            fanout_prior: 2.0,
+        }
+    }
+}
+
 /// Estimator with per-document statistics (memoized on the catalog).
 pub struct CostModel<'a> {
     catalog: &'a Catalog,
     stats: HashMap<String, Arc<DocStats>>,
     /// Price index-backed access paths (engine `compile_indexed`).
     use_indexes: bool,
+    /// Fitted constants (defaults are the uncalibrated priors).
+    cal: Calibration,
 }
 
 /// Default selectivity of a non-correlating predicate.
@@ -62,10 +92,20 @@ impl<'a> CostModel<'a> {
 
     /// A model that prices index-backed access paths when `use_indexes`.
     pub fn with_indexes(catalog: &'a Catalog, use_indexes: bool) -> CostModel<'a> {
+        CostModel::with_calibration(catalog, use_indexes, Calibration::default())
+    }
+
+    /// A model with explicitly fitted [`Calibration`] constants.
+    pub fn with_calibration(
+        catalog: &'a Catalog,
+        use_indexes: bool,
+        cal: Calibration,
+    ) -> CostModel<'a> {
         CostModel {
             catalog,
             stats: HashMap::new(),
             use_indexes,
+            cal,
         }
     }
 
@@ -292,9 +332,10 @@ impl<'a> CostModel<'a> {
     /// plans, where the `IndexJoin` node carries its recipe).
     pub fn recipe_probe_cost(&mut self, recipe: &engine::AccessRecipe) -> Option<f64> {
         let name = recipe.key_tag()?.to_string();
+        let probe_weight = self.cal.probe_weight;
         let stats = self.stats_for(&recipe.uri)?;
         let keys = stats.distinct(&name).max(1) as f64;
-        let seek = 1.0 + (keys + 2.0).log2();
+        let seek = probe_weight * (1.0 + (keys + 2.0).log2());
         match &recipe.driver {
             engine::access::Driver::Point { .. } => Some(seek),
             engine::access::Driver::Composite { probes, .. } => Some(seek + probes.len() as f64),
@@ -380,9 +421,9 @@ impl<'a> CostModel<'a> {
                         }
                     }
                 }
-                (2.0, path_step_cost(path))
+                (self.cal.fanout_prior, path_step_cost(path))
             }
-            _ => (2.0, 1.0),
+            _ => (self.cal.fanout_prior, 1.0),
         }
     }
 }
@@ -421,9 +462,9 @@ impl<'a> CostModel<'a> {
                         return (count, scan);
                     }
                 }
-                (2.0, path_step_cost(path))
+                (self.cal.fanout_prior, path_step_cost(path))
             }
-            _ => (2.0, 1.0),
+            _ => (self.cal.fanout_prior, 1.0),
         }
     }
 
@@ -569,7 +610,7 @@ impl<'a> CostModel<'a> {
                 let count = match (pattern_final_name(pattern), self.stats_for(&uri)) {
                     (Some(name), Some(stats)) => stats.elements(name).max(1) as f64,
                     // Untracked document: the neutral path default.
-                    _ => 2.0,
+                    _ => self.cal.fanout_prior,
                 };
                 let fanout = if *distinct { count * 0.7 } else { count };
                 // Index lookup: pay the result, not the traversal.
@@ -662,7 +703,20 @@ pub fn rank_plans_with(
     catalog: &Catalog,
     use_indexes: bool,
 ) -> Vec<(PlanChoice, Estimate)> {
-    let mut model = CostModel::with_indexes(catalog, use_indexes);
+    rank_plans_calibrated(plans, catalog, use_indexes, Calibration::default())
+}
+
+/// [`rank_plans_with`] under explicitly fitted [`Calibration`]
+/// constants — the entry point the bench harness's `calibration`
+/// experiment uses to check that a fitted model's ranking
+/// rank-correlates with measured plan times.
+pub fn rank_plans_calibrated(
+    plans: Vec<PlanChoice>,
+    catalog: &Catalog,
+    use_indexes: bool,
+    cal: Calibration,
+) -> Vec<(PlanChoice, Estimate)> {
+    let mut model = CostModel::with_calibration(catalog, use_indexes, cal);
     let mut ranked: Vec<(PlanChoice, Estimate)> = plans
         .into_iter()
         .map(|p| {
@@ -1060,6 +1114,62 @@ mod tests {
         assert!(
             indexed_root < scan_root,
             "indexed {indexed_root} vs scan {scan_root}"
+        );
+    }
+
+    #[test]
+    fn calibration_scales_the_guessed_terms_without_touching_statistics() {
+        let cat = catalog(200);
+        // The probe weight scales exactly the index-seek term: under a
+        // doubled weight an index-priced quantifier join grows, while
+        // the same join priced in scan mode (no probe) is unchanged.
+        let probe =
+            doc_scan("d1", "bib.xml").unnest_map("t1", Scalar::attr("d1").path(p("//book/title")));
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map("t2", Scalar::attr("d2").path(p("//book/title")))
+            .project(&["t2"]);
+        let semi = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        let heavy = Calibration {
+            probe_weight: 2.0,
+            ..Calibration::default()
+        };
+        let base = CostModel::with_indexes(&cat, true).estimate(&semi).cost;
+        let scaled = CostModel::with_calibration(&cat, true, heavy)
+            .estimate(&semi)
+            .cost;
+        assert!(
+            scaled > base,
+            "probe_weight must scale the seek: {scaled} vs {base}"
+        );
+        let scan_base = CostModel::new(&cat).estimate(&semi).cost;
+        let scan_scaled = CostModel::with_calibration(&cat, false, heavy)
+            .estimate(&semi)
+            .cost;
+        assert_eq!(scan_base, scan_scaled, "no probe term in scan mode");
+        // The fan-out prior feeds only untraceable paths: a stats-priced
+        // document scan ignores it, a provenance-free path doesn't.
+        let traced = doc_scan("d", "bib.xml").unnest_map("b", Scalar::attr("d").path(p("//book")));
+        let wide = Calibration {
+            fanout_prior: 8.0,
+            ..Calibration::default()
+        };
+        assert_eq!(
+            CostModel::new(&cat).estimate(&traced).rows,
+            CostModel::with_calibration(&cat, false, wide)
+                .estimate(&traced)
+                .rows,
+            "stats-priced paths must not move with the prior"
+        );
+        let blind = nal::expr::builder::singleton()
+            .map("x", Scalar::int(1))
+            .unnest_map("y", Scalar::attr("x").path(p("/child")));
+        let narrow = CostModel::new(&cat).estimate(&blind).rows;
+        let wide_rows = CostModel::with_calibration(&cat, false, wide)
+            .estimate(&blind)
+            .rows;
+        assert!(
+            wide_rows > narrow,
+            "untraceable fan-out must follow the prior: {wide_rows} vs {narrow}"
         );
     }
 

@@ -29,8 +29,8 @@ pub mod prune;
 pub mod schema;
 
 pub use cost::{
-    plan_cost_map, rank_plans, rank_plans_with, unnest_cheapest, unnest_cheapest_with, CostModel,
-    Estimate,
+    plan_cost_map, rank_plans, rank_plans_calibrated, rank_plans_with, unnest_cheapest,
+    unnest_cheapest_with, Calibration, CostModel, Estimate,
 };
 pub use driver::{enumerate_plans, unnest_best, PlanChoice, RewriteTrace};
 pub use prune::prune;

@@ -49,6 +49,23 @@ pub struct Catalog {
     indexes: IndexCatalog,
 }
 
+/// Cloning a catalog is cheap by construction: documents are shared by
+/// `Arc` (copied only when a subsequent update's `Arc::make_mut` call
+/// touches one), the statistics memo shares its `Arc<DocStats>` values,
+/// and the index registry clones the same way (see
+/// [`IndexCatalog`]'s `Clone`). This is the clone-on-write substrate of
+/// [`crate::snapshot::CatalogHandle`].
+impl Clone for Catalog {
+    fn clone(&self) -> Catalog {
+        Catalog {
+            docs: self.docs.clone(),
+            by_uri: self.by_uri.clone(),
+            stats: RwLock::new(self.stats.read().expect("stats lock").clone()),
+            indexes: self.indexes.clone(),
+        }
+    }
+}
+
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Catalog {

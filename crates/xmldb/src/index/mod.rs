@@ -73,6 +73,24 @@ pub struct IndexCatalog {
     stats: RwLock<MaintenanceStats>,
 }
 
+/// Cloning shares every built index by `Arc` — the clone is a map copy,
+/// not an index rebuild. A later delta application on either copy goes
+/// through `Arc::make_mut` ([`delta`]) and copies only the one index it
+/// maintains, which is what makes [`crate::snapshot::CatalogHandle`]'s
+/// clone-on-write publishes cheap.
+impl Clone for IndexCatalog {
+    fn clone(&self) -> IndexCatalog {
+        IndexCatalog {
+            paths: RwLock::new(self.paths.read().expect("index lock").clone()),
+            values: RwLock::new(self.values.read().expect("index lock").clone()),
+            composites: RwLock::new(self.composites.read().expect("index lock").clone()),
+            epochs: RwLock::new(self.epochs.read().expect("epoch lock").clone()),
+            mode: RwLock::new(*self.mode.read().expect("mode lock")),
+            stats: RwLock::new(*self.stats.read().expect("stats lock")),
+        }
+    }
+}
+
 impl IndexCatalog {
     /// An empty registry (no indexes built).
     pub fn new() -> IndexCatalog {

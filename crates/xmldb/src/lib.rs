@@ -24,6 +24,12 @@
 //! comparison equal to document order across mid-document inserts
 //! without renumbering the arena; see `docs/ARCHITECTURE.md` for the
 //! full invariant story.
+//!
+//! For concurrent serving, [`snapshot`] layers MVCC on top: a
+//! [`CatalogHandle`] publishes immutable, `Arc`-swapped
+//! [`CatalogSnapshot`] versions so readers pin one consistent ordered
+//! context per query without ever taking a lock, while a single writer
+//! clones-on-write only the touched structures.
 
 #![warn(missing_docs)]
 
@@ -36,6 +42,7 @@ pub mod node;
 pub mod parser;
 pub mod schema;
 pub mod serializer;
+pub mod snapshot;
 pub mod stats;
 
 pub use catalog::{Catalog, DocId};
@@ -49,6 +56,7 @@ pub use index::{
 pub use node::{NodeId, NodeKind};
 pub use parser::{parse_document, ParseError};
 pub use schema::{Occurrence, SchemaFacts};
+pub use snapshot::{CatalogHandle, CatalogSnapshot};
 pub use stats::DocStats;
 
 // Compile-time `Send + Sync` audit: concurrent serving shares one
@@ -60,6 +68,8 @@ pub use stats::DocStats;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Catalog>();
+    assert_send_sync::<CatalogSnapshot>();
+    assert_send_sync::<CatalogHandle>();
     assert_send_sync::<Document>();
     assert_send_sync::<DocStats>();
     assert_send_sync::<IndexCatalog>();
