@@ -64,7 +64,7 @@ pub type EvalResult<T> = Result<T, EvalError>;
 
 /// Counters exposing the paper's cost arguments (…"the nested plan needs
 /// to scan the document |author|+1 times", §5.1).
-#[derive(Default, Debug, Clone)]
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
 pub struct Metrics {
     /// Full-document descendant traversals (`//`) from a document root.
     pub doc_scans: u64,
@@ -105,6 +105,23 @@ impl Metrics {
     pub fn op_count(&self, op: &str) -> u64 {
         self.op_tuples.get(op).copied().unwrap_or(0)
     }
+
+    /// Fold another context's counters into this one. Parallel execution
+    /// gives each worker a private `Metrics` and merges them back when
+    /// the pool joins, so worker counter sums stay equal to what a
+    /// serial run of the same plan would have recorded.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.doc_scans += other.doc_scans;
+        self.nodes_visited += other.nodes_visited;
+        self.tuples_produced += other.tuples_produced;
+        self.nested_evals += other.nested_evals;
+        self.probe_tuples += other.probe_tuples;
+        self.index_lookups += other.index_lookups;
+        self.index_hits += other.index_hits;
+        for (op, n) in &other.op_tuples {
+            self.bump_op(op, *n);
+        }
+    }
 }
 
 /// Evaluation context: the document catalog, the Ξ output stream, and
@@ -124,6 +141,12 @@ pub struct EvalCtx<'a> {
     /// [`Metrics`] so the executor counter-parity invariants never
     /// compare timing.
     pub trace: Option<crate::obs::ExecTrace>,
+    /// Requested degree of intra-query parallelism. `1` (the default)
+    /// keeps every operator on the calling thread; values above 1 let
+    /// parallel-aware operators fan morsels out to that many workers.
+    /// Kept on the context, not the plan, so cached plans stay
+    /// degree-independent.
+    pub parallel: usize,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -134,6 +157,7 @@ impl<'a> EvalCtx<'a> {
             out: String::new(),
             metrics: Metrics::default(),
             trace: None,
+            parallel: 1,
         }
     }
 

@@ -187,6 +187,22 @@ impl ExecTrace {
         self.ops.get(&node)
     }
 
+    /// Fold another trace into this one, node by node. Parallel workers
+    /// trace into private `ExecTrace`s against the same (shared,
+    /// immutable) plan allocation, so node identities line up and the
+    /// merged trace reads like a serial one — except `elapsed_ns`, which
+    /// becomes summed-across-workers CPU time rather than wall time.
+    pub fn merge(&mut self, other: &ExecTrace) {
+        for (node, s) in &other.ops {
+            let acc = self.ops.entry(*node).or_default();
+            acc.calls += s.calls;
+            acc.rows += s.rows;
+            acc.elapsed_ns += s.elapsed_ns;
+            acc.index_lookups += s.index_lookups;
+            acc.index_hits += s.index_hits;
+        }
+    }
+
     /// Number of distinct nodes traced.
     pub fn len(&self) -> usize {
         self.ops.len()

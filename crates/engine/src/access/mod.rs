@@ -110,7 +110,19 @@ pub enum AccessPathRef<'p> {
 /// Visit every access path embedded anywhere in `plan`, in plan order.
 pub fn for_each_access_path<'p>(plan: &'p PhysPlan, f: &mut impl FnMut(AccessPathRef<'p>)) {
     match plan {
-        PhysPlan::Singleton | PhysPlan::Literal(_) | PhysPlan::AttrRel(_) => {}
+        PhysPlan::Singleton
+        | PhysPlan::Literal(_)
+        | PhysPlan::AttrRel(_)
+        | PhysPlan::MorselFeed => {}
+        // A parallel segment embeds access paths on both sides: the
+        // serially-executed source and the worker-side stage pipeline
+        // (index scans resolved once per segment, index joins probed per
+        // morsel tuple). Cached parallel plans revalidate exactly like
+        // their serial originals.
+        PhysPlan::Parallel { source, stages } => {
+            for_each_access_path(source, f);
+            for_each_access_path(stages, f);
+        }
         PhysPlan::IndexScan {
             input,
             uri,
@@ -298,10 +310,17 @@ fn try_convert(plan: PhysPlan, catalog: &Catalog) -> PhysPlan {
 }
 
 /// Rebuild a plan with every direct child mapped through `f`.
-fn map_children(plan: PhysPlan, f: &mut impl FnMut(PhysPlan) -> PhysPlan) -> PhysPlan {
+pub(crate) fn map_children(plan: PhysPlan, f: &mut impl FnMut(PhysPlan) -> PhysPlan) -> PhysPlan {
     let fb = |b: Box<PhysPlan>, f: &mut dyn FnMut(PhysPlan) -> PhysPlan| Box::new(f(*b));
     match plan {
-        leaf @ (PhysPlan::Singleton | PhysPlan::Literal(_) | PhysPlan::AttrRel(_)) => leaf,
+        leaf @ (PhysPlan::Singleton
+        | PhysPlan::Literal(_)
+        | PhysPlan::AttrRel(_)
+        | PhysPlan::MorselFeed) => leaf,
+        PhysPlan::Parallel { source, stages } => PhysPlan::Parallel {
+            source: fb(source, f),
+            stages: fb(stages, f),
+        },
         PhysPlan::Select { input, pred } => PhysPlan::Select {
             input: fb(input, f),
             pred,

@@ -357,6 +357,21 @@ fn execute_node(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResu
             }
             out
         }
+
+        PhysPlan::Parallel { source, stages } => {
+            // Materializing fallback: run the segment inline by splicing
+            // the drained source into the stage pipeline's feed leaf.
+            // Parallel execution proper is a streaming-executor feature.
+            let rows = execute(source, env, ctx)?;
+            let spliced = crate::pipeline::par::substitute_feed(stages, &rows);
+            return execute(&spliced, env, ctx);
+        }
+
+        PhysPlan::MorselFeed => {
+            return Err(EvalError::new(
+                "MorselFeed outside a parallel segment".to_string(),
+            ))
+        }
     };
     ctx.metrics.tuples_produced += out.len() as u64;
     Ok(out)

@@ -40,6 +40,11 @@ pub struct ExplainNode {
     /// The cost model's predicted cost for this node (inclusive, same
     /// convention as the measured time); `None` when no model ran.
     pub predicted_cost: Option<f64>,
+    /// Degree of parallelism the run executed this operator with
+    /// (`Parallel` segments only; `None` elsewhere). The degree lives on
+    /// the execution context, not the plan, so the annotation is applied
+    /// per report via [`ExplainReport::annotate_parallel`].
+    pub workers: Option<usize>,
 }
 
 /// A whole EXPLAIN ANALYZE report: the plan tree in pre-order, each
@@ -68,6 +73,18 @@ impl ExplainReport {
         }
     }
 
+    /// Record the degree of parallelism the traced run used on every
+    /// `Parallel` segment. Plans are degree-independent (the degree is
+    /// an execution-context knob), so the report — which describes one
+    /// concrete run — is where the number belongs.
+    pub fn annotate_parallel(&mut self, degree: usize) {
+        for n in &mut self.nodes {
+            if n.op == "Parallel" {
+                n.workers = Some(degree);
+            }
+        }
+    }
+
     /// Total measured time of the root operator (µs) — the inclusive
     /// time of the whole plan.
     pub fn total_us(&self) -> u64 {
@@ -87,7 +104,7 @@ impl ExplainReport {
                 out.push_str("  ");
             }
             out.push_str(&format!(
-                "{} rows={} calls={} elapsed_us={} lookups={} hits={} cost={}\n",
+                "{} rows={} calls={} elapsed_us={} lookups={} hits={} cost={}",
                 n.op,
                 n.rows,
                 n.calls,
@@ -99,6 +116,10 @@ impl ExplainReport {
                     None => "-".to_string(),
                 }
             ));
+            if let Some(w) = n.workers {
+                out.push_str(&format!(" workers={w}"));
+            }
+            out.push('\n');
         }
         out
     }
@@ -131,6 +152,7 @@ impl ExplainReport {
                 index_lookups: 0,
                 index_hits: 0,
                 predicted_cost: None,
+                workers: None,
             };
             for kv in parts {
                 let (k, v) = kv
@@ -146,6 +168,12 @@ impl ExplainReport {
                     "elapsed_us" => node.elapsed_us = int()?,
                     "lookups" => node.index_lookups = int()?,
                     "hits" => node.index_hits = int()?,
+                    "workers" => {
+                        node.workers = Some(
+                            v.parse::<usize>()
+                                .map_err(|e| format!("line {}: workers: {e}", lineno + 1))?,
+                        )
+                    }
                     "cost" => {
                         node.predicted_cost = if v == "-" {
                             None
@@ -181,6 +209,7 @@ fn collect(plan: &PhysPlan, depth: usize, trace: &ExecTrace, out: &mut Vec<Expla
         index_lookups: stats.index_lookups,
         index_hits: stats.index_hits,
         predicted_cost: None,
+        workers: None,
     });
     for c in plan.children() {
         collect(c, depth + 1, trace, out);
@@ -203,12 +232,36 @@ pub fn run_streaming_traced(
     run_traced_with(plan, catalog, true)
 }
 
+/// [`run_streaming_traced`] at an explicit degree of parallelism:
+/// `Parallel` segments in the plan fan out over `workers` threads,
+/// per-worker traces merge into the returned [`ExecTrace`] (stage
+/// counters sum to their serial values). Pair with
+/// [`ExplainReport::annotate_parallel`] to surface the degree in the
+/// rendered report.
+pub fn run_streaming_traced_parallel(
+    plan: &PhysPlan,
+    catalog: &Catalog,
+    workers: usize,
+) -> EvalResult<(QueryResult, ExecTrace)> {
+    run_traced_at_degree(plan, catalog, true, workers)
+}
+
 fn run_traced_with(
     plan: &PhysPlan,
     catalog: &Catalog,
     streaming: bool,
 ) -> EvalResult<(QueryResult, ExecTrace)> {
+    run_traced_at_degree(plan, catalog, streaming, 1)
+}
+
+fn run_traced_at_degree(
+    plan: &PhysPlan,
+    catalog: &Catalog,
+    streaming: bool,
+    workers: usize,
+) -> EvalResult<(QueryResult, ExecTrace)> {
     let mut ctx = EvalCtx::new(catalog);
+    ctx.parallel = workers.max(1);
     ctx.enable_trace();
     let start = std::time::Instant::now();
     let rows: Seq = if streaming {
@@ -289,6 +342,27 @@ mod tests {
             assert_eq!(a.predicted_cost, b.predicted_cost);
         }
         assert_eq!(parsed.render(), text, "render is a fixed point");
+    }
+
+    #[test]
+    fn workers_annotation_round_trips() {
+        let catalog = Catalog::new();
+        let plan = sample_plan();
+        let (_, trace) = run_traced(&plan, &catalog).unwrap();
+        let mut report = ExplainReport::from_trace(&plan, &trace);
+        // No Parallel node in this plan: annotation is a no-op …
+        report.annotate_parallel(4);
+        assert!(report.nodes.iter().all(|n| n.workers.is_none()));
+        // … but a workers field must still survive render → parse.
+        report.nodes[0].workers = Some(4);
+        let text = report.render();
+        assert!(
+            text.lines().next().unwrap().ends_with("workers=4"),
+            "{text}"
+        );
+        let parsed = ExplainReport::parse(&text).unwrap();
+        assert_eq!(parsed.nodes[0].workers, Some(4));
+        assert_eq!(parsed.render(), text);
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub use access::{
     apply_indexes, for_each_access_path, join_recipe, revalidate_plan, AccessPathRef, AccessRecipe,
 };
 pub use exec::execute;
-pub use explain::{run_streaming_traced, run_traced, ExplainNode, ExplainReport};
+pub use explain::{
+    run_streaming_traced, run_streaming_traced_parallel, run_traced, ExplainNode, ExplainReport,
+};
+pub use pipeline::par::apply_parallel;
 pub use pipeline::{drain, Cursor};
 pub use plan::{compile, JoinKind, PhysPlan};
 
@@ -106,4 +109,40 @@ pub fn run_indexed(expr: &Expr, catalog: &Catalog) -> EvalResult<QueryResult> {
 /// [`run_streaming`] on an index-backed plan ([`compile_indexed`]).
 pub fn run_streaming_indexed(expr: &Expr, catalog: &Catalog) -> EvalResult<QueryResult> {
     run_streaming_compiled(&compile_indexed(expr, catalog), catalog)
+}
+
+/// Compile with parallel segments: [`compile`] followed by the
+/// [`apply_parallel`] rewrite. The resulting plan is degree-independent
+/// — run it with [`run_streaming_parallel`] (or set `EvalCtx::parallel`
+/// yourself) to pick the worker count per execution; degree 1 executes
+/// the segments inline.
+pub fn compile_parallel(expr: &Expr) -> PhysPlan {
+    apply_parallel(&compile(expr))
+}
+
+/// [`compile_indexed`] followed by the [`apply_parallel`] rewrite:
+/// index-backed access paths *and* morsel-parallel segments.
+pub fn compile_indexed_parallel(expr: &Expr, catalog: &Catalog) -> PhysPlan {
+    apply_parallel(&access::apply_indexes(compile(expr), catalog))
+}
+
+/// Execute an already-compiled plan with the streaming executor at an
+/// explicit degree of parallelism. Output rows, Ξ bytes, and summed
+/// metrics are identical to [`run_streaming_compiled`] at every degree.
+pub fn run_streaming_parallel(
+    plan: &PhysPlan,
+    catalog: &Catalog,
+    workers: usize,
+) -> EvalResult<QueryResult> {
+    let mut ctx = EvalCtx::new(catalog);
+    ctx.parallel = workers.max(1);
+    let start = Instant::now();
+    let rows = pipeline::execute_streaming(plan, &Tuple::empty(), &mut ctx)?;
+    let elapsed = start.elapsed();
+    Ok(QueryResult {
+        rows,
+        output: ctx.take_output(),
+        metrics: ctx.metrics,
+        elapsed,
+    })
 }

@@ -1,0 +1,143 @@
+//! Order-preserving k-way merge of morsel output runs.
+//!
+//! Parallel execution range-partitions a document-ordered tuple stream
+//! into contiguous morsels, so the output runs have pairwise-disjoint,
+//! ascending key ranges — PR 5's gap-based [`xmldb::NodeId`] keys make
+//! document order a *total order on keys*, which is what lets the merge
+//! restore the exact serial sequence deterministically no matter which
+//! worker finishes first ("certain" order in the possible/certain-answers
+//! sense: one canonical output, byte-identical to serial).
+//!
+//! Two entry points:
+//!
+//! * [`merge_runs`] — run-level merge used by the executor: each morsel's
+//!   whole output is one run tagged with a [`MorselKey`]; runs drain in
+//!   key order off a binary heap.
+//! * [`kway_merge_by`] — item-level merge with a caller-supplied key
+//!   function and stable (run-index) tie-breaking; the property tests use
+//!   it to check that merging randomized contiguous partitions of a
+//!   posting list reproduces the serial document-order stream.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Merge key of one morsel run: the [`xmldb::NodeId`] ordering key of
+/// the morsel's first driving node when the source binds nodes (the
+/// doc-ordered posting-list case), with the morsel ordinal breaking ties
+/// and covering non-node sources. Contiguous range partitioning makes
+/// node keys ascend with ordinals, so both components order runs
+/// identically whenever both exist — the `Ord` derive tries the node key
+/// first, which is the documented merge invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MorselKey {
+    /// Ordering key of the run's first driving node, when every run in
+    /// the merge has one (mixed presence falls back to ordinals only).
+    pub node: Option<xmldb::NodeId>,
+    /// Position of the morsel in the contiguous source partition.
+    pub ordinal: usize,
+}
+
+/// One finished morsel output run.
+pub struct Run<T> {
+    /// The run's merge key.
+    pub key: MorselKey,
+    /// The run's tuples, already in serial order within the run.
+    pub items: Vec<T>,
+}
+
+/// Merge finished runs back into one stream in key order. Runs arrive in
+/// whatever order workers finished them; the heap drains them by
+/// [`MorselKey`], which reproduces the serial sequence because
+/// contiguous partitioning gives runs pairwise-disjoint ascending key
+/// ranges.
+pub fn merge_runs<T>(runs: Vec<Run<T>>) -> Vec<T> {
+    let mut total = 0;
+    let mut heap: BinaryHeap<Reverse<(MorselKey, usize)>> = BinaryHeap::with_capacity(runs.len());
+    let mut slots: Vec<Option<Vec<T>>> = Vec::with_capacity(runs.len());
+    for (slot, run) in runs.into_iter().enumerate() {
+        total += run.items.len();
+        heap.push(Reverse((run.key, slot)));
+        slots.push(Some(run.items));
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, slot))) = heap.pop() {
+        out.extend(slots[slot].take().expect("each run pops once"));
+    }
+    out
+}
+
+/// Item-level k-way merge: pop the smallest key across all run heads,
+/// breaking ties by run index (stable — a duplicate key on a partition
+/// boundary stays in partition order, which is serial order for
+/// contiguous partitions).
+pub fn kway_merge_by<T, K: Ord>(runs: Vec<Vec<T>>, key: impl Fn(&T) -> K) -> Vec<T> {
+    let total = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(iters.len());
+    let mut heads: Vec<Option<T>> = Vec::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        let head = it.next();
+        if let Some(h) = &head {
+            heap.push(Reverse((key(h), i)));
+        }
+        heads.push(head);
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let item = heads[i].take().expect("pushed with a head");
+        out.push(item);
+        heads[i] = iters[i].next();
+        if let Some(h) = &heads[i] {
+            heap.push(Reverse((key(h), i)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_merge_restores_partition_order() {
+        // Runs delivered out of order (worker finish order) must drain
+        // in key order.
+        let runs = vec![
+            Run {
+                key: MorselKey {
+                    node: None,
+                    ordinal: 2,
+                },
+                items: vec![50, 60],
+            },
+            Run {
+                key: MorselKey {
+                    node: None,
+                    ordinal: 0,
+                },
+                items: vec![10, 20],
+            },
+            Run {
+                key: MorselKey {
+                    node: None,
+                    ordinal: 1,
+                },
+                items: vec![30, 40],
+            },
+        ];
+        assert_eq!(merge_runs(runs), vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn item_merge_is_stable_on_ties() {
+        let merged = kway_merge_by(vec![vec![(1, 'a'), (3, 'b')], vec![(1, 'c')]], |x| x.0);
+        assert_eq!(merged, vec![(1, 'a'), (1, 'c'), (3, 'b')]);
+    }
+
+    #[test]
+    fn empty_runs_are_harmless() {
+        let merged = kway_merge_by(vec![vec![], vec![1, 2], vec![]], |x: &i32| *x);
+        assert_eq!(merged, vec![1, 2]);
+        assert_eq!(merge_runs::<u8>(Vec::new()), Vec::<u8>::new());
+    }
+}

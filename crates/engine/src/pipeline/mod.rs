@@ -26,7 +26,9 @@
 
 pub mod cursor;
 pub mod join;
+pub mod merge;
 pub mod ops;
+pub mod par;
 
 pub use cursor::{drain, BoxCursor, Cursor};
 
@@ -76,7 +78,11 @@ fn node_emits_xi(plan: &PhysPlan) -> bool {
         | PhysPlan::Cross { .. }
         | PhysPlan::Unnest { .. }
         // Index scans have a pure structural subscript by construction.
-        | PhysPlan::IndexScan { .. } => vec![],
+        | PhysPlan::IndexScan { .. }
+        // Parallel segments are Ξ-free by construction (`apply_parallel`
+        // only wraps Ξ-free subtrees); the feed leaf carries no scalars.
+        | PhysPlan::Parallel { .. }
+        | PhysPlan::MorselFeed => vec![],
     };
     scalars.into_iter().any(scalar_emits_xi)
 }
@@ -88,7 +94,11 @@ fn contains_xi(plan: &PhysPlan) -> bool {
         return true;
     }
     match plan {
-        PhysPlan::Singleton | PhysPlan::Literal(_) | PhysPlan::AttrRel(_) => false,
+        PhysPlan::Singleton
+        | PhysPlan::Literal(_)
+        | PhysPlan::AttrRel(_)
+        | PhysPlan::MorselFeed => false,
+        PhysPlan::Parallel { source, stages } => contains_xi(source) || contains_xi(stages),
         PhysPlan::Select { input, .. }
         | PhysPlan::Project { input, .. }
         | PhysPlan::Map { input, .. }
@@ -137,6 +147,18 @@ fn needs_strict_order(left: &PhysPlan, right: &PhysPlan) -> bool {
 /// counts tuples produced per operator.
 pub fn lower<'p>(plan: &'p PhysPlan, env: &Tuple) -> BoxCursor<'p> {
     let name = plan.op_name();
+    // The parallel shell and its feed leaf are deliberately *not*
+    // metered: the serial plan for the same query has no such nodes, so
+    // metering them would break the parallel-vs-serial counter parity.
+    // The stage operators inside the segment are metered per worker
+    // under their own names, and worker metrics merge back on join.
+    match plan {
+        PhysPlan::Parallel { source, stages } => {
+            return Box::new(par::ParallelCursor::new(source, stages, env.clone()))
+        }
+        PhysPlan::MorselFeed => return Box::new(par::DanglingFeed),
+        _ => {}
+    }
     let inner: BoxCursor<'p> = match plan {
         PhysPlan::Singleton => Box::new(Once { done: false }),
         PhysPlan::Literal(rows) => Box::new(Literal { rows, idx: 0 }),
@@ -334,6 +356,7 @@ pub fn lower<'p>(plan: &'p PhysPlan, env: &Tuple) -> BoxCursor<'p> {
             cacheable: recipe.probe_invariant(),
             cached: None,
         }),
+        PhysPlan::Parallel { .. } | PhysPlan::MorselFeed => unreachable!("handled above"),
     };
     Box::new(Metered {
         inner,

@@ -1,0 +1,1112 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! [`apply_parallel`] is a physical rewrite pass (a sibling of
+//! [`crate::access::apply_indexes`]) that finds pipelines of per-tuple,
+//! order-preserving, Ξ-free operators above a fan-out (a posting-list
+//! [`PhysPlan::IndexScan`], a document-scan Υ, or a μ) and wraps them in
+//! a [`PhysPlan::Parallel`] segment. At execution time the segment:
+//!
+//! 1. drains its `source` serially on the calling thread (document
+//!    order, normal metering),
+//! 2. range-partitions the drained rows into contiguous morsels,
+//! 3. runs the `stages` pipeline over each morsel on a hand-rolled
+//!    worker pool (`std::thread::scope` + per-worker deques with work
+//!    stealing — no external runtime), and
+//! 4. k-way merges the finished runs back into source order
+//!    ([`super::merge`]) keyed by gap-based [`xmldb::NodeId`]s.
+//!
+//! **Metric parity is a construction property.** A parallel run must
+//! report exactly the counters of a serial streaming run of the same
+//! query, summed across workers:
+//!
+//! * stage cursors are wrapped in the same [`Metered`] shells as serial
+//!   lowering, into per-worker [`nal::eval::Metrics`] merged on join;
+//! * the parallel shell and feed leaf are *unmetered* (the serial plan
+//!   has no such operators);
+//! * build sides (hash tables, loop-join inners, ×-inners) and
+//!   posting-list scans are prepared **once** on the calling thread —
+//!   exactly the once-per-cursor work of serial execution — and shared
+//!   read-only with every worker;
+//! * probe-invariant index joins (constant range bounds, no residual)
+//!   probe **once per segment** through a `ProbeGroup`: the first
+//!   worker claims the probe, every sibling morsel waits on a condvar
+//!   and reuses the decision. This is also the cooperative early-cancel
+//!   protocol — the first deciding match cancels all sibling probes for
+//!   that probe group.
+//!
+//! Workers share the caller's pinned snapshot (`&Catalog` is
+//! `Send + Sync`; index builds are interior-locked), so the read path
+//! takes no new locks.
+
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use nal::eval::scalar::truthy;
+use nal::eval::{EvalCtx, EvalError, EvalResult};
+use nal::{ProjOp, Scalar, Sym, Tuple, Value};
+
+use super::cursor::{drain, BoxCursor, Cursor, Metered};
+use super::merge::{merge_runs, MorselKey, Run};
+use super::ops;
+use crate::exec::scoped;
+use crate::key::{key_of, Key};
+use crate::plan::{JoinKind, PhysPlan};
+
+/// Morsels enqueued per worker: enough granularity for stealing to fix
+/// skew, few enough that per-morsel setup stays negligible.
+const MORSELS_PER_WORKER: usize = 4;
+
+// ---------------------------------------------------------------------
+// The rewrite pass
+// ---------------------------------------------------------------------
+
+/// Wrap parallel-safe pipeline segments of a compiled plan in
+/// [`PhysPlan::Parallel`] operators. Idempotent: a plan that already
+/// contains a parallel segment is returned unchanged. The rewrite is
+/// degree-independent — how many workers actually run is decided per
+/// execution by `EvalCtx::parallel`, so one cached plan serves every
+/// degree (including 1, which runs the segment inline).
+pub fn apply_parallel(plan: &PhysPlan) -> PhysPlan {
+    if contains_parallel(plan) {
+        return plan.clone();
+    }
+    rewrite(plan)
+}
+
+fn rewrite(plan: &PhysPlan) -> PhysPlan {
+    if let Some(wrapped) = try_wrap(plan) {
+        return wrapped;
+    }
+    crate::access::map_children(plan.clone(), &mut |child| rewrite(&child))
+}
+
+fn contains_parallel(plan: &PhysPlan) -> bool {
+    matches!(plan, PhysPlan::Parallel { .. } | PhysPlan::MorselFeed)
+        || plan.children().into_iter().any(contains_parallel)
+}
+
+/// Operators allowed inside a stage pipeline: per-tuple, order
+/// preserving, no cross-tuple state. Distinct projections dedup across
+/// tuples and grouping/Ξ operators are blocking or write output, so
+/// they end a segment.
+fn stage_safe(plan: &PhysPlan) -> bool {
+    match plan {
+        PhysPlan::Select { .. }
+        | PhysPlan::Map { .. }
+        | PhysPlan::UnnestMap { .. }
+        | PhysPlan::Unnest { .. }
+        | PhysPlan::IndexScan { .. }
+        | PhysPlan::IndexJoin { .. }
+        | PhysPlan::Cross { .. }
+        | PhysPlan::LoopJoin { .. }
+        | PhysPlan::HashJoin { .. } => true,
+        PhysPlan::Project { op, .. } => {
+            !matches!(op, ProjOp::DistinctCols(_) | ProjOp::DistinctRename(_))
+        }
+        _ => false,
+    }
+}
+
+/// The edge a stage pipeline's spine follows: the streamed input of a
+/// unary operator, the probe side of a join.
+fn spine_input(plan: &PhysPlan) -> Option<&PhysPlan> {
+    match plan {
+        PhysPlan::Select { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Map { input, .. }
+        | PhysPlan::UnnestMap { input, .. }
+        | PhysPlan::Unnest { input, .. }
+        | PhysPlan::IndexScan { input, .. } => Some(input),
+        PhysPlan::Cross { left, .. }
+        | PhysPlan::HashJoin { left, .. }
+        | PhysPlan::LoopJoin { left, .. }
+        | PhysPlan::IndexJoin { left, .. } => Some(left),
+        _ => None,
+    }
+}
+
+/// Does this operator fan one input tuple out into many? The topmost
+/// fan-out on a spine becomes the segment's source: everything it
+/// produces is the partitionable work.
+fn is_fanout(plan: &PhysPlan) -> bool {
+    matches!(
+        plan,
+        PhysPlan::UnnestMap { .. } | PhysPlan::IndexScan { .. } | PhysPlan::Unnest { .. }
+    )
+}
+
+/// Try to root a parallel segment at `plan`: collect the maximal spine
+/// of stage-safe operators, cut it at the topmost fan-out (or at a
+/// multi-row leaf below the spine), and wrap stages-over-source. The
+/// whole candidate subtree must be Ξ-free — parallel draining reorders
+/// evaluation, which only side-effect-free segments survive
+/// byte-identically.
+fn try_wrap(plan: &PhysPlan) -> Option<PhysPlan> {
+    if !stage_safe(plan) || super::contains_xi(plan) {
+        return None;
+    }
+    let mut spine: Vec<&PhysPlan> = Vec::new();
+    let mut below = plan;
+    while stage_safe(below) {
+        spine.push(below);
+        below = spine_input(below).expect("stage ops have a spine input");
+    }
+    // Topmost fan-out on the spine: its subtree is the source and it
+    // caps the morsel count at the full fan-out cardinality. A deeper
+    // cut could strand parallelism behind a low-cardinality inner scan.
+    let (source, stages_end) = match spine.iter().position(|n| is_fanout(n)) {
+        Some(j) if j > 0 => (spine[j], j),
+        // No fan-out on the spine — a literal/nested relation below it
+        // still partitions.
+        None if matches!(below, PhysPlan::AttrRel(_) | PhysPlan::Literal(_)) => {
+            (below, spine.len())
+        }
+        _ => return None,
+    };
+    let mut stages = PhysPlan::MorselFeed;
+    for node in spine[..stages_end].iter().rev() {
+        stages = replace_spine_input(node, stages);
+    }
+    Some(PhysPlan::Parallel {
+        source: Box::new(source.clone()),
+        stages: Box::new(stages),
+    })
+}
+
+/// Clone `node` with its spine-input edge replaced by `new_input`.
+fn replace_spine_input(node: &PhysPlan, new_input: PhysPlan) -> PhysPlan {
+    let mut out = node.clone();
+    match &mut out {
+        PhysPlan::Select { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Map { input, .. }
+        | PhysPlan::UnnestMap { input, .. }
+        | PhysPlan::Unnest { input, .. }
+        | PhysPlan::IndexScan { input, .. } => **input = new_input,
+        PhysPlan::Cross { left, .. }
+        | PhysPlan::HashJoin { left, .. }
+        | PhysPlan::LoopJoin { left, .. }
+        | PhysPlan::IndexJoin { left, .. } => **left = new_input,
+        other => unreachable!("not a spine operator: {}", other.op_name()),
+    }
+    out
+}
+
+/// Splice a drained source into a stage pipeline by replacing its
+/// [`PhysPlan::MorselFeed`] leaf with a literal relation — the
+/// materializing executor's way of running a parallel segment (inline,
+/// single-threaded, same output).
+pub(crate) fn substitute_feed(plan: &PhysPlan, rows: &[Tuple]) -> PhysPlan {
+    if matches!(plan, PhysPlan::MorselFeed) {
+        return PhysPlan::Literal(rows.to_vec());
+    }
+    crate::access::map_children(plan.clone(), &mut |child| substitute_feed(&child, rows))
+}
+
+// ---------------------------------------------------------------------
+// Shared per-segment state
+// ---------------------------------------------------------------------
+
+/// A hash join's build table, prepared once per segment.
+struct HashBuild {
+    bucket_rows: Vec<Vec<Tuple>>,
+    bucket_index: HashMap<Key, usize>,
+}
+
+/// Claim-or-wait protocol for probe-invariant index joins: the decision
+/// depends on nothing but constant bounds, so exactly one probe must
+/// happen per segment — serial execution memoizes after one probe, and
+/// the merged worker metrics must show the same single lookup. The
+/// first worker to arrive claims the probe; siblings block on the
+/// condvar and reuse the published decision, cancelling their own
+/// probes (and, through the per-cursor memo, every later tuple's).
+pub(crate) struct ProbeGroup {
+    state: Mutex<ProbeState>,
+    cv: Condvar,
+}
+
+enum ProbeState {
+    /// Nobody has probed yet.
+    Open,
+    /// A worker is probing; wait for its verdict.
+    InFlight,
+    /// The published decision.
+    Done(bool),
+}
+
+impl ProbeGroup {
+    fn new() -> ProbeGroup {
+        ProbeGroup {
+            state: Mutex::new(ProbeState::Open),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Return the group's decision, computing it via `probe` if this
+    /// caller wins the claim. On probe error the claim is released so a
+    /// sibling can retry rather than deadlock.
+    fn decide(&self, probe: impl FnOnce() -> EvalResult<bool>) -> EvalResult<bool> {
+        let mut st = self.state.lock().expect("probe group lock");
+        loop {
+            match *st {
+                ProbeState::Done(m) => return Ok(m),
+                ProbeState::Open => {
+                    *st = ProbeState::InFlight;
+                    break;
+                }
+                ProbeState::InFlight => st = self.cv.wait(st).expect("probe group wait"),
+            }
+        }
+        drop(st);
+        let res = probe();
+        let mut st = self.state.lock().expect("probe group lock");
+        *st = match &res {
+            Ok(m) => ProbeState::Done(*m),
+            Err(_) => ProbeState::Open,
+        };
+        drop(st);
+        self.cv.notify_all();
+        res
+    }
+}
+
+/// Read-only state prepared once (on the calling thread, against the
+/// calling context's metrics) and shared by every worker, keyed by
+/// stage-plan node address.
+#[derive(Default)]
+struct SegmentShared {
+    /// Resolved [`PhysPlan::IndexScan`] item sequences.
+    scans: HashMap<usize, Arc<Vec<Value>>>,
+    /// Hash-join build tables.
+    builds: HashMap<usize, Arc<HashBuild>>,
+    /// Materialized inner sides of loop joins and cross products.
+    inners: HashMap<usize, Arc<Vec<Tuple>>>,
+    /// Early-cancel groups for probe-invariant index joins.
+    groups: HashMap<usize, Arc<ProbeGroup>>,
+}
+
+impl SegmentShared {
+    /// Walk the stage spine top-down, doing exactly the once-per-cursor
+    /// work serial execution would do on first pull: drain and build
+    /// join inners, resolve posting-list scans (one `index_lookups`
+    /// bump), allocate probe groups.
+    fn prepare(stages: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<SegmentShared> {
+        let mut shared = SegmentShared::default();
+        let mut cur = stages;
+        loop {
+            let addr = cur as *const PhysPlan as usize;
+            match cur {
+                PhysPlan::MorselFeed => break,
+                PhysPlan::IndexScan {
+                    input,
+                    uri,
+                    pattern,
+                    distinct,
+                    ..
+                } => {
+                    let items = crate::access::scan_items(uri, pattern, *distinct, ctx)?;
+                    shared.scans.insert(addr, Arc::new(items));
+                    cur = input;
+                }
+                PhysPlan::HashJoin {
+                    left,
+                    right,
+                    right_keys,
+                    ..
+                } => {
+                    let rows = drain_plan(right, env, ctx)?;
+                    let mut build = HashBuild {
+                        bucket_rows: Vec::new(),
+                        bucket_index: HashMap::with_capacity(rows.len()),
+                    };
+                    for rt in rows {
+                        if let Some(k) = key_of(&rt, right_keys, ctx.catalog) {
+                            let slot = *build.bucket_index.entry(k).or_insert_with(|| {
+                                build.bucket_rows.push(Vec::new());
+                                build.bucket_rows.len() - 1
+                            });
+                            build.bucket_rows[slot].push(rt);
+                        }
+                    }
+                    shared.builds.insert(addr, Arc::new(build));
+                    cur = left;
+                }
+                PhysPlan::LoopJoin { left, right, .. } | PhysPlan::Cross { left, right } => {
+                    let rows = drain_plan(right, env, ctx)?;
+                    shared.inners.insert(addr, Arc::new(rows));
+                    cur = left;
+                }
+                PhysPlan::IndexJoin { left, recipe } => {
+                    if recipe.probe_invariant() {
+                        shared.groups.insert(addr, Arc::new(ProbeGroup::new()));
+                    }
+                    cur = left;
+                }
+                PhysPlan::Select { input, .. }
+                | PhysPlan::Project { input, .. }
+                | PhysPlan::Map { input, .. }
+                | PhysPlan::UnnestMap { input, .. }
+                | PhysPlan::Unnest { input, .. } => cur = input,
+                other => {
+                    return Err(EvalError::new(format!(
+                        "operator `{}` is not valid inside a parallel segment",
+                        other.op_name()
+                    )))
+                }
+            }
+        }
+        Ok(shared)
+    }
+}
+
+fn drain_plan(plan: &PhysPlan, env: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<Vec<Tuple>> {
+    let mut c = super::lower(plan, env);
+    drain(c.as_mut(), ctx)
+}
+
+// ---------------------------------------------------------------------
+// Worker-side cursors
+// ---------------------------------------------------------------------
+
+/// The feed leaf: one contiguous slice of the drained source.
+struct MorselSlice {
+    rows: Arc<Vec<Tuple>>,
+    end: usize,
+    idx: usize,
+}
+
+impl Cursor for MorselSlice {
+    fn next(&mut self, _ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.idx >= self.end {
+            return Ok(None);
+        }
+        let t = self.rows[self.idx].clone();
+        self.idx += 1;
+        Ok(Some(t))
+    }
+
+    fn op_name(&self) -> &'static str {
+        "MorselFeed"
+    }
+}
+
+/// A [`PhysPlan::MorselFeed`] lowered outside a parallel segment — a
+/// plan-construction bug surfaced as an execution error.
+pub struct DanglingFeed;
+
+impl Cursor for DanglingFeed {
+    fn next(&mut self, _ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        Err(EvalError::new(
+            "MorselFeed outside a parallel segment".to_string(),
+        ))
+    }
+
+    fn op_name(&self) -> &'static str {
+        "MorselFeed"
+    }
+}
+
+/// Worker-side × over the shared materialized inner.
+struct SharedCross<'p> {
+    left: BoxCursor<'p>,
+    right_rows: Arc<Vec<Tuple>>,
+    cur_left: Option<Tuple>,
+    ridx: usize,
+}
+
+impl Cursor for SharedCross<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        loop {
+            if let Some(lt) = &self.cur_left {
+                if let Some(rt) = self.right_rows.get(self.ridx) {
+                    self.ridx += 1;
+                    return Ok(Some(lt.concat(rt)));
+                }
+                self.cur_left = None;
+            }
+            match self.left.next(ctx)? {
+                Some(lt) => {
+                    self.cur_left = Some(lt);
+                    self.ridx = 0;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Cross"
+    }
+}
+
+/// Join-kind-independent emission decision for a finished probe tuple
+/// (mirror of the serial cursors').
+fn unmatched_output(kind: &JoinKind, pad: &[Sym], lt: &Tuple) -> Option<Tuple> {
+    match kind {
+        JoinKind::Anti => Some(lt.clone()),
+        JoinKind::Outer { g, default } => {
+            Some(lt.concat(&Tuple::bottom(pad)).extend(*g, default.clone()))
+        }
+        JoinKind::Inner | JoinKind::Semi => None,
+    }
+}
+
+/// Worker-side hash join probing the shared build table. Probe logic —
+/// including per-candidate `probe_tuples` accounting and semi/anti
+/// short-circuiting — mirrors [`super::join::HashJoin`] exactly, so
+/// worker sums equal the serial counters.
+struct SharedHashJoin<'p> {
+    left: BoxCursor<'p>,
+    build: Arc<HashBuild>,
+    left_keys: &'p [Sym],
+    residual: Option<&'p Scalar>,
+    kind: &'p JoinKind,
+    pad: &'p [Sym],
+    env: Tuple,
+    cur: Option<(Tuple, Option<usize>, usize, bool)>,
+}
+
+impl SharedHashJoin<'_> {
+    fn residual_passes(&self, joined: &Tuple, ctx: &mut EvalCtx<'_>) -> EvalResult<bool> {
+        match self.residual {
+            None => Ok(true),
+            Some(p) => truthy(p, &scoped(&self.env, joined), ctx),
+        }
+    }
+}
+
+impl Cursor for SharedHashJoin<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        loop {
+            if let Some((lt, slot, mut pos, mut matched)) = self.cur.take() {
+                if let Some(slot) = slot {
+                    while pos < self.build.bucket_rows[slot].len() {
+                        let rt = self.build.bucket_rows[slot][pos].clone();
+                        pos += 1;
+                        ctx.metrics.probe_tuples += 1;
+                        let joined = lt.concat(&rt);
+                        if self.residual_passes(&joined, ctx)? {
+                            matched = true;
+                            self.cur = Some((lt, Some(slot), pos, matched));
+                            return Ok(Some(joined));
+                        }
+                    }
+                }
+                if !matched {
+                    if let Some(out) = unmatched_output(self.kind, self.pad, &lt) {
+                        return Ok(Some(out));
+                    }
+                }
+                continue;
+            }
+            let Some(lt) = self.left.next(ctx)? else {
+                return Ok(None);
+            };
+            let slot = key_of(&lt, self.left_keys, ctx.catalog)
+                .and_then(|k| self.build.bucket_index.get(&k))
+                .copied();
+            match self.kind {
+                JoinKind::Inner | JoinKind::Outer { .. } => {
+                    self.cur = Some((lt, slot, 0, false));
+                }
+                JoinKind::Semi | JoinKind::Anti => {
+                    let mut matched = false;
+                    if let Some(slot) = slot {
+                        for pos in 0..self.build.bucket_rows[slot].len() {
+                            let rt = self.build.bucket_rows[slot][pos].clone();
+                            ctx.metrics.probe_tuples += 1;
+                            let joined = lt.concat(&rt);
+                            if self.residual_passes(&joined, ctx)? {
+                                matched = true;
+                                break;
+                            }
+                        }
+                    }
+                    let emit = matches!(self.kind, JoinKind::Semi) == matched;
+                    if emit {
+                        return Ok(Some(lt));
+                    }
+                }
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Inner => "HashJoin",
+            JoinKind::Semi => "HashSemiJoin",
+            JoinKind::Anti => "HashAntiJoin",
+            JoinKind::Outer { .. } => "HashOuterJoin",
+        }
+    }
+}
+
+/// Worker-side nested-loop join over the shared materialized inner
+/// (mirror of [`super::join::LoopJoin`]).
+struct SharedLoopJoin<'p> {
+    left: BoxCursor<'p>,
+    right_rows: Arc<Vec<Tuple>>,
+    pred: &'p Scalar,
+    kind: &'p JoinKind,
+    pad: &'p [Sym],
+    env: Tuple,
+    cur: Option<(Tuple, usize, bool)>,
+}
+
+impl Cursor for SharedLoopJoin<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        loop {
+            if let Some((lt, mut pos, mut matched)) = self.cur.take() {
+                let n = self.right_rows.len();
+                while pos < n {
+                    let rt = self.right_rows[pos].clone();
+                    pos += 1;
+                    ctx.metrics.probe_tuples += 1;
+                    let joined = lt.concat(&rt);
+                    if truthy(self.pred, &scoped(&self.env, &joined), ctx)? {
+                        matched = true;
+                        match self.kind {
+                            JoinKind::Inner | JoinKind::Outer { .. } => {
+                                self.cur = Some((lt, pos, matched));
+                                return Ok(Some(joined));
+                            }
+                            JoinKind::Semi => return Ok(Some(lt)),
+                            JoinKind::Anti => break,
+                        }
+                    }
+                }
+                match self.kind {
+                    JoinKind::Semi => {}
+                    JoinKind::Anti | JoinKind::Inner | JoinKind::Outer { .. } if !matched => {
+                        if let Some(out) = unmatched_output(self.kind, self.pad, &lt) {
+                            return Ok(Some(out));
+                        }
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            match self.left.next(ctx)? {
+                Some(lt) => self.cur = Some((lt, 0, false)),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Inner => "LoopJoin",
+            JoinKind::Semi => "LoopSemiJoin",
+            JoinKind::Anti => "LoopAntiJoin",
+            JoinKind::Outer { .. } => "LoopOuterJoin",
+        }
+    }
+}
+
+/// Worker-side index join. Non-invariant recipes probe per tuple
+/// exactly like [`super::join::IndexJoin`]; probe-invariant recipes
+/// route the single probe through the segment's [`ProbeGroup`] and
+/// memoize the group decision per cursor.
+struct SharedIndexJoin<'p> {
+    left: BoxCursor<'p>,
+    recipe: &'p crate::access::AccessRecipe,
+    env: Tuple,
+    access: Option<crate::access::IndexJoinAccess>,
+    group: Option<Arc<ProbeGroup>>,
+    cached: Option<bool>,
+}
+
+impl Cursor for SharedIndexJoin<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.access.is_none() {
+            self.access = Some(crate::access::IndexJoinAccess::resolve(self.recipe, ctx)?);
+        }
+        while let Some(lt) = self.left.next(ctx)? {
+            let access = self.access.as_ref().expect("resolved above");
+            let matched = match self.cached {
+                Some(m) => m,
+                None => match &self.group {
+                    Some(g) => {
+                        let m = g.decide(|| {
+                            access.probe_matches(self.recipe, &lt, true, &self.env, ctx)
+                        })?;
+                        self.cached = Some(m);
+                        m
+                    }
+                    None => access.probe_matches(self.recipe, &lt, true, &self.env, ctx)?,
+                },
+            };
+            let emit = matches!(self.recipe.kind, JoinKind::Semi) == matched;
+            if emit {
+                return Ok(Some(lt));
+            }
+        }
+        Ok(None)
+    }
+
+    fn op_name(&self) -> &'static str {
+        self.recipe.op_name()
+    }
+}
+
+/// Lower a stage pipeline for one morsel: the same cursor tree serial
+/// lowering would produce, except build/scan state comes pre-resolved
+/// from [`SegmentShared`] and the spine bottoms out at the morsel
+/// slice. Every stage cursor gets the serial [`Metered`] shell (same
+/// operator names, same plan-node identities), so per-worker counters
+/// and traces merge into serial-equal totals.
+fn lower_stage<'p>(
+    plan: &'p PhysPlan,
+    env: &Tuple,
+    shared: &SegmentShared,
+    feed: &mut Option<MorselSlice>,
+) -> BoxCursor<'p> {
+    let addr = plan as *const PhysPlan as usize;
+    let inner: BoxCursor<'p> = match plan {
+        PhysPlan::MorselFeed => {
+            return Box::new(feed.take().expect("one feed leaf per stage spine"))
+        }
+        PhysPlan::Select { input, pred } => Box::new(ops::Select {
+            input: lower_stage(input, env, shared, feed),
+            pred,
+            env: env.clone(),
+        }),
+        PhysPlan::Project { input, op } => Box::new(ops::Project {
+            input: lower_stage(input, env, shared, feed),
+            op,
+            seen: Default::default(),
+        }),
+        PhysPlan::Map { input, attr, value } => Box::new(ops::Map {
+            input: lower_stage(input, env, shared, feed),
+            attr: *attr,
+            value,
+            env: env.clone(),
+        }),
+        PhysPlan::UnnestMap { input, attr, value } => Box::new(ops::UnnestMap {
+            input: lower_stage(input, env, shared, feed),
+            attr: *attr,
+            value,
+            env: env.clone(),
+            pending: Default::default(),
+        }),
+        PhysPlan::Unnest {
+            input,
+            attr,
+            distinct,
+            preserve_empty,
+            inner_attrs,
+        } => Box::new(ops::Unnest {
+            input: lower_stage(input, env, shared, feed),
+            attr: *attr,
+            distinct: *distinct,
+            preserve_empty: *preserve_empty,
+            inner_attrs,
+            pending: Default::default(),
+        }),
+        PhysPlan::IndexScan {
+            input,
+            attr,
+            uri,
+            pattern,
+            distinct,
+        } => Box::new(ops::IndexScan {
+            input: lower_stage(input, env, shared, feed),
+            attr: *attr,
+            uri,
+            pattern,
+            distinct: *distinct,
+            items: Some(
+                shared.scans[&addr].as_ref().clone(), // pre-resolved: no extra lookup
+            ),
+            pending: Default::default(),
+        }),
+        PhysPlan::Cross { left, .. } => Box::new(SharedCross {
+            left: lower_stage(left, env, shared, feed),
+            right_rows: shared.inners[&addr].clone(),
+            cur_left: None,
+            ridx: 0,
+        }),
+        PhysPlan::HashJoin {
+            left,
+            left_keys,
+            residual,
+            kind,
+            pad,
+            ..
+        } => Box::new(SharedHashJoin {
+            left: lower_stage(left, env, shared, feed),
+            build: shared.builds[&addr].clone(),
+            left_keys,
+            residual: residual.as_ref(),
+            kind,
+            pad,
+            env: env.clone(),
+            cur: None,
+        }),
+        PhysPlan::LoopJoin {
+            left,
+            pred,
+            kind,
+            pad,
+            ..
+        } => Box::new(SharedLoopJoin {
+            left: lower_stage(left, env, shared, feed),
+            right_rows: shared.inners[&addr].clone(),
+            pred,
+            kind,
+            pad,
+            env: env.clone(),
+            cur: None,
+        }),
+        PhysPlan::IndexJoin { left, recipe } => Box::new(SharedIndexJoin {
+            left: lower_stage(left, env, shared, feed),
+            recipe,
+            env: env.clone(),
+            access: None,
+            group: shared.groups.get(&addr).cloned(),
+            cached: None,
+        }),
+        other => unreachable!("not a stage operator: {}", other.op_name()),
+    };
+    Box::new(Metered {
+        inner,
+        name: plan.op_name(),
+        node: addr,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The parallel cursor
+// ---------------------------------------------------------------------
+
+/// The streaming cursor of a [`PhysPlan::Parallel`] node. The first
+/// pull runs the whole segment (drain → partition → pool → merge); the
+/// merged output then streams out tuple by tuple. Deliberately not
+/// [`Metered`]: the serial plan has no parallel shell, and parity
+/// demands identical operator counters.
+pub struct ParallelCursor<'p> {
+    source: &'p PhysPlan,
+    stages: &'p PhysPlan,
+    env: Tuple,
+    out: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl<'p> ParallelCursor<'p> {
+    /// A cursor over the segment `stages(source)`.
+    pub fn new(source: &'p PhysPlan, stages: &'p PhysPlan, env: Tuple) -> ParallelCursor<'p> {
+        ParallelCursor {
+            source,
+            stages,
+            env,
+            out: None,
+        }
+    }
+}
+
+impl Cursor for ParallelCursor<'_> {
+    fn next(&mut self, ctx: &mut EvalCtx<'_>) -> EvalResult<Option<Tuple>> {
+        if self.out.is_none() {
+            let rows = run_segment(self.source, self.stages, &self.env, ctx)?;
+            self.out = Some(rows.into_iter());
+        }
+        Ok(self.out.as_mut().expect("ran above").next())
+    }
+
+    fn op_name(&self) -> &'static str {
+        "Parallel"
+    }
+}
+
+/// Contiguous, balanced range partition of `len` rows into at most
+/// `degree × MORSELS_PER_WORKER` morsels.
+fn partition(len: usize, degree: usize) -> Vec<Range<usize>> {
+    let count = (degree * MORSELS_PER_WORKER).min(len).max(1);
+    let base = len / count;
+    let rem = len % count;
+    let mut ranges = Vec::with_capacity(count);
+    let mut start = 0;
+    for i in 0..count {
+        let size = base + usize::from(i < rem);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// The attribute the source binds per produced tuple — when it binds
+/// document nodes, morsel merge keys carry their `NodeId`s.
+fn driving_attr(source: &PhysPlan) -> Option<Sym> {
+    match source {
+        PhysPlan::UnnestMap { attr, .. }
+        | PhysPlan::IndexScan { attr, .. }
+        | PhysPlan::Unnest { attr, .. } => Some(*attr),
+        _ => None,
+    }
+}
+
+/// Pop the next morsel for worker `w`: own deque from the front, then
+/// steal from siblings' backs (skew in per-morsel cost — e.g. probe
+/// fan-out concentrated in one document region — drains onto idle
+/// workers).
+fn next_morsel(w: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(m) = queues[w].lock().expect("morsel queue").pop_front() {
+        return Some(m);
+    }
+    for off in 1..queues.len() {
+        let q = &queues[(w + off) % queues.len()];
+        if let Some(m) = q.lock().expect("morsel queue").pop_back() {
+            return Some(m);
+        }
+    }
+    None
+}
+
+fn run_morsel(
+    stages: &PhysPlan,
+    env: &Tuple,
+    shared: &SegmentShared,
+    rows: Arc<Vec<Tuple>>,
+    range: Range<usize>,
+    ctx: &mut EvalCtx<'_>,
+) -> EvalResult<Vec<Tuple>> {
+    let mut feed = Some(MorselSlice {
+        rows,
+        end: range.end,
+        idx: range.start,
+    });
+    let mut cur = lower_stage(stages, env, shared, &mut feed);
+    drain(cur.as_mut(), ctx)
+}
+
+/// Execute one parallel segment end to end. Degree comes from
+/// `ctx.parallel`; degree 1 (or a single-row source) runs the stage
+/// pipeline inline on the calling thread with the calling context —
+/// same code path, no threads, identical metrics.
+fn run_segment(
+    source: &PhysPlan,
+    stages: &PhysPlan,
+    env: &Tuple,
+    ctx: &mut EvalCtx<'_>,
+) -> EvalResult<Vec<Tuple>> {
+    let rows = drain_plan(source, env, ctx)?;
+    let shared = SegmentShared::prepare(stages, env, ctx)?;
+    if rows.is_empty() {
+        return Ok(Vec::new());
+    }
+    let degree = ctx.parallel.max(1);
+    if degree == 1 || rows.len() < 2 {
+        let len = rows.len();
+        return run_morsel(stages, env, &shared, Arc::new(rows), 0..len, ctx);
+    }
+
+    let morsels = partition(rows.len(), degree);
+    let workers = degree.min(morsels.len());
+    let drv = driving_attr(source);
+    let node_keys: Vec<Option<xmldb::NodeId>> = morsels
+        .iter()
+        .map(|r| match drv.and_then(|a| rows[r.start].get(a)) {
+            Some(Value::Node(nref)) => Some(nref.node),
+            _ => None,
+        })
+        .collect();
+    let all_nodes = node_keys.iter().all(Option::is_some);
+
+    let rows = Arc::new(rows);
+    // Round-robin assignment spreads contiguous document ranges across
+    // workers; stealing rebalances the rest.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                (0..morsels.len())
+                    .filter(|m| m % workers == w)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let results: Vec<Mutex<Option<EvalResult<Vec<Tuple>>>>> =
+        morsels.iter().map(|_| Mutex::new(None)).collect();
+    let abort = AtomicBool::new(false);
+    let catalog = ctx.catalog;
+    let tracing = ctx.trace.is_some();
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let abort = &abort;
+            let shared = &shared;
+            let rows = &rows;
+            let morsels = &morsels;
+            handles.push(s.spawn(move || {
+                let mut wctx = EvalCtx::new(catalog);
+                if tracing {
+                    wctx.enable_trace();
+                }
+                while let Some(m) = next_morsel(w, queues) {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let res = run_morsel(
+                        stages,
+                        env,
+                        shared,
+                        rows.clone(),
+                        morsels[m].clone(),
+                        &mut wctx,
+                    );
+                    if res.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    *results[m].lock().expect("morsel slot") = Some(res);
+                }
+                let trace = wctx.take_trace();
+                (wctx.metrics, trace)
+            }));
+        }
+        for h in handles {
+            let (metrics, trace) = h.join().expect("parallel worker panicked");
+            ctx.metrics.merge(&metrics);
+            if let (Some(main), Some(t)) = (ctx.trace.as_mut(), trace) {
+                main.merge(&t);
+            }
+        }
+    });
+
+    let mut runs: Vec<Run<Tuple>> = Vec::with_capacity(morsels.len());
+    let mut first_err: Option<EvalError> = None;
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.into_inner().expect("morsel slot") {
+            Some(Ok(items)) => runs.push(Run {
+                key: MorselKey {
+                    node: if all_nodes { node_keys[i] } else { None },
+                    ordinal: i,
+                },
+                items,
+            }),
+            Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+            Some(Err(_)) => {}
+            // Unprocessed: a sibling's error aborted the pool.
+            None => {}
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(merge_runs(runs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nal::expr::builder::*;
+    use nal::{CmpOp, Scalar};
+    use xmldb::gen::{gen_bib, BibConfig};
+    use xmldb::Catalog;
+    use xpath::parse_path;
+
+    fn catalog(books: usize) -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(gen_bib(&BibConfig {
+            books,
+            authors_per_book: 2,
+            ..BibConfig::default()
+        }));
+        cat
+    }
+
+    fn quantifier_plan() -> PhysPlan {
+        let probe = doc_scan("d1", "bib.xml").unnest_map(
+            "t1",
+            Scalar::attr("d1").path(parse_path("//book/title").unwrap()),
+        );
+        let build = doc_scan("d2", "bib.xml")
+            .unnest_map(
+                "t2",
+                Scalar::attr("d2").path(parse_path("//book/title").unwrap()),
+            )
+            .project(&["t2"]);
+        let e = probe.semijoin(build, Scalar::attr_cmp(CmpOp::Eq, "t1", "t2"));
+        crate::compile(&e)
+    }
+
+    #[test]
+    fn rewrite_wraps_probe_loop_over_fanout() {
+        let plan = apply_parallel(&quantifier_plan());
+        let PhysPlan::Parallel { source, stages } = &plan else {
+            panic!("expected a parallel segment: {}", plan.explain());
+        };
+        assert!(
+            matches!(source.as_ref(), PhysPlan::UnnestMap { .. }),
+            "source is the probe-side fan-out: {}",
+            source.explain()
+        );
+        let PhysPlan::HashJoin { left, .. } = stages.as_ref() else {
+            panic!("stages keep the probe loop: {}", stages.explain());
+        };
+        assert!(matches!(left.as_ref(), PhysPlan::MorselFeed));
+    }
+
+    #[test]
+    fn rewrite_is_idempotent() {
+        let once = apply_parallel(&quantifier_plan());
+        let twice = apply_parallel(&once);
+        assert_eq!(once.explain(), twice.explain());
+    }
+
+    #[test]
+    fn rewrite_declines_xi_segments() {
+        // Ξ at the root: the segment forms *below* it, never across it.
+        let e = doc_scan("d", "bib.xml")
+            .unnest_map(
+                "t",
+                Scalar::attr("d").path(parse_path("//book/title").unwrap()),
+            )
+            .xi(nal::expr::builder::xi_cmds(&["$t"]));
+        let plan = apply_parallel(&crate::compile(&e));
+        // A lone fan-out with nothing above it inside the Ξ-free region
+        // offers no stage work: no wrap.
+        assert!(!contains_parallel(&plan), "{}", plan.explain());
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_complete() {
+        for (len, degree) in [(1usize, 4usize), (7, 2), (100, 4), (3, 8)] {
+            let ranges = partition(len, degree);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(!w[0].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_streaming() {
+        let cat = catalog(30);
+        let serial_plan = quantifier_plan();
+        let par_plan = apply_parallel(&serial_plan);
+        let mut sctx = EvalCtx::new(&cat);
+        let serial =
+            super::super::execute_streaming(&serial_plan, &Tuple::empty(), &mut sctx).unwrap();
+        for workers in [1usize, 3, 8] {
+            let mut pctx = EvalCtx::new(&cat);
+            pctx.parallel = workers;
+            let par =
+                super::super::execute_streaming(&par_plan, &Tuple::empty(), &mut pctx).unwrap();
+            assert_eq!(serial, par, "rows at {workers} workers");
+            assert_eq!(
+                sctx.metrics.tuples_produced, pctx.metrics.tuples_produced,
+                "tuple counters at {workers} workers"
+            );
+            assert_eq!(
+                sctx.metrics.op_tuples, pctx.metrics.op_tuples,
+                "per-operator counters at {workers} workers"
+            );
+            assert_eq!(sctx.metrics.probe_tuples, pctx.metrics.probe_tuples);
+        }
+    }
+}

@@ -27,6 +27,7 @@ fn standard_service() -> QueryService {
             use_indexes: true,
             exec: ExecMode::Streaming,
             slow_query_us: None,
+            ..ServiceConfig::default()
         },
     )
 }

@@ -16,6 +16,7 @@ fn service() -> QueryService {
         use_indexes: true,
         exec: ExecMode::Streaming,
         slow_query_us: None,
+        ..ServiceConfig::default()
     })
 }
 
@@ -300,6 +301,7 @@ fn both_executors_trace_identical_counters() {
             use_indexes: true,
             exec,
             slow_query_us: None,
+            ..ServiceConfig::default()
         });
         svc.load_xml("bib.xml", BIB).expect("load");
         let out = svc.explain(TITLES).expect("explain");

@@ -21,6 +21,7 @@ fn standard_service(cache_capacity: usize) -> QueryService {
             use_indexes: true,
             exec: ExecMode::Streaming,
             slow_query_us: None,
+            ..ServiceConfig::default()
         },
     )
 }
@@ -292,4 +293,82 @@ fn vanished_document_invalidates_the_entry() {
         cache.lookup(&fp, true, &without_doc),
         Lookup::Miss
     ));
+}
+
+/// Plans cached by a parallel-workers service are stored in their
+/// `Parallel`-rewritten form. After an update moves the epoch, those
+/// entries must revalidate (or recompile) exactly like serial plans —
+/// the access-path walk has to see *inside* the parallel segment — and
+/// keep producing results byte-identical to a service that never
+/// cached anything.
+#[test]
+fn cached_parallel_plans_revalidate_after_updates() {
+    let parallel_service = || {
+        QueryService::with_catalog(
+            xmldb::gen::standard_catalog(SCALE, 2, SEED),
+            ServiceConfig {
+                cache_capacity: 32,
+                use_indexes: true,
+                exec: ExecMode::Streaming,
+                slow_query_us: None,
+                parallel_workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+    };
+    let svc = parallel_service();
+
+    // Keep the workloads whose cached plan actually holds a parallel
+    // segment (EXPLAIN renders the operator) and that read `bib.xml` —
+    // the document the update below touches; entries over other
+    // documents keep current stamps and stay plain hits. explain()
+    // itself warms the cache, so each kept query is now a cached
+    // parallel plan.
+    let queries: Vec<&str> = workloads::ALL
+        .iter()
+        .chain(workloads::RANGE.iter())
+        .chain(workloads::COMPOSITE.iter())
+        .filter(|w| w.documents.contains(&"bib.xml"))
+        .map(|w| w.query)
+        .filter(|q| {
+            svc.explain(q)
+                .expect("explain")
+                .report
+                .render()
+                .contains("Parallel")
+        })
+        .collect();
+    assert!(
+        !queries.is_empty(),
+        "no workload produced a cached parallel plan at 2 workers"
+    );
+    for q in &queries {
+        assert_eq!(svc.query(q).unwrap().cache, CacheOutcome::Hit);
+    }
+
+    let insert = UpdateOp::InsertXml {
+        uri: "bib.xml".to_string(),
+        parent: "/bib".to_string(),
+        xml: NEW_BOOK.to_string(),
+    };
+    svc.update(&insert).expect("insert applies");
+
+    let fresh = parallel_service();
+    fresh.update(&insert).expect("insert applies");
+    for q in &queries {
+        let post = svc.query(q).expect("post-update");
+        assert!(
+            matches!(
+                post.cache,
+                CacheOutcome::Revalidated | CacheOutcome::Recompiled
+            ),
+            "parallel entry must re-stamp after the epoch bump, got {:?}: {q}",
+            post.cache
+        );
+        let reference = fresh.query(q).expect("fresh post-update");
+        assert_eq!(post.output, reference.output, "output drift: {q}");
+        assert_eq!(post.rows, reference.rows, "row drift: {q}");
+        // Re-stamped entries are plain hits again.
+        assert_eq!(svc.query(q).unwrap().cache, CacheOutcome::Hit);
+    }
 }

@@ -24,6 +24,7 @@ fn start_server() -> ServerHandle {
         use_indexes: true,
         exec: ExecMode::Streaming,
         slow_query_us: None,
+        ..ServiceConfig::default()
     }));
     serve(
         svc,
