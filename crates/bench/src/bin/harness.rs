@@ -31,7 +31,12 @@
 //! parallelism: the same compiled quantifier plan run at a worker
 //! ladder, byte-compared against the serial stream, with the ≥1.5×
 //! speedup-at-4-workers floor asserted on machines with ≥4 cores at
-//! scale ≥200), or `all`.
+//! scale ≥200), `fuzz` (the differential fuzz oracle as a throughput
+//! cell: seeded random corpus/query/update cases through the full
+//! scan/indexed × materializing/streaming × parallel-degree ×
+//! maintenance-mode matrix; any disagreement fails the harness with a
+//! shrunk reproducer — budget via `XQD_FUZZ_SEED`/`XQD_FUZZ_CASES`),
+//! or `all`.
 //! Every `--json` cell records the cost model's `predicted_cost` next
 //! to the measured time — and, per operator, the traced companion
 //! run's `operators` array — so `BENCH_*.json` trajectories can
@@ -242,6 +247,9 @@ fn main() {
     if run_all || args.experiment == "parallel" {
         parallel_ablation(&args, &mut report);
     }
+    if run_all || args.experiment == "fuzz" {
+        fuzz_oracle(&args, &mut report);
+    }
     if let Some(path) = &args.json {
         report
             .write(path)
@@ -383,6 +391,48 @@ fn access_path_ablation(
         }
     }
     println!();
+}
+
+/// Differential fuzz oracle as a benchmark cell: generate seeded
+/// random (corpus, query, update script) cases and push each through
+/// the full execution matrix — scan vs indexed × materializing vs
+/// streaming × parallel degrees {1, 2, 8} × pre/post updates under
+/// both maintenance modes, plus plan equivalence and cost-model
+/// convertibility. The cell reports oracle *throughput* (cases/s);
+/// any disagreement fails the harness with the shrunk reproducer
+/// snippet. Seed and budget honor `XQD_FUZZ_SEED` / `XQD_FUZZ_CASES`.
+fn fuzz_oracle(args: &Args, report: &mut Report) {
+    use std::time::Instant;
+
+    println!("== Differential fuzzing: oracle throughput ==\n");
+    let seed = fuzz::env_seed(fuzz::DEFAULT_SEED.wrapping_add(args.seed));
+    let cases = fuzz::env_cases(100);
+    let t0 = Instant::now();
+    match fuzz::run_fuzz(seed, cases, &fuzz::GenConfig::default()) {
+        Ok(rep) => {
+            let elapsed = t0.elapsed();
+            let mut m = Measurement::estimated(format!("oracle seed={seed}"), elapsed);
+            m.estimated = false;
+            m.output_len = rep.cases;
+            report.record(
+                "fuzz",
+                RunConfig::new(Executor::Streaming, true),
+                &[
+                    ("cases", rep.cases as i64),
+                    ("with_updates", rep.with_updates as i64),
+                ],
+                &m,
+            );
+            println!("{:>8} {:>13} {:>10}", "cases", "with-updates", "cases/s");
+            println!(
+                "{:>8} {:>13} {:>10.1}\n",
+                rep.cases,
+                rep.with_updates,
+                rep.cases as f64 / elapsed.as_secs_f64()
+            );
+        }
+        Err(failure) => panic!("differential fuzz oracle failed:\n{failure}"),
+    }
 }
 
 /// Morsel-driven parallelism ablation: the quantifier workloads'

@@ -37,6 +37,12 @@ pub enum Func {
     /// `true()` / `false()` are parsed as constants; `not(x)` is
     /// `Scalar::Not`. `boolean(x)` — effective boolean value.
     Boolean,
+    /// `item-at(seq, n)` — the 1-based `n`-th item of a sequence in its
+    /// sequence (document) order; the empty sequence when `n` is out of
+    /// range or not a number. The ordered-context positional subscript:
+    /// its answer depends on the *order* of the input sequence, so any
+    /// upstream order violation is observable through it.
+    ItemAt,
 }
 
 impl Func {
@@ -55,6 +61,7 @@ impl Func {
             Func::Empty => "empty",
             Func::Exists => "exists",
             Func::Boolean => "boolean",
+            Func::ItemAt => "item-at",
         }
     }
 
@@ -73,6 +80,7 @@ impl Func {
             "empty" => Func::Empty,
             "exists" => Func::Exists,
             "boolean" => Func::Boolean,
+            "item-at" | "fn:item-at" => Func::ItemAt,
             _ => return None,
         })
     }
@@ -160,6 +168,22 @@ impl Func {
             Func::Boolean => {
                 let [x] = args else { return arity_err("1") };
                 Ok(Value::Bool(effective_boolean(x)))
+            }
+            Func::ItemAt => {
+                let [x, n] = args else { return arity_err("2") };
+                let Some(pos) = n.atomize(catalog).as_number() else {
+                    return Ok(Value::Null);
+                };
+                // XQuery positions are 1-based; fractional or out-of-range
+                // positions select nothing.
+                if pos < 1.0 || pos.fract() != 0.0 {
+                    return Ok(Value::Null);
+                }
+                let items = x.atomize(catalog).as_item_seq();
+                match items.get(pos as usize - 1) {
+                    Some(v) => Ok(v.clone()),
+                    None => Ok(Value::Null),
+                }
             }
         }
     }
@@ -293,6 +317,44 @@ mod tests {
         assert_eq!(Func::by_name("nope"), None);
         assert!(Func::Count.is_aggregate());
         assert!(!Func::Contains.is_aggregate());
+    }
+
+    #[test]
+    fn item_at_is_one_based_and_order_sensitive() {
+        let c = cat();
+        let seq = Value::items(vec![Value::str("a"), Value::str("b"), Value::str("c")]);
+        assert_eq!(
+            Func::ItemAt.apply(&[seq.clone(), Value::Int(1)], &c),
+            Ok(Value::str("a"))
+        );
+        assert_eq!(
+            Func::ItemAt.apply(&[seq.clone(), Value::Int(3)], &c),
+            Ok(Value::str("c"))
+        );
+        // Out of range, zero, fractional, and non-numeric positions all
+        // select nothing rather than erroring.
+        assert_eq!(
+            Func::ItemAt.apply(&[seq.clone(), Value::Int(4)], &c),
+            Ok(Value::Null)
+        );
+        assert_eq!(
+            Func::ItemAt.apply(&[seq.clone(), Value::Int(0)], &c),
+            Ok(Value::Null)
+        );
+        assert_eq!(
+            Func::ItemAt.apply(&[seq.clone(), Value::Dec(Dec(1.5))], &c),
+            Ok(Value::Null)
+        );
+        assert_eq!(
+            Func::ItemAt.apply(&[seq, Value::str("x")], &c),
+            Ok(Value::Null)
+        );
+        // A singleton behaves as a one-item sequence.
+        assert_eq!(
+            Func::ItemAt.apply(&[Value::Int(7), Value::Int(1)], &c),
+            Ok(Value::Int(7))
+        );
+        assert_eq!(Func::by_name("item-at"), Some(Func::ItemAt));
     }
 
     #[test]

@@ -20,6 +20,22 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Fault-injection switch for the differential fuzzing oracle's mutation
+/// test: when set, [`merge_runs`] drains runs in *reverse* key order —
+/// a deterministic order violation the oracle must catch. Never set
+/// outside tests.
+static SCRAMBLE_MERGE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the deliberate merge-order fault (see
+/// [`SCRAMBLE_MERGE`]). Exposed so the fuzz oracle's mutation test can
+/// prove the differential matrix catches order violations; production
+/// code must never call this.
+#[doc(hidden)]
+pub fn scramble_merge_for_tests(on: bool) {
+    SCRAMBLE_MERGE.store(on, Ordering::SeqCst);
+}
 
 /// Merge key of one morsel run: the [`xmldb::NodeId`] ordering key of
 /// the morsel's first driving node when the source binds nodes (the
@@ -60,6 +76,19 @@ pub fn merge_runs<T>(runs: Vec<Run<T>>) -> Vec<T> {
         slots.push(Some(run.items));
     }
     let mut out = Vec::with_capacity(total);
+    if SCRAMBLE_MERGE.load(Ordering::Relaxed) {
+        // Injected fault: concatenate runs in reverse key order. With two
+        // or more non-empty runs this breaks document order
+        // deterministically — the mutation the fuzz oracle must flag.
+        let mut order: Vec<usize> = Vec::with_capacity(slots.len());
+        while let Some(Reverse((_, slot))) = heap.pop() {
+            order.push(slot);
+        }
+        for slot in order.into_iter().rev() {
+            out.extend(slots[slot].take().expect("each run pops once"));
+        }
+        return out;
+    }
     while let Some(Reverse((_, slot))) = heap.pop() {
         out.extend(slots[slot].take().expect("each run pops once"));
     }

@@ -912,6 +912,14 @@ fn run_segment(
         })
         .collect();
     let all_nodes = node_keys.iter().all(Option::is_some);
+    // Node keys are only a sound merge component when they *ascend with
+    // the morsel ordinals*. A driving attribute that restarts per input
+    // tuple — e.g. a doc-rooted Υ above another fan-out, the cross
+    // product of two scans — cycles through the same posting list, and
+    // keying the merge by node would regroup the output by node instead
+    // of restoring the serial interleaving (found by the differential
+    // fuzz oracle). Ordinals alone always restore contiguous partitions.
+    let keys_ascend = all_nodes && node_keys.windows(2).all(|w| w[0] <= w[1]);
 
     let rows = Arc::new(rows);
     // Round-robin assignment spreads contiguous document ranges across
@@ -981,7 +989,7 @@ fn run_segment(
         match slot.into_inner().expect("morsel slot") {
             Some(Ok(items)) => runs.push(Run {
                 key: MorselKey {
-                    node: if all_nodes { node_keys[i] } else { None },
+                    node: if keys_ascend { node_keys[i] } else { None },
                     ordinal: i,
                 },
                 items,

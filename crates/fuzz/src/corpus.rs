@@ -1,0 +1,170 @@
+//! Random corpus generation: small documents over a fixed element
+//! vocabulary (`db`/`e`/`k`/`v`/`n`/`g`), with values drawn from an
+//! adversarial pool of edge keys — `NaN`, negative zero spellings,
+//! empty strings, numeric-looking strings — so that equality and range
+//! predicates constantly cross the Str/Num regime boundary.
+//!
+//! The shape is deliberately constrained: the query generator
+//! ([`crate::gen`]) knows the vocabulary, so every generated path
+//! expression has a chance of selecting something, and the update
+//! generator ([`crate::update`]) can duplicate/delete whole entries or
+//! retarget text nodes without consulting the query.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use xmldb::{Catalog, MaintenanceMode};
+
+/// The adversarial value pool. Everything is XML- and snippet-safe
+/// (no markup characters, no whitespace), but numerically treacherous:
+/// `NaN`, the `-0` spellings, `""` (typed miss), and strings that are
+/// equal as numbers but distinct as strings (`"0"` vs `"0.0"`,
+/// `"3"` vs `"3.0"`).
+pub const VALUE_POOL: &[&str] = &[
+    "NaN", "-0", "-0.0", "0", "0.0", "", "abc", "an", "zz9", "1", "2", "3", "3.0", "7", "10",
+    "3.5", "A", "B", "edge",
+];
+
+/// Pick a random pool value.
+pub fn pool_value(rng: &mut StdRng) -> String {
+    VALUE_POOL[rng.gen_range(0..VALUE_POOL.len())].to_string()
+}
+
+/// One `<e>` entry of a generated document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// `@id` attribute value.
+    pub id: u32,
+    /// `<k>` key values (one or two — multi-valued keys exercise the
+    /// existential semantics of general comparisons).
+    pub keys: Vec<String>,
+    /// `<v>` value text.
+    pub v: String,
+    /// `<n>` numeric-ish text.
+    pub n: String,
+    /// Nested `<g><k>…</k><n>…</n></g>` groups (deep-ancestor targets).
+    pub deep: Vec<(String, String)>,
+}
+
+/// One generated document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenDoc {
+    /// Registration URI (`fz0.xml`, `fz1.xml`, …).
+    pub uri: String,
+    /// The entry list, in document order.
+    pub entries: Vec<Entry>,
+}
+
+/// A generated corpus: the data half of a fuzz case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Corpus {
+    /// The documents, registered in order.
+    pub docs: Vec<GenDoc>,
+}
+
+/// The URI of corpus document `i`.
+pub fn doc_uri(i: usize) -> String {
+    format!("fz{i}.xml")
+}
+
+impl Entry {
+    /// Serialize to an XML fragment (also used by the update generator
+    /// for freshly inserted subtrees).
+    pub fn to_xml(&self) -> String {
+        let mut s = format!("<e id=\"{}\">", self.id);
+        for k in &self.keys {
+            s.push_str(&format!("<k>{k}</k>"));
+        }
+        s.push_str(&format!("<v>{}</v><n>{}</n>", self.v, self.n));
+        for (gk, gn) in &self.deep {
+            s.push_str(&format!("<g><k>{gk}</k><n>{gn}</n></g>"));
+        }
+        s.push_str("</e>");
+        s
+    }
+
+    /// Generate a random entry with the given id.
+    pub fn random(rng: &mut StdRng, id: u32) -> Entry {
+        let nkeys = if rng.gen_bool(0.25) { 2 } else { 1 };
+        let ndeep = rng.gen_range(0usize..=2);
+        Entry {
+            id,
+            keys: (0..nkeys).map(|_| pool_value(rng)).collect(),
+            v: pool_value(rng),
+            n: pool_value(rng),
+            deep: (0..ndeep)
+                .map(|_| (pool_value(rng), pool_value(rng)))
+                .collect(),
+        }
+    }
+}
+
+impl GenDoc {
+    /// Serialize the whole document.
+    pub fn to_xml(&self) -> String {
+        let mut s = String::from("<db>");
+        for e in &self.entries {
+            s.push_str(&e.to_xml());
+        }
+        s.push_str("</db>");
+        s
+    }
+}
+
+impl Corpus {
+    /// Generate a random corpus: 1–2 documents of 4–10 entries each.
+    /// Sizes are deliberately tiny — every case pays for ~120 query
+    /// executions across the matrix, and order bugs need few rows to
+    /// show (the shrunk reproducers end up with 2–4 entries anyway).
+    pub fn random(rng: &mut StdRng) -> Corpus {
+        let ndocs = rng.gen_range(1usize..=2);
+        let mut docs = Vec::with_capacity(ndocs);
+        let mut next_id = 0u32;
+        for i in 0..ndocs {
+            let n = rng.gen_range(4usize..=10);
+            let entries = (0..n)
+                .map(|_| {
+                    next_id += 1;
+                    Entry::random(rng, next_id)
+                })
+                .collect();
+            docs.push(GenDoc {
+                uri: doc_uri(i),
+                entries,
+            });
+        }
+        Corpus { docs }
+    }
+
+    /// Build a catalog with the given index-maintenance mode from this
+    /// corpus. Every document must parse — the generator only emits
+    /// markup-free pool values, so a failure here is a generator bug.
+    pub fn build_catalog(&self, mode: MaintenanceMode) -> Catalog {
+        let mut cat = Catalog::new();
+        for d in &self.docs {
+            let doc = xmldb::parse_document(&d.uri, &d.to_xml())
+                .unwrap_or_else(|e| panic!("generated corpus must parse: {e}"));
+            cat.register(doc);
+        }
+        cat.set_index_maintenance(mode);
+        cat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corpora_parse_and_register() {
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let corpus = Corpus::random(&mut rng);
+            let cat = corpus.build_catalog(MaintenanceMode::Delta);
+            assert_eq!(cat.len(), corpus.docs.len());
+            for d in &corpus.docs {
+                assert!(cat.by_uri(&d.uri).is_some());
+            }
+        }
+    }
+}

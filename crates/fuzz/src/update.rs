@@ -1,0 +1,141 @@
+//! Random update-script generation and application.
+//!
+//! Updates are expressed against the *corpus model* (document/entry
+//! indices resolved modulo the live entry count at application time,
+//! exactly like `tests/update_workloads.rs`), so the same script can be
+//! replayed against any catalog built from the same corpus — which is
+//! what lets the oracle apply one script under `MaintenanceMode::Delta`
+//! and again under `Rebuild` and demand identical answers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use xmldb::{Catalog, NodeId, NodeKind};
+
+use crate::corpus::{pool_value, Corpus, Entry};
+
+/// One update operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOp {
+    /// Duplicate entry `entry` (mod live count) before the entry half a
+    /// rotation away — a mid-document order shuffle.
+    Duplicate {
+        /// Document index.
+        doc: usize,
+        /// Entry pick (resolved mod the live entry count).
+        entry: usize,
+    },
+    /// Insert a freshly generated entry before `entry` (mod count).
+    InsertFresh {
+        /// Document index.
+        doc: usize,
+        /// Insertion point pick.
+        entry: usize,
+        /// The new entry.
+        fresh: Entry,
+    },
+    /// Delete entry `entry` (mod count).
+    Delete {
+        /// Document index.
+        doc: usize,
+        /// Entry pick.
+        entry: usize,
+    },
+    /// Replace the first text descendant of entry `entry` with `value`.
+    ReplaceText {
+        /// Document index.
+        doc: usize,
+        /// Entry pick.
+        entry: usize,
+        /// New text (drawn from the adversarial pool — this is how
+        /// `NaN`/`-0.0` arrive *mid-run* in indexed keys).
+        value: String,
+    },
+}
+
+/// Generate a random update script of `0..=max_ops` operations.
+pub fn random_script(rng: &mut StdRng, corpus: &Corpus, max_ops: usize) -> Vec<UpdateOp> {
+    let nops = rng.gen_range(0..=max_ops);
+    let mut next_id = 1000;
+    (0..nops)
+        .map(|_| {
+            let doc = rng.gen_range(0..corpus.docs.len());
+            let entry = rng.gen_range(0usize..64);
+            match rng.gen_range(0u32..4) {
+                0 => UpdateOp::Duplicate { doc, entry },
+                1 => {
+                    next_id += 1;
+                    UpdateOp::InsertFresh {
+                        doc,
+                        entry,
+                        fresh: Entry::random(rng, next_id),
+                    }
+                }
+                2 => UpdateOp::Delete { doc, entry },
+                _ => UpdateOp::ReplaceText {
+                    doc,
+                    entry,
+                    value: pool_value(rng),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Apply one op to a live catalog. Picks resolve against the current
+/// entry list; documents shrunk below 3 entries are left alone so a
+/// delete-heavy script cannot empty a document out from under the
+/// query.
+pub fn apply_op(cat: &mut Catalog, corpus: &Corpus, op: &UpdateOp) {
+    let (doc_idx, entry_pick) = match op {
+        UpdateOp::Duplicate { doc, entry }
+        | UpdateOp::InsertFresh { doc, entry, .. }
+        | UpdateOp::Delete { doc, entry }
+        | UpdateOp::ReplaceText { doc, entry, .. } => (*doc, *entry),
+    };
+    let uri = &corpus.docs[doc_idx % corpus.docs.len()].uri;
+    let id = cat.by_uri(uri).expect("corpus doc registered");
+    let doc = cat.doc(id).as_ref().clone();
+    let Some(root) = doc.root_element() else {
+        return;
+    };
+    let entries: Vec<NodeId> = doc.children(root).collect();
+    if entries.len() < 3 {
+        return;
+    }
+    let n = entries.len();
+    match op {
+        UpdateOp::Duplicate { .. } => {
+            let src = entries[entry_pick % n];
+            let before = entries[(entry_pick + n / 2) % n];
+            cat.insert_subtree(id, root, Some(before), &doc, src)
+                .expect("duplicate entry");
+        }
+        UpdateOp::InsertFresh { fresh, .. } => {
+            let frag = xmldb::parse_document("frag", &fresh.to_xml()).expect("fragment parses");
+            let before = entries[entry_pick % n];
+            let frag_root = frag.root_element().expect("fragment has a root");
+            cat.insert_subtree(id, root, Some(before), &frag, frag_root)
+                .expect("insert fresh entry");
+        }
+        UpdateOp::Delete { .. } => {
+            cat.delete_subtree(id, entries[entry_pick % n])
+                .expect("delete entry");
+        }
+        UpdateOp::ReplaceText { value, .. } => {
+            let target = entries[entry_pick % n];
+            if let Some(text) = doc
+                .descendants(target)
+                .find(|&t| matches!(doc.kind(t), NodeKind::Text))
+            {
+                cat.replace_text(id, text, value).expect("replace text");
+            }
+        }
+    }
+}
+
+/// Apply a whole script in order.
+pub fn apply_script(cat: &mut Catalog, corpus: &Corpus, script: &[UpdateOp]) {
+    for op in script {
+        apply_op(cat, corpus, op);
+    }
+}

@@ -1,0 +1,47 @@
+//! Replay committed fuzz reproducers.
+//!
+//! Every `tests/fuzz_corpus/*.repro` snippet is a shrunk case that once
+//! exposed a real bug (or pins a behavior the oracle depends on). Each
+//! is replayed through the entire differential matrix — so a committed
+//! reproducer is a permanent regression test, with the corpus, update
+//! script, and query text carried verbatim in the snippet.
+//!
+//! To add one: paste the `----8<----` block printed by a failing fuzz
+//! run into a new `.repro` file here. No code change needed — this test
+//! discovers snippets at runtime.
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fuzz_corpus")
+}
+
+#[test]
+fn committed_reproducers_pass_the_matrix() {
+    let dir = corpus_dir();
+    let mut snippets: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension().is_some_and(|ext| ext == "repro")).then_some(path)
+        })
+        .collect();
+    snippets.sort();
+    assert!(
+        !snippets.is_empty(),
+        "no .repro snippets in {} — the corpus should never be empty \
+         (cross_product_merge.repro is committed)",
+        dir.display()
+    );
+    for path in snippets {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
+        let repro = fuzz::repro::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: snippet parse error: {e}"));
+        if let Err(failure) = repro.check() {
+            panic!("{name} (seed {}) regressed: {failure}", repro.seed);
+        }
+    }
+}

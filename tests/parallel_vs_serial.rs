@@ -117,6 +117,25 @@ fn rewrite_covers_the_workload_suite() {
     );
 }
 
+#[test]
+fn cross_product_merge_restores_serial_interleaving() {
+    // Regression for a bug found by the differential fuzz oracle
+    // (tests/fuzz_corpus/cross_product_merge.repro): a parallel source
+    // Υ sitting above another fan-out restarts its posting list per
+    // input tuple, so the first driving node of each morsel no longer
+    // ascends with the morsel ordinal. The node-keyed merge then
+    // regrouped output by node instead of restoring the serial
+    // interleaving. The merge must fall back to ordinal-only keys when
+    // driving nodes are not ascending.
+    let catalog = standard_catalog(12, 2, 42);
+    let query = "for $a in doc(\"bib.xml\")//book, $b in doc(\"bib.xml\")//book \
+                 return <r>{ $b/title }</r>";
+    let expr = xquery::compile(query, &catalog).expect("cross product compiles");
+    for indexed in [false, true] {
+        check_parity("cross-product", &expr, &catalog, indexed);
+    }
+}
+
 /// Does the plan carry an index join whose probe is independent of the
 /// probing tuple (constant range bounds, no residual)? Those are the
 /// probes the parallel executor routes through a shared [`ProbeGroup`]:
